@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Figure 11 and Section VIII-F: why ns3Da does not block.
+ *
+ * Despite its relatively high density (82 nonzeros per row in the
+ * original), ns3Da's values spread uniformly instead of clustering
+ * into dense sub-blocks, so candidates at every size fail the
+ * density threshold and nearly everything lands on the local
+ * processor -- which is why the system routes this matrix to the
+ * GPU after preprocessing.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "blocking/blocking.hh"
+#include "sparse/suite.hh"
+#include "util/logging.hh"
+
+int
+main()
+{
+    using namespace msc;
+    setLogQuiet(true);
+
+    const SuiteEntry &entry = suiteEntry("ns3Da");
+    const Csr m = buildSuiteMatrix(entry);
+    const BlockPlan plan = planBlocks(m);
+
+    std::printf("Figure 11 / Section VIII-F: ns3Da blocking "
+                "analysis\n");
+    std::printf("  %d x %d, %zu nnz (%.1f per row)\n", m.rows(),
+                m.cols(), m.nnz(),
+                static_cast<double>(m.nnz()) / m.rows());
+    std::printf("  blocking efficiency: %.2f%% (paper: 3.2%%)\n",
+                100.0 * plan.stats.blockingEfficiency());
+    std::printf("  blocks: 512: %zu, 256: %zu, 128: %zu, 64: %zu\n",
+                plan.stats.blocksPerSize[0],
+                plan.stats.blocksPerSize[1],
+                plan.stats.blocksPerSize[2],
+                plan.stats.blocksPerSize[3]);
+
+    // Candidate density census at each size: how many nonzeros the
+    // best candidates capture vs what the threshold demands.
+    BlockingConfig cfg;
+    std::printf("\n  candidate census (density threshold = "
+                "%.1f nnz per 64-row at each size):\n",
+                cfg.densityFactor);
+    for (unsigned s : cfg.sizes) {
+        const std::size_t threshold = static_cast<std::size_t>(
+            cfg.densityFactor * s * (static_cast<double>(s) / 64));
+        std::map<std::pair<std::int32_t, std::int32_t>, std::size_t>
+            cand;
+        for (std::int32_t r = 0; r < m.rows(); ++r) {
+            for (std::int32_t c : m.rowCols(r))
+                ++cand[{r / static_cast<std::int32_t>(s),
+                        c / static_cast<std::int32_t>(s)}];
+        }
+        std::size_t best = 0, passing = 0;
+        for (const auto &[rc, n] : cand) {
+            best = std::max(best, n);
+            if (n >= threshold)
+                ++passing;
+        }
+        std::printf("    size %3u: %7zu candidates, densest holds "
+                    "%5zu nnz, threshold %6zu, passing: %zu\n",
+                    s, cand.size(), best, threshold, passing);
+    }
+
+    std::printf("\n  => the uniform spread leaves every candidate "
+                "below the density threshold;\n"
+                "     the matrix is routed to the GPU after the "
+                "(worst-case 4 x NNZ) blocking pass.\n");
+    return 0;
+}

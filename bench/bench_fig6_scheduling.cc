@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces Figure 6: the three crossbar activation scheduling
+ * policies on the paper's 4x4 slice-grid example (termination after
+ * significance >= 2), then at the full 127x118 operand scale across
+ * a sweep of termination points, showing the energy/latency
+ * trade-off (diagonal fewest activations, vertical fewest steps,
+ * hybrid in between).
+ */
+
+#include <cstdio>
+
+#include "cluster/schedule.hh"
+
+namespace {
+
+void
+printRow(const char *name, const msc::ActivationSchedule &sched,
+         unsigned threshold)
+{
+    const auto cost = sched.costForThreshold(threshold);
+    std::printf("  %-9s: %3llu activations over %3llu time steps\n",
+                name,
+                static_cast<unsigned long long>(cost.activations),
+                static_cast<unsigned long long>(cost.timeSteps));
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace msc;
+
+    std::printf("Figure 6: scheduling policies on the 4x4 example, "
+                "termination at significance 2\n");
+    std::printf("  (paper: vertical 16/4, diagonal 13/5, "
+                "hybrid 14/4)\n");
+    const ActivationSchedule v4(4, 4, SchedulePolicy::Vertical);
+    const ActivationSchedule d4(4, 4, SchedulePolicy::Diagonal);
+    const ActivationSchedule h4(4, 4, SchedulePolicy::Hybrid, 2);
+    printRow("vertical", v4, 2);
+    printRow("diagonal", d4, 2);
+    printRow("hybrid", h4, 2);
+
+    std::printf("\nFull-scale grid (127 matrix slices x 118 vector "
+                "slices), sweep of termination points:\n");
+    std::printf("%10s | %12s %8s | %12s %8s | %12s %8s\n",
+                "threshold", "vert acts", "steps", "diag acts",
+                "steps", "hyb acts", "steps");
+    const ActivationSchedule v(127, 118, SchedulePolicy::Vertical);
+    const ActivationSchedule d(127, 118, SchedulePolicy::Diagonal);
+    const ActivationSchedule h(127, 118, SchedulePolicy::Hybrid, 2);
+    for (unsigned thr : {0u, 60u, 120u, 160u, 200u, 230u}) {
+        const auto cv = v.costForThreshold(thr);
+        const auto cd = d.costForThreshold(thr);
+        const auto ch = h.costForThreshold(thr);
+        std::printf("%10u | %12llu %8llu | %12llu %8llu | %12llu "
+                    "%8llu\n", thr,
+                    static_cast<unsigned long long>(cv.activations),
+                    static_cast<unsigned long long>(cv.timeSteps),
+                    static_cast<unsigned long long>(cd.activations),
+                    static_cast<unsigned long long>(cd.timeSteps),
+                    static_cast<unsigned long long>(ch.activations),
+                    static_cast<unsigned long long>(ch.timeSteps));
+    }
+
+    std::printf("\nHybrid skew sweep at threshold 160 (larger skew "
+                "-> closer to vertical):\n");
+    for (unsigned skew : {2u, 3u, 4u, 8u, 16u}) {
+        const ActivationSchedule hs(127, 118, SchedulePolicy::Hybrid,
+                                    skew);
+        const auto c = hs.costForThreshold(160);
+        std::printf("  skew %2u: %7llu activations over %4llu steps\n",
+                    skew,
+                    static_cast<unsigned long long>(c.activations),
+                    static_cast<unsigned long long>(c.timeSteps));
+    }
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Heterogeneous vs homogeneous crossbar substrates (Section V-B).
+ *
+ * The paper's central sparsity claim: a mix of crossbar sizes
+ * captures more nonzeros at better latency/energy than any single
+ * size. This bench re-places four structurally different matrices
+ * onto Table I's heterogeneous mix and onto homogeneous all-512,
+ * all-256, all-128, and all-64 substrates with (approximately) the
+ * same total cell capacity, comparing blocking coverage and per-SpMV
+ * cost.
+ */
+
+#include <cstdio>
+
+#include "core/msc.hh"
+
+namespace {
+
+using namespace msc;
+
+AcceleratorConfig
+homogeneous(unsigned size)
+{
+    AcceleratorConfig cfg;
+    // Table I capacity: 2*512 + 4*256 + 6*128 + 8*64 = 3328 rows of
+    // cells per bank; give the homogeneous substrate the same.
+    const unsigned clustersPerBank = 3328 / size;
+    cfg.clustersPerBank = {{size, clustersPerBank}};
+    // Blocking may only use sizes the substrate has.
+    cfg.blocking.sizes = {size};
+    return cfg;
+}
+
+void
+evaluate(const char *name, const Csr &m,
+         const std::vector<double> &b)
+{
+    std::printf("\n%s (%zu nnz):\n", name, m.nnz());
+    std::printf("  %-18s %9s %10s %12s %12s\n", "substrate",
+                "blocked", "placed", "spmv[us]", "energy[uJ]");
+
+    struct Sub
+    {
+        const char *label;
+        AcceleratorConfig cfg;
+    };
+    std::vector<Sub> subs;
+    subs.push_back({"heterogeneous", AcceleratorConfig{}});
+    subs.push_back({"all-512", homogeneous(512)});
+    subs.push_back({"all-256", homogeneous(256)});
+    subs.push_back({"all-128", homogeneous(128)});
+    subs.push_back({"all-64", homogeneous(64)});
+
+    for (auto &sub : subs) {
+        Accelerator accel(sub.cfg);
+        const PrepareResult prep = accel.prepare(m, b);
+        const double blockedPct = prep.blocking.totalNnz == 0
+            ? 0.0
+            : 100.0 *
+                  (static_cast<double>(prep.blocking.totalNnz) -
+                   prep.csrNnz) /
+                  prep.blocking.totalNnz;
+        std::printf("  %-18s %8.1f%% %10zu %12.2f %12.2f\n",
+                    sub.label, blockedPct, prep.placedBlocks,
+                    prep.spmv.time * 1e6, prep.spmv.energy * 1e6);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogQuiet(true);
+
+    // Four structural classes from Table II.
+    for (const char *name :
+         {"Pres_Poisson", "torso2", "GaAsH6", "bcircuit"}) {
+        const SuiteEntry &entry = suiteEntry(name);
+        const Csr m = buildSuiteMatrix(entry);
+        std::vector<double> b(static_cast<std::size_t>(m.rows()),
+                              1.0);
+        evaluate(name, m, b);
+    }
+
+    std::printf("\n=> no single size wins everywhere: large-only "
+                "substrates waste column scans on thin\n   bands, "
+                "small-only substrates fragment dense regions; the "
+                "heterogeneous mix tracks the\n   best homogeneous "
+                "choice per matrix (Section V-B).\n");
+    return 0;
+}

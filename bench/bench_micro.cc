@@ -1,0 +1,173 @@
+/**
+ * @file
+ * google-benchmark micro suite for the core kernels: wide-integer
+ * arithmetic, AN coding, alignment, binary crossbar reads, cluster
+ * MVM, blocking preprocessing throughput, and CSR SpMV. These back
+ * the throughput claims in the documentation (e.g. the ~1.8x NNZ
+ * average preprocessing cost) with measured numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ancode/ancode.hh"
+#include "blocking/blocking.hh"
+#include "cluster/cluster.hh"
+#include "fixedpoint/align.hh"
+#include "sparse/gen.hh"
+#include "util/random.hh"
+#include "wideint/wideint.hh"
+#include "xbar/crossbar.hh"
+
+namespace {
+
+using namespace msc;
+
+void
+bmWideAdd(benchmark::State &state)
+{
+    Rng rng(1);
+    U256 a, b;
+    a.setWord(0, rng.next());
+    a.setWord(3, rng.next());
+    b.setWord(1, rng.next());
+    for (auto _ : state) {
+        a += b;
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(bmWideAdd);
+
+void
+bmWideMul(benchmark::State &state)
+{
+    Rng rng(2);
+    U128 a, b;
+    a.setWord(0, rng.next());
+    a.setWord(1, rng.next() >> 10);
+    b.setWord(0, rng.next());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.mulWide(b));
+    }
+}
+BENCHMARK(bmWideMul);
+
+void
+bmAnEncodeCorrect(benchmark::State &state)
+{
+    const AnCode code;
+    Rng rng(3);
+    U128 v;
+    v.setWord(0, rng.next());
+    v.setWord(1, rng.next() >> 12);
+    for (auto _ : state) {
+        U256 w = code.encode(v);
+        w.flipBit(static_cast<unsigned>(rng.below(120)));
+        benchmark::DoNotOptimize(code.correct(w));
+    }
+}
+BENCHMARK(bmAnEncodeCorrect);
+
+void
+bmAlignValues(benchmark::State &state)
+{
+    Rng rng(4);
+    std::vector<double> vals(512);
+    for (auto &v : vals) {
+        v = std::ldexp(rng.uniform(1.0, 2.0),
+                       static_cast<int>(rng.range(0, 40)));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(alignValues(vals));
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(bmAlignValues);
+
+void
+bmCrossbarColumnRead(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    Rng rng(5);
+    BinaryCrossbar xbar(n, n);
+    for (unsigned r = 0; r < n; ++r)
+        for (unsigned c = 0; c < n; ++c)
+            if (rng.chance(0.3))
+                xbar.set(r, c);
+    BitVec input(n);
+    for (unsigned r = 0; r < n; ++r)
+        if (rng.chance(0.5))
+            input.set(r);
+    unsigned col = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(xbar.readColumn(col, input));
+        col = (col + 1) % n;
+    }
+}
+BENCHMARK(bmCrossbarColumnRead)->Arg(64)->Arg(512);
+
+void
+bmClusterMultiply(benchmark::State &state)
+{
+    Rng rng(6);
+    ClusterConfig cfg;
+    cfg.size = 64;
+    Cluster cluster(cfg);
+    MatrixBlock block;
+    block.size = 64;
+    for (std::int32_t r = 0; r < 64; ++r) {
+        for (std::int32_t c = 0; c < 64; ++c) {
+            if (rng.chance(0.2)) {
+                block.elems.push_back({r, c,
+                    rng.uniform(-2.0, 2.0)});
+            }
+        }
+    }
+    cluster.program(block);
+    std::vector<double> x(64), y(64);
+    for (auto &v : x)
+        v = rng.uniform(-1.0, 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cluster.multiply(x, y));
+    state.SetItemsProcessed(state.iterations() *
+                            block.elems.size());
+}
+BENCHMARK(bmClusterMultiply);
+
+void
+bmBlockingPreprocess(benchmark::State &state)
+{
+    TiledParams p;
+    p.rows = 8192;
+    p.tile = 48;
+    p.tileDensity = 0.25;
+    p.scatterPerRow = 1.0;
+    p.seed = 7;
+    const Csr m = genTiled(p);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(planBlocks(m));
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(bmBlockingPreprocess);
+
+void
+bmCsrSpmv(benchmark::State &state)
+{
+    TiledParams p;
+    p.rows = 8192;
+    p.tile = 48;
+    p.tileDensity = 0.25;
+    p.scatterPerRow = 1.0;
+    p.seed = 8;
+    const Csr m = genTiled(p);
+    std::vector<double> x(static_cast<std::size_t>(m.cols()), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(m.rows()));
+    for (auto _ : state) {
+        m.spmv(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(bmCsrSpmv);
+
+} // namespace
+
+BENCHMARK_MAIN();

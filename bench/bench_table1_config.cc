@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Table I: the accelerator configuration, as instantiated
+ * by the model defaults, plus the derived cluster-pool capacities.
+ */
+
+#include <cstdio>
+
+#include "accel/accel.hh"
+#include "xbar/model.hh"
+
+int
+main()
+{
+    using namespace msc;
+    const AcceleratorConfig cfg;
+    const Accelerator accel(cfg);
+    const CellParams &cell = cfg.cluster.xbar.cell;
+
+    std::printf("Table I: accelerator configuration\n");
+    std::printf("  System   : %u banks, double-precision floating "
+                "point,\n             fclk = %.1f GHz, 15 nm, "
+                "Vdd = %.2f V\n",
+                cfg.banks, cfg.cluster.xbar.fClkHz / 1e9,
+                cfg.cluster.xbar.vdd);
+    std::printf("  Bank     : ");
+    for (const auto &[size, count] : cfg.clustersPerBank)
+        std::printf("(%u) x %ux%u clusters  ", count, size, size);
+    std::printf("+ 1 LEON3-class core @ %.1f GHz\n",
+                cfg.proc.clockHz / 1e9);
+    std::printf("  Cluster  : up to %u bit-slice crossbars "
+                "(53-bit mantissa + sign + %u pad bits,\n"
+                "             AN code A = %llu -> %u-bit operands)\n",
+                fxp::encodedBits, fxp::maxPadBits,
+                static_cast<unsigned long long>(
+                    cfg.cluster.anConstant),
+                fxp::encodedBits);
+    for (const auto &[size, count] : cfg.clustersPerBank) {
+        const XbarModel model(size, cfg.cluster.xbar,
+                              cfg.cluster.cic);
+        std::printf("  Crossbar : %3ux%-3u cells, %u-bit pipelined "
+                    "SAR ADC (CIC), %u drivers\n",
+                    size, size, model.adcResolutionBits(), 2 * size);
+        (void)count;
+    }
+    std::printf("  Cell     : TaOx, Ron = %.0f kOhm, "
+                "Roff = %.0f MOhm (range %.0f), Vread = %.1f V,\n"
+                "             Ewrite = %.2f nJ, Twrite = %.2f ns, "
+                "endurance %.0e writes\n",
+                cell.rOn / 1e3, cell.rOff / 1e6, cell.dynamicRange(),
+                cell.vRead, cell.writeEnergy * 1e9,
+                cell.writeTime * 1e9, cell.writeEndurance);
+
+    std::printf("\nDerived cluster pools (whole system):\n");
+    for (const auto &[size, clusters] : accel.poolCapacity()) {
+        std::printf("  %3ux%-3u : %5u clusters (%llu cell rows)\n",
+                    size, size, clusters,
+                    static_cast<unsigned long long>(clusters) * size);
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Table III: area, energy, and latency of the four
+ * crossbar sizes (ADC included), next to the paper's numbers.
+ */
+
+#include <cstdio>
+
+#include "xbar/model.hh"
+
+int
+main()
+{
+    using namespace msc;
+
+    struct PaperRow
+    {
+        unsigned size;
+        double areaMm2;
+        double energyPj;
+        double latencyNs;
+    };
+    const PaperRow paper[] = {
+        {64, 0.00078, 28.0, 53.3},
+        {128, 0.00103, 65.2, 107.0},
+        {256, 0.00162, 150.0, 213.0},
+        {512, 0.00352, 342.0, 427.0},
+    };
+
+    std::printf("Table III: area, energy, latency per crossbar size "
+                "(includes the ADC)\n");
+    std::printf("%5s | %12s %12s | %11s %11s | %12s %12s | %4s\n",
+                "Size", "Area[mm2]", "paper", "Energy[pJ]", "paper",
+                "Latency[ns]", "paper", "ADCb");
+    std::printf("%.*s\n", 104,
+                "-----------------------------------------------------"
+                "-----------------------------------------------------");
+    for (const PaperRow &row : paper) {
+        const XbarModel model(row.size);
+        std::printf(
+            "%5u | %12.5f %12.5f | %11.1f %11.1f | %12.1f %12.1f "
+            "| %4u\n",
+            row.size, model.area(), row.areaMm2,
+            model.opEnergy() * 1e12, row.energyPj,
+            model.opLatency() * 1e9, row.latencyNs,
+            model.adcResolutionBits());
+    }
+
+    std::printf("\nComponent split and headstart sensitivity "
+                "(N = 512):\n");
+    const XbarModel m512(512);
+    std::printf("  ADC share of op energy : %.1f%%\n",
+                100.0 * m512.adcOpEnergy() / m512.opEnergy());
+    std::printf("  ADC share of area      : %.1f%%\n",
+                100.0 * m512.adcArea() / m512.area());
+    std::printf("  conversion energy, full %u bits: %.3f pJ; "
+                "headstart to 4 bits: %.3f pJ\n",
+                m512.adcResolutionBits(),
+                m512.conversionEnergy(m512.adcResolutionBits()) * 1e12,
+                m512.conversionEnergy(4) * 1e12);
+    std::printf("  program time (row-parallel writes): %.2f us per "
+                "crossbar\n", m512.programTime() * 1e6);
+    return 0;
+}

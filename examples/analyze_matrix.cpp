@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Matrix analysis tool: everything the accelerator's preprocessing
+ * pipeline learns about a system, in one report.
+ *
+ *   analyze_matrix [matrix.mtx]
+ *
+ * Prints structural statistics, the exponent histogram that governs
+ * fixed-point alignment cost, the blocking census and efficiency,
+ * placement/spill behavior, and the resulting recommendation
+ * (accelerate or route to the GPU) with estimated per-kernel costs.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/msc.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace msc;
+    setLogQuiet(true);
+
+    Csr m;
+    std::string label;
+    if (argc > 1) {
+        label = argv[1];
+        try {
+            m = readMatrixMarket(label);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+    } else {
+        label = "venkat25 (generated)";
+        m = buildSuiteMatrix(suiteEntry("venkat25"));
+    }
+
+    const MatrixStats stats = computeStats(m);
+    std::printf("== %s ==\n%s\n", label.c_str(),
+                stats.toString().c_str());
+    std::printf("structurally symmetric: %s; numerically symmetric: "
+                "%s\n", stats.structurallySymmetric ? "yes" : "no",
+                m.isSymmetric(1e-12) ? "yes" : "no");
+
+    // Exponent histogram (the alignment-cost driver, Section IV-B).
+    std::map<int, std::size_t> expHist;
+    for (double v : m.values()) {
+        const Fp64Parts p = decompose(v);
+        if (!p.isZero())
+            ++expHist[p.exp / 8 * 8];
+    }
+    std::printf("\nexponent histogram (8-wide bins):\n");
+    std::size_t maxCount = 1;
+    for (const auto &[bin, count] : expHist)
+        maxCount = std::max(maxCount, count);
+    for (const auto &[bin, count] : expHist) {
+        const int bars = static_cast<int>(
+            50.0 * static_cast<double>(count) /
+            static_cast<double>(maxCount));
+        std::printf("  2^%+5d %9zu |%.*s\n", bin, count, bars,
+                    "#################################################"
+                    "#");
+    }
+    std::printf("  span %d bits (alignment window is %d)\n",
+                stats.expRange, fxp::maxExpRange);
+
+    // Blocking and placement.
+    Accelerator accel;
+    const PrepareResult prep = accel.prepare(m);
+    std::printf("\nblocking: %.2f%% of %zu nnz captured; census "
+                "512/256/128/64 = %zu/%zu/%zu/%zu\n",
+                100.0 * prep.blocking.blockingEfficiency(),
+                prep.blocking.totalNnz,
+                prep.blocking.blocksPerSize[0],
+                prep.blocking.blocksPerSize[1],
+                prep.blocking.blocksPerSize[2],
+                prep.blocking.blocksPerSize[3]);
+    std::printf("preprocessing visited %.2fx NNZ (worst case 4x); "
+                "%zu exponent evictions\n",
+                prep.blocking.visitsPerNnz(),
+                prep.blocking.expRangeEvictions);
+    std::printf("placement: %zu blocks (%zu spilled to larger "
+                "clusters, %zu dissolved); %d banks\n",
+                prep.placedBlocks, prep.spilledBlocks,
+                prep.dissolvedBlocks, prep.banksUsed);
+
+    if (prep.gpuFallback) {
+        std::printf("\n=> RECOMMENDATION: route to the GPU "
+                    "(blocking below threshold; the decision\n   "
+                    "costs only the preprocessing pass, Section "
+                    "VIII-A)\n");
+        return 0;
+    }
+    std::printf("\nper-kernel estimates: SpMV %.2f us / %.2f uJ; "
+                "dot %.2f us; AXPY %.2f us\n",
+                prep.spmv.time * 1e6, prep.spmv.energy * 1e6,
+                prep.dotOp.time * 1e6, prep.axpyOp.time * 1e6);
+    std::printf("one-time setup: program %.2f ms (%.1f%% of arrays "
+                "rewritten per time step costs\nproportionally "
+                "less), preprocess %.2f ms\n",
+                prep.programTime * 1e3, 100.0,
+                prep.preprocessTime * 1e3);
+    std::printf("\n=> RECOMMENDATION: accelerate "
+                "(est. %.1fx SpMV speedup vs the P100 model)\n",
+                GpuModel().spmv(stats).time / prep.spmv.time);
+    return 0;
+}

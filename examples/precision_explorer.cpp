@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Precision explorer: a guided tour of the machinery that lets
+ * fixed-point crossbars produce IEEE-754 double precision results
+ * (Section IV of the paper).
+ *
+ * Walks one dot product through alignment, bias encoding, AN coding,
+ * bit-sliced evaluation with early termination under each scheduling
+ * policy and rounding mode, and demonstrates error correction.
+ */
+
+#include <cstdio>
+
+#include "core/msc.hh"
+
+int
+main()
+{
+    using namespace msc;
+
+    // --- 1. exponent range locality ---------------------------------
+    std::printf("1. Alignment and exponent range locality\n");
+    const std::vector<double> vals{3.25, -0.0078125, 104.0, -6.5e4};
+    const AlignedSet aligned = alignValues(vals);
+    std::printf("   values span exponents [%d, %d] -> operands of "
+                "%u bits (53-bit mantissa + %d pad)\n",
+                aligned.range.minExp, aligned.range.maxExp,
+                aligned.magBits,
+                static_cast<int>(aligned.magBits) - 53);
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+        std::printf("   %12g -> %s%s * 2^%d\n", vals[i],
+                    aligned.neg[i] ? "-" : "+",
+                    aligned.mag[i].toHex().c_str(), aligned.scale);
+    }
+
+    // --- 2. bias encoding -------------------------------------------
+    std::printf("\n2. Bias encoding for negative numbers "
+                "(Section IV-C)\n");
+    const BiasedSet biased = biasEncode(aligned);
+    std::printf("   per-block bias = 2^%u; stored operands are "
+                "unsigned, %u bits wide\n", biased.biasBits,
+                biased.width());
+
+    // --- 3. AN code --------------------------------------------------
+    std::printf("\n3. AN-code protection (Section IV-E)\n");
+    const AnCode code;
+    U256 word = code.encode(biased.stored[0]);
+    std::printf("   A = %llu encodes %u-bit operands into %u bits "
+                "(the paper's 127 crossbars)\n",
+                static_cast<unsigned long long>(code.a()),
+                code.dataBits(), code.codeBits());
+    word.flipBit(97);
+    const auto outcome = code.correct(word);
+    std::printf("   flipped bit 97 of a stored operand: %s\n",
+                outcome == AnCode::Outcome::Corrected
+                    ? "corrected" : "NOT corrected");
+
+    // --- 4. early termination and scheduling -------------------------
+    std::printf("\n4. Bit-sliced MVM with early termination\n");
+    Rng rng(2024);
+    MatrixBlock block;
+    block.size = 32;
+    for (std::int32_t r = 0; r < 32; ++r) {
+        for (std::int32_t c = 0; c < 32; ++c) {
+            if (rng.chance(0.4)) {
+                block.elems.push_back({r, c,
+                    std::ldexp(rng.uniform(1.0, 2.0),
+                               static_cast<int>(rng.range(0, 24))) *
+                        (rng.chance(0.5) ? -1.0 : 1.0)});
+            }
+        }
+    }
+    std::vector<double> x(32);
+    for (auto &v : x)
+        v = rng.uniform(-2.0, 2.0);
+
+    std::printf("   policy    groups  activations  conversions  "
+                "skipped\n");
+    for (auto policy : {SchedulePolicy::Vertical,
+                        SchedulePolicy::Diagonal,
+                        SchedulePolicy::Hybrid}) {
+        ClusterConfig cfg;
+        cfg.size = 32;
+        cfg.schedule = policy;
+        Cluster cluster(cfg);
+        cluster.program(block);
+        std::vector<double> y(32);
+        const ClusterStats s = cluster.multiply(x, y);
+        std::printf("   %-9s %3llu/%-3llu %12llu %12llu %8llu\n",
+                    toString(policy),
+                    static_cast<unsigned long long>(
+                        s.groupsExecuted),
+                    static_cast<unsigned long long>(s.groupsTotal),
+                    static_cast<unsigned long long>(
+                        s.xbarActivations),
+                    static_cast<unsigned long long>(
+                        s.adcConversions),
+                    static_cast<unsigned long long>(
+                        s.conversionsSkipped));
+    }
+
+    // --- 5. rounding modes match a single exact rounding --------------
+    std::printf("\n5. IEEE-754 rounding modes (Section IV-D)\n");
+    const char *names[] = {"toward -inf", "toward +inf",
+                           "toward zero", "nearest-even"};
+    const RoundingMode modes[] = {
+        RoundingMode::TowardNegInf, RoundingMode::TowardPosInf,
+        RoundingMode::TowardZero, RoundingMode::NearestEven};
+    for (int mi = 0; mi < 4; ++mi) {
+        ClusterConfig cfg;
+        cfg.size = 32;
+        cfg.rounding = modes[mi];
+        Cluster cluster(cfg);
+        cluster.program(block);
+        std::vector<double> y(32);
+        cluster.multiply(x, y);
+        // Verify row 0 against the exact-dot oracle.
+        std::vector<double> a0, x0;
+        for (const auto &el : block.elems) {
+            if (el.row == 0) {
+                a0.push_back(el.val);
+                x0.push_back(x[static_cast<std::size_t>(el.col)]);
+            }
+        }
+        const double oracle =
+            exactDot(a0.data(), x0.data(), a0.size(), modes[mi]);
+        std::printf("   %-12s row0 = %24.17g  %s\n", names[mi], y[0],
+                    y[0] == oracle ? "(bit-exact vs oracle)"
+                                   : "(MISMATCH!)");
+    }
+
+    std::printf("\nThe computation forms a data-dependent subset of "
+                "the floating-point format\nwithout losing a single "
+                "bit -- the central claim of the paper.\n");
+    return 0;
+}

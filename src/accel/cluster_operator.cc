@@ -1,0 +1,79 @@
+#include "accel/cluster_operator.hh"
+
+#include "util/logging.hh"
+
+namespace msc {
+
+ClusterArithmeticOperator::ClusterArithmeticOperator(
+    const Csr &m, const BlockingConfig &blocking,
+    const ClusterConfig &base)
+    : mat(&m), plan(planBlocks(m, blocking))
+{
+    clusters.reserve(plan.blocks.size());
+    for (const MatrixBlock &block : plan.blocks) {
+        ClusterConfig cfg = base;
+        cfg.size = block.size;
+        clusters.push_back(std::make_unique<Cluster>(cfg));
+        clusters.back()->program(block);
+    }
+}
+
+void
+ClusterArithmeticOperator::apply(std::span<const double> x,
+                                 std::span<double> y)
+{
+    if (x.size() != static_cast<std::size_t>(mat->cols()) ||
+        y.size() != static_cast<std::size_t>(mat->rows()))
+        fatal("ClusterArithmeticOperator: dimension mismatch");
+
+    // Local-processor part: unblockable leftovers on the FPU.
+    plan.unblocked.spmv(x, y);
+
+    std::vector<std::int32_t> peeled;
+    for (std::size_t bi = 0; bi < plan.blocks.size(); ++bi) {
+        const MatrixBlock &block = plan.blocks[bi];
+        xLocal.assign(block.size, 0.0);
+        for (unsigned j = 0; j < block.size; ++j) {
+            const std::int64_t col = block.colOrigin + j;
+            if (col < mat->cols())
+                xLocal[j] = x[static_cast<std::size_t>(col)];
+        }
+        yLocal.assign(block.size, 0.0);
+        const ClusterStats s =
+            clusters[bi]->multiply(xLocal, yLocal, &peeled);
+
+        aggregate.groupsExecuted += s.groupsExecuted;
+        aggregate.groupsTotal += s.groupsTotal;
+        aggregate.xbarActivations += s.xbarActivations;
+        aggregate.adcConversions += s.adcConversions;
+        aggregate.conversionsSkipped += s.conversionsSkipped;
+        aggregate.columnsEarlyTerminated += s.columnsEarlyTerminated;
+        aggregate.peeledVectorElements += s.peeledVectorElements;
+        aggregate.energy += s.energy;
+        aggregate.latency += s.latency;
+
+        for (unsigned i = 0; i < block.size; ++i) {
+            const std::int64_t row = block.rowOrigin + i;
+            if (row < mat->rows())
+                y[static_cast<std::size_t>(row)] += yLocal[i];
+        }
+        // Columns whose vector exponents fell outside the alignment
+        // window: their contributions were not computed in-situ; the
+        // local processor adds them digitally (Section VI-A1).
+        if (!peeled.empty()) {
+            for (const Triplet &el : block.elems) {
+                for (std::int32_t pj : peeled) {
+                    if (el.col == pj) {
+                        y[static_cast<std::size_t>(
+                            block.rowOrigin + el.row)] +=
+                            el.val *
+                            x[static_cast<std::size_t>(
+                                block.colOrigin + el.col)];
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace msc

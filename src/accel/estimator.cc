@@ -1,0 +1,236 @@
+#include "accel/estimator.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace msc {
+
+namespace {
+
+unsigned
+bitsFor(unsigned n)
+{
+    unsigned bits = 0;
+    while ((1ull << bits) < n + 1ull)
+        ++bits;
+    return bits;
+}
+
+/** Signed accumulator (duplicated from Cluster, intentionally local:
+ *  the estimator is independent of the exact model). */
+struct SignedAcc
+{
+    bool neg = false;
+    U256 mag;
+
+    void
+    add(bool vNeg, const U256 &v)
+    {
+        if (vNeg == neg) {
+            mag += v;
+        } else if (mag >= v) {
+            mag -= v;
+        } else {
+            mag = v - mag;
+            neg = vNeg;
+        }
+        if (mag.isZero())
+            neg = false;
+    }
+};
+
+} // namespace
+
+BlockCost
+estimateBlockCost(const MatrixBlock &block, std::span<const double> x,
+                  const ClusterConfig &cfg, unsigned clusterSize)
+{
+    if (clusterSize < block.size)
+        fatal("estimateBlockCost: cluster smaller than block");
+    if (x.size() != block.size)
+        fatal("estimateBlockCost: vector size mismatch");
+
+    BlockCost cost;
+
+    // --- matrix alignment and widths --------------------------------
+    std::vector<double> vals;
+    vals.reserve(block.elems.size());
+    for (const auto &t : block.elems)
+        vals.push_back(t.val);
+    const AlignedSet am = alignValues(vals);
+    const BiasedSet bm = biasEncode(am);
+    unsigned matSlices = bm.width();
+    if (cfg.anProtect) {
+        // Exact encoded width: the widest stored operand is the
+        // biased maximum, scaled by A.
+        U128 maxStored = bm.bias();
+        for (const auto &w : bm.stored)
+            maxStored = std::max(maxStored, w);
+        U256 enc = U256::from(maxStored);
+        enc.mulSmall(cfg.anConstant);
+        matSlices = std::min(enc.bitLength(), fxp::encodedBits);
+    }
+    cost.matrixSlices = matSlices;
+
+    // --- vector alignment with peeling ------------------------------
+    std::vector<double> masked(x.begin(), x.end());
+    {
+        std::vector<int> exps;
+        for (double v : masked) {
+            const Fp64Parts p = decompose(v);
+            if (p.isZero())
+                continue;
+            exps.push_back(p.exp -
+                (52 - (63 - std::countl_zero(p.mant))));
+        }
+        std::sort(exps.begin(), exps.end());
+        if (!exps.empty() &&
+            exps.back() - exps.front() > fxp::maxExpRange) {
+            std::size_t bestLo = 0, bestCount = 0, lo = 0;
+            for (std::size_t hi = 0; hi < exps.size(); ++hi) {
+                while (exps[hi] - exps[lo] > fxp::maxExpRange)
+                    ++lo;
+                if (hi - lo + 1 > bestCount) {
+                    bestCount = hi - lo + 1;
+                    bestLo = lo;
+                }
+            }
+            const int wLo = exps[bestLo];
+            for (auto &v : masked) {
+                const Fp64Parts p = decompose(v);
+                if (p.isZero())
+                    continue;
+                const int lead = p.exp -
+                    (52 - (63 - std::countl_zero(p.mant)));
+                if (lead < wLo || lead - wLo > fxp::maxExpRange) {
+                    v = 0.0;
+                    ++cost.peeledVectorElements;
+                }
+            }
+        }
+    }
+    const AlignedSet av = alignValues(masked);
+    const BiasedSet uv = biasEncode(av);
+    const unsigned vecSlices = uv.width();
+    cost.vectorSlices = vecSlices;
+
+    // --- per-output-column settle thresholds -------------------------
+    // Early termination fires once the remaining-contribution bound
+    // falls ~56 bits (mantissa + guard) below the running sum's
+    // leading one, provided absorption bits exist in the gap. The
+    // final exact sum's magnitude predicts that point independent of
+    // the schedule: a column settles at remaining significance
+    //   t ~ finalLen - 56 - log2(N) - margin.
+    std::vector<std::vector<std::size_t>> rowElems(block.size);
+    for (std::size_t e = 0; e < block.elems.size(); ++e)
+        rowElems[static_cast<std::size_t>(block.elems[e].row)]
+            .push_back(e);
+
+    const unsigned nBits = bitsFor(clusterSize);
+    constexpr int settleMargin = 10;
+    // Per column: minimum significance that must be computed
+    // (0 = everything); -1 = empty column (never alive).
+    std::vector<int> needSig(block.size, 0);
+    for (unsigned i = 0; i < block.size; ++i) {
+        if (rowElems[i].empty()) {
+            needSig[i] = -1;
+            continue;
+        }
+        // Exact signed sum_j FA_ij * Fx_j in the aligned domain.
+        SignedAcc acc;
+        for (std::size_t e : rowElems[i]) {
+            const auto col = static_cast<std::size_t>(
+                block.elems[e].col);
+            if (av.mag[col].isZero() || am.mag[e].isZero())
+                continue;
+            const U256 prod = am.mag[e].mulWide(av.mag[col]);
+            acc.add(am.neg[e] != av.neg[col], prod);
+        }
+        if (!cfg.earlyTermination) {
+            needSig[i] = 0; // every slice must run
+            continue;
+        }
+        const int len = static_cast<int>(acc.mag.bitLength());
+        const int t = len -
+                      static_cast<int>(cfg.targetMantissaBits + 3) -
+                      static_cast<int>(nBits) - settleMargin;
+        needSig[i] = std::max(t, 0);
+    }
+
+    // --- map thresholds through the schedule -------------------------
+    const ActivationSchedule sched(matSlices, vecSlices, cfg.schedule,
+                                   cfg.hybridSkew);
+    const auto &groups = sched.groups();
+    cost.groupsTotal = groups.size();
+
+    // Last group each column needs.
+    std::vector<std::int64_t> lastGroup(block.size, -1);
+    std::int64_t maxLast = -1;
+    for (unsigned i = 0; i < block.size; ++i) {
+        if (needSig[i] < 0)
+            continue; // empty
+        std::int64_t last = -1;
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            if (static_cast<int>(groups[g].maxSignificance) >=
+                needSig[i])
+                last = static_cast<std::int64_t>(g);
+        }
+        if (last < 0)
+            last = 0;
+        lastGroup[i] = last;
+        maxLast = std::max(maxLast, last);
+    }
+    if (maxLast < 0) {
+        // Block with only empty rows: nothing executes.
+        return cost;
+    }
+
+    cost.groupsExecuted = static_cast<std::uint64_t>(maxLast) + 1;
+    // Alive columns per group (alive while g <= lastGroup[i]).
+    std::vector<std::uint32_t> aliveAt(cost.groupsExecuted, 0);
+    for (unsigned i = 0; i < block.size; ++i) {
+        if (lastGroup[i] < 0)
+            continue;
+        for (std::int64_t g = 0; g <= lastGroup[i]; ++g)
+            ++aliveAt[static_cast<std::size_t>(g)];
+    }
+
+    const XbarModel model(clusterSize, cfg.xbar, cfg.cic);
+    double adcEnergy = 0.0;
+    // Average headstart: mean stored-ones per column approximated by
+    // blocked density times half the rows, bias cells included.
+    const double avgOnes =
+        (static_cast<double>(block.elems.size()) / block.size) * 0.5 +
+        2.0;
+    const unsigned startBits = cfg.adcHeadstart
+        ? bitsFor(static_cast<unsigned>(avgOnes))
+        : model.adcResolutionBits();
+    for (std::size_t g = 0; g < cost.groupsExecuted; ++g) {
+        const std::uint64_t acts = groups[g].activations();
+        cost.xbarActivations += acts;
+        cost.adcConversions += acts * aliveAt[g];
+        adcEnergy += static_cast<double>(acts) * aliveAt[g] *
+                     model.conversionEnergy(startBits);
+    }
+    cost.cycles = cost.groupsExecuted * clusterSize + 12;
+    cost.latency = static_cast<double>(cost.cycles) / cfg.xbar.fClkHz;
+    cost.energy = adcEnergy + static_cast<double>(
+        cost.xbarActivations) * model.arrayOpEnergy();
+
+    // --- programming -------------------------------------------------
+    // Set-bit count: nonzero operands average half their bits set;
+    // zero cells store the (sparse) bias pattern, counted as one SET
+    // per cell.
+    const std::uint64_t setBits =
+        block.elems.size() * (matSlices / 2) +
+        (static_cast<std::uint64_t>(block.size) * block.size -
+         block.elems.size());
+    cost.cellsWritten = setBits;
+    cost.programTime = matSlices * model.programTime();
+    cost.programEnergy = model.programEnergy(setBits);
+    return cost;
+}
+
+} // namespace msc

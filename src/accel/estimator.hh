@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fast per-block cost estimator.
+ *
+ * The exact cluster model (cluster/cluster.hh) simulates every
+ * (matrix slice, vector slice) group and is the verification
+ * vehicle; running it for every block of a full matrix on every
+ * solver iteration would be needlessly slow. The estimator computes
+ * the same cost quantities -- executed groups, activations, ADC
+ * conversions, latency, energy -- from a vector-slice-granularity
+ * early-termination trajectory plus the static schedule geometry.
+ * Tests check it against the exact model.
+ */
+
+#ifndef MSC_ACCEL_ESTIMATOR_HH
+#define MSC_ACCEL_ESTIMATOR_HH
+
+#include <span>
+
+#include "cluster/cluster.hh"
+
+namespace msc {
+
+/** Estimated cost of one block MVM on a cluster. */
+struct BlockCost
+{
+    unsigned matrixSlices = 0;
+    unsigned vectorSlices = 0;
+    std::uint64_t groupsExecuted = 0;
+    std::uint64_t groupsTotal = 0;
+    std::uint64_t xbarActivations = 0;
+    std::uint64_t adcConversions = 0;
+    std::uint64_t cycles = 0;
+    double latency = 0.0; //!< seconds
+    double energy = 0.0;  //!< joules
+    std::uint64_t peeledVectorElements = 0;
+
+    /** Programming cost (once per solve). */
+    std::uint64_t cellsWritten = 0;
+    double programTime = 0.0;
+    double programEnergy = 0.0;
+};
+
+/**
+ * Estimate the cost of multiplying @p block by the local vector
+ * @p x under the given cluster configuration.
+ *
+ * @param clusterSize  physical crossbar size the block is placed on
+ *                     (>= block.size; spilled blocks run on larger
+ *                     crossbars at their latency/energy).
+ */
+BlockCost estimateBlockCost(const MatrixBlock &block,
+                            std::span<const double> x,
+                            const ClusterConfig &cfg,
+                            unsigned clusterSize);
+
+} // namespace msc
+
+#endif // MSC_ACCEL_ESTIMATOR_HH

@@ -1,0 +1,183 @@
+#include "ancode/ancode.hh"
+
+#include "util/logging.hh"
+
+namespace msc {
+
+AnCode::AnCode(std::uint64_t a, unsigned dataBits)
+    : codeA(a), maxDataBits(dataBits)
+{
+    if (a < 3 || a % 2 == 0)
+        fatal("AnCode: A must be an odd constant >= 3, got ", a);
+    unsigned checkBits = 0;
+    while ((std::uint64_t{1} << checkBits) < a)
+        ++checkBits;
+    maxCodeBits = maxDataBits + checkBits;
+    if (maxCodeBits > 250)
+        fatal("AnCode: operand too wide for syndrome table");
+
+    plusSyndrome.assign(a, -1);
+    minusSyndrome.assign(a, -1);
+    std::uint64_t pow = 1 % a;
+    for (unsigned p = 0; p < maxCodeBits; ++p) {
+        if (plusSyndrome[pow] < 0)
+            plusSyndrome[pow] = static_cast<int>(p);
+        const std::uint64_t negSyn = (a - pow) % a;
+        if (minusSyndrome[negSyn] < 0)
+            minusSyndrome[negSyn] = static_cast<int>(p);
+        pow = (pow * 2) % a;
+    }
+}
+
+U256
+AnCode::encode(const U128 &value) const
+{
+    if (value.bitLength() > maxDataBits) {
+        panic("AnCode::encode: value wider (", value.bitLength(),
+              ") than dataBits (", maxDataBits, ")");
+    }
+    U256 w = U256::from(value);
+    w.mulSmall(codeA);
+    return w;
+}
+
+bool
+AnCode::check(const U256 &word) const
+{
+    return word.modSmall(codeA) == 0;
+}
+
+U128
+AnCode::decode(const U256 &word) const
+{
+    U256 w = word;
+    const std::uint64_t rem = w.divSmall(codeA);
+    if (rem != 0)
+        panic("AnCode::decode: not a code word (residue ", rem, ")");
+    return U128::from(w);
+}
+
+unsigned
+AnCode::ord2() const
+{
+    std::uint64_t x = 2 % codeA;
+    unsigned k = 1;
+    while (x != 1) {
+        x = (x * 2) % codeA;
+        ++k;
+    }
+    return k;
+}
+
+unsigned
+AnCode::uniqueWindow() const
+{
+    // +2^p collides with +2^q at |p-q| = ord, and with -2^q at
+    // |p-q| = ord/2 when 2^(ord/2) == -1 (A odd prime case).
+    const unsigned ord = ord2();
+    std::uint64_t half = 1;
+    for (unsigned i = 0; i < ord / 2; ++i)
+        half = (half * 2) % codeA;
+    if (ord % 2 == 0 && half == codeA - 1)
+        return ord / 2;
+    return ord;
+}
+
+AnCode::Outcome
+AnCode::correct(U256 &word, unsigned maxBits) const
+{
+    if (maxBits == 0)
+        maxBits = maxCodeBits;
+    const std::uint64_t syn = word.modSmall(codeA);
+    if (syn == 0)
+        return Outcome::Clean;
+
+    // Errors are additive (+/- 2^p): a cell or ADC bit flip before
+    // the shift-and-add reduction lands in the final word with carry
+    // propagation, so correction adds or subtracts 2^p rather than
+    // flipping the bit. With the default A = 269 the syndromes are
+    // unique across the full 127-bit operand (uniqueWindow() == 134);
+    // for constants with smaller windows (e.g. the paper's 251) the
+    // lowest-position interpretation is chosen, additive-fix first.
+    const int minusPos = minusSyndrome[syn];
+    if (minusPos >= 0 && static_cast<unsigned>(minusPos) < maxBits) {
+        const U256 fix = U256(1) << static_cast<unsigned>(minusPos);
+        U256 candidate = word + fix;
+        if (candidate.bitLength() <= maxCodeBits && check(candidate)) {
+            word = candidate;
+            return Outcome::Corrected;
+        }
+    }
+    const int plusPos = plusSyndrome[syn];
+    if (plusPos >= 0 && static_cast<unsigned>(plusPos) < maxBits) {
+        const U256 fix = U256(1) << static_cast<unsigned>(plusPos);
+        if (word >= fix) {
+            U256 candidate = word - fix;
+            if (check(candidate)) {
+                word = candidate;
+                return Outcome::Corrected;
+            }
+        }
+    }
+    return Outcome::Uncorrectable;
+}
+
+AnCode::Outcome
+AnCode::correctSigned(U256 &mag, bool &neg, unsigned maxBits) const
+{
+    if (maxBits == 0)
+        maxBits = maxCodeBits;
+    const std::uint64_t magSyn = mag.modSmall(codeA);
+    if (magSyn == 0) {
+        if (mag.isZero())
+            neg = false;
+        return Outcome::Clean;
+    }
+    // Residue of the signed value.
+    const std::uint64_t syn = neg ? (codeA - magSyn) % codeA : magSyn;
+
+    // Signed add/subtract of 2^p in sign-magnitude form.
+    const auto addSigned = [&](bool fixNeg, const U256 &fix,
+                               U256 &m, bool &n) {
+        if (fixNeg == n) {
+            m += fix;
+        } else if (m >= fix) {
+            m -= fix;
+        } else {
+            m = fix - m;
+            n = fixNeg;
+        }
+        if (m.isZero())
+            n = false;
+    };
+
+    // The error subtracted 2^p: add it back (signed).
+    const int minusPos = minusSyndrome[syn];
+    if (minusPos >= 0 && static_cast<unsigned>(minusPos) < maxBits) {
+        U256 m = mag;
+        bool n = neg;
+        addSigned(false, U256(1) << static_cast<unsigned>(minusPos),
+                  m, n);
+        if (m.bitLength() <= maxCodeBits && m.modSmall(codeA) == 0) {
+            mag = m;
+            neg = n;
+            return Outcome::Corrected;
+        }
+    }
+    // The error added 2^p: remove it (signed).
+    const int plusPos = plusSyndrome[syn];
+    if (plusPos >= 0 && static_cast<unsigned>(plusPos) < maxBits) {
+        U256 m = mag;
+        bool n = neg;
+        addSigned(true, U256(1) << static_cast<unsigned>(plusPos),
+                  m, n);
+        if (m.bitLength() <= maxCodeBits && m.modSmall(codeA) == 0) {
+            mag = m;
+            neg = n;
+            return Outcome::Corrected;
+        }
+    }
+    return Outcome::Uncorrectable;
+}
+
+} // namespace msc

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * AN-code arithmetic error detection and correction.
+ *
+ * Following Feinberg et al. (HPCA 2018), adopted with modifications in
+ * Section IV-E of the ISCA 2018 paper: a single A = 251 code protects
+ * each 118-bit fixed-point operand with eight bits of correction and
+ * one bit of detection, for a full operand width of up to 127 bits.
+ * AN codes are preserved by addition, so the shift-and-add reduction
+ * of partial dot products keeps the code word property; correction is
+ * applied after the reduction and before leading-one detection.
+ *
+ * A single-bit error at position p turns a code word N = A*v into
+ * N +/- 2^p. The residue mod A uniquely identifies (p, direction)
+ * only when the powers +/-2^p mod A are pairwise distinct over the
+ * operand width, i.e. when ord_2(A) >= 2 * width.
+ *
+ * Deviation from the paper: the paper names A = 251, but
+ * ord_2(251) = 50, so +/-2^p syndromes repeat every 25 bits and a
+ * single-bit error in a 127-bit operand cannot be uniquely located.
+ * The default here is A = 269 (prime, ord_2 = 268), which yields
+ * unique correction over the full operand and still costs exactly
+ * nine check bits: 118 data bits + 9 = the paper's 127-bit operand.
+ * A = 251 remains constructible for the ambiguity ablation test.
+ */
+
+#ifndef MSC_ANCODE_ANCODE_HH
+#define MSC_ANCODE_ANCODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "wideint/wideint.hh"
+
+namespace msc {
+
+class AnCode
+{
+  public:
+    /**
+     * @param a          the code constant (default 269; see above)
+     * @param dataBits   maximum protected operand width in bits
+     */
+    explicit AnCode(std::uint64_t a = 269, unsigned dataBits = 118);
+
+    /** Multiplicative order of 2 modulo A. */
+    unsigned ord2() const;
+
+    /**
+     * Largest window (in bits) within which every single-bit error
+     * has a unique syndrome: min distance between colliding +/-2^p
+     * residues.
+     */
+    unsigned uniqueWindow() const;
+
+    std::uint64_t a() const { return codeA; }
+    unsigned dataBits() const { return maxDataBits; }
+    /** Width of an encoded operand: dataBits + ceil(log2(A)). */
+    unsigned codeBits() const { return maxCodeBits; }
+
+    /** Encode a value: N = A * v. Value must fit in dataBits. */
+    U256 encode(const U128 &value) const;
+
+    /** True when @p word is a valid code word (residue 0). */
+    bool check(const U256 &word) const;
+
+    /** Decode a valid code word back to its value; fatal if invalid. */
+    U128 decode(const U256 &word) const;
+
+    /** Result of a correction attempt. */
+    enum class Outcome
+    {
+        Clean,          //!< residue zero, no error
+        Corrected,      //!< single-bit error fixed
+        Uncorrectable,  //!< residue matches no single-bit syndrome
+    };
+
+    /**
+     * Correct an (at most) single-bit error in place.
+     *
+     * @param word      possibly corrupted code word
+     * @param maxBits   highest bit position + 1 that may be in error
+     *                  (defaults to codeBits())
+     */
+    Outcome correct(U256 &word, unsigned maxBits = 0) const;
+
+    /**
+     * Correct a signed (sign-magnitude) code word in place.
+     *
+     * De-biased partial dot products are signed; an additive error
+     * larger than the word's magnitude flips its sign, which
+     * magnitude-only correction cannot undo. This variant performs
+     * the +-2^p candidate arithmetic in the signed domain, exactly
+     * as a two's-complement ECU would.
+     */
+    Outcome correctSigned(U256 &mag, bool &neg,
+                          unsigned maxBits = 0) const;
+
+  private:
+    std::uint64_t codeA;
+    unsigned maxDataBits;
+    unsigned maxCodeBits;
+    /** syndrome -> bit position for +2^p errors; -1 if unused. */
+    std::vector<int> plusSyndrome;
+    /** syndrome -> bit position for -2^p errors; -1 if unused. */
+    std::vector<int> minusSyndrome;
+};
+
+} // namespace msc
+
+#endif // MSC_ANCODE_ANCODE_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Bank-level models: the LEON3-class local processor and the
+ * memory/buffer system of one bank (paper Sections III-A, VI, VII-B).
+ *
+ * Each bank owns a 1200-element section of the solution vector and
+ * runs three kernels on its local processor: the CSR part of the
+ * sparse MVM (elements the crossbars could not take), its share of
+ * dense dot products, and its share of AXPY updates. The Bank class
+ * turns element counts into seconds and joules; the Accelerator
+ * composes banks into system-level kernel costs.
+ */
+
+#ifndef MSC_BANK_BANK_HH
+#define MSC_BANK_BANK_HH
+
+#include <cstdint>
+
+namespace msc {
+
+/** LEON3-class local processor cost model (Section VII-B). */
+struct ProcessorModelParams
+{
+    double clockHz = 1.2e9;
+    double cyclesPerCsrNnz = 4.0;   //!< load idx, load x, FMA, store
+    double cyclesPerDotElem = 2.0;
+    double cyclesPerAxpyElem = 2.5;
+    double kernelStartupCycles = 200.0;
+    double clusterServiceCycles = 150.0; //!< interrupt per cluster op
+    double energyPerCycle = 40e-12;      //!< joules
+    double areaMm2 = 0.15;               //!< core + FPU + L1, 15 nm
+};
+
+/** Global memory / buffer model (eDRAM per Table I, CACTI-class). */
+struct MemoryModelParams
+{
+    double globalBandwidth = 1.0e12;     //!< bytes/s aggregate
+    double eDramEnergyPerByte = 10e-12;
+    double sramEnergyPerByte = 1.2e-12;
+    double barrierLatency = 0.25e-6;     //!< cross-bank barrier
+    double globalMemAreaMm2 = 54.0;
+    double bankBufferAreaMm2 = 0.34;     //!< SRAM + reduction, per bank
+};
+
+/**
+ * Cost model of one bank's digital side. All methods are pure
+ * functions of the parameters; Bank carries no mutable state.
+ */
+class Bank
+{
+  public:
+    Bank(const ProcessorModelParams &proc,
+         const MemoryModelParams &mem)
+        : procParams(proc), memParams(mem)
+    {}
+
+    const ProcessorModelParams &proc() const { return procParams; }
+    const MemoryModelParams &mem() const { return memParams; }
+
+    /** Seconds for this bank's processor to chew @p nnz CSR
+     *  elements (Section VI-A1). */
+    double
+    csrTime(double nnz) const
+    {
+        return (procParams.kernelStartupCycles +
+                nnz * procParams.cyclesPerCsrNnz) /
+               procParams.clockHz;
+    }
+
+    /** Seconds to service completion interrupts of @p clusterOps
+     *  cluster operations. */
+    double
+    serviceTime(double clusterOps) const
+    {
+        return clusterOps * procParams.clusterServiceCycles /
+               procParams.clockHz;
+    }
+
+    /** Seconds for a local dot product over @p elems elements. */
+    double
+    dotTime(double elems) const
+    {
+        return (procParams.kernelStartupCycles +
+                elems * procParams.cyclesPerDotElem) /
+               procParams.clockHz;
+    }
+
+    /** Seconds for a local AXPY over @p elems elements. */
+    double
+    axpyTime(double elems) const
+    {
+        return (procParams.kernelStartupCycles +
+                elems * procParams.cyclesPerAxpyElem) /
+               procParams.clockHz;
+    }
+
+    /** Joules for @p cycles of processor work. */
+    double
+    procEnergy(double cycles) const
+    {
+        return cycles * procParams.energyPerCycle;
+    }
+
+    /** Processor cycles per kernel type, exposed so the system model
+     *  can aggregate energies across banks. */
+    double
+    csrCycles(double nnz) const
+    {
+        return nnz * procParams.cyclesPerCsrNnz;
+    }
+
+    double
+    dotCycles(double elems) const
+    {
+        return elems * procParams.cyclesPerDotElem;
+    }
+
+    double
+    axpyCycles(double elems) const
+    {
+        return elems * procParams.cyclesPerAxpyElem;
+    }
+
+  private:
+    ProcessorModelParams procParams;
+    MemoryModelParams memParams;
+};
+
+} // namespace msc
+
+#endif // MSC_BANK_BANK_HH

@@ -1,0 +1,390 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace msc {
+
+namespace {
+
+/** ceil(log2(n+1)): bits needed to represent values 0..n. */
+unsigned
+bitsFor(unsigned n)
+{
+    unsigned bits = 0;
+    while ((1ull << bits) < n + 1ull)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+Cluster::Cluster(const ClusterConfig &config)
+    : cfg(config), xbarModel(config.size, config.xbar, config.cic),
+      an(config.anConstant, fxp::operandBits)
+{
+    if (cfg.targetMantissaBits == 0 || cfg.targetMantissaBits > 53)
+        fatal("Cluster: targetMantissaBits must be in [1, 53]");
+    if (cfg.anProtect && an.uniqueWindow() < fxp::encodedBits) {
+        warn("Cluster: AN constant ", cfg.anConstant,
+             " cannot uniquely correct over ", fxp::encodedBits,
+             " bits (window ", an.uniqueWindow(), ")");
+    }
+}
+
+ClusterProgramInfo
+Cluster::program(const MatrixBlock &block)
+{
+    if (block.size == 0 || block.size > cfg.size) {
+        fatal("Cluster::program: block size ", block.size,
+              " does not fit cluster size ", cfg.size);
+    }
+    blockSize = block.size;
+
+    std::vector<double> vals;
+    vals.reserve(block.elems.size());
+    for (const auto &t : block.elems) {
+        if (t.row < 0 || t.col < 0 ||
+            t.row >= static_cast<std::int32_t>(block.size) ||
+            t.col >= static_cast<std::int32_t>(block.size)) {
+            fatal("Cluster::program: element outside block");
+        }
+        vals.push_back(t.val);
+    }
+
+    // Exponent-range locality: alignValues is fatal beyond 64; the
+    // blocking preprocessor must have evicted out-of-range elements.
+    const AlignedSet aligned = alignValues(vals);
+    const BiasedSet biased = biasEncode(aligned);
+    blockScale = aligned.scale;
+    storedBits = biased.width();
+
+    storedBias = cfg.anProtect ? an.encode(biased.bias())
+                               : U256::from(biased.bias());
+
+    rowsElems.assign(blockSize, {});
+    rowSumF.assign(blockSize, {});
+    encodedBits = storedBias.bitLength();
+    for (std::size_t e = 0; e < block.elems.size(); ++e) {
+        const Triplet &t = block.elems[e];
+        Element el;
+        el.col = t.col;
+        el.mag = aligned.mag[e];
+        el.neg = aligned.neg[e] != 0;
+        el.stored = cfg.anProtect ? an.encode(biased.stored[e])
+                                  : U256::from(biased.stored[e]);
+        encodedBits = std::max(encodedBits, el.stored.bitLength());
+        rowsElems[static_cast<std::size_t>(t.row)].push_back(el);
+        rowSumF[static_cast<std::size_t>(t.row)]
+            .add(el.neg, U256::from(el.mag));
+    }
+    if (encodedBits > fxp::encodedBits) {
+        panic("Cluster::program: encoded operand width ", encodedBits,
+              " exceeds ", fxp::encodedBits);
+    }
+
+    // Per (slice, block row) stored-ones census for CIC and ADC
+    // headstart. Zero cells store the bias pattern.
+    sliceOnes.assign(encodedBits,
+                     std::vector<std::uint16_t>(blockSize, 0));
+    progInfo = ClusterProgramInfo{};
+    std::uint64_t setBits = 0;
+    for (unsigned i = 0; i < blockSize; ++i) {
+        const auto zeroCells = static_cast<std::uint32_t>(
+            blockSize - rowsElems[i].size());
+        for (unsigned b = 0; b < encodedBits; ++b) {
+            std::uint32_t ones = 0;
+            if (storedBias.bit(b))
+                ones += zeroCells;
+            for (const Element &el : rowsElems[i])
+                ones += el.stored.bit(b) ? 1 : 0;
+            if (2 * ones > blockSize) {
+                ++progInfo.cicInvertedColumns;
+                ones = blockSize - ones;
+            } else if (2 * ones == blockSize && ones != 0) {
+                ++progInfo.cicCornerCases;
+            }
+            sliceOnes[b][i] = static_cast<std::uint16_t>(ones);
+            setBits += ones;
+        }
+    }
+
+    progInfo.matrixSlices = encodedBits;
+    progInfo.storedBits = storedBits;
+    progInfo.scale = blockScale;
+    // Only SET operations cost write energy; bulk RESET of the bank
+    // is amortized. Programming proceeds row-by-row within a
+    // crossbar, bit slices sequentially (one write driver set per
+    // cluster), clusters in parallel.
+    progInfo.cellsWritten = setBits;
+    progInfo.programTime = encodedBits * xbarModel.programTime();
+    progInfo.programEnergy = xbarModel.programEnergy(setBits);
+    isProgrammed = true;
+    return progInfo;
+}
+
+bool
+Cluster::settled(const U256 &mag, int bound, unsigned prec)
+{
+    const int len = static_cast<int>(mag.bitLength());
+    const int wb = len - static_cast<int>(prec);
+    if (wb <= bound + 1)
+        return false;
+    // The gap (bound, wb) must hold a 0 (absorbs the single carry the
+    // remaining positive contributions can generate) and a 1 (absorbs
+    // the single borrow the remaining negative contributions can
+    // generate), so the top prec bits and the leading-one position
+    // are final.
+    bool sawZero = false;
+    bool sawOne = false;
+    const int lo = std::max(bound + 1, 0);
+    for (int p = lo; p < wb; ++p) {
+        if (mag.bit(static_cast<unsigned>(p)))
+            sawOne = true;
+        else
+            sawZero = true;
+        if (sawZero && sawOne)
+            return true;
+    }
+    return false;
+}
+
+double
+Cluster::convert(const SignedAcc &acc, int scale, bool exact) const
+{
+    U256 mag = acc.mag;
+    if (cfg.anProtect) {
+        const std::uint64_t rem = mag.divSmall(cfg.anConstant);
+        if (exact && rem != 0) {
+            panic("Cluster::convert: accumulator not a multiple of A "
+                  "(residue ", rem, ")");
+        }
+    }
+    if (exact) {
+        return fixedToDouble(acc.neg, mag, scale, cfg.rounding,
+                             cfg.targetMantissaBits);
+    }
+
+    // Early-terminated: the top target+guard bits are settled and
+    // the true remainder is strictly between 0 and one guard-ulp.
+    // Clear the unsettled tail and synthesize a sticky bit.
+    const unsigned prec = cfg.targetMantissaBits + 3;
+    const unsigned len = mag.bitLength();
+    if (len <= prec)
+        panic("Cluster::convert: terminated accumulator too narrow");
+    const unsigned wb = len - prec;
+    U256 head = mag >> wb;
+    U256 synth = head << wb;
+    synth.setBit(wb - 1);
+    return fixedToDouble(acc.neg, synth, scale, cfg.rounding,
+                         cfg.targetMantissaBits);
+}
+
+ClusterStats
+Cluster::multiply(std::span<const double> x, std::span<double> y,
+                  std::vector<std::int32_t> *peeled)
+{
+    if (!isProgrammed)
+        fatal("Cluster::multiply: no block programmed");
+    if (x.size() != blockSize || y.size() != blockSize)
+        fatal("Cluster::multiply: vector size mismatch");
+
+    ClusterStats stats;
+
+    // --- vector alignment with exponent-window peeling ------------
+    std::vector<double> masked(x.begin(), x.end());
+    if (peeled)
+        peeled->clear();
+    {
+        // Choose the 64-wide exponent window keeping the most
+        // elements; peel the rest for digital handling by the bank.
+        std::vector<std::pair<int, std::int32_t>> exps;
+        for (std::size_t j = 0; j < masked.size(); ++j) {
+            const Fp64Parts p = decompose(masked[j]);
+            if (!p.isFinite())
+                fatal("Cluster::multiply: non-finite vector element");
+            if (p.isZero())
+                continue;
+            const int lead = p.exp -
+                (52 - (63 - std::countl_zero(p.mant)));
+            exps.push_back({lead, static_cast<std::int32_t>(j)});
+        }
+        std::sort(exps.begin(), exps.end());
+        if (!exps.empty() &&
+            exps.back().first - exps.front().first > fxp::maxExpRange) {
+            // Sliding window over sorted exponents.
+            std::size_t bestLo = 0, bestCount = 0, lo = 0;
+            for (std::size_t hi = 0; hi < exps.size(); ++hi) {
+                while (exps[hi].first - exps[lo].first >
+                       fxp::maxExpRange)
+                    ++lo;
+                if (hi - lo + 1 > bestCount) {
+                    bestCount = hi - lo + 1;
+                    bestLo = lo;
+                }
+            }
+            for (std::size_t idx = 0; idx < exps.size(); ++idx) {
+                const bool keep = idx >= bestLo &&
+                    exps[idx].first - exps[bestLo].first <=
+                        fxp::maxExpRange;
+                if (!keep) {
+                    masked[static_cast<std::size_t>(
+                        exps[idx].second)] = 0.0;
+                    ++stats.peeledVectorElements;
+                    if (peeled)
+                        peeled->push_back(exps[idx].second);
+                }
+            }
+        }
+    }
+
+    const AlignedSet vx = alignValues(masked);
+    const BiasedSet ux = biasEncode(vx);
+    const unsigned vecBits = ux.width();
+    const int outScale = blockScale + vx.scale;
+
+    // --- schedule ---------------------------------------------------
+    const ActivationSchedule schedule(encodedBits, vecBits,
+                                      cfg.schedule, cfg.hybridSkew);
+    stats.matrixSlices = encodedBits;
+    stats.vectorSlices = vecBits;
+    stats.groupsTotal = schedule.groups().size();
+
+    // --- accumulators ------------------------------------------------
+    std::vector<SignedAcc> acc(blockSize);
+    std::vector<std::uint8_t> done(blockSize, 0);
+    std::size_t alive = 0;
+    for (unsigned i = 0; i < blockSize; ++i) {
+        if (rowsElems[i].empty()) {
+            // Bias cells cancel exactly; the hardware settles these
+            // immediately.
+            done[i] = 1;
+            y[i] = 0.0;
+            ++stats.emptyColumns;
+            continue;
+        }
+        ++alive;
+        // Fold the vector-bias debias constant -bX * rowSumF into the
+        // initial running sum (known at program/apply time).
+        U256 init = rowSumF[i].mag << (ux.biasBits);
+        if (cfg.anProtect)
+            init.mulSmall(cfg.anConstant);
+        acc[i].neg = !rowSumF[i].neg;
+        acc[i].mag = init;
+        if (init.isZero())
+            acc[i].neg = false;
+    }
+
+    const unsigned nBits = bitsFor(blockSize);
+    const int anShift = cfg.anProtect
+        ? static_cast<int>(an.codeBits() - an.dataBits() - 1) : 0;
+    // anShift = 8 for A=269: floor(log2(269)).
+
+    // --- group-granular execution ------------------------------------
+    const auto &groups = schedule.groups();
+    for (std::size_t g = 0; g < groups.size() && alive > 0; ++g) {
+        const ScheduleGroup &group = groups[g];
+        ++stats.groupsExecuted;
+        stats.xbarActivations += group.activations();
+
+        // ADC conversions: every active crossbar scans the alive
+        // columns; terminated columns are skipped (Section III-B).
+        stats.adcConversions +=
+            static_cast<std::uint64_t>(group.activations()) * alive;
+        stats.conversionsSkipped +=
+            static_cast<std::uint64_t>(group.activations()) *
+            (blockSize - alive);
+
+        // Energy: full-array activation energy per crossbar op plus
+        // per-conversion ADC energy with the headstart preset. The
+        // whole array pulls current during an operation regardless of
+        // how many columns are converted.
+        stats.arrayEnergy +=
+            group.activations() * xbarModel.arrayOpEnergy();
+        for (const auto &seg : group.segments) {
+            for (unsigned b = seg.bLo; b <= seg.bHi; ++b) {
+                for (unsigned i = 0; i < blockSize; ++i) {
+                    if (done[i])
+                        continue;
+                    const unsigned start = cfg.adcHeadstart
+                        ? bitsFor(sliceOnes[b][i])
+                        : xbarModel.adcResolutionBits();
+                    stats.adcEnergy +=
+                        xbarModel.conversionEnergy(start);
+                }
+            }
+        }
+
+        // Functional contribution, per alive output row.
+        for (unsigned i = 0; i < blockSize; ++i) {
+            if (done[i])
+                continue;
+            for (const auto &seg : group.segments) {
+                U256 mask;
+                for (unsigned b = seg.bLo; b <= seg.bHi; ++b)
+                    mask.setBit(b);
+                const U256 biasPart = storedBias & mask;
+                for (const Element &el : rowsElems[i]) {
+                    if (!ux.stored[static_cast<std::size_t>(el.col)]
+                             .bit(seg.k))
+                        continue;
+                    const U256 val = el.stored & mask;
+                    if (val >= biasPart) {
+                        acc[i].add(false, (val - biasPart) << seg.k);
+                    } else {
+                        acc[i].add(true, (biasPart - val) << seg.k);
+                    }
+                }
+            }
+        }
+
+        // Early termination check (between groups).
+        if (!cfg.earlyTermination)
+            continue;
+        const int remSig = schedule.maxRemainingSignificance(g);
+        if (remSig < 0)
+            break; // grid exhausted; exact completion below
+        // Remaining contribution bound: each remaining cell (b, k)
+        // contributes at most N * 2^(b+k); at most min(B, K) cells
+        // share a significance level, and the geometric sum over
+        // levels <= remSig doubles the top one.
+        const int sigCellBits = static_cast<int>(
+            bitsFor(std::min(encodedBits, vecBits)));
+        const int bound = remSig + static_cast<int>(nBits) +
+                          sigCellBits + 2;
+        for (unsigned i = 0; i < blockSize; ++i) {
+            if (done[i])
+                continue;
+            U256 decoded = acc[i].mag;
+            int boundDec = bound;
+            if (cfg.anProtect) {
+                decoded.divSmall(cfg.anConstant);
+                boundDec = bound - anShift + 2;
+            }
+            if (settled(decoded, boundDec,
+                        cfg.targetMantissaBits + 3)) {
+                done[i] = 1;
+                --alive;
+                ++stats.columnsEarlyTerminated;
+                y[i] = convert(acc[i], outScale, false);
+            }
+        }
+    }
+
+    // Exact completion for rows that never terminated early.
+    for (unsigned i = 0; i < blockSize; ++i) {
+        if (!done[i])
+            y[i] = convert(acc[i], outScale, true);
+    }
+
+    // --- timing ---------------------------------------------------
+    stats.cycles = stats.groupsExecuted * cfg.size + 12;
+    stats.latency = static_cast<double>(stats.cycles) /
+                    cfg.xbar.fClkHz;
+    stats.energy = stats.arrayEnergy + stats.adcEnergy;
+    return stats;
+}
+
+} // namespace msc

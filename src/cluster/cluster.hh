@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Functional + timing/energy model of one cluster (Section III-B).
+ *
+ * A cluster is a group of up to 127 bit-slice crossbars with a
+ * shift-and-add reduction tree that multiplies one fixed-size matrix
+ * block by a vector, in IEEE-754-compatible double precision. The
+ * model implements, bit-exactly:
+ *
+ *  - block alignment to fixed point (exponent range locality, IV-A/B)
+ *  - per-block bias encoding of negative values (IV-C)
+ *  - AN-code protection of stored operands (IV-E)
+ *  - static activation scheduling (vertical/diagonal/hybrid, IV-B)
+ *  - per-output early termination with carry/borrow barriers (IV-B)
+ *  - final conversion to IEEE-754 under four rounding modes (IV-D)
+ *
+ * With no device noise, multiply() returns exactly
+ * round(sum_j A_ij x_j) per block row, with the rounding applied once
+ * to the infinitely-precise sum -- verified against exactDot() by the
+ * property tests.
+ *
+ * Termination soundness note: the paper describes carry absorption
+ * for non-negative partial products (Figure 5). Because the running
+ * sum here is de-biased per incoming group, contributions are
+ * signed, so the criterion is generalized symmetrically: the mantissa
+ * is settled once the gap between the remaining-contribution bound
+ * and the mantissa contains both a 0 (absorbs the single potential
+ * carry) and a 1 (absorbs the single potential borrow). With AN
+ * protection on, the check runs on the decoded (divided-by-A) sum.
+ */
+
+#ifndef MSC_CLUSTER_CLUSTER_HH
+#define MSC_CLUSTER_CLUSTER_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ancode/ancode.hh"
+#include "cluster/schedule.hh"
+#include "fixedpoint/align.hh"
+#include "fp/float64.hh"
+#include "sparse/csr.hh"
+#include "xbar/model.hh"
+
+namespace msc {
+
+/** Static configuration of a cluster. */
+struct ClusterConfig
+{
+    unsigned size = 512;
+    SchedulePolicy schedule = SchedulePolicy::Hybrid;
+    unsigned hybridSkew = 2;
+    RoundingMode rounding = RoundingMode::TowardNegInf;
+    /** Target significand width. 53 = IEEE double; smaller targets
+     *  ("architected to arbitrary precision requirements", paper
+     *  abstract) terminate earlier and save slices/energy. */
+    unsigned targetMantissaBits = 53;
+    bool earlyTermination = true;
+    bool anProtect = true;
+    std::uint64_t anConstant = 269;
+    bool cic = true;
+    bool adcHeadstart = true;
+    XbarModelParams xbar;
+};
+
+/** A dense sub-block of a sparse matrix, in block-local coordinates. */
+struct MatrixBlock
+{
+    std::int32_t rowOrigin = 0;
+    std::int32_t colOrigin = 0;
+    unsigned size = 0;
+    std::vector<Triplet> elems; //!< local row/col in [0, size)
+};
+
+/** Result of programming a block into the cluster. */
+struct ClusterProgramInfo
+{
+    unsigned matrixSlices = 0;  //!< crossbars in use (<= 127)
+    unsigned storedBits = 0;    //!< operand width before AN coding
+    int scale = 0;              //!< fixed-point scale of the block
+    std::uint64_t cellsWritten = 0;
+    double programTime = 0.0;   //!< seconds
+    double programEnergy = 0.0; //!< joules
+    unsigned cicInvertedColumns = 0;
+    unsigned cicCornerCases = 0;
+    std::size_t droppedElems = 0; //!< exp-range evictions (callers
+                                  //!< should have filtered already)
+};
+
+/** Per-multiply statistics. */
+struct ClusterStats
+{
+    unsigned matrixSlices = 0;
+    unsigned vectorSlices = 0;
+    std::uint64_t groupsTotal = 0;
+    std::uint64_t groupsExecuted = 0;
+    std::uint64_t xbarActivations = 0;
+    std::uint64_t adcConversions = 0;
+    std::uint64_t conversionsSkipped = 0;
+    std::uint64_t columnsEarlyTerminated = 0;
+    std::uint64_t emptyColumns = 0;
+    std::uint64_t peeledVectorElements = 0;
+    std::uint64_t cycles = 0;
+    double latency = 0.0;     //!< seconds
+    double energy = 0.0;      //!< joules
+    double adcEnergy = 0.0;   //!< joules (subset of energy)
+    double arrayEnergy = 0.0; //!< joules (subset of energy)
+};
+
+/**
+ * Functional cluster. program() maps a block; multiply() performs
+ * the block MVM at the (matrix slice x vector slice) group
+ * granularity the hardware uses.
+ */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig &config);
+
+    const ClusterConfig &config() const { return cfg; }
+    const XbarModel &model() const { return xbarModel; }
+    bool programmed() const { return isProgrammed; }
+    const ClusterProgramInfo &programInfo() const { return progInfo; }
+
+    /**
+     * Program a matrix block. The block must fit the cluster size
+     * and the 64-exponent alignment range (the blocking preprocessor
+     * guarantees both); otherwise fatal.
+     */
+    ClusterProgramInfo program(const MatrixBlock &block);
+
+    /**
+     * y[i] = round(sum_j block[i][j] * x[j]) for every block row i.
+     *
+     * @param x        local input vector (block size)
+     * @param y        output (block size); overwritten
+     * @param peeled   optional out: indices of vector elements whose
+     *                 exponents fell outside the 64-bit alignment
+     *                 window; their column contributions are NOT in y
+     *                 and must be handled digitally by the caller.
+     */
+    ClusterStats multiply(std::span<const double> x,
+                          std::span<double> y,
+                          std::vector<std::int32_t> *peeled = nullptr);
+
+  private:
+    struct Element
+    {
+        std::int32_t col = 0;   //!< block-local column (crossbar row)
+        U256 stored;            //!< biased (and AN-coded) operand
+        U128 mag;               //!< aligned |value|
+        bool neg = false;
+    };
+
+    /** Signed accumulator in sign-magnitude form. */
+    struct SignedAcc
+    {
+        bool neg = false;
+        U256 mag;
+
+        void
+        add(bool vNeg, const U256 &v)
+        {
+            if (vNeg == neg) {
+                mag += v;
+            } else if (mag >= v) {
+                mag -= v;
+            } else {
+                mag = v - mag;
+                neg = vNeg;
+            }
+            if (mag.isZero())
+                neg = false;
+        }
+    };
+
+    /**
+     * Settled test: can the top @p prec bits of |acc| still change,
+     * given that the remaining contribution is bounded by 2^bound?
+     */
+    static bool settled(const U256 &mag, int bound, unsigned prec);
+
+    /** Convert a (possibly early-terminated) accumulator. */
+    double convert(const SignedAcc &acc, int scale, bool exact) const;
+
+    ClusterConfig cfg;
+    XbarModel xbarModel;
+    AnCode an;
+
+    bool isProgrammed = false;
+    ClusterProgramInfo progInfo;
+    unsigned blockSize = 0;
+    int blockScale = 0;            //!< scale of aligned magnitudes
+    unsigned storedBits = 0;       //!< width incl. bias (pre-AN)
+    unsigned encodedBits = 0;      //!< width of stored operands
+    U256 storedBias;               //!< bias word as stored (AN-coded)
+    std::vector<std::vector<Element>> rowsElems; //!< per block row
+    /** Signed row sums of aligned coefficients (for vector debias). */
+    std::vector<SignedAcc> rowSumF;
+    /** Per (slice b, block row i): stored ones count, for CIC and
+     *  ADC headstart accounting. */
+    std::vector<std::vector<std::uint16_t>> sliceOnes;
+};
+
+} // namespace msc
+
+#endif // MSC_CLUSTER_CLUSTER_HH

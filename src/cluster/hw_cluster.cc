@@ -1,0 +1,257 @@
+#include "cluster/hw_cluster.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace msc {
+
+namespace {
+
+/** Signed accumulator in sign-magnitude form. */
+struct SignedAcc
+{
+    bool neg = false;
+    U256 mag;
+
+    void
+    add(bool vNeg, const U256 &v)
+    {
+        if (vNeg == neg) {
+            mag += v;
+        } else if (mag >= v) {
+            mag -= v;
+        } else {
+            mag = v - mag;
+            neg = vNeg;
+        }
+        if (mag.isZero())
+            neg = false;
+    }
+};
+
+} // namespace
+
+HwCluster::HwCluster(const Config &config)
+    : cfg(config), an(config.anConstant, fxp::operandBits)
+{
+    if (cfg.size < 2)
+        fatal("HwCluster: size must be >= 2");
+}
+
+void
+HwCluster::program(const MatrixBlock &block)
+{
+    if (block.size == 0 || block.size > cfg.size)
+        fatal("HwCluster::program: block does not fit");
+    blockSize = block.size;
+
+    std::vector<double> vals;
+    vals.reserve(block.elems.size());
+    for (const auto &t : block.elems) {
+        if (t.row < 0 || t.col < 0 ||
+            t.row >= static_cast<std::int32_t>(blockSize) ||
+            t.col >= static_cast<std::int32_t>(blockSize))
+            fatal("HwCluster::program: element outside block");
+        vals.push_back(t.val);
+    }
+    const AlignedSet aligned = alignValues(vals);
+    const BiasedSet biased = biasEncode(aligned);
+    blockScale = aligned.scale;
+    storedBias = cfg.anProtect ? an.encode(biased.bias())
+                               : U256::from(biased.bias());
+
+    // Dense stored-word grid: zero cells hold the bias pattern.
+    std::vector<U256> stored(
+        static_cast<std::size_t>(blockSize) * blockSize, storedBias);
+    rowSumF.assign(blockSize, {});
+    nSlices = storedBias.bitLength();
+    for (std::size_t e = 0; e < block.elems.size(); ++e) {
+        const Triplet &t = block.elems[e];
+        const U256 word = cfg.anProtect
+            ? an.encode(biased.stored[e])
+            : U256::from(biased.stored[e]);
+        stored[static_cast<std::size_t>(t.row) * blockSize +
+               static_cast<std::size_t>(t.col)] = word;
+        nSlices = std::max(nSlices, word.bitLength());
+        RowSum &rs = rowSumF[static_cast<std::size_t>(t.row)];
+        SignedAcc tmp{rs.neg, rs.mag};
+        tmp.add(aligned.neg[e] != 0, U256::from(aligned.mag[e]));
+        rs.neg = tmp.neg;
+        rs.mag = tmp.mag;
+    }
+    if (nSlices > fxp::encodedBits)
+        panic("HwCluster::program: operand too wide");
+
+    // Materialize one binary crossbar per bit slice. Crossbar row =
+    // block column (vector input); crossbar column = block row.
+    slices.assign(nSlices, BinaryCrossbar(blockSize, blockSize));
+    for (unsigned i = 0; i < blockSize; ++i) {
+        for (unsigned j = 0; j < blockSize; ++j) {
+            const U256 &word =
+                stored[static_cast<std::size_t>(i) * blockSize + j];
+            for (unsigned b = 0; b < nSlices; ++b) {
+                if (word.bit(b))
+                    slices[b].set(j, i);
+            }
+        }
+    }
+    if (cfg.cic) {
+        for (auto &xbar : slices)
+            xbar.applyCic();
+    }
+    programmed = true;
+}
+
+void
+HwCluster::injectStuckCell(unsigned slice, unsigned blockRow,
+                           unsigned blockCol, bool value)
+{
+    if (!programmed)
+        fatal("HwCluster::injectStuckCell: program() first");
+    if (slice >= nSlices)
+        fatal("HwCluster::injectStuckCell: no such slice");
+    // The physical cell stores the (possibly CIC-inverted) bit.
+    const bool stored = slices[slice].columnInverted(blockRow)
+        ? !value : value;
+    slices[slice].set(blockCol, blockRow, stored);
+}
+
+void
+HwCluster::flipCell(unsigned slice, unsigned blockRow,
+                    unsigned blockCol)
+{
+    if (!programmed)
+        fatal("HwCluster::flipCell: program() first");
+    if (slice >= nSlices)
+        fatal("HwCluster::flipCell: no such slice");
+    const bool cur = slices[slice].get(blockCol, blockRow);
+    slices[slice].set(blockCol, blockRow, !cur);
+}
+
+HwClusterStats
+HwCluster::multiply(std::span<const double> x, std::span<double> y,
+                    Rng *rng)
+{
+    if (!programmed)
+        fatal("HwCluster::multiply: program() first");
+    if (x.size() != blockSize || y.size() != blockSize)
+        fatal("HwCluster::multiply: vector size mismatch");
+
+    HwClusterStats stats;
+    for (const auto &xbar : slices) {
+        for (unsigned i = 0; i < blockSize; ++i)
+            stats.cicInvertedColumns +=
+                xbar.columnInverted(i) ? 1 : 0;
+    }
+
+    // Vector alignment (no peeling here: the verification harness
+    // feeds in-range vectors; out-of-range input is a fatal).
+    const AlignedSet vx = alignValues(
+        std::vector<double>(x.begin(), x.end()));
+    const BiasedSet ux = biasEncode(vx);
+    const unsigned vecSlices = ux.width();
+    const int outScale = blockScale + vx.scale;
+
+    const ColumnReadModel readModel(cfg.cell);
+
+    // Running sums initialized with the folded vector-bias
+    // correction -bX * rowSumF (known at apply time).
+    std::vector<SignedAcc> acc(blockSize);
+    for (unsigned i = 0; i < blockSize; ++i) {
+        U256 init = rowSumF[i].mag << ux.biasBits;
+        if (cfg.anProtect)
+            init.mulSmall(cfg.anConstant);
+        acc[i].neg = !rowSumF[i].neg;
+        acc[i].mag = init;
+        if (init.isZero())
+            acc[i].neg = false;
+    }
+
+    // MSB-first vector slices through the full pipeline.
+    for (unsigned k = vecSlices; k-- > 0;) {
+        // 1. build and apply the slice.
+        BitVec slice(blockSize);
+        for (unsigned j = 0; j < blockSize; ++j) {
+            if (ux.stored[j].bit(k))
+                slice.set(j);
+        }
+        const auto pc =
+            static_cast<std::uint64_t>(slice.popcount());
+        if (pc == 0)
+            continue;
+
+        for (unsigned i = 0; i < blockSize; ++i) {
+            // 2. + 3. ADC scans and shift-and-add reduction.
+            U256 reduced;
+            for (unsigned b = 0; b < nSlices; ++b) {
+                std::int64_t count;
+                if (cfg.analogReads) {
+                    count = slices[b].readColumnNoisy(i, slice,
+                                                      readModel, rng);
+                } else {
+                    count = slices[b].readColumn(i, slice);
+                }
+                if (slices[b].columnInverted(i)) {
+                    count = static_cast<std::int64_t>(pc) - count;
+                    // An analog over-read can push the digital CIC
+                    // correction negative; clamp like hardware would.
+                    count = std::max<std::int64_t>(count, 0);
+                }
+                U256 contrib(static_cast<std::uint64_t>(count));
+                reduced.addShifted(contrib, b);
+            }
+            ++stats.sliceWords;
+
+            // 4. de-bias: subtract storedBias * popcount.
+            U256 biasTerm = storedBias;
+            biasTerm.mulSmall(pc);
+            SignedAcc word;
+            if (reduced >= biasTerm) {
+                word.neg = false;
+                word.mag = reduced - biasTerm;
+            } else {
+                word.neg = true;
+                word.mag = biasTerm - reduced;
+            }
+
+            // 5. AN correction on the de-biased (signed) word.
+            if (cfg.anProtect) {
+                switch (an.correctSigned(word.mag, word.neg)) {
+                  case AnCode::Outcome::Clean:
+                    ++stats.cleanWords;
+                    break;
+                  case AnCode::Outcome::Corrected:
+                    ++stats.correctedWords;
+                    break;
+                  case AnCode::Outcome::Uncorrectable:
+                    ++stats.uncorrectableWords;
+                    break;
+                }
+            } else {
+                ++stats.cleanWords;
+            }
+
+            // 6. update the running sum at weight 2^k.
+            acc[i].add(word.neg, word.mag << k);
+        }
+    }
+
+    // Final conversion: decode and round.
+    for (unsigned i = 0; i < blockSize; ++i) {
+        U256 mag = acc[i].mag;
+        if (cfg.anProtect) {
+            const std::uint64_t rem = mag.divSmall(cfg.anConstant);
+            if (rem != 0) {
+                // Residual uncorrected damage: fold the remainder
+                // away (truncation) and count it.
+                ++stats.uncorrectableWords;
+            }
+        }
+        y[i] = fixedToDouble(acc[i].neg, mag, outScale,
+                             cfg.rounding);
+    }
+    return stats;
+}
+
+} // namespace msc

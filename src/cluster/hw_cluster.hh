@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Hardware-faithful cluster model.
+ *
+ * Where Cluster (cluster/cluster.hh) computes at element granularity
+ * for speed, HwCluster materializes the actual bit-slice crossbars
+ * of Figure 3 and executes the hardware dataflow literally:
+ *
+ *   per vector bit slice k (MSB first):
+ *     1. the slice drives the rows of every crossbar;
+ *     2. each crossbar's ADC scans its columns (optionally through
+ *        the analog device model);
+ *     3. the shift-and-add reduction combines the B bit slices into
+ *        one fixed-point word per output;
+ *     4. the word is de-biased (bias * popcount, Section IV-C);
+ *     5. AN-code correction runs on the de-biased word -- after the
+ *        reduction, before leading-one detection (Section IV-E);
+ *     6. the running sum in the partial result buffer is updated.
+ *
+ * Because every stored cell physically exists here, faults can be
+ * injected (stuck cells, transient flips) and the error-correction
+ * path observed end to end. Used by the verification tests and the
+ * fault-injection study; the fast functional model remains the
+ * vehicle for full-matrix simulation.
+ */
+
+#ifndef MSC_CLUSTER_HW_CLUSTER_HH
+#define MSC_CLUSTER_HW_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "ancode/ancode.hh"
+#include "cluster/cluster.hh"
+#include "device/cell.hh"
+#include "xbar/crossbar.hh"
+
+namespace msc {
+
+/** Per-multiply error-handling statistics. */
+struct HwClusterStats
+{
+    std::uint64_t sliceWords = 0;     //!< reduced words produced
+    std::uint64_t cleanWords = 0;
+    std::uint64_t correctedWords = 0;
+    std::uint64_t uncorrectableWords = 0;
+    std::uint64_t cicInvertedColumns = 0;
+};
+
+class HwCluster
+{
+  public:
+    struct Config
+    {
+        unsigned size = 64;
+        RoundingMode rounding = RoundingMode::TowardNegInf;
+        bool anProtect = true;
+        std::uint64_t anConstant = 269;
+        bool cic = true;
+        CellParams cell;       //!< device model for noisy reads
+        bool analogReads = false; //!< route reads through the device
+    };
+
+    explicit HwCluster(const Config &config);
+
+    const Config &config() const { return cfg; }
+    unsigned matrixSlices() const { return nSlices; }
+
+    /** Map a block onto the crossbars (builds nSlices binary
+     *  crossbars of size x size). */
+    void program(const MatrixBlock &block);
+
+    /**
+     * Force the stored bit of crossbar @p slice at block position
+     * (row @p blockRow, col @p blockCol) to @p value: a stuck-at
+     * fault. Takes effect until the next program().
+     */
+    void injectStuckCell(unsigned slice, unsigned blockRow,
+                         unsigned blockCol, bool value);
+
+    /** Flip a stored bit (models an RTN/retention upset). */
+    void flipCell(unsigned slice, unsigned blockRow,
+                  unsigned blockCol);
+
+    /** y[i] = round(sum_j block[i][j] * x[j]) via the full hardware
+     *  dataflow. */
+    HwClusterStats multiply(std::span<const double> x,
+                            std::span<double> y, Rng *rng = nullptr);
+
+  private:
+    Config cfg;
+    AnCode an;
+    bool programmed = false;
+    unsigned blockSize = 0;
+    unsigned nSlices = 0;
+    int blockScale = 0;
+    U256 storedBias;
+    /** Signed row sums of aligned coefficients. */
+    struct RowSum
+    {
+        bool neg = false;
+        U256 mag;
+    };
+    std::vector<RowSum> rowSumF;
+    /** One binary crossbar per operand bit slice. Crossbar rows are
+     *  block columns (vector inputs); crossbar columns are block
+     *  rows (outputs). */
+    std::vector<BinaryCrossbar> slices;
+};
+
+} // namespace msc
+
+#endif // MSC_CLUSTER_HW_CLUSTER_HH

@@ -1,0 +1,132 @@
+#include "cluster/schedule.hh"
+
+#include "util/logging.hh"
+
+namespace msc {
+
+const char *
+toString(SchedulePolicy policy)
+{
+    switch (policy) {
+      case SchedulePolicy::Vertical:
+        return "vertical";
+      case SchedulePolicy::Diagonal:
+        return "diagonal";
+      case SchedulePolicy::Hybrid:
+        return "hybrid";
+    }
+    return "?";
+}
+
+ActivationSchedule::ActivationSchedule(unsigned matrixSlices,
+                                       unsigned vectorSlices,
+                                       SchedulePolicy policy,
+                                       unsigned hybridSkew)
+    : nB(matrixSlices), nK(vectorSlices), pol(policy)
+{
+    if (nB == 0 || nK == 0)
+        fatal("ActivationSchedule: empty slice grid");
+    switch (policy) {
+      case SchedulePolicy::Vertical:
+        buildSkewed(0);
+        break;
+      case SchedulePolicy::Diagonal:
+        buildSkewed(1);
+        break;
+      case SchedulePolicy::Hybrid:
+        if (hybridSkew < 2)
+            fatal("ActivationSchedule: hybrid skew must be >= 2");
+        buildSkewed(hybridSkew);
+        break;
+    }
+
+    // Suffix maxima of group significance for termination bounds.
+    remainingSig.assign(grps.size(), -1);
+    int suffix = -1;
+    for (std::size_t g = grps.size(); g-- > 0;) {
+        remainingSig[g] = suffix;
+        suffix = std::max(suffix,
+                          static_cast<int>(grps[g].maxSignificance));
+    }
+}
+
+void
+ActivationSchedule::buildSkewed(unsigned skew)
+{
+    // Stagger of matrix slice b relative to slice B-1, in vector
+    // slice positions. skew == 0 encodes the vertical policy (no
+    // stagger).
+    auto stagger = [&](unsigned b) -> unsigned {
+        if (skew == 0)
+            return 0;
+        return (nB - 1 - b) / skew;
+    };
+
+    const unsigned maxStagger = stagger(0);
+    const unsigned numGroups = nK + maxStagger;
+    grps.reserve(numGroups);
+    for (unsigned g = 0; g < numGroups; ++g) {
+        ScheduleGroup group;
+        // Walk b from the top; k is non-decreasing as b falls, so
+        // contiguous segments form naturally.
+        for (unsigned b = nB; b-- > 0;) {
+            const long k = static_cast<long>(nK) - 1 -
+                           static_cast<long>(g) + stagger(b);
+            if (k < 0 || k >= static_cast<long>(nK))
+                continue;
+            const unsigned ku = static_cast<unsigned>(k);
+            if (!group.segments.empty() &&
+                group.segments.back().k == ku &&
+                group.segments.back().bLo == b + 1) {
+                group.segments.back().bLo = b;
+            } else {
+                group.segments.push_back({ku, b, b});
+            }
+            group.maxSignificance =
+                std::max(group.maxSignificance, b + ku);
+        }
+        if (!group.segments.empty())
+            grps.push_back(std::move(group));
+    }
+}
+
+int
+ActivationSchedule::maxRemainingSignificance(std::size_t g) const
+{
+    if (g >= remainingSig.size())
+        return -1;
+    return remainingSig[g];
+}
+
+std::uint64_t
+ActivationSchedule::totalActivations() const
+{
+    std::uint64_t n = 0;
+    for (const auto &g : grps)
+        n += g.activations();
+    return n;
+}
+
+ActivationSchedule::StaticCost
+ActivationSchedule::costForThreshold(unsigned minSignificance) const
+{
+    // Groups run in order; the run stops after the last group that
+    // contains a needed partial product.
+    std::size_t lastNeeded = 0;
+    bool any = false;
+    for (std::size_t g = 0; g < grps.size(); ++g) {
+        if (grps[g].maxSignificance >= minSignificance) {
+            lastNeeded = g;
+            any = true;
+        }
+    }
+    StaticCost cost;
+    if (!any)
+        return cost;
+    cost.timeSteps = lastNeeded + 1;
+    for (std::size_t g = 0; g <= lastNeeded; ++g)
+        cost.activations += grps[g].activations();
+    return cost;
+}
+
+} // namespace msc

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Static crossbar activation scheduling (Section IV-B, Figure 6).
+ *
+ * An MVM over bit-sliced operands is a grid of (matrix slice b,
+ * vector slice k) activations; the partial product of cell (b, k)
+ * has significance b + k. A schedule partitions the grid into
+ * ordered groups (time steps) with at most one cell per matrix slice
+ * per group (each physical crossbar can process only one vector
+ * slice at a time). Execution proceeds group by group and may stop
+ * early once every output's mantissa has settled, so groups that
+ * only carry low significance may be skipped.
+ *
+ * All three policies in the paper are instances of one skewed
+ * family: within group g, matrix slice b processes vector slice
+ *   k(b, g) = (K - 1) - g + floor((B - 1 - b) / skew)
+ * (clipped to the valid range), where B and K are the matrix and
+ * vector slice counts.
+ *
+ *   skew = inf (no stagger)  -> vertical grouping
+ *   skew = 1                 -> diagonal grouping (anti-diagonals)
+ *   skew = 2                 -> the paper's hybrid grouping
+ *
+ * On the paper's 4x4 example with termination at significance 2
+ * this reproduces Figure 6 exactly: vertical 16 activations / 4
+ * steps, diagonal 13 / 5, hybrid 14 / 4.
+ */
+
+#ifndef MSC_CLUSTER_SCHEDULE_HH
+#define MSC_CLUSTER_SCHEDULE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace msc {
+
+enum class SchedulePolicy
+{
+    Vertical,
+    Diagonal,
+    Hybrid,
+};
+
+const char *toString(SchedulePolicy policy);
+
+/** One time step: a set of (b, k) cells, one per active b. */
+struct ScheduleGroup
+{
+    /** Contiguous run of matrix slices all processing vector slice
+     *  k; runs are disjoint in b within a group. */
+    struct Segment
+    {
+        unsigned k = 0;
+        unsigned bLo = 0;
+        unsigned bHi = 0; //!< inclusive
+
+        unsigned width() const { return bHi - bLo + 1; }
+    };
+
+    std::vector<Segment> segments;
+    unsigned maxSignificance = 0; //!< max (b + k) within this group
+
+    /** Number of crossbar activations in this group. */
+    unsigned
+    activations() const
+    {
+        unsigned n = 0;
+        for (const auto &s : segments)
+            n += s.width();
+        return n;
+    }
+};
+
+/**
+ * A complete static schedule over a B x K slice grid.
+ */
+class ActivationSchedule
+{
+  public:
+    /**
+     * @param matrixSlices  B: number of matrix bit slices
+     * @param vectorSlices  K: number of vector bit slices
+     * @param policy        grouping policy
+     * @param hybridSkew    stagger for the hybrid policy (>= 2)
+     */
+    ActivationSchedule(unsigned matrixSlices, unsigned vectorSlices,
+                       SchedulePolicy policy, unsigned hybridSkew = 2);
+
+    const std::vector<ScheduleGroup> &groups() const { return grps; }
+    unsigned matrixSlices() const { return nB; }
+    unsigned vectorSlices() const { return nK; }
+    SchedulePolicy policy() const { return pol; }
+
+    /**
+     * Maximum significance (b + k) over all cells in groups strictly
+     * after @p g; used to bound the remaining contribution for early
+     * termination. Returns -1 when no cells remain.
+     */
+    int maxRemainingSignificance(std::size_t g) const;
+
+    /** Total activations if every group runs. */
+    std::uint64_t totalActivations() const;
+
+    /**
+     * Static accounting used by the Figure 6 experiment: number of
+     * groups (time steps) and activations needed when every partial
+     * product of significance >= minSignificance must be computed.
+     * A group executes if it contains at least one needed cell and
+     * no earlier-terminating knowledge exists (groups run in order
+     * until the last needed group).
+     */
+    struct StaticCost
+    {
+        std::uint64_t timeSteps = 0;
+        std::uint64_t activations = 0;
+    };
+
+    StaticCost costForThreshold(unsigned minSignificance) const;
+
+  private:
+    void buildSkewed(unsigned skew); //!< skew 0 means vertical
+
+    unsigned nB;
+    unsigned nK;
+    SchedulePolicy pol;
+    std::vector<ScheduleGroup> grps;
+    std::vector<int> remainingSig; //!< per group index
+};
+
+} // namespace msc
+
+#endif // MSC_CLUSTER_SCHEDULE_HH

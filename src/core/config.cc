@@ -1,0 +1,182 @@
+#include "core/config.hh"
+
+#include <set>
+
+#include "util/logging.hh"
+
+namespace msc {
+
+namespace {
+
+/** Fatal on unknown keys: config typos should not silently no-op. */
+void
+checkKeys(const JsonValue &obj, const std::set<std::string> &allowed,
+          const char *where)
+{
+    for (const auto &[key, value] : obj.asObject()) {
+        (void)value;
+        if (allowed.find(key) == allowed.end())
+            fatal("config: unknown key '", key, "' in ", where);
+    }
+}
+
+SchedulePolicy
+parseSchedule(const std::string &name)
+{
+    if (name == "vertical")
+        return SchedulePolicy::Vertical;
+    if (name == "diagonal")
+        return SchedulePolicy::Diagonal;
+    if (name == "hybrid")
+        return SchedulePolicy::Hybrid;
+    fatal("config: unknown schedule '", name, "'");
+}
+
+RoundingMode
+parseRounding(const std::string &name)
+{
+    if (name == "toward-neg-inf")
+        return RoundingMode::TowardNegInf;
+    if (name == "toward-pos-inf")
+        return RoundingMode::TowardPosInf;
+    if (name == "toward-zero")
+        return RoundingMode::TowardZero;
+    if (name == "nearest-even")
+        return RoundingMode::NearestEven;
+    fatal("config: unknown rounding mode '", name, "'");
+}
+
+SolverKind
+parseSolverKind(const std::string &name)
+{
+    if (name == "auto")
+        return SolverKind::Auto;
+    if (name == "cg")
+        return SolverKind::Cg;
+    if (name == "bicgstab")
+        return SolverKind::BiCgStab;
+    if (name == "gmres")
+        return SolverKind::Gmres;
+    fatal("config: unknown solver '", name, "'");
+}
+
+void
+applyCluster(const JsonValue &j, ClusterConfig &c)
+{
+    checkKeys(j,
+              {"schedule", "hybridSkew", "rounding",
+               "targetMantissaBits", "earlyTermination", "anProtect",
+               "anConstant", "cic", "adcHeadstart"},
+              "cluster");
+    if (j.has("schedule"))
+        c.schedule = parseSchedule(j.at("schedule").asString());
+    c.hybridSkew = static_cast<unsigned>(
+        j.numberOr("hybridSkew", c.hybridSkew));
+    if (j.has("rounding"))
+        c.rounding = parseRounding(j.at("rounding").asString());
+    c.targetMantissaBits = static_cast<unsigned>(
+        j.numberOr("targetMantissaBits", c.targetMantissaBits));
+    c.earlyTermination =
+        j.boolOr("earlyTermination", c.earlyTermination);
+    c.anProtect = j.boolOr("anProtect", c.anProtect);
+    c.anConstant = static_cast<std::uint64_t>(
+        j.numberOr("anConstant", static_cast<double>(c.anConstant)));
+    c.cic = j.boolOr("cic", c.cic);
+    c.adcHeadstart = j.boolOr("adcHeadstart", c.adcHeadstart);
+}
+
+void
+applyAccelerator(const JsonValue &j, AcceleratorConfig &a)
+{
+    checkKeys(j,
+              {"banks", "rowsPerBank", "clustersPerBank", "cluster",
+               "staticPower", "gpuFallbackThreshold",
+               "densityFactor"},
+              "accelerator");
+    a.banks = static_cast<unsigned>(j.numberOr("banks", a.banks));
+    a.rowsPerBank = static_cast<unsigned>(
+        j.numberOr("rowsPerBank", a.rowsPerBank));
+    if (j.has("clustersPerBank")) {
+        a.clustersPerBank.clear();
+        std::vector<unsigned> sizes;
+        for (const JsonValue &pair :
+             j.at("clustersPerBank").asArray()) {
+            const auto &arr = pair.asArray();
+            if (arr.size() != 2)
+                fatal("config: clustersPerBank entries are "
+                      "[size, count] pairs");
+            a.clustersPerBank.push_back(
+                {static_cast<unsigned>(arr[0].asNumber()),
+                 static_cast<unsigned>(arr[1].asNumber())});
+            sizes.push_back(
+                static_cast<unsigned>(arr[0].asNumber()));
+        }
+        // The blocking preprocessor may only use sizes that exist.
+        a.blocking.sizes = sizes;
+    }
+    if (j.has("cluster"))
+        applyCluster(j.at("cluster"), a.cluster);
+    a.staticPower = j.numberOr("staticPower", a.staticPower);
+    a.gpuFallbackThreshold =
+        j.numberOr("gpuFallbackThreshold", a.gpuFallbackThreshold);
+    a.blocking.densityFactor =
+        j.numberOr("densityFactor", a.blocking.densityFactor);
+}
+
+void
+applyGpu(const JsonValue &j, GpuModelParams &g)
+{
+    checkKeys(j,
+              {"memBandwidth", "streamEfficiency", "gatherEffLow",
+               "gatherEffHigh", "kernelLaunch", "reduceSync",
+               "busyPower", "idlePower"},
+              "gpu");
+    g.memBandwidth = j.numberOr("memBandwidth", g.memBandwidth);
+    g.streamEfficiency =
+        j.numberOr("streamEfficiency", g.streamEfficiency);
+    g.gatherEffLow = j.numberOr("gatherEffLow", g.gatherEffLow);
+    g.gatherEffHigh = j.numberOr("gatherEffHigh", g.gatherEffHigh);
+    g.kernelLaunch = j.numberOr("kernelLaunch", g.kernelLaunch);
+    g.reduceSync = j.numberOr("reduceSync", g.reduceSync);
+    g.busyPower = j.numberOr("busyPower", g.busyPower);
+    g.idlePower = j.numberOr("idlePower", g.idlePower);
+}
+
+void
+applySolver(const JsonValue &j, ExperimentConfig &cfg)
+{
+    checkKeys(j, {"tolerance", "maxIterations", "kind", "restart"},
+              "solver");
+    cfg.solver.tolerance =
+        j.numberOr("tolerance", cfg.solver.tolerance);
+    cfg.solver.maxIterations = static_cast<int>(
+        j.numberOr("maxIterations", cfg.solver.maxIterations));
+    if (j.has("kind"))
+        cfg.solverKind = parseSolverKind(j.at("kind").asString());
+    cfg.gmresRestart = static_cast<int>(
+        j.numberOr("restart", cfg.gmresRestart));
+}
+
+} // namespace
+
+ExperimentConfig
+configFromJson(const JsonValue &root)
+{
+    ExperimentConfig cfg;
+    checkKeys(root, {"accelerator", "gpu", "solver"}, "document");
+    if (root.has("accelerator"))
+        applyAccelerator(root.at("accelerator"), cfg.accel);
+    if (root.has("gpu"))
+        applyGpu(root.at("gpu"), cfg.gpu);
+    if (root.has("solver"))
+        applySolver(root.at("solver"), cfg);
+    return cfg;
+}
+
+ExperimentConfig
+loadExperimentConfig(const std::string &path)
+{
+    return configFromJson(JsonValue::parseFile(path));
+}
+
+} // namespace msc

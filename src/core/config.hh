@@ -1,0 +1,43 @@
+/**
+ * @file
+ * JSON configuration loading for experiment setups.
+ *
+ * Every knob of the accelerator, GPU baseline, and solver can be set
+ * from a JSON file so that design points are data, not code. Absent
+ * keys keep the Table I defaults; unknown keys are fatal (they are
+ * almost always typos).
+ *
+ * Example:
+ * @code{.json}
+ * {
+ *   "accelerator": {
+ *     "banks": 128,
+ *     "clustersPerBank": [[512, 2], [256, 4], [128, 6], [64, 8]],
+ *     "cluster": {"schedule": "hybrid", "targetMantissaBits": 53},
+ *     "staticPower": 120.0
+ *   },
+ *   "gpu": {"memBandwidth": 732e9},
+ *   "solver": {"tolerance": 1e-8, "maxIterations": 2500}
+ * }
+ * @endcode
+ */
+
+#ifndef MSC_CORE_CONFIG_HH
+#define MSC_CORE_CONFIG_HH
+
+#include <string>
+
+#include "core/experiment.hh"
+#include "util/json.hh"
+
+namespace msc {
+
+/** Build an ExperimentConfig from parsed JSON. */
+ExperimentConfig configFromJson(const JsonValue &root);
+
+/** Build an ExperimentConfig from a JSON file. */
+ExperimentConfig loadExperimentConfig(const std::string &path);
+
+} // namespace msc
+
+#endif // MSC_CORE_CONFIG_HH

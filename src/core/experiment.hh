@@ -1,0 +1,93 @@
+/**
+ * @file
+ * End-to-end experiment driver: builds a suite matrix, runs the
+ * solver the paper prescribes (CG for SPD, BiCG-STAB otherwise),
+ * and maps the run through the accelerator and GPU cost models.
+ * This is the engine behind Figures 8, 9, and 10.
+ */
+
+#ifndef MSC_CORE_EXPERIMENT_HH
+#define MSC_CORE_EXPERIMENT_HH
+
+#include <string>
+
+#include "accel/accel.hh"
+#include "gpu/gpu.hh"
+#include "sparse/suite.hh"
+
+namespace msc {
+
+/** Which Krylov method the experiment runs. */
+enum class SolverKind
+{
+    Auto, //!< CG for SPD entries, BiCG-STAB otherwise (the paper)
+    Cg,
+    BiCgStab,
+    Gmres,
+};
+
+struct ExperimentConfig
+{
+    AcceleratorConfig accel;
+    GpuModelParams gpu;
+    SolverConfig solver{1e-8, 2500};
+    SolverKind solverKind = SolverKind::Auto;
+    int gmresRestart = 30;
+};
+
+struct ExperimentResult
+{
+    std::string name;
+    bool usedCg = false;
+    MatrixStats stats;
+    BlockingStats blocking;
+    SolverResult solve;
+    bool gpuFallback = false;
+    int banksUsed = 0;
+
+    double accelTime = 0.0;   //!< seconds, includes setup
+    double accelEnergy = 0.0; //!< joules
+    double gpuTime = 0.0;
+    double gpuEnergy = 0.0;
+
+    double programTime = 0.0;
+    double preprocessTime = 0.0;
+
+    double
+    speedup() const
+    {
+        return accelTime > 0.0 ? gpuTime / accelTime : 0.0;
+    }
+
+    double
+    energyRatio() const
+    {
+        return accelEnergy > 0.0 ? gpuEnergy / accelEnergy : 0.0;
+    }
+
+    /** Setup overhead as a fraction of total accelerator time
+     *  (Figure 10). */
+    double
+    setupOverhead() const
+    {
+        return accelTime > 0.0
+            ? (programTime + preprocessTime) / accelTime
+            : 0.0;
+    }
+};
+
+/** Run one suite entry end to end. */
+ExperimentResult runExperiment(const SuiteEntry &entry,
+                               const ExperimentConfig &cfg = {});
+
+/** Run a caller-provided matrix end to end. */
+ExperimentResult runExperiment(const std::string &name, const Csr &m,
+                               bool spd,
+                               const ExperimentConfig &cfg = {});
+
+/** Geometric mean helper for the summary rows. */
+double geometricMean(const std::vector<double> &values);
+
+} // namespace msc
+
+#endif // MSC_CORE_EXPERIMENT_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Umbrella header: the public API of mscsim.
+ *
+ * #include "core/msc.hh" pulls in the full stack: sparse containers
+ * and generators, the fixed-point/bit-slice machinery, the cluster
+ * and accelerator models, the GPU baseline, the Krylov solvers, and
+ * the experiment driver.
+ */
+
+#ifndef MSC_CORE_MSC_HH
+#define MSC_CORE_MSC_HH
+
+#include "accel/accel.hh"
+#include "accel/cluster_operator.hh"
+#include "accel/estimator.hh"
+#include "ancode/ancode.hh"
+#include "bank/bank.hh"
+#include "blocking/blocking.hh"
+#include "cluster/cluster.hh"
+#include "cluster/hw_cluster.hh"
+#include "cluster/schedule.hh"
+#include "core/config.hh"
+#include "core/experiment.hh"
+#include "core/multi_accel.hh"
+#include "device/cell.hh"
+#include "device/noisy.hh"
+#include "fixedpoint/align.hh"
+#include "fp/float64.hh"
+#include "gpu/gpu.hh"
+#include "sim/event_queue.hh"
+#include "sim/spmv_sim.hh"
+#include "solver/precond.hh"
+#include "solver/solver.hh"
+#include "solver/stationary.hh"
+#include "sparse/csr.hh"
+#include "sparse/gen.hh"
+#include "sparse/matrix_market.hh"
+#include "sparse/reorder.hh"
+#include "sparse/stats.hh"
+#include "sparse/suite.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "wideint/wideint.hh"
+#include "xbar/crossbar.hh"
+#include "xbar/model.hh"
+
+#endif // MSC_CORE_MSC_HH

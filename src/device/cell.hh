@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Memristor cell model (TaOx, Table I of the paper).
+ *
+ * Cells are modeled as resistors during computation. The two device
+ * non-idealities evaluated in Section VIII-G are captured here:
+ *
+ *  - finite dynamic range: an off cell still conducts Ron/Roff of an
+ *    on cell, so a column read accumulates off-state leakage that can
+ *    push the analog sum past the ADC's half-LSB margin;
+ *  - programming error: each programmed conductance deviates from its
+ *    target by a zero-mean Gaussian fraction (1-5 % in Figure 13).
+ */
+
+#ifndef MSC_DEVICE_CELL_HH
+#define MSC_DEVICE_CELL_HH
+
+#include <cstdint>
+
+#include "util/bitvec.hh"
+#include "util/random.hh"
+
+namespace msc {
+
+/** TaOx cell parameters per Table I / [18], [40]. */
+struct CellParams
+{
+    unsigned bitsPerCell = 1;
+    double rOn = 2.0e3;            //!< ohms
+    double rOff = 3.0e6;           //!< ohms (dynamic range 1500)
+    double vRead = 0.2;            //!< volts
+    double vSet = -2.6;
+    double vReset = 2.6;
+    double writeEnergy = 3.91e-9;  //!< joules per cell write
+    double writeTime = 50.88e-9;   //!< seconds per row write
+    double writeEndurance = 1.0e9; //!< switching cycles
+    /** Fractional (1 sigma) programming error on conductance. */
+    double progErrorSigma = 0.0;
+
+    double dynamicRange() const { return rOff / rOn; }
+    unsigned levels() const { return 1u << bitsPerCell; }
+};
+
+/**
+ * Analog column read with device non-idealities.
+ *
+ * Computes the quantized output of one crossbar column: the ideal
+ * weighted sum of activated cell levels, plus off-state leakage and
+ * programming noise, rounded to the nearest ADC step. With default
+ * (ideal) parameters the result equals the exact integer sum.
+ */
+class ColumnReadModel
+{
+  public:
+    explicit ColumnReadModel(const CellParams &cell) : params(cell)
+    {
+        // Normalized conductances: a cell at level L out of
+        // (levels-1) has conductance gOff + L * (gOn - gOff)/(max).
+        // In ADC-LSB units (one unit = one full-on cell at L=1 for
+        // 1-bit cells, or one level step generally):
+        const double gOn = 1.0 / params.rOn;
+        const double gOff = 1.0 / params.rOff;
+        const double maxLevel = params.levels() - 1;
+        unitG = (gOn - gOff) / maxLevel;
+        leakPerCell = gOff / unitG; //!< leakage in level units
+    }
+
+    /** Off-state leakage per activated cell, in ADC level units. */
+    double leakPerCell_() const { return leakPerCell; }
+
+    /**
+     * Read a column given per-cell levels and the activated rows.
+     *
+     * @param levels   cell level per crossbar row (size = rows)
+     * @param active   vector bit slice applied to the rows
+     * @param rng      noise source; nullptr disables programming noise
+     * @return quantized level-sum seen by the ADC
+     */
+    std::int64_t
+    read(const std::vector<std::uint8_t> &levels, const BitVec &active,
+         Rng *rng) const
+    {
+        double analog = 0.0;
+        std::int64_t ideal = 0;
+        for (std::size_t j = 0; j < levels.size(); ++j) {
+            if (!active.get(j))
+                continue;
+            const double target = levels[j] + leakPerCell;
+            double g = target;
+            if (rng && params.progErrorSigma > 0.0)
+                g = target * (1.0 + rng->normal(0.0,
+                                                params.progErrorSigma));
+            analog += g;
+            ideal += levels[j];
+        }
+        const auto quantized =
+            static_cast<std::int64_t>(analog + 0.5);
+        // With ideal devices the two agree; the caller may compare.
+        (void)ideal;
+        return quantized;
+    }
+
+    /**
+     * Statistical form: sample the ADC error of a column read
+     * without materializing cells. Given the ideal level-sum and the
+     * number of activated cells, the analog value is
+     * ideal + nActive*leak + N(0, sigma^2 * sum(level^2 approx)).
+     * Used by the Monte Carlo convergence experiments (Fig. 12/13)
+     * at scale.
+     *
+     * @param idealSum      exact level sum of the column
+     * @param nActive       number of activated rows
+     * @param sumLevelsSq   sum of squared (level+leak) of activated
+     *                      cells (noise scales with conductance)
+     */
+    std::int64_t
+    sampleRead(std::int64_t idealSum, std::size_t nActive,
+               double sumLevelsSq, Rng *rng) const
+    {
+        double analog = static_cast<double>(idealSum) +
+                        static_cast<double>(nActive) * leakPerCell;
+        if (rng && params.progErrorSigma > 0.0) {
+            analog += rng->normal(
+                0.0, params.progErrorSigma * std::sqrt(sumLevelsSq));
+        }
+        return static_cast<std::int64_t>(analog + 0.5);
+    }
+
+    const CellParams &cell() const { return params; }
+
+  private:
+    CellParams params;
+    double unitG = 1.0;
+    double leakPerCell = 0.0;
+};
+
+} // namespace msc
+
+#endif // MSC_DEVICE_CELL_HH

@@ -1,0 +1,195 @@
+#include "device/noisy.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace msc {
+
+namespace {
+
+/** Representative bit-slice counts of double-precision operands
+ *  (53-bit mantissa + pad + sign + AN code). */
+constexpr int repMatrixSlices = 75;
+constexpr int repVectorSlices = 70;
+
+/** Average fraction of rows driven by one vector bit slice. The
+ *  paper measures vector densities of 30-100%; averaged over the
+ *  bit positions of biased operands the per-slice density is ~0.4. */
+constexpr double activeFraction = 0.40;
+
+} // namespace
+
+ConversionErrorModel
+conversionError(const CellParams &cell, double activeRows,
+                double setCells)
+{
+    ConversionErrorModel out;
+    // Leakage in LSB units: every active row conducts gOff; one LSB
+    // is one level step of (gOn - gOff) / (levels - 1).
+    const double maxLevel = cell.levels() - 1;
+    const double leakPerCell =
+        maxLevel / (cell.dynamicRange() - 1.0);
+    const double mu = activeRows * leakPerCell;
+
+    // Popcount variation of the applied slice (binomial), programming
+    // noise over the set cells of the column (mean-square level), in
+    // LSB units.
+    const double nRows = activeRows / activeFraction;
+    const double sigmaActive =
+        std::sqrt(nRows * activeFraction * (1.0 - activeFraction));
+    double meanSquareLevel = 0.0;
+    for (unsigned l = 1; l <= static_cast<unsigned>(maxLevel); ++l)
+        meanSquareLevel += static_cast<double>(l) * l;
+    meanSquareLevel /= maxLevel;
+    const double sigma = std::sqrt(
+        sigmaActive * leakPerCell * sigmaActive * leakPerCell +
+        cell.progErrorSigma * cell.progErrorSigma * setCells *
+            meanSquareLevel);
+
+    // The ADC rounds (ideal + leak + noise) to the nearest level;
+    // evaluate the moments of round(mu + sigma Z) numerically.
+    if (sigma < 1e-12) {
+        out.mean = std::nearbyint(mu);
+        out.sigma = 0.0;
+        out.errProb = out.mean != 0.0 ? 1.0 : 0.0;
+        out.meanAbs = std::fabs(out.mean);
+        return out;
+    }
+    const auto phi = [](double z) {
+        return 0.5 * std::erfc(-z / std::sqrt(2.0));
+    };
+    double mean = 0.0, second = 0.0, pErr = 0.0, meanAbs = 0.0;
+    const int lo = static_cast<int>(std::floor(mu - 8 * sigma));
+    const int hi = static_cast<int>(std::ceil(mu + 8 * sigma));
+    for (int j = lo; j <= hi; ++j) {
+        const double p = phi((j + 0.5 - mu) / sigma) -
+                         phi((j - 0.5 - mu) / sigma);
+        mean += p * j;
+        second += p * j * j;
+        if (j != 0) {
+            pErr += p;
+            meanAbs += p * std::fabs(j);
+        }
+    }
+    out.mean = mean;
+    out.sigma = std::sqrt(std::max(0.0, second - mean * mean));
+    out.errProb = pErr;
+    out.meanAbs = pErr > 0.0 ? meanAbs / pErr : 0.0;
+    return out;
+}
+
+NoisyCsrOperator::NoisyCsrOperator(const Csr &m,
+                                   const CellParams &cell,
+                                   std::uint64_t seed,
+                                   unsigned crossbarRows)
+    : mat(&m), cellParams(cell), rng(seed)
+{
+    // Set cells per column: roughly the block's nonzeros per row
+    // (spread over bit slices, about half set) plus the bias pattern
+    // bits stored in zero cells.
+    const double nnzPerRow =
+        static_cast<double>(m.nnz()) / std::max(1, m.rows());
+    const double setCells = 2.0 + nnzPerRow * 0.5;
+    conv = conversionError(cellParams,
+                           activeFraction * crossbarRows, setCells);
+
+    // AN-code survival: a reduced word with exactly one erroneous
+    // conversion is corrected; an error only survives when another
+    // error lands in the same word.
+    anSurvival = 1.0 - std::pow(1.0 - conv.errProb,
+                                repMatrixSlices - 1);
+
+    rowMaxAbs.assign(static_cast<std::size_t>(m.rows()), 0.0);
+    for (std::int32_t r = 0; r < m.rows(); ++r) {
+        for (double v : m.rowVals(r)) {
+            rowMaxAbs[static_cast<std::size_t>(r)] =
+                std::max(rowMaxAbs[static_cast<std::size_t>(r)],
+                         std::fabs(v));
+        }
+    }
+
+    // Programming error is static: one Monte Carlo run = one
+    // programming of the arrays, so surviving misreads behave as a
+    // fixed perturbation of the mapped coefficients, not as fresh
+    // noise on every MVM (which would stall the solver outright).
+    // Materialize them as glitch entries: row i gains a spurious
+    // coefficient of magnitude ~ conv.meanAbs * 4 * maxA_i *
+    // 2^-(db+dk) tied to a random column. Only the top significance
+    // window matters; lower slices are far below the mantissa.
+    if (conv.errProb > 0.0 && conv.errProb <= 0.5) {
+        const double pSurv = conv.errProb * anSurvival;
+        constexpr int window = 13; // db + dk < window
+        for (std::int32_t r = 0; r < m.rows(); ++r) {
+            if (rowMaxAbs[static_cast<std::size_t>(r)] == 0.0)
+                continue;
+            for (int db = 0; db < window; ++db) {
+                for (int dk = 0; db + dk < window; ++dk) {
+                    if (!rng.chance(pSurv))
+                        continue;
+                    Glitch g;
+                    g.row = r;
+                    g.col = static_cast<std::int32_t>(
+                        rng.below(static_cast<std::uint64_t>(
+                            m.cols())));
+                    g.value = (rng.chance(0.5) ? 1.0 : -1.0) *
+                        conv.meanAbs * 4.0 *
+                        rowMaxAbs[static_cast<std::size_t>(r)] *
+                        std::ldexp(1.0, -(db + dk));
+                    glitches.push_back(g);
+                }
+            }
+        }
+    }
+}
+
+std::int32_t
+NoisyCsrOperator::rows() const
+{
+    return mat->rows();
+}
+
+std::int32_t
+NoisyCsrOperator::cols() const
+{
+    return mat->cols();
+}
+
+void
+NoisyCsrOperator::apply(std::span<const double> x, std::span<double> y)
+{
+    mat->spmv(x, y);
+    if (conv.errProb <= 0.0)
+        return;
+    double maxX = 0.0;
+    for (double v : x)
+        maxX = std::max(maxX, std::fabs(v));
+    if (maxX == 0.0)
+        return;
+
+    if (conv.errProb > 0.5) {
+        // Dense-error regime (e.g. 2-bit cells at low dynamic
+        // range): leakage pushes essentially every conversion past
+        // the ADC half-step and the aggregate over the slice grid is
+        // systematic; the AN code cannot help multi-error words.
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            const double scale = rowMaxAbs[i] * maxX;
+            if (scale == 0.0)
+                continue;
+            const double mean = 4.0 * conv.mean * scale;
+            const double sigma = (4.0 / 3.0) * conv.sigma * scale;
+            y[i] += mean +
+                    (sigma > 0.0 ? rng.normal(0.0, sigma) : 0.0);
+        }
+        return;
+    }
+
+    // Sparse-error regime: the static glitch coefficients drawn at
+    // programming time act as a fixed perturbation of the matrix.
+    for (const Glitch &g : glitches) {
+        y[static_cast<std::size_t>(g.row)] +=
+            g.value * x[static_cast<std::size_t>(g.col)];
+    }
+}
+
+} // namespace msc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Statistical device-noise injection for convergence experiments
+ * (Section VIII-G, Figures 12 and 13).
+ *
+ * Each crossbar column conversion can misread when off-state leakage
+ * plus programming noise crosses half an ADC step:
+ *
+ *  - leakage: every activated row conducts gOff even when its cell
+ *    stores zero, so a vector slice with ~N/2 ones accumulates
+ *    N/2 * leakPerCell LSBs. With 1-bit cells and the Table I
+ *    dynamic range (1500) this stays below 0.5 LSB up to N = 512 --
+ *    exactly why the paper limits blocks to 512 -- while 2-bit cells
+ *    at reduced range cross the threshold deterministically;
+ *  - programming error: a zero-mean Gaussian fraction E of each
+ *    target conductance, aggregated over the set cells of a column.
+ *
+ * Per-conversion errors aggregate over the (matrix slice, vector
+ * slice) grid with weights 2^(b+k); the resulting per-output error
+ * is mean 4*mu*maxA*maxX and sigma (4/3)*sig*maxA*maxX in value
+ * units. NoisyCsrOperator injects exactly that into an otherwise
+ * exact SpMV, which is what the Monte Carlo iteration-count
+ * experiments measure.
+ */
+
+#ifndef MSC_DEVICE_NOISY_HH
+#define MSC_DEVICE_NOISY_HH
+
+#include <vector>
+
+#include "device/cell.hh"
+#include "solver/solver.hh"
+
+namespace msc {
+
+/** Statistics of a single column conversion error, in LSBs. */
+struct ConversionErrorModel
+{
+    double mean = 0.0;    //!< E[round(leak + noise)]
+    double sigma = 0.0;   //!< std dev of the rounded error
+    double errProb = 0.0; //!< P(error != 0)
+    double meanAbs = 0.0; //!< E[|error|] given an error occurred
+};
+
+/**
+ * Error statistics of one column conversion.
+ *
+ * @param cell         device parameters (bits/cell, range, E)
+ * @param activeRows   rows driven by the vector slice (~N/2)
+ * @param setCells     cells storing a nonzero level in the column
+ */
+ConversionErrorModel conversionError(const CellParams &cell,
+                                     double activeRows,
+                                     double setCells);
+
+/** CSR operator with device-noise injection per output element. */
+class NoisyCsrOperator : public LinearOperator
+{
+  public:
+    /**
+     * @param crossbarRows  N of the modeled crossbars (512 default)
+     */
+    NoisyCsrOperator(const Csr &m, const CellParams &cell,
+                     std::uint64_t seed, unsigned crossbarRows = 512);
+
+    std::int32_t rows() const override;
+    std::int32_t cols() const override;
+    void apply(std::span<const double> x,
+               std::span<double> y) override;
+
+    const ConversionErrorModel &model() const { return conv; }
+
+    /** Number of static glitch coefficients this programming drew. */
+    std::size_t glitchCount() const { return glitches.size(); }
+
+  private:
+    /** A surviving misread, fixed at programming time. */
+    struct Glitch
+    {
+        std::int32_t row = 0;
+        std::int32_t col = 0;
+        double value = 0.0;
+    };
+
+    const Csr *mat;
+    CellParams cellParams;
+    Rng rng;
+    ConversionErrorModel conv;
+    double anSurvival = 0.0; //!< P(a second error defeats the AN fix)
+    std::vector<double> rowMaxAbs;
+    std::vector<Glitch> glitches;
+};
+
+} // namespace msc
+
+#endif // MSC_DEVICE_NOISY_HH

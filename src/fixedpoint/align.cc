@@ -1,0 +1,120 @@
+#include "fixedpoint/align.hh"
+
+#include "util/logging.hh"
+
+namespace msc {
+
+ExpRange
+expRangeOf(std::span<const double> values)
+{
+    ExpRange r;
+    for (double v : values) {
+        const Fp64Parts p = decompose(v);
+        if (!p.isFinite())
+            fatal("expRangeOf: non-finite value");
+        if (p.isZero())
+            continue;
+        // Use the exponent of the actual leading bit so subnormals
+        // report their true magnitude.
+        const int lead = p.exp -
+            (52 - (63 - std::countl_zero(p.mant)));
+        if (!r.anyNonZero) {
+            r.minExp = r.maxExp = lead;
+            r.anyNonZero = true;
+        } else {
+            r.minExp = std::min(r.minExp, lead);
+            r.maxExp = std::max(r.maxExp, lead);
+        }
+    }
+    return r;
+}
+
+BitVec
+AlignedSet::bitSlice(unsigned k) const
+{
+    BitVec bits(mag.size());
+    for (std::size_t i = 0; i < mag.size(); ++i) {
+        if (mag[i].bit(k))
+            bits.set(i);
+    }
+    return bits;
+}
+
+AlignedSet
+alignValues(std::span<const double> values)
+{
+    AlignedSet out;
+    out.range = expRangeOf(values);
+    if (!out.range.fits()) {
+        fatal("alignValues: exponent range ", out.range.span(),
+              " exceeds ", fxp::maxExpRange);
+    }
+
+    out.mag.reserve(values.size());
+    out.neg.reserve(values.size());
+    // Common scale: bit 0 of every magnitude weighs 2^(minMantExp)
+    // where minMantExp is the scale of the least significant mantissa
+    // bit of the smallest nonzero value.
+    const int minMantExp = out.range.anyNonZero
+        ? out.range.minExp - 52 : 0;
+    out.scale = minMantExp;
+
+    for (double v : values) {
+        const Fp64Parts p = decompose(v);
+        if (p.isZero()) {
+            out.mag.emplace_back();
+            out.neg.push_back(0);
+            continue;
+        }
+        // v = mant * 2^(exp - 52); shift so bit 0 sits at minMantExp.
+        const int shift = (p.exp - 52) - minMantExp;
+        if (shift < 0)
+            panic("alignValues: negative shift ", shift);
+        U128 m(p.mant);
+        m <<= static_cast<unsigned>(shift);
+        out.magBits = std::max(out.magBits, m.bitLength());
+        out.mag.push_back(m);
+        out.neg.push_back(p.sign ? 1 : 0);
+    }
+
+    if (out.magBits > fxp::maxMagBits) {
+        panic("alignValues: operand width ", out.magBits,
+              " exceeds ", fxp::maxMagBits);
+    }
+    return out;
+}
+
+BiasedSet
+biasEncode(const AlignedSet &aligned)
+{
+    BiasedSet out;
+    out.scale = aligned.scale;
+    // The smallest power of two exceeding every magnitude; zero-range
+    // blocks still need one bit.
+    out.biasBits = std::max(aligned.magBits, 1u);
+    const U128 bias = out.bias();
+
+    out.stored.reserve(aligned.size());
+    for (std::size_t i = 0; i < aligned.size(); ++i) {
+        if (aligned.neg[i])
+            out.stored.push_back(bias - aligned.mag[i]);
+        else
+            out.stored.push_back(bias + aligned.mag[i]);
+    }
+    return out;
+}
+
+void
+biasDecode(const BiasedSet &set, std::size_t i, U128 &mag, bool &neg)
+{
+    const U128 bias = set.bias();
+    if (set.stored[i] >= bias) {
+        mag = set.stored[i] - bias;
+        neg = false;
+    } else {
+        mag = bias - set.stored[i];
+        neg = true;
+    }
+}
+
+} // namespace msc

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Conversion of IEEE-754 doubles into block-aligned fixed point.
+ *
+ * Within a block, values that are summed in the analog domain must
+ * share a common binary point (paper Section IV-A). Each value
+ * (-1)^s * m * 2^(e-52) is stored as the integer m << (e - minExp)
+ * at the common scale 2^(minExp - 52). Exponent range locality keeps
+ * the pad small: a block is mappable only when its exponent range is
+ * at most maxExpRange (64), bounding operands at 117 magnitude bits
+ * plus a sign, i.e. the paper's 118-bit operand.
+ */
+
+#ifndef MSC_FIXEDPOINT_ALIGN_HH
+#define MSC_FIXEDPOINT_ALIGN_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fp/float64.hh"
+#include "util/bitvec.hh"
+#include "wideint/wideint.hh"
+
+namespace msc {
+
+namespace fxp {
+
+constexpr unsigned mantissaBits = 53;  //!< incl. the implicit 1
+constexpr unsigned maxPadBits = 64;    //!< alignment padding budget
+constexpr unsigned maxMagBits = 117;   //!< mantissa + padding
+constexpr unsigned operandBits = 118;  //!< + sign bit
+constexpr unsigned anCheckBits = 9;    //!< AN code (A = 251) overhead
+constexpr unsigned encodedBits = 127;  //!< full crossbar operand
+/** Maximum exponent spread mappable without precision loss. */
+constexpr int maxExpRange = static_cast<int>(maxPadBits);
+
+} // namespace fxp
+
+/** Exponent statistics over the nonzero entries of a value set. */
+struct ExpRange
+{
+    int minExp = 0;
+    int maxExp = 0;
+    bool anyNonZero = false;
+
+    int span() const { return anyNonZero ? maxExp - minExp : 0; }
+    bool fits() const { return span() <= fxp::maxExpRange; }
+};
+
+/** Compute the exponent range over nonzero values; fatal on inf/NaN. */
+ExpRange expRangeOf(std::span<const double> values);
+
+/**
+ * A set of values aligned to a common fixed-point scale.
+ *
+ * value_i = (-1)^neg_i * mag_i * 2^scale, with mag_i exact (no
+ * precision loss). Zero values have mag 0.
+ */
+struct AlignedSet
+{
+    std::vector<U128> mag;
+    std::vector<std::uint8_t> neg;
+    int scale = 0;         //!< power-of-two scale of bit 0
+    unsigned magBits = 0;  //!< max significant bits over the set
+    ExpRange range;
+
+    std::size_t size() const { return mag.size(); }
+
+    /** Exact double value of entry @p i (for testing). */
+    double
+    valueOf(std::size_t i) const
+    {
+        return fixedToDouble(neg[i], U256::from(mag[i]), scale);
+    }
+
+    /**
+     * Extract bit slice @p k: bit k of every magnitude.
+     * Used for vector slices driven onto crossbar rows.
+     */
+    BitVec bitSlice(unsigned k) const;
+};
+
+/**
+ * Align a value set to its own minimum exponent.
+ *
+ * Fatal if the exponent range exceeds maxExpRange (callers filter
+ * with expRangeOf / the blocking preprocessor first) or if any value
+ * is non-finite.
+ */
+AlignedSet alignValues(std::span<const double> values);
+
+/**
+ * Biased (unsigned) representation of an aligned set.
+ *
+ * Stored_i = mag_i * (-1)^neg_i + bias with the per-block bias
+ * constant 2^biasBits chosen from the actual exponent range (paper
+ * Section IV-C), so every stored operand is a nonnegative integer of
+ * at most biasBits+1 bits. Zero entries store exactly bias.
+ */
+struct BiasedSet
+{
+    std::vector<U128> stored;
+    unsigned biasBits = 0; //!< bias = 2^biasBits
+    int scale = 0;
+
+    std::size_t size() const { return stored.size(); }
+    U128 bias() const { return U128(1) << biasBits; }
+    /** Operand width in bits (biasBits + 1). */
+    unsigned width() const { return biasBits + 1; }
+};
+
+/** Bias-encode an aligned set (paper Section IV-C). */
+BiasedSet biasEncode(const AlignedSet &aligned);
+
+/** Recover the signed value of one biased entry (for testing). */
+void biasDecode(const BiasedSet &set, std::size_t i, U128 &mag,
+                bool &neg);
+
+} // namespace msc
+
+#endif // MSC_FIXEDPOINT_ALIGN_HH

@@ -1,0 +1,153 @@
+#include "fp/float64.hh"
+
+#include <bit>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace msc {
+
+Fp64Parts
+decompose(double v)
+{
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    Fp64Parts p;
+    p.sign = (bits >> 63) & 1;
+    const unsigned expField = static_cast<unsigned>((bits >> 52) & 0x7ff);
+    const std::uint64_t frac = bits & ((std::uint64_t{1} << 52) - 1);
+
+    if (expField == 0x7ff) {
+        p.inf = (frac == 0);
+        p.nan = (frac != 0);
+        return p;
+    }
+    if (expField == 0) {
+        // Subnormal (or zero): no implicit leading 1.
+        p.mant = frac;
+        p.exp = -1022;
+        return p;
+    }
+    p.mant = frac | (std::uint64_t{1} << 52);
+    p.exp = static_cast<int>(expField) - 1023;
+    return p;
+}
+
+double
+compose(const Fp64Parts &parts)
+{
+    if (parts.nan)
+        return std::numeric_limits<double>::quiet_NaN();
+    if (parts.inf) {
+        return parts.sign ? -std::numeric_limits<double>::infinity()
+                          : std::numeric_limits<double>::infinity();
+    }
+    if (parts.mant == 0)
+        return parts.sign ? -0.0 : 0.0;
+
+    std::uint64_t mant = parts.mant;
+    int exp = parts.exp;
+    // Canonicalize: callers may pass denormalized mantissas.
+    while (mant >= (std::uint64_t{1} << 53)) {
+        if (mant & 1)
+            panic("compose: mantissa wider than 53 significant bits");
+        mant >>= 1;
+        ++exp;
+    }
+    while (mant < (std::uint64_t{1} << 52) && exp > -1022) {
+        mant <<= 1;
+        --exp;
+    }
+
+    if (exp > 1023)
+        panic("compose: exponent out of range: ", exp);
+
+    std::uint64_t bits = parts.sign ? (std::uint64_t{1} << 63) : 0;
+    if (mant < (std::uint64_t{1} << 52)) {
+        // Subnormal: exponent field zero.
+        bits |= mant;
+    } else {
+        bits |= (static_cast<std::uint64_t>(exp + 1023) << 52);
+        bits |= mant & ((std::uint64_t{1} << 52) - 1);
+    }
+    return std::bit_cast<double>(bits);
+}
+
+namespace detail {
+
+double
+overflowResult(bool sign, RoundingMode mode)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double maxf = std::numeric_limits<double>::max();
+    switch (mode) {
+      case RoundingMode::NearestEven:
+        return sign ? -inf : inf;
+      case RoundingMode::TowardZero:
+        return sign ? -maxf : maxf;
+      case RoundingMode::TowardPosInf:
+        return sign ? -maxf : inf;
+      case RoundingMode::TowardNegInf:
+        return sign ? -inf : maxf;
+    }
+    panic("overflowResult: bad rounding mode");
+}
+
+std::uint64_t
+roundSignificand(std::uint64_t head, bool roundBit, bool sticky,
+                 bool sign, RoundingMode mode)
+{
+    bool inc = false;
+    switch (mode) {
+      case RoundingMode::NearestEven:
+        inc = roundBit && (sticky || (head & 1));
+        break;
+      case RoundingMode::TowardZero:
+        inc = false;
+        break;
+      case RoundingMode::TowardPosInf:
+        inc = !sign && (roundBit || sticky);
+        break;
+      case RoundingMode::TowardNegInf:
+        inc = sign && (roundBit || sticky);
+        break;
+    }
+    return head + (inc ? 1 : 0);
+}
+
+} // namespace detail
+
+double
+exactDot(const double *a, const double *x, std::size_t n,
+         RoundingMode mode, unsigned mantissaBits)
+{
+    // A fixed global scale wide enough for any finite double product:
+    // products range over 2^-2148 .. 2^2048 with 106-bit mantissas.
+    constexpr int fixedScale = -2200;
+    using Acc = WideUInt<68>; // 4352 bits
+
+    Acc pos, neg;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Fp64Parts pa = decompose(a[i]);
+        const Fp64Parts px = decompose(x[i]);
+        if (!pa.isFinite() || !px.isFinite())
+            fatal("exactDot: non-finite input at index ", i);
+        if (pa.mant == 0 || px.mant == 0)
+            continue;
+        const U256 prod =
+            U128(pa.mant).mulWide(U128(px.mant)); // <= 106 bits
+        const int scale = (pa.exp - 52) + (px.exp - 52);
+        const unsigned shift =
+            static_cast<unsigned>(scale - fixedScale);
+        Acc &acc = (pa.sign != px.sign) ? neg : pos;
+        acc.addShifted(Acc::from(prod), shift);
+    }
+
+    if (pos >= neg) {
+        return fixedToDouble(false, pos - neg, fixedScale, mode,
+                             mantissaBits);
+    }
+    return fixedToDouble(true, neg - pos, fixedScale, mode,
+                         mantissaBits);
+}
+
+} // namespace msc

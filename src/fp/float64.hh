@@ -1,0 +1,169 @@
+/**
+ * @file
+ * IEEE-754 double precision decomposition and exact recomposition.
+ *
+ * The accelerator converts doubles into sign/exponent/mantissa triples
+ * before aligning them into block-local fixed point (paper Section
+ * IV-A), and converts wide fixed-point dot products back into IEEE-754
+ * with a configurable rounding mode (Section IV-D). Both directions
+ * are implemented here exactly, including subnormals, overflow to
+ * infinity, and underflow.
+ */
+
+#ifndef MSC_FP_FLOAT64_HH
+#define MSC_FP_FLOAT64_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "wideint/wideint.hh"
+
+namespace msc {
+
+/** IEEE-754 rounding modes supported by the accelerator. */
+enum class RoundingMode
+{
+    /**
+     * Truncation of the biased running sum; the accelerator's native
+     * mode (biasing makes truncation round toward -inf, IV-D).
+     */
+    TowardNegInf,
+    TowardPosInf,
+    TowardZero,
+    /** Round to nearest, ties to even; needs 3 extra settled bits. */
+    NearestEven,
+};
+
+/**
+ * A decomposed double: value = (-1)^sign * mant * 2^(exp - 52).
+ *
+ * Normal numbers have mant in [2^52, 2^53); subnormals have smaller
+ * mantissas with exp pinned at -1022. Zero is mant == 0.
+ */
+struct Fp64Parts
+{
+    bool sign = false;
+    int exp = 0;            //!< unbiased exponent of the implicit-1 bit
+    std::uint64_t mant = 0; //!< up to 53 significant bits
+    bool inf = false;
+    bool nan = false;
+
+    bool isZero() const { return !inf && !nan && mant == 0; }
+    bool isFinite() const { return !inf && !nan; }
+};
+
+/** Split a double into sign / exponent / mantissa. */
+Fp64Parts decompose(double v);
+
+/** Reassemble parts produced by decompose(); exact inverse. */
+double compose(const Fp64Parts &parts);
+
+namespace detail {
+
+/** Saturated result on exponent overflow, honoring the rounding mode. */
+double overflowResult(bool sign, RoundingMode mode);
+
+/**
+ * Round an exact integer significand.
+ *
+ * @param head      the kept bits (< 2^53)
+ * @param roundBit  first dropped bit
+ * @param sticky    OR of all lower dropped bits
+ * @return head, possibly incremented per the rounding mode
+ */
+std::uint64_t roundSignificand(std::uint64_t head, bool roundBit,
+                               bool sticky, bool sign, RoundingMode mode);
+
+} // namespace detail
+
+/**
+ * Convert an exact signed fixed-point value into a double.
+ *
+ * The value is (-1)^sign * mag * 2^scale. This models the final
+ * conversion from the accelerator's intermediate floating-point
+ * format into IEEE-754: overflow saturates per the rounding mode with
+ * the exponent field all 1s, underflow goes through subnormals to
+ * zero, and rounding follows @p mode (Section IV-D).
+ */
+template <unsigned NW>
+double
+fixedToDouble(bool sign, const WideUInt<NW> &mag, int scale,
+              RoundingMode mode = RoundingMode::NearestEven,
+              unsigned mantissaBits = 53)
+{
+    if (mantissaBits == 0 || mantissaBits > 53)
+        panic("fixedToDouble: mantissaBits must be in [1, 53]");
+    const unsigned len = mag.bitLength();
+    if (len == 0)
+        return sign ? -0.0 : 0.0;
+
+    // Exponent of the leading bit of the value.
+    const int lead = scale + static_cast<int>(len) - 1;
+    if (lead > 1023)
+        return detail::overflowResult(sign, mode);
+
+    // Precision available at this magnitude: mantissaBits for
+    // normals (53 for IEEE double; the accelerator can be architected
+    // to arbitrary targets), fewer in the subnormal range.
+    int keep = static_cast<int>(mantissaBits);
+    if (lead < -1022)
+        keep -= (-1022 - lead);
+
+    if (keep <= 0) {
+        // The leading bit sits at (keep == 0) or below (keep < 0) the
+        // round position of the smallest subnormal; round from zero.
+        const bool roundBit = (keep == 0);
+        const bool sticky = (keep < 0) || len > 1;
+        std::uint64_t head = detail::roundSignificand(
+            0, roundBit, sticky, sign, mode);
+        double tiny = head ? 0x1.0p-1074 : 0.0;
+        return sign ? -tiny : tiny;
+    }
+
+    const int drop = static_cast<int>(len) - keep;
+    std::uint64_t head;
+    bool roundBit = false;
+    bool sticky = false;
+    if (drop <= 0) {
+        head = (WideUInt<NW>(mag) << static_cast<unsigned>(-drop)).low();
+    } else {
+        head = (mag >> static_cast<unsigned>(drop)).low();
+        roundBit = mag.bit(static_cast<unsigned>(drop) - 1);
+        if (drop >= 2) {
+            // sticky = any set bit strictly below the round bit
+            WideUInt<NW> below = mag << (NW * 64 - (drop - 1));
+            sticky = !below.isZero();
+        }
+    }
+
+    head = detail::roundSignificand(head, roundBit, sticky, sign, mode);
+    if (head == 0)
+        return sign ? -0.0 : 0.0;
+
+    // The head's least significant bit sits at absolute position
+    // scale + drop; rounding may have widened the head by one bit
+    // (e.g. 0b111 -> 0b1000), which the exponent check below covers.
+    const int headLen = 64 - std::countl_zero(head);
+    const int resExp = scale + drop + headLen - 1;
+    if (resExp > 1023)
+        return detail::overflowResult(sign, mode);
+    double d = std::ldexp(static_cast<double>(head), scale + drop);
+    return sign ? -d : d;
+}
+
+/**
+ * Reference dot product with a single exact accumulation.
+ *
+ * Computes round(sum_i a_i * x_i) where the sum is formed with
+ * infinite intermediate precision and rounded once at the end. This
+ * is what the accelerator computes for one matrix row within a block
+ * (the partial result buffer holds the exact running sum), and is the
+ * oracle used by the cluster tests. All inputs must be finite.
+ */
+double exactDot(const double *a, const double *x, std::size_t n,
+                RoundingMode mode = RoundingMode::NearestEven,
+                unsigned mantissaBits = 53);
+
+} // namespace msc
+
+#endif // MSC_FP_FLOAT64_HH

@@ -1,0 +1,80 @@
+#include "gpu/gpu.hh"
+
+#include <cmath>
+
+namespace msc {
+
+double
+GpuModel::gatherEfficiency(const MatrixStats &stats) const
+{
+    // Narrow-band matrices reuse cached x[] lines; wide or scattered
+    // patterns approach random HBM access.
+    const double locality =
+        std::exp(-static_cast<double>(stats.bandwidth) /
+                 prm.gatherLocalityScale);
+    return prm.gatherEffLow +
+           (prm.gatherEffHigh - prm.gatherEffLow) * locality;
+}
+
+GpuCost
+GpuModel::spmv(const MatrixStats &stats) const
+{
+    // Streamed: values (8B) + column indices (4B) per nonzero, row
+    // pointers (4B) + y write (8B, allocate-on-write read adds 8B)
+    // per row.
+    const double streamBytes =
+        static_cast<double>(stats.nnz) * 12.0 +
+        static_cast<double>(stats.rows) * 20.0;
+    // Gathered: one 8B x element per nonzero at gather efficiency.
+    const double gatherBytes = static_cast<double>(stats.nnz) * 8.0;
+
+    GpuCost c;
+    c.time = prm.kernelLaunch +
+             streamBytes / (prm.streamEfficiency * prm.memBandwidth) +
+             gatherBytes /
+                 (gatherEfficiency(stats) * prm.memBandwidth);
+    c.energy = c.time * prm.busyPower;
+    return c;
+}
+
+GpuCost
+GpuModel::dotProduct(std::uint64_t n) const
+{
+    GpuCost c;
+    const double bytes = static_cast<double>(n) * 16.0;
+    c.time = prm.kernelLaunch + prm.reduceSync +
+             bytes / (prm.streamEfficiency * prm.memBandwidth);
+    c.energy = c.time * prm.busyPower;
+    return c;
+}
+
+GpuCost
+GpuModel::axpy(std::uint64_t n) const
+{
+    GpuCost c;
+    const double bytes = static_cast<double>(n) * 24.0;
+    c.time = prm.kernelLaunch +
+             bytes / (prm.streamEfficiency * prm.memBandwidth);
+    c.energy = c.time * prm.busyPower;
+    return c;
+}
+
+GpuCost
+GpuModel::solve(const MatrixStats &stats, const SolverResult &run) const
+{
+    GpuCost total;
+    const GpuCost perSpmv = spmv(stats);
+    const GpuCost perDot = dotProduct(run.vectorLength);
+    const GpuCost perAxpy = axpy(run.vectorLength);
+    total.time = run.spmvCalls * perSpmv.time +
+                 run.dotCalls * perDot.time +
+                 run.axpyCalls * perAxpy.time;
+    total.energy = run.spmvCalls * perSpmv.energy +
+                   run.dotCalls * perDot.energy +
+                   run.axpyCalls * perAxpy.energy;
+    // Idle/baseline power over the whole solve.
+    total.energy += total.time * prm.idlePower;
+    return total;
+}
+
+} // namespace msc

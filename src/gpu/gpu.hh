@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Analytic Tesla P100 baseline model.
+ *
+ * Substitutes for the paper's GPGPUSim + GPUWattch baseline (Section
+ * VII-B). Krylov solver kernels on GPUs are memory-bound, so each
+ * kernel is modeled as streamed bytes over an effective bandwidth
+ * plus a fixed launch/sync overhead; SpMV additionally pays a
+ * gather penalty for the irregular x[] accesses whose cache locality
+ * depends on the matrix bandwidth. Energy is busy-power times busy
+ * time plus idle power. Constants are calibrated to published
+ * P100 SpMV/CG measurements (cuSPARSE-class efficiency; Anzt et al.
+ * [53] report launch/sync-dominated Krylov iterations at these
+ * problem sizes).
+ */
+
+#ifndef MSC_GPU_GPU_HH
+#define MSC_GPU_GPU_HH
+
+#include "solver/solver.hh"
+#include "sparse/stats.hh"
+
+namespace msc {
+
+struct GpuModelParams
+{
+    double memBandwidth = 732e9;   //!< HBM2 peak, bytes/s
+    double streamEfficiency = 0.35; //!< achieved fraction, streaming
+    /** Gather efficiency bounds: wide-band random access vs
+     *  cache-friendly narrow band. */
+    double gatherEffLow = 0.05;
+    double gatherEffHigh = 0.25;
+    /** Matrix bandwidth (in columns) at which gather locality decays
+     *  by 1/e. */
+    double gatherLocalityScale = 16384.0;
+    double kernelLaunch = 18e-6;   //!< seconds per launch (+ driver)
+    double reduceSync = 35e-6;     //!< host-blocking reduction sync
+    double busyPower = 160.0;      //!< watts while kernels run
+    double idlePower = 30.0;       //!< watts baseline
+    double dieAreaMm2 = 610.0;     //!< P100 die (Section VIII-C)
+};
+
+/** Time and energy of one kernel or one solve on the GPU. */
+struct GpuCost
+{
+    double time = 0.0;   //!< seconds
+    double energy = 0.0; //!< joules
+
+    GpuCost &
+    operator+=(const GpuCost &o)
+    {
+        time += o.time;
+        energy += o.energy;
+        return *this;
+    }
+};
+
+class GpuModel
+{
+  public:
+    explicit GpuModel(const GpuModelParams &params = {})
+        : prm(params)
+    {}
+
+    const GpuModelParams &params() const { return prm; }
+
+    /** One CSR SpMV y = A x. */
+    GpuCost spmv(const MatrixStats &stats) const;
+
+    /** One dense dot product of length n (includes reduction sync). */
+    GpuCost dotProduct(std::uint64_t n) const;
+
+    /** One AXPY of length n. */
+    GpuCost axpy(std::uint64_t n) const;
+
+    /**
+     * A full solve: kernel-call counts from a SolverResult mapped
+     * through the per-kernel models.
+     */
+    GpuCost solve(const MatrixStats &stats,
+                  const SolverResult &run) const;
+
+  private:
+    double gatherEfficiency(const MatrixStats &stats) const;
+
+    GpuModelParams prm;
+};
+
+} // namespace msc
+
+#endif // MSC_GPU_GPU_HH

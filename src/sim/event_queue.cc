@@ -1,0 +1,43 @@
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace msc {
+
+void
+EventQueue::schedule(double when, Callback fn, std::string label)
+{
+    if (when < currentTime) {
+        panic("EventQueue: scheduling into the past (", when, " < ",
+              currentTime, ") for ", label);
+    }
+    heap.push(Event{when, nextSeq++, std::move(fn),
+                    std::move(label)});
+}
+
+void
+EventQueue::scheduleAfter(double delay, Callback fn,
+                          std::string label)
+{
+    schedule(currentTime + delay, std::move(fn), std::move(label));
+}
+
+double
+EventQueue::run(std::uint64_t maxEvents)
+{
+    while (!heap.empty()) {
+        if (executed >= maxEvents)
+            fatal("EventQueue: event limit reached (runaway "
+                  "simulation?)");
+        // priority_queue::top is const; move out via const_cast is
+        // avoided by copying the (small) event.
+        Event ev = heap.top();
+        heap.pop();
+        currentTime = ev.when;
+        ++executed;
+        ev.fn();
+    }
+    return currentTime;
+}
+
+} // namespace msc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A small discrete-event simulation kernel.
+ *
+ * The closed-form kernel cost models in accel/ assume perfect
+ * overlap between cluster operations and the local processors' CSR
+ * work. The event-driven SpMV simulator (sim/spmv_sim.hh) checks
+ * that assumption by actually playing out cluster completions,
+ * interrupt servicing, and barrier arrival; this header provides the
+ * queue it runs on.
+ */
+
+#ifndef MSC_SIM_EVENT_QUEUE_HH
+#define MSC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace msc {
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p fn at absolute time @p when (seconds). */
+    void schedule(double when, Callback fn,
+                  std::string label = {});
+
+    /** Schedule @p fn at now() + @p delay. */
+    void scheduleAfter(double delay, Callback fn,
+                       std::string label = {});
+
+    /** Current simulated time (valid inside callbacks). */
+    double now() const { return currentTime; }
+
+    /** Events executed so far. */
+    std::uint64_t eventsRun() const { return executed; }
+
+    bool empty() const { return heap.empty(); }
+
+    /**
+     * Run until the queue drains or @p maxEvents fire.
+     * @return the time of the last executed event.
+     */
+    double run(std::uint64_t maxEvents = 100'000'000);
+
+  private:
+    struct Event
+    {
+        double when = 0.0;
+        std::uint64_t seq = 0; //!< FIFO tie-break at equal times
+        Callback fn;
+        std::string label;
+
+        bool
+        operator>(const Event &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>,
+                        std::greater<Event>>
+        heap;
+    double currentTime = 0.0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executed = 0;
+};
+
+} // namespace msc
+
+#endif // MSC_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,149 @@
+#include "sim/spmv_sim.hh"
+
+#include <algorithm>
+
+#include <sstream>
+
+#include "sim/event_queue.hh"
+#include "util/stats.hh"
+#include "util/logging.hh"
+
+namespace msc {
+
+namespace {
+
+/** Per-bank processor state evolved by interrupt events. */
+struct BankState
+{
+    double csrLeft = 0.0;        //!< seconds of CSR work remaining
+    double lastT = 0.0;          //!< last time state was advanced
+    double serviceBusyUntil = 0.0;
+    int interruptsLeft = 0;
+    double worstBacklog = 0.0;
+    double finish = 0.0;
+
+    /** Account CSR progress in the idle gap up to time @p t. */
+    void
+    advanceTo(double t)
+    {
+        const double gapStart = std::max(lastT, serviceBusyUntil);
+        if (t > gapStart)
+            csrLeft = std::max(0.0, csrLeft - (t - gapStart));
+        lastT = std::max(lastT, t);
+    }
+};
+
+} // namespace
+
+SpmvSimResult
+simulateSpmv(const SpmvSimConfig &config,
+             const std::vector<SimClusterOp> &ops)
+{
+    if (config.banks <= 0)
+        fatal("simulateSpmv: need at least one bank");
+    if (config.csrNnzPerBank.size() !=
+        static_cast<std::size_t>(config.banks))
+        fatal("simulateSpmv: csrNnzPerBank size mismatch");
+
+    const Bank bankModel(config.proc, config.mem);
+    const double f = config.proc.clockHz;
+    const double startCmd = config.startCommandCycles / f;
+    const double serviceT =
+        config.proc.clusterServiceCycles / f;
+
+    EventQueue queue;
+    std::vector<BankState> banks(
+        static_cast<std::size_t>(config.banks));
+    std::vector<int> opsPerBank(
+        static_cast<std::size_t>(config.banks), 0);
+    for (const auto &op : ops) {
+        if (op.bank < 0 || op.bank >= config.banks)
+            fatal("simulateSpmv: bad bank index");
+        ++opsPerBank[static_cast<std::size_t>(op.bank)];
+    }
+
+    for (int bk = 0; bk < config.banks; ++bk) {
+        BankState &st = banks[static_cast<std::size_t>(bk)];
+        st.interruptsLeft =
+            opsPerBank[static_cast<std::size_t>(bk)];
+        // The processor issues its start commands first, then starts
+        // on the CSR leftovers.
+        const double startPhase =
+            st.interruptsLeft * startCmd +
+            config.proc.kernelStartupCycles / f;
+        st.lastT = startPhase;
+        st.serviceBusyUntil = startPhase;
+        st.csrLeft =
+            bankModel.csrCycles(config.csrNnzPerBank[
+                static_cast<std::size_t>(bk)]) / f;
+        if (st.interruptsLeft == 0)
+            st.finish = startPhase + st.csrLeft;
+    }
+
+    // Cluster completions: start commands are issued in order, so
+    // the k-th op of a bank starts at k*startCmd.
+    std::vector<int> issued(static_cast<std::size_t>(config.banks),
+                            0);
+    for (const auto &op : ops) {
+        const auto bk = static_cast<std::size_t>(op.bank);
+        const double start = (issued[bk] + 1) * startCmd;
+        ++issued[bk];
+        const double done = start + op.latency;
+        queue.schedule(done, [&banks, bk, serviceT, done]() {
+            BankState &st = banks[bk];
+            st.advanceTo(done);
+            const double begin =
+                std::max(done, st.serviceBusyUntil);
+            st.worstBacklog =
+                std::max(st.worstBacklog, begin - done);
+            st.serviceBusyUntil = begin + serviceT;
+            --st.interruptsLeft;
+            if (st.interruptsLeft == 0) {
+                // Remaining CSR work runs after the last service.
+                st.finish = st.serviceBusyUntil + st.csrLeft;
+            }
+        }, "cluster-done");
+    }
+
+    queue.run();
+
+    SpmvSimResult res;
+    res.events = queue.eventsRun();
+    res.bankFinish.reserve(banks.size());
+    for (const BankState &st : banks) {
+        res.bankFinish.push_back(st.finish);
+        res.slowestBankTime =
+            std::max(res.slowestBankTime, st.finish);
+        res.maxInterruptQueue =
+            std::max(res.maxInterruptQueue, st.worstBacklog);
+    }
+    res.totalTime = res.slowestBankTime + config.mem.barrierLatency;
+    return res;
+}
+
+std::string
+formatSpmvSimStats(const SpmvSimResult &result)
+{
+    stats::Group group("spmvSim");
+    stats::Distribution finish(group, "bankFinish",
+                               "per-bank completion time [s]");
+    stats::Scalar events(group, "events", "simulation events run");
+    stats::Scalar total(group, "totalTime",
+                        "SpMV completion incl. barrier [s]");
+    stats::Formula balance(group, "loadBalance",
+                           "mean/max bank finish time", [&] {
+                               return finish.maxValue() > 0.0
+                                   ? finish.mean() /
+                                         finish.maxValue()
+                                   : 0.0;
+                           });
+    for (double t : result.bankFinish)
+        finish.sample(t);
+    events.set(static_cast<double>(result.events));
+    total.set(result.totalTime);
+    std::ostringstream os;
+    group.dump(os);
+    return os.str();
+}
+
+} // namespace msc

@@ -1,0 +1,363 @@
+#include "solver/solver.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace msc {
+
+namespace {
+
+void
+checkSystem(const LinearOperator &a, std::span<const double> b,
+            std::span<double> x)
+{
+    if (a.rows() != a.cols())
+        fatal("solver: operator must be square");
+    if (b.size() != static_cast<std::size_t>(a.rows()) ||
+        x.size() != b.size())
+        fatal("solver: dimension mismatch");
+}
+
+} // namespace
+
+SolverResult
+conjugateGradient(LinearOperator &a, std::span<const double> b,
+                  std::span<double> x, const SolverConfig &cfg)
+{
+    checkSystem(a, b, x);
+    const std::size_t n = b.size();
+    SolverResult res;
+    res.vectorLength = n;
+
+    std::vector<double> r(n), p(n), ap(n);
+    // r = b - A x
+    a.apply(x, r);
+    ++res.spmvCalls;
+    for (std::size_t i = 0; i < n; ++i)
+        r[i] = b[i] - r[i];
+    p = r;
+
+    const double bNorm = norm2(b);
+    ++res.dotCalls;
+    if (bNorm == 0.0) {
+        std::fill(x.begin(), x.end(), 0.0);
+        res.converged = true;
+        return res;
+    }
+
+    double rr = dot(r, r);
+    ++res.dotCalls;
+    for (int it = 0; it < cfg.maxIterations; ++it) {
+        if (std::sqrt(rr) / bNorm <= cfg.tolerance) {
+            res.converged = true;
+            break;
+        }
+        a.apply(p, ap);
+        ++res.spmvCalls;
+        const double pap = dot(p, ap);
+        ++res.dotCalls;
+        if (pap <= 0.0) {
+            warn("CG: operator not positive definite (p'Ap = ", pap,
+                 "); aborting");
+            break;
+        }
+        const double alpha = rr / pap;
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
+        res.axpyCalls += 2;
+        const double rrNew = dot(r, r);
+        ++res.dotCalls;
+        const double beta = rrNew / rr;
+        // p = r + beta p
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = r[i] + beta * p[i];
+        ++res.axpyCalls;
+        rr = rrNew;
+        ++res.iterations;
+    }
+    res.relResidual = std::sqrt(rr) / bNorm;
+    res.converged = res.relResidual <= cfg.tolerance;
+    return res;
+}
+
+SolverResult
+biCgStab(LinearOperator &a, std::span<const double> b,
+         std::span<double> x, const SolverConfig &cfg)
+{
+    checkSystem(a, b, x);
+    const std::size_t n = b.size();
+    SolverResult res;
+    res.vectorLength = n;
+
+    std::vector<double> r(n), rHat(n), p(n), v(n), s(n), t(n);
+    a.apply(x, r);
+    ++res.spmvCalls;
+    for (std::size_t i = 0; i < n; ++i)
+        r[i] = b[i] - r[i];
+    rHat = r;
+
+    const double bNorm = norm2(b);
+    ++res.dotCalls;
+    if (bNorm == 0.0) {
+        std::fill(x.begin(), x.end(), 0.0);
+        res.converged = true;
+        return res;
+    }
+
+    double rho = 1.0, alpha = 1.0, omega = 1.0;
+    std::fill(p.begin(), p.end(), 0.0);
+    std::fill(v.begin(), v.end(), 0.0);
+
+    double resNorm = norm2(r);
+    ++res.dotCalls;
+    for (int it = 0; it < cfg.maxIterations; ++it) {
+        if (resNorm / bNorm <= cfg.tolerance) {
+            res.converged = true;
+            break;
+        }
+        const double rhoNew = dot(rHat, r);
+        ++res.dotCalls;
+        if (rhoNew == 0.0) {
+            warn("BiCG-STAB: breakdown (rho = 0) at iteration ", it);
+            break;
+        }
+        const double beta = (rhoNew / rho) * (alpha / omega);
+        rho = rhoNew;
+        // p = r + beta (p - omega v)
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        res.axpyCalls += 2;
+        a.apply(p, v);
+        ++res.spmvCalls;
+        const double rHatV = dot(rHat, v);
+        ++res.dotCalls;
+        if (rHatV == 0.0) {
+            warn("BiCG-STAB: breakdown (rHat'v = 0) at iteration ",
+                 it);
+            break;
+        }
+        alpha = rho / rHatV;
+        for (std::size_t i = 0; i < n; ++i)
+            s[i] = r[i] - alpha * v[i];
+        ++res.axpyCalls;
+        const double sNorm = norm2(s);
+        ++res.dotCalls;
+        if (sNorm / bNorm <= cfg.tolerance) {
+            axpy(alpha, p, x);
+            ++res.axpyCalls;
+            ++res.iterations;
+            resNorm = sNorm;
+            res.converged = true;
+            break;
+        }
+        a.apply(s, t);
+        ++res.spmvCalls;
+        const double tt = dot(t, t);
+        const double ts = dot(t, s);
+        res.dotCalls += 2;
+        if (tt == 0.0) {
+            warn("BiCG-STAB: breakdown (t = 0) at iteration ", it);
+            break;
+        }
+        omega = ts / tt;
+        // x += alpha p + omega s ; r = s - omega t
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] += alpha * p[i] + omega * s[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        res.axpyCalls += 3;
+        if (omega == 0.0) {
+            warn("BiCG-STAB: breakdown (omega = 0) at iteration ", it);
+            break;
+        }
+        resNorm = norm2(r);
+        ++res.dotCalls;
+        ++res.iterations;
+    }
+    res.relResidual = resNorm / bNorm;
+    res.converged = res.relResidual <= cfg.tolerance;
+    return res;
+}
+
+SolverResult
+biCg(TransposableOperator &a, std::span<const double> b,
+     std::span<double> x, const SolverConfig &cfg)
+{
+    checkSystem(a, b, x);
+    const std::size_t n = b.size();
+    SolverResult res;
+    res.vectorLength = n;
+
+    std::vector<double> r(n), rT(n), p(n), pT(n), ap(n), atp(n);
+    a.apply(x, r);
+    ++res.spmvCalls;
+    for (std::size_t i = 0; i < n; ++i)
+        r[i] = b[i] - r[i];
+    rT = r;
+    p = r;
+    pT = rT;
+
+    const double bNorm = norm2(b);
+    ++res.dotCalls;
+    if (bNorm == 0.0) {
+        std::fill(x.begin(), x.end(), 0.0);
+        res.converged = true;
+        return res;
+    }
+
+    double rho = dot(rT, r);
+    ++res.dotCalls;
+    double resNorm = norm2(r);
+    ++res.dotCalls;
+    for (int it = 0; it < cfg.maxIterations; ++it) {
+        if (resNorm / bNorm <= cfg.tolerance) {
+            res.converged = true;
+            break;
+        }
+        if (rho == 0.0) {
+            warn("BiCG: breakdown (rho = 0) at iteration ", it);
+            break;
+        }
+        a.apply(p, ap);
+        a.applyTranspose(pT, atp);
+        res.spmvCalls += 2;
+        const double pTap = dot(pT, ap);
+        ++res.dotCalls;
+        if (pTap == 0.0) {
+            warn("BiCG: breakdown (pT'Ap = 0) at iteration ", it);
+            break;
+        }
+        const double alpha = rho / pTap;
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
+        axpy(-alpha, atp, rT);
+        res.axpyCalls += 3;
+        const double rhoNew = dot(rT, r);
+        ++res.dotCalls;
+        const double beta = rhoNew / rho;
+        for (std::size_t i = 0; i < n; ++i) {
+            p[i] = r[i] + beta * p[i];
+            pT[i] = rT[i] + beta * pT[i];
+        }
+        res.axpyCalls += 2;
+        rho = rhoNew;
+        resNorm = norm2(r);
+        ++res.dotCalls;
+        ++res.iterations;
+    }
+    res.relResidual = resNorm / bNorm;
+    res.converged = res.relResidual <= cfg.tolerance;
+    return res;
+}
+
+SolverResult
+gmres(LinearOperator &a, std::span<const double> b,
+      std::span<double> x, const SolverConfig &cfg, int restart)
+{
+    checkSystem(a, b, x);
+    if (restart < 1)
+        fatal("gmres: restart must be >= 1");
+    const std::size_t n = b.size();
+    const auto m = static_cast<std::size_t>(restart);
+    SolverResult res;
+    res.vectorLength = n;
+
+    const double bNorm = norm2(b);
+    ++res.dotCalls;
+    if (bNorm == 0.0) {
+        std::fill(x.begin(), x.end(), 0.0);
+        res.converged = true;
+        return res;
+    }
+
+    std::vector<std::vector<double>> v(m + 1,
+                                       std::vector<double>(n));
+    std::vector<std::vector<double>> h(m + 1,
+                                       std::vector<double>(m, 0.0));
+    std::vector<double> cs(m, 0.0), sn(m, 0.0), g(m + 1, 0.0);
+    std::vector<double> w(n);
+
+    double resNorm = bNorm;
+    while (res.iterations < cfg.maxIterations) {
+        // r = b - A x
+        a.apply(x, w);
+        ++res.spmvCalls;
+        for (std::size_t i = 0; i < n; ++i)
+            v[0][i] = b[i] - w[i];
+        resNorm = norm2(v[0]);
+        ++res.dotCalls;
+        if (resNorm / bNorm <= cfg.tolerance) {
+            res.converged = true;
+            break;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            v[0][i] /= resNorm;
+        std::fill(g.begin(), g.end(), 0.0);
+        g[0] = resNorm;
+
+        std::size_t j = 0;
+        for (; j < m && res.iterations < cfg.maxIterations; ++j) {
+            a.apply(v[j], w);
+            ++res.spmvCalls;
+            // Modified Gram-Schmidt.
+            for (std::size_t i = 0; i <= j; ++i) {
+                h[i][j] = dot(w, v[i]);
+                ++res.dotCalls;
+                axpy(-h[i][j], v[i], w);
+                ++res.axpyCalls;
+            }
+            h[j + 1][j] = norm2(w);
+            ++res.dotCalls;
+            if (h[j + 1][j] != 0.0) {
+                for (std::size_t i = 0; i < n; ++i)
+                    v[j + 1][i] = w[i] / h[j + 1][j];
+            }
+            // Apply accumulated Givens rotations to column j.
+            for (std::size_t i = 0; i < j; ++i) {
+                const double t1 = cs[i] * h[i][j] + sn[i] * h[i + 1][j];
+                h[i + 1][j] = -sn[i] * h[i][j] + cs[i] * h[i + 1][j];
+                h[i][j] = t1;
+            }
+            const double denom = std::hypot(h[j][j], h[j + 1][j]);
+            if (denom == 0.0) {
+                cs[j] = 1.0;
+                sn[j] = 0.0;
+            } else {
+                cs[j] = h[j][j] / denom;
+                sn[j] = h[j + 1][j] / denom;
+            }
+            h[j][j] = cs[j] * h[j][j] + sn[j] * h[j + 1][j];
+            h[j + 1][j] = 0.0;
+            g[j + 1] = -sn[j] * g[j];
+            g[j] = cs[j] * g[j];
+            ++res.iterations;
+            resNorm = std::fabs(g[j + 1]);
+            if (resNorm / bNorm <= cfg.tolerance) {
+                ++j;
+                break;
+            }
+        }
+        // Solve the triangular system and update x.
+        std::vector<double> y(j, 0.0);
+        for (std::size_t i = j; i-- > 0;) {
+            double sum = g[i];
+            for (std::size_t k = i + 1; k < j; ++k)
+                sum -= h[i][k] * y[k];
+            y[i] = h[i][i] != 0.0 ? sum / h[i][i] : 0.0;
+        }
+        for (std::size_t i = 0; i < j; ++i) {
+            axpy(y[i], v[i], x);
+            ++res.axpyCalls;
+        }
+        if (resNorm / bNorm <= cfg.tolerance) {
+            res.converged = true;
+            break;
+        }
+    }
+    res.relResidual = resNorm / bNorm;
+    res.converged = res.relResidual <= cfg.tolerance;
+    return res;
+}
+
+} // namespace msc

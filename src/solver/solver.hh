@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Krylov subspace solvers (Section II-B, VI).
+ *
+ * The paper evaluates conjugate gradient (CG) for symmetric positive
+ * definite systems and BiCG-STAB for the rest; GMRES(m) is provided
+ * as the third mainstream method the paper names. Solvers are
+ * written against an abstract operator so the same code runs on the
+ * plain CSR matrix, the accelerator functional model, or the noisy
+ * device model (Figures 12/13).
+ *
+ * Kernel-call counts are recorded so the timing models can translate
+ * one solve into accelerator and GPU execution time (Section VI-A:
+ * sparse MVM, dot product, AXPY).
+ */
+
+#ifndef MSC_SOLVER_SOLVER_HH
+#define MSC_SOLVER_SOLVER_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace msc {
+
+/** Abstract y = A x operator. */
+class LinearOperator
+{
+  public:
+    virtual ~LinearOperator() = default;
+
+    virtual std::int32_t rows() const = 0;
+    virtual std::int32_t cols() const = 0;
+
+    /** y = A x. */
+    virtual void apply(std::span<const double> x,
+                       std::span<double> y) = 0;
+};
+
+/** Operator that can also apply its transpose (needed by BiCG). */
+class TransposableOperator : public LinearOperator
+{
+  public:
+    /** y = A^T x. */
+    virtual void applyTranspose(std::span<const double> x,
+                                std::span<double> y) = 0;
+};
+
+/** Plain CSR-backed operator (the CPU/GPU reference arithmetic). */
+class CsrOperator : public TransposableOperator
+{
+  public:
+    explicit CsrOperator(const Csr &m) : mat(&m) {}
+
+    std::int32_t rows() const override { return mat->rows(); }
+    std::int32_t cols() const override { return mat->cols(); }
+
+    void
+    apply(std::span<const double> x, std::span<double> y) override
+    {
+        mat->spmv(x, y);
+    }
+
+    void
+    applyTranspose(std::span<const double> x,
+                   std::span<double> y) override
+    {
+        mat->spmvTranspose(x, y);
+    }
+
+  private:
+    const Csr *mat;
+};
+
+struct SolverConfig
+{
+    double tolerance = 1e-10;  //!< relative residual target
+    int maxIterations = 5000;
+};
+
+struct SolverResult
+{
+    bool converged = false;
+    int iterations = 0;
+    double relResidual = 0.0; //!< ||b - Ax|| / ||b|| at exit
+    /** Kernel-call counts for the platform timing models. */
+    std::uint64_t spmvCalls = 0;
+    std::uint64_t dotCalls = 0;
+    std::uint64_t axpyCalls = 0;
+    std::uint64_t precondApplies = 0;
+    std::uint64_t vectorLength = 0;
+};
+
+/** Conjugate gradient; requires a symmetric positive definite A. */
+SolverResult conjugateGradient(LinearOperator &a,
+                               std::span<const double> b,
+                               std::span<double> x,
+                               const SolverConfig &cfg = {});
+
+/** Stabilized bi-conjugate gradient (van der Vorst). */
+SolverResult biCgStab(LinearOperator &a, std::span<const double> b,
+                      std::span<double> x,
+                      const SolverConfig &cfg = {});
+
+/** Plain bi-conjugate gradient (needs A^T; Section II-B names it
+ *  among the mainstream non-SPD methods). */
+SolverResult biCg(TransposableOperator &a, std::span<const double> b,
+                  std::span<double> x, const SolverConfig &cfg = {});
+
+/** Restarted GMRES(m) with modified Gram-Schmidt. */
+SolverResult gmres(LinearOperator &a, std::span<const double> b,
+                   std::span<double> x, const SolverConfig &cfg = {},
+                   int restart = 30);
+
+} // namespace msc
+
+#endif // MSC_SOLVER_SOLVER_HH

@@ -1,0 +1,171 @@
+#include "solver/stationary.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace msc {
+
+namespace {
+
+std::vector<double>
+diagonalOf(const Csr &a)
+{
+    if (a.rows() != a.cols())
+        fatal("stationary solver: matrix must be square");
+    std::vector<double> d(static_cast<std::size_t>(a.rows()), 0.0);
+    for (std::int32_t r = 0; r < a.rows(); ++r) {
+        const auto cols = a.rowCols(r);
+        const auto vals = a.rowVals(r);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+            if (cols[k] == r)
+                d[static_cast<std::size_t>(r)] = vals[k];
+        }
+        if (d[static_cast<std::size_t>(r)] == 0.0)
+            fatal("stationary solver: zero diagonal at row ", r);
+    }
+    return d;
+}
+
+double
+relResidualNorm(const Csr &a, std::span<const double> b,
+                std::span<const double> x, double bNorm,
+                std::vector<double> &scratch)
+{
+    a.spmv(x, scratch);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        const double r = b[i] - scratch[i];
+        acc += r * r;
+    }
+    return std::sqrt(acc) / bNorm;
+}
+
+} // namespace
+
+SolverResult
+jacobiIteration(const Csr &a, std::span<const double> b,
+                std::span<double> x, const SolverConfig &cfg)
+{
+    const auto d = diagonalOf(a);
+    if (b.size() != d.size() || x.size() != d.size())
+        fatal("jacobiIteration: dimension mismatch");
+    SolverResult res;
+    res.vectorLength = b.size();
+    const double bNorm = norm2(b);
+    ++res.dotCalls;
+    if (bNorm == 0.0) {
+        std::fill(x.begin(), x.end(), 0.0);
+        res.converged = true;
+        return res;
+    }
+
+    std::vector<double> ax(b.size());
+    for (int it = 0; it < cfg.maxIterations; ++it) {
+        a.spmv(x, ax);
+        ++res.spmvCalls;
+        double rNorm = 0.0;
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            const double r = b[i] - ax[i];
+            rNorm += r * r;
+            x[i] += r / d[i];
+        }
+        ++res.axpyCalls;
+        ++res.iterations;
+        res.relResidual = std::sqrt(rNorm) / bNorm;
+        ++res.dotCalls;
+        if (res.relResidual <= cfg.tolerance) {
+            res.converged = true;
+            break;
+        }
+    }
+    return res;
+}
+
+SolverResult
+sor(const Csr &a, std::span<const double> b, std::span<double> x,
+    double omega, const SolverConfig &cfg)
+{
+    if (omega <= 0.0 || omega >= 2.0)
+        fatal("sor: omega must lie in (0, 2), got ", omega);
+    const auto d = diagonalOf(a);
+    if (b.size() != d.size() || x.size() != d.size())
+        fatal("sor: dimension mismatch");
+    SolverResult res;
+    res.vectorLength = b.size();
+    const double bNorm = norm2(b);
+    ++res.dotCalls;
+    if (bNorm == 0.0) {
+        std::fill(x.begin(), x.end(), 0.0);
+        res.converged = true;
+        return res;
+    }
+
+    std::vector<double> scratch(b.size());
+    for (int it = 0; it < cfg.maxIterations; ++it) {
+        // In-place forward sweep.
+        for (std::int32_t i = 0; i < a.rows(); ++i) {
+            const auto cols = a.rowCols(i);
+            const auto vals = a.rowVals(i);
+            double acc = b[static_cast<std::size_t>(i)];
+            for (std::size_t k = 0; k < cols.size(); ++k) {
+                if (cols[k] != i)
+                    acc -= vals[k] *
+                           x[static_cast<std::size_t>(cols[k])];
+            }
+            const double gs = acc / d[static_cast<std::size_t>(i)];
+            x[static_cast<std::size_t>(i)] =
+                (1.0 - omega) * x[static_cast<std::size_t>(i)] +
+                omega * gs;
+        }
+        ++res.spmvCalls; // one sweep touches every nonzero once
+        ++res.iterations;
+        res.relResidual =
+            relResidualNorm(a, b, x, bNorm, scratch);
+        ++res.dotCalls;
+        if (res.relResidual <= cfg.tolerance) {
+            res.converged = true;
+            break;
+        }
+    }
+    return res;
+}
+
+SolverResult
+gaussSeidel(const Csr &a, std::span<const double> b,
+            std::span<double> x, const SolverConfig &cfg)
+{
+    return sor(a, b, x, 1.0, cfg);
+}
+
+double
+jacobiSpectralRadius(const Csr &a, int iterations,
+                     std::uint64_t seed)
+{
+    const auto d = diagonalOf(a);
+    const std::size_t n = d.size();
+    Rng rng(seed);
+    std::vector<double> v(n), w(n);
+    for (auto &val : v)
+        val = rng.uniform(-1.0, 1.0);
+    double norm = norm2(v);
+    for (auto &val : v)
+        val /= norm;
+
+    double lambda = 0.0;
+    for (int it = 0; it < iterations; ++it) {
+        // w = D^-1 (L + U) v = D^-1 (A v - D v).
+        a.spmv(v, w);
+        for (std::size_t i = 0; i < n; ++i)
+            w[i] = (w[i] - d[i] * v[i]) / d[i];
+        lambda = norm2(w);
+        if (lambda == 0.0)
+            return 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            v[i] = w[i] / lambda;
+    }
+    return lambda;
+}
+
+} // namespace msc

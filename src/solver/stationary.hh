@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Stationary iterative solvers.
+ *
+ * Section II-B: "Iterative methods are subdivided into stationary
+ * and Krylov subspace methods." The paper focuses on the Krylov
+ * family; the classical stationary methods (Jacobi, Gauss-Seidel,
+ * SOR) complete the taxonomy and double as smoothers. Each iteration
+ * is one SpMV-class sweep, so they map onto the accelerator's
+ * kernels the same way CG's building blocks do.
+ */
+
+#ifndef MSC_SOLVER_STATIONARY_HH
+#define MSC_SOLVER_STATIONARY_HH
+
+#include "solver/solver.hh"
+
+namespace msc {
+
+/** x_{k+1} = x_k + D^-1 (b - A x_k). */
+SolverResult jacobiIteration(const Csr &a, std::span<const double> b,
+                             std::span<double> x,
+                             const SolverConfig &cfg = {});
+
+/** Forward Gauss-Seidel sweeps: (D + L) x_{k+1} = b - U x_k. */
+SolverResult gaussSeidel(const Csr &a, std::span<const double> b,
+                         std::span<double> x,
+                         const SolverConfig &cfg = {});
+
+/**
+ * Successive over-relaxation with factor @p omega in (0, 2);
+ * omega = 1 reduces to Gauss-Seidel.
+ */
+SolverResult sor(const Csr &a, std::span<const double> b,
+                 std::span<double> x, double omega,
+                 const SolverConfig &cfg = {});
+
+/**
+ * Power-iteration estimate of the spectral radius of D^-1 (L + U)
+ * (the Jacobi iteration matrix): < 1 iff Jacobi converges, and its
+ * magnitude predicts the convergence rate.
+ */
+double jacobiSpectralRadius(const Csr &a, int iterations = 100,
+                            std::uint64_t seed = 1);
+
+} // namespace msc
+
+#endif // MSC_SOLVER_STATIONARY_HH

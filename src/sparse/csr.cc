@@ -1,0 +1,184 @@
+#include "sparse/csr.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace msc {
+
+Csr
+Csr::fromCoo(const Coo &coo)
+{
+    Csr m;
+    m.nRows = coo.rows;
+    m.nCols = coo.cols;
+
+    for (const auto &t : coo.entries) {
+        if (t.row < 0 || t.row >= coo.rows || t.col < 0 ||
+            t.col >= coo.cols) {
+            fatal("Csr::fromCoo: entry (", t.row, ",", t.col,
+                  ") outside ", coo.rows, "x", coo.cols);
+        }
+    }
+
+    std::vector<std::size_t> order(coo.entries.size());
+    std::iota(order.begin(), order.end(), 0);
+    // stable_sort: duplicates accumulate in insertion order, so a
+    // symmetric emission (v at (r,c) and at (c,r)) sums in the same
+    // order on both sides and stays bit-identical.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         const auto &ea = coo.entries[a];
+                         const auto &eb = coo.entries[b];
+                         if (ea.row != eb.row)
+                             return ea.row < eb.row;
+                         return ea.col < eb.col;
+                     });
+
+    m.rowStart.assign(static_cast<std::size_t>(coo.rows) + 1, 0);
+    m.colIdx.reserve(coo.entries.size());
+    m.vals.reserve(coo.entries.size());
+
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        const Triplet &t = coo.entries[order[k]];
+        if (k > 0) {
+            const Triplet &prev = coo.entries[order[k - 1]];
+            if (prev.row == t.row && prev.col == t.col) {
+                m.vals.back() += t.val; // duplicate: accumulate
+                continue;
+            }
+        }
+        m.colIdx.push_back(t.col);
+        m.vals.push_back(t.val);
+        m.rowStart[static_cast<std::size_t>(t.row) + 1] += 1;
+    }
+    for (std::size_t r = 0; r < static_cast<std::size_t>(coo.rows); ++r)
+        m.rowStart[r + 1] += m.rowStart[r];
+    return m;
+}
+
+Csr
+Csr::identity(std::int32_t n)
+{
+    Coo coo;
+    coo.rows = coo.cols = n;
+    coo.entries.reserve(static_cast<std::size_t>(n));
+    for (std::int32_t i = 0; i < n; ++i)
+        coo.add(i, i, 1.0);
+    return fromCoo(coo);
+}
+
+void
+Csr::spmv(std::span<const double> x, std::span<double> y) const
+{
+    if (x.size() != static_cast<std::size_t>(nCols) ||
+        y.size() != static_cast<std::size_t>(nRows))
+        fatal("Csr::spmv: dimension mismatch");
+    for (std::int32_t r = 0; r < nRows; ++r) {
+        double acc = 0.0;
+        for (std::int32_t k = rowStart[r]; k < rowStart[r + 1]; ++k)
+            acc += vals[k] * x[static_cast<std::size_t>(colIdx[k])];
+        y[static_cast<std::size_t>(r)] = acc;
+    }
+}
+
+void
+Csr::spmvTranspose(std::span<const double> x, std::span<double> y) const
+{
+    if (x.size() != static_cast<std::size_t>(nRows) ||
+        y.size() != static_cast<std::size_t>(nCols))
+        fatal("Csr::spmvTranspose: dimension mismatch");
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::int32_t r = 0; r < nRows; ++r) {
+        const double xr = x[static_cast<std::size_t>(r)];
+        for (std::int32_t k = rowStart[r]; k < rowStart[r + 1]; ++k)
+            y[static_cast<std::size_t>(colIdx[k])] += vals[k] * xr;
+    }
+}
+
+Csr
+Csr::transpose() const
+{
+    Coo coo;
+    coo.rows = nCols;
+    coo.cols = nRows;
+    coo.entries.reserve(nnz());
+    for (std::int32_t r = 0; r < nRows; ++r) {
+        for (std::int32_t k = rowStart[r]; k < rowStart[r + 1]; ++k)
+            coo.add(colIdx[k], r, vals[k]);
+    }
+    return fromCoo(coo);
+}
+
+bool
+Csr::isSymmetric(double relTol) const
+{
+    if (nRows != nCols)
+        return false;
+    const Csr t = transpose();
+    if (t.colIdx != colIdx || t.rowStart != rowStart)
+        return false;
+    for (std::size_t k = 0; k < vals.size(); ++k) {
+        const double d = std::fabs(vals[k] - t.vals[k]);
+        const double scale = std::max(std::fabs(vals[k]),
+                                      std::fabs(t.vals[k]));
+        if (d > relTol * scale && d != 0.0)
+            return false;
+    }
+    return true;
+}
+
+Coo
+Csr::toCoo() const
+{
+    Coo coo;
+    coo.rows = nRows;
+    coo.cols = nCols;
+    coo.entries.reserve(nnz());
+    for (std::int32_t r = 0; r < nRows; ++r) {
+        for (std::int32_t k = rowStart[r]; k < rowStart[r + 1]; ++k)
+            coo.add(r, colIdx[k], vals[k]);
+    }
+    return coo;
+}
+
+std::vector<double>
+Csr::rowSums() const
+{
+    std::vector<double> sums(static_cast<std::size_t>(nRows), 0.0);
+    for (std::int32_t r = 0; r < nRows; ++r) {
+        for (std::int32_t k = rowStart[r]; k < rowStart[r + 1]; ++k)
+            sums[static_cast<std::size_t>(r)] += vals[k];
+    }
+    return sums;
+}
+
+void
+axpy(double a, std::span<const double> x, std::span<double> y)
+{
+    if (x.size() != y.size())
+        fatal("axpy: length mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] += a * x[i];
+}
+
+double
+dot(std::span<const double> x, std::span<const double> y)
+{
+    if (x.size() != y.size())
+        fatal("dot: length mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        acc += x[i] * y[i];
+    return acc;
+}
+
+double
+norm2(std::span<const double> x)
+{
+    return std::sqrt(dot(x, x));
+}
+
+} // namespace msc

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Sparse matrix containers: coordinate (COO) and compressed sparse
+ * row (CSR) formats.
+ *
+ * CSR is the format the paper's local processors use for elements
+ * that cannot be blocked (Section VI-A1), and the base representation
+ * from which the blocking preprocessor works.
+ */
+
+#ifndef MSC_SPARSE_CSR_HH
+#define MSC_SPARSE_CSR_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace msc {
+
+/** One nonzero entry of a sparse matrix. */
+struct Triplet
+{
+    std::int32_t row = 0;
+    std::int32_t col = 0;
+    double val = 0.0;
+};
+
+/** Unordered coordinate-format sparse matrix. */
+struct Coo
+{
+    std::int32_t rows = 0;
+    std::int32_t cols = 0;
+    std::vector<Triplet> entries;
+
+    void
+    add(std::int32_t r, std::int32_t c, double v)
+    {
+        entries.push_back({r, c, v});
+    }
+
+    std::size_t nnz() const { return entries.size(); }
+};
+
+/** Compressed sparse row matrix with double coefficients. */
+class Csr
+{
+  public:
+    Csr() = default;
+
+    /** Build from COO; duplicate entries are summed. */
+    static Csr fromCoo(const Coo &coo);
+
+    /** Build an n x n identity. */
+    static Csr identity(std::int32_t n);
+
+    std::int32_t rows() const { return nRows; }
+    std::int32_t cols() const { return nCols; }
+    std::size_t nnz() const { return colIdx.size(); }
+
+    std::span<const std::int32_t> rowPtr() const { return rowStart; }
+    std::span<const std::int32_t> colIndex() const { return colIdx; }
+    std::span<const double> values() const { return vals; }
+    std::span<double> values() { return vals; }
+
+    /** Number of nonzeros in row @p r. */
+    std::int32_t
+    rowNnz(std::int32_t r) const
+    {
+        return rowStart[r + 1] - rowStart[r];
+    }
+
+    /** Column indices of row @p r. */
+    std::span<const std::int32_t>
+    rowCols(std::int32_t r) const
+    {
+        return {colIdx.data() + rowStart[r],
+                static_cast<std::size_t>(rowNnz(r))};
+    }
+
+    /** Values of row @p r. */
+    std::span<const double>
+    rowVals(std::int32_t r) const
+    {
+        return {vals.data() + rowStart[r],
+                static_cast<std::size_t>(rowNnz(r))};
+    }
+
+    /** y = A * x (plain double accumulation). */
+    void spmv(std::span<const double> x, std::span<double> y) const;
+
+    /** y = A^T * x. */
+    void spmvTranspose(std::span<const double> x,
+                       std::span<double> y) const;
+
+    Csr transpose() const;
+
+    /** Pattern and numeric symmetry within relative tolerance. */
+    bool isSymmetric(double relTol = 0.0) const;
+
+    /** Convert back to COO (row-major ordered). */
+    Coo toCoo() const;
+
+    /** Sum of entries in each row (used for diagnostics). */
+    std::vector<double> rowSums() const;
+
+  private:
+    std::int32_t nRows = 0;
+    std::int32_t nCols = 0;
+    std::vector<std::int32_t> rowStart; //!< size rows+1
+    std::vector<std::int32_t> colIdx;
+    std::vector<double> vals;
+};
+
+/** y = a*x + y elementwise (the AXPY kernel of Section VI-A3). */
+void axpy(double a, std::span<const double> x, std::span<double> y);
+
+/** Dense dot product (the kernel of Section VI-A2). */
+double dot(std::span<const double> x, std::span<const double> y);
+
+/** Euclidean norm. */
+double norm2(std::span<const double> x);
+
+} // namespace msc
+
+#endif // MSC_SPARSE_CSR_HH

@@ -1,0 +1,180 @@
+#include "sparse/gen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace msc {
+
+namespace {
+
+/** Draw a coefficient magnitude around 2^exp. */
+double
+drawValue(Rng &rng, const ValueModel &vm, double tileExp)
+{
+    double e = tileExp + rng.normal(0.0, vm.elemExpSigma);
+    if (vm.outlierProb > 0.0 && rng.chance(vm.outlierProb))
+        e += rng.uniform(-vm.outlierMag, vm.outlierMag);
+    // Clamp to a safely representable exponent window.
+    e = std::clamp(e, -960.0, 960.0);
+    const double mag =
+        std::ldexp(rng.uniform(1.0, 2.0), static_cast<int>(e));
+    const bool neg = rng.chance(vm.negFraction);
+    return neg ? -mag : mag;
+}
+
+} // namespace
+
+Csr
+genTiled(const TiledParams &p)
+{
+    if (p.rows <= 0 || p.tile <= 0)
+        fatal("genTiled: bad dimensions");
+    if (p.spd && !p.symmetricPattern)
+        fatal("genTiled: spd requires symmetricPattern");
+    Rng rng(p.seed);
+
+    const std::int32_t n = p.rows;
+    const std::int32_t tilesAcross = (n + p.tile - 1) / p.tile;
+
+    // Off-diagonal entries are collected as triplets; duplicates
+    // (e.g. scatter landing inside a tile) are summed by
+    // Csr::fromCoo, which keeps the pattern symmetric because every
+    // emission mirrors both halves with the same value.
+    Coo coo;
+    coo.rows = coo.cols = n;
+    const double expectedTileNnz = p.tileRowProb * p.diagTiles *
+        static_cast<double>(p.tile) * p.tile * p.tileDensity *
+        tilesAcross;
+    const double expectedScatter =
+        p.scatterPerRow * static_cast<double>(n);
+    coo.entries.reserve(static_cast<std::size_t>(
+        (expectedTileNnz + expectedScatter) *
+        (p.symmetricPattern ? 2.2 : 1.1)) +
+        static_cast<std::size_t>(n));
+
+    auto emit = [&](std::int32_t r, std::int32_t c, double v) {
+        if (r == c)
+            return; // the diagonal is placed in a dedicated pass
+        coo.add(r, c, v);
+        if (p.symmetricPattern)
+            coo.add(c, r, v);
+    };
+
+    // --- dense tiles along the band --------------------------------
+    for (std::int32_t tr = 0; tr < tilesAcross; ++tr) {
+        if (p.tileRowProb < 1.0 && !rng.chance(p.tileRowProb))
+            continue;
+        for (int t = 0; t < p.diagTiles; ++t) {
+            std::int32_t tc = tr;
+            if (t > 0) {
+                tc = tr + static_cast<std::int32_t>(
+                    rng.range(-p.tileSpread, p.tileSpread));
+                tc = std::clamp(tc, std::int32_t{0}, tilesAcross - 1);
+            }
+            if (p.symmetricPattern && tc < tr)
+                continue; // lower half comes from mirroring
+            const double tileExp =
+                p.values.centerExp +
+                rng.normal(0.0, p.values.tileExpSigma);
+            const std::int32_t r0 = tr * p.tile;
+            const std::int32_t c0 = tc * p.tile;
+            for (std::int32_t r = r0;
+                 r < std::min<std::int32_t>(r0 + p.tile, n); ++r) {
+                for (std::int32_t c = c0;
+                     c < std::min<std::int32_t>(c0 + p.tile, n);
+                     ++c) {
+                    if (p.symmetricPattern && tc == tr && c <= r)
+                        continue; // upper triangle only, mirrored
+                    if (!rng.chance(p.tileDensity))
+                        continue;
+                    emit(r, c, drawValue(rng, p.values, tileExp));
+                }
+            }
+        }
+    }
+
+    // --- uniform scatter --------------------------------------------
+    if (p.scatterPerRow > 0.0) {
+        for (std::int32_t r = 0; r < n; ++r) {
+            int k = static_cast<int>(p.scatterPerRow);
+            if (rng.chance(p.scatterPerRow - k))
+                ++k;
+            for (int i = 0; i < k; ++i) {
+                std::int32_t c;
+                if (p.scatterBand > 0) {
+                    c = r + static_cast<std::int32_t>(
+                        rng.range(-p.scatterBand, p.scatterBand));
+                    if (c < 0 || c >= n)
+                        continue;
+                } else {
+                    c = static_cast<std::int32_t>(rng.below(
+                        static_cast<std::uint64_t>(n)));
+                }
+                emit(r, c, drawValue(rng, p.values,
+                                     p.values.centerExp));
+            }
+        }
+    }
+
+    // --- dominant diagonal -------------------------------------------
+    std::vector<double> absSum(static_cast<std::size_t>(n), 0.0);
+    for (const auto &t : coo.entries)
+        absSum[static_cast<std::size_t>(t.row)] += std::fabs(t.val);
+    for (std::int32_t r = 0; r < n; ++r) {
+        double d = absSum[static_cast<std::size_t>(r)] *
+                   (1.0 + p.diagDominance);
+        if (d == 0.0)
+            d = std::ldexp(1.0, static_cast<int>(p.values.centerExp));
+        coo.add(r, r, d);
+    }
+
+    return Csr::fromCoo(coo);
+}
+
+std::vector<std::int64_t>
+firstPrimes(std::int32_t n)
+{
+    std::vector<std::int64_t> primes;
+    primes.reserve(static_cast<std::size_t>(n));
+    // Upper bound on the n-th prime: n (ln n + ln ln n) for n >= 6.
+    std::size_t limit = 100;
+    if (n >= 6) {
+        const double dn = n;
+        limit = static_cast<std::size_t>(
+            dn * (std::log(dn) + std::log(std::log(dn))) + 10);
+    }
+    std::vector<bool> sieve(limit + 1, true);
+    for (std::size_t i = 2; i <= limit && primes.size() <
+         static_cast<std::size_t>(n); ++i) {
+        if (!sieve[i])
+            continue;
+        primes.push_back(static_cast<std::int64_t>(i));
+        for (std::size_t j = i * i; j <= limit; j += i)
+            sieve[j] = false;
+    }
+    if (primes.size() < static_cast<std::size_t>(n))
+        panic("firstPrimes: sieve bound too small");
+    return primes;
+}
+
+Csr
+genTrefethen(std::int32_t n)
+{
+    const auto primes = firstPrimes(n);
+    Coo coo;
+    coo.rows = coo.cols = n;
+    for (std::int32_t i = 0; i < n; ++i) {
+        coo.add(i, i, static_cast<double>(
+            primes[static_cast<std::size_t>(i)]));
+        for (std::int32_t d = 1; i + d < n; d *= 2) {
+            coo.add(i, i + d, 1.0);
+            coo.add(i + d, i, 1.0);
+        }
+    }
+    return Csr::fromCoo(coo);
+}
+
+} // namespace msc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Synthetic sparse matrix generators.
+ *
+ * The paper evaluates on 20 SuiteSparse matrices (Table II). Those
+ * files are not redistributable here, so this module regenerates
+ * structurally equivalent matrices: the tiled generator produces the
+ * dense-subblock-on-a-band structure of FEM/circuit matrices with
+ * controllable blocking efficiency, scatter density, and value
+ * exponent locality; genTrefethen reproduces the actual construction
+ * of the Trefethen matrices. See DESIGN.md for the substitution
+ * rationale.
+ */
+
+#ifndef MSC_SPARSE_GEN_HH
+#define MSC_SPARSE_GEN_HH
+
+#include <cstdint>
+
+#include "sparse/csr.hh"
+
+namespace msc {
+
+/** Statistical model of coefficient magnitudes. */
+struct ValueModel
+{
+    double centerExp = 0.0;     //!< mean log2 magnitude
+    double tileExpSigma = 2.0;  //!< per-tile exponent offset sigma
+    double elemExpSigma = 1.0;  //!< within-tile exponent sigma
+    double negFraction = 0.45;  //!< fraction of negative coefficients
+    double outlierProb = 0.0;   //!< chance of an exponent outlier
+    double outlierMag = 80.0;   //!< +/- exponent swing of outliers
+};
+
+/**
+ * Parameters of the tiled matrix generator.
+ *
+ * The pattern is a band of dense square tiles around the diagonal
+ * (the blockable part) plus uniform scatter (the unblockable part).
+ * Blocking efficiency is controlled by the ratio of tile nonzeros to
+ * scatter nonzeros and by the tile density.
+ */
+struct TiledParams
+{
+    std::int32_t rows = 1024;
+    std::int32_t tile = 48;       //!< tile edge length
+    int diagTiles = 1;            //!< tiles picked per tile-row
+    /** Probability a tile-row receives tiles at all; models
+     *  matrices where only part of the rows form dense clusters. */
+    double tileRowProb = 1.0;
+    int tileSpread = 2;           //!< how far off-diagonal tiles sit
+    double tileDensity = 0.5;     //!< fill probability inside a tile
+    double scatterPerRow = 0.0;   //!< scattered nonzeros per row
+    std::int32_t scatterBand = -1; //!< scatter bandwidth, -1 = full row
+    bool symmetricPattern = true;
+    bool spd = false;             //!< make symmetric positive definite
+    double diagDominance = 0.05;  //!< Gershgorin margin on the diagonal
+    ValueModel values;
+    std::uint64_t seed = 1;
+};
+
+/** Generate a tiled band matrix; always has a full diagonal. */
+Csr genTiled(const TiledParams &p);
+
+/**
+ * The Trefethen_n matrix: A(i,i) = i-th prime, A(i,j) = 1 when
+ * |i - j| is a power of two. Symmetric positive definite.
+ */
+Csr genTrefethen(std::int32_t n);
+
+/** First @p n primes (exposed for tests). */
+std::vector<std::int64_t> firstPrimes(std::int32_t n);
+
+} // namespace msc
+
+#endif // MSC_SPARSE_GEN_HH

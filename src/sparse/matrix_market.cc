@@ -1,0 +1,135 @@
+#include "sparse/matrix_market.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace msc {
+
+namespace {
+
+std::string
+lowered(std::string s)
+{
+    for (auto &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+} // namespace
+
+Csr
+readMatrixMarket(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        fatal("matrix market: empty input");
+
+    std::istringstream banner(line);
+    std::string tag, object, format, field, symmetry;
+    banner >> tag >> object >> format >> field >> symmetry;
+    if (tag != "%%MatrixMarket")
+        fatal("matrix market: bad banner: ", line);
+    object = lowered(object);
+    format = lowered(format);
+    field = lowered(field);
+    symmetry = lowered(symmetry);
+    if (object != "matrix" || format != "coordinate")
+        fatal("matrix market: only coordinate matrices supported");
+    if (field != "real" && field != "integer" && field != "pattern")
+        fatal("matrix market: unsupported field: ", field);
+    const bool pattern = (field == "pattern");
+    bool symmetric = false;
+    bool skewSymmetric = false;
+    if (symmetry == "general") {
+        // nothing
+    } else if (symmetry == "symmetric") {
+        symmetric = true;
+    } else if (symmetry == "skew-symmetric") {
+        symmetric = true;
+        skewSymmetric = true;
+    } else {
+        fatal("matrix market: unsupported symmetry: ", symmetry);
+    }
+
+    // Skip comments.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+    std::istringstream sizes(line);
+    long rows = 0, cols = 0, declaredNnz = 0;
+    sizes >> rows >> cols >> declaredNnz;
+    if (rows <= 0 || cols <= 0 || declaredNnz < 0)
+        fatal("matrix market: bad size line: ", line);
+
+    Coo coo;
+    coo.rows = static_cast<std::int32_t>(rows);
+    coo.cols = static_cast<std::int32_t>(cols);
+    coo.entries.reserve(static_cast<std::size_t>(declaredNnz) *
+                        (symmetric ? 2 : 1));
+
+    for (long k = 0; k < declaredNnz; ++k) {
+        if (!std::getline(in, line))
+            fatal("matrix market: truncated after ", k, " entries");
+        if (line.empty() || line[0] == '%') {
+            --k;
+            continue;
+        }
+        std::istringstream entry(line);
+        long r = 0, c = 0;
+        double v = 1.0;
+        entry >> r >> c;
+        if (!pattern)
+            entry >> v;
+        if (entry.fail())
+            fatal("matrix market: bad entry line: ", line);
+        coo.add(static_cast<std::int32_t>(r - 1),
+                static_cast<std::int32_t>(c - 1), v);
+        if (symmetric && r != c) {
+            coo.add(static_cast<std::int32_t>(c - 1),
+                    static_cast<std::int32_t>(r - 1),
+                    skewSymmetric ? -v : v);
+        }
+    }
+    return Csr::fromCoo(coo);
+}
+
+Csr
+readMatrixMarket(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("matrix market: cannot open ", path);
+    return readMatrixMarket(in);
+}
+
+void
+writeMatrixMarket(const Csr &m, std::ostream &out)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << "% written by mscsim\n";
+    out << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
+    out.precision(17);
+    for (std::int32_t r = 0; r < m.rows(); ++r) {
+        const auto cols = m.rowCols(r);
+        const auto vals = m.rowVals(r);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+            out << (r + 1) << " " << (cols[k] + 1) << " " << vals[k]
+                << "\n";
+        }
+    }
+}
+
+void
+writeMatrixMarket(const Csr &m, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("matrix market: cannot open ", path, " for writing");
+    writeMatrixMarket(m, out);
+}
+
+} // namespace msc

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Matrix Market (MM) coordinate format I/O.
+ *
+ * The paper's inputs come from the SuiteSparse collection, which is
+ * distributed in Matrix Market format. This reader/writer supports
+ * the coordinate real/integer/pattern banner with general or
+ * symmetric storage, which covers the collection.
+ */
+
+#ifndef MSC_SPARSE_MATRIX_MARKET_HH
+#define MSC_SPARSE_MATRIX_MARKET_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hh"
+
+namespace msc {
+
+/** Read a Matrix Market file; symmetric storage is expanded. */
+Csr readMatrixMarket(const std::string &path);
+
+/** Read Matrix Market data from a stream. */
+Csr readMatrixMarket(std::istream &in);
+
+/**
+ * Write a matrix in Matrix Market coordinate real general format.
+ * One-based indices per the specification.
+ */
+void writeMatrixMarket(const Csr &m, const std::string &path);
+void writeMatrixMarket(const Csr &m, std::ostream &out);
+
+} // namespace msc
+
+#endif // MSC_SPARSE_MATRIX_MARKET_HH

@@ -1,0 +1,146 @@
+#include "sparse/reorder.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace msc {
+
+std::vector<std::int32_t>
+reverseCuthillMcKee(const Csr &m)
+{
+    if (m.rows() != m.cols())
+        fatal("reverseCuthillMcKee: matrix must be square");
+    const std::int32_t n = m.rows();
+
+    // Symmetrized adjacency (pattern of A + A^T, no diagonal).
+    const Csr t = m.transpose();
+    std::vector<std::vector<std::int32_t>> adj(
+        static_cast<std::size_t>(n));
+    auto addEdges = [&](const Csr &mat) {
+        for (std::int32_t r = 0; r < n; ++r) {
+            for (std::int32_t c : mat.rowCols(r)) {
+                if (c != r)
+                    adj[static_cast<std::size_t>(r)].push_back(c);
+            }
+        }
+    };
+    addEdges(m);
+    addEdges(t);
+    std::vector<std::int32_t> degree(static_cast<std::size_t>(n));
+    for (std::int32_t r = 0; r < n; ++r) {
+        auto &nb = adj[static_cast<std::size_t>(r)];
+        std::sort(nb.begin(), nb.end());
+        nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+        degree[static_cast<std::size_t>(r)] =
+            static_cast<std::int32_t>(nb.size());
+    }
+
+    std::vector<std::int32_t> order;
+    order.reserve(static_cast<std::size_t>(n));
+    std::vector<std::uint8_t> visited(static_cast<std::size_t>(n),
+                                      0);
+
+    // Candidate start nodes sorted by degree (min-degree heuristic).
+    std::vector<std::int32_t> byDegree(static_cast<std::size_t>(n));
+    for (std::int32_t i = 0; i < n; ++i)
+        byDegree[static_cast<std::size_t>(i)] = i;
+    std::sort(byDegree.begin(), byDegree.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                  return degree[static_cast<std::size_t>(a)] <
+                         degree[static_cast<std::size_t>(b)];
+              });
+
+    for (std::int32_t seed : byDegree) {
+        if (visited[static_cast<std::size_t>(seed)])
+            continue;
+        // BFS in degree order (Cuthill-McKee).
+        std::queue<std::int32_t> frontier;
+        frontier.push(seed);
+        visited[static_cast<std::size_t>(seed)] = 1;
+        while (!frontier.empty()) {
+            const std::int32_t v = frontier.front();
+            frontier.pop();
+            order.push_back(v);
+            std::vector<std::int32_t> next;
+            for (std::int32_t nb : adj[static_cast<std::size_t>(v)]) {
+                if (!visited[static_cast<std::size_t>(nb)]) {
+                    visited[static_cast<std::size_t>(nb)] = 1;
+                    next.push_back(nb);
+                }
+            }
+            std::sort(next.begin(), next.end(),
+                      [&](std::int32_t a, std::int32_t b) {
+                          return degree[static_cast<std::size_t>(a)] <
+                                 degree[static_cast<std::size_t>(b)];
+                      });
+            for (std::int32_t nb : next)
+                frontier.push(nb);
+        }
+    }
+
+    // Reverse (the "R" in RCM).
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+Csr
+permuteSymmetric(const Csr &m, std::span<const std::int32_t> perm)
+{
+    if (m.rows() != m.cols())
+        fatal("permuteSymmetric: matrix must be square");
+    if (perm.size() != static_cast<std::size_t>(m.rows()))
+        fatal("permuteSymmetric: permutation size mismatch");
+    // inverse[old] = new
+    std::vector<std::int32_t> inverse(perm.size(), -1);
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+        if (perm[i] < 0 ||
+            perm[i] >= static_cast<std::int32_t>(perm.size()))
+            fatal("permuteSymmetric: bad permutation entry");
+        if (inverse[static_cast<std::size_t>(perm[i])] != -1)
+            fatal("permuteSymmetric: not a permutation");
+        inverse[static_cast<std::size_t>(perm[i])] =
+            static_cast<std::int32_t>(i);
+    }
+
+    Coo coo;
+    coo.rows = coo.cols = m.rows();
+    coo.entries.reserve(m.nnz());
+    for (std::int32_t r = 0; r < m.rows(); ++r) {
+        const auto cols = m.rowCols(r);
+        const auto vals = m.rowVals(r);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+            coo.add(inverse[static_cast<std::size_t>(r)],
+                    inverse[static_cast<std::size_t>(cols[k])],
+                    vals[k]);
+        }
+    }
+    return Csr::fromCoo(coo);
+}
+
+std::vector<double>
+permuteVector(std::span<const double> v,
+              std::span<const std::int32_t> perm)
+{
+    if (v.size() != perm.size())
+        fatal("permuteVector: size mismatch");
+    std::vector<double> out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out[i] = v[static_cast<std::size_t>(perm[i])];
+    return out;
+}
+
+std::vector<double>
+unpermuteVector(std::span<const double> v,
+                std::span<const std::int32_t> perm)
+{
+    if (v.size() != perm.size())
+        fatal("unpermuteVector: size mismatch");
+    std::vector<double> out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out[static_cast<std::size_t>(perm[i])] = v[i];
+    return out;
+}
+
+} // namespace msc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bandwidth-reducing matrix reordering.
+ *
+ * The blocking preprocessor captures nonzeros that cluster near the
+ * diagonal; matrices with scattered numbering can often be made
+ * blockable by renumbering. Reverse Cuthill-McKee is the standard
+ * bandwidth-reducing permutation and is provided as a preprocessing
+ * option (see the run_matrix example's --rcm flag).
+ */
+
+#ifndef MSC_SPARSE_REORDER_HH
+#define MSC_SPARSE_REORDER_HH
+
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace msc {
+
+/**
+ * Reverse Cuthill-McKee ordering of the symmetrized pattern.
+ *
+ * @return perm with perm[newIndex] = oldIndex, covering every row
+ *         (disconnected components are ordered one after another,
+ *         each from a minimum-degree start).
+ */
+std::vector<std::int32_t> reverseCuthillMcKee(const Csr &m);
+
+/** Apply a symmetric permutation: B = P A P^T, with
+ *  B(i, j) = A(perm[i], perm[j]). */
+Csr permuteSymmetric(const Csr &m,
+                     std::span<const std::int32_t> perm);
+
+/** Permute a vector to the new ordering: out[i] = v[perm[i]]. */
+std::vector<double> permuteVector(std::span<const double> v,
+                                  std::span<const std::int32_t> perm);
+
+/** Undo a permutation on a solution vector: out[perm[i]] = v[i]. */
+std::vector<double>
+unpermuteVector(std::span<const double> v,
+                std::span<const std::int32_t> perm);
+
+} // namespace msc
+
+#endif // MSC_SPARSE_REORDER_HH

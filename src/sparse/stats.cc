@@ -1,0 +1,59 @@
+#include "sparse/stats.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "fixedpoint/align.hh"
+
+namespace msc {
+
+MatrixStats
+computeStats(const Csr &m)
+{
+    MatrixStats s;
+    s.rows = m.rows();
+    s.cols = m.cols();
+    s.nnz = m.nnz();
+    if (s.rows > 0)
+        s.nnzPerRow = static_cast<double>(s.nnz) / s.rows;
+    if (s.rows > 0 && s.cols > 0) {
+        s.density = static_cast<double>(s.nnz) /
+                    (static_cast<double>(s.rows) * s.cols);
+    }
+
+    for (std::int32_t r = 0; r < m.rows(); ++r) {
+        s.maxRowNnz = std::max(s.maxRowNnz, m.rowNnz(r));
+        for (std::int32_t c : m.rowCols(r))
+            s.bandwidth = std::max(s.bandwidth, std::abs(c - r));
+    }
+
+    const ExpRange er = expRangeOf(m.values());
+    s.expMin = er.minExp;
+    s.expMax = er.maxExp;
+    s.expRange = er.span();
+
+    if (s.rows == s.cols) {
+        const Csr t = m.transpose();
+        s.structurallySymmetric =
+            std::equal(t.colIndex().begin(), t.colIndex().end(),
+                       m.colIndex().begin(), m.colIndex().end()) &&
+            std::equal(t.rowPtr().begin(), t.rowPtr().end(),
+                       m.rowPtr().begin(), m.rowPtr().end());
+    }
+    return s;
+}
+
+std::string
+MatrixStats::toString(const std::string &name) const
+{
+    std::ostringstream os;
+    if (!name.empty())
+        os << name << ": ";
+    os << rows << "x" << cols << ", nnz=" << nnz << ", nnz/row="
+       << nnzPerRow << ", bw=" << bandwidth << ", expRange=["
+       << expMin << "," << expMax << "]";
+    return os.str();
+}
+
+} // namespace msc

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Structural and numerical statistics of sparse matrices.
+ *
+ * These are the quantities Table II of the paper reports (NNZ, rows,
+ * NNZ/row) plus the exponent statistics that drive the fixed-point
+ * conversion cost (Section VIII-B ties energy to exponent range).
+ */
+
+#ifndef MSC_SPARSE_STATS_HH
+#define MSC_SPARSE_STATS_HH
+
+#include <string>
+
+#include "sparse/csr.hh"
+
+namespace msc {
+
+struct MatrixStats
+{
+    std::int32_t rows = 0;
+    std::int32_t cols = 0;
+    std::size_t nnz = 0;
+    double nnzPerRow = 0.0;
+    double density = 0.0;        //!< nnz / (rows * cols)
+    std::int32_t maxRowNnz = 0;
+    std::int32_t bandwidth = 0;  //!< max |row - col| over nonzeros
+    bool structurallySymmetric = false;
+    int expMin = 0;              //!< min exponent over nonzeros
+    int expMax = 0;              //!< max exponent over nonzeros
+    int expRange = 0;
+
+    std::string toString(const std::string &name = "") const;
+};
+
+MatrixStats computeStats(const Csr &m);
+
+} // namespace msc
+
+#endif // MSC_SPARSE_STATS_HH

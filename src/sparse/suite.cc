@@ -1,0 +1,331 @@
+#include "sparse/suite.hh"
+
+#include "util/logging.hh"
+
+namespace msc {
+
+namespace {
+
+/** Convenience builder for a tiled entry. */
+SuiteEntry
+tiledEntry(const std::string &name, const std::string &domain,
+           bool spd, std::size_t paperNnz, std::int32_t paperRows,
+           double paperNnzPerRow, double paperBlockedPct,
+           const TiledParams &params)
+{
+    SuiteEntry e;
+    e.name = name;
+    e.domain = domain;
+    e.spd = spd;
+    e.paperNnz = paperNnz;
+    e.paperRows = paperRows;
+    e.paperNnzPerRow = paperNnzPerRow;
+    e.paperBlockedPct = paperBlockedPct;
+    e.family = SuiteEntry::Family::Tiled;
+    e.tiled = params;
+    return e;
+}
+
+TiledParams
+base(std::int32_t rows, bool spd, std::uint64_t seed)
+{
+    TiledParams p;
+    p.rows = rows;
+    p.symmetricPattern = spd;
+    p.spd = spd;
+    p.diagDominance = 0.05;
+    p.seed = seed;
+    p.values.tileExpSigma = 2.5;
+    p.values.elemExpSigma = 1.2;
+    return p;
+}
+
+std::vector<SuiteEntry>
+makeSuite()
+{
+    std::vector<SuiteEntry> suite;
+
+    // ---------------- SPD matrices (CG) ---------------------------
+    {
+        // Electromagnetics: moderately blockable shell structure.
+        TiledParams p = base(101492, true, 1001);
+        p.tile = 48;
+        p.tileDensity = 0.165;
+        p.scatterPerRow = 3.65;
+        p.diagDominance = 0.012;
+        suite.push_back(tiledEntry(
+            "2cubes_sphere", "electromagnetics", true,
+            1647264, 101492, 16.2, 49.7, p));
+    }
+    {
+        // FEM crystal vibration: dense band, highly blockable.
+        TiledParams p = base(24696, true, 1002);
+        p.tile = 48;
+        p.tileDensity = 0.45;
+        p.scatterPerRow = 0.5;
+        p.diagDominance = 0.05;
+        suite.push_back(tiledEntry(
+            "crystm03", "materials", true,
+            583770, 24696, 23.6, 94.7, p));
+    }
+    {
+        // Financial portfolio optimization: hierarchical, mixed.
+        TiledParams p = base(74752, true, 1003);
+        p.tile = 32;
+        p.tileDensity = 0.24;
+        p.tileRowProb = 0.45;
+        p.scatterPerRow = 1.75;
+        p.diagDominance = 0.05;
+        suite.push_back(tiledEntry(
+            "finan512", "economics", true,
+            596992, 74752, 7.9, 46.7, p));
+    }
+    {
+        // Circuit simulation (AMD): sparse rows, clustered part.
+        TiledParams p = base(150102, true, 1004);
+        p.tile = 16;
+        p.tileDensity = 0.55;
+        p.tileRowProb = 0.28;
+        p.scatterPerRow = 0.52;
+        p.diagDominance = 0.15;
+        suite.push_back(tiledEntry(
+            "G2_circuit", "circuit simulation", true,
+            726674, 150102, 4.5, 60.9, p));
+    }
+    {
+        // Shuttle rocket booster FEM: dense band, wide exponents.
+        TiledParams p = base(54870, true, 1005);
+        p.tile = 64;
+        p.diagTiles = 2;
+        p.tileDensity = 0.375;
+        p.scatterPerRow = 0.05;
+        p.values.tileExpSigma = 6.0;
+        p.values.elemExpSigma = 11.0;
+        p.values.outlierProb = 3e-4;
+        p.values.outlierMag = 85.0;
+        p.diagDominance = 0.15;
+        suite.push_back(tiledEntry(
+            "nasasrb", "structural", true,
+            2677324, 54870, 49.8, 99.1, p));
+    }
+    {
+        // Pressure Poisson FEM: dense band, very narrow exponents.
+        TiledParams p = base(14822, true, 1006);
+        p.tile = 64;
+        p.diagTiles = 2;
+        p.tileDensity = 0.36;
+        p.scatterPerRow = 0.3;
+        p.values.tileExpSigma = 0.8;
+        p.values.elemExpSigma = 0.4;
+        p.diagDominance = 0.0004;
+        suite.push_back(tiledEntry(
+            "Pres_Poisson", "computational fluid dynamics", true,
+            715804, 14822, 48.3, 96.4, p));
+    }
+    {
+        // FEM acoustics: blockable band.
+        TiledParams p = base(66127, true, 1007);
+        p.tile = 48;
+        p.diagTiles = 2;
+        p.tileDensity = 0.24;
+        p.scatterPerRow = 0.5;
+        p.diagDominance = 0.12;
+        suite.push_back(tiledEntry(
+            "qa8fm", "acoustics", true,
+            1660579, 66127, 25.1, 92.8, p));
+    }
+    {
+        // Ship structure FEM: very dense rows, partially blockable.
+        TiledParams p = base(34920, true, 1008);
+        p.tile = 64;
+        p.diagTiles = 2;
+        p.tileDensity = 0.56;
+        p.scatterPerRow = 19.0;
+        p.diagDominance = 0.0015;
+        suite.push_back(tiledEntry(
+            "ship_001", "structural", true,
+            3896496, 34920, 111.6, 66.4, p));
+    }
+    {
+        // Thermomechanics: uniform scatter, effectively unblockable.
+        // Scatter density per blocking candidate is kept at the
+        // full-scale value (see suite.hh).
+        TiledParams p = base(102158, true, 1009);
+        p.diagTiles = 0;
+        p.tileDensity = 0.0;
+        p.scatterPerRow = 2.9;
+        p.diagDominance = 0.004;
+        suite.push_back(tiledEntry(
+            "thermomech_TC", "thermal", true,
+            711558, 102158, 6.8, 0.8, p));
+    }
+    {
+        // Trefethen_20000 (exact construction, scaled to 5000).
+        SuiteEntry e;
+        e.name = "Trefethen_20000";
+        e.domain = "combinatorial";
+        e.spd = true;
+        e.paperNnz = 554466;
+        e.paperRows = 20000;
+        e.paperNnzPerRow = 27.7;
+        e.paperBlockedPct = 63.3;
+        e.family = SuiteEntry::Family::Trefethen;
+        e.trefethenN = 20000;
+        suite.push_back(e);
+    }
+
+    // ---------------- non-SPD matrices (BiCG-STAB) -----------------
+    {
+        // Large ASIC netlist: clustered + long-range nets.
+        TiledParams p = base(99340, false, 2001);
+        p.tile = 24;
+        p.tileDensity = 0.33;
+        p.tileRowProb = 0.70;
+        p.scatterPerRow = 3.0;
+        p.diagDominance = 0.05;
+        suite.push_back(tiledEntry(
+            "ASIC_100K", "circuit simulation", false,
+            940621, 99340, 9.5, 60.9, p));
+    }
+    {
+        // Bipolar circuit: sparse rows, clustered part.
+        TiledParams p = base(68902, false, 2002);
+        p.tile = 16;
+        p.tileDensity = 0.32;
+        p.tileRowProb = 0.65;
+        p.scatterPerRow = 1.1;
+        p.diagDominance = 0.08;
+        suite.push_back(tiledEntry(
+            "bcircuit", "circuit simulation", false,
+            375558, 68902, 5.4, 64.9, p));
+    }
+    {
+        // Plasma physics: banded, mostly blockable.
+        TiledParams p = base(84617, false, 2003);
+        p.tile = 16;
+        p.tileDensity = 0.29;
+        p.tileRowProb = 0.80;
+        p.scatterPerRow = 0.8;
+        p.diagDominance = 0.15;
+        suite.push_back(tiledEntry(
+            "epb3", "plasma physics", false,
+            463625, 84617, 5.5, 72.2, p));
+    }
+    {
+        // Quantum chemistry: dense clusters + long-range coupling.
+        TiledParams p = base(61349, false, 2004);
+        p.tile = 64;
+        p.tileDensity = 0.59;
+        p.scatterPerRow = 16.0;
+        p.diagDominance = 0.0012;
+        suite.push_back(tiledEntry(
+            "GaAsH6", "quantum chemistry", false,
+            3381809, 61349, 55.12, 69.2, p));
+    }
+    {
+        // 3D Navier-Stokes: uniform spread, effectively unblockable
+        // (Figure 11). Scatter density per candidate kept at the
+        // full-scale value.
+        TiledParams p = base(20414, false, 2005);
+        p.diagTiles = 0;
+        p.tileDensity = 0.0;
+        p.scatterPerRow = 81.0;
+        p.diagDominance = 0.0006;
+        suite.push_back(tiledEntry(
+            "ns3Da", "computational fluid dynamics", false,
+            1679599, 20414, 82.0, 3.2, p));
+    }
+    {
+        // Quantum chemistry, larger: half blockable.
+        TiledParams p = base(97569, false, 2006);
+        p.tile = 64;
+        p.tileDensity = 0.44;
+        p.scatterPerRow = 24.0;
+        p.diagDominance = 0.0015;
+        suite.push_back(tiledEntry(
+            "Si34H36", "quantum chemistry", false,
+            5156379, 97569, 52.8, 53.7, p));
+    }
+    {
+        // Torso bioengineering mesh: tight band, highly blockable.
+        TiledParams p = base(115697, false, 2007);
+        p.tile = 32;
+        p.tileDensity = 0.24;
+        p.scatterPerRow = 0.15;
+        p.scatterBand = 96;
+        p.diagDominance = 0.15;
+        suite.push_back(tiledEntry(
+            "torso2", "bioengineering", false,
+            1033473, 115697, 8.9, 98.1, p));
+    }
+    {
+        // Unstructured CFD (Venkatakrishnan): mostly blockable.
+        TiledParams p = base(62424, false, 2008);
+        p.tile = 48;
+        p.diagTiles = 2;
+        p.tileDensity = 0.23;
+        p.scatterPerRow = 4.5;
+        p.diagDominance = 0.002;
+        suite.push_back(tiledEntry(
+            "venkat25", "computational fluid dynamics", false,
+            1717792, 62424, 27.5, 79.8, p));
+    }
+    {
+        // Semiconductor device simulation.
+        TiledParams p = base(26064, false, 2009);
+        p.tile = 16;
+        p.tileDensity = 0.29;
+        p.tileRowProb = 0.90;
+        p.scatterPerRow = 1.6;
+        p.diagDominance = 0.06;
+        suite.push_back(tiledEntry(
+            "wang3", "semiconductor devices", false,
+            177168, 26064, 6.8, 64.6, p));
+    }
+    {
+        // Materials (xenon): banded, blockable.
+        TiledParams p = base(48600, false, 2010);
+        p.tile = 48;
+        p.diagTiles = 2;
+        p.tileDensity = 0.205;
+        p.scatterPerRow = 3.6;
+        p.diagDominance = 0.003;
+        suite.push_back(tiledEntry(
+            "xenon1", "materials", false,
+            1181120, 48600, 24.3, 81.0, p));
+    }
+    return suite;
+}
+
+} // namespace
+
+const std::vector<SuiteEntry> &
+suiteMatrices()
+{
+    static const std::vector<SuiteEntry> suite = makeSuite();
+    return suite;
+}
+
+const SuiteEntry &
+suiteEntry(const std::string &name)
+{
+    for (const auto &e : suiteMatrices()) {
+        if (e.name == name)
+            return e;
+    }
+    fatal("suiteEntry: unknown matrix ", name);
+}
+
+Csr
+buildSuiteMatrix(const SuiteEntry &entry)
+{
+    switch (entry.family) {
+      case SuiteEntry::Family::Tiled:
+        return genTiled(entry.tiled);
+      case SuiteEntry::Family::Trefethen:
+        return genTrefethen(entry.trefethenN);
+    }
+    panic("buildSuiteMatrix: bad family");
+}
+
+} // namespace msc

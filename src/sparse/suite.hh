@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The evaluated matrix suite (Table II of the paper).
+ *
+ * Twenty matrices from the SuiteSparse collection are regenerated
+ * synthetically (see DESIGN.md for the substitution rationale): each
+ * entry pairs the paper's reference statistics with generator
+ * parameters tuned to reproduce the structural class -- banded FEM
+ * stencils, circuit networks, quantum-chemistry clusters, uniform
+ * scatter, and the exact Trefethen construction -- at the paper's
+ * full row counts and nonzeros per row, so that the accelerator/GPU
+ * comparison is not distorted by scale (cluster latency is
+ * size-independent while GPU kernel time is not).
+ */
+
+#ifndef MSC_SPARSE_SUITE_HH
+#define MSC_SPARSE_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "sparse/gen.hh"
+
+namespace msc {
+
+struct SuiteEntry
+{
+    std::string name;
+    std::string domain;
+    bool spd = false; //!< CG when true, BiCG-STAB otherwise
+
+    /** Paper Table II reference values (full scale). */
+    std::size_t paperNnz = 0;
+    std::int32_t paperRows = 0;
+    double paperNnzPerRow = 0.0;
+    double paperBlockedPct = 0.0; //!< blocking efficiency, percent
+
+    /** Generator recipe (scaled). */
+    enum class Family { Tiled, Trefethen } family = Family::Tiled;
+    TiledParams tiled;       //!< when family == Tiled
+    std::int32_t trefethenN = 0;
+};
+
+/** The 20-entry suite, SPD matrices first (Table II order). */
+const std::vector<SuiteEntry> &suiteMatrices();
+
+/** Look up an entry by name; fatal if unknown. */
+const SuiteEntry &suiteEntry(const std::string &name);
+
+/** Generate the matrix for an entry. */
+Csr buildSuiteMatrix(const SuiteEntry &entry);
+
+} // namespace msc
+
+#endif // MSC_SPARSE_SUITE_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Compact dynamic bit vector used for binary crossbar contents and
+ * vector bit slices.
+ *
+ * A crossbar with single-bit cells is a binary matrix; applying a
+ * vector bit slice and reading a column current is a binary dot
+ * product, i.e. popcount(rowBits AND sliceBits). BitVec provides
+ * exactly the operations the functional crossbar model needs.
+ */
+
+#ifndef MSC_UTIL_BITVEC_HH
+#define MSC_UTIL_BITVEC_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace msc {
+
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    explicit BitVec(std::size_t n) : nbits(n), words((n + 63) / 64, 0) {}
+
+    std::size_t size() const { return nbits; }
+
+    void
+    resize(std::size_t n)
+    {
+        nbits = n;
+        words.assign((n + 63) / 64, 0);
+    }
+
+    bool
+    get(std::size_t i) const
+    {
+        return (words[i / 64] >> (i % 64)) & 1;
+    }
+
+    void
+    set(std::size_t i, bool v = true)
+    {
+        if (v)
+            words[i / 64] |= (std::uint64_t{1} << (i % 64));
+        else
+            words[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+    }
+
+    void
+    flip(std::size_t i)
+    {
+        words[i / 64] ^= (std::uint64_t{1} << (i % 64));
+    }
+
+    /** Invert every bit (used by computational invert coding). */
+    void
+    invert()
+    {
+        for (auto &w : words)
+            w = ~w;
+        trimTail();
+    }
+
+    std::size_t
+    popcount() const
+    {
+        std::size_t n = 0;
+        for (auto w : words)
+            n += static_cast<std::size_t>(std::popcount(w));
+        return n;
+    }
+
+    /** popcount(this AND other): the binary dot product. */
+    std::size_t
+    dot(const BitVec &other) const
+    {
+        if (other.nbits != nbits)
+            panic("BitVec::dot length mismatch");
+        std::size_t n = 0;
+        for (std::size_t i = 0; i < words.size(); ++i)
+            n += static_cast<std::size_t>(
+                std::popcount(words[i] & other.words[i]));
+        return n;
+    }
+
+    bool
+    any() const
+    {
+        for (auto w : words)
+            if (w)
+                return true;
+        return false;
+    }
+
+    void
+    clearAll()
+    {
+        for (auto &w : words)
+            w = 0;
+    }
+
+    const std::vector<std::uint64_t> &raw() const { return words; }
+
+  private:
+    void
+    trimTail()
+    {
+        const unsigned rem = nbits % 64;
+        if (rem && !words.empty())
+            words.back() &= (std::uint64_t{1} << rem) - 1;
+    }
+
+    std::size_t nbits = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace msc
+
+#endif // MSC_UTIL_BITVEC_HH

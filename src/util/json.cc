@@ -1,0 +1,374 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace msc {
+
+namespace {
+
+[[noreturn]] void
+syntaxError(const std::string &what, std::size_t pos)
+{
+    fatal("json: ", what, " at offset ", pos);
+}
+
+} // namespace
+
+/** Recursive-descent parser over a string. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : src(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos != src.size())
+            syntaxError("trailing characters", pos);
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < src.size() &&
+               std::isspace(static_cast<unsigned char>(src[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= src.size())
+            syntaxError("unexpected end of input", pos);
+        return src[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            syntaxError(std::string("expected '") + c + "'", pos);
+        ++pos;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+          case 'f':
+            return parseBool();
+          case 'n':
+            return parseNull();
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue v;
+        v.valueKind = JsonValue::Kind::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            const JsonValue key = parseString();
+            expect(':');
+            v.objectValue.emplace(key.stringValue, parseValue());
+            const char c = peek();
+            if (c == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue v;
+        v.valueKind = JsonValue::Kind::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v.arrayValue.push_back(parseValue());
+            const char c = peek();
+            if (c == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.valueKind = JsonValue::Kind::String;
+        std::string &out = v.stringValue;
+        while (true) {
+            if (pos >= src.size())
+                syntaxError("unterminated string", pos);
+            const char c = src[pos++];
+            if (c == '"')
+                break;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= src.size())
+                syntaxError("unterminated escape", pos);
+            const char esc = src[pos++];
+            switch (esc) {
+              case '"':
+                out.push_back('"');
+                break;
+              case '\\':
+                out.push_back('\\');
+                break;
+              case '/':
+                out.push_back('/');
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'u': {
+                if (pos + 4 > src.size())
+                    syntaxError("bad \\u escape", pos);
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = src[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        syntaxError("bad hex digit", pos);
+                }
+                // UTF-8 encode (BMP only; surrogate pairs are out of
+                // scope for config files).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(static_cast<char>(
+                        0xC0 | (code >> 6)));
+                    out.push_back(static_cast<char>(
+                        0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(
+                        0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(static_cast<char>(
+                        0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                syntaxError("unknown escape", pos);
+            }
+        }
+        return v;
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.valueKind = JsonValue::Kind::Bool;
+        if (src.compare(pos, 4, "true") == 0) {
+            v.boolValue = true;
+            pos += 4;
+        } else if (src.compare(pos, 5, "false") == 0) {
+            v.boolValue = false;
+            pos += 5;
+        } else {
+            syntaxError("bad literal", pos);
+        }
+        return v;
+    }
+
+    JsonValue
+    parseNull()
+    {
+        if (src.compare(pos, 4, "null") != 0)
+            syntaxError("bad literal", pos);
+        pos += 4;
+        return JsonValue{};
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos;
+        if (pos < src.size() && (src[pos] == '-' || src[pos] == '+'))
+            ++pos;
+        bool any = false;
+        auto digits = [&] {
+            while (pos < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[pos]))) {
+                ++pos;
+                any = true;
+            }
+        };
+        digits();
+        if (pos < src.size() && src[pos] == '.') {
+            ++pos;
+            digits();
+        }
+        if (pos < src.size() && (src[pos] == 'e' || src[pos] == 'E')) {
+            ++pos;
+            if (pos < src.size() &&
+                (src[pos] == '-' || src[pos] == '+'))
+                ++pos;
+            digits();
+        }
+        if (!any)
+            syntaxError("bad number", start);
+        JsonValue v;
+        v.valueKind = JsonValue::Kind::Number;
+        v.numberValue = std::strtod(src.c_str() + start, nullptr);
+        return v;
+    }
+
+    const std::string &src;
+    std::size_t pos = 0;
+};
+
+bool
+JsonValue::asBool() const
+{
+    if (valueKind != Kind::Bool)
+        fatal("json: not a bool");
+    return boolValue;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (valueKind != Kind::Number)
+        fatal("json: not a number");
+    return numberValue;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (valueKind != Kind::String)
+        fatal("json: not a string");
+    return stringValue;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (valueKind != Kind::Array)
+        fatal("json: not an array");
+    return arrayValue;
+}
+
+const std::map<std::string, JsonValue> &
+JsonValue::asObject() const
+{
+    if (valueKind != Kind::Object)
+        fatal("json: not an object");
+    return objectValue;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const auto &obj = asObject();
+    const auto it = obj.find(key);
+    if (it == obj.end())
+        fatal("json: missing key '", key, "'");
+    return it->second;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    return valueKind == Kind::Object &&
+           objectValue.find(key) != objectValue.end();
+}
+
+double
+JsonValue::numberOr(const std::string &key, double dflt) const
+{
+    return has(key) ? at(key).asNumber() : dflt;
+}
+
+bool
+JsonValue::boolOr(const std::string &key, bool dflt) const
+{
+    return has(key) ? at(key).asBool() : dflt;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &dflt) const
+{
+    return has(key) ? at(key).asString() : dflt;
+}
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
+}
+
+JsonValue
+JsonValue::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("json: cannot open ", path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str());
+}
+
+} // namespace msc

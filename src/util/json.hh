@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A minimal JSON reader.
+ *
+ * Supports the full JSON value grammar (objects, arrays, strings
+ * with escapes, numbers, booleans, null); no external dependencies.
+ * Used by the configuration loader (core/config.hh) so accelerator
+ * design points can be described in files instead of code.
+ */
+
+#ifndef MSC_UTIL_JSON_HH
+#define MSC_UTIL_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace msc {
+
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    Kind kind() const { return valueKind; }
+    bool isNull() const { return valueKind == Kind::Null; }
+    bool isBool() const { return valueKind == Kind::Bool; }
+    bool isNumber() const { return valueKind == Kind::Number; }
+    bool isString() const { return valueKind == Kind::String; }
+    bool isArray() const { return valueKind == Kind::Array; }
+    bool isObject() const { return valueKind == Kind::Object; }
+
+    /** Typed accessors; fatal on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+    const std::map<std::string, JsonValue> &asObject() const;
+
+    /** Object member lookup; fatal if absent or not an object. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** True when this is an object containing @p key. */
+    bool has(const std::string &key) const;
+
+    /** Convenience: object member with a default when absent. */
+    double numberOr(const std::string &key, double dflt) const;
+    bool boolOr(const std::string &key, bool dflt) const;
+    std::string stringOr(const std::string &key,
+                         const std::string &dflt) const;
+
+    /** Parse a complete JSON document; fatal on syntax errors. */
+    static JsonValue parse(const std::string &text);
+
+    /** Parse the contents of a file. */
+    static JsonValue parseFile(const std::string &path);
+
+  private:
+    friend class JsonParser;
+
+    Kind valueKind = Kind::Null;
+    bool boolValue = false;
+    double numberValue = 0.0;
+    std::string stringValue;
+    std::vector<JsonValue> arrayValue;
+    std::map<std::string, JsonValue> objectValue;
+};
+
+} // namespace msc
+
+#endif // MSC_UTIL_JSON_HH

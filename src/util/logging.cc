@@ -1,0 +1,38 @@
+#include "util/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace msc {
+
+namespace {
+
+std::atomic<bool> quiet{false};
+
+} // namespace
+
+void
+setLogQuiet(bool q)
+{
+    quiet.store(q, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emitWarn(const std::string &msg)
+{
+    if (!quiet.load(std::memory_order_relaxed))
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+emitInform(const std::string &msg)
+{
+    if (!quiet.load(std::memory_order_relaxed))
+        std::cout << "info: " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace msc

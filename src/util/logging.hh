@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Status and error reporting helpers for mscsim.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (simulator bugs), fatal() is for user errors (bad
+ * configuration or inputs). Both throw so that tests can assert on
+ * them; warn() and inform() only print.
+ */
+
+#ifndef MSC_UTIL_LOGGING_HH
+#define MSC_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace msc {
+
+/** Thrown by panic(): an internal invariant of the simulator broke. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the simulation cannot continue due to user input. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+/** Concatenate a list of stream-formattable values into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+void emitWarn(const std::string &msg);
+void emitInform(const std::string &msg);
+
+} // namespace detail
+
+/** Report an internal simulator bug and abort the computation. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat("panic: ",
+                                    std::forward<Args>(args)...));
+}
+
+/** Report an unrecoverable user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat("fatal: ",
+                                    std::forward<Args>(args)...));
+}
+
+/** Warn about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitWarn(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitInform(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Enable or disable inform()/warn() output (tests silence them). */
+void setLogQuiet(bool quiet);
+
+} // namespace msc
+
+#endif // MSC_UTIL_LOGGING_HH

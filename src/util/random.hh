@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for mscsim.
+ *
+ * A small xoshiro256++ implementation is used instead of <random>
+ * engines so that streams are reproducible across standard library
+ * implementations; Monte Carlo experiments (Figures 12 and 13 of the
+ * paper) depend on stable seeds.
+ */
+
+#ifndef MSC_UTIL_RANDOM_HH
+#define MSC_UTIL_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace msc {
+
+/** xoshiro256++ generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // splitmix64 expansion of the scalar seed into 256 bits of state.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result =
+            rotl(state[0] + state[3], 23) + state[0];
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        // Rejection-free Lemire reduction; bias is < 2^-64 per draw
+        // which is negligible for simulation purposes.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * n) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Standard normal draw (Box-Muller, one value per call). */
+    double
+    normal()
+    {
+        if (haveSpare) {
+            haveSpare = false;
+            return spare;
+        }
+        double u1 = uniform();
+        double u2 = uniform();
+        while (u1 <= 1e-300) u1 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * M_PI * u2;
+        spare = r * std::sin(theta);
+        haveSpare = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal draw with given mean and standard deviation. */
+    double
+    normal(double mean, double sigma)
+    {
+        return mean + sigma * normal();
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+    double spare = 0.0;
+    bool haveSpare = false;
+};
+
+} // namespace msc
+
+#endif // MSC_UTIL_RANDOM_HH

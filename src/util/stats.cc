@@ -1,0 +1,128 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace msc::stats {
+
+Stat::Stat(Group &parent, std::string name, std::string desc)
+    : statName(std::move(name)), statDesc(std::move(desc))
+{
+    parent.stats.push_back(this);
+}
+
+void
+Scalar::print(std::ostream &os) const
+{
+    os << std::left << std::setw(28) << name() << std::right
+       << std::setw(14) << total;
+    if (samples > 1)
+        os << "  (mean " << mean() << " over " << samples << ")";
+    os << "  # " << description();
+}
+
+Distribution::Distribution(Group &parent, std::string name,
+                           std::string desc, unsigned buckets)
+    : Stat(parent, std::move(name), std::move(desc)),
+      hist(buckets, 0)
+{
+}
+
+void
+Distribution::sample(double v)
+{
+    if (n == 0) {
+        minV = maxV = v;
+    } else {
+        minV = std::min(minV, v);
+        maxV = std::max(maxV, v);
+    }
+    ++n;
+    sum += v;
+    sumSq += v * v;
+    // log2 bucket of |v|; bucket 0 holds |v| <= 1.
+    unsigned idx = 0;
+    double mag = std::fabs(v);
+    while (mag > 1.0 && idx + 1 < hist.size()) {
+        mag /= 2.0;
+        ++idx;
+    }
+    ++hist[idx];
+}
+
+double
+Distribution::stddev() const
+{
+    if (n < 2)
+        return 0.0;
+    const double m = mean();
+    const double var =
+        std::max(0.0, sumSq / static_cast<double>(n) - m * m);
+    return std::sqrt(var);
+}
+
+void
+Distribution::print(std::ostream &os) const
+{
+    os << std::left << std::setw(28) << name() << std::right
+       << " n=" << n;
+    if (n > 0) {
+        os << " min=" << minV << " mean=" << mean()
+           << " max=" << maxV << " sd=" << stddev();
+    }
+    os << "  # " << description();
+}
+
+void
+Distribution::reset()
+{
+    std::fill(hist.begin(), hist.end(), 0);
+    n = 0;
+    sum = sumSq = minV = maxV = 0.0;
+}
+
+Formula::Formula(Group &parent, std::string name, std::string desc,
+                 std::function<double()> f)
+    : Stat(parent, std::move(name), std::move(desc)),
+      fn(std::move(f))
+{
+}
+
+void
+Formula::print(std::ostream &os) const
+{
+    os << std::left << std::setw(28) << name() << std::right
+       << std::setw(14) << value() << "  # " << description();
+}
+
+Group::Group(Group &parent, std::string name)
+    : groupName(std::move(name))
+{
+    parent.subGroups.push_back(this);
+}
+
+void
+Group::dump(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    os << pad << "---------- " << groupName << " ----------\n";
+    for (const Stat *s : stats) {
+        os << pad;
+        s->print(os);
+        os << "\n";
+    }
+    for (const Group *g : subGroups)
+        g->dump(os, indent + 1);
+}
+
+void
+Group::resetAll()
+{
+    for (Stat *s : stats)
+        s->reset();
+    for (Group *g : subGroups)
+        g->resetAll();
+}
+
+} // namespace msc::stats

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * A small gem5-flavored statistics package.
+ *
+ * Simulation components register named statistics in groups; a group
+ * dumps a human-readable report. Three kinds are provided:
+ *
+ *  - Scalar: a counter / accumulator with mean support,
+ *  - Distribution: min/max/mean/stddev plus log2 buckets,
+ *  - Formula: a derived value computed from other stats at dump time.
+ */
+
+#ifndef MSC_UTIL_STATS_HH
+#define MSC_UTIL_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace msc::stats {
+
+class Group;
+
+/** Base class for all statistics. */
+class Stat
+{
+  public:
+    Stat(Group &parent, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return statName; }
+    const std::string &description() const { return statDesc; }
+
+    virtual void print(std::ostream &os) const = 0;
+    virtual void reset() = 0;
+
+  private:
+    std::string statName;
+    std::string statDesc;
+};
+
+/** Plain accumulating scalar. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &
+    operator+=(double v)
+    {
+        total += v;
+        ++samples;
+        return *this;
+    }
+
+    Scalar &
+    operator++()
+    {
+        return *this += 1.0;
+    }
+
+    void set(double v) { total = v; samples = 1; }
+    double value() const { return total; }
+    double
+    mean() const
+    {
+        return samples ? total / static_cast<double>(samples) : 0.0;
+    }
+    std::uint64_t count() const { return samples; }
+
+    void print(std::ostream &os) const override;
+    void
+    reset() override
+    {
+        total = 0.0;
+        samples = 0;
+    }
+
+  private:
+    double total = 0.0;
+    std::uint64_t samples = 0;
+};
+
+/** Sample distribution with power-of-two buckets. */
+class Distribution : public Stat
+{
+  public:
+    Distribution(Group &parent, std::string name, std::string desc,
+                 unsigned buckets = 24);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return n; }
+    double
+    mean() const
+    {
+        return n ? sum / static_cast<double>(n) : 0.0;
+    }
+    double minValue() const { return minV; }
+    double maxValue() const { return maxV; }
+    double stddev() const;
+
+    void print(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::vector<std::uint64_t> hist;
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double minV = 0.0;
+    double maxV = 0.0;
+};
+
+/** Value derived from other statistics at dump time. */
+class Formula : public Stat
+{
+  public:
+    Formula(Group &parent, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return fn ? fn() : 0.0; }
+
+    void print(std::ostream &os) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn;
+};
+
+/** A named collection of statistics (and subgroups). */
+class Group
+{
+  public:
+    explicit Group(std::string name) : groupName(std::move(name)) {}
+    Group(Group &parent, std::string name);
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return groupName; }
+
+    /** Dump this group and its subgroups. */
+    void dump(std::ostream &os, int indent = 0) const;
+
+    /** Reset every stat in this group and its subgroups. */
+    void resetAll();
+
+  private:
+    friend class Stat;
+
+    std::string groupName;
+    std::vector<Stat *> stats;      //!< non-owning, insertion order
+    std::vector<Group *> subGroups; //!< non-owning
+};
+
+} // namespace msc::stats
+
+#endif // MSC_UTIL_STATS_HH

@@ -1,0 +1,100 @@
+#include "xbar/crossbar.hh"
+
+#include "util/logging.hh"
+
+namespace msc {
+
+BinaryCrossbar::BinaryCrossbar(unsigned rows, unsigned cols)
+    : nRows(rows), nCols(cols),
+      colBits(cols, BitVec(rows)), inverted(cols, 0)
+{
+    if (rows == 0 || cols == 0)
+        fatal("BinaryCrossbar: zero dimension");
+}
+
+void
+BinaryCrossbar::set(unsigned row, unsigned col, bool v)
+{
+    if (row >= nRows || col >= nCols)
+        panic("BinaryCrossbar::set out of range");
+    colBits[col].set(row, v);
+}
+
+bool
+BinaryCrossbar::get(unsigned row, unsigned col) const
+{
+    if (row >= nRows || col >= nCols)
+        panic("BinaryCrossbar::get out of range");
+    return colBits[col].get(row);
+}
+
+unsigned
+BinaryCrossbar::applyCic()
+{
+    unsigned flipped = 0;
+    cornerCases = 0;
+    for (unsigned c = 0; c < nCols; ++c) {
+        const std::size_t ones = colBits[c].popcount();
+        if (2 * ones > nRows) {
+            colBits[c].invert();
+            inverted[c] = 1;
+            ++flipped;
+        } else if (2 * ones == nRows) {
+            // Exactly half: still needs log2(N) bits; the system
+            // evicts one element to the local processor to erase the
+            // corner case (Section V-B2). Recorded for the caller.
+            ++cornerCases;
+        }
+    }
+    return flipped;
+}
+
+bool
+BinaryCrossbar::columnInverted(unsigned col) const
+{
+    return inverted[col] != 0;
+}
+
+unsigned
+BinaryCrossbar::columnOnes(unsigned col) const
+{
+    return static_cast<unsigned>(colBits[col].popcount());
+}
+
+unsigned
+BinaryCrossbar::columnMaxOutputBits(unsigned col) const
+{
+    const unsigned ones = columnOnes(col);
+    unsigned bits = 0;
+    while ((1u << bits) < ones + 1)
+        ++bits;
+    return bits;
+}
+
+std::int64_t
+BinaryCrossbar::readColumn(unsigned col, const BitVec &input) const
+{
+    return static_cast<std::int64_t>(colBits[col].dot(input));
+}
+
+std::int64_t
+BinaryCrossbar::readColumnNoisy(unsigned col, const BitVec &input,
+                                const ColumnReadModel &model,
+                                Rng *rng) const
+{
+    std::vector<std::uint8_t> levels(nRows, 0);
+    for (unsigned r = 0; r < nRows; ++r)
+        levels[r] = colBits[col].get(r) ? 1 : 0;
+    return model.read(levels, input, rng);
+}
+
+std::int64_t
+BinaryCrossbar::logicalColumn(unsigned col, const BitVec &input) const
+{
+    const std::int64_t raw = readColumn(col, input);
+    if (!inverted[col])
+        return raw;
+    return static_cast<std::int64_t>(input.popcount()) - raw;
+}
+
+} // namespace msc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Functional model of a single bit-slice crossbar.
+ *
+ * Terminology follows the paper's memory-system convention: matrix
+ * rows are mapped to crossbar *columns*; the vector bit slice is
+ * applied to crossbar *rows*. A column read returns the number of
+ * activated on-cells in that column (the binary dot product), either
+ * exactly or through the device noise model.
+ */
+
+#ifndef MSC_XBAR_CROSSBAR_HH
+#define MSC_XBAR_CROSSBAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "device/cell.hh"
+#include "util/bitvec.hh"
+
+namespace msc {
+
+class BinaryCrossbar
+{
+  public:
+    BinaryCrossbar(unsigned rows, unsigned cols);
+
+    unsigned rows() const { return nRows; }
+    unsigned cols() const { return nCols; }
+
+    void set(unsigned row, unsigned col, bool v = true);
+    bool get(unsigned row, unsigned col) const;
+
+    /**
+     * Computational invert coding (Section V-B2): store the
+     * complement of any column with more than rows/2 ones, so the
+     * ADC never needs the full log2(N+1) bits. Returns the number of
+     * columns inverted. Columns with exactly rows/2 ones are counted
+     * by denseCornerCases(); the blocking preprocessor is expected
+     * to evict one element in that case.
+     */
+    unsigned applyCic();
+
+    bool columnInverted(unsigned col) const;
+    unsigned denseCornerCases() const { return cornerCases; }
+
+    /** Ones in the stored (possibly inverted) column. */
+    unsigned columnOnes(unsigned col) const;
+
+    /** Max output bits of a column: ceil(log2(ones+1)); the ADC
+     *  headstart preset (Section V-B2). */
+    unsigned columnMaxOutputBits(unsigned col) const;
+
+    /**
+     * Exact column read: popcount of (stored column AND input). The
+     * caller is responsible for the CIC digital correction
+     * (pc(input) - result) when columnInverted().
+     */
+    std::int64_t readColumn(unsigned col, const BitVec &input) const;
+
+    /** Column read through the analog device model. */
+    std::int64_t readColumnNoisy(unsigned col, const BitVec &input,
+                                 const ColumnReadModel &model,
+                                 Rng *rng) const;
+
+    /**
+     * Logical dot product of column @p col with @p input: the exact
+     * read with CIC correction already applied.
+     */
+    std::int64_t logicalColumn(unsigned col, const BitVec &input) const;
+
+  private:
+    unsigned nRows;
+    unsigned nCols;
+    std::vector<BitVec> colBits;          //!< per column, length rows
+    std::vector<std::uint8_t> inverted;
+    unsigned cornerCases = 0;
+};
+
+} // namespace msc
+
+#endif // MSC_XBAR_CROSSBAR_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Analytic area, energy, and latency models of a bit-slice crossbar
+ * with its ADC and peripheral circuitry.
+ *
+ * Scaling laws follow Section V-A of the paper:
+ *   - conversion latency: M ADC conversions, one per cycle, so a
+ *     crossbar operation takes N cycles at fClk (427 ns at N=512);
+ *   - per-operation energy grows with N log2 N (ADC-dominated, CIC
+ *     included); calibrated to Table III;
+ *   - area grows as a + bN + dN^2 (drivers + cells + ADC);
+ *     calibrated to Table III.
+ *
+ * The ADC sub-model implements the resolution scaling of Section
+ * VII-A: of the reference 10-bit 1.2 GHz pipelined SAR ADC power,
+ * 20% is static, 7% scales exponentially with resolution, and the
+ * rest linearly; 23% of area scales exponentially, the rest linearly.
+ */
+
+#ifndef MSC_XBAR_MODEL_HH
+#define MSC_XBAR_MODEL_HH
+
+#include <cstdint>
+
+#include "device/cell.hh"
+
+namespace msc {
+
+/** Crossbar/ADC design parameters (Table I defaults). */
+struct XbarModelParams
+{
+    double fClkHz = 1.2e9;          //!< ADC and pipeline clock
+    double vdd = 0.80;
+    /** Calibrated per-op energy coefficient: E = c * N log2 N [pJ]. */
+    double energyPerNlogN = 0.0729;
+    /** Area fit A(N) = a + b N + d N^2 [mm^2] (Table III). */
+    double areaConst = 6.80e-4;
+    double areaPerN = 1.797e-6;
+    double areaPerN2 = 7.324e-9;
+    /** Fraction of per-op energy spent in the ADC at N = 512. */
+    double adcEnergyShare512 = 0.459;
+    /** Fraction of crossbar area that is ADC at N = 512, chosen so
+     *  that the ADC share aggregated over the heterogeneous cluster
+     *  mix lands at 45.9% and crossbars+periphery dominate at 54.1%
+     *  (Section VIII-C). */
+    double adcAreaShare512 = 0.265;
+    /** Reference ADC resolution the shares are quoted at. */
+    unsigned refAdcBits = 10;
+    CellParams cell;
+};
+
+/**
+ * Per-size analytic model of one bit-slice crossbar (N x N cells,
+ * one pipelined SAR ADC, 2N drivers, N sample-and-hold circuits).
+ */
+class XbarModel
+{
+  public:
+    XbarModel(unsigned n, const XbarModelParams &params = {},
+              bool cic = true);
+
+    unsigned n() const { return size; }
+    bool cicEnabled() const { return cic; }
+
+    /** ADC resolution in bits: ceil(log2(N+1)), minus one with CIC
+     *  (computational invert coding, Section V-B2). */
+    unsigned adcResolutionBits() const;
+
+    /** Latency of one crossbar operation (apply one vector slice,
+     *  scan all N columns), in seconds. */
+    double opLatency() const;
+
+    /** Seconds per single column conversion (one clock). */
+    double conversionLatency() const;
+
+    /** Energy of one full crossbar operation in joules (Table III
+     *  calibration, includes the ADC at full resolution). */
+    double opEnergy() const;
+
+    /** ADC portion of opEnergy(). */
+    double adcOpEnergy() const;
+
+    /** Crossbar array + drivers + S/H portion of opEnergy(). */
+    double arrayOpEnergy() const;
+
+    /**
+     * Energy of one column conversion when the ADC starts its binary
+     * search at @p startBits instead of full resolution (ADC
+     * headstart, Section V-B2). startBits >= resolution means no
+     * saving.
+     */
+    double conversionEnergy(unsigned startBits) const;
+
+    /** Total area of the crossbar + periphery + ADC in mm^2. */
+    double area() const;
+
+    /** ADC portion of area(). */
+    double adcArea() const;
+
+    /** Programming time for the full array (row-parallel writes):
+     *  N * writeTime seconds. */
+    double programTime() const;
+
+    /** Energy to program @p cellsWritten cells. */
+    double programEnergy(std::uint64_t cellsWritten) const;
+
+    const XbarModelParams &params() const { return prm; }
+
+  private:
+    /** Table III calibrated per-op total (the CIC-on design point). */
+    double tableOpEnergy() const;
+
+    /** ADC energy of one op at an arbitrary resolution. */
+    double adcEnergyAtBits(unsigned bits) const;
+
+    /** Resolution-dependent ADC power scale factor, normalized to
+     *  the reference resolution. */
+    double adcPowerScale(unsigned bits) const;
+    double adcAreaScale(unsigned bits) const;
+
+    unsigned size;
+    XbarModelParams prm;
+    bool cic;
+};
+
+} // namespace msc
+
+#endif // MSC_XBAR_MODEL_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the system-level accelerator model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/accel.hh"
+#include "sparse/gen.hh"
+#include "util/logging.hh"
+
+namespace msc {
+namespace {
+
+Csr
+bandedMatrix(std::int32_t rows, std::uint64_t seed)
+{
+    TiledParams p;
+    p.rows = rows;
+    p.tile = 48;
+    p.tileDensity = 0.3;
+    p.scatterPerRow = 0.5;
+    p.seed = seed;
+    p.symmetricPattern = true;
+    p.spd = true;
+    return genTiled(p);
+}
+
+TEST(Accelerator, PrepareProducesConsistentPlan)
+{
+    msc::setLogQuiet(true);
+    Accelerator accel;
+    const Csr m = bandedMatrix(8192, 301);
+    const PrepareResult prep = accel.prepare(m);
+    EXPECT_GT(prep.placedBlocks, 0u);
+    EXPECT_EQ(prep.placedBlocks + prep.dissolvedBlocks,
+              prep.blocking.blocksPerSize[0] +
+                  prep.blocking.blocksPerSize[1] +
+                  prep.blocking.blocksPerSize[2] +
+                  prep.blocking.blocksPerSize[3]);
+    EXPECT_GT(prep.spmv.time, 0.0);
+    EXPECT_GT(prep.spmv.energy, 0.0);
+    EXPECT_GT(prep.dotOp.time, 0.0);
+    EXPECT_GT(prep.axpyOp.time, 0.0);
+    EXPECT_GT(prep.programTime, 0.0);
+    EXPECT_FALSE(prep.gpuFallback);
+    EXPECT_EQ(prep.banksUsed, (8192 + 1199) / 1200);
+}
+
+TEST(Accelerator, FunctionalSpmvMatchesCsr)
+{
+    msc::setLogQuiet(true);
+    Accelerator accel;
+    const Csr m = bandedMatrix(4096, 307);
+    accel.prepare(m);
+    std::vector<double> x(4096), yAccel(4096), yCsr(4096);
+    Rng rng(311);
+    for (auto &v : x)
+        v = rng.uniform(-1, 1);
+    accel.spmv(x, yAccel);
+    m.spmv(x, yCsr);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(yAccel[i], yCsr[i],
+                    1e-12 * (1.0 + std::fabs(yCsr[i])))
+            << "row " << i;
+    }
+}
+
+TEST(Accelerator, ScatterMatrixFallsBackToGpu)
+{
+    msc::setLogQuiet(true);
+    Accelerator accel;
+    TiledParams p;
+    p.rows = 8192;
+    p.diagTiles = 0;
+    p.scatterPerRow = 4.0;
+    p.seed = 313;
+    p.symmetricPattern = false;
+    const PrepareResult prep = accel.prepare(genTiled(p));
+    EXPECT_TRUE(prep.gpuFallback);
+    EXPECT_EQ(prep.placedBlocks, 0u);
+}
+
+TEST(Accelerator, SolveCostComposesKernels)
+{
+    msc::setLogQuiet(true);
+    Accelerator accel;
+    const Csr m = bandedMatrix(4096, 317);
+    const PrepareResult prep = accel.prepare(m);
+    SolverResult run;
+    run.spmvCalls = 10;
+    run.dotCalls = 20;
+    run.axpyCalls = 30;
+    run.vectorLength = 4096;
+    const AccelCost noSetup = accel.solveCost(run, false);
+    const AccelCost withSetup = accel.solveCost(run, true);
+    const double kernels = 10 * prep.spmv.time +
+                           20 * prep.dotOp.time +
+                           30 * prep.axpyOp.time;
+    EXPECT_NEAR(noSetup.time, kernels, 1e-12);
+    EXPECT_NEAR(withSetup.time,
+                kernels + prep.programTime + prep.preprocessTime,
+                1e-12);
+    EXPECT_GT(withSetup.energy, noSetup.energy);
+}
+
+TEST(Accelerator, LargerMatrixUsesMoreBanks)
+{
+    msc::setLogQuiet(true);
+    Accelerator accel;
+    const Csr small = bandedMatrix(2048, 331);
+    const Csr large = bandedMatrix(16384, 331);
+    const int banksSmall = accel.prepare(small).banksUsed;
+    Accelerator accel2;
+    const int banksLarge = accel2.prepare(large).banksUsed;
+    EXPECT_GT(banksLarge, banksSmall);
+    // More banks -> faster vector kernels per element.
+    // (dot time scales with rows/banksUsed which is capped at 1200.)
+    EXPECT_LE(accel2.dotCost().time,
+              accel.dotCost().time * 16384.0 / 2048.0);
+}
+
+TEST(Accelerator, AreaModelMatchesPaper)
+{
+    const Accelerator accel;
+    const AreaBreakdown a = accel.area();
+    EXPECT_NEAR(a.total(), 539.0, 15.0); // paper: 539 mm^2
+    const double procMemShare =
+        (a.processors + a.globalMemory) / a.total();
+    EXPECT_NEAR(procMemShare, 0.136, 0.02); // paper: 13.6%
+    const double adcShare =
+        a.adcsOnly / (a.crossbarsAndAdcs + a.bankBuffers);
+    EXPECT_NEAR(adcShare, 0.459, 0.03); // paper: 45.9%
+}
+
+TEST(Accelerator, EnduranceScalesWithSolveTime)
+{
+    msc::setLogQuiet(true);
+    Accelerator accel;
+    accel.prepare(bandedMatrix(2048, 337));
+    const double shortLife = accel.enduranceYears(0.1);
+    const double longLife = accel.enduranceYears(3.2);
+    EXPECT_GT(longLife, shortLife);
+    EXPECT_GT(longLife, 100.0); // the paper's claim at their scale
+}
+
+TEST(Accelerator, ReprogramCostScalesWithChangedFraction)
+{
+    msc::setLogQuiet(true);
+    Accelerator accel;
+    const PrepareResult prep = accel.prepare(bandedMatrix(2048, 341));
+    const AccelCost full = accel.reprogramCost(1.0);
+    const AccelCost half = accel.reprogramCost(0.5);
+    const AccelCost none = accel.reprogramCost(0.0);
+    EXPECT_NEAR(full.time, prep.programTime, 1e-12);
+    EXPECT_NEAR(half.energy, 0.5 * prep.programEnergy, 1e-9);
+    EXPECT_EQ(none.time, 0.0);
+    EXPECT_THROW(accel.reprogramCost(1.5), FatalError);
+}
+
+TEST(Accelerator, PoolCapacityMatchesTable1)
+{
+    const Accelerator accel;
+    const auto pools = accel.poolCapacity();
+    ASSERT_EQ(pools.size(), 4u);
+    EXPECT_EQ(pools[0], (std::pair<unsigned, unsigned>{512, 256}));
+    EXPECT_EQ(pools[1], (std::pair<unsigned, unsigned>{256, 512}));
+    EXPECT_EQ(pools[2], (std::pair<unsigned, unsigned>{128, 768}));
+    EXPECT_EQ(pools[3], (std::pair<unsigned, unsigned>{64, 1024}));
+}
+
+TEST(Accelerator, MisuseIsFatal)
+{
+    Accelerator accel;
+    std::vector<double> x(8), y(8);
+    EXPECT_THROW(accel.spmv(x, y), FatalError);
+    SolverResult run;
+    EXPECT_THROW(accel.solveCost(run), FatalError);
+
+    AcceleratorConfig bad;
+    bad.clustersPerBank = {{64, 8}, {512, 2}}; // wrong order
+    EXPECT_THROW(Accelerator{bad}, FatalError);
+}
+
+} // namespace
+} // namespace msc

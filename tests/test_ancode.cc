@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the A = 251 AN error-correcting code (Section IV-E).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ancode/ancode.hh"
+#include "util/random.hh"
+
+namespace msc {
+namespace {
+
+TEST(AnCode, DefaultsMatchPaperOperandWidth)
+{
+    // A = 269 (not the paper's 251 -- see the header rationale): a
+    // nine-bit constant whose syndromes are unique over the operand.
+    const AnCode code;
+    EXPECT_EQ(code.a(), 269u);
+    EXPECT_EQ(code.dataBits(), 118u);
+    // 118 data bits + 9 check bits = the paper's 127-bit operand.
+    EXPECT_EQ(code.codeBits(), 127u);
+    EXPECT_EQ(code.ord2(), 268u);
+    EXPECT_GE(code.uniqueWindow(), code.codeBits());
+}
+
+TEST(AnCode, PaperConstant251IsAmbiguous)
+{
+    // ord_2(251) = 50: +/-2^p syndromes collide every 25 bits, so
+    // single-bit correction over a wide operand is not unique. This
+    // documents why the default deviates from the paper.
+    const AnCode code(251, 118);
+    EXPECT_EQ(code.ord2(), 50u);
+    EXPECT_EQ(code.uniqueWindow(), 25u);
+    EXPECT_LT(code.uniqueWindow(), code.codeBits());
+}
+
+TEST(AnCode, EncodeDecodeRoundTrip)
+{
+    const AnCode code;
+    Rng rng(43);
+    for (int i = 0; i < 200; ++i) {
+        U128 v;
+        v.setWord(0, rng.next());
+        v.setWord(1, rng.next() & ((std::uint64_t{1} << 54) - 1));
+        const U256 w = code.encode(v);
+        EXPECT_TRUE(code.check(w));
+        EXPECT_EQ(code.decode(w), v);
+    }
+}
+
+TEST(AnCode, EncodeRejectsOversizedValue)
+{
+    const AnCode code;
+    U128 v;
+    v.setBit(118); // 119 bits
+    EXPECT_THROW(code.encode(v), PanicError);
+}
+
+TEST(AnCode, ZeroIsACodeWord)
+{
+    const AnCode code;
+    const U256 w = code.encode(U128(0));
+    EXPECT_TRUE(w.isZero());
+    EXPECT_TRUE(code.check(w));
+}
+
+TEST(AnCode, DetectsEveryBitFlip)
+{
+    const AnCode code;
+    const U256 w = code.encode(U128(0x123456789abcdefULL));
+    for (unsigned p = 0; p < code.codeBits(); ++p) {
+        U256 bad = w;
+        bad.flipBit(p);
+        EXPECT_FALSE(code.check(bad)) << "p=" << p;
+    }
+}
+
+TEST(AnCode, CorrectsEveryBitFlipAcrossFullOperand)
+{
+    const AnCode code;
+    Rng rng(47);
+    for (int trial = 0; trial < 20; ++trial) {
+        U128 v;
+        v.setWord(0, rng.next());
+        v.setWord(1, rng.next() & ((std::uint64_t{1} << 50) - 1));
+        const U256 w = code.encode(v);
+        for (unsigned p = 0; p < code.codeBits(); ++p) {
+            U256 bad = w;
+            bad.flipBit(p);
+            const auto outcome = code.correct(bad);
+            EXPECT_EQ(outcome, AnCode::Outcome::Corrected)
+                << "p=" << p;
+            EXPECT_EQ(bad, w) << "p=" << p;
+        }
+    }
+}
+
+TEST(AnCode, CorrectsAdditiveAdcErrors)
+{
+    // An ADC misread adds +/- 2^p with carry propagation; correction
+    // must handle the additive (non-bit-flip) form.
+    const AnCode code;
+    U128 v(0xffffULL);
+    v.setBit(100); // keep the code word above every subtracted 2^p
+    const U256 w = code.encode(v);
+    for (unsigned p = 0; p < 60; ++p) {
+        U256 plus = w + (U256(1) << p);
+        EXPECT_EQ(code.correct(plus, 125), AnCode::Outcome::Corrected);
+        EXPECT_EQ(plus, w);
+        U256 minus = w - (U256(1) << p);
+        EXPECT_EQ(code.correct(minus, 125),
+                  AnCode::Outcome::Corrected);
+        EXPECT_EQ(minus, w);
+    }
+}
+
+TEST(AnCode, CleanWordUntouched)
+{
+    const AnCode code;
+    U256 w = code.encode(U128(77));
+    const U256 orig = w;
+    EXPECT_EQ(code.correct(w), AnCode::Outcome::Clean);
+    EXPECT_EQ(w, orig);
+}
+
+TEST(AnCode, DoubleErrorsAlwaysDetected)
+{
+    // Two simultaneous flips exceed the single-error correction
+    // capability. They must never be reported Clean. A class of
+    // double flips is arithmetically identical to a single additive
+    // error (adjacent bits flipped in opposite directions) and is
+    // legitimately recovered; the rest either miscorrect to a
+    // *valid* code word or are flagged Uncorrectable. This test
+    // asserts exactly those facts.
+    const AnCode code;
+    Rng rng(53);
+    const int trials = 300;
+    for (int t = 0; t < trials; ++t) {
+        U128 v;
+        v.setWord(0, rng.next());
+        const U256 w = code.encode(v);
+        U256 bad = w;
+        const unsigned p1 = static_cast<unsigned>(rng.below(100));
+        unsigned p2 = static_cast<unsigned>(rng.below(100));
+        while (p2 == p1)
+            p2 = static_cast<unsigned>(rng.below(100));
+        bad.flipBit(p1);
+        bad.flipBit(p2);
+        ASSERT_FALSE(code.check(bad)); // never silently accepted
+        const auto outcome = code.correct(bad, 125);
+        ASSERT_NE(outcome, AnCode::Outcome::Clean);
+        if (outcome == AnCode::Outcome::Corrected) {
+            EXPECT_TRUE(code.check(bad));
+        }
+    }
+}
+
+TEST(AnCode, AdjacentOppositeFlipsRecoverExactly)
+{
+    // Flipping bit p from 1->0 and bit p+1 from 0->1 adds exactly
+    // 2^p; correction must recover the original word.
+    const AnCode code;
+    const U128 v(0b1010101);
+    const U256 w = code.encode(v);
+    // Find a position with bit=1, bit+1=0.
+    for (unsigned p = 0; p + 1 < 60; ++p) {
+        if (w.bit(p) && !w.bit(p + 1)) {
+            U256 bad = w;
+            bad.flipBit(p);
+            bad.flipBit(p + 1);
+            EXPECT_EQ(code.correct(bad, 125),
+                      AnCode::Outcome::Corrected);
+            EXPECT_EQ(bad, w);
+            break;
+        }
+    }
+}
+
+TEST(AnCode, DecodeNonCodeWordPanics)
+{
+    const AnCode code;
+    U256 w = code.encode(U128(5));
+    w.flipBit(3);
+    EXPECT_THROW(code.decode(w), PanicError);
+}
+
+TEST(AnCode, SmallCodeAlsoWorks)
+{
+    // A = 19 over 16-bit data: sanity for parameterization.
+    const AnCode code(19, 16);
+    const U128 v(0xabcd);
+    U256 w = code.encode(v);
+    EXPECT_TRUE(code.check(w));
+    EXPECT_EQ(code.decode(w), v);
+    // With A=19, ord(2) = 18, so only 18 positions are unambiguous.
+    w.flipBit(5);
+    EXPECT_EQ(code.correct(w, 18), AnCode::Outcome::Corrected);
+    EXPECT_EQ(code.decode(w), v);
+}
+
+TEST(AnCode, CorrectSignedHandlesSignCrossing)
+{
+    // A small positive word A*3 hit by a -2^40 error: the corrupted
+    // magnitude is 2^40 - A*3 with a flipped sign. Signed correction
+    // must recover both value and sign.
+    const AnCode code;
+    const U256 truth = code.encode(U128(3)); // 807
+    U256 mag = (U256(1) << 40) - truth;
+    bool neg = true; // the corrupted word looks negative
+    EXPECT_EQ(code.correctSigned(mag, neg, 125),
+              AnCode::Outcome::Corrected);
+    EXPECT_FALSE(neg);
+    EXPECT_EQ(mag, truth);
+}
+
+TEST(AnCode, CorrectSignedNegativeTruth)
+{
+    // Truth is -A*7; a +2^50 error flips it positive.
+    const AnCode code;
+    const U256 truth = code.encode(U128(7));
+    U256 mag = (U256(1) << 50) - truth;
+    bool neg = false;
+    EXPECT_EQ(code.correctSigned(mag, neg, 125),
+              AnCode::Outcome::Corrected);
+    EXPECT_TRUE(neg);
+    EXPECT_EQ(mag, truth);
+}
+
+TEST(AnCode, CorrectSignedMatchesUnsignedOnEasyCases)
+{
+    const AnCode code;
+    Rng rng(57);
+    for (int t = 0; t < 50; ++t) {
+        U128 v;
+        v.setWord(0, rng.next());
+        v.setWord(1, rng.next() & 0xffffffffULL);
+        const U256 w = code.encode(v);
+        U256 bad = w;
+        bad.flipBit(static_cast<unsigned>(rng.below(100)));
+        bool neg = false;
+        EXPECT_EQ(code.correctSigned(bad, neg),
+                  AnCode::Outcome::Corrected);
+        EXPECT_FALSE(neg);
+        EXPECT_EQ(bad, w);
+    }
+}
+
+TEST(AnCode, CorrectSignedCleanWord)
+{
+    const AnCode code;
+    U256 w = code.encode(U128(123));
+    bool neg = true;
+    EXPECT_EQ(code.correctSigned(w, neg), AnCode::Outcome::Clean);
+    EXPECT_TRUE(neg); // sign untouched on clean nonzero words
+}
+
+TEST(AnCode, RejectsBadConstants)
+{
+    EXPECT_THROW(AnCode(250, 118), FatalError); // even
+    EXPECT_THROW(AnCode(1, 118), FatalError);   // too small
+    EXPECT_THROW(AnCode(251, 260), FatalError); // operand too wide
+}
+
+} // namespace
+} // namespace msc

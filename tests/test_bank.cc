@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests for the bank processor/memory cost models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bank/bank.hh"
+
+namespace msc {
+namespace {
+
+TEST(Bank, CsrTimeScalesLinearly)
+{
+    const Bank bank{ProcessorModelParams{}, MemoryModelParams{}};
+    const double t1 = bank.csrTime(1000.0);
+    const double t2 = bank.csrTime(2000.0);
+    // Startup is constant; the per-element slope doubles.
+    const double startup = bank.csrTime(0.0);
+    EXPECT_NEAR(t2 - startup, 2.0 * (t1 - startup), 1e-15);
+    EXPECT_GT(startup, 0.0);
+}
+
+TEST(Bank, KernelTimesMatchCycleModel)
+{
+    ProcessorModelParams proc;
+    proc.clockHz = 1.0e9;
+    proc.cyclesPerCsrNnz = 4.0;
+    proc.cyclesPerDotElem = 2.0;
+    proc.cyclesPerAxpyElem = 2.5;
+    proc.kernelStartupCycles = 100.0;
+    const Bank bank{proc, MemoryModelParams{}};
+    EXPECT_NEAR(bank.csrTime(50.0), (100.0 + 200.0) / 1e9, 1e-18);
+    EXPECT_NEAR(bank.dotTime(50.0), (100.0 + 100.0) / 1e9, 1e-18);
+    EXPECT_NEAR(bank.axpyTime(40.0), (100.0 + 100.0) / 1e9, 1e-18);
+    EXPECT_NEAR(bank.serviceTime(3.0),
+                3.0 * proc.clusterServiceCycles / 1e9, 1e-18);
+}
+
+TEST(Bank, EnergyFollowsCycles)
+{
+    ProcessorModelParams proc;
+    proc.energyPerCycle = 10e-12;
+    const Bank bank{proc, MemoryModelParams{}};
+    EXPECT_DOUBLE_EQ(bank.procEnergy(1000.0), 1e-8);
+    EXPECT_DOUBLE_EQ(bank.csrCycles(10.0),
+                     10.0 * proc.cyclesPerCsrNnz);
+    EXPECT_DOUBLE_EQ(bank.dotCycles(10.0),
+                     10.0 * proc.cyclesPerDotElem);
+    EXPECT_DOUBLE_EQ(bank.axpyCycles(10.0),
+                     10.0 * proc.cyclesPerAxpyElem);
+}
+
+} // namespace
+} // namespace msc

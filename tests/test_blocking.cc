@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Tests for the heterogeneous blocking preprocessor (Section V-B1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "blocking/blocking.hh"
+#include "sparse/gen.hh"
+#include "util/random.hh"
+
+namespace msc {
+namespace {
+
+/** SpMV through the plan must reproduce the matrix exactly:
+ *  blocks + unblocked leftovers partition the nonzeros. */
+void
+checkPlanIsAPartition(const Csr &m, const BlockPlan &plan)
+{
+    std::size_t blockNnz = 0;
+    for (const auto &b : plan.blocks) {
+        blockNnz += b.elems.size();
+        for (const auto &el : b.elems) {
+            ASSERT_GE(el.row, 0);
+            ASSERT_LT(el.row, static_cast<std::int32_t>(b.size));
+            ASSERT_GE(el.col, 0);
+            ASSERT_LT(el.col, static_cast<std::int32_t>(b.size));
+        }
+    }
+    EXPECT_EQ(blockNnz, plan.stats.blockedNnz);
+    EXPECT_EQ(blockNnz + plan.unblocked.nnz(), m.nnz());
+
+    // Dense reconstruction on small matrices.
+    if (m.rows() <= 512 && m.cols() <= 512) {
+        std::vector<double> dense(
+            static_cast<std::size_t>(m.rows()) * m.cols(), 0.0);
+        auto at = [&](std::int32_t r, std::int32_t c) -> double & {
+            return dense[static_cast<std::size_t>(r) * m.cols() + c];
+        };
+        for (const auto &b : plan.blocks) {
+            for (const auto &el : b.elems)
+                at(b.rowOrigin + el.row, b.colOrigin + el.col) +=
+                    el.val;
+        }
+        for (std::int32_t r = 0; r < plan.unblocked.rows(); ++r) {
+            const auto cols = plan.unblocked.rowCols(r);
+            const auto vals = plan.unblocked.rowVals(r);
+            for (std::size_t k = 0; k < cols.size(); ++k)
+                at(r, cols[k]) += vals[k];
+        }
+        for (std::int32_t r = 0; r < m.rows(); ++r) {
+            const auto cols = m.rowCols(r);
+            const auto vals = m.rowVals(r);
+            for (std::size_t k = 0; k < cols.size(); ++k) {
+                EXPECT_EQ(at(r, cols[k]), vals[k])
+                    << "(" << r << "," << cols[k] << ")";
+                at(r, cols[k]) = 0.0;
+            }
+        }
+        for (double v : dense)
+            EXPECT_EQ(v, 0.0); // nothing invented
+    }
+}
+
+TEST(Blocking, DenseTileIsCaptured)
+{
+    // A fully dense 64x64 corner must be blocked at size 64.
+    Coo coo;
+    coo.rows = coo.cols = 256;
+    for (std::int32_t r = 0; r < 64; ++r)
+        for (std::int32_t c = 0; c < 64; ++c)
+            coo.add(r, c, 1.0 + r + c);
+    // Plus scattered singletons elsewhere.
+    for (std::int32_t i = 64; i < 256; ++i)
+        coo.add(i, i, 2.0);
+    const Csr m = Csr::fromCoo(coo);
+
+    BlockingConfig cfg;
+    cfg.sizes = {128, 64};
+    const BlockPlan plan = planBlocks(m, cfg);
+    checkPlanIsAPartition(m, plan);
+    EXPECT_GE(plan.stats.blockedNnz, 4096u);
+    EXPECT_GT(plan.stats.blockingEfficiency(), 0.9);
+}
+
+TEST(Blocking, UniformScatterIsNotBlocked)
+{
+    Rng rng(151);
+    Coo coo;
+    coo.rows = coo.cols = 1024;
+    for (int k = 0; k < 4096; ++k) {
+        coo.add(static_cast<std::int32_t>(rng.below(1024)),
+                static_cast<std::int32_t>(rng.below(1024)),
+                rng.uniform(0.5, 2.0));
+    }
+    const Csr m = Csr::fromCoo(coo);
+    const BlockPlan plan = planBlocks(m);
+    checkPlanIsAPartition(m, plan);
+    // ~4 nnz per 64x64 candidate: far below every threshold.
+    EXPECT_LT(plan.stats.blockingEfficiency(), 0.05);
+    EXPECT_EQ(plan.blocks.size(), 0u);
+}
+
+TEST(Blocking, PrefersLargerBlocks)
+{
+    // A dense 256x256 matrix: one 256 block (not four 128s or
+    // sixteen 64s) when 256 is the largest candidate size.
+    Coo coo;
+    coo.rows = coo.cols = 256;
+    Rng rng(157);
+    for (std::int32_t r = 0; r < 256; ++r)
+        for (std::int32_t c = 0; c < 256; ++c)
+            if (rng.chance(0.3))
+                coo.add(r, c, rng.uniform(1.0, 2.0));
+    const Csr m = Csr::fromCoo(coo);
+    BlockingConfig cfg;
+    cfg.sizes = {256, 128, 64};
+    const BlockPlan plan = planBlocks(m, cfg);
+    checkPlanIsAPartition(m, plan);
+    ASSERT_EQ(plan.stats.blocksPerSize.size(), 3u);
+    EXPECT_EQ(plan.stats.blocksPerSize[0], 1u); // one 256 block
+    EXPECT_EQ(plan.stats.blocksPerSize[1], 0u);
+    EXPECT_EQ(plan.stats.blocksPerSize[2], 0u);
+}
+
+TEST(Blocking, MixedStructureUsesMultipleSizes)
+{
+    // Three grid-aligned dense regions whose nonzero counts select
+    // three different block sizes under the default density-based
+    // threshold of 3 * s * s/64 nonzeros (512 -> 12288, 256 -> 3072,
+    // 128 -> 768, 64 -> 192).
+    Rng rng(163);
+    Coo coo;
+    coo.rows = coo.cols = 2048;
+    // ~8200 nnz in a 128 region at (0,0): > 3072 -> a 256 block.
+    for (std::int32_t r = 0; r < 128; ++r)
+        for (std::int32_t c = 0; c < 128; ++c)
+            if (rng.chance(0.5))
+                coo.add(r, c, rng.uniform(1.0, 2.0));
+    // ~1230 nnz at (1024,1024): < 3072, >= 768 -> a 128 block.
+    for (std::int32_t r = 1024; r < 1088; ++r)
+        for (std::int32_t c = 1024; c < 1088; ++c)
+            if (rng.chance(0.3))
+                coo.add(r, c, rng.uniform(1.0, 2.0));
+    // ~290 nnz at (1536,1536): < 768, >= 192 -> a 64 block.
+    for (std::int32_t r = 1536; r < 1600; ++r)
+        for (std::int32_t c = 1536; c < 1600; ++c)
+            if (rng.chance(0.07))
+                coo.add(r, c, rng.uniform(1.0, 2.0));
+    const Csr m = Csr::fromCoo(coo);
+    const BlockPlan plan = planBlocks(m);
+    checkPlanIsAPartition(m, plan);
+    EXPECT_GE(plan.stats.blocksPerSize[1], 1u); // 256
+    EXPECT_GE(plan.stats.blocksPerSize[2], 1u); // 128
+    EXPECT_GE(plan.stats.blocksPerSize[3], 1u); // 64
+}
+
+TEST(Blocking, ExponentOutliersAreEvicted)
+{
+    // Dense tile with a handful of 2^200-scaled entries: those must
+    // go to the local processor, the rest must still be blocked.
+    Rng rng(167);
+    Coo coo;
+    coo.rows = coo.cols = 64;
+    int outliers = 0;
+    for (std::int32_t r = 0; r < 64; ++r) {
+        for (std::int32_t c = 0; c < 64; ++c) {
+            double v = rng.uniform(1.0, 2.0);
+            if (rng.chance(0.01)) {
+                v *= 0x1.0p200;
+                ++outliers;
+            }
+            coo.add(r, c, v);
+        }
+    }
+    const Csr m = Csr::fromCoo(coo);
+    BlockingConfig cfg;
+    cfg.sizes = {64};
+    const BlockPlan plan = planBlocks(m, cfg);
+    checkPlanIsAPartition(m, plan);
+    ASSERT_GT(outliers, 0);
+    EXPECT_EQ(plan.stats.expRangeEvictions,
+              static_cast<std::size_t>(outliers));
+    EXPECT_EQ(plan.unblocked.nnz(),
+              static_cast<std::size_t>(outliers));
+    ASSERT_EQ(plan.blocks.size(), 1u);
+    // The accepted block must actually be programmable.
+    Cluster cluster{[] {
+        ClusterConfig c;
+        c.size = 64;
+        return c;
+    }()};
+    EXPECT_NO_THROW(cluster.program(plan.blocks[0]));
+}
+
+TEST(Blocking, ExplicitZerosFitAnyWindow)
+{
+    Coo coo;
+    coo.rows = coo.cols = 64;
+    for (std::int32_t r = 0; r < 64; ++r)
+        for (std::int32_t c = 0; c < 64; ++c)
+            coo.add(r, c, (r + c) % 5 == 0 ? 0.0 : 1.0);
+    const Csr m = Csr::fromCoo(coo);
+    const BlockPlan plan = planBlocks(m);
+    EXPECT_EQ(plan.stats.blockedNnz, m.nnz());
+    EXPECT_EQ(plan.stats.expRangeEvictions, 0u);
+}
+
+TEST(Blocking, VisitBoundHolds)
+{
+    Rng rng(173);
+    TiledParams p;
+    p.rows = 2048;
+    p.tile = 64;
+    p.tileDensity = 0.5;
+    p.scatterPerRow = 2.0;
+    p.seed = 7;
+    const Csr m = genTiled(p);
+    const BlockPlan plan = planBlocks(m);
+    EXPECT_LE(plan.stats.visitsPerNnz(), 4.0 + 1e-9);
+    EXPECT_GE(plan.stats.visitsPerNnz(), 1.0);
+    // Blockable structure: early acceptance keeps the average well
+    // below the worst case (the paper reports ~1.8x).
+    EXPECT_LT(plan.stats.visitsPerNnz(), 3.0);
+}
+
+TEST(Blocking, ThresholdControlsAcceptance)
+{
+    Rng rng(179);
+    Coo coo;
+    coo.rows = coo.cols = 64;
+    for (std::int32_t r = 0; r < 64; ++r)
+        for (std::int32_t c = 0; c < 64; ++c)
+            if (rng.chance(0.05)) // ~205 nnz: 3.2 per row
+                coo.add(r, c, 1.0);
+    const Csr m = Csr::fromCoo(coo);
+    BlockingConfig strict;
+    strict.densityFactor = 4.0;
+    EXPECT_EQ(planBlocks(m, strict).blocks.size(), 0u);
+    BlockingConfig loose;
+    loose.densityFactor = 1.0;
+    EXPECT_EQ(planBlocks(m, loose).blocks.size(), 1u);
+}
+
+TEST(Blocking, EdgeBlocksAtMatrixBoundary)
+{
+    // Matrix not a multiple of the block size: the tail strip still
+    // forms (logically square, partially filled) blocks.
+    Coo coo;
+    coo.rows = coo.cols = 96; // 64 + 32
+    for (std::int32_t r = 64; r < 96; ++r)
+        for (std::int32_t c = 64; c < 96; ++c)
+            coo.add(r, c, 2.0);
+    const Csr m = Csr::fromCoo(coo);
+    BlockingConfig cfg;
+    cfg.sizes = {64};
+    const BlockPlan plan = planBlocks(m, cfg);
+    checkPlanIsAPartition(m, plan);
+    ASSERT_EQ(plan.blocks.size(), 1u);
+    EXPECT_EQ(plan.blocks[0].rowOrigin, 64);
+    EXPECT_EQ(plan.blocks[0].colOrigin, 64);
+}
+
+TEST(Blocking, RectangularMatrices)
+{
+    // Blocking operates on row strips x column blocks and must
+    // handle non-square inputs (e.g. least-squares systems).
+    Rng rng(191);
+    Coo coo;
+    coo.rows = 256;
+    coo.cols = 512;
+    for (std::int32_t r = 0; r < 64; ++r)
+        for (std::int32_t c = 448; c < 512; ++c)
+            if (rng.chance(0.6))
+                coo.add(r, c, rng.uniform(1.0, 2.0));
+    for (int k = 0; k < 200; ++k)
+        coo.add(static_cast<std::int32_t>(rng.below(256)),
+                static_cast<std::int32_t>(rng.below(512)), 1.0);
+    const Csr m = Csr::fromCoo(coo);
+    BlockingConfig cfg;
+    cfg.sizes = {64};
+    const BlockPlan plan = planBlocks(m, cfg);
+    checkPlanIsAPartition(m, plan);
+    ASSERT_GE(plan.blocks.size(), 1u);
+    bool foundCorner = false;
+    for (const auto &b : plan.blocks)
+        foundCorner |= (b.rowOrigin == 0 && b.colOrigin == 448);
+    EXPECT_TRUE(foundCorner);
+}
+
+TEST(Blocking, RejectsNonDecreasingSizes)
+{
+    const Csr m = Csr::identity(16);
+    BlockingConfig cfg;
+    cfg.sizes = {64, 64};
+    EXPECT_THROW(planBlocks(m, cfg), FatalError);
+}
+
+TEST(Blocking, TiledGeneratorMatchesTargetEfficiency)
+{
+    // The tiled generator + preprocessor must land high blocking
+    // efficiency for banded FEM-style matrices...
+    TiledParams fem;
+    fem.rows = 4096;
+    fem.tile = 48;
+    fem.diagTiles = 2;
+    fem.tileDensity = 0.55;
+    fem.scatterPerRow = 0.3;
+    fem.seed = 11;
+    const BlockPlan femPlan = planBlocks(genTiled(fem));
+    EXPECT_GT(femPlan.stats.blockingEfficiency(), 0.7);
+
+    // ...and near-zero for uniform scatter.
+    TiledParams scatter;
+    scatter.rows = 4096;
+    scatter.tile = 48;
+    scatter.diagTiles = 0;
+    scatter.tileDensity = 0.0;
+    scatter.scatterPerRow = 7.0;
+    scatter.seed = 13;
+    const BlockPlan scatterPlan = planBlocks(genTiled(scatter));
+    EXPECT_LT(scatterPlan.stats.blockingEfficiency(), 0.1);
+}
+
+} // namespace
+} // namespace msc

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Integration tests: full Krylov solves through the bit-level
+ * cluster arithmetic (the paper's Section VII-C convergence claim).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/cluster_operator.hh"
+#include "sparse/gen.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace msc {
+namespace {
+
+Csr
+testSystem(std::int32_t rows, bool spd, std::uint64_t seed)
+{
+    TiledParams p;
+    p.rows = rows;
+    p.tile = 16;
+    p.tileDensity = 0.45;
+    p.scatterPerRow = 0.2;
+    p.spd = spd;
+    p.symmetricPattern = spd;
+    p.diagDominance = 0.08;
+    p.seed = seed;
+    return genTiled(p);
+}
+
+TEST(ClusterOperator, SpmvMatchesCsrWithinBlockRounding)
+{
+    setLogQuiet(true);
+    const Csr m = testSystem(256, true, 2001);
+    ClusterArithmeticOperator op(m);
+    EXPECT_GT(op.blockPlan().blocks.size(), 0u);
+
+    CsrOperator ref(m);
+    std::vector<double> x(256), yHw(256), yRef(256);
+    Rng rng(2003);
+    for (auto &v : x)
+        v = rng.uniform(-1.0, 1.0);
+    op.apply(x, yHw);
+    ref.apply(x, yRef);
+    // Per-block exact rounding vs double accumulation: equal to a
+    // few ulps of the row magnitude.
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(yHw[i], yRef[i],
+                    1e-12 * (1.0 + std::fabs(yRef[i])))
+            << "row " << i;
+    }
+    EXPECT_GT(op.totals().adcConversions, 0u);
+}
+
+TEST(ClusterOperator, CgConvergesInSameIterationsAsFp64)
+{
+    // Section VII-C: "The solvers running on the proposed
+    // accelerator converge in the same number of iterations...
+    // since both systems perform computation at the same level of
+    // precision."
+    setLogQuiet(true);
+    const Csr m = testSystem(256, true, 2011);
+    std::vector<double> b(256, 1.0);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-9;
+    cfg.maxIterations = 1500;
+
+    CsrOperator fp64(m);
+    std::vector<double> xRef(256, 0.0);
+    const SolverResult ref = conjugateGradient(fp64, b, xRef, cfg);
+    ASSERT_TRUE(ref.converged);
+
+    ClusterArithmeticOperator hw(m);
+    std::vector<double> xHw(256, 0.0);
+    const SolverResult run = conjugateGradient(hw, b, xHw, cfg);
+    EXPECT_TRUE(run.converged);
+    // Same precision class: iteration counts agree within a couple.
+    EXPECT_NEAR(run.iterations, ref.iterations, 2.0);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_NEAR(xHw[i], xRef[i],
+                    1e-6 * (1.0 + std::fabs(xRef[i])));
+}
+
+TEST(ClusterOperator, BiCgStabOnNonSymmetricSystem)
+{
+    setLogQuiet(true);
+    const Csr m = testSystem(192, false, 2017);
+    std::vector<double> b(192, 1.0);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-8;
+    cfg.maxIterations = 1500;
+
+    CsrOperator fp64(m);
+    std::vector<double> xRef(192, 0.0);
+    const SolverResult ref = biCgStab(fp64, b, xRef, cfg);
+    ASSERT_TRUE(ref.converged);
+
+    ClusterArithmeticOperator hw(m);
+    std::vector<double> xHw(192, 0.0);
+    const SolverResult run = biCgStab(hw, b, xHw, cfg);
+    EXPECT_TRUE(run.converged);
+    // BiCG-STAB is twitchier than CG; allow a modest band.
+    EXPECT_NEAR(run.iterations, ref.iterations,
+                0.2 * ref.iterations + 3.0);
+}
+
+TEST(ClusterOperator, NearestRoundingAlsoConverges)
+{
+    setLogQuiet(true);
+    const Csr m = testSystem(192, true, 2027);
+    std::vector<double> b(192, 1.0);
+    ClusterConfig base;
+    base.rounding = RoundingMode::NearestEven;
+    ClusterArithmeticOperator hw(
+        m, ClusterArithmeticOperator::smallSizes(), base);
+    std::vector<double> x(192, 0.0);
+    const SolverResult run =
+        conjugateGradient(hw, b, x, {1e-9, 1500});
+    EXPECT_TRUE(run.converged);
+}
+
+TEST(ClusterOperator, DimensionMismatchFatal)
+{
+    setLogQuiet(true);
+    const Csr m = testSystem(64, true, 2029);
+    ClusterArithmeticOperator op(m);
+    std::vector<double> x(32), y(64);
+    EXPECT_THROW(op.apply(x, y), FatalError);
+}
+
+} // namespace
+} // namespace msc

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Parameterized property sweep: cluster bit-exactness over the full
+ * configuration cross product (schedule policy x rounding mode x AN
+ * protection x early termination). Every combination must produce
+ * exactly round(sum_j A_ij x_j) with one rounding of the exact sum.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "cluster/cluster.hh"
+#include "util/random.hh"
+
+namespace msc {
+namespace {
+
+using Param = std::tuple<SchedulePolicy, RoundingMode, bool, bool>;
+
+class ClusterSweep : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(ClusterSweep, BitExactAgainstOracle)
+{
+    const auto [policy, rounding, an, earlyTerm] = GetParam();
+    ClusterConfig cfg;
+    cfg.size = 16;
+    cfg.schedule = policy;
+    cfg.rounding = rounding;
+    cfg.anProtect = an;
+    cfg.earlyTermination = earlyTerm;
+    Cluster cluster(cfg);
+
+    Rng rng(1000 + static_cast<int>(policy) * 101 +
+            static_cast<int>(rounding) * 11 + an * 3 + earlyTerm);
+    for (int trial = 0; trial < 3; ++trial) {
+        MatrixBlock b;
+        b.size = 16;
+        for (std::int32_t r = 0; r < 16; ++r) {
+            for (std::int32_t c = 0; c < 16; ++c) {
+                if (!rng.chance(0.5))
+                    continue;
+                const int e =
+                    static_cast<int>(rng.range(-20, 20));
+                b.elems.push_back(
+                    {r, c,
+                     std::ldexp(rng.uniform(1.0, 2.0), e) *
+                         (rng.chance(0.5) ? -1.0 : 1.0)});
+            }
+        }
+        cluster.program(b);
+        std::vector<double> x(16);
+        for (auto &v : x) {
+            v = rng.chance(0.15)
+                ? 0.0
+                : std::ldexp(rng.uniform(1.0, 2.0),
+                             static_cast<int>(rng.range(-15, 15))) *
+                      (rng.chance(0.5) ? -1.0 : 1.0);
+        }
+        std::vector<double> y(16);
+        cluster.multiply(x, y);
+
+        for (std::int32_t row = 0; row < 16; ++row) {
+            std::vector<double> ar, xr;
+            for (const auto &el : b.elems) {
+                if (el.row == row) {
+                    ar.push_back(el.val);
+                    xr.push_back(
+                        x[static_cast<std::size_t>(el.col)]);
+                }
+            }
+            const double expect = ar.empty()
+                ? 0.0
+                : exactDot(ar.data(), xr.data(), ar.size(),
+                           rounding);
+            EXPECT_EQ(y[static_cast<std::size_t>(row)], expect)
+                << "row " << row << " trial " << trial;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, ClusterSweep,
+    ::testing::Combine(
+        ::testing::Values(SchedulePolicy::Vertical,
+                          SchedulePolicy::Diagonal,
+                          SchedulePolicy::Hybrid),
+        ::testing::Values(RoundingMode::TowardNegInf,
+                          RoundingMode::TowardPosInf,
+                          RoundingMode::TowardZero,
+                          RoundingMode::NearestEven),
+        ::testing::Bool(),  // AN protection
+        ::testing::Bool()), // early termination
+    [](const ::testing::TestParamInfo<Param> &info) {
+        // NOTE: no structured bindings here -- commas inside [] split
+        // macro arguments.
+        const SchedulePolicy policy = std::get<0>(info.param);
+        const RoundingMode rounding = std::get<1>(info.param);
+        const bool an = std::get<2>(info.param);
+        const bool et = std::get<3>(info.param);
+        std::string name = toString(policy);
+        switch (rounding) {
+          case RoundingMode::TowardNegInf:
+            name += "_NegInf";
+            break;
+          case RoundingMode::TowardPosInf:
+            name += "_PosInf";
+            break;
+          case RoundingMode::TowardZero:
+            name += "_Zero";
+            break;
+          case RoundingMode::NearestEven:
+            name += "_Nearest";
+            break;
+        }
+        name += an ? "_AN" : "_plain";
+        name += et ? "_ET" : "_full";
+        return name;
+    });
+
+/** Parameterized schedule-partition property over grid shapes. */
+class ScheduleShapes
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(ScheduleShapes, EveryCellOncePerPolicy)
+{
+    const auto [bSlices, kSlices] = GetParam();
+    for (auto policy : {SchedulePolicy::Vertical,
+                        SchedulePolicy::Diagonal,
+                        SchedulePolicy::Hybrid}) {
+        const ActivationSchedule s(bSlices, kSlices, policy, 2);
+        std::uint64_t cells = 0;
+        for (const auto &g : s.groups())
+            cells += g.activations();
+        EXPECT_EQ(cells,
+                  static_cast<std::uint64_t>(bSlices) * kSlices)
+            << toString(policy);
+        EXPECT_EQ(s.totalActivations(), cells);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridShapes, ScheduleShapes,
+    ::testing::Combine(::testing::Values(1u, 5u, 54u, 127u),
+                       ::testing::Values(1u, 7u, 63u, 118u)));
+
+} // namespace
+} // namespace msc

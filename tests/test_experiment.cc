@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Integration tests for the end-to-end experiment driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "sparse/gen.hh"
+#include "util/logging.hh"
+
+namespace msc {
+namespace {
+
+class ExperimentTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogQuiet(true); }
+};
+
+TEST_F(ExperimentTest, BandedSpdSystemBeatsGpu)
+{
+    TiledParams p;
+    p.rows = 8192;
+    p.tile = 48;
+    p.tileDensity = 0.3;
+    p.scatterPerRow = 0.3;
+    p.spd = true;
+    p.symmetricPattern = true;
+    p.diagDominance = 0.02;
+    p.seed = 501;
+    const Csr m = genTiled(p);
+    const ExperimentResult r = runExperiment("banded", m, true);
+    EXPECT_TRUE(r.solve.converged);
+    EXPECT_FALSE(r.gpuFallback);
+    EXPECT_GT(r.speedup(), 1.0);
+    EXPECT_GT(r.energyRatio(), 1.0);
+    EXPECT_GT(r.accelTime, 0.0);
+    EXPECT_GT(r.gpuTime, 0.0);
+    EXPECT_LT(r.setupOverhead(), 1.0);
+}
+
+TEST_F(ExperimentTest, ScatterSystemRoutesToGpu)
+{
+    TiledParams p;
+    p.rows = 8192;
+    p.diagTiles = 0;
+    p.scatterPerRow = 3.0;
+    p.symmetricPattern = false;
+    p.diagDominance = 0.1;
+    p.seed = 503;
+    const Csr m = genTiled(p);
+    const ExperimentResult r = runExperiment("scatter", m, false);
+    EXPECT_TRUE(r.gpuFallback);
+    // The fallback costs only the preprocessing: within ~15% of the
+    // plain GPU solve (the paper reports < 3% at their iteration
+    // counts).
+    EXPECT_GT(r.speedup(), 0.8);
+    EXPECT_LE(r.speedup(), 1.0);
+}
+
+TEST_F(ExperimentTest, UsesRequestedSolver)
+{
+    TiledParams p;
+    p.rows = 4096;
+    p.tile = 32;
+    p.tileDensity = 0.3;
+    p.spd = true;
+    p.symmetricPattern = true;
+    p.diagDominance = 0.05;
+    p.seed = 507;
+    const Csr m = genTiled(p);
+    const ExperimentResult cg = runExperiment("m", m, true);
+    const ExperimentResult bi = runExperiment("m", m, false);
+    EXPECT_TRUE(cg.usedCg);
+    EXPECT_FALSE(bi.usedCg);
+    // BiCG-STAB does two SpMVs per iteration.
+    EXPECT_GT(bi.solve.spmvCalls, cg.solve.spmvCalls / 2);
+}
+
+TEST_F(ExperimentTest, SolverKindOverride)
+{
+    TiledParams p;
+    p.rows = 4096;
+    p.tile = 32;
+    p.tileDensity = 0.3;
+    p.spd = true;
+    p.symmetricPattern = true;
+    p.diagDominance = 0.05;
+    p.seed = 511;
+    const Csr m = genTiled(p);
+    ExperimentConfig cfg;
+    cfg.solverKind = SolverKind::Gmres;
+    const ExperimentResult r = runExperiment("m", m, true, cfg);
+    EXPECT_FALSE(r.usedCg);
+    EXPECT_TRUE(r.solve.converged);
+    cfg.solverKind = SolverKind::BiCgStab;
+    const ExperimentResult r2 = runExperiment("m", m, true, cfg);
+    EXPECT_FALSE(r2.usedCg);
+    EXPECT_TRUE(r2.solve.converged);
+}
+
+TEST_F(ExperimentTest, GeometricMean)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0, 9.0}), 6.0);
+    EXPECT_DOUBLE_EQ(geometricMean({5.0}), 5.0);
+    EXPECT_EQ(geometricMean({}), 0.0);
+    EXPECT_THROW(geometricMean({1.0, -1.0}), FatalError);
+}
+
+TEST_F(ExperimentTest, SetupOverheadIncludesWriteAndPreprocess)
+{
+    TiledParams p;
+    p.rows = 4096;
+    p.tile = 48;
+    p.tileDensity = 0.35;
+    p.spd = true;
+    p.symmetricPattern = true;
+    p.diagDominance = 0.05;
+    p.seed = 509;
+    const Csr m = genTiled(p);
+    const ExperimentResult r = runExperiment("m", m, true);
+    ASSERT_FALSE(r.gpuFallback);
+    EXPECT_GT(r.programTime, 0.0);
+    EXPECT_GT(r.preprocessTime, 0.0);
+    EXPECT_NEAR(r.setupOverhead(),
+                (r.programTime + r.preprocessTime) / r.accelTime,
+                1e-12);
+}
+
+} // namespace
+} // namespace msc

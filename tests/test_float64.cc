@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for IEEE-754 decomposition, recomposition, fixed-point
+ * conversion, and the exact dot product oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cfenv>
+#include <cmath>
+#include <limits>
+
+#include "fp/float64.hh"
+#include "util/random.hh"
+
+namespace msc {
+namespace {
+
+TEST(Decompose, NormalNumber)
+{
+    const Fp64Parts p = decompose(1.5);
+    EXPECT_FALSE(p.sign);
+    EXPECT_EQ(p.exp, 0);
+    EXPECT_EQ(p.mant, (std::uint64_t{3} << 51));
+}
+
+TEST(Decompose, NegativePowerOfTwo)
+{
+    const Fp64Parts p = decompose(-0x1.0p-10);
+    EXPECT_TRUE(p.sign);
+    EXPECT_EQ(p.exp, -10);
+    EXPECT_EQ(p.mant, std::uint64_t{1} << 52);
+}
+
+TEST(Decompose, Zero)
+{
+    EXPECT_TRUE(decompose(0.0).isZero());
+    EXPECT_TRUE(decompose(-0.0).isZero());
+    EXPECT_TRUE(decompose(-0.0).sign);
+}
+
+TEST(Decompose, Subnormal)
+{
+    const Fp64Parts p = decompose(0x1.0p-1074);
+    EXPECT_EQ(p.exp, -1022);
+    EXPECT_EQ(p.mant, 1u);
+    EXPECT_TRUE(p.isFinite());
+}
+
+TEST(Decompose, InfAndNan)
+{
+    EXPECT_TRUE(decompose(
+        std::numeric_limits<double>::infinity()).inf);
+    EXPECT_TRUE(decompose(
+        std::numeric_limits<double>::quiet_NaN()).nan);
+    EXPECT_FALSE(decompose(1.0).inf);
+}
+
+TEST(Compose, RoundTripRandomDoubles)
+{
+    Rng rng(23);
+    for (int i = 0; i < 2000; ++i) {
+        const int e = static_cast<int>(rng.range(-1070, 1020));
+        const double v = std::ldexp(rng.uniform(1.0, 2.0), e) *
+                         (rng.chance(0.5) ? -1.0 : 1.0);
+        EXPECT_EQ(compose(decompose(v)), v);
+    }
+}
+
+TEST(Compose, RoundTripSpecials)
+{
+    const double cases[] = {0.0, -0.0, 1.0, -1.0,
+                            std::numeric_limits<double>::max(),
+                            std::numeric_limits<double>::min(),
+                            std::numeric_limits<double>::denorm_min(),
+                            0x1.fffffffffffffp-1022};
+    for (double v : cases) {
+        const double r = compose(decompose(v));
+        EXPECT_EQ(r, v);
+        EXPECT_EQ(std::signbit(r), std::signbit(v));
+    }
+}
+
+TEST(Compose, DenormalizedMantissaIsCanonicalized)
+{
+    // 3 * 2^(10-52) passed with a short mantissa.
+    Fp64Parts p;
+    p.mant = 3;
+    p.exp = 10;
+    EXPECT_EQ(compose(p), 3.0 * 0x1.0p-42);
+}
+
+TEST(FixedToDouble, ExactSmallValues)
+{
+    EXPECT_EQ(fixedToDouble(false, U256(5), 0), 5.0);
+    EXPECT_EQ(fixedToDouble(true, U256(5), 0), -5.0);
+    EXPECT_EQ(fixedToDouble(false, U256(5), -1), 2.5);
+    EXPECT_EQ(fixedToDouble(false, U256(), 0), 0.0);
+}
+
+TEST(FixedToDouble, RoundsNearestEven)
+{
+    // 2^53 + 1 is not representable; nearest-even rounds down.
+    U256 v;
+    v.setBit(53);
+    v.setBit(0);
+    EXPECT_EQ(fixedToDouble(false, v, 0, RoundingMode::NearestEven),
+              0x1.0p53);
+    // 2^53 + 3 rounds up to 2^53 + 4.
+    U256 w;
+    w.setBit(53);
+    w.setWord(0, w.word(0) | 3);
+    EXPECT_EQ(fixedToDouble(false, w, 0, RoundingMode::NearestEven),
+              0x1.0p53 + 4);
+}
+
+TEST(FixedToDouble, DirectedRoundingModes)
+{
+    // v = 2^54 + 2 = not representable (needs 54 bits; step is 4).
+    U256 v;
+    v.setBit(54);
+    v.setWord(0, v.word(0) | 2);
+    const double lo = 0x1.0p54;
+    const double hi = 0x1.0p54 + 4;
+    EXPECT_EQ(fixedToDouble(false, v, 0, RoundingMode::TowardZero), lo);
+    EXPECT_EQ(fixedToDouble(false, v, 0, RoundingMode::TowardNegInf),
+              lo);
+    EXPECT_EQ(fixedToDouble(false, v, 0, RoundingMode::TowardPosInf),
+              hi);
+    EXPECT_EQ(fixedToDouble(true, v, 0, RoundingMode::TowardZero), -lo);
+    EXPECT_EQ(fixedToDouble(true, v, 0, RoundingMode::TowardNegInf),
+              -hi);
+    EXPECT_EQ(fixedToDouble(true, v, 0, RoundingMode::TowardPosInf),
+              -lo);
+}
+
+TEST(FixedToDouble, OverflowSaturatesPerMode)
+{
+    U256 big(1);
+    const int scale = 1100; // 2^1100 overflows
+    const double inf = std::numeric_limits<double>::infinity();
+    const double maxf = std::numeric_limits<double>::max();
+    EXPECT_EQ(fixedToDouble(false, big, scale,
+                            RoundingMode::NearestEven), inf);
+    EXPECT_EQ(fixedToDouble(true, big, scale,
+                            RoundingMode::NearestEven), -inf);
+    EXPECT_EQ(fixedToDouble(false, big, scale,
+                            RoundingMode::TowardZero), maxf);
+    EXPECT_EQ(fixedToDouble(false, big, scale,
+                            RoundingMode::TowardNegInf), maxf);
+    EXPECT_EQ(fixedToDouble(true, big, scale,
+                            RoundingMode::TowardPosInf), -maxf);
+}
+
+TEST(FixedToDouble, SubnormalsAndUnderflow)
+{
+    // Exactly the smallest subnormal.
+    EXPECT_EQ(fixedToDouble(false, U256(1), -1074), 0x1.0p-1074);
+    // Half of it: ties to even -> 0.
+    EXPECT_EQ(fixedToDouble(false, U256(1), -1075,
+                            RoundingMode::NearestEven), 0.0);
+    // Just above half rounds up.
+    EXPECT_EQ(fixedToDouble(false, U256(3), -1076,
+                            RoundingMode::NearestEven), 0x1.0p-1074);
+    // Toward +inf: any nonzero tail rounds up for positive values.
+    EXPECT_EQ(fixedToDouble(false, U256(1), -1080,
+                            RoundingMode::TowardPosInf), 0x1.0p-1074);
+    EXPECT_EQ(fixedToDouble(false, U256(1), -1080,
+                            RoundingMode::TowardZero), 0.0);
+    // A subnormal with reduced precision survives exactly.
+    EXPECT_EQ(fixedToDouble(false, U256(0b101), -1074),
+              0x1.4p-1072);
+}
+
+TEST(FixedToDouble, SubnormalRoundUpWidensHead)
+{
+    // 7 * 2^-1076: only one representable bit remains at this
+    // magnitude (2^-1074); nearest rounds 0b111 up to 0b10, i.e.
+    // 2^-1073. A previous implementation mis-scaled the widened
+    // head and returned 2^-1074.
+    EXPECT_EQ(fixedToDouble(false, U256(7), -1076,
+                            RoundingMode::NearestEven),
+              0x1.0p-1073);
+    EXPECT_EQ(fixedToDouble(true, U256(7), -1076,
+                            RoundingMode::NearestEven),
+              -0x1.0p-1073);
+    EXPECT_EQ(fixedToDouble(false, U256(7), -1076,
+                            RoundingMode::TowardZero),
+              0x1.0p-1074);
+}
+
+TEST(FixedToDouble, RandomRoundTripThroughDecompose)
+{
+    Rng rng(29);
+    for (int i = 0; i < 2000; ++i) {
+        const int e = static_cast<int>(rng.range(-1000, 1000));
+        const double v = std::ldexp(rng.uniform(1.0, 2.0), e) *
+                         (rng.chance(0.5) ? -1.0 : 1.0);
+        const Fp64Parts p = decompose(v);
+        const double r =
+            fixedToDouble(p.sign, U256(p.mant), p.exp - 52);
+        EXPECT_EQ(r, v);
+    }
+}
+
+TEST(ExactDot, MatchesDoubleOnBenignData)
+{
+    // Values of similar magnitude with positive terms: plain double
+    // accumulation happens to be exact here.
+    const double a[] = {1.0, 2.0, 3.0, 4.0};
+    const double x[] = {0.5, 0.25, 2.0, 1.0};
+    EXPECT_EQ(exactDot(a, x, 4), 1.0 * 0.5 + 2 * 0.25 + 3 * 2 + 4 * 1);
+}
+
+TEST(ExactDot, CatastrophicCancellation)
+{
+    // (big * 1) + (1 * 1) - (big * 1) must yield exactly 1, which
+    // naive left-to-right double accumulation gets wrong.
+    const double big = 0x1.0p100;
+    const double a[] = {big, 1.0, -big};
+    const double x[] = {1.0, 1.0, 1.0};
+    double naive = 0.0;
+    for (int i = 0; i < 3; ++i)
+        naive += a[i] * x[i];
+    EXPECT_EQ(naive, 0.0); // demonstrates the failure of naive order
+    EXPECT_EQ(exactDot(a, x, 3), 1.0);
+}
+
+TEST(ExactDot, ExactProductsNoRounding)
+{
+    // Each product is exact and representable; single rounding of the
+    // exact sum must match long double style reference from fesetround
+    // free computation.
+    const double a[] = {0x1.0p-30, 0x1.0p30};
+    const double x[] = {0x1.0p-30, 0x1.0p30};
+    EXPECT_EQ(exactDot(a, x, 2), 0x1.0p60 + 0x1.0p-60);
+}
+
+TEST(ExactDot, SubnormalProducts)
+{
+    const double a[] = {0x1.0p-1000, -0x1.0p-1000};
+    const double x[] = {0x1.0p-60, -0x1.0p-50};
+    // 2^-1060 + 2^-1050: exactly representable as a subnormal.
+    const double expect = 0x1.0p-1050 + 0x1.0p-1060;
+    EXPECT_TRUE(expect > 0.0 && expect < 0x1.0p-1022);
+    EXPECT_EQ(exactDot(a, x, 2), expect);
+}
+
+TEST(ExactDot, RoundingModeTowardNegInf)
+{
+    // Sum = 2^53 + 1: inexact in double. Truncation toward -inf keeps
+    // 2^53 for the positive case.
+    const double a[] = {0x1.0p53, 1.0};
+    const double x[] = {1.0, 1.0};
+    EXPECT_EQ(exactDot(a, x, 2, RoundingMode::TowardNegInf), 0x1.0p53);
+    EXPECT_EQ(exactDot(a, x, 2, RoundingMode::TowardPosInf),
+              0x1.0p53 + 2);
+    // Negative counterpart flips which way truncation goes.
+    const double an[] = {-0x1.0p53, -1.0};
+    EXPECT_EQ(exactDot(an, x, 2, RoundingMode::TowardNegInf),
+              -(0x1.0p53 + 2));
+    EXPECT_EQ(exactDot(an, x, 2, RoundingMode::TowardPosInf),
+              -0x1.0p53);
+}
+
+TEST(ExactDot, EmptyAndZero)
+{
+    EXPECT_EQ(exactDot(nullptr, nullptr, 0), 0.0);
+    const double a[] = {0.0, 5.0};
+    const double x[] = {7.0, 0.0};
+    EXPECT_EQ(exactDot(a, x, 2), 0.0);
+}
+
+TEST(ExactDot, RejectsNonFinite)
+{
+    const double a[] = {std::numeric_limits<double>::infinity()};
+    const double x[] = {1.0};
+    EXPECT_THROW(exactDot(a, x, 1), FatalError);
+}
+
+TEST(ExactDot, MatchesFmaReferenceOnRandomData)
+{
+    // Against a high-precision reference built from long double FMA
+    // accumulation over well-scaled inputs (exact in this range).
+    Rng rng(31);
+    for (int trial = 0; trial < 50; ++trial) {
+        double a[16], x[16];
+        long double ref = 0.0L;
+        for (int i = 0; i < 16; ++i) {
+            a[i] = rng.uniform(-1.0, 1.0);
+            x[i] = rng.uniform(-1.0, 1.0);
+            ref += static_cast<long double>(a[i]) * x[i];
+        }
+        const double got = exactDot(a, x, 16);
+        // long double on x86 has 64-bit mantissa: the exact sum of 16
+        // products fits well within 1 ulp of it.
+        EXPECT_NEAR(got, static_cast<double>(ref),
+                    std::fabs(static_cast<double>(ref)) * 1e-15 +
+                    1e-300);
+    }
+}
+
+} // namespace
+} // namespace msc

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the synthetic matrix generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixedpoint/align.hh"
+#include "sparse/gen.hh"
+#include "sparse/stats.hh"
+#include "util/random.hh"
+
+namespace msc {
+namespace {
+
+TEST(FirstPrimes, KnownPrefix)
+{
+    const auto p = firstPrimes(10);
+    const std::vector<std::int64_t> expect{2, 3, 5, 7, 11, 13, 17, 19,
+                                           23, 29};
+    EXPECT_EQ(p, expect);
+}
+
+TEST(FirstPrimes, LargeCount)
+{
+    const auto p = firstPrimes(5000);
+    EXPECT_EQ(p.size(), 5000u);
+    EXPECT_EQ(p.back(), 48611); // the 5000th prime
+}
+
+TEST(Trefethen, StructureMatchesDefinition)
+{
+    const std::int32_t n = 64;
+    const Csr m = genTrefethen(n);
+    EXPECT_TRUE(m.isSymmetric());
+    const auto primes = firstPrimes(n);
+    for (std::int32_t i = 0; i < n; ++i) {
+        bool sawDiag = false;
+        const auto cols = m.rowCols(i);
+        const auto vals = m.rowVals(i);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+            const std::int32_t d = std::abs(cols[k] - i);
+            if (d == 0) {
+                sawDiag = true;
+                EXPECT_EQ(vals[k], static_cast<double>(
+                    primes[static_cast<std::size_t>(i)]));
+            } else {
+                // |i-j| must be a power of two and the value 1.
+                EXPECT_EQ(d & (d - 1), 0) << "offset " << d;
+                EXPECT_EQ(vals[k], 1.0);
+            }
+        }
+        EXPECT_TRUE(sawDiag);
+    }
+}
+
+TEST(Trefethen, IsDiagonallyDominantEnoughForCg)
+{
+    // Not strictly diagonally dominant in the first rows, but the
+    // diagonal grows with primes; check positive definiteness via a
+    // few random Rayleigh quotients.
+    const Csr m = genTrefethen(200);
+    Rng rng(67);
+    for (int t = 0; t < 10; ++t) {
+        std::vector<double> x(200), y(200);
+        for (auto &v : x)
+            v = rng.uniform(-1, 1);
+        m.spmv(x, y);
+        EXPECT_GT(dot(x, y), 0.0);
+    }
+}
+
+TEST(GenTiled, FullDiagonalAlwaysPresent)
+{
+    TiledParams p;
+    p.rows = 300;
+    p.tile = 32;
+    p.seed = 3;
+    const Csr m = genTiled(p);
+    for (std::int32_t r = 0; r < p.rows; ++r) {
+        bool diag = false;
+        for (std::int32_t c : m.rowCols(r))
+            diag |= (c == r);
+        EXPECT_TRUE(diag) << "row " << r;
+    }
+}
+
+TEST(GenTiled, SymmetricPatternIsSymmetric)
+{
+    TiledParams p;
+    p.rows = 256;
+    p.tile = 32;
+    p.diagTiles = 2;
+    p.scatterPerRow = 1.0;
+    p.seed = 11;
+    p.symmetricPattern = true;
+    const Csr m = genTiled(p);
+    EXPECT_TRUE(m.isSymmetric());
+}
+
+TEST(GenTiled, SpdIsPositiveDefinite)
+{
+    TiledParams p;
+    p.rows = 300;
+    p.tile = 24;
+    p.spd = true;
+    p.seed = 17;
+    const Csr m = genTiled(p);
+    EXPECT_TRUE(m.isSymmetric());
+    Rng rng(71);
+    for (int t = 0; t < 20; ++t) {
+        std::vector<double> x(static_cast<std::size_t>(p.rows));
+        std::vector<double> y(x.size());
+        for (auto &v : x)
+            v = rng.uniform(-1, 1);
+        m.spmv(x, y);
+        EXPECT_GT(dot(x, y), 0.0);
+    }
+}
+
+TEST(GenTiled, DensityRespondsToParameters)
+{
+    TiledParams lo;
+    lo.rows = 512;
+    lo.tile = 32;
+    lo.tileDensity = 0.2;
+    lo.seed = 5;
+    TiledParams hi = lo;
+    hi.tileDensity = 0.9;
+    EXPECT_GT(genTiled(hi).nnz(), genTiled(lo).nnz() * 2);
+}
+
+TEST(GenTiled, ScatterAddsOffBandEntries)
+{
+    TiledParams p;
+    p.rows = 600;
+    p.tile = 30;
+    p.diagTiles = 1;
+    p.tileSpread = 0;
+    p.scatterPerRow = 4.0;
+    p.seed = 23;
+    const Csr m = genTiled(p);
+    const MatrixStats s = computeStats(m);
+    // Scatter covers the full row span, so bandwidth approaches n.
+    EXPECT_GT(s.bandwidth, 300);
+}
+
+TEST(GenTiled, Deterministic)
+{
+    TiledParams p;
+    p.rows = 200;
+    p.tile = 16;
+    p.scatterPerRow = 2.0;
+    p.seed = 99;
+    const Csr a = genTiled(p);
+    const Csr b = genTiled(p);
+    EXPECT_EQ(a.nnz(), b.nnz());
+    EXPECT_TRUE(std::equal(a.values().begin(), a.values().end(),
+                           b.values().begin()));
+}
+
+TEST(GenTiled, SeedChangesPattern)
+{
+    TiledParams p;
+    p.rows = 200;
+    p.tile = 16;
+    p.tileDensity = 0.4;
+    p.seed = 1;
+    TiledParams q = p;
+    q.seed = 2;
+    const Csr a = genTiled(p);
+    const Csr b = genTiled(q);
+    // Same statistical structure, different realization.
+    EXPECT_FALSE(std::equal(a.colIndex().begin(), a.colIndex().end(),
+                            b.colIndex().begin(),  b.colIndex().end()));
+}
+
+TEST(GenTiled, ExponentSigmaWidensValueRange)
+{
+    TiledParams narrow;
+    narrow.rows = 400;
+    narrow.tile = 32;
+    narrow.seed = 31;
+    narrow.values.tileExpSigma = 0.5;
+    narrow.values.elemExpSigma = 0.5;
+    TiledParams wide = narrow;
+    wide.values.tileExpSigma = 12.0;
+    wide.values.elemExpSigma = 6.0;
+    const MatrixStats sn = computeStats(genTiled(narrow));
+    const MatrixStats sw = computeStats(genTiled(wide));
+    EXPECT_GT(sw.expRange, sn.expRange);
+}
+
+TEST(GenTiled, OutliersCreateExtremeExponents)
+{
+    TiledParams p;
+    p.rows = 400;
+    p.tile = 32;
+    p.seed = 37;
+    p.values.outlierProb = 0.02;
+    p.values.outlierMag = 90.0;
+    const MatrixStats s = computeStats(genTiled(p));
+    EXPECT_GT(s.expRange, fxp::maxExpRange);
+}
+
+TEST(GenTiled, RejectsBadParams)
+{
+    TiledParams p;
+    p.rows = 0;
+    EXPECT_THROW(genTiled(p), FatalError);
+    TiledParams q;
+    q.spd = true;
+    q.symmetricPattern = false;
+    EXPECT_THROW(genTiled(q), FatalError);
+}
+
+} // namespace
+} // namespace msc

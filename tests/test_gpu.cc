@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the Tesla P100 baseline model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hh"
+
+namespace msc {
+namespace {
+
+MatrixStats
+fakeStats(std::int32_t rows, std::size_t nnz, std::int32_t bandwidth)
+{
+    MatrixStats s;
+    s.rows = s.cols = rows;
+    s.nnz = nnz;
+    s.nnzPerRow = static_cast<double>(nnz) / rows;
+    s.bandwidth = bandwidth;
+    return s;
+}
+
+TEST(GpuModel, SpmvScalesWithNnz)
+{
+    const GpuModel gpu;
+    const GpuCost small = gpu.spmv(fakeStats(10000, 100000, 500));
+    const GpuCost big = gpu.spmv(fakeStats(10000, 1000000, 500));
+    EXPECT_GT(big.time, small.time);
+    EXPECT_GT(big.energy, small.energy);
+    // 10x the nonzeros does not cost 10x (launch overhead floors).
+    EXPECT_LT(big.time, 10.0 * small.time);
+}
+
+TEST(GpuModel, LaunchOverheadFloorsSmallKernels)
+{
+    const GpuModel gpu;
+    const GpuCost tiny = gpu.spmv(fakeStats(64, 256, 8));
+    EXPECT_GE(tiny.time, gpu.params().kernelLaunch);
+}
+
+TEST(GpuModel, WideBandwidthGathersSlower)
+{
+    const GpuModel gpu;
+    const GpuCost narrow = gpu.spmv(fakeStats(100000, 1000000, 100));
+    const GpuCost wide =
+        gpu.spmv(fakeStats(100000, 1000000, 100000));
+    EXPECT_GT(wide.time, narrow.time);
+}
+
+TEST(GpuModel, DotIncludesReductionSync)
+{
+    const GpuModel gpu;
+    const GpuCost dotCost = gpu.dotProduct(100000);
+    const GpuCost axpyCost = gpu.axpy(100000);
+    // dot reads 16 B/elem + sync; axpy moves 24 B/elem without sync.
+    EXPECT_GT(dotCost.time,
+              gpu.params().kernelLaunch + gpu.params().reduceSync);
+    EXPECT_GT(axpyCost.time, gpu.params().kernelLaunch);
+}
+
+TEST(GpuModel, SolveComposesKernelCounts)
+{
+    const GpuModel gpu;
+    const MatrixStats stats = fakeStats(50000, 500000, 1000);
+    SolverResult run;
+    run.spmvCalls = 100;
+    run.dotCalls = 200;
+    run.axpyCalls = 300;
+    run.vectorLength = 50000;
+    const GpuCost total = gpu.solve(stats, run);
+    const double expectTime = 100 * gpu.spmv(stats).time +
+                              200 * gpu.dotProduct(50000).time +
+                              300 * gpu.axpy(50000).time;
+    EXPECT_NEAR(total.time, expectTime, 1e-12);
+    // Energy includes the idle baseline on top of kernel energy.
+    EXPECT_GT(total.energy, expectTime * gpu.params().busyPower);
+}
+
+TEST(GpuModel, EnergyTracksPower)
+{
+    GpuModelParams hot;
+    hot.busyPower = 300.0;
+    GpuModelParams cold;
+    cold.busyPower = 100.0;
+    const MatrixStats stats = fakeStats(10000, 100000, 100);
+    EXPECT_GT(GpuModel(hot).spmv(stats).energy,
+              GpuModel(cold).spmv(stats).energy);
+}
+
+} // namespace
+} // namespace msc

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the JSON reader and the experiment configuration loader.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace msc {
+namespace {
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(JsonValue::parse("null").isNull());
+    EXPECT_TRUE(JsonValue::parse("true").asBool());
+    EXPECT_FALSE(JsonValue::parse("false").asBool());
+    EXPECT_DOUBLE_EQ(JsonValue::parse("3.5").asNumber(), 3.5);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-2e3").asNumber(), -2000.0);
+    EXPECT_EQ(JsonValue::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    const JsonValue v = JsonValue::parse(
+        R"({"a": [1, 2, {"b": true}], "c": {"d": "x"}})");
+    ASSERT_TRUE(v.isObject());
+    const auto &arr = v.at("a").asArray();
+    ASSERT_EQ(arr.size(), 3u);
+    EXPECT_DOUBLE_EQ(arr[1].asNumber(), 2.0);
+    EXPECT_TRUE(arr[2].at("b").asBool());
+    EXPECT_EQ(v.at("c").at("d").asString(), "x");
+    EXPECT_TRUE(v.has("a"));
+    EXPECT_FALSE(v.has("z"));
+}
+
+TEST(Json, StringEscapes)
+{
+    const JsonValue v =
+        JsonValue::parse(R"("line\nquote\"back\\u:A")");
+    EXPECT_EQ(v.asString(), "line\nquote\"back\\u:A");
+}
+
+TEST(Json, DefaultingAccessors)
+{
+    const JsonValue v = JsonValue::parse(R"({"x": 4})");
+    EXPECT_DOUBLE_EQ(v.numberOr("x", 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(v.numberOr("y", 1.0), 1.0);
+    EXPECT_TRUE(v.boolOr("flag", true));
+    EXPECT_EQ(v.stringOr("s", "dflt"), "dflt");
+}
+
+TEST(Json, SyntaxErrorsAreFatal)
+{
+    EXPECT_THROW(JsonValue::parse("{"), FatalError);
+    EXPECT_THROW(JsonValue::parse("[1,]"), FatalError);
+    EXPECT_THROW(JsonValue::parse("tru"), FatalError);
+    EXPECT_THROW(JsonValue::parse("1 2"), FatalError);
+    EXPECT_THROW(JsonValue::parse("\"open"), FatalError);
+    EXPECT_THROW(JsonValue::parse(""), FatalError);
+}
+
+TEST(Json, KindMismatchesAreFatal)
+{
+    const JsonValue v = JsonValue::parse("[1]");
+    EXPECT_THROW(v.asObject(), FatalError);
+    EXPECT_THROW(v.asNumber(), FatalError);
+    EXPECT_THROW(v.at("k"), FatalError);
+}
+
+TEST(Config, DefaultsWhenEmpty)
+{
+    const ExperimentConfig cfg = configFromJson(
+        JsonValue::parse("{}"));
+    const ExperimentConfig dflt;
+    EXPECT_EQ(cfg.accel.banks, dflt.accel.banks);
+    EXPECT_EQ(cfg.solver.maxIterations, dflt.solver.maxIterations);
+    EXPECT_EQ(cfg.accel.cluster.targetMantissaBits, 53u);
+}
+
+TEST(Config, OverridesSelectedFields)
+{
+    const ExperimentConfig cfg = configFromJson(JsonValue::parse(R"({
+        "accelerator": {
+            "banks": 64,
+            "clustersPerBank": [[256, 4], [64, 8]],
+            "cluster": {"schedule": "diagonal",
+                        "targetMantissaBits": 24,
+                        "anProtect": false},
+            "staticPower": 80.0
+        },
+        "gpu": {"busyPower": 200.0},
+        "solver": {"kind": "gmres", "restart": 15,
+                   "tolerance": 1e-6}
+    })"));
+    EXPECT_EQ(cfg.accel.banks, 64u);
+    ASSERT_EQ(cfg.accel.clustersPerBank.size(), 2u);
+    EXPECT_EQ(cfg.accel.clustersPerBank[0].first, 256u);
+    EXPECT_EQ(cfg.accel.blocking.sizes,
+              (std::vector<unsigned>{256, 64}));
+    EXPECT_EQ(cfg.accel.cluster.schedule, SchedulePolicy::Diagonal);
+    EXPECT_EQ(cfg.accel.cluster.targetMantissaBits, 24u);
+    EXPECT_FALSE(cfg.accel.cluster.anProtect);
+    EXPECT_DOUBLE_EQ(cfg.accel.staticPower, 80.0);
+    EXPECT_DOUBLE_EQ(cfg.gpu.busyPower, 200.0);
+    EXPECT_EQ(cfg.solverKind, SolverKind::Gmres);
+    EXPECT_EQ(cfg.gmresRestart, 15);
+    EXPECT_DOUBLE_EQ(cfg.solver.tolerance, 1e-6);
+}
+
+TEST(Config, UnknownKeysAreFatal)
+{
+    EXPECT_THROW(configFromJson(JsonValue::parse(
+                     R"({"acelerator": {}})")),
+                 FatalError);
+    EXPECT_THROW(configFromJson(JsonValue::parse(
+                     R"({"accelerator": {"bank": 4}})")),
+                 FatalError);
+    EXPECT_THROW(configFromJson(JsonValue::parse(
+                     R"({"solver": {"kind": "sor"}})")),
+                 FatalError);
+}
+
+TEST(Config, LoadedConfigRunsAnExperiment)
+{
+    setLogQuiet(true);
+    const ExperimentConfig cfg = configFromJson(JsonValue::parse(R"({
+        "solver": {"maxIterations": 50, "tolerance": 1e-4}
+    })"));
+    TiledParams p;
+    p.rows = 2048;
+    p.tile = 32;
+    p.tileDensity = 0.3;
+    p.spd = true;
+    p.symmetricPattern = true;
+    p.diagDominance = 0.2;
+    p.seed = 1601;
+    const ExperimentResult r =
+        runExperiment("cfg", genTiled(p), true, cfg);
+    EXPECT_LE(r.solve.iterations, 50);
+    EXPECT_GT(r.accelTime, 0.0);
+}
+
+} // namespace
+} // namespace msc

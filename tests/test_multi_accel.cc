@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for multi-accelerator row partitioning (Section VI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/multi_accel.hh"
+#include "sparse/gen.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace msc {
+namespace {
+
+Csr
+bigBanded(std::int32_t rows, std::uint64_t seed)
+{
+    TiledParams p;
+    p.rows = rows;
+    p.tile = 48;
+    p.tileDensity = 0.3;
+    p.scatterPerRow = 0.3;
+    p.spd = true;
+    p.symmetricPattern = true;
+    p.seed = seed;
+    return genTiled(p);
+}
+
+TEST(MultiAccelerator, FunctionalSpmvMatchesCsr)
+{
+    setLogQuiet(true);
+    const Csr m = bigBanded(6000, 1101);
+    MultiAcceleratorConfig cfg;
+    cfg.devices = 3;
+    MultiAccelerator fleet(cfg);
+    fleet.prepare(m);
+    std::vector<double> x(6000), yFleet(6000), yCsr(6000);
+    Rng rng(1103);
+    for (auto &v : x)
+        v = rng.uniform(-1, 1);
+    fleet.spmv(x, yFleet);
+    m.spmv(x, yCsr);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(yFleet[i], yCsr[i],
+                    1e-12 * (1 + std::fabs(yCsr[i])));
+}
+
+TEST(MultiAccelerator, SingleDeviceMatchesPlainAccelerator)
+{
+    setLogQuiet(true);
+    const Csr m = bigBanded(4096, 1109);
+    MultiAcceleratorConfig cfg;
+    cfg.devices = 1;
+    MultiAccelerator fleet(cfg);
+    const MultiPrepareResult mp = fleet.prepare(m);
+    Accelerator single;
+    const PrepareResult sp = single.prepare(m);
+    // One device, no exchange: identical kernel costs.
+    EXPECT_NEAR(mp.spmv.time, sp.spmv.time, 1e-12);
+    EXPECT_NEAR(mp.dotOp.time, sp.dotOp.time, 1e-12);
+}
+
+TEST(MultiAccelerator, PartitioningShortensSpmv)
+{
+    setLogQuiet(true);
+    // A matrix big enough that per-device CSR leftovers shrink when
+    // partitioned.
+    const Csr m = bigBanded(40000, 1117);
+    MultiAcceleratorConfig one;
+    one.devices = 1;
+    MultiAccelerator f1(one);
+    const auto r1 = f1.prepare(m);
+    MultiAcceleratorConfig four;
+    four.devices = 4;
+    MultiAccelerator f4(four);
+    const auto r4 = f4.prepare(m);
+    ASSERT_EQ(r4.perDevice.size(), 4u);
+    // Partitioning cannot make a single MVM slower than the
+    // inter-chip exchange overhead allows.
+    EXPECT_LT(r4.spmv.time,
+              r1.spmv.time + 2 * four.interChipLatency +
+                  40000.0 * 8.0 / four.interChipBandwidth);
+}
+
+TEST(MultiAccelerator, SolveCostScalesWithKernelCalls)
+{
+    setLogQuiet(true);
+    const Csr m = bigBanded(4096, 1123);
+    MultiAcceleratorConfig cfg;
+    cfg.devices = 2;
+    MultiAccelerator fleet(cfg);
+    const MultiPrepareResult prep = fleet.prepare(m);
+    SolverResult run;
+    run.spmvCalls = 10;
+    run.dotCalls = 20;
+    run.axpyCalls = 30;
+    const AccelCost cost = fleet.solveCost(run, false);
+    const double kernels = 10 * prep.spmv.time +
+                           20 * prep.dotOp.time +
+                           30 * prep.axpyOp.time;
+    EXPECT_NEAR(cost.time, kernels, 1e-12);
+    EXPECT_GT(fleet.solveCost(run, true).time, cost.time);
+}
+
+TEST(MultiAccelerator, Misuse)
+{
+    MultiAcceleratorConfig bad;
+    bad.devices = 0;
+    EXPECT_THROW(MultiAccelerator{bad}, FatalError);
+    MultiAcceleratorConfig cfg;
+    MultiAccelerator fleet(cfg);
+    std::vector<double> x(8), y(8);
+    EXPECT_THROW(fleet.spmv(x, y), FatalError);
+}
+
+} // namespace
+} // namespace msc

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the device-noise model (Section VIII-G).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/noisy.hh"
+#include "sparse/gen.hh"
+
+namespace msc {
+namespace {
+
+CellParams
+cellWith(unsigned bits, double range, double progErr)
+{
+    CellParams c;
+    c.bitsPerCell = bits;
+    c.rOn = 2e3;
+    c.rOff = c.rOn * range;
+    c.progErrorSigma = progErr;
+    return c;
+}
+
+Csr
+testMatrix()
+{
+    TiledParams p;
+    p.rows = 512;
+    p.tile = 32;
+    p.tileDensity = 0.3;
+    p.spd = true;
+    p.symmetricPattern = true;
+    p.seed = 401;
+    return genTiled(p);
+}
+
+TEST(ConversionError, IdealSingleBitCellIsClean)
+{
+    // Table I devices: 1-bit, range 1500, no programming error. The
+    // off-state leakage of ~205 active rows stays far below half an
+    // LSB -- the paper's rationale for capping blocks at 512.
+    const auto e = conversionError(cellWith(1, 1500, 0.0),
+                                   0.40 * 512, 20.0);
+    EXPECT_EQ(e.mean, 0.0);
+    EXPECT_EQ(e.errProb, 0.0);
+}
+
+TEST(ConversionError, TwoBitLowRangeIsDeterministicallyWrong)
+{
+    // 2-bit cells at range 750: leakage ~0.8 LSB -> every conversion
+    // misreads (Figure 12's worst configuration).
+    const auto e = conversionError(cellWith(2, 750, 0.0),
+                                   0.40 * 512, 20.0);
+    EXPECT_GE(e.mean, 0.9);
+    EXPECT_GT(e.errProb, 0.9);
+}
+
+TEST(ConversionError, TwoBitMidRangeIsMarginal)
+{
+    // 2-bit at 1500: leakage sits just below the half step; popcount
+    // variation produces occasional errors ("some computational
+    // error", Section VIII-G).
+    const auto e = conversionError(cellWith(2, 1500, 0.0),
+                                   0.40 * 512, 20.0);
+    EXPECT_LT(e.mean, 0.5);
+    EXPECT_GT(e.errProb, 0.0);
+    EXPECT_LT(e.errProb, 0.2);
+}
+
+TEST(ConversionError, ProgrammingErrorRaisesProbability)
+{
+    const auto clean = conversionError(cellWith(1, 1500, 0.0),
+                                       0.40 * 512, 20.0);
+    const auto e1 = conversionError(cellWith(1, 1500, 0.01),
+                                    0.40 * 512, 20.0);
+    const auto e5 = conversionError(cellWith(1, 1500, 0.05),
+                                    0.40 * 512, 20.0);
+    EXPECT_EQ(clean.errProb, 0.0);
+    EXPECT_GE(e5.errProb, e1.errProb);
+    EXPECT_GT(e5.errProb, 0.0);
+}
+
+TEST(NoisyOperator, IdealDevicesAreExact)
+{
+    const Csr m = testMatrix();
+    NoisyCsrOperator op(m, cellWith(1, 1500, 0.0), 1);
+    EXPECT_EQ(op.glitchCount(), 0u);
+    std::vector<double> x(static_cast<std::size_t>(m.rows()), 1.0);
+    std::vector<double> yNoisy(x.size()), yExact(x.size());
+    op.apply(x, yNoisy);
+    m.spmv(x, yExact);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_EQ(yNoisy[i], yExact[i]);
+}
+
+TEST(NoisyOperator, GlitchesAreStaticPerProgramming)
+{
+    const Csr m = testMatrix();
+    NoisyCsrOperator op(m, cellWith(1, 1500, 0.05), 7);
+    std::vector<double> x(static_cast<std::size_t>(m.rows()), 0.5);
+    std::vector<double> y1(x.size()), y2(x.size());
+    op.apply(x, y1);
+    op.apply(x, y2);
+    // Same x through the same programming: identical perturbation.
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_EQ(y1[i], y2[i]);
+}
+
+TEST(NoisyOperator, SeedsChangeTheGlitchPattern)
+{
+    const Csr m = testMatrix();
+    NoisyCsrOperator opA(m, cellWith(2, 1500, 0.02), 7);
+    NoisyCsrOperator opB(m, cellWith(2, 1500, 0.02), 8);
+    EXPECT_GT(opA.glitchCount() + opB.glitchCount(), 0u);
+    std::vector<double> x(static_cast<std::size_t>(m.rows()), 1.0);
+    std::vector<double> ya(x.size()), yb(x.size());
+    opA.apply(x, ya);
+    opB.apply(x, yb);
+    bool differ = false;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        differ |= (ya[i] != yb[i]);
+    EXPECT_TRUE(differ);
+}
+
+TEST(NoisyOperator, DenseErrorRegimeShiftsResults)
+{
+    const Csr m = testMatrix();
+    NoisyCsrOperator op(m, cellWith(2, 750, 0.0), 3);
+    std::vector<double> x(static_cast<std::size_t>(m.rows()), 1.0);
+    std::vector<double> yNoisy(x.size()), yExact(x.size());
+    op.apply(x, yNoisy);
+    m.spmv(x, yExact);
+    double maxRel = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (yExact[i] != 0.0) {
+            maxRel = std::max(maxRel,
+                              std::fabs(yNoisy[i] - yExact[i]) /
+                                  std::fabs(yExact[i]));
+        }
+    }
+    EXPECT_GT(maxRel, 0.01); // visibly corrupted
+}
+
+} // namespace
+} // namespace msc

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Arbitrary-precision tests: the paper's abstract claims the
+ * accelerator "can be architected to arbitrary precision
+ * requirements." The cluster's target significand width must be
+ * honored bit-exactly and must reduce the executed work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster.hh"
+#include "util/random.hh"
+
+namespace msc {
+namespace {
+
+MatrixBlock
+randomBlock(Rng &rng, unsigned size, int expSpread)
+{
+    MatrixBlock b;
+    b.size = size;
+    for (unsigned r = 0; r < size; ++r) {
+        for (unsigned c = 0; c < size; ++c) {
+            if (!rng.chance(0.5))
+                continue;
+            b.elems.push_back(
+                {static_cast<std::int32_t>(r),
+                 static_cast<std::int32_t>(c),
+                 std::ldexp(rng.uniform(1.0, 2.0),
+                            static_cast<int>(rng.range(0,
+                                                       expSpread))) *
+                     (rng.chance(0.5) ? -1.0 : 1.0)});
+        }
+    }
+    return b;
+}
+
+TEST(Precision, FixedToDoubleHonorsMantissaWidth)
+{
+    // 0b1111 at 4-bit precision is exact; at 3 bits it rounds.
+    EXPECT_EQ(fixedToDouble(false, U256(15), 0,
+                            RoundingMode::NearestEven, 4), 15.0);
+    EXPECT_EQ(fixedToDouble(false, U256(15), 0,
+                            RoundingMode::NearestEven, 3), 16.0);
+    EXPECT_EQ(fixedToDouble(false, U256(15), 0,
+                            RoundingMode::TowardZero, 3), 14.0);
+    EXPECT_THROW(fixedToDouble(false, U256(1), 0,
+                               RoundingMode::NearestEven, 0),
+                 PanicError);
+    EXPECT_THROW(fixedToDouble(false, U256(1), 0,
+                               RoundingMode::NearestEven, 54),
+                 PanicError);
+}
+
+TEST(Precision, ExactDotAtReducedPrecision)
+{
+    // 2^30 + 1 needs 31 bits; at 24-bit (float-class) precision the
+    // +1 is rounded away.
+    const double a[] = {0x1.0p30, 1.0};
+    const double x[] = {1.0, 1.0};
+    EXPECT_EQ(exactDot(a, x, 2, RoundingMode::NearestEven, 53),
+              0x1.0p30 + 1);
+    EXPECT_EQ(exactDot(a, x, 2, RoundingMode::NearestEven, 24),
+              0x1.0p30);
+    EXPECT_EQ(exactDot(a, x, 2, RoundingMode::TowardPosInf, 24),
+              0x1.0p30 + 0x1.0p7); // next 24-bit value up
+}
+
+TEST(Precision, ClusterMatchesOracleAtEveryTarget)
+{
+    Rng rng(1501);
+    for (unsigned bits : {8u, 16u, 24u, 32u, 44u, 53u}) {
+        ClusterConfig cfg;
+        cfg.size = 16;
+        cfg.targetMantissaBits = bits;
+        Cluster cluster(cfg);
+        for (int trial = 0; trial < 4; ++trial) {
+            const MatrixBlock b = randomBlock(rng, 16, 24);
+            cluster.program(b);
+            std::vector<double> x(16);
+            for (auto &v : x) {
+                v = std::ldexp(rng.uniform(1.0, 2.0),
+                               static_cast<int>(rng.range(0, 20))) *
+                    (rng.chance(0.5) ? -1.0 : 1.0);
+            }
+            std::vector<double> y(16);
+            cluster.multiply(x, y);
+            for (unsigned i = 0; i < 16; ++i) {
+                std::vector<double> ar, xr;
+                for (const auto &el : b.elems) {
+                    if (el.row == static_cast<std::int32_t>(i)) {
+                        ar.push_back(el.val);
+                        xr.push_back(
+                            x[static_cast<std::size_t>(el.col)]);
+                    }
+                }
+                const double expect = ar.empty()
+                    ? 0.0
+                    : exactDot(ar.data(), xr.data(), ar.size(),
+                               cfg.rounding, bits);
+                EXPECT_EQ(y[i], expect)
+                    << "bits " << bits << " row " << i;
+            }
+        }
+    }
+}
+
+TEST(Precision, LowerTargetsSaveWork)
+{
+    Rng rng(1507);
+    const MatrixBlock b = randomBlock(rng, 32, 40);
+    std::vector<double> x(32);
+    for (auto &v : x) {
+        v = std::ldexp(rng.uniform(1.0, 2.0),
+                       static_cast<int>(rng.range(0, 30))) *
+            (rng.chance(0.5) ? -1.0 : 1.0);
+    }
+    std::uint64_t prevConversions = 0;
+    for (unsigned bits : {53u, 32u, 16u}) {
+        ClusterConfig cfg;
+        cfg.size = 32;
+        cfg.targetMantissaBits = bits;
+        Cluster cluster(cfg);
+        cluster.program(b);
+        std::vector<double> y(32);
+        const ClusterStats s = cluster.multiply(x, y);
+        if (prevConversions != 0) {
+            EXPECT_LE(s.adcConversions, prevConversions)
+                << "bits " << bits;
+        }
+        prevConversions = s.adcConversions;
+    }
+}
+
+TEST(Precision, RejectsBadTargets)
+{
+    ClusterConfig cfg;
+    cfg.targetMantissaBits = 0;
+    EXPECT_THROW(Cluster{cfg}, FatalError);
+    cfg.targetMantissaBits = 54;
+    EXPECT_THROW(Cluster{cfg}, FatalError);
+}
+
+} // namespace
+} // namespace msc

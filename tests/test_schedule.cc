@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for activation scheduling (Section IV-B, Figure 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/schedule.hh"
+#include "util/logging.hh"
+
+namespace msc {
+namespace {
+
+/** Every (b, k) cell must be scheduled exactly once, with at most
+ *  one cell per matrix slice per group. */
+void
+checkPartition(const ActivationSchedule &sched)
+{
+    std::set<std::pair<unsigned, unsigned>> seen;
+    for (const auto &g : sched.groups()) {
+        std::set<unsigned> bUsed;
+        for (const auto &seg : g.segments) {
+            ASSERT_LE(seg.bLo, seg.bHi);
+            ASSERT_LT(seg.bHi, sched.matrixSlices());
+            ASSERT_LT(seg.k, sched.vectorSlices());
+            for (unsigned b = seg.bLo; b <= seg.bHi; ++b) {
+                EXPECT_TRUE(bUsed.insert(b).second)
+                    << "matrix slice " << b
+                    << " used twice in one group";
+                EXPECT_TRUE(seen.insert({b, seg.k}).second)
+                    << "cell (" << b << "," << seg.k
+                    << ") scheduled twice";
+            }
+        }
+    }
+    EXPECT_EQ(seen.size(),
+              static_cast<std::size_t>(sched.matrixSlices()) *
+                  sched.vectorSlices());
+}
+
+TEST(Schedule, Figure6Vertical)
+{
+    const ActivationSchedule s(4, 4, SchedulePolicy::Vertical);
+    checkPartition(s);
+    EXPECT_EQ(s.groups().size(), 4u);
+    EXPECT_EQ(s.totalActivations(), 16u);
+    const auto cost = s.costForThreshold(2);
+    EXPECT_EQ(cost.timeSteps, 4u);
+    EXPECT_EQ(cost.activations, 16u);
+}
+
+TEST(Schedule, Figure6Diagonal)
+{
+    const ActivationSchedule s(4, 4, SchedulePolicy::Diagonal);
+    checkPartition(s);
+    EXPECT_EQ(s.groups().size(), 7u);
+    const auto cost = s.costForThreshold(2);
+    EXPECT_EQ(cost.timeSteps, 5u);
+    EXPECT_EQ(cost.activations, 13u);
+}
+
+TEST(Schedule, Figure6Hybrid)
+{
+    const ActivationSchedule s(4, 4, SchedulePolicy::Hybrid, 2);
+    checkPartition(s);
+    const auto cost = s.costForThreshold(2);
+    EXPECT_EQ(cost.timeSteps, 4u);
+    EXPECT_EQ(cost.activations, 14u);
+}
+
+TEST(Schedule, DiagonalGroupsAreAntiDiagonals)
+{
+    const ActivationSchedule s(5, 3, SchedulePolicy::Diagonal);
+    checkPartition(s);
+    // Each group has a single significance value.
+    for (const auto &g : s.groups()) {
+        for (const auto &seg : g.segments) {
+            for (unsigned b = seg.bLo; b <= seg.bHi; ++b)
+                EXPECT_EQ(b + seg.k, g.maxSignificance);
+        }
+    }
+    EXPECT_EQ(s.groups().size(), 5u + 3u - 1u);
+}
+
+TEST(Schedule, VerticalGroupsShareOneVectorSlice)
+{
+    const ActivationSchedule s(7, 5, SchedulePolicy::Vertical);
+    checkPartition(s);
+    ASSERT_EQ(s.groups().size(), 5u);
+    // MSB-first order.
+    unsigned expectK = 4;
+    for (const auto &g : s.groups()) {
+        ASSERT_EQ(g.segments.size(), 1u);
+        EXPECT_EQ(g.segments[0].k, expectK);
+        EXPECT_EQ(g.segments[0].width(), 7u);
+        --expectK;
+    }
+}
+
+TEST(Schedule, SignificanceIsMonotoneNonIncreasing)
+{
+    for (auto policy : {SchedulePolicy::Vertical,
+                        SchedulePolicy::Diagonal,
+                        SchedulePolicy::Hybrid}) {
+        const ActivationSchedule s(13, 9, policy, 3);
+        unsigned last = 1u << 30;
+        for (const auto &g : s.groups()) {
+            EXPECT_LE(g.maxSignificance, last);
+            last = g.maxSignificance;
+        }
+    }
+}
+
+TEST(Schedule, MaxRemainingSignificance)
+{
+    const ActivationSchedule s(4, 4, SchedulePolicy::Diagonal);
+    // Groups are anti-diagonals with significance 6,5,...,0.
+    EXPECT_EQ(s.maxRemainingSignificance(0), 5);
+    EXPECT_EQ(s.maxRemainingSignificance(5), 0);
+    EXPECT_EQ(s.maxRemainingSignificance(6), -1);
+    EXPECT_EQ(s.maxRemainingSignificance(99), -1);
+}
+
+TEST(Schedule, HybridLiesBetweenVerticalAndDiagonal)
+{
+    // Energy (activations at a threshold) ordering: diagonal <=
+    // hybrid <= vertical; latency (steps) ordering reversed.
+    const unsigned B = 20, K = 16;
+    const ActivationSchedule v(B, K, SchedulePolicy::Vertical);
+    const ActivationSchedule d(B, K, SchedulePolicy::Diagonal);
+    const ActivationSchedule h(B, K, SchedulePolicy::Hybrid, 2);
+    for (unsigned thr = 2; thr < B + K - 2; thr += 3) {
+        const auto cv = v.costForThreshold(thr);
+        const auto cd = d.costForThreshold(thr);
+        const auto ch = h.costForThreshold(thr);
+        EXPECT_LE(cd.activations, ch.activations) << "thr=" << thr;
+        EXPECT_LE(ch.activations, cv.activations) << "thr=" << thr;
+        EXPECT_LE(cv.timeSteps, ch.timeSteps) << "thr=" << thr;
+        EXPECT_LE(ch.timeSteps, cd.timeSteps) << "thr=" << thr;
+    }
+}
+
+TEST(Schedule, LargerSkewApproachesDiagonal)
+{
+    const unsigned B = 24, K = 12;
+    const ActivationSchedule h2(B, K, SchedulePolicy::Hybrid, 2);
+    const ActivationSchedule h4(B, K, SchedulePolicy::Hybrid, 4);
+    // Smaller skew = closer to diagonal = fewer activations at a
+    // mid threshold but more steps.
+    const auto c2 = h2.costForThreshold(12);
+    const auto c4 = h4.costForThreshold(12);
+    EXPECT_LE(c2.activations, c4.activations);
+    EXPECT_GE(c2.timeSteps, c4.timeSteps);
+}
+
+TEST(Schedule, ThresholdZeroRunsEverything)
+{
+    const ActivationSchedule s(6, 6, SchedulePolicy::Hybrid, 2);
+    const auto cost = s.costForThreshold(0);
+    EXPECT_EQ(cost.timeSteps, s.groups().size());
+    EXPECT_EQ(cost.activations, s.totalActivations());
+}
+
+TEST(Schedule, ThresholdAboveMaxRunsNothing)
+{
+    const ActivationSchedule s(6, 6, SchedulePolicy::Vertical);
+    const auto cost = s.costForThreshold(11);
+    EXPECT_EQ(cost.timeSteps, 0u);
+    EXPECT_EQ(cost.activations, 0u);
+}
+
+TEST(Schedule, SingleSliceGrids)
+{
+    const ActivationSchedule a(1, 8, SchedulePolicy::Hybrid, 2);
+    checkPartition(a);
+    EXPECT_EQ(a.groups().size(), 8u);
+    const ActivationSchedule b(8, 1, SchedulePolicy::Diagonal);
+    checkPartition(b);
+    EXPECT_EQ(b.groups().size(), 8u);
+}
+
+TEST(Schedule, RejectsBadInputs)
+{
+    EXPECT_THROW(ActivationSchedule(0, 4, SchedulePolicy::Vertical),
+                 FatalError);
+    EXPECT_THROW(ActivationSchedule(4, 4, SchedulePolicy::Hybrid, 1),
+                 FatalError);
+}
+
+TEST(Schedule, PartitionPropertyLargeGrids)
+{
+    for (auto policy : {SchedulePolicy::Vertical,
+                        SchedulePolicy::Diagonal,
+                        SchedulePolicy::Hybrid}) {
+        for (unsigned B : {1u, 2u, 37u, 127u}) {
+            for (unsigned K : {1u, 19u, 118u}) {
+                checkPartition(ActivationSchedule(B, K, policy, 2));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace msc

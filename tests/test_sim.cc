@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel and the event-driven SpMV
+ * simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "accel/accel.hh"
+#include "sim/event_queue.hh"
+#include "sim/spmv_sim.hh"
+#include "sparse/gen.hh"
+#include "util/logging.hh"
+
+namespace msc {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    const double end = q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(end, 3.0);
+    EXPECT_EQ(q.eventsRun(), 3u);
+}
+
+TEST(EventQueue, EqualTimesFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1.0, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksCanScheduleMore)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1.0, [&] {
+        ++fired;
+        q.scheduleAfter(0.5, [&] { ++fired; });
+    });
+    const double end = q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(end, 1.5);
+}
+
+TEST(EventQueue, PastSchedulingPanics)
+{
+    EventQueue q;
+    q.schedule(2.0, [&] {
+        EXPECT_THROW(q.schedule(1.0, [] {}), PanicError);
+    });
+    q.run();
+}
+
+TEST(EventQueue, EventLimitIsFatal)
+{
+    EventQueue q;
+    // Self-perpetuating event chain.
+    std::function<void()> again = [&] {
+        q.scheduleAfter(1.0, again);
+    };
+    q.schedule(0.0, again);
+    EXPECT_THROW(q.run(100), FatalError);
+}
+
+TEST(SpmvSim, CsrOnlyBankMatchesClosedForm)
+{
+    SpmvSimConfig cfg;
+    cfg.banks = 1;
+    cfg.csrNnzPerBank = {12000.0};
+    const SpmvSimResult r = simulateSpmv(cfg, {});
+    const Bank bank(cfg.proc, cfg.mem);
+    const double expect =
+        cfg.proc.kernelStartupCycles / cfg.proc.clockHz +
+        bank.csrCycles(12000.0) / cfg.proc.clockHz +
+        cfg.mem.barrierLatency;
+    EXPECT_NEAR(r.totalTime, expect, 1e-12);
+}
+
+TEST(SpmvSim, ClusterBoundBank)
+{
+    // One slow cluster, negligible CSR: total ~ cluster latency +
+    // service + barrier.
+    SpmvSimConfig cfg;
+    cfg.banks = 1;
+    cfg.csrNnzPerBank = {0.0};
+    std::vector<SimClusterOp> ops{{0, 50e-6}};
+    const SpmvSimResult r = simulateSpmv(cfg, ops);
+    EXPECT_GT(r.totalTime, 50e-6);
+    EXPECT_LT(r.totalTime, 52e-6);
+}
+
+TEST(SpmvSim, InterruptSerializationShowsUp)
+{
+    // 64 clusters finishing at the same instant on one bank: the
+    // processor services them one by one.
+    SpmvSimConfig cfg;
+    cfg.banks = 1;
+    cfg.csrNnzPerBank = {0.0};
+    std::vector<SimClusterOp> ops;
+    for (int i = 0; i < 64; ++i)
+        ops.push_back({0, 10e-6});
+    const SpmvSimResult r = simulateSpmv(cfg, ops);
+    const double serviceT =
+        cfg.proc.clusterServiceCycles / cfg.proc.clockHz;
+    EXPECT_GT(r.totalTime, 10e-6 + 60 * serviceT);
+    EXPECT_GT(r.maxInterruptQueue, 10 * serviceT);
+}
+
+TEST(SpmvSim, BanksRunInParallel)
+{
+    SpmvSimConfig cfg;
+    cfg.banks = 4;
+    cfg.csrNnzPerBank = {1000.0, 1000.0, 1000.0, 1000.0};
+    std::vector<SimClusterOp> ops;
+    for (int bk = 0; bk < 4; ++bk)
+        ops.push_back({bk, 20e-6});
+    const SpmvSimResult quad = simulateSpmv(cfg, ops);
+
+    SpmvSimConfig one;
+    one.banks = 1;
+    one.csrNnzPerBank = {4000.0};
+    std::vector<SimClusterOp> opsOne;
+    for (int i = 0; i < 4; ++i)
+        opsOne.push_back({0, 20e-6});
+    const SpmvSimResult single = simulateSpmv(one, opsOne);
+    EXPECT_LT(quad.totalTime, single.totalTime);
+    ASSERT_EQ(quad.bankFinish.size(), 4u);
+}
+
+TEST(SpmvSim, FormatStatsReport)
+{
+    SpmvSimConfig cfg;
+    cfg.banks = 2;
+    cfg.csrNnzPerBank = {100.0, 200.0};
+    std::vector<SimClusterOp> ops{{0, 5e-6}, {1, 7e-6}};
+    const SpmvSimResult r = simulateSpmv(cfg, ops);
+    const std::string report = formatSpmvSimStats(r);
+    EXPECT_NE(report.find("bankFinish"), std::string::npos);
+    EXPECT_NE(report.find("loadBalance"), std::string::npos);
+    EXPECT_NE(report.find("events"), std::string::npos);
+}
+
+TEST(SpmvSim, RejectsBadInput)
+{
+    SpmvSimConfig cfg;
+    cfg.banks = 2;
+    cfg.csrNnzPerBank = {1.0}; // wrong size
+    EXPECT_THROW(simulateSpmv(cfg, {}), FatalError);
+    cfg.csrNnzPerBank = {1.0, 1.0};
+    std::vector<SimClusterOp> ops{{5, 1e-6}}; // bad bank
+    EXPECT_THROW(simulateSpmv(cfg, ops), FatalError);
+}
+
+TEST(SpmvSim, AgreesWithClosedFormOnRealMatrix)
+{
+    setLogQuiet(true);
+    TiledParams p;
+    p.rows = 16384;
+    p.tile = 48;
+    p.tileDensity = 0.3;
+    p.scatterPerRow = 0.5;
+    p.spd = true;
+    p.symmetricPattern = true;
+    p.seed = 901;
+    const Csr m = genTiled(p);
+    Accelerator accel;
+    accel.prepare(m);
+    const SpmvSimResult sim = accel.simulateSpmv();
+    const double closed = accel.spmvCost().time;
+    // The event-driven time must bracket the closed-form estimate
+    // within a small factor (it adds queueing the closed form lacks,
+    // but shares the dominant terms).
+    EXPECT_GT(sim.totalTime, 0.3 * closed);
+    EXPECT_LT(sim.totalTime, 3.0 * closed);
+    EXPECT_GT(sim.events, 0u);
+}
+
+} // namespace
+} // namespace msc

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the Krylov solvers (CG, BiCG-STAB, GMRES).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/solver.hh"
+#include "sparse/gen.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace msc {
+namespace {
+
+/** Residual check against the original system. */
+double
+relResidual(const Csr &a, std::span<const double> b,
+            std::span<const double> x)
+{
+    std::vector<double> ax(b.size());
+    a.spmv(x, ax);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        num += (b[i] - ax[i]) * (b[i] - ax[i]);
+        den += b[i] * b[i];
+    }
+    return std::sqrt(num / den);
+}
+
+Csr
+spdMatrix(std::int32_t n, std::uint64_t seed)
+{
+    TiledParams p;
+    p.rows = n;
+    p.tile = 16;
+    p.tileDensity = 0.3;
+    p.spd = true;
+    p.symmetricPattern = true;
+    p.diagDominance = 0.05;
+    p.seed = seed;
+    return genTiled(p);
+}
+
+Csr
+generalMatrix(std::int32_t n, std::uint64_t seed)
+{
+    TiledParams p;
+    p.rows = n;
+    p.tile = 16;
+    p.tileDensity = 0.3;
+    p.scatterPerRow = 1.0;
+    p.symmetricPattern = false;
+    p.diagDominance = 0.2;
+    p.seed = seed;
+    return genTiled(p);
+}
+
+TEST(SolverCg, SolvesIdentity)
+{
+    const Csr id = Csr::identity(16);
+    CsrOperator op(id);
+    std::vector<double> b(16, 3.0), x(16, 0.0);
+    const SolverResult r = conjugateGradient(op, b, x);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(r.iterations, 2);
+    for (double v : x)
+        EXPECT_NEAR(v, 3.0, 1e-12);
+}
+
+TEST(SolverCg, SolvesSpdSystem)
+{
+    const Csr a = spdMatrix(400, 77);
+    CsrOperator op(a);
+    std::vector<double> b(400, 1.0), x(400, 0.0);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-10;
+    const SolverResult r = conjugateGradient(op, b, x, cfg);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(relResidual(a, b, x), 1e-8);
+    EXPECT_GT(r.iterations, 2);
+    // Kernel accounting: 1 spmv per iteration (+1 setup).
+    EXPECT_EQ(r.spmvCalls,
+              static_cast<std::uint64_t>(r.iterations) + 1);
+}
+
+TEST(SolverCg, ZeroRhsGivesZeroSolution)
+{
+    const Csr a = spdMatrix(64, 5);
+    CsrOperator op(a);
+    std::vector<double> b(64, 0.0), x(64, 1.0);
+    const SolverResult r = conjugateGradient(op, b, x);
+    EXPECT_TRUE(r.converged);
+    for (double v : x)
+        EXPECT_EQ(v, 0.0);
+}
+
+TEST(SolverCg, WarmStartConvergesFaster)
+{
+    const Csr a = spdMatrix(400, 78);
+    CsrOperator op(a);
+    std::vector<double> b(400, 1.0);
+    std::vector<double> xCold(400, 0.0);
+    const SolverResult cold = conjugateGradient(op, b, xCold);
+    std::vector<double> xWarm = xCold; // exact solution as start
+    const SolverResult warm = conjugateGradient(op, b, xWarm);
+    EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+TEST(SolverCg, RespectsIterationCap)
+{
+    const Csr a = spdMatrix(400, 79);
+    CsrOperator op(a);
+    std::vector<double> b(400, 1.0), x(400, 0.0);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-30; // unreachable
+    cfg.maxIterations = 7;
+    const SolverResult r = conjugateGradient(op, b, x, cfg);
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.iterations, 7);
+}
+
+TEST(SolverCg, DimensionMismatchFatal)
+{
+    const Csr a = Csr::identity(8);
+    CsrOperator op(a);
+    std::vector<double> b(4), x(8);
+    EXPECT_THROW(conjugateGradient(op, b, x), FatalError);
+}
+
+TEST(SolverBiCgStab, SolvesGeneralSystem)
+{
+    const Csr a = generalMatrix(400, 81);
+    CsrOperator op(a);
+    std::vector<double> b(400, 1.0), x(400, 0.0);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-10;
+    const SolverResult r = biCgStab(op, b, x, cfg);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(relResidual(a, b, x), 1e-8);
+    // Two spmv per full iteration.
+    EXPECT_GE(r.spmvCalls,
+              static_cast<std::uint64_t>(r.iterations));
+}
+
+TEST(SolverBiCgStab, SolvesSpdSystemToo)
+{
+    const Csr a = spdMatrix(300, 83);
+    CsrOperator op(a);
+    std::vector<double> b(300, 1.0), x(300, 0.0);
+    const SolverResult r = biCgStab(op, b, x);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(relResidual(a, b, x), 1e-6);
+}
+
+TEST(SolverGmres, SolvesGeneralSystem)
+{
+    const Csr a = generalMatrix(300, 85);
+    CsrOperator op(a);
+    std::vector<double> b(300, 1.0), x(300, 0.0);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-10;
+    const SolverResult r = gmres(op, b, x, cfg, 30);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(relResidual(a, b, x), 1e-8);
+}
+
+TEST(SolverGmres, RestartStillConverges)
+{
+    const Csr a = generalMatrix(300, 87);
+    CsrOperator op(a);
+    std::vector<double> b(300, 1.0), x(300, 0.0);
+    const SolverResult r = gmres(op, b, x, {}, 5); // tiny restart
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(relResidual(a, b, x), 1e-6);
+}
+
+TEST(SolverGmres, RejectsBadRestart)
+{
+    const Csr a = Csr::identity(4);
+    CsrOperator op(a);
+    std::vector<double> b(4, 1.0), x(4, 0.0);
+    EXPECT_THROW(gmres(op, b, x, {}, 0), FatalError);
+}
+
+TEST(Solvers, AgreeOnTheSameSystem)
+{
+    const Csr a = spdMatrix(300, 91);
+    CsrOperator op(a);
+    std::vector<double> b(300);
+    Rng rng(93);
+    for (auto &v : b)
+        v = rng.uniform(-1, 1);
+    std::vector<double> xCg(300, 0.0), xBi(300, 0.0), xGm(300, 0.0);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-12;
+    conjugateGradient(op, b, xCg, cfg);
+    biCgStab(op, b, xBi, cfg);
+    gmres(op, b, xGm, cfg);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        EXPECT_NEAR(xCg[i], xBi[i],
+                    1e-6 * (1.0 + std::fabs(xCg[i])));
+        EXPECT_NEAR(xCg[i], xGm[i],
+                    1e-6 * (1.0 + std::fabs(xCg[i])));
+    }
+}
+
+TEST(Solvers, KernelCountsMatchStructure)
+{
+    const Csr a = generalMatrix(200, 95);
+    CsrOperator op(a);
+    std::vector<double> b(200, 1.0), x(200, 0.0);
+    const SolverResult r = biCgStab(op, b, x);
+    ASSERT_TRUE(r.converged);
+    // BiCG-STAB: 2 spmv, ~6 dot, ~6 axpy per iteration.
+    EXPECT_NEAR(static_cast<double>(r.spmvCalls),
+                2.0 * r.iterations, 2.0);
+    EXPECT_GE(r.dotCalls, static_cast<std::uint64_t>(
+        4 * r.iterations));
+    EXPECT_GE(r.axpyCalls, static_cast<std::uint64_t>(
+        5 * r.iterations));
+    EXPECT_EQ(r.vectorLength, 200u);
+}
+
+} // namespace
+} // namespace msc

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the stationary solvers (Jacobi, Gauss-Seidel, SOR) and
+ * the Jacobi spectral-radius estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/stationary.hh"
+#include "sparse/gen.hh"
+#include "util/logging.hh"
+
+namespace msc {
+namespace {
+
+double
+relResidual(const Csr &a, std::span<const double> b,
+            std::span<const double> x)
+{
+    std::vector<double> ax(b.size());
+    a.spmv(x, ax);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        num += (b[i] - ax[i]) * (b[i] - ax[i]);
+        den += b[i] * b[i];
+    }
+    return std::sqrt(num / den);
+}
+
+Csr
+dominantSystem(std::int32_t n, std::uint64_t seed)
+{
+    TiledParams p;
+    p.rows = n;
+    p.tile = 16;
+    p.tileDensity = 0.3;
+    p.spd = true;
+    p.symmetricPattern = true;
+    p.diagDominance = 0.5; // strongly dominant: all methods converge
+    p.seed = seed;
+    return genTiled(p);
+}
+
+TEST(Stationary, JacobiConvergesOnDominantSystem)
+{
+    const Csr a = dominantSystem(300, 3001);
+    std::vector<double> b(300, 1.0), x(300, 0.0);
+    const SolverResult r = jacobiIteration(a, b, x, {1e-10, 2000});
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(relResidual(a, b, x), 1e-8);
+}
+
+TEST(Stationary, GaussSeidelBeatsJacobi)
+{
+    const Csr a = dominantSystem(300, 3003);
+    std::vector<double> b(300, 1.0);
+    std::vector<double> xj(300, 0.0), xg(300, 0.0);
+    const SolverResult rj = jacobiIteration(a, b, xj, {1e-10, 4000});
+    const SolverResult rg = gaussSeidel(a, b, xg, {1e-10, 4000});
+    ASSERT_TRUE(rj.converged);
+    ASSERT_TRUE(rg.converged);
+    EXPECT_LT(rg.iterations, rj.iterations);
+}
+
+TEST(Stationary, SorInterpolatesGaussSeidel)
+{
+    const Csr a = dominantSystem(300, 3005);
+    std::vector<double> b(300, 1.0);
+    std::vector<double> x1(300, 0.0), x2(300, 0.0);
+    const SolverResult gs = gaussSeidel(a, b, x1, {1e-10, 4000});
+    const SolverResult s = sor(a, b, x2, 1.0, {1e-10, 4000});
+    EXPECT_EQ(gs.iterations, s.iterations); // omega = 1 identical
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_EQ(x1[i], x2[i]);
+}
+
+TEST(Stationary, SorRejectsBadOmega)
+{
+    const Csr a = Csr::identity(4);
+    std::vector<double> b(4, 1.0), x(4, 0.0);
+    EXPECT_THROW(sor(a, b, x, 0.0), FatalError);
+    EXPECT_THROW(sor(a, b, x, 2.0), FatalError);
+}
+
+TEST(Stationary, AgreesWithKrylovSolution)
+{
+    const Csr a = dominantSystem(200, 3007);
+    std::vector<double> b(200, 1.0);
+    std::vector<double> xs(200, 0.0), xk(200, 0.0);
+    gaussSeidel(a, b, xs, {1e-12, 5000});
+    CsrOperator op(a);
+    conjugateGradient(op, b, xk, {1e-12, 5000});
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_NEAR(xs[i], xk[i], 1e-8 * (1 + std::fabs(xk[i])));
+}
+
+TEST(Stationary, SpectralRadiusPredictsConvergence)
+{
+    // Strongly dominant: rho(D^-1 (L+U)) < 1.
+    const Csr good = dominantSystem(200, 3011);
+    const double rhoGood = jacobiSpectralRadius(good);
+    EXPECT_LT(rhoGood, 1.0);
+    EXPECT_GT(rhoGood, 0.0);
+
+    // 2x2 system with rho known analytically:
+    // A = [[2, 1], [1, 2]] -> D^-1(L+U) has eigenvalues +-1/2.
+    Coo coo;
+    coo.rows = coo.cols = 2;
+    coo.add(0, 0, 2.0);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 0, 1.0);
+    coo.add(1, 1, 2.0);
+    const double rho = jacobiSpectralRadius(Csr::fromCoo(coo), 200);
+    EXPECT_NEAR(rho, 0.5, 1e-6);
+}
+
+TEST(Stationary, ZeroRhsShortCircuits)
+{
+    const Csr a = dominantSystem(64, 3013);
+    std::vector<double> b(64, 0.0), x(64, 5.0);
+    const SolverResult r = jacobiIteration(a, b, x);
+    EXPECT_TRUE(r.converged);
+    for (double v : x)
+        EXPECT_EQ(v, 0.0);
+}
+
+TEST(Stationary, MissingDiagonalFatal)
+{
+    Coo coo;
+    coo.rows = coo.cols = 2;
+    coo.add(0, 0, 1.0);
+    coo.add(1, 0, 1.0);
+    const Csr a = Csr::fromCoo(coo);
+    std::vector<double> b(2, 1.0), x(2, 0.0);
+    EXPECT_THROW(jacobiIteration(a, b, x), FatalError);
+    EXPECT_THROW(gaussSeidel(a, b, x), FatalError);
+}
+
+} // namespace
+} // namespace msc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/stats.hh"
+
+namespace msc {
+namespace {
+
+TEST(Stats, ScalarAccumulatesAndMeans)
+{
+    stats::Group g("test");
+    stats::Scalar s(g, "counter", "a counter");
+    ++s;
+    s += 4.0;
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    stats::Group g("test");
+    stats::Distribution d(g, "lat", "latency");
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 4.0);
+    EXPECT_NEAR(d.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    stats::Group g("test");
+    stats::Scalar a(g, "a", "");
+    stats::Scalar b(g, "b", "");
+    stats::Formula ratio(g, "ratio", "a/b", [&] {
+        return b.value() != 0.0 ? a.value() / b.value() : 0.0;
+    });
+    a += 6.0;
+    b += 3.0;
+    EXPECT_DOUBLE_EQ(ratio.value(), 2.0);
+    b += 3.0;
+    EXPECT_DOUBLE_EQ(ratio.value(), 1.0);
+}
+
+TEST(Stats, GroupDumpContainsEverything)
+{
+    stats::Group root("system");
+    stats::Group child(root, "bank0");
+    stats::Scalar s1(root, "ops", "operations");
+    stats::Scalar s2(child, "irq", "interrupts");
+    s1 += 7.0;
+    s2 += 2.0;
+    std::ostringstream os;
+    root.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("system"), std::string::npos);
+    EXPECT_NE(out.find("bank0"), std::string::npos);
+    EXPECT_NE(out.find("ops"), std::string::npos);
+    EXPECT_NE(out.find("irq"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+}
+
+TEST(Stats, ResetAllRecurses)
+{
+    stats::Group root("r");
+    stats::Group child(root, "c");
+    stats::Scalar a(root, "a", "");
+    stats::Distribution d(child, "d", "");
+    a += 5.0;
+    d.sample(9.0);
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0.0);
+    EXPECT_EQ(d.count(), 0u);
+}
+
+} // namespace
+} // namespace msc

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the 20-matrix evaluation suite (Table II).
+ *
+ * Matrices are full scale (up to ~5M nonzeros), so each is generated
+ * and blocked once and cached for all tests in this file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "blocking/blocking.hh"
+#include "sparse/suite.hh"
+#include "util/logging.hh"
+
+namespace msc {
+namespace {
+
+struct Cached
+{
+    Csr matrix;
+    BlockPlan plan;
+};
+
+const Cached &
+cached(const SuiteEntry &e)
+{
+    static std::map<std::string, Cached> cache;
+    auto it = cache.find(e.name);
+    if (it == cache.end()) {
+        Cached c;
+        c.matrix = buildSuiteMatrix(e);
+        c.plan = planBlocks(c.matrix);
+        it = cache.emplace(e.name, std::move(c)).first;
+    }
+    return it->second;
+}
+
+TEST(Suite, HasTwentyEntriesSpdFirst)
+{
+    const auto &suite = suiteMatrices();
+    ASSERT_EQ(suite.size(), 20u);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_TRUE(suite[i].spd) << suite[i].name;
+    for (std::size_t i = 10; i < 20; ++i)
+        EXPECT_FALSE(suite[i].spd) << suite[i].name;
+}
+
+TEST(Suite, LookupByName)
+{
+    EXPECT_EQ(suiteEntry("torso2").paperRows, 115697);
+    EXPECT_EQ(suiteEntry("Trefethen_20000").family,
+              SuiteEntry::Family::Trefethen);
+    EXPECT_THROW(suiteEntry("nonesuch"), FatalError);
+}
+
+TEST(Suite, PaperReferenceValuesPresent)
+{
+    for (const auto &e : suiteMatrices()) {
+        EXPECT_GT(e.paperNnz, 0u) << e.name;
+        EXPECT_GT(e.paperRows, 0) << e.name;
+        EXPECT_GT(e.paperNnzPerRow, 0.0) << e.name;
+        EXPECT_GE(e.paperBlockedPct, 0.0) << e.name;
+        EXPECT_LE(e.paperBlockedPct, 100.0) << e.name;
+        EXPECT_FALSE(e.domain.empty()) << e.name;
+    }
+}
+
+TEST(Suite, GeneratedMatricesMatchTable2)
+{
+    double sumVisits = 0.0;
+    for (const auto &e : suiteMatrices()) {
+        const Cached &c = cached(e);
+
+        // Full-scale reproduction: generated rows equal the paper's.
+        EXPECT_EQ(c.matrix.rows(), e.paperRows) << e.name;
+        EXPECT_EQ(c.matrix.cols(), e.paperRows) << e.name;
+        EXPECT_GT(c.matrix.nnz(), 0u) << e.name;
+
+        // Blocking efficiency within 12 points of Table II; scatter
+        // matrices must stay "effectively unblocked".
+        const double measured =
+            100.0 * c.plan.stats.blockingEfficiency();
+        if (e.paperBlockedPct < 5.0) {
+            EXPECT_LT(measured, 6.0) << e.name;
+        } else {
+            EXPECT_NEAR(measured, e.paperBlockedPct, 12.0) << e.name;
+        }
+
+        // Preprocessing visit bound (worst case 4x NNZ).
+        EXPECT_LE(c.plan.stats.visitsPerNnz(), 4.0 + 1e-9) << e.name;
+        sumVisits += c.plan.stats.visitsPerNnz();
+    }
+    // The paper reports ~1.8x NNZ on average; our density-based
+    // thresholds send thin bands through more size passes, landing
+    // somewhat higher but still well under the 4x worst case.
+    const double avg = sumVisits / suiteMatrices().size();
+    EXPECT_GT(avg, 1.2);
+    EXPECT_LT(avg, 3.5);
+}
+
+TEST(Suite, SpdEntriesAreSymmetric)
+{
+    for (const auto &e : suiteMatrices()) {
+        if (!e.spd)
+            continue;
+        EXPECT_TRUE(cached(e).matrix.isSymmetric()) << e.name;
+    }
+}
+
+TEST(Suite, NasasrbHasWideExponentsAndEvictions)
+{
+    EXPECT_GT(cached(suiteEntry("nasasrb"))
+                  .plan.stats.expRangeEvictions, 0u);
+    // Pres_Poisson by contrast has a narrow range and none.
+    EXPECT_EQ(cached(suiteEntry("Pres_Poisson"))
+                  .plan.stats.expRangeEvictions, 0u);
+}
+
+} // namespace
+} // namespace msc

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the utility layer: BitVec, Rng, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/bitvec.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace msc {
+namespace {
+
+TEST(BitVec, SetGetFlipResize)
+{
+    BitVec v(100);
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_FALSE(v.any());
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(99);
+    EXPECT_EQ(v.popcount(), 4u);
+    EXPECT_TRUE(v.get(64));
+    v.flip(64);
+    EXPECT_FALSE(v.get(64));
+    v.set(0, false);
+    EXPECT_EQ(v.popcount(), 2u);
+    v.resize(10);
+    EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, InvertRespectsTailBits)
+{
+    BitVec v(70); // 6 bits in the second word
+    v.invert();
+    EXPECT_EQ(v.popcount(), 70u); // tail must not contribute
+    v.invert();
+    EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, DotIsPopcountOfAnd)
+{
+    BitVec a(128), b(128);
+    for (unsigned i = 0; i < 128; i += 2)
+        a.set(i);
+    for (unsigned i = 0; i < 128; i += 3)
+        b.set(i);
+    std::size_t expect = 0;
+    for (unsigned i = 0; i < 128; ++i)
+        expect += (i % 2 == 0 && i % 3 == 0) ? 1 : 0;
+    EXPECT_EQ(a.dot(b), expect);
+    BitVec c(64);
+    EXPECT_THROW(a.dot(c), PanicError);
+}
+
+TEST(BitVec, ClearAll)
+{
+    BitVec v(40);
+    v.set(5);
+    v.clearAll();
+    EXPECT_FALSE(v.any());
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, BelowAndRangeBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Logging, PanicAndFatalThrowDistinctTypes)
+{
+    EXPECT_THROW(panic("x=", 5), PanicError);
+    EXPECT_THROW(fatal("y=", 7), FatalError);
+    try {
+        panic("value ", 42, " bad");
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "panic: value 42 bad");
+    }
+}
+
+TEST(Logging, QuietSuppresssesButDoesNotThrow)
+{
+    setLogQuiet(true);
+    warn("should be invisible");
+    inform("also invisible");
+    setLogQuiet(false);
+}
+
+} // namespace
+} // namespace msc

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the crossbar analytic models and the functional binary
+ * crossbar (CIC, headstart, device reads).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hh"
+#include "xbar/crossbar.hh"
+#include "xbar/model.hh"
+
+namespace msc {
+namespace {
+
+TEST(XbarModel, Table3LatencyExact)
+{
+    // Latency = N cycles at 1.2 GHz (Table III: 53.3/107/213/427 ns).
+    EXPECT_NEAR(XbarModel(64).opLatency() * 1e9, 53.3, 0.1);
+    EXPECT_NEAR(XbarModel(128).opLatency() * 1e9, 106.7, 0.5);
+    EXPECT_NEAR(XbarModel(256).opLatency() * 1e9, 213.3, 0.5);
+    EXPECT_NEAR(XbarModel(512).opLatency() * 1e9, 426.7, 0.5);
+}
+
+TEST(XbarModel, Table3EnergyWithinTwoPercent)
+{
+    const double paper[][2] = {
+        {64, 28.0}, {128, 65.2}, {256, 150.0}, {512, 342.0}};
+    for (const auto &row : paper) {
+        const XbarModel m(static_cast<unsigned>(row[0]));
+        EXPECT_NEAR(m.opEnergy() * 1e12, row[1], 0.02 * row[1])
+            << "N=" << row[0];
+    }
+}
+
+TEST(XbarModel, Table3AreaWithinSevenPercent)
+{
+    const double paper[][2] = {{64, 0.00078},
+                               {128, 0.00103},
+                               {256, 0.00162},
+                               {512, 0.00352}};
+    for (const auto &row : paper) {
+        const XbarModel m(static_cast<unsigned>(row[0]));
+        EXPECT_NEAR(m.area(), row[1], 0.07 * row[1]) << row[0];
+    }
+}
+
+TEST(XbarModel, CicSavesOneAdcBit)
+{
+    XbarModelParams prm;
+    const XbarModel with(512, prm, true);
+    const XbarModel without(512, prm, false);
+    EXPECT_EQ(with.adcResolutionBits(), 9u);
+    EXPECT_EQ(without.adcResolutionBits(), 10u);
+}
+
+TEST(XbarModel, HeadstartReducesConversionEnergy)
+{
+    const XbarModel m(512);
+    const double full =
+        m.conversionEnergy(m.adcResolutionBits());
+    for (unsigned start = 1; start < m.adcResolutionBits();
+         ++start) {
+        EXPECT_LT(m.conversionEnergy(start), full) << start;
+        // But never below the static floor (20%).
+        EXPECT_GE(m.conversionEnergy(start), 0.2 * full * 0.99);
+    }
+    // Headstart above resolution = no saving.
+    EXPECT_EQ(m.conversionEnergy(12), full);
+}
+
+TEST(XbarModel, EnergySplitsSumToTotal)
+{
+    for (unsigned n : {64u, 128u, 256u, 512u}) {
+        const XbarModel m(n);
+        EXPECT_NEAR(m.adcOpEnergy() + m.arrayOpEnergy(),
+                    m.opEnergy(), 1e-18)
+            << n;
+    }
+}
+
+TEST(XbarModel, ProgramCosts)
+{
+    const XbarModel m(512);
+    // Row-parallel writes: N * 50.88 ns.
+    EXPECT_NEAR(m.programTime() * 1e6, 512 * 50.88e-3, 0.1);
+    EXPECT_DOUBLE_EQ(m.programEnergy(1000), 1000 * 3.91e-9);
+}
+
+TEST(XbarModel, RejectsBadSizes)
+{
+    EXPECT_THROW(XbarModel(0), FatalError);
+    EXPECT_THROW(XbarModel(100), FatalError); // not a power of two
+}
+
+TEST(BinaryCrossbar, SetGetAndDot)
+{
+    BinaryCrossbar x(8, 4);
+    x.set(0, 0);
+    x.set(3, 0);
+    x.set(5, 0);
+    EXPECT_TRUE(x.get(3, 0));
+    EXPECT_FALSE(x.get(2, 0));
+    BitVec input(8);
+    input.set(0);
+    input.set(3);
+    input.set(6);
+    EXPECT_EQ(x.readColumn(0, input), 2); // rows 0 and 3 intersect
+    EXPECT_EQ(x.readColumn(1, input), 0);
+}
+
+TEST(BinaryCrossbar, CicInvertsDenseColumns)
+{
+    BinaryCrossbar x(8, 3);
+    // Column 0: 6 of 8 ones -> inverted. Column 1: 2 ones -> kept.
+    // Column 2: exactly 4 -> corner case.
+    for (unsigned r = 0; r < 6; ++r)
+        x.set(r, 0);
+    x.set(0, 1);
+    x.set(1, 1);
+    for (unsigned r = 0; r < 4; ++r)
+        x.set(r, 2);
+    EXPECT_EQ(x.applyCic(), 1u);
+    EXPECT_TRUE(x.columnInverted(0));
+    EXPECT_FALSE(x.columnInverted(1));
+    EXPECT_EQ(x.denseCornerCases(), 1u);
+    // Post-inversion the stored ones must be <= N/2.
+    EXPECT_LE(x.columnOnes(0), 4u);
+}
+
+TEST(BinaryCrossbar, LogicalColumnUndoesInversion)
+{
+    Rng rng(601);
+    BinaryCrossbar x(32, 16);
+    std::vector<std::vector<bool>> truth(
+        16, std::vector<bool>(32, false));
+    for (unsigned c = 0; c < 16; ++c) {
+        for (unsigned r = 0; r < 32; ++r) {
+            if (rng.chance(c < 8 ? 0.8 : 0.2)) { // half dense
+                x.set(r, c);
+                truth[c][r] = true;
+            }
+        }
+    }
+    x.applyCic();
+    BitVec input(32);
+    for (unsigned r = 0; r < 32; ++r)
+        if (rng.chance(0.5))
+            input.set(r);
+    for (unsigned c = 0; c < 16; ++c) {
+        std::int64_t expect = 0;
+        for (unsigned r = 0; r < 32; ++r)
+            expect += (truth[c][r] && input.get(r)) ? 1 : 0;
+        EXPECT_EQ(x.logicalColumn(c, input), expect) << "col " << c;
+    }
+}
+
+TEST(BinaryCrossbar, ColumnMaxOutputBitsForHeadstart)
+{
+    BinaryCrossbar x(64, 2);
+    for (unsigned r = 0; r < 5; ++r)
+        x.set(r, 0);
+    EXPECT_EQ(x.columnMaxOutputBits(0), 3u); // 5 -> needs 3 bits
+    EXPECT_EQ(x.columnMaxOutputBits(1), 0u); // empty column
+}
+
+TEST(BinaryCrossbar, NoisyReadWithIdealCellsIsExact)
+{
+    Rng rng(607);
+    BinaryCrossbar x(64, 8);
+    for (unsigned c = 0; c < 8; ++c)
+        for (unsigned r = 0; r < 64; ++r)
+            if (rng.chance(0.3))
+                x.set(r, c);
+    BitVec input(64);
+    for (unsigned r = 0; r < 64; ++r)
+        if (rng.chance(0.5))
+            input.set(r);
+    CellParams ideal; // range 1500, 1 bit, no error
+    const ColumnReadModel model(ideal);
+    for (unsigned c = 0; c < 8; ++c) {
+        EXPECT_EQ(x.readColumnNoisy(c, input, model, nullptr),
+                  x.readColumn(c, input))
+            << "col " << c;
+    }
+}
+
+TEST(BinaryCrossbar, NoisyReadLeakageShiftsDenseColumns)
+{
+    // 2-bit-equivalent leakage at low range: with enough active
+    // off-cells, the quantized read exceeds the true count.
+    CellParams weak;
+    weak.bitsPerCell = 2;
+    weak.rOff = weak.rOn * 200.0; // extreme leakage
+    const ColumnReadModel model(weak);
+    BinaryCrossbar x(512, 1);
+    // Empty column, every row driven: pure leakage.
+    BitVec input(512);
+    for (unsigned r = 0; r < 512; ++r)
+        input.set(r);
+    EXPECT_GT(x.readColumnNoisy(0, input, model, nullptr), 0);
+    EXPECT_EQ(x.readColumn(0, input), 0);
+}
+
+TEST(BinaryCrossbar, Misuse)
+{
+    EXPECT_THROW(BinaryCrossbar(0, 4), FatalError);
+    BinaryCrossbar x(4, 4);
+    EXPECT_THROW(x.set(4, 0), PanicError);
+    EXPECT_THROW(x.get(0, 4), PanicError);
+}
+
+} // namespace
+} // namespace msc
