@@ -8,12 +8,18 @@
  * the error reaches 5%; multi-bit cells degrade earlier because the
  * same fractional error spans a larger share of the smaller level
  * separation.
+ *
+ * Usage: bench_fig13_progerr [config.json]
+ * The optional config supplies the experiment seed; every Monte
+ * Carlo stream derives from it, so runs are reproducible from the
+ * config file alone.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "core/config.hh"
 #include "device/noisy.hh"
 #include "sparse/gen.hh"
 #include "util/logging.hh"
@@ -23,7 +29,7 @@ namespace {
 using namespace msc;
 
 Csr
-testMatrix()
+testMatrix(std::uint64_t seed)
 {
     TiledParams p;
     p.rows = 1536;
@@ -35,9 +41,11 @@ testMatrix()
     p.diagDominance = 0.01;
     p.values.tileExpSigma = 1.5;
     p.values.elemExpSigma = 0.8;
-    p.seed = 4242;
+    p.seed = 4242 ^ seed;
     return genTiled(p);
 }
+
+std::uint64_t mcSeed = 1; //!< experiment seed from the config file
 
 struct McResult
 {
@@ -57,7 +65,9 @@ monteCarlo(const Csr &m, const CellParams &cell, int runs,
     cfg.tolerance = 1e-5;
     cfg.maxIterations = iterCap;
     for (int run = 0; run < runs; ++run) {
-        NoisyCsrOperator op(m, cell, 17000 + run);
+        NoisyCsrOperator op(
+            m, cell,
+            mcSeed * 17000 + static_cast<std::uint64_t>(run));
         std::vector<double> x(b.size(), 0.0);
         const SolverResult r = conjugateGradient(op, b, x, cfg);
         const int iters = r.converged ? r.iterations : iterCap;
@@ -72,12 +82,14 @@ monteCarlo(const Csr &m, const CellParams &cell, int runs,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace msc;
     setLogQuiet(true);
+    if (argc > 1)
+        mcSeed = loadExperimentConfig(argv[1]).seed;
 
-    const Csr m = testMatrix();
+    const Csr m = testMatrix(mcSeed);
 
     CellParams base;
     base.bitsPerCell = 1;

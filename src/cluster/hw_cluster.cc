@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.hh"
 #include "util/logging.hh"
 
 namespace msc {
@@ -129,6 +130,43 @@ HwCluster::flipCell(unsigned slice, unsigned blockRow,
     slices[slice].set(blockCol, blockRow, !cur);
 }
 
+void
+HwCluster::killSlice(unsigned slice)
+{
+    if (!programmed)
+        fatal("HwCluster::killSlice: program() first");
+    if (slice >= nSlices)
+        fatal("HwCluster::killSlice: no such slice");
+    slices[slice].clear();
+}
+
+std::size_t
+HwCluster::scrub() const
+{
+    if (!programmed)
+        fatal("HwCluster::scrub: program() first");
+    if (!cfg.anProtect)
+        return 0;
+    std::size_t corrupt = 0;
+    for (unsigned i = 0; i < blockSize; ++i) {
+        for (unsigned j = 0; j < blockSize; ++j) {
+            // Reconstruct the logical stored word at block (i, j):
+            // crossbar row j, column i, un-inverting CIC columns.
+            U256 word;
+            for (unsigned b = 0; b < nSlices; ++b) {
+                bool bit = slices[b].get(j, i);
+                if (slices[b].columnInverted(i))
+                    bit = !bit;
+                if (bit)
+                    word.setBit(b);
+            }
+            if (!an.check(word))
+                ++corrupt;
+        }
+    }
+    return corrupt;
+}
+
 HwClusterStats
 HwCluster::multiply(std::span<const double> x, std::span<double> y,
                     Rng *rng)
@@ -191,6 +229,13 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
                                                       readModel, rng);
                 } else {
                     count = slices[b].readColumn(i, slice);
+                }
+                // Transient upsets and stuck ADC columns strike the
+                // raw conversion, before the digital CIC correction.
+                if (injector) {
+                    count = injector->faultedRead(
+                        b, i, count,
+                        static_cast<std::int64_t>(blockSize));
                 }
                 if (slices[b].columnInverted(i)) {
                     count = static_cast<std::int64_t>(pc) - count;

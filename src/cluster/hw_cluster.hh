@@ -37,6 +37,8 @@
 
 namespace msc {
 
+class FaultInjector;
+
 /** Per-multiply error-handling statistics. */
 struct HwClusterStats
 {
@@ -82,6 +84,29 @@ class HwCluster
     void flipCell(unsigned slice, unsigned blockRow,
                   unsigned blockCol);
 
+    /**
+     * Kill an entire bit-slice crossbar: every cell reads zero
+     * current until the next program() (driver/selector failure).
+     */
+    void killSlice(unsigned slice);
+
+    /**
+     * Register a fault injector whose transient/stuck-column models
+     * are applied to every ADC conversion in multiply(). Cleared by
+     * passing nullptr; program() keeps the attachment (the faults
+     * live in the injector, not the stored data).
+     */
+    void attachInjector(FaultInjector *inj) { injector = inj; }
+
+    /**
+     * AN-code readback scrub (Section IV-E applied to maintenance):
+     * reconstruct every stored operand word from the bit-slice
+     * crossbars and count the words whose AN residue is nonzero,
+     * i.e. cells damaged since programming. Returns 0 when anProtect
+     * is off (no redundancy to check against).
+     */
+    std::size_t scrub() const;
+
     /** y[i] = round(sum_j block[i][j] * x[j]) via the full hardware
      *  dataflow. */
     HwClusterStats multiply(std::span<const double> x,
@@ -90,6 +115,7 @@ class HwCluster
   private:
     Config cfg;
     AnCode an;
+    FaultInjector *injector = nullptr;
     bool programmed = false;
     unsigned blockSize = 0;
     unsigned nSlices = 0;

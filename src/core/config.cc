@@ -143,6 +143,26 @@ applyGpu(const JsonValue &j, GpuModelParams &g)
 }
 
 void
+applyDevice(const JsonValue &j, CellParams &c)
+{
+    checkKeys(j,
+              {"bitsPerCell", "rOn", "rOff", "vRead", "writeEnergy",
+               "writeTime", "writeEndurance", "progErrorSigma"},
+              "device");
+    c.bitsPerCell = static_cast<unsigned>(
+        j.numberOr("bitsPerCell", c.bitsPerCell));
+    c.rOn = j.numberOr("rOn", c.rOn);
+    c.rOff = j.numberOr("rOff", c.rOff);
+    c.vRead = j.numberOr("vRead", c.vRead);
+    c.writeEnergy = j.numberOr("writeEnergy", c.writeEnergy);
+    c.writeTime = j.numberOr("writeTime", c.writeTime);
+    c.writeEndurance =
+        j.numberOr("writeEndurance", c.writeEndurance);
+    c.progErrorSigma =
+        j.numberOr("progErrorSigma", c.progErrorSigma);
+}
+
+void
 applySolver(const JsonValue &j, ExperimentConfig &cfg)
 {
     checkKeys(j, {"tolerance", "maxIterations", "kind", "restart"},
@@ -163,13 +183,30 @@ ExperimentConfig
 configFromJson(const JsonValue &root)
 {
     ExperimentConfig cfg;
-    checkKeys(root, {"accelerator", "gpu", "solver"}, "document");
+    checkKeys(root,
+              {"accelerator", "gpu", "solver", "seed", "device",
+               "fault"},
+              "document");
     if (root.has("accelerator"))
         applyAccelerator(root.at("accelerator"), cfg.accel);
     if (root.has("gpu"))
         applyGpu(root.at("gpu"), cfg.gpu);
     if (root.has("solver"))
         applySolver(root.at("solver"), cfg);
+    // One experiment-level seed: NoisyCsrOperator, FaultInjector,
+    // and the benches all derive from it, so a campaign is
+    // reproducible from the config file alone.
+    cfg.seed = static_cast<std::uint64_t>(
+        root.numberOr("seed", static_cast<double>(cfg.seed)));
+    if (root.has("device"))
+        applyDevice(root.at("device"), cfg.cell);
+    cfg.fault.seed = cfg.seed; // inherited unless "fault" overrides
+    if (root.has("fault")) {
+        const std::uint64_t inherited = cfg.fault.seed;
+        cfg.fault = faultCampaignFromJson(root.at("fault"));
+        if (!root.at("fault").has("seed"))
+            cfg.fault.seed = inherited;
+    }
     return cfg;
 }
 

@@ -10,6 +10,7 @@
  * Example:
  * @code{.json}
  * {
+ *   "seed": 1234,
  *   "accelerator": {
  *     "banks": 128,
  *     "clustersPerBank": [[512, 2], [256, 4], [128, 6], [64, 8]],
@@ -17,9 +18,16 @@
  *     "staticPower": 120.0
  *   },
  *   "gpu": {"memBandwidth": 732e9},
- *   "solver": {"tolerance": 1e-8, "maxIterations": 2500}
+ *   "solver": {"tolerance": 1e-8, "maxIterations": 2500},
+ *   "device": {"bitsPerCell": 1, "progErrorSigma": 0.02},
+ *   "fault": {"transientUpsetRate": 1e-3, "deadCrossbarRate": 0.01}
  * }
  * @endcode
+ *
+ * The top-level "seed" is the experiment-level RNG seed: the noisy
+ * operator, the fault injector (unless "fault.seed" overrides it),
+ * and the Monte Carlo benches all derive their streams from it, so
+ * campaigns are bit-reproducible from the config file alone.
  */
 
 #ifndef MSC_CORE_CONFIG_HH

@@ -12,27 +12,30 @@
 #include <string>
 
 #include "accel/accel.hh"
+#include "device/cell.hh"
+#include "fault/fault.hh"
 #include "gpu/gpu.hh"
 #include "sparse/suite.hh"
 
 namespace msc {
-
-/** Which Krylov method the experiment runs. */
-enum class SolverKind
-{
-    Auto, //!< CG for SPD entries, BiCG-STAB otherwise (the paper)
-    Cg,
-    BiCgStab,
-    Gmres,
-};
 
 struct ExperimentConfig
 {
     AcceleratorConfig accel;
     GpuModelParams gpu;
     SolverConfig solver{1e-8, 2500};
+    /** SolverKind lives in solver/solver.hh; Auto = CG for SPD
+     *  entries, BiCG-STAB otherwise (the paper's prescription). */
     SolverKind solverKind = SolverKind::Auto;
     int gmresRestart = 30;
+    /** Experiment-level RNG seed: NoisyCsrOperator, FaultInjector,
+     *  and the Monte Carlo benches all derive their streams from
+     *  this one value, so runs are reproducible from the config. */
+    std::uint64_t seed = 1;
+    /** Device model for noisy-arithmetic experiments (Fig. 12/13). */
+    CellParams cell;
+    /** Fault-injection campaign (src/fault); default = fault-free. */
+    FaultCampaign fault;
 };
 
 struct ExperimentResult

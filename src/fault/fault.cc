@@ -1,0 +1,168 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "cluster/hw_cluster.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace msc {
+
+namespace {
+
+/** splitmix64 step, for deriving per-unit sub-seeds. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+checkRate(double v, const char *name)
+{
+    if (v < 0.0 || v > 1.0)
+        fatal("fault campaign: ", name, " must be in [0, 1], got ",
+              v);
+}
+
+} // namespace
+
+FaultCampaign
+faultCampaignFromJson(const JsonValue &j)
+{
+    static const std::set<std::string> allowed = {
+        "seed",           "stuckCellRate",
+        "stuckAtOneFraction", "transientUpsetRate",
+        "saturationRate", "driftPerRead",
+        "driftScrubThreshold", "stuckColumnRate",
+        "deadCrossbarRate", "forcedDeadBlock",
+    };
+    for (const auto &[key, value] : j.asObject()) {
+        (void)value;
+        if (allowed.find(key) == allowed.end())
+            fatal("fault campaign: unknown key '", key, "'");
+    }
+
+    FaultCampaign c;
+    c.seed = static_cast<std::uint64_t>(
+        j.numberOr("seed", static_cast<double>(c.seed)));
+    c.stuckCellRate = j.numberOr("stuckCellRate", c.stuckCellRate);
+    c.stuckAtOneFraction =
+        j.numberOr("stuckAtOneFraction", c.stuckAtOneFraction);
+    c.transientUpsetRate =
+        j.numberOr("transientUpsetRate", c.transientUpsetRate);
+    c.saturationRate = j.numberOr("saturationRate", c.saturationRate);
+    c.driftPerRead = j.numberOr("driftPerRead", c.driftPerRead);
+    c.driftScrubThreshold =
+        j.numberOr("driftScrubThreshold", c.driftScrubThreshold);
+    c.stuckColumnRate =
+        j.numberOr("stuckColumnRate", c.stuckColumnRate);
+    c.deadCrossbarRate =
+        j.numberOr("deadCrossbarRate", c.deadCrossbarRate);
+    c.forcedDeadBlock = static_cast<int>(
+        j.numberOr("forcedDeadBlock", c.forcedDeadBlock));
+
+    checkRate(c.stuckCellRate, "stuckCellRate");
+    checkRate(c.stuckAtOneFraction, "stuckAtOneFraction");
+    checkRate(c.transientUpsetRate, "transientUpsetRate");
+    checkRate(c.saturationRate, "saturationRate");
+    checkRate(c.stuckColumnRate, "stuckColumnRate");
+    checkRate(c.deadCrossbarRate, "deadCrossbarRate");
+    if (c.driftPerRead < 0.0)
+        fatal("fault campaign: driftPerRead must be >= 0");
+    return c;
+}
+
+FaultInjector::FaultInjector(const FaultCampaign &campaign)
+    : camp(campaign), transientRng(mix(campaign.seed ^ ~0ULL))
+{
+}
+
+Rng
+FaultInjector::streamFor(std::uint64_t unit) const
+{
+    return Rng(mix(camp.seed) ^ mix(unit + 1));
+}
+
+FaultStats
+FaultInjector::inject(HwCluster &hw, std::uint64_t unit)
+{
+    Rng rng = streamFor(unit);
+    FaultStats drawn;
+    const unsigned slices = hw.matrixSlices();
+    const unsigned size = hw.config().size;
+
+    if (camp.stuckCellRate > 0.0) {
+        for (unsigned b = 0; b < slices; ++b) {
+            for (unsigned r = 0; r < size; ++r) {
+                for (unsigned c = 0; c < size; ++c) {
+                    if (!rng.chance(camp.stuckCellRate))
+                        continue;
+                    hw.injectStuckCell(
+                        b, r, c, rng.chance(camp.stuckAtOneFraction));
+                    ++drawn.stuckCells;
+                }
+            }
+        }
+    }
+    if (slices > 0 && rng.chance(camp.stuckColumnRate)) {
+        stuckCols.push_back(
+            {static_cast<unsigned>(rng.below(slices)),
+             static_cast<unsigned>(rng.below(size))});
+        ++drawn.stuckColumns;
+    }
+    if (slices > 0 && (rng.chance(camp.deadCrossbarRate) ||
+                       camp.forcedDeadBlock ==
+                           static_cast<int>(unit))) {
+        hw.killSlice(static_cast<unsigned>(rng.below(slices)));
+        ++drawn.deadCrossbars;
+    }
+
+    hw.attachInjector(this);
+    totals.stuckCells += drawn.stuckCells;
+    totals.stuckColumns += drawn.stuckColumns;
+    totals.deadCrossbars += drawn.deadCrossbars;
+    return drawn;
+}
+
+bool
+FaultInjector::columnStuck(unsigned slice, unsigned col) const
+{
+    return std::find(stuckCols.begin(), stuckCols.end(),
+                     std::make_pair(slice, col)) != stuckCols.end();
+}
+
+std::int64_t
+FaultInjector::faultedRead(unsigned slice, unsigned col,
+                           std::int64_t count, std::int64_t fullScale)
+{
+    if (columnStuck(slice, col)) {
+        ++totals.saturatedConversions;
+        return fullScale;
+    }
+    if (camp.transientUpsetRate > 0.0 &&
+        transientRng.chance(camp.transientUpsetRate)) {
+        if (transientRng.chance(camp.saturationRate)) {
+            ++totals.saturatedConversions;
+            return fullScale;
+        }
+        // Flip one bit of the converted count; the ADC output width
+        // is ceil(log2(fullScale + 1)) bits.
+        unsigned bits = 1;
+        while ((std::int64_t{1} << bits) <= fullScale)
+            ++bits;
+        const auto p =
+            static_cast<unsigned>(transientRng.below(bits));
+        count ^= std::int64_t{1} << p;
+        count = std::clamp<std::int64_t>(count, 0, fullScale);
+        ++totals.transientUpsets;
+    }
+    return count;
+}
+
+} // namespace msc

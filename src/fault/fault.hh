@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unified fault model for the memristive accelerator (Sections IV-E,
+ * VIII-G, and beyond the paper).
+ *
+ * The paper's reliability story rests on AN-code correction plus the
+ * statistical device-noise model; the fault subsystem generalizes
+ * both into one seeded, deterministic campaign covering the failure
+ * modes a deployed crossbar accelerator actually sees:
+ *
+ *  - stuck-at cells: programming-time hard faults in individual
+ *    memristors (stuck on / stuck off), persistent until the array is
+ *    rewritten with spare-row remapping;
+ *  - transient read upsets: per-conversion bit flips at the ADC
+ *    (particle strikes, sense-amp metastability) -- the single-bit
+ *    additive errors the AN code is designed to absorb;
+ *  - conductance drift: read-disturb accumulating with the number of
+ *    MVMs since the last program(), repaired by reprogramming;
+ *  - stuck/saturated ADC columns: peripheral hard faults; a rewrite
+ *    of the array cannot repair the converter;
+ *  - whole-crossbar death: driver/selector failure taking out an
+ *    entire bit-slice array.
+ *
+ * One FaultCampaign (JSON-loadable through core/config) drives both
+ * simulation fidelities: FaultInjector attaches bit-exactly to
+ * HwCluster, where upsets flow through the real shift-and-add and
+ * AN-correction path, and value-level to FaultyAccelOperator
+ * (fault/faulty_operator.hh), which models the *surviving* post-AN
+ * errors on the fast functional path so full solver campaigns stay
+ * cheap. All draws come from per-unit xoshiro streams derived from
+ * the campaign seed, so campaigns are bit-reproducible from a config
+ * file alone.
+ */
+
+#ifndef MSC_FAULT_FAULT_HH
+#define MSC_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace msc {
+
+class JsonValue;
+class HwCluster;
+
+/** Fault taxonomy (DESIGN.md "Fault tolerance & recovery"). */
+enum class FaultKind
+{
+    StuckCell,      //!< programming-time stuck-at memristor
+    TransientUpset, //!< per-conversion ADC bit flip
+    Drift,          //!< read-disturb conductance drift
+    StuckColumn,    //!< saturated ADC column (peripheral)
+    DeadCrossbar,   //!< whole bit-slice array dead
+};
+
+/**
+ * Seeded description of one fault-injection experiment. Rates of 0
+ * (the defaults) disable the corresponding mechanism, so a
+ * default-constructed campaign is fault-free.
+ */
+struct FaultCampaign
+{
+    std::uint64_t seed = 1;
+
+    /** P(stuck-at) per stored element (bit-exact path: per cell). */
+    double stuckCellRate = 0.0;
+    /** Of the stuck cells, fraction stuck at 1 (vs stuck at 0). */
+    double stuckAtOneFraction = 0.5;
+
+    /** Bit-exact path: P(bit flip) per ADC conversion. Functional
+     *  path: P(a surviving upset) per block MVM -- the post-AN
+     *  residue of the same mechanism. */
+    double transientUpsetRate = 0.0;
+    /** Fraction of transient upsets that saturate the conversion
+     *  (full-scale / non-finite output) instead of flipping one bit. */
+    double saturationRate = 0.0;
+
+    /** Relative output error accumulated per MVM since program(). */
+    double driftPerRead = 0.0;
+    /** Accumulated drift level at which a scrub flags the block. */
+    double driftScrubThreshold = 1e-10;
+
+    /** P(one saturated ADC column) per block/cluster programming. */
+    double stuckColumnRate = 0.0;
+    /** P(whole-crossbar death) per block/cluster programming. */
+    double deadCrossbarRate = 0.0;
+    /** Force this block index dead (deterministic experiments);
+     *  -1 disables. */
+    int forcedDeadBlock = -1;
+
+    bool
+    anyEnabled() const
+    {
+        return stuckCellRate > 0.0 || transientUpsetRate > 0.0 ||
+               driftPerRead > 0.0 || stuckColumnRate > 0.0 ||
+               deadCrossbarRate > 0.0 || forcedDeadBlock >= 0;
+    }
+};
+
+/** Build a campaign from a JSON object; unknown keys are fatal. */
+FaultCampaign faultCampaignFromJson(const JsonValue &j);
+
+/** Injection counters, by mechanism. */
+struct FaultStats
+{
+    std::uint64_t stuckCells = 0;
+    std::uint64_t transientUpsets = 0;
+    std::uint64_t saturatedConversions = 0;
+    std::uint64_t stuckColumns = 0;
+    std::uint64_t deadCrossbars = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return stuckCells + transientUpsets + saturatedConversions +
+               stuckColumns + deadCrossbars;
+    }
+};
+
+/**
+ * Deterministic fault source for one campaign.
+ *
+ * Programming-time draws use per-unit streams (streamFor), so the
+ * faults landing on block k do not depend on how many draws other
+ * blocks consumed; run-time (transient) draws use one sequential
+ * stream, deterministic given the apply order.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultCampaign &campaign);
+
+    const FaultCampaign &campaign() const { return camp; }
+    const FaultStats &stats() const { return totals; }
+
+    /** Independent deterministic stream for programming unit @p unit. */
+    Rng streamFor(std::uint64_t unit) const;
+
+    /**
+     * Bit-exact attachment: draw programming-time faults for a
+     * freshly programmed HwCluster (stuck cells, stuck ADC columns,
+     * dead bit-slice crossbars) and register the injector for
+     * per-conversion transients. Call again after re-program() to
+     * model a fresh write of the same physical arrays.
+     */
+    FaultStats inject(HwCluster &hw, std::uint64_t unit = 0);
+
+    /** True when ADC column @p col of slice @p slice is saturated. */
+    bool columnStuck(unsigned slice, unsigned col) const;
+
+    /**
+     * Run one raw ADC conversion result through the transient and
+     * stuck-column models. @p fullScale is the converter full-scale
+     * count (crossbar rows).
+     */
+    std::int64_t faultedRead(unsigned slice, unsigned col,
+                             std::int64_t count,
+                             std::int64_t fullScale);
+
+  private:
+    FaultCampaign camp;
+    Rng transientRng;
+    std::vector<std::pair<unsigned, unsigned>> stuckCols;
+    FaultStats totals;
+};
+
+} // namespace msc
+
+#endif // MSC_FAULT_FAULT_HH

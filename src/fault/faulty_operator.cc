@@ -1,0 +1,249 @@
+#include "fault/faulty_operator.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace msc {
+
+namespace {
+
+/** Full-scale value a saturated ADC column pins its output to:
+ *  far outside any well-scaled block's range, but finite, so the
+ *  failure surfaces as divergence/stagnation rather than NaN. */
+constexpr double stuckFullScale = 1e30;
+
+} // namespace
+
+FaultyAccelOperator::FaultyAccelOperator(
+    const Csr &m, const FaultCampaign &campaign,
+    const BlockingConfig &blocking)
+    : camp(campaign), injector(campaign),
+      plan(planBlocks(m, blocking)),
+      transientRng(injector.streamFor(~std::uint64_t{0})),
+      matRows(m.rows()), matCols(m.cols())
+{
+    state.resize(plan.blocks.size());
+    for (std::size_t k = 0; k < plan.blocks.size(); ++k)
+        drawProgrammingFaults(k);
+}
+
+void
+FaultyAccelOperator::drawProgrammingFaults(std::size_t block)
+{
+    const MatrixBlock &blk = plan.blocks[block];
+    BlockState &st = state[block];
+    Rng rng = injector.streamFor(block);
+
+    st.dead = rng.chance(camp.deadCrossbarRate) ||
+              camp.forcedDeadBlock == static_cast<int>(block);
+    if (st.dead)
+        ++programStats.deadCrossbars;
+
+    if (rng.chance(camp.stuckColumnRate)) {
+        st.stuckColumn =
+            static_cast<int>(rng.below(blk.size));
+        st.stuckValue =
+            (rng.chance(0.5) ? 1.0 : -1.0) * stuckFullScale;
+        ++programStats.stuckColumns;
+    }
+
+    if (camp.stuckCellRate > 0.0) {
+        for (std::size_t e = 0; e < blk.elems.size(); ++e) {
+            if (!rng.chance(camp.stuckCellRate))
+                continue;
+            // A stuck cell the AN code could not absorb perturbs the
+            // mapped coefficient by a bit-weighted fraction of its
+            // magnitude.
+            const double mag = std::fabs(blk.elems[e].val);
+            StuckGlitch g;
+            g.elem = e;
+            g.delta = (rng.chance(0.5) ? 1.0 : -1.0) *
+                      std::ldexp(mag != 0.0 ? mag : 1.0,
+                                 -static_cast<int>(rng.range(0, 10)));
+            st.stuck.push_back(g);
+            ++programStats.stuckCells;
+        }
+    }
+
+    st.driftDir.assign(blk.size, 1);
+    if (camp.driftPerRead > 0.0) {
+        for (auto &d : st.driftDir)
+            d = rng.chance(0.5) ? 1 : -1;
+    }
+}
+
+void
+FaultyAccelOperator::apply(std::span<const double> x,
+                           std::span<double> y)
+{
+    if (x.size() != static_cast<std::size_t>(matCols) ||
+        y.size() != static_cast<std::size_t>(matRows))
+        fatal("FaultyAccelOperator: dimension mismatch");
+
+    // Local-processor part: unblockable leftovers, always exact.
+    plan.unblocked.spmv(x, y);
+
+    const double inf = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < plan.blocks.size(); ++k) {
+        const MatrixBlock &blk = plan.blocks[k];
+        BlockState &st = state[k];
+
+        if (st.exact) {
+            // Degraded: the digital CSR path computes this block.
+            for (const Triplet &el : blk.elems) {
+                const std::int64_t row = blk.rowOrigin + el.row;
+                const std::int64_t col = blk.colOrigin + el.col;
+                if (row < matRows && col < matCols) {
+                    y[static_cast<std::size_t>(row)] +=
+                        el.val *
+                        x[static_cast<std::size_t>(col)];
+                }
+            }
+            continue;
+        }
+        if (st.dead) {
+            // A dead crossbar silently contributes nothing.
+            ++st.reads;
+            continue;
+        }
+
+        yLocal.assign(blk.size, 0.0);
+        for (const Triplet &el : blk.elems) {
+            const std::int64_t col = blk.colOrigin + el.col;
+            if (col < matCols) {
+                yLocal[static_cast<std::size_t>(el.row)] +=
+                    el.val * x[static_cast<std::size_t>(col)];
+            }
+        }
+        for (const StuckGlitch &g : st.stuck) {
+            const Triplet &el = blk.elems[g.elem];
+            const std::int64_t col = blk.colOrigin + el.col;
+            if (col < matCols) {
+                yLocal[static_cast<std::size_t>(el.row)] +=
+                    g.delta * x[static_cast<std::size_t>(col)];
+            }
+        }
+        if (camp.driftPerRead > 0.0) {
+            const double level =
+                camp.driftPerRead * static_cast<double>(st.reads);
+            for (unsigned i = 0; i < blk.size; ++i)
+                yLocal[i] += st.driftDir[i] * level * yLocal[i];
+        }
+        if (st.stuckColumn >= 0)
+            yLocal[static_cast<std::size_t>(st.stuckColumn)] =
+                st.stuckValue;
+        if (camp.transientUpsetRate > 0.0 &&
+            transientRng.chance(camp.transientUpsetRate)) {
+            const auto row = static_cast<std::size_t>(
+                transientRng.below(blk.size));
+            if (transientRng.chance(camp.saturationRate)) {
+                yLocal[row] = inf;
+                ++applyStats.saturatedConversions;
+            } else {
+                // A surviving multi-bit upset lands near the top of
+                // the output's significance window.
+                const double mag = std::fabs(yLocal[row]);
+                yLocal[row] +=
+                    (transientRng.chance(0.5) ? 1.0 : -1.0) *
+                    std::ldexp(mag != 0.0 ? mag : 1.0,
+                               static_cast<int>(
+                                   transientRng.range(-2, 8)));
+                ++applyStats.transientUpsets;
+            }
+        }
+        ++st.reads;
+
+        for (unsigned i = 0; i < blk.size; ++i) {
+            const std::int64_t row = blk.rowOrigin + i;
+            if (row < matRows)
+                y[static_cast<std::size_t>(row)] += yLocal[i];
+        }
+    }
+}
+
+std::size_t
+FaultyAccelOperator::blockCount() const
+{
+    return plan.blocks.size();
+}
+
+std::vector<std::size_t>
+FaultyAccelOperator::scrub()
+{
+    // AN-readback scan: persistent damage is visible by reading the
+    // stored words back and checking residues; transient upsets
+    // leave no trace. Degraded blocks have no mapped hardware left.
+    std::vector<std::size_t> suspects;
+    for (std::size_t k = 0; k < state.size(); ++k) {
+        const BlockState &st = state[k];
+        if (st.exact)
+            continue;
+        const bool drifted =
+            camp.driftPerRead > 0.0 &&
+            camp.driftPerRead * static_cast<double>(st.reads) >
+                camp.driftScrubThreshold;
+        if (st.dead || st.stuckColumn >= 0 || !st.stuck.empty() ||
+            drifted)
+            suspects.push_back(k);
+    }
+    return suspects;
+}
+
+bool
+FaultyAccelOperator::reprogram(std::size_t block)
+{
+    if (block >= state.size())
+        fatal("FaultyAccelOperator::reprogram: no such block");
+    BlockState &st = state[block];
+    if (st.exact)
+        return true;
+    // A rewrite with spare-row remapping clears cell-level damage
+    // and resets drift; it cannot resurrect dead periphery.
+    st.stuck.clear();
+    st.reads = 0;
+    return !st.dead && st.stuckColumn < 0;
+}
+
+void
+FaultyAccelOperator::degrade(std::size_t block)
+{
+    if (block >= state.size())
+        fatal("FaultyAccelOperator::degrade: no such block");
+    state[block].exact = true;
+}
+
+bool
+FaultyAccelOperator::isDegraded(std::size_t block) const
+{
+    if (block >= state.size())
+        fatal("FaultyAccelOperator::isDegraded: no such block");
+    return state[block].exact;
+}
+
+bool
+FaultyAccelOperator::blockDead(std::size_t block) const
+{
+    return state.at(block).dead;
+}
+
+int
+FaultyAccelOperator::blockStuckColumn(std::size_t block) const
+{
+    return state.at(block).stuckColumn;
+}
+
+std::size_t
+FaultyAccelOperator::blockStuckCells(std::size_t block) const
+{
+    return state.at(block).stuck.size();
+}
+
+std::uint64_t
+FaultyAccelOperator::blockReads(std::size_t block) const
+{
+    return state.at(block).reads;
+}
+
+} // namespace msc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fast functional solver operator with value-level fault injection.
+ *
+ * ClusterArithmeticOperator proves the arithmetic bit-exactly but is
+ * orders of magnitude too slow for solver-scale fault campaigns.
+ * FaultyAccelOperator keeps the same structure -- blocking
+ * preprocessor, one mapped unit per block, exact local-processor CSR
+ * for the leftovers -- and injects the *surviving* (post-AN-
+ * correction) manifestation of each fault mechanism directly on the
+ * block outputs:
+ *
+ *  - stuck cells  -> static coefficient perturbations, cleared by a
+ *                    rewrite with spare-row remapping (reprogram);
+ *  - drift        -> relative output error growing with the number
+ *                    of MVMs since the last program();
+ *  - transients   -> sporadic large output errors, occasionally a
+ *                    saturated (non-finite) conversion;
+ *  - stuck ADC column  -> one block row pinned at full scale; a
+ *                    rewrite cannot fix the converter;
+ *  - dead crossbar     -> the whole block contributes nothing.
+ *
+ * It implements RecoverableOperator, so ResilientSolver can scrub,
+ * reprogram, and degrade it mid-solve. All randomness derives from
+ * the campaign seed (per-block programming streams + one run-time
+ * stream), making campaigns bit-reproducible.
+ */
+
+#ifndef MSC_FAULT_FAULTY_OPERATOR_HH
+#define MSC_FAULT_FAULTY_OPERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "blocking/blocking.hh"
+#include "fault/fault.hh"
+#include "solver/resilient.hh"
+
+namespace msc {
+
+class FaultyAccelOperator : public RecoverableOperator
+{
+  public:
+    FaultyAccelOperator(const Csr &m, const FaultCampaign &campaign,
+                        const BlockingConfig &blocking
+                        = defaultBlocking());
+
+    std::int32_t rows() const override { return matRows; }
+    std::int32_t cols() const override { return matCols; }
+    void apply(std::span<const double> x,
+               std::span<double> y) override;
+
+    // RecoverableOperator maintenance surface.
+    std::size_t blockCount() const override;
+    std::vector<std::size_t> scrub() override;
+    bool reprogram(std::size_t block) override;
+    void degrade(std::size_t block) override;
+    bool isDegraded(std::size_t block) const override;
+
+    const BlockPlan &blockPlan() const { return plan; }
+    const FaultCampaign &campaign() const { return camp; }
+    /** Faults injected at programming time (all blocks). */
+    const FaultStats &injected() const { return programStats; }
+    /** Run-time (transient) fault counters so far. */
+    const FaultStats &runtimeStats() const { return applyStats; }
+
+    // Per-block introspection (tests, benches).
+    bool blockDead(std::size_t block) const;
+    int blockStuckColumn(std::size_t block) const;
+    std::size_t blockStuckCells(std::size_t block) const;
+    std::uint64_t blockReads(std::size_t block) const;
+
+    /** Block sizes suited to the small matrices fault campaigns
+     *  run on (mirrors ClusterArithmeticOperator::smallSizes). */
+    static BlockingConfig
+    defaultBlocking()
+    {
+        BlockingConfig cfg;
+        cfg.sizes = {64, 32, 16};
+        cfg.densityFactor = 2.0;
+        return cfg;
+    }
+
+  private:
+    /** A surviving stuck-cell error on one mapped coefficient. */
+    struct StuckGlitch
+    {
+        std::size_t elem = 0; //!< index into the block's elems
+        double delta = 0.0;   //!< additive coefficient error
+    };
+
+    struct BlockState
+    {
+        bool dead = false;
+        bool exact = false;   //!< degraded to the digital CSR path
+        int stuckColumn = -1; //!< block row pinned by a bad ADC
+        double stuckValue = 0.0;
+        std::vector<StuckGlitch> stuck;
+        std::vector<std::int8_t> driftDir; //!< per block row, +/-1
+        std::uint64_t reads = 0; //!< MVMs since last program()
+    };
+
+    void drawProgrammingFaults(std::size_t block);
+
+    FaultCampaign camp;
+    FaultInjector injector;
+    BlockPlan plan;
+    std::vector<BlockState> state;
+    FaultStats programStats;
+    FaultStats applyStats;
+    Rng transientRng;
+    std::int32_t matRows = 0;
+    std::int32_t matCols = 0;
+    std::vector<double> yLocal;
+};
+
+} // namespace msc
+
+#endif // MSC_FAULT_FAULTY_OPERATOR_HH

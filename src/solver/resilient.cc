@@ -1,0 +1,216 @@
+#include "solver/resilient.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace msc {
+
+namespace {
+
+bool
+allFinite(std::span<const double> v)
+{
+    for (double x : v) {
+        if (!std::isfinite(x))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+ResilientSolver::ResilientSolver(RecoverableOperator &oper,
+                                 SolverKind solverKind,
+                                 const SolverConfig &config,
+                                 const RecoveryPolicy &recovery)
+    : op(oper), kind(solverKind), cfg(config), policy(recovery)
+{
+    if (policy.checkpointInterval < 1)
+        fatal("ResilientSolver: checkpointInterval must be >= 1");
+    // Auto is an experiment-level concept (core/experiment); at this
+    // layer default it to the general-purpose method.
+    if (kind == SolverKind::Auto)
+        kind = SolverKind::BiCgStab;
+}
+
+SolverResult
+ResilientSolver::runSegment(std::span<const double> b,
+                            std::span<double> x, int iters)
+{
+    SolverConfig seg = cfg;
+    seg.maxIterations = iters;
+    switch (kind) {
+      case SolverKind::Auto: // mapped in the constructor
+      case SolverKind::BiCgStab:
+        return biCgStab(op, b, x, seg);
+      case SolverKind::Cg:
+        return conjugateGradient(op, b, x, seg);
+      case SolverKind::Gmres:
+        return gmres(op, b, x, seg,
+                     std::min(gmresRestart, iters));
+    }
+    fatal("ResilientSolver: unreachable solver kind");
+}
+
+SolverResult
+ResilientSolver::solve(std::span<const double> b, std::span<double> x)
+{
+    if (b.size() != x.size() ||
+        b.size() != static_cast<std::size_t>(op.rows()))
+        fatal("ResilientSolver: dimension mismatch");
+
+    SolverResult total;
+    total.vectorLength = b.size();
+    RecoveryStats &rec = total.recovery;
+
+    std::vector<double> xGood(x.begin(), x.end());
+    if (!allFinite(xGood))
+        fatal("ResilientSolver: initial guess is not finite");
+
+    std::vector<int> repairs(op.blockCount(), 0);
+    const double inf = std::numeric_limits<double>::infinity();
+    double bestRes = inf;  //!< best finite residual seen
+    double prevRes = inf;  //!< previous segment's residual
+    double lastRes = inf;  //!< last finite residual
+    int stagnant = 0;
+    int recoveries = 0;
+    int itersUsed = 0;
+
+    // Reprogram-or-degrade every suspect block; returns true when
+    // any maintenance action was taken.
+    const auto repairSuspects =
+        [&](const std::vector<std::size_t> &suspects) {
+            bool acted = false;
+            for (std::size_t k : suspects) {
+                if (op.isDegraded(k))
+                    continue;
+                if (repairs[k] < policy.maxReprogramsPerBlock) {
+                    ++repairs[k];
+                    ++rec.reprograms;
+                    if (!op.reprogram(k)) {
+                        ++rec.reprogramFailures;
+                        op.degrade(k);
+                        ++rec.fallbacks;
+                    }
+                } else {
+                    // Healed twice and damaged again: stop trusting
+                    // the hardware for this block.
+                    op.degrade(k);
+                    ++rec.fallbacks;
+                }
+                acted = true;
+            }
+            return acted;
+        };
+
+    // One rung of the ladder after a detection event. @p restore
+    // rewinds the iterate to the last good checkpoint first.
+    const auto escalate = [&](bool restore) {
+        if (restore) {
+            std::copy(xGood.begin(), xGood.end(), x.begin());
+            ++rec.checkpointRestarts;
+        }
+        ++rec.scrubs;
+        repairSuspects(op.scrub());
+        ++recoveries;
+        if (recoveries >= policy.maxRecoveries) {
+            // Final rung: graceful degradation of everything still
+            // mapped; the solve finishes on exact arithmetic.
+            for (std::size_t k = 0; k < op.blockCount(); ++k) {
+                if (!op.isDegraded(k)) {
+                    op.degrade(k);
+                    ++rec.fallbacks;
+                }
+            }
+        }
+        stagnant = 0;
+        prevRes = inf;
+    };
+
+    while (itersUsed < cfg.maxIterations) {
+        const int segIters = std::min(policy.checkpointInterval,
+                                      cfg.maxIterations - itersUsed);
+        const SolverResult seg = runSegment(b, x, segIters);
+        ++rec.segments;
+        // Breakdown segments can report zero iterations; always
+        // charge at least one so the loop is bounded.
+        itersUsed += std::max(1, seg.iterations);
+        total.spmvCalls += seg.spmvCalls;
+        total.dotCalls += seg.dotCalls;
+        total.axpyCalls += seg.axpyCalls;
+        total.precondApplies += seg.precondApplies;
+
+        const double res = seg.relResidual;
+        if (!std::isfinite(res) || !allFinite(x)) {
+            ++rec.nanEvents;
+            escalate(true);
+            continue;
+        }
+        lastRes = res;
+
+        if (seg.converged) {
+            // Trust but verify: a residual computed by damaged
+            // hardware can look converged. Scrub once; only a clean
+            // scan makes the result final.
+            ++rec.scrubs;
+            const auto suspects = op.scrub();
+            if (suspects.empty()) {
+                total.converged = true;
+                break;
+            }
+            repairSuspects(suspects);
+            continue;
+        }
+
+        if (res > policy.divergenceFactor * bestRes) {
+            ++rec.divergenceEvents;
+            escalate(true);
+            continue;
+        }
+        if (res > policy.stagnationTol * prevRes) {
+            if (++stagnant >= policy.stagnationSegments) {
+                ++rec.stagnationEvents;
+                // Keep the iterate unless it regressed past the
+                // checkpoint.
+                escalate(res > bestRes);
+                continue;
+            }
+        } else {
+            stagnant = 0;
+        }
+        if (res < bestRes) {
+            bestRes = res;
+            std::copy(x.begin(), x.end(), xGood.begin());
+        }
+        prevRes = res;
+
+        // Background scrub: silent faults (a dead crossbar simply
+        // omits its contribution) may never perturb the residual
+        // stream; catch them on a fixed cadence.
+        if (policy.scrubEverySegments > 0 &&
+            rec.segments %
+                    static_cast<std::uint64_t>(
+                        policy.scrubEverySegments) ==
+                0) {
+            ++rec.scrubs;
+            repairSuspects(op.scrub());
+        }
+    }
+
+    if (!allFinite(x))
+        std::copy(xGood.begin(), xGood.end(), x.begin());
+    total.iterations = itersUsed;
+    total.relResidual = std::isfinite(lastRes) ? lastRes : bestRes;
+    if (!std::isfinite(total.relResidual))
+        total.relResidual = 1.0; // never report NaN/Inf upward
+    if (!total.converged)
+        total.converged = total.relResidual <= cfg.tolerance;
+    for (std::size_t k = 0; k < op.blockCount(); ++k)
+        rec.degradedBlocks += op.isDegraded(k) ? 1 : 0;
+    return total;
+}
+
+} // namespace msc

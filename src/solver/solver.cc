@@ -19,6 +19,15 @@ checkSystem(const LinearOperator &a, std::span<const double> b,
         fatal("solver: dimension mismatch");
 }
 
+/** Breakdown guard: denominators this small (or non-finite) would
+ *  amplify the next update into garbage rather than progress. */
+bool
+breakdown(double denom)
+{
+    return !std::isfinite(denom) ||
+           std::fabs(denom) < 1e-300;
+}
+
 } // namespace
 
 SolverResult
@@ -111,6 +120,11 @@ biCgStab(LinearOperator &a, std::span<const double> b,
 
     double resNorm = norm2(r);
     ++res.dotCalls;
+    // Last iterate whose residual was finite: breakdown must return
+    // a finite residual and never leave NaN in x, even when the
+    // operator itself misbehaves (fault injection).
+    std::vector<double> xSafe(x.begin(), x.end());
+    double safeNorm = resNorm;
     for (int it = 0; it < cfg.maxIterations; ++it) {
         if (resNorm / bNorm <= cfg.tolerance) {
             res.converged = true;
@@ -118,11 +132,17 @@ biCgStab(LinearOperator &a, std::span<const double> b,
         }
         const double rhoNew = dot(rHat, r);
         ++res.dotCalls;
-        if (rhoNew == 0.0) {
-            warn("BiCG-STAB: breakdown (rho = 0) at iteration ", it);
+        if (breakdown(rhoNew)) {
+            warn("BiCG-STAB: breakdown (rho = ", rhoNew,
+                 ") at iteration ", it);
             break;
         }
         const double beta = (rhoNew / rho) * (alpha / omega);
+        if (!std::isfinite(beta)) {
+            warn("BiCG-STAB: breakdown (beta not finite) at "
+                 "iteration ", it);
+            break;
+        }
         rho = rhoNew;
         // p = r + beta (p - omega v)
         for (std::size_t i = 0; i < n; ++i)
@@ -132,12 +152,17 @@ biCgStab(LinearOperator &a, std::span<const double> b,
         ++res.spmvCalls;
         const double rHatV = dot(rHat, v);
         ++res.dotCalls;
-        if (rHatV == 0.0) {
-            warn("BiCG-STAB: breakdown (rHat'v = 0) at iteration ",
-                 it);
+        if (breakdown(rHatV)) {
+            warn("BiCG-STAB: breakdown (rHat'v = ", rHatV,
+                 ") at iteration ", it);
             break;
         }
         alpha = rho / rHatV;
+        if (!std::isfinite(alpha)) {
+            warn("BiCG-STAB: breakdown (alpha not finite) at "
+                 "iteration ", it);
+            break;
+        }
         for (std::size_t i = 0; i < n; ++i)
             s[i] = r[i] - alpha * v[i];
         ++res.axpyCalls;
@@ -156,24 +181,43 @@ biCgStab(LinearOperator &a, std::span<const double> b,
         const double tt = dot(t, t);
         const double ts = dot(t, s);
         res.dotCalls += 2;
-        if (tt == 0.0) {
-            warn("BiCG-STAB: breakdown (t = 0) at iteration ", it);
+        if (breakdown(tt)) {
+            warn("BiCG-STAB: breakdown (t't = ", tt,
+                 ") at iteration ", it);
             break;
         }
         omega = ts / tt;
+        if (!std::isfinite(omega)) {
+            warn("BiCG-STAB: breakdown (omega not finite) at "
+                 "iteration ", it);
+            break;
+        }
         // x += alpha p + omega s ; r = s - omega t
         for (std::size_t i = 0; i < n; ++i) {
             x[i] += alpha * p[i] + omega * s[i];
             r[i] = s[i] - omega * t[i];
         }
         res.axpyCalls += 3;
-        if (omega == 0.0) {
-            warn("BiCG-STAB: breakdown (omega = 0) at iteration ", it);
-            break;
-        }
         resNorm = norm2(r);
         ++res.dotCalls;
         ++res.iterations;
+        if (std::isfinite(resNorm)) {
+            std::copy(x.begin(), x.end(), xSafe.begin());
+            safeNorm = resNorm;
+        }
+        if (breakdown(omega)) {
+            // omega ~ 0: the next beta would blow up; stop with the
+            // update already applied.
+            warn("BiCG-STAB: breakdown (omega = ", omega,
+                 ") at iteration ", it);
+            break;
+        }
+    }
+    if (!std::isfinite(resNorm)) {
+        // The operator injected non-finite values (device faults):
+        // report the last finite state instead of propagating NaN.
+        std::copy(xSafe.begin(), xSafe.end(), x.begin());
+        resNorm = safeNorm;
     }
     res.relResidual = resNorm / bNorm;
     res.converged = res.relResidual <= cfg.tolerance;

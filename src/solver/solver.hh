@@ -74,10 +74,51 @@ class CsrOperator : public TransposableOperator
     const Csr *mat;
 };
 
+/** Which Krylov method to run. */
+enum class SolverKind
+{
+    Auto, //!< CG for SPD entries, BiCG-STAB otherwise (the paper)
+    Cg,
+    BiCgStab,
+    Gmres,
+};
+
 struct SolverConfig
 {
     double tolerance = 1e-10;  //!< relative residual target
     int maxIterations = 5000;
+};
+
+/**
+ * Escalation record of a resilient solve (solver/resilient.hh).
+ * Zero-initialized (and meaningless) for plain solver runs.
+ */
+struct RecoveryStats
+{
+    // Detection events on the residual stream.
+    std::uint64_t nanEvents = 0;        //!< NaN/Inf in residual or x
+    std::uint64_t divergenceEvents = 0; //!< residual blowup vs best
+    std::uint64_t stagnationEvents = 0; //!< no progress over segments
+    // Escalation actions taken.
+    std::uint64_t scrubs = 0;             //!< AN-readback scans
+    std::uint64_t reprograms = 0;         //!< crossbar rewrites
+    std::uint64_t reprogramFailures = 0;  //!< rewrite did not heal
+    std::uint64_t checkpointRestarts = 0; //!< x restored to last good
+    std::uint64_t fallbacks = 0;          //!< blocks degraded to CSR
+    std::uint64_t segments = 0;           //!< solver segments run
+    std::uint64_t degradedBlocks = 0;     //!< blocks exact at exit
+
+    std::uint64_t
+    events() const
+    {
+        return nanEvents + divergenceEvents + stagnationEvents;
+    }
+
+    std::uint64_t
+    actions() const
+    {
+        return reprograms + checkpointRestarts + fallbacks;
+    }
 };
 
 struct SolverResult
@@ -91,6 +132,8 @@ struct SolverResult
     std::uint64_t axpyCalls = 0;
     std::uint64_t precondApplies = 0;
     std::uint64_t vectorLength = 0;
+    /** Fault-recovery record when run under ResilientSolver. */
+    RecoveryStats recovery;
 };
 
 /** Conjugate gradient; requires a symmetric positive definite A. */

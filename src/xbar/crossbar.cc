@@ -28,6 +28,13 @@ BinaryCrossbar::get(unsigned row, unsigned col) const
     return colBits[col].get(row);
 }
 
+void
+BinaryCrossbar::clear()
+{
+    for (auto &col : colBits)
+        col.resize(nRows);
+}
+
 unsigned
 BinaryCrossbar::applyCic()
 {

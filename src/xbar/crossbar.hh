@@ -32,6 +32,14 @@ class BinaryCrossbar
     bool get(unsigned row, unsigned col) const;
 
     /**
+     * Zero every stored cell, keeping the CIC inversion flags: a
+     * dead array reads no current, but the digital invert-coding
+     * correction downstream still fires. Models whole-crossbar
+     * death (driver/selector failure) for the fault subsystem.
+     */
+    void clear();
+
+    /**
      * Computational invert coding (Section V-B2): store the
      * complement of any column with more than rows/2 ones, so the
      * ADC never needs the full log2(N+1) bits. Returns the number of

@@ -262,5 +262,131 @@ TEST(AnCode, RejectsBadConstants)
     EXPECT_THROW(AnCode(251, 260), FatalError); // operand too wide
 }
 
+TEST(AnCode, CorrectSignedSignFlipAtEveryLowPosition)
+{
+    // Any error -2^p with 2^p > A*v flips the sign; signed
+    // correction must undo all of them, not just one position.
+    const AnCode code;
+    const U256 truth = code.encode(U128(1)); // 269, 9 bits
+    for (unsigned p = 10; p < 120; ++p) {
+        U256 mag = (U256(1) << p) - truth;
+        bool neg = true;
+        EXPECT_EQ(code.correctSigned(mag, neg),
+                  AnCode::Outcome::Corrected) << "p=" << p;
+        EXPECT_FALSE(neg) << "p=" << p;
+        EXPECT_EQ(mag, truth) << "p=" << p;
+    }
+}
+
+TEST(AnCode, CorrectSignedDoubleBitUncorrectable)
+{
+    // A double error 2^p + 2^q whose combined syndrome matches no
+    // +/-2^m with m inside the operand must be flagged Uncorrectable
+    // and must leave the word untouched. Such syndromes exist
+    // because the operand (127 bits) covers only part of the 268
+    // nonzero residues mod 269.
+    const AnCode code;
+    const std::uint64_t a = code.a();
+    // Discrete log base 2 mod A (2 is a primitive root of 269).
+    std::vector<int> dlog(a, -1);
+    std::uint64_t pow = 1;
+    for (unsigned p = 0; p < code.ord2(); ++p) {
+        if (dlog[pow] < 0)
+            dlog[pow] = static_cast<int>(p);
+        pow = (pow * 2) % a;
+    }
+    // Find p < q < codeBits whose sum syndrome has no in-operand
+    // interpretation in either direction.
+    std::vector<std::uint64_t> pw(code.codeBits());
+    pow = 1;
+    for (unsigned p = 0; p < code.codeBits(); ++p) {
+        pw[p] = pow;
+        pow = (pow * 2) % a;
+    }
+    unsigned foundP = 0, foundQ = 0;
+    bool found = false;
+    for (unsigned p = 0; p < code.codeBits() && !found; ++p) {
+        for (unsigned q = p + 1; q < code.codeBits() && !found;
+             ++q) {
+            const std::uint64_t s = (pw[p] + pw[q]) % a;
+            const std::uint64_t sNeg = (a - s) % a;
+            const bool plusIn =
+                s != 0 && dlog[s] >= 0 &&
+                dlog[s] < static_cast<int>(code.codeBits());
+            const bool minusIn =
+                sNeg != 0 && dlog[sNeg] >= 0 &&
+                dlog[sNeg] < static_cast<int>(code.codeBits());
+            if (s != 0 && !plusIn && !minusIn) {
+                foundP = p;
+                foundQ = q;
+                found = true;
+            }
+        }
+    }
+    ASSERT_TRUE(found);
+
+    const U256 truth = code.encode(U128(0x1234567));
+    U256 mag = truth + (U256(1) << foundP) + (U256(1) << foundQ);
+    const U256 corrupted = mag;
+    bool neg = false;
+    EXPECT_EQ(code.correctSigned(mag, neg),
+              AnCode::Outcome::Uncorrectable);
+    EXPECT_EQ(mag, corrupted); // untouched on failure
+    EXPECT_FALSE(neg);
+    // The unsigned path must agree.
+    U256 mag2 = corrupted;
+    EXPECT_EQ(code.correct(mag2), AnCode::Outcome::Uncorrectable);
+    EXPECT_EQ(mag2, corrupted);
+}
+
+TEST(AnCode, Paper251AmbiguityWindowMiscorrects)
+{
+    // With A = 251 (ord_2 = 50, window 25), 2^25 == -1 (mod 251),
+    // so a +2^30 error shares its syndrome with -2^5. The decoder
+    // picks the low-position interpretation and *adds* 2^5: the
+    // result is a valid code word -- silently the wrong one. This is
+    // exactly why the default constant deviates from the paper.
+    const AnCode code(251, 118);
+    const U256 w = code.encode(U128(0xabcde));
+    U256 bad = w + (U256(1) << 30);
+    EXPECT_EQ(code.correct(bad), AnCode::Outcome::Corrected);
+    EXPECT_TRUE(code.check(bad)); // a code word...
+    EXPECT_NE(bad, w);            // ...but not the right one
+    EXPECT_EQ(bad, w + (U256(1) << 30) + (U256(1) << 5));
+
+    // Restricted to the unique window the same machinery is exact.
+    U256 low = w + (U256(1) << 7);
+    EXPECT_EQ(code.correct(low, code.uniqueWindow()),
+              AnCode::Outcome::Corrected);
+    EXPECT_EQ(low, w);
+
+    // correctSigned inherits both behaviours.
+    U256 mag = w + (U256(1) << 30);
+    bool neg = false;
+    EXPECT_EQ(code.correctSigned(mag, neg),
+              AnCode::Outcome::Corrected);
+    EXPECT_NE(mag, w);
+    U256 magLow = w + (U256(1) << 7);
+    neg = false;
+    EXPECT_EQ(code.correctSigned(magLow, neg, code.uniqueWindow()),
+              AnCode::Outcome::Corrected);
+    EXPECT_EQ(magLow, w);
+    EXPECT_FALSE(neg);
+}
+
+TEST(AnCode, CorrectSignedZeroResultNormalizesSign)
+{
+    // Truth is zero; a -2^12 error leaves the bare error term as a
+    // negative magnitude. Correction must return plain zero with the
+    // canonical positive sign (-0 must not escape the ECU).
+    const AnCode code;
+    U256 mag = U256(1) << 12;
+    bool neg = true;
+    EXPECT_EQ(code.correctSigned(mag, neg),
+              AnCode::Outcome::Corrected);
+    EXPECT_TRUE(mag.isZero());
+    EXPECT_FALSE(neg); // -0 is normalized to +0
+}
+
 } // namespace
 } // namespace msc

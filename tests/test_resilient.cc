@@ -1,0 +1,300 @@
+/**
+ * @file
+ * End-to-end tests for the self-healing solver runtime
+ * (solver/resilient.hh + fault/faulty_operator.hh): detection,
+ * escalation through reprogram and fallback, checkpoint restarts,
+ * and bit-reproducible campaigns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/faulty_operator.hh"
+#include "solver/resilient.hh"
+#include "sparse/gen.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace msc {
+namespace {
+
+double
+relResidual(const Csr &a, std::span<const double> b,
+            std::span<const double> x)
+{
+    std::vector<double> ax(b.size());
+    a.spmv(x, ax);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        num += (b[i] - ax[i]) * (b[i] - ax[i]);
+        den += b[i] * b[i];
+    }
+    return std::sqrt(num / den);
+}
+
+Csr
+spdMatrix(std::int32_t n, std::uint64_t seed)
+{
+    TiledParams p;
+    p.rows = n;
+    p.tile = 16;
+    p.tileDensity = 0.3;
+    p.spd = true;
+    p.symmetricPattern = true;
+    p.diagDominance = 0.05;
+    p.seed = seed;
+    return genTiled(p);
+}
+
+Csr
+generalMatrix(std::int32_t n, std::uint64_t seed)
+{
+    TiledParams p;
+    p.rows = n;
+    p.tile = 16;
+    p.tileDensity = 0.3;
+    p.scatterPerRow = 1.0;
+    p.symmetricPattern = false;
+    p.diagDominance = 0.2;
+    p.seed = seed;
+    return genTiled(p);
+}
+
+TEST(ResilientSolver, RejectsBadPolicy)
+{
+    const Csr m = spdMatrix(64, 1);
+    FaultyAccelOperator op(m, FaultCampaign{});
+    RecoveryPolicy policy;
+    policy.checkpointInterval = 0;
+    EXPECT_THROW(
+        ResilientSolver(op, SolverKind::Cg, SolverConfig{}, policy),
+        FatalError);
+}
+
+TEST(ResilientSolver, FaultFreeRunIsQuiet)
+{
+    const Csr m = spdMatrix(256, 17);
+    FaultyAccelOperator op(m, FaultCampaign{}); // no faults
+    SolverConfig cfg;
+    cfg.tolerance = 1e-8;
+    cfg.maxIterations = 2000;
+    ResilientSolver solver(op, SolverKind::Cg, cfg);
+    std::vector<double> b(static_cast<std::size_t>(m.rows()), 1.0);
+    std::vector<double> x(b.size(), 0.0);
+    const SolverResult r = solver.solve(b, x);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(relResidual(m, b, x), 1e-6);
+    const RecoveryStats &rec = r.recovery;
+    EXPECT_EQ(rec.nanEvents, 0u);
+    EXPECT_EQ(rec.reprograms, 0u);
+    EXPECT_EQ(rec.fallbacks, 0u);
+    EXPECT_EQ(rec.checkpointRestarts, 0u);
+    EXPECT_EQ(rec.degradedBlocks, 0u);
+    EXPECT_GT(rec.segments, 0u);
+}
+
+/**
+ * The acceptance scenario: mid-solve transient upsets (some of them
+ * saturating to non-finite values) plus one dead crossbar and a
+ * sprinkle of stuck cells. The resilient run must converge to the
+ * same tolerance as the fault-free run, record at least one
+ * reprogram and/or fallback, and never hand a non-finite iterate
+ * back to the caller.
+ */
+TEST(ResilientSolver, RecoversFromTransientsAndDeadCrossbar)
+{
+    const Csr m = spdMatrix(256, 17);
+    std::vector<double> b(static_cast<std::size_t>(m.rows()), 1.0);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-8;
+    cfg.maxIterations = 4000;
+
+    // Fault-free reference.
+    FaultyAccelOperator clean(m, FaultCampaign{});
+    ResilientSolver refSolver(clean, SolverKind::Cg, cfg);
+    std::vector<double> xRef(b.size(), 0.0);
+    const SolverResult ref = refSolver.solve(b, xRef);
+    ASSERT_TRUE(ref.converged);
+
+    FaultCampaign camp;
+    camp.seed = 99;
+    camp.stuckCellRate = 0.01;
+    camp.transientUpsetRate = 0.02;
+    camp.saturationRate = 0.3;
+    camp.forcedDeadBlock = 0;
+    FaultyAccelOperator op(m, camp);
+    ASSERT_TRUE(op.blockDead(0));
+
+    ResilientSolver solver(op, SolverKind::Cg, cfg);
+    std::vector<double> x(b.size(), 0.0);
+    const SolverResult r = solver.solve(b, x);
+
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(r.relResidual, cfg.tolerance);
+    // Converged against the *true* system, not the faulty operator.
+    EXPECT_LT(relResidual(m, b, x), 1e-6);
+    for (double v : x)
+        EXPECT_TRUE(std::isfinite(v));
+
+    const RecoveryStats &rec = r.recovery;
+    // The dead crossbar is unhealable: its reprogram fails and it
+    // must end up degraded.
+    EXPECT_GE(rec.reprograms + rec.fallbacks, 1u);
+    EXPECT_GE(rec.fallbacks, 1u);
+    EXPECT_TRUE(op.isDegraded(0));
+    EXPECT_GE(rec.scrubs, 1u);
+    EXPECT_GE(rec.degradedBlocks, 1u);
+}
+
+TEST(ResilientSolver, CampaignsAreDeterministic)
+{
+    // Two runs with the same campaign seed must produce identical
+    // RecoveryStats, iteration counts, and iterates -- bit for bit.
+    const Csr m = spdMatrix(256, 17);
+    std::vector<double> b(static_cast<std::size_t>(m.rows()), 1.0);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-8;
+    cfg.maxIterations = 4000;
+    FaultCampaign camp;
+    camp.seed = 99;
+    camp.stuckCellRate = 0.01;
+    camp.transientUpsetRate = 0.02;
+    camp.saturationRate = 0.3;
+    camp.forcedDeadBlock = 0;
+
+    auto run = [&](std::vector<double> &x) {
+        FaultyAccelOperator op(m, camp);
+        ResilientSolver solver(op, SolverKind::Cg, cfg);
+        return solver.solve(b, x);
+    };
+    std::vector<double> x1(b.size(), 0.0), x2(b.size(), 0.0);
+    const SolverResult r1 = run(x1);
+    const SolverResult r2 = run(x2);
+
+    EXPECT_EQ(r1.converged, r2.converged);
+    EXPECT_EQ(r1.iterations, r2.iterations);
+    EXPECT_EQ(r1.relResidual, r2.relResidual);
+    const RecoveryStats &a = r1.recovery, &c = r2.recovery;
+    EXPECT_EQ(a.nanEvents, c.nanEvents);
+    EXPECT_EQ(a.divergenceEvents, c.divergenceEvents);
+    EXPECT_EQ(a.stagnationEvents, c.stagnationEvents);
+    EXPECT_EQ(a.scrubs, c.scrubs);
+    EXPECT_EQ(a.reprograms, c.reprograms);
+    EXPECT_EQ(a.reprogramFailures, c.reprogramFailures);
+    EXPECT_EQ(a.checkpointRestarts, c.checkpointRestarts);
+    EXPECT_EQ(a.fallbacks, c.fallbacks);
+    EXPECT_EQ(a.segments, c.segments);
+    EXPECT_EQ(a.degradedBlocks, c.degradedBlocks);
+    for (std::size_t i = 0; i < x1.size(); ++i)
+        EXPECT_EQ(x1[i], x2[i]) << "row " << i;
+}
+
+TEST(ResilientSolver, SaturationStormTriggersNanPathAndHeals)
+{
+    // Every block MVM saturates one output to Inf: the CG residual
+    // goes non-finite almost immediately. The runtime must detect
+    // every event, restart from checkpoints, exhaust its recovery
+    // budget, degrade everything, and still deliver the solution.
+    const Csr m = spdMatrix(192, 23);
+    std::vector<double> b(static_cast<std::size_t>(m.rows()), 1.0);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-8;
+    cfg.maxIterations = 4000;
+    FaultCampaign camp;
+    camp.seed = 7;
+    camp.transientUpsetRate = 1.0;
+    camp.saturationRate = 1.0;
+    FaultyAccelOperator op(m, camp);
+    ResilientSolver solver(op, SolverKind::Cg, cfg);
+    std::vector<double> x(b.size(), 0.0);
+    const SolverResult r = solver.solve(b, x);
+
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(relResidual(m, b, x), 1e-6);
+    for (double v : x)
+        EXPECT_TRUE(std::isfinite(v));
+    const RecoveryStats &rec = r.recovery;
+    EXPECT_GE(rec.nanEvents, 1u);
+    EXPECT_GE(rec.checkpointRestarts, 1u);
+    // Transients leave no scrub trace; healing comes from the final
+    // degrade-everything rung.
+    EXPECT_EQ(rec.degradedBlocks, op.blockCount());
+}
+
+TEST(ResilientSolver, StuckAdcColumnIsDegradedNotReprogrammed)
+{
+    // A saturated ADC column pins one output at 1e30 -- finite, so
+    // it surfaces as stagnation/divergence, and a rewrite cannot fix
+    // the converter: the block must be degraded, not endlessly
+    // reprogrammed.
+    const Csr m = spdMatrix(192, 29);
+    std::vector<double> b(static_cast<std::size_t>(m.rows()), 1.0);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-8;
+    cfg.maxIterations = 4000;
+    FaultCampaign camp;
+    camp.seed = 13;
+    camp.stuckColumnRate = 1.0; // every block
+    FaultyAccelOperator op(m, camp);
+    ASSERT_GT(op.blockCount(), 0u);
+    ASSERT_GE(op.blockStuckColumn(0), 0);
+
+    ResilientSolver solver(op, SolverKind::Cg, cfg);
+    std::vector<double> x(b.size(), 0.0);
+    const SolverResult r = solver.solve(b, x);
+
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(relResidual(m, b, x), 1e-6);
+    const RecoveryStats &rec = r.recovery;
+    EXPECT_GE(rec.events(), 1u);
+    EXPECT_GE(rec.reprogramFailures, 1u);
+    EXPECT_EQ(rec.degradedBlocks, op.blockCount());
+}
+
+TEST(ResilientSolver, BiCgStabRecoversOnGeneralSystem)
+{
+    const Csr m = generalMatrix(256, 31);
+    std::vector<double> b(static_cast<std::size_t>(m.rows()), 1.0);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-8;
+    cfg.maxIterations = 4000;
+    FaultCampaign camp;
+    camp.seed = 43;
+    camp.stuckCellRate = 0.01;
+    camp.driftPerRead = 1e-7;
+    camp.forcedDeadBlock = 0;
+    FaultyAccelOperator op(m, camp);
+    ResilientSolver solver(op, SolverKind::BiCgStab, cfg);
+    std::vector<double> x(b.size(), 0.0);
+    const SolverResult r = solver.solve(b, x);
+
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(relResidual(m, b, x), 1e-6);
+    for (double v : x)
+        EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(r.recovery.reprograms + r.recovery.fallbacks, 1u);
+    EXPECT_TRUE(op.isDegraded(0));
+}
+
+TEST(ResilientSolver, GmresRunsUnderTheRuntime)
+{
+    const Csr m = generalMatrix(128, 37);
+    std::vector<double> b(static_cast<std::size_t>(m.rows()), 1.0);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-8;
+    cfg.maxIterations = 4000;
+    FaultCampaign camp;
+    camp.seed = 47;
+    camp.forcedDeadBlock = 0;
+    FaultyAccelOperator op(m, camp);
+    ResilientSolver solver(op, SolverKind::Gmres, cfg);
+    std::vector<double> x(b.size(), 0.0);
+    const SolverResult r = solver.solve(b, x);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(relResidual(m, b, x), 1e-6);
+    EXPECT_TRUE(op.isDegraded(0));
+}
+
+} // namespace
+} // namespace msc

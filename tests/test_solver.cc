@@ -224,5 +224,67 @@ TEST(Solvers, KernelCountsMatchStructure)
     EXPECT_EQ(r.vectorLength, 200u);
 }
 
+TEST(SolverBiCgStab, BreakdownOnSkewSystemStaysFinite)
+{
+    // A = [[0, 1], [-1, 0]] with b = (1, 0): the shadow residual is
+    // orthogonal to A p on the first iteration (rHat . v = 0), the
+    // classic BiCG-STAB breakdown. The solver must bail out with a
+    // finite residual and an untouched finite iterate -- no NaN may
+    // reach x.
+    Coo coo;
+    coo.rows = coo.cols = 2;
+    coo.add(0, 1, 1.0);
+    coo.add(1, 0, -1.0);
+    const Csr a = Csr::fromCoo(coo);
+    CsrOperator op(a);
+    std::vector<double> b = {1.0, 0.0}, x = {0.0, 0.0};
+    const SolverResult r = biCgStab(op, b, x);
+    EXPECT_FALSE(r.converged);
+    EXPECT_TRUE(std::isfinite(r.relResidual));
+    for (double v : x)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(SolverBiCgStab, ZeroMatrixBreakdownStaysFinite)
+{
+    // A = 0: v = A p vanishes, so every denominator in the recurrence
+    // is zero. Guarded breakdown must return non-converged with the
+    // initial residual, not divide by zero.
+    Coo coo;
+    coo.rows = coo.cols = 4;
+    const Csr a = Csr::fromCoo(coo);
+    CsrOperator op(a);
+    std::vector<double> b(4, 1.0), x(4, 0.0);
+    const SolverResult r = biCgStab(op, b, x);
+    EXPECT_FALSE(r.converged);
+    EXPECT_TRUE(std::isfinite(r.relResidual));
+    EXPECT_NEAR(r.relResidual, 1.0, 1e-12); // nothing solved
+    for (double v : x) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_EQ(v, 0.0);
+    }
+}
+
+TEST(SolverBiCgStab, SingularSystemNeverProducesNan)
+{
+    // Singular A (one empty row) with an inconsistent rhs: the
+    // method cannot converge; it must terminate via the breakdown
+    // guards or the iteration cap with finite outputs either way.
+    Coo coo;
+    coo.rows = coo.cols = 3;
+    coo.add(0, 0, 1.0);
+    coo.add(1, 1, 1.0);
+    const Csr a = Csr::fromCoo(coo); // row 2 is all zeros
+    CsrOperator op(a);
+    std::vector<double> b = {1.0, 1.0, 1.0}, x(3, 0.0);
+    SolverConfig cfg;
+    cfg.maxIterations = 50;
+    const SolverResult r = biCgStab(op, b, x, cfg);
+    EXPECT_FALSE(r.converged);
+    EXPECT_TRUE(std::isfinite(r.relResidual));
+    for (double v : x)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
 } // namespace
 } // namespace msc
