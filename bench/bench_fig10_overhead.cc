@@ -31,8 +31,7 @@ main()
     std::printf("%.*s\n", 76,
                 "-----------------------------------------------------"
                 "-----------------------");
-    for (const auto &entry : suiteMatrices()) {
-        const ExperimentResult r = runExperiment(entry, cfg);
+    for (const ExperimentResult &r : runSuiteExperiments(cfg)) {
         if (r.gpuFallback) {
             std::printf("%-16s %9d %9d | %10s %10s %9s\n",
                         r.name.c_str(), r.stats.rows,

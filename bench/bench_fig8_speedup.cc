@@ -31,9 +31,10 @@ main()
                 "-----------------------------------------------------"
                 "-----------------------------------------------");
 
+    // The matrices are independent: fan them across the thread pool
+    // (MSC_THREADS to pin the lane count) and print in suite order.
     std::vector<double> speedups;
-    for (const auto &entry : suiteMatrices()) {
-        const ExperimentResult r = runExperiment(entry, cfg);
+    for (const ExperimentResult &r : runSuiteExperiments(cfg)) {
         speedups.push_back(r.speedup());
         std::printf(
             "%-16s %6s %9d %6.1f%% | %11.3f %11.3f | %7.2fx %s\n",

@@ -36,8 +36,9 @@ main()
 
     std::vector<double> ratiosAll;
     std::vector<double> ratiosAccel; // the 18 non-fallback matrices
-    for (const auto &entry : suiteMatrices()) {
-        const ExperimentResult r = runExperiment(entry, cfg);
+    // One suite pass through the parallel engine; results arrive in
+    // suite order regardless of the lane count.
+    for (const ExperimentResult &r : runSuiteExperiments(cfg)) {
         const double normalized = r.accelEnergy / r.gpuEnergy;
         ratiosAll.push_back(r.energyRatio());
         if (!r.gpuFallback)

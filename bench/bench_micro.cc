@@ -2,19 +2,36 @@
  * @file
  * google-benchmark micro suite for the core kernels: wide-integer
  * arithmetic, AN coding, alignment, binary crossbar reads, cluster
- * MVM, blocking preprocessing throughput, and CSR SpMV. These back
- * the throughput claims in the documentation (e.g. the ~1.8x NNZ
- * average preprocessing cost) with measured numbers.
+ * MVM, blocking preprocessing throughput, CSR SpMV, and the parallel
+ * block fan-out (accelerator SpMV and the fault-injecting operator).
+ * These back the throughput claims in the documentation (e.g. the
+ * ~1.8x NNZ average preprocessing cost) with measured numbers.
+ *
+ * Perf-regression harness: `bench_micro --json out.json` writes the
+ * per-kernel wall times, the worker-thread count, and the matrix id
+ * of every matrix-driven benchmark to a machine-readable file, so
+ * successive runs (and different MSC_THREADS settings) can be
+ * compared mechanically. All other flags pass through to
+ * google-benchmark (e.g. --benchmark_filter=...).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "accel/accel.hh"
 #include "ancode/ancode.hh"
 #include "blocking/blocking.hh"
 #include "cluster/cluster.hh"
+#include "fault/faulty_operator.hh"
 #include "fixedpoint/align.hh"
 #include "sparse/gen.hh"
+#include "util/logging.hh"
 #include "util/random.hh"
+#include "util/threadpool.hh"
 #include "wideint/wideint.hh"
 #include "xbar/crossbar.hh"
 
@@ -132,32 +149,35 @@ bmClusterMultiply(benchmark::State &state)
 }
 BENCHMARK(bmClusterMultiply);
 
-void
-bmBlockingPreprocess(benchmark::State &state)
+/** The shared benchmark matrix: large enough that the block
+ *  fan-out has hundreds of independent work items. */
+Csr
+benchMatrix(std::uint64_t seed)
 {
     TiledParams p;
     p.rows = 8192;
     p.tile = 48;
     p.tileDensity = 0.25;
     p.scatterPerRow = 1.0;
-    p.seed = 7;
-    const Csr m = genTiled(p);
+    p.seed = seed;
+    return genTiled(p);
+}
+
+void
+bmBlockingPreprocess(benchmark::State &state)
+{
+    const Csr m = benchMatrix(7);
     for (auto _ : state)
         benchmark::DoNotOptimize(planBlocks(m));
     state.SetItemsProcessed(state.iterations() * m.nnz());
+    state.SetLabel("tiled8192");
 }
 BENCHMARK(bmBlockingPreprocess);
 
 void
 bmCsrSpmv(benchmark::State &state)
 {
-    TiledParams p;
-    p.rows = 8192;
-    p.tile = 48;
-    p.tileDensity = 0.25;
-    p.scatterPerRow = 1.0;
-    p.seed = 8;
-    const Csr m = genTiled(p);
+    const Csr m = benchMatrix(8);
     std::vector<double> x(static_cast<std::size_t>(m.cols()), 1.0);
     std::vector<double> y(static_cast<std::size_t>(m.rows()));
     for (auto _ : state) {
@@ -165,9 +185,169 @@ bmCsrSpmv(benchmark::State &state)
         benchmark::DoNotOptimize(y.data());
     }
     state.SetItemsProcessed(state.iterations() * m.nnz());
+    state.SetLabel("tiled8192");
 }
 BENCHMARK(bmCsrSpmv);
 
+/** Accelerator value-level SpMV: the placed-block loop runs through
+ *  the thread pool, so this benchmark is the headline number for the
+ *  parallel execution engine (compare runs at MSC_THREADS=1 vs N). */
+void
+bmAccelSpmv(benchmark::State &state)
+{
+    const Csr m = benchMatrix(9);
+    Accelerator accel;
+    accel.prepare(m);
+    std::vector<double> x(static_cast<std::size_t>(m.cols()), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(m.rows()));
+    for (auto _ : state) {
+        accel.spmv(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+    state.SetLabel("tiled8192");
+    state.counters["threads"] = static_cast<double>(globalThreads());
+    state.counters["blocks"] =
+        static_cast<double>(accel.info().placedBlocks);
+}
+BENCHMARK(bmAccelSpmv);
+
+/** Fault-injecting operator apply: per-block fan-out plus the
+ *  per-(apply, block) transient fault streams. */
+void
+bmFaultyOperatorApply(benchmark::State &state)
+{
+    const Csr m = benchMatrix(10);
+    FaultCampaign camp;
+    camp.seed = 11;
+    camp.stuckCellRate = 1e-4;
+    camp.transientUpsetRate = 1e-3;
+    FaultyAccelOperator op(m, camp);
+    std::vector<double> x(static_cast<std::size_t>(m.cols()), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(m.rows()));
+    for (auto _ : state) {
+        op.apply(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+    state.SetLabel("tiled8192");
+    state.counters["threads"] = static_cast<double>(globalThreads());
+    state.counters["blocks"] =
+        static_cast<double>(op.blockCount());
+}
+BENCHMARK(bmFaultyOperatorApply);
+
+/** Console output plus an in-memory capture of every finished run,
+ *  dumped as JSON by main() when --json was requested. */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Entry
+    {
+        std::string name;
+        std::string matrix; //!< report label; empty = no matrix
+        double realTime = 0.0;
+        std::string timeUnit;
+        std::int64_t iterations = 0;
+        double itemsPerSecond = 0.0;
+    };
+
+    std::vector<Entry> entries;
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (run.error_occurred)
+                continue;
+            Entry e;
+            e.name = run.benchmark_name();
+            e.matrix = run.report_label;
+            e.realTime = run.GetAdjustedRealTime();
+            e.timeUnit = benchmark::GetTimeUnitString(run.time_unit);
+            e.iterations = static_cast<std::int64_t>(run.iterations);
+            const auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                e.itemsPerSecond = it->second;
+            entries.push_back(std::move(e));
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+};
+
+/** Minimal JSON string escape (names and labels are plain ASCII). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+bool
+writeJson(const std::string &path,
+          const std::vector<CaptureReporter::Entry> &entries)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_micro: cannot open %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n  \"threads\": %u,\n  \"benchmarks\": [\n",
+                 globalThreads());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto &e = entries[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"matrix\": \"%s\", "
+            "\"real_time\": %.6f, \"time_unit\": \"%s\", "
+            "\"iterations\": %lld, \"items_per_second\": %.3f}%s\n",
+            jsonEscape(e.name).c_str(), jsonEscape(e.matrix).c_str(),
+            e.realTime, e.timeUnit.c_str(),
+            static_cast<long long>(e.iterations), e.itemsPerSecond,
+            i + 1 < entries.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip --json [path] / --json=path before google-benchmark sees
+    // the argument list; everything else passes through.
+    std::string jsonPath;
+    std::vector<char *> args;
+    args.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            jsonPath = argv[i] + 7;
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int count = static_cast<int>(args.size());
+    benchmark::Initialize(&count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(count, args.data()))
+        return 1;
+
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    if (!jsonPath.empty() &&
+        !writeJson(jsonPath, reporter.entries))
+        return 1;
+    return 0;
+}

@@ -72,6 +72,8 @@ main(int argc, char **argv)
             return 1;
         }
     }
+    if (cfg.threads != 0)
+        setGlobalThreads(cfg.threads);
 
     Csr m;
     if (path.empty()) {

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace msc {
 
@@ -80,19 +81,34 @@ Accelerator::prepare(const Csr &matrix, std::span<const double> sampleX)
     std::map<unsigned, ClassAgg> classes; // keyed by block size
     for (const auto &b : plan.blocks)
         ++classes[b.size].count;
-    for (const auto &b : plan.blocks) {
-        ClassAgg &agg = classes[b.size];
+    // Sample selection is sequential (first N blocks of each size
+    // class, in block order); the cost estimation itself -- the
+    // expensive early-termination trajectory -- fans out across the
+    // pool and is aggregated back in sample order, so the estimates
+    // are independent of the lane count.
+    std::vector<std::size_t> sampleIdx;
+    for (std::size_t i = 0; i < plan.blocks.size(); ++i) {
+        ClassAgg &agg = classes[plan.blocks[i].size];
         if (agg.sampled >= cfg.estimateSamplesPerSize)
             continue;
+        ++agg.sampled;
+        sampleIdx.push_back(i);
+    }
+    std::vector<BlockCost> sampleCost(sampleIdx.size());
+    parallelFor(sampleIdx.size(), [&](std::size_t s) {
+        const MatrixBlock &b = plan.blocks[sampleIdx[s]];
         std::vector<double> xLocal(b.size, 0.0);
         for (unsigned j = 0; j < b.size; ++j) {
             const std::int64_t col = b.colOrigin + j;
             if (col < matrix.cols())
                 xLocal[j] = sampleX[static_cast<std::size_t>(col)];
         }
-        const BlockCost cost =
+        sampleCost[s] =
             estimateBlockCost(b, xLocal, cfg.cluster, b.size);
-        ++agg.sampled;
+    });
+    for (std::size_t s = 0; s < sampleIdx.size(); ++s) {
+        ClassAgg &agg = classes[plan.blocks[sampleIdx[s]].size];
+        const BlockCost &cost = sampleCost[s];
         agg.energy += cost.energy;
         agg.latency += cost.latency;
         agg.programTime = std::max(agg.programTime, cost.programTime);
@@ -282,6 +298,7 @@ Accelerator::prepare(const Csr &matrix, std::span<const double> sampleX)
                 mem.sramEnergyPerByte;
     }
 
+    spmvScratch.assign(placements.size(), {});
     isPrepared = true;
     return prep;
 }
@@ -295,13 +312,24 @@ Accelerator::spmv(std::span<const double> x, std::span<double> y) const
         y.size() != static_cast<std::size_t>(matRows))
         fatal("Accelerator::spmv: dimension mismatch");
     effectiveCsr.spmv(x, y);
-    for (const auto &pl : placements) {
-        const MatrixBlock &b = plan.blocks[pl.blockIdx];
+    // Placed blocks accumulate into per-placement partials in
+    // parallel; the partials fold into y in fixed placement order,
+    // so the result is bit-identical for any lane count.
+    parallelFor(placements.size(), [&](std::size_t p) {
+        const MatrixBlock &b = plan.blocks[placements[p].blockIdx];
+        std::vector<double> &part = spmvScratch[p];
+        part.assign(b.size, 0.0);
         for (const auto &el : b.elems) {
-            y[static_cast<std::size_t>(b.rowOrigin + el.row)] +=
+            part[static_cast<std::size_t>(el.row)] +=
                 el.val *
                 x[static_cast<std::size_t>(b.colOrigin + el.col)];
         }
+    });
+    for (std::size_t p = 0; p < placements.size(); ++p) {
+        const MatrixBlock &b = plan.blocks[placements[p].blockIdx];
+        const std::vector<double> &part = spmvScratch[p];
+        for (unsigned i = 0; i < b.size; ++i)
+            y[static_cast<std::size_t>(b.rowOrigin + i)] += part[i];
     }
 }
 

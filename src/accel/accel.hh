@@ -179,6 +179,11 @@ class Accelerator
     std::vector<Placement> placements;
     std::int32_t matRows = 0;
     std::int32_t matCols = 0;
+    /** Per-placement partial outputs for the parallel spmv fan-out;
+     *  sized by prepare(). spmv() is internally parallel but a
+     *  single logical operation: concurrent spmv() calls on one
+     *  Accelerator are not supported. */
+    mutable std::vector<std::vector<double>> spmvScratch;
 };
 
 } // namespace msc

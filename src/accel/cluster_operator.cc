@@ -1,6 +1,7 @@
 #include "accel/cluster_operator.hh"
 
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace msc {
 
@@ -14,8 +15,13 @@ ClusterArithmeticOperator::ClusterArithmeticOperator(
         ClusterConfig cfg = base;
         cfg.size = block.size;
         clusters.push_back(std::make_unique<Cluster>(cfg));
-        clusters.back()->program(block);
     }
+    // Programming is embarrassingly parallel: one cluster per block,
+    // no shared state.
+    scratch.resize(plan.blocks.size());
+    parallelFor(plan.blocks.size(), [&](std::size_t bi) {
+        clusters[bi]->program(plan.blocks[bi]);
+    });
 }
 
 void
@@ -29,18 +35,29 @@ ClusterArithmeticOperator::apply(std::span<const double> x,
     // Local-processor part: unblockable leftovers on the FPU.
     plan.unblocked.spmv(x, y);
 
-    std::vector<std::int32_t> peeled;
-    for (std::size_t bi = 0; bi < plan.blocks.size(); ++bi) {
+    // Fan the block MVMs across the pool; every block writes only
+    // its own scratch slot.
+    parallelFor(plan.blocks.size(), [&](std::size_t bi) {
         const MatrixBlock &block = plan.blocks[bi];
-        xLocal.assign(block.size, 0.0);
+        BlockScratch &sc = scratch[bi];
+        sc.xLocal.assign(block.size, 0.0);
         for (unsigned j = 0; j < block.size; ++j) {
             const std::int64_t col = block.colOrigin + j;
             if (col < mat->cols())
-                xLocal[j] = x[static_cast<std::size_t>(col)];
+                sc.xLocal[j] = x[static_cast<std::size_t>(col)];
         }
-        yLocal.assign(block.size, 0.0);
-        const ClusterStats s =
-            clusters[bi]->multiply(xLocal, yLocal, &peeled);
+        sc.yLocal.assign(block.size, 0.0);
+        sc.peeled.clear();
+        sc.stats =
+            clusters[bi]->multiply(sc.xLocal, sc.yLocal, &sc.peeled);
+    });
+
+    // Deterministic reduction in fixed block order: the sums landing
+    // in y are bit-identical regardless of the lane count.
+    for (std::size_t bi = 0; bi < plan.blocks.size(); ++bi) {
+        const MatrixBlock &block = plan.blocks[bi];
+        BlockScratch &sc = scratch[bi];
+        const ClusterStats &s = sc.stats;
 
         aggregate.groupsExecuted += s.groupsExecuted;
         aggregate.groupsTotal += s.groupsTotal;
@@ -55,22 +72,25 @@ ClusterArithmeticOperator::apply(std::span<const double> x,
         for (unsigned i = 0; i < block.size; ++i) {
             const std::int64_t row = block.rowOrigin + i;
             if (row < mat->rows())
-                y[static_cast<std::size_t>(row)] += yLocal[i];
+                y[static_cast<std::size_t>(row)] += sc.yLocal[i];
         }
         // Columns whose vector exponents fell outside the alignment
         // window: their contributions were not computed in-situ; the
-        // local processor adds them digitally (Section VI-A1).
-        if (!peeled.empty()) {
+        // local processor adds them digitally (Section VI-A1). A
+        // column bitmap turns the scan into a single pass over the
+        // block's elements.
+        if (!sc.peeled.empty()) {
+            sc.peeledMask.assign(block.size, 0);
+            for (std::int32_t pj : sc.peeled)
+                sc.peeledMask[static_cast<std::size_t>(pj)] = 1;
             for (const Triplet &el : block.elems) {
-                for (std::int32_t pj : peeled) {
-                    if (el.col == pj) {
-                        y[static_cast<std::size_t>(
-                            block.rowOrigin + el.row)] +=
-                            el.val *
-                            x[static_cast<std::size_t>(
-                                block.colOrigin + el.col)];
-                    }
-                }
+                if (!sc.peeledMask[static_cast<std::size_t>(el.col)])
+                    continue;
+                y[static_cast<std::size_t>(block.rowOrigin +
+                                           el.row)] +=
+                    el.val *
+                    x[static_cast<std::size_t>(block.colOrigin +
+                                               el.col)];
             }
         }
     }

@@ -65,12 +65,22 @@ class ClusterArithmeticOperator : public LinearOperator
     }
 
   private:
+    /** Per-block partial results, written concurrently by the block
+     *  fan-out and reduced into y in fixed block order. */
+    struct BlockScratch
+    {
+        std::vector<double> xLocal;
+        std::vector<double> yLocal;
+        std::vector<std::int32_t> peeled;
+        std::vector<std::uint8_t> peeledMask; //!< per block column
+        ClusterStats stats;
+    };
+
     const Csr *mat;
     BlockPlan plan;
     std::vector<std::unique_ptr<Cluster>> clusters;
     ClusterStats aggregate;
-    std::vector<double> xLocal;
-    std::vector<double> yLocal;
+    std::vector<BlockScratch> scratch;
 };
 
 } // namespace msc

@@ -4,6 +4,7 @@
 
 #include "fault/fault.hh"
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace msc {
 
@@ -206,9 +207,17 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
             acc[i].neg = false;
     }
 
-    // MSB-first vector slices through the full pipeline.
+    // 1. Build the active vector slices (MSB first) once: they are
+    // shared read-only by every output row.
+    struct VecSlice
+    {
+        unsigned k = 0;
+        BitVec bits;
+        std::uint64_t pc = 0;
+    };
+    std::vector<VecSlice> active;
+    active.reserve(vecSlices);
     for (unsigned k = vecSlices; k-- > 0;) {
-        // 1. build and apply the slice.
         BitVec slice(blockSize);
         for (unsigned j = 0; j < blockSize; ++j) {
             if (ux.stored[j].bit(k))
@@ -218,17 +227,23 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
             static_cast<std::uint64_t>(slice.popcount());
         if (pc == 0)
             continue;
+        active.push_back({k, std::move(slice), pc});
+    }
 
-        for (unsigned i = 0; i < blockSize; ++i) {
+    // One output row through every active slice: steps 2-6 of the
+    // dataflow. Rows are independent of each other.
+    auto scanRow = [&](unsigned i, Rng *rowRng,
+                       HwClusterStats &st) {
+        for (const VecSlice &vs : active) {
             // 2. + 3. ADC scans and shift-and-add reduction.
             U256 reduced;
             for (unsigned b = 0; b < nSlices; ++b) {
                 std::int64_t count;
                 if (cfg.analogReads) {
-                    count = slices[b].readColumnNoisy(i, slice,
-                                                      readModel, rng);
+                    count = slices[b].readColumnNoisy(
+                        i, vs.bits, readModel, rowRng);
                 } else {
-                    count = slices[b].readColumn(i, slice);
+                    count = slices[b].readColumn(i, vs.bits);
                 }
                 // Transient upsets and stuck ADC columns strike the
                 // raw conversion, before the digital CIC correction.
@@ -238,7 +253,7 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
                         static_cast<std::int64_t>(blockSize));
                 }
                 if (slices[b].columnInverted(i)) {
-                    count = static_cast<std::int64_t>(pc) - count;
+                    count = static_cast<std::int64_t>(vs.pc) - count;
                     // An analog over-read can push the digital CIC
                     // correction negative; clamp like hardware would.
                     count = std::max<std::int64_t>(count, 0);
@@ -246,11 +261,11 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
                 U256 contrib(static_cast<std::uint64_t>(count));
                 reduced.addShifted(contrib, b);
             }
-            ++stats.sliceWords;
+            ++st.sliceWords;
 
             // 4. de-bias: subtract storedBias * popcount.
             U256 biasTerm = storedBias;
-            biasTerm.mulSmall(pc);
+            biasTerm.mulSmall(vs.pc);
             SignedAcc word;
             if (reduced >= biasTerm) {
                 word.neg = false;
@@ -264,21 +279,51 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
             if (cfg.anProtect) {
                 switch (an.correctSigned(word.mag, word.neg)) {
                   case AnCode::Outcome::Clean:
-                    ++stats.cleanWords;
+                    ++st.cleanWords;
                     break;
                   case AnCode::Outcome::Corrected:
-                    ++stats.correctedWords;
+                    ++st.correctedWords;
                     break;
                   case AnCode::Outcome::Uncorrectable:
-                    ++stats.uncorrectableWords;
+                    ++st.uncorrectableWords;
                     break;
                 }
             } else {
-                ++stats.cleanWords;
+                ++st.cleanWords;
             }
 
             // 6. update the running sum at weight 2^k.
-            acc[i].add(word.neg, word.mag << k);
+            acc[i].add(word.neg, word.mag << vs.k);
+        }
+    };
+
+    if (injector) {
+        // faultedRead mutates shared injector state (its transient
+        // stream and counters), so an attached injector pins the
+        // scan to the sequential row-major order.
+        for (unsigned i = 0; i < blockSize; ++i)
+            scanRow(i, rng, stats);
+    } else {
+        // Per-row noise streams are split off the caller's generator
+        // up front, in row order, so the draws a row sees depend
+        // only on its index -- never on the lane count.
+        std::vector<Rng> rowRngs;
+        if (cfg.analogReads && rng) {
+            rowRngs.reserve(blockSize);
+            for (unsigned i = 0; i < blockSize; ++i)
+                rowRngs.emplace_back(rng->next());
+        }
+        std::vector<HwClusterStats> part(blockSize);
+        parallelFor(blockSize, [&](std::size_t i) {
+            scanRow(static_cast<unsigned>(i),
+                    rowRngs.empty() ? nullptr : &rowRngs[i],
+                    part[i]);
+        });
+        for (const HwClusterStats &p : part) {
+            stats.sliceWords += p.sliceWords;
+            stats.cleanWords += p.cleanWords;
+            stats.correctedWords += p.correctedWords;
+            stats.uncorrectableWords += p.uncorrectableWords;
         }
     }
 

@@ -185,7 +185,7 @@ configFromJson(const JsonValue &root)
     ExperimentConfig cfg;
     checkKeys(root,
               {"accelerator", "gpu", "solver", "seed", "device",
-               "fault"},
+               "fault", "threads"},
               "document");
     if (root.has("accelerator"))
         applyAccelerator(root.at("accelerator"), cfg.accel);
@@ -198,6 +198,11 @@ configFromJson(const JsonValue &root)
     // reproducible from the config file alone.
     cfg.seed = static_cast<std::uint64_t>(
         root.numberOr("seed", static_cast<double>(cfg.seed)));
+    // Worker threads for the parallel execution engine; 0 keeps the
+    // MSC_THREADS / hardware-concurrency default. Results never
+    // depend on this value, only wall-clock time does.
+    cfg.threads = static_cast<unsigned>(
+        root.numberOr("threads", static_cast<double>(cfg.threads)));
     if (root.has("device"))
         applyDevice(root.at("device"), cfg.cell);
     cfg.fault.seed = cfg.seed; // inherited unless "fault" overrides

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace msc {
 
@@ -90,6 +91,23 @@ runExperiment(const SuiteEntry &entry, const ExperimentConfig &cfg)
 {
     const Csr m = buildSuiteMatrix(entry);
     return runExperiment(entry.name, m, entry.spd, cfg);
+}
+
+std::vector<ExperimentResult>
+runSuiteExperiments(const ExperimentConfig &cfg)
+{
+    if (cfg.threads != 0)
+        setGlobalThreads(cfg.threads);
+    const std::vector<SuiteEntry> &entries = suiteMatrices();
+    std::vector<ExperimentResult> results(entries.size());
+    // Whole experiments are the coarsest profitable granularity for
+    // the bench harness: one matrix per task, results stored by
+    // suite index, so the output order (and every result in it) is
+    // independent of the lane count.
+    parallelFor(entries.size(), [&](std::size_t i) {
+        results[i] = runExperiment(entries[i], cfg);
+    });
+    return results;
 }
 
 double

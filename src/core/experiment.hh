@@ -36,6 +36,10 @@ struct ExperimentConfig
     CellParams cell;
     /** Fault-injection campaign (src/fault); default = fault-free. */
     FaultCampaign fault;
+    /** Worker threads for the parallel execution engine
+     *  (util/threadpool.hh). 0 = keep the current global setting
+     *  (MSC_THREADS or hardware concurrency). */
+    unsigned threads = 0;
 };
 
 struct ExperimentResult
@@ -87,6 +91,17 @@ ExperimentResult runExperiment(const SuiteEntry &entry,
 ExperimentResult runExperiment(const std::string &name, const Csr &m,
                                bool spd,
                                const ExperimentConfig &cfg = {});
+
+/**
+ * Run every suite entry (sparse/suite.hh) and return the results in
+ * suite order. Matrices are fanned out across the global thread
+ * pool -- each experiment is independent -- while per-experiment
+ * internals run sequentially (nested parallel sections execute
+ * inline). Applies cfg.threads to the global pool first when
+ * nonzero.
+ */
+std::vector<ExperimentResult>
+runSuiteExperiments(const ExperimentConfig &cfg = {});
 
 /** Geometric mean helper for the summary rows. */
 double geometricMean(const std::vector<double> &values);

@@ -43,6 +43,7 @@
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
+#include "util/threadpool.hh"
 #include "wideint/wideint.hh"
 #include "xbar/crossbar.hh"
 #include "xbar/model.hh"

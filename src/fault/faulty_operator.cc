@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace msc {
 
@@ -14,6 +15,17 @@ namespace {
  *  failure surfaces as divergence/stagnation rather than NaN. */
 constexpr double stuckFullScale = 1e30;
 
+/** Stream-id space for run-time transient upsets: offset past the
+ *  per-block programming units (block indices are < 2^32), then one
+ *  unit per (apply sequence, block). */
+std::uint64_t
+transientUnit(std::uint64_t seq, std::size_t nBlocks, std::size_t k)
+{
+    return (std::uint64_t{1} << 32) +
+           seq * static_cast<std::uint64_t>(nBlocks) +
+           static_cast<std::uint64_t>(k);
+}
+
 } // namespace
 
 FaultyAccelOperator::FaultyAccelOperator(
@@ -21,10 +33,10 @@ FaultyAccelOperator::FaultyAccelOperator(
     const BlockingConfig &blocking)
     : camp(campaign), injector(campaign),
       plan(planBlocks(m, blocking)),
-      transientRng(injector.streamFor(~std::uint64_t{0})),
       matRows(m.rows()), matCols(m.cols())
 {
     state.resize(plan.blocks.size());
+    scratch.resize(plan.blocks.size());
     for (std::size_t k = 0; k < plan.blocks.size(); ++k)
         drawProgrammingFaults(k);
 }
@@ -86,9 +98,19 @@ FaultyAccelOperator::apply(std::span<const double> x,
     plan.unblocked.spmv(x, y);
 
     const double inf = std::numeric_limits<double>::infinity();
-    for (std::size_t k = 0; k < plan.blocks.size(); ++k) {
+    const std::uint64_t seq = applySeq++;
+
+    // Every block works against its own scratch slot and its own
+    // transient stream, keyed by (apply sequence, block), so the
+    // injected faults and the partial sums are independent of the
+    // lane count.
+    parallelFor(plan.blocks.size(), [&](std::size_t k) {
         const MatrixBlock &blk = plan.blocks[k];
         BlockState &st = state[k];
+        ApplyScratch &sc = scratch[k];
+        sc.stats = FaultStats{};
+        sc.yLocal.assign(blk.size, 0.0);
+        std::vector<double> &yLocal = sc.yLocal;
 
         if (st.exact) {
             // Degraded: the digital CSR path computes this block.
@@ -96,20 +118,19 @@ FaultyAccelOperator::apply(std::span<const double> x,
                 const std::int64_t row = blk.rowOrigin + el.row;
                 const std::int64_t col = blk.colOrigin + el.col;
                 if (row < matRows && col < matCols) {
-                    y[static_cast<std::size_t>(row)] +=
+                    yLocal[static_cast<std::size_t>(el.row)] +=
                         el.val *
                         x[static_cast<std::size_t>(col)];
                 }
             }
-            continue;
+            return;
         }
         if (st.dead) {
             // A dead crossbar silently contributes nothing.
             ++st.reads;
-            continue;
+            return;
         }
 
-        yLocal.assign(blk.size, 0.0);
         for (const Triplet &el : blk.elems) {
             const std::int64_t col = blk.colOrigin + el.col;
             if (col < matCols) {
@@ -134,31 +155,46 @@ FaultyAccelOperator::apply(std::span<const double> x,
         if (st.stuckColumn >= 0)
             yLocal[static_cast<std::size_t>(st.stuckColumn)] =
                 st.stuckValue;
-        if (camp.transientUpsetRate > 0.0 &&
-            transientRng.chance(camp.transientUpsetRate)) {
-            const auto row = static_cast<std::size_t>(
-                transientRng.below(blk.size));
-            if (transientRng.chance(camp.saturationRate)) {
-                yLocal[row] = inf;
-                ++applyStats.saturatedConversions;
-            } else {
-                // A surviving multi-bit upset lands near the top of
-                // the output's significance window.
-                const double mag = std::fabs(yLocal[row]);
-                yLocal[row] +=
-                    (transientRng.chance(0.5) ? 1.0 : -1.0) *
-                    std::ldexp(mag != 0.0 ? mag : 1.0,
-                               static_cast<int>(
-                                   transientRng.range(-2, 8)));
-                ++applyStats.transientUpsets;
+        if (camp.transientUpsetRate > 0.0) {
+            Rng transient = injector.streamFor(
+                transientUnit(seq, plan.blocks.size(), k));
+            if (transient.chance(camp.transientUpsetRate)) {
+                const auto row = static_cast<std::size_t>(
+                    transient.below(blk.size));
+                if (transient.chance(camp.saturationRate)) {
+                    yLocal[row] = inf;
+                    ++sc.stats.saturatedConversions;
+                } else {
+                    // A surviving multi-bit upset lands near the top
+                    // of the output's significance window.
+                    const double mag = std::fabs(yLocal[row]);
+                    yLocal[row] +=
+                        (transient.chance(0.5) ? 1.0 : -1.0) *
+                        std::ldexp(mag != 0.0 ? mag : 1.0,
+                                   static_cast<int>(
+                                       transient.range(-2, 8)));
+                    ++sc.stats.transientUpsets;
+                }
             }
         }
         ++st.reads;
+    });
 
+    // Fixed block-order reduction: y and the fault counters come out
+    // bit-identical for any thread count.
+    for (std::size_t k = 0; k < plan.blocks.size(); ++k) {
+        const MatrixBlock &blk = plan.blocks[k];
+        const BlockState &st = state[k];
+        const ApplyScratch &sc = scratch[k];
+        applyStats.transientUpsets += sc.stats.transientUpsets;
+        applyStats.saturatedConversions +=
+            sc.stats.saturatedConversions;
+        if (st.dead && !st.exact)
+            continue;
         for (unsigned i = 0; i < blk.size; ++i) {
             const std::int64_t row = blk.rowOrigin + i;
             if (row < matRows)
-                y[static_cast<std::size_t>(row)] += yLocal[i];
+                y[static_cast<std::size_t>(row)] += sc.yLocal[i];
         }
     }
 }

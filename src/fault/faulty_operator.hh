@@ -22,8 +22,10 @@
  *
  * It implements RecoverableOperator, so ResilientSolver can scrub,
  * reprogram, and degrade it mid-solve. All randomness derives from
- * the campaign seed (per-block programming streams + one run-time
- * stream), making campaigns bit-reproducible.
+ * the campaign seed (per-block programming streams + one transient
+ * stream per (apply, block)), making campaigns bit-reproducible for
+ * any thread count: apply() fans the blocks across the global
+ * thread pool and reduces the partial outputs in fixed block order.
  */
 
 #ifndef MSC_FAULT_FAULTY_OPERATOR_HH
@@ -100,18 +102,29 @@ class FaultyAccelOperator : public RecoverableOperator
         std::uint64_t reads = 0; //!< MVMs since last program()
     };
 
+    /** Per-block partial output and fault counters for one apply();
+     *  written concurrently, merged in fixed block order. */
+    struct ApplyScratch
+    {
+        std::vector<double> yLocal;
+        FaultStats stats;
+    };
+
     void drawProgrammingFaults(std::size_t block);
 
     FaultCampaign camp;
     FaultInjector injector;
     BlockPlan plan;
     std::vector<BlockState> state;
+    std::vector<ApplyScratch> scratch;
     FaultStats programStats;
     FaultStats applyStats;
-    Rng transientRng;
+    /** apply() calls so far: transient-upset streams derive from
+     *  (campaign seed, apply sequence, block), so run-time faults are
+     *  reproducible for any thread count. */
+    std::uint64_t applySeq = 0;
     std::int32_t matRows = 0;
     std::int32_t matCols = 0;
-    std::vector<double> yLocal;
 };
 
 } // namespace msc

@@ -45,12 +45,12 @@ ResilientSolver::runSegment(std::span<const double> b,
     switch (kind) {
       case SolverKind::Auto: // mapped in the constructor
       case SolverKind::BiCgStab:
-        return biCgStab(op, b, x, seg);
+        return biCgStab(op, b, x, seg, &workspace);
       case SolverKind::Cg:
-        return conjugateGradient(op, b, x, seg);
+        return conjugateGradient(op, b, x, seg, &workspace);
       case SolverKind::Gmres:
         return gmres(op, b, x, seg,
-                     std::min(gmresRestart, iters));
+                     std::min(gmresRestart, iters), &workspace);
     }
     fatal("ResilientSolver: unreachable solver kind");
 }

@@ -120,6 +120,9 @@ class ResilientSolver
     SolverKind kind;
     SolverConfig cfg;
     RecoveryPolicy policy;
+    /** Scratch vectors shared by every segment of a solve: the
+     *  segmented loop would otherwise reallocate them per segment. */
+    SolverWorkspace workspace;
 };
 
 } // namespace msc

@@ -32,14 +32,19 @@ breakdown(double denom)
 
 SolverResult
 conjugateGradient(LinearOperator &a, std::span<const double> b,
-                  std::span<double> x, const SolverConfig &cfg)
+                  std::span<double> x, const SolverConfig &cfg,
+                  SolverWorkspace *ws)
 {
     checkSystem(a, b, x);
     const std::size_t n = b.size();
     SolverResult res;
     res.vectorLength = n;
 
-    std::vector<double> r(n), p(n), ap(n);
+    SolverWorkspace local;
+    SolverWorkspace &wsp = ws ? *ws : local;
+    std::vector<double> &r = wsp.vec(0, n);
+    std::vector<double> &p = wsp.vec(1, n);
+    std::vector<double> &ap = wsp.vec(2, n);
     // r = b - A x
     a.apply(x, r);
     ++res.spmvCalls;
@@ -92,14 +97,22 @@ conjugateGradient(LinearOperator &a, std::span<const double> b,
 
 SolverResult
 biCgStab(LinearOperator &a, std::span<const double> b,
-         std::span<double> x, const SolverConfig &cfg)
+         std::span<double> x, const SolverConfig &cfg,
+         SolverWorkspace *ws)
 {
     checkSystem(a, b, x);
     const std::size_t n = b.size();
     SolverResult res;
     res.vectorLength = n;
 
-    std::vector<double> r(n), rHat(n), p(n), v(n), s(n), t(n);
+    SolverWorkspace local;
+    SolverWorkspace &wsp = ws ? *ws : local;
+    std::vector<double> &r = wsp.vec(0, n);
+    std::vector<double> &rHat = wsp.vec(1, n);
+    std::vector<double> &p = wsp.vec(2, n);
+    std::vector<double> &v = wsp.vec(3, n);
+    std::vector<double> &s = wsp.vec(4, n);
+    std::vector<double> &t = wsp.vec(5, n);
     a.apply(x, r);
     ++res.spmvCalls;
     for (std::size_t i = 0; i < n; ++i)
@@ -123,7 +136,8 @@ biCgStab(LinearOperator &a, std::span<const double> b,
     // Last iterate whose residual was finite: breakdown must return
     // a finite residual and never leave NaN in x, even when the
     // operator itself misbehaves (fault injection).
-    std::vector<double> xSafe(x.begin(), x.end());
+    std::vector<double> &xSafe = wsp.vec(6, n);
+    std::copy(x.begin(), x.end(), xSafe.begin());
     double safeNorm = resNorm;
     for (int it = 0; it < cfg.maxIterations; ++it) {
         if (resNorm / bNorm <= cfg.tolerance) {
@@ -226,14 +240,22 @@ biCgStab(LinearOperator &a, std::span<const double> b,
 
 SolverResult
 biCg(TransposableOperator &a, std::span<const double> b,
-     std::span<double> x, const SolverConfig &cfg)
+     std::span<double> x, const SolverConfig &cfg,
+     SolverWorkspace *ws)
 {
     checkSystem(a, b, x);
     const std::size_t n = b.size();
     SolverResult res;
     res.vectorLength = n;
 
-    std::vector<double> r(n), rT(n), p(n), pT(n), ap(n), atp(n);
+    SolverWorkspace local;
+    SolverWorkspace &wsp = ws ? *ws : local;
+    std::vector<double> &r = wsp.vec(0, n);
+    std::vector<double> &rT = wsp.vec(1, n);
+    std::vector<double> &p = wsp.vec(2, n);
+    std::vector<double> &pT = wsp.vec(3, n);
+    std::vector<double> &ap = wsp.vec(4, n);
+    std::vector<double> &atp = wsp.vec(5, n);
     a.apply(x, r);
     ++res.spmvCalls;
     for (std::size_t i = 0; i < n; ++i)
@@ -297,7 +319,8 @@ biCg(TransposableOperator &a, std::span<const double> b,
 
 SolverResult
 gmres(LinearOperator &a, std::span<const double> b,
-      std::span<double> x, const SolverConfig &cfg, int restart)
+      std::span<double> x, const SolverConfig &cfg, int restart,
+      SolverWorkspace *ws)
 {
     checkSystem(a, b, x);
     if (restart < 1)
@@ -315,12 +338,23 @@ gmres(LinearOperator &a, std::span<const double> b,
         return res;
     }
 
-    std::vector<std::vector<double>> v(m + 1,
-                                       std::vector<double>(n));
+    // The Krylov basis dominates the memory traffic: m+1 n-length
+    // vectors plus the work vector come from the workspace so
+    // repeated calls (segmented solves) reuse their storage. The
+    // O(m^2) Hessenberg factors are small and stay local.
+    SolverWorkspace local;
+    SolverWorkspace &wsp = ws ? *ws : local;
+    std::vector<std::vector<double> *> v(m + 1);
+    for (std::size_t i = 0; i <= m; ++i)
+        v[i] = &wsp.vec(i, n);
+    std::vector<double> &w = wsp.vec(m + 1, n);
     std::vector<std::vector<double>> h(m + 1,
                                        std::vector<double>(m, 0.0));
     std::vector<double> cs(m, 0.0), sn(m, 0.0), g(m + 1, 0.0);
-    std::vector<double> w(n);
+    // Triangular-solve coefficients, hoisted out of the restart
+    // loop; assign() below never reallocates past the first cycle.
+    std::vector<double> y;
+    y.reserve(m);
 
     double resNorm = bNorm;
     while (res.iterations < cfg.maxIterations) {
@@ -328,34 +362,34 @@ gmres(LinearOperator &a, std::span<const double> b,
         a.apply(x, w);
         ++res.spmvCalls;
         for (std::size_t i = 0; i < n; ++i)
-            v[0][i] = b[i] - w[i];
-        resNorm = norm2(v[0]);
+            (*v[0])[i] = b[i] - w[i];
+        resNorm = norm2(*v[0]);
         ++res.dotCalls;
         if (resNorm / bNorm <= cfg.tolerance) {
             res.converged = true;
             break;
         }
         for (std::size_t i = 0; i < n; ++i)
-            v[0][i] /= resNorm;
+            (*v[0])[i] /= resNorm;
         std::fill(g.begin(), g.end(), 0.0);
         g[0] = resNorm;
 
         std::size_t j = 0;
         for (; j < m && res.iterations < cfg.maxIterations; ++j) {
-            a.apply(v[j], w);
+            a.apply(*v[j], w);
             ++res.spmvCalls;
             // Modified Gram-Schmidt.
             for (std::size_t i = 0; i <= j; ++i) {
-                h[i][j] = dot(w, v[i]);
+                h[i][j] = dot(w, *v[i]);
                 ++res.dotCalls;
-                axpy(-h[i][j], v[i], w);
+                axpy(-h[i][j], *v[i], w);
                 ++res.axpyCalls;
             }
             h[j + 1][j] = norm2(w);
             ++res.dotCalls;
             if (h[j + 1][j] != 0.0) {
                 for (std::size_t i = 0; i < n; ++i)
-                    v[j + 1][i] = w[i] / h[j + 1][j];
+                    (*v[j + 1])[i] = w[i] / h[j + 1][j];
             }
             // Apply accumulated Givens rotations to column j.
             for (std::size_t i = 0; i < j; ++i) {
@@ -383,7 +417,7 @@ gmres(LinearOperator &a, std::span<const double> b,
             }
         }
         // Solve the triangular system and update x.
-        std::vector<double> y(j, 0.0);
+        y.assign(j, 0.0);
         for (std::size_t i = j; i-- > 0;) {
             double sum = g[i];
             for (std::size_t k = i + 1; k < j; ++k)
@@ -391,7 +425,7 @@ gmres(LinearOperator &a, std::span<const double> b,
             y[i] = h[i][i] != 0.0 ? sum / h[i][i] : 0.0;
         }
         for (std::size_t i = 0; i < j; ++i) {
-            axpy(y[i], v[i], x);
+            axpy(y[i], *v[i], x);
             ++res.axpyCalls;
         }
         if (resNorm / bNorm <= cfg.tolerance) {

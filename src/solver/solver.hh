@@ -18,6 +18,7 @@
 #define MSC_SOLVER_SOLVER_HH
 
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <vector>
 
@@ -72,6 +73,35 @@ class CsrOperator : public TransposableOperator
 
   private:
     const Csr *mat;
+};
+
+/**
+ * Reusable scratch vectors for the Krylov solvers.
+ *
+ * Each solver call needs a handful of n-length work vectors. A
+ * workspace keeps their capacity alive across calls, so repeated
+ * solves on the same system -- the segmented loop in
+ * ResilientSolver, parameter sweeps, benches -- stop paying an
+ * allocation per segment. vec() hands out a zeroed vector exactly
+ * like a freshly constructed one, so results are unchanged.
+ */
+class SolverWorkspace
+{
+  public:
+    /** Zeroed n-length vector for @p slot (grown on demand). */
+    std::vector<double> &
+    vec(std::size_t slot, std::size_t n)
+    {
+        if (slot >= pool.size())
+            pool.resize(slot + 1);
+        pool[slot].assign(n, 0.0);
+        return pool[slot];
+    }
+
+  private:
+    /** Deque, not vector: growing it must not move the vectors a
+     *  solver already holds references to. */
+    std::deque<std::vector<double>> pool;
 };
 
 /** Which Krylov method to run. */
@@ -136,26 +166,31 @@ struct SolverResult
     RecoveryStats recovery;
 };
 
-/** Conjugate gradient; requires a symmetric positive definite A. */
+/** Conjugate gradient; requires a symmetric positive definite A.
+ *  An optional workspace reuses the solver's scratch vectors
+ *  across calls (results are identical either way). */
 SolverResult conjugateGradient(LinearOperator &a,
                                std::span<const double> b,
                                std::span<double> x,
-                               const SolverConfig &cfg = {});
+                               const SolverConfig &cfg = {},
+                               SolverWorkspace *ws = nullptr);
 
 /** Stabilized bi-conjugate gradient (van der Vorst). */
 SolverResult biCgStab(LinearOperator &a, std::span<const double> b,
                       std::span<double> x,
-                      const SolverConfig &cfg = {});
+                      const SolverConfig &cfg = {},
+                      SolverWorkspace *ws = nullptr);
 
 /** Plain bi-conjugate gradient (needs A^T; Section II-B names it
  *  among the mainstream non-SPD methods). */
 SolverResult biCg(TransposableOperator &a, std::span<const double> b,
-                  std::span<double> x, const SolverConfig &cfg = {});
+                  std::span<double> x, const SolverConfig &cfg = {},
+                  SolverWorkspace *ws = nullptr);
 
 /** Restarted GMRES(m) with modified Gram-Schmidt. */
 SolverResult gmres(LinearOperator &a, std::span<const double> b,
                    std::span<double> x, const SolverConfig &cfg = {},
-                   int restart = 30);
+                   int restart = 30, SolverWorkspace *ws = nullptr);
 
 } // namespace msc
 

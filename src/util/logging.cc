@@ -2,12 +2,17 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace msc {
 
 namespace {
 
 std::atomic<bool> quiet{false};
+
+/** Serializes whole messages: warn()/inform() may be called from
+ *  thread-pool workers and interleaved lines are unreadable. */
+std::mutex outputMu;
 
 } // namespace
 
@@ -22,15 +27,19 @@ namespace detail {
 void
 emitWarn(const std::string &msg)
 {
-    if (!quiet.load(std::memory_order_relaxed))
+    if (!quiet.load(std::memory_order_relaxed)) {
+        const std::lock_guard<std::mutex> lock(outputMu);
         std::cerr << "warn: " << msg << "\n";
+    }
 }
 
 void
 emitInform(const std::string &msg)
 {
-    if (!quiet.load(std::memory_order_relaxed))
+    if (!quiet.load(std::memory_order_relaxed)) {
+        const std::lock_guard<std::mutex> lock(outputMu);
         std::cout << "info: " << msg << "\n";
+    }
 }
 
 } // namespace detail

@@ -1,0 +1,212 @@
+#include "util/threadpool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace msc {
+
+namespace {
+
+thread_local bool inSection = false;
+
+/** RAII flag so nested parallel sections run inline. */
+struct SectionGuard
+{
+    bool saved;
+    SectionGuard() : saved(inSection) { inSection = true; }
+    ~SectionGuard() { inSection = saved; }
+};
+
+} // namespace
+
+bool
+ThreadPool::inParallelSection()
+{
+    return inSection;
+}
+
+unsigned
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("MSC_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(std::min(v, 512L));
+        warn("MSC_THREADS='", env, "' is not a positive integer; "
+             "using hardware concurrency");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned lanes)
+    : laneCount(lanes > 0 ? lanes : defaultThreadCount())
+{
+    workers.reserve(laneCount - 1);
+    for (unsigned w = 0; w + 1 < laneCount; ++w)
+        workers.emplace_back([this, w] { workerLoop(w + 1); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop(unsigned lane)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Job *j = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            wake.wait(lk, [&] {
+                return stopping || jobSeq != seen;
+            });
+            if (stopping)
+                return;
+            seen = jobSeq;
+            j = job;
+        }
+        {
+            SectionGuard guard;
+            help(*j, static_cast<unsigned>(
+                         lane % j->ranges.size()));
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            if (--j->pending == 0)
+                finished.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::help(Job &j, unsigned homeLane)
+{
+    // Drain the home range first, then steal chunks from the others.
+    const std::size_t nRanges = j.ranges.size();
+    for (std::size_t off = 0; off < nRanges; ++off) {
+        Range &r = j.ranges[(homeLane + off) % nRanges];
+        for (;;) {
+            if (j.cancelled.load(std::memory_order_relaxed))
+                return;
+            const std::size_t begin =
+                r.next.fetch_add(j.grain, std::memory_order_relaxed);
+            if (begin >= r.end)
+                break;
+            const std::size_t end =
+                std::min(r.end, begin + j.grain);
+            try {
+                (*j.body)(begin, end);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(j.errorMu);
+                if (!j.error)
+                    j.error = std::current_exception();
+                j.cancelled.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    }
+}
+
+void
+ThreadPool::forRange(std::size_t n, std::size_t grain,
+                     const std::function<void(std::size_t,
+                                              std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (grain == 0)
+        grain = 1;
+    // Inline when parallelism cannot help: a single lane, a loop
+    // that fits one chunk, or a nested section (the outer loop
+    // already owns every lane).
+    if (laneCount == 1 || n <= grain || inSection) {
+        SectionGuard guard;
+        body(0, n);
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit(submitMu);
+    Job j;
+    j.grain = grain;
+    j.body = &body;
+    // One contiguous range per lane (never more ranges than chunks):
+    // owners start disjoint, stealers wrap around.
+    const std::size_t chunks = (n + grain - 1) / grain;
+    const std::size_t nRanges =
+        std::min<std::size_t>(laneCount, chunks);
+    j.ranges = std::vector<Range>(nRanges);
+    const std::size_t per = n / nRanges;
+    const std::size_t extra = n % nRanges;
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < nRanges; ++i) {
+        const std::size_t len = per + (i < extra ? 1 : 0);
+        j.ranges[i].next.store(pos, std::memory_order_relaxed);
+        j.ranges[i].end = pos + len;
+        pos += len;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        j.pending = laneCount - 1;
+        job = &j;
+        ++jobSeq;
+    }
+    wake.notify_all();
+    {
+        SectionGuard guard;
+        help(j, 0);
+    }
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        finished.wait(lk, [&] { return j.pending == 0; });
+        job = nullptr;
+    }
+    if (j.error)
+        std::rethrow_exception(j.error);
+}
+
+namespace {
+
+std::mutex gPoolMu;
+std::unique_ptr<ThreadPool> gPool;
+
+} // namespace
+
+ThreadPool &
+globalPool()
+{
+    std::lock_guard<std::mutex> lk(gPoolMu);
+    if (!gPool)
+        gPool = std::make_unique<ThreadPool>();
+    return *gPool;
+}
+
+void
+setGlobalThreads(unsigned lanes)
+{
+    std::lock_guard<std::mutex> lk(gPoolMu);
+    gPool.reset(); // join the old workers before spawning new ones
+    gPool = std::make_unique<ThreadPool>(lanes);
+}
+
+unsigned
+globalThreads()
+{
+    return globalPool().lanes();
+}
+
+} // namespace msc

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Work-stealing thread pool and deterministic parallel facades.
+ *
+ * The accelerator executes thousands of crossbar clusters across 128
+ * banks concurrently; the simulator models that concurrency with a
+ * strictly block-granular decomposition, so every hot path (cluster
+ * MVMs, placed-block accumulation, fault-campaign applies, per-slice
+ * ADC scans, per-matrix experiment fan-out) is an independent-task
+ * loop. This pool runs those loops across a fixed set of worker
+ * lanes with range stealing: the iteration space is pre-split into
+ * one contiguous range per lane and idle lanes drain chunks from
+ * whichever ranges still hold work.
+ *
+ * Determinism contract: the pool schedules nondeterministically, so
+ * callers must write per-index results into disjoint slots and
+ * reduce them on the calling thread in fixed index order.
+ * parallelReduce() packages that pattern: the shard decomposition
+ * depends only on the trip count and grain -- never on the lane
+ * count -- so a reduction is bit-identical for 1, 2, or 64 threads.
+ *
+ * Lane count resolution (first use of the global pool):
+ *   1. setGlobalThreads(n) -- config JSON ("threads") or tests;
+ *   2. the MSC_THREADS environment variable;
+ *   3. std::thread::hardware_concurrency().
+ *
+ * Nested parallel sections run inline on the calling lane (the outer
+ * loop already owns all lanes), so operators that parallelize
+ * internally compose with a parallel bench harness without deadlock
+ * or oversubscription.
+ */
+
+#ifndef MSC_UTIL_THREADPOOL_HH
+#define MSC_UTIL_THREADPOOL_HH
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace msc {
+
+class ThreadPool
+{
+  public:
+    /** @param lanes  worker lanes including the caller; 0 resolves
+     *                via MSC_THREADS / hardware_concurrency. */
+    explicit ThreadPool(unsigned lanes = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned lanes() const { return laneCount; }
+
+    /**
+     * Invoke body(begin, end) over disjoint chunks covering [0, n).
+     * Chunks are at most @p grain long; the caller participates and
+     * the call returns when every index has been processed. The
+     * first exception thrown by any chunk is rethrown here. Runs
+     * inline when the pool has one lane, when n <= grain, or when
+     * called from inside another parallel section.
+     */
+    void forRange(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>
+                      &body);
+
+    /** True on a thread currently executing inside a parallel
+     *  section (nested calls run inline). */
+    static bool inParallelSection();
+
+  private:
+    /** One lane's slice of the iteration space; idle lanes steal
+     *  chunks from ranges that still hold work. */
+    struct Range
+    {
+        std::atomic<std::size_t> next{0};
+        std::size_t end = 0;
+    };
+
+    struct Job
+    {
+        std::vector<Range> ranges;
+        std::size_t grain = 1;
+        const std::function<void(std::size_t, std::size_t)> *body =
+            nullptr;
+        std::atomic<bool> cancelled{false};
+        std::exception_ptr error;
+        std::mutex errorMu;
+        unsigned pending = 0; //!< workers still to finish (under mu)
+    };
+
+    void workerLoop(unsigned lane);
+    void help(Job &job, unsigned homeLane);
+
+    unsigned laneCount = 1;
+    std::vector<std::thread> workers;
+
+    std::mutex mu;
+    std::condition_variable wake;     //!< new job / shutdown
+    std::condition_variable finished; //!< job drained
+    std::mutex submitMu;              //!< serializes forRange callers
+    Job *job = nullptr;
+    std::uint64_t jobSeq = 0;
+    bool stopping = false;
+};
+
+/** MSC_THREADS env (when set and > 0) or hardware_concurrency. */
+unsigned defaultThreadCount();
+
+/** The process-wide pool, created on first use. */
+ThreadPool &globalPool();
+
+/** Replace the global pool with one of @p lanes lanes (0 = resolve
+ *  the default again). Callers must not hold references to the old
+ *  pool across this call. */
+void setGlobalThreads(unsigned lanes);
+
+/** Lane count of the global pool (creates it if needed). */
+unsigned globalThreads();
+
+/** body(i) for every i in [0, n), in parallel. Results must go to
+ *  disjoint slots; reduce them afterwards in fixed index order. */
+template <typename Body>
+void
+parallelFor(std::size_t n, Body &&body, std::size_t grain = 1)
+{
+    globalPool().forRange(
+        n, grain, [&body](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                body(i);
+        });
+}
+
+/**
+ * Deterministic parallel reduction: map(i) values are combined
+ * within fixed shards of @p grain consecutive indices, and the shard
+ * partials are combined on the calling thread in ascending shard
+ * order. The shard decomposition depends only on (n, grain), so the
+ * result -- including floating-point rounding -- is independent of
+ * the lane count and of scheduling.
+ */
+template <typename T, typename Map, typename Combine>
+T
+parallelReduce(std::size_t n, T identity, Map &&map,
+               Combine &&combine, std::size_t grain = 1)
+{
+    if (n == 0)
+        return identity;
+    const std::size_t g = grain == 0 ? 1 : grain;
+    const std::size_t shards = (n + g - 1) / g;
+    std::vector<T> partials(shards, identity);
+    globalPool().forRange(
+        shards, 1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t s = begin; s < end; ++s) {
+                T acc = partials[s];
+                const std::size_t lo = s * g;
+                const std::size_t hi = std::min(n, lo + g);
+                for (std::size_t i = lo; i < hi; ++i)
+                    acc = combine(std::move(acc), map(i));
+                partials[s] = std::move(acc);
+            }
+        });
+    T total = std::move(partials[0]);
+    for (std::size_t s = 1; s < shards; ++s)
+        total = combine(std::move(total), std::move(partials[s]));
+    return total;
+}
+
+} // namespace msc
+
+#endif // MSC_UTIL_THREADPOOL_HH
