@@ -15,13 +15,18 @@
  * cells, and one dead crossbar, reporting the RecoveryStats ladder
  * (scrub -> reprogram -> checkpoint restart -> degrade).
  *
- * Usage: bench_fault_injection [--smoke] [config.json]
+ * Usage: bench_fault_injection [--smoke] [--trace out.json]
+ *        [--metrics out.json] [config.json]
  * The optional JSON config supplies the experiment seed and fault
  * campaign (core/config); --smoke shrinks the sweep for CI.
+ * --trace / --metrics enable telemetry and export the recovery
+ * study's Chrome trace (chrome://tracing / Perfetto) and flat
+ * metrics JSON.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -34,6 +39,7 @@
 #include "sparse/gen.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
+#include "util/telemetry.hh"
 
 namespace {
 
@@ -223,16 +229,53 @@ main(int argc, char **argv)
 {
     setLogQuiet(true);
     bool smoke = false;
+    std::string tracePath, metricsPath;
     ExperimentConfig cfg;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0)
+        const std::string_view arg = argv[i];
+        if (arg == "--smoke")
             smoke = true;
+        else if (arg == "--trace" && i + 1 < argc)
+            tracePath = argv[++i];
+        else if (arg.rfind("--trace=", 0) == 0)
+            tracePath = arg.substr(8);
+        else if (arg == "--metrics" && i + 1 < argc)
+            metricsPath = argv[++i];
+        else if (arg.rfind("--metrics=", 0) == 0)
+            metricsPath = arg.substr(10);
         else
             cfg = loadExperimentConfig(argv[i]);
     }
+    if (!tracePath.empty() || !metricsPath.empty()) {
+        telemetry::Config tcfg;
+        tcfg.enabled = true;
+        tcfg.spans = !tracePath.empty();
+        telemetry::configure(tcfg);
+    }
+    if (cfg.telemetry)
+        telemetry::configure(*cfg.telemetry);
 
     hwClusterStudy(cfg, smoke);
+    // Scope the exported observability to the recovery study: the
+    // solve under a fault campaign is the trace worth reading.
+    telemetry::reset();
     recoveryStudy(cfg, smoke);
+
+    if (!tracePath.empty()) {
+        std::ofstream out(tracePath);
+        if (!out)
+            fatal("bench_fault_injection: cannot open ", tracePath);
+        telemetry::writeChromeTrace(out);
+        std::printf("\ntrace written to %s\n", tracePath.c_str());
+    }
+    if (!metricsPath.empty()) {
+        std::ofstream out(metricsPath);
+        if (!out)
+            fatal("bench_fault_injection: cannot open ",
+                  metricsPath);
+        telemetry::writeMetricsJson(out);
+        std::printf("metrics written to %s\n", metricsPath.c_str());
+    }
 
     std::printf("\n=> single upsets are absorbed by the AN code (the "
                 "paper's >99.99%% claim); the\n   resilient runtime "

@@ -8,10 +8,12 @@
  * ~1.8x NNZ average preprocessing cost) with measured numbers.
  *
  * Perf-regression harness: `bench_micro --json out.json` writes the
- * per-kernel wall times, the worker-thread count, and the matrix id
- * of every matrix-driven benchmark to a machine-readable file, so
- * successive runs (and different MSC_THREADS settings) can be
- * compared mechanically. All other flags pass through to
+ * per-kernel wall times, the worker-thread count, the matrix id
+ * of every matrix-driven benchmark, and a `metrics` block holding
+ * the telemetry counters captured during the run (enable with
+ * MSC_TELEMETRY=metrics) to a machine-readable file, so successive
+ * runs (and different MSC_THREADS settings) can be compared
+ * mechanically with tools/perfdiff. All other flags pass through to
  * google-benchmark (e.g. --benchmark_filter=...).
  */
 
@@ -31,6 +33,7 @@
 #include "sparse/gen.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
+#include "util/telemetry.hh"
 #include "util/threadpool.hh"
 #include "wideint/wideint.hh"
 #include "xbar/crossbar.hh"
@@ -313,7 +316,18 @@ writeJson(const std::string &path,
             static_cast<long long>(e.iterations), e.itemsPerSecond,
             i + 1 < entries.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    // Telemetry counters captured during the run (empty object when
+    // telemetry is disabled); tools/perfdiff compares these along
+    // with the wall times.
+    const auto counters = telemetry::snapshotCounters();
+    std::fprintf(f, "  ],\n  \"metrics\": {");
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        std::fprintf(f, "%s\n    \"%s\": %llu", i ? "," : "",
+                     jsonEscape(counters[i].first).c_str(),
+                     static_cast<unsigned long long>(
+                         counters[i].second));
+    }
+    std::fprintf(f, "%s}\n}\n", counters.empty() ? "" : "\n  ");
     std::fclose(f);
     return true;
 }

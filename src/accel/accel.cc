@@ -5,9 +5,24 @@
 #include <map>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 #include "util/threadpool.hh"
 
 namespace msc {
+
+namespace {
+
+// Per-block spans fire once per placed block per spmv, so the
+// accel.block_spans total is deterministic across lane counts.
+constinit telemetry::Counter ctrBlockSpans{"accel.block_spans"};
+constinit telemetry::Counter ctrSpmvCalls{"accel.spmv_calls"};
+constinit telemetry::Counter
+    ctrSampledBlocks{"accel.sampled_blocks"};
+constinit telemetry::Counter
+    ctrPlacedBlocks{"accel.placed_blocks"};
+constinit telemetry::Histogram hSpmvUs{"accel.spmv_us"};
+
+} // namespace
 
 Accelerator::Accelerator(const AcceleratorConfig &config) : cfg(config)
 {
@@ -33,6 +48,7 @@ Accelerator::poolCapacity() const
 PrepareResult
 Accelerator::prepare(const Csr &matrix, std::span<const double> sampleX)
 {
+    telemetry::Span span("accel.prepare");
     prep = PrepareResult{};
     matRows = matrix.rows();
     matCols = matrix.cols();
@@ -94,8 +110,10 @@ Accelerator::prepare(const Csr &matrix, std::span<const double> sampleX)
         ++agg.sampled;
         sampleIdx.push_back(i);
     }
+    ctrSampledBlocks.add(sampleIdx.size());
     std::vector<BlockCost> sampleCost(sampleIdx.size());
     parallelFor(sampleIdx.size(), [&](std::size_t s) {
+        telemetry::Span blockSpan("accel.sample_block");
         const MatrixBlock &b = plan.blocks[sampleIdx[s]];
         std::vector<double> xLocal(b.size, 0.0);
         for (unsigned j = 0; j < b.size; ++j) {
@@ -299,6 +317,7 @@ Accelerator::prepare(const Csr &matrix, std::span<const double> sampleX)
     }
 
     spmvScratch.assign(placements.size(), {});
+    ctrPlacedBlocks.add(placements.size());
     isPrepared = true;
     return prep;
 }
@@ -311,11 +330,16 @@ Accelerator::spmv(std::span<const double> x, std::span<double> y) const
     if (x.size() != static_cast<std::size_t>(matCols) ||
         y.size() != static_cast<std::size_t>(matRows))
         fatal("Accelerator::spmv: dimension mismatch");
+    telemetry::Span span("accel.spmv");
+    telemetry::Timer timer(hSpmvUs);
+    ctrSpmvCalls.add();
     effectiveCsr.spmv(x, y);
     // Placed blocks accumulate into per-placement partials in
     // parallel; the partials fold into y in fixed placement order,
     // so the result is bit-identical for any lane count.
     parallelFor(placements.size(), [&](std::size_t p) {
+        telemetry::Span blockSpan("accel.block");
+        ctrBlockSpans.add();
         const MatrixBlock &b = plan.blocks[placements[p].blockIdx];
         std::vector<double> &part = spmvScratch[p];
         part.assign(b.size, 0.0);

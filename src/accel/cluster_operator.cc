@@ -1,9 +1,33 @@
 #include "accel/cluster_operator.hh"
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 #include "util/threadpool.hh"
 
 namespace msc {
+
+namespace {
+
+// Scheduling and early-termination tallies, folded from the
+// per-block ClusterStats inside the fixed-order reduction so the
+// totals are deterministic across lane counts.
+constinit telemetry::Counter
+    ctrGroupsExecuted{"cluster.groups_executed"};
+constinit telemetry::Counter
+    ctrGroupsTotal{"cluster.groups_total"};
+constinit telemetry::Counter
+    ctrEarlyTerminated{"cluster.columns_early_terminated"};
+constinit telemetry::Counter
+    ctrConversionsSkipped{"cluster.conversions_skipped"};
+constinit telemetry::Counter
+    ctrPeeledElements{"cluster.peeled_vector_elements"};
+constinit telemetry::Counter ctrApplies{"cluster.applies"};
+constinit telemetry::Counter
+    ctrXbarActivations{"cluster.xbar_activations"};
+constinit telemetry::Counter
+    ctrAdcConversions{"cluster.adc_conversions"};
+
+} // namespace
 
 ClusterArithmeticOperator::ClusterArithmeticOperator(
     const Csr &m, const BlockingConfig &blocking,
@@ -32,12 +56,16 @@ ClusterArithmeticOperator::apply(std::span<const double> x,
         y.size() != static_cast<std::size_t>(mat->rows()))
         fatal("ClusterArithmeticOperator: dimension mismatch");
 
+    telemetry::Span span("cluster.apply");
+    ctrApplies.add();
+
     // Local-processor part: unblockable leftovers on the FPU.
     plan.unblocked.spmv(x, y);
 
     // Fan the block MVMs across the pool; every block writes only
     // its own scratch slot.
     parallelFor(plan.blocks.size(), [&](std::size_t bi) {
+        telemetry::Span blockSpan("cluster.block");
         const MatrixBlock &block = plan.blocks[bi];
         BlockScratch &sc = scratch[bi];
         sc.xLocal.assign(block.size, 0.0);
@@ -68,6 +96,14 @@ ClusterArithmeticOperator::apply(std::span<const double> x,
         aggregate.peeledVectorElements += s.peeledVectorElements;
         aggregate.energy += s.energy;
         aggregate.latency += s.latency;
+
+        ctrGroupsExecuted.add(s.groupsExecuted);
+        ctrGroupsTotal.add(s.groupsTotal);
+        ctrXbarActivations.add(s.xbarActivations);
+        ctrAdcConversions.add(s.adcConversions);
+        ctrEarlyTerminated.add(s.columnsEarlyTerminated);
+        ctrConversionsSkipped.add(s.conversionsSkipped);
+        ctrPeeledElements.add(s.peeledVectorElements);
 
         for (unsigned i = 0; i < block.size; ++i) {
             const std::int64_t row = block.rowOrigin + i;

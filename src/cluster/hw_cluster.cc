@@ -4,11 +4,22 @@
 
 #include "fault/fault.hh"
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 #include "util/threadpool.hh"
 
 namespace msc {
 
 namespace {
+
+// ADC activity and AN-code outcomes per multiply, recorded from the
+// merged stats on the calling thread (deterministic totals).
+constinit telemetry::Counter ctrAdc{"hw.adc_conversions"};
+constinit telemetry::Counter ctrAnClean{"hw.an_clean"};
+constinit telemetry::Counter ctrAnCorrected{"hw.an_corrected"};
+constinit telemetry::Counter
+    ctrAnUncorrectable{"hw.an_uncorrectable"};
+constinit telemetry::Counter
+    ctrCicInverted{"hw.cic_inverted_columns"};
 
 /** Signed accumulator in sign-magnitude form. */
 struct SignedAcc
@@ -177,6 +188,7 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
     if (x.size() != blockSize || y.size() != blockSize)
         fatal("HwCluster::multiply: vector size mismatch");
 
+    telemetry::Span span("hw.multiply");
     HwClusterStats stats;
     for (const auto &xbar : slices) {
         for (unsigned i = 0; i < blockSize; ++i)
@@ -341,6 +353,12 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
         y[i] = fixedToDouble(acc[i].neg, mag, outScale,
                              cfg.rounding);
     }
+    // Every reduced word took one ADC conversion per weight slice.
+    ctrAdc.add(stats.sliceWords * nSlices);
+    ctrAnClean.add(stats.cleanWords);
+    ctrAnCorrected.add(stats.correctedWords);
+    ctrAnUncorrectable.add(stats.uncorrectableWords);
+    ctrCicInverted.add(stats.cicInvertedColumns);
     return stats;
 }
 

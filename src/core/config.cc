@@ -177,6 +177,16 @@ applySolver(const JsonValue &j, ExperimentConfig &cfg)
         j.numberOr("restart", cfg.gmresRestart));
 }
 
+void
+applyTelemetry(const JsonValue &j, ExperimentConfig &cfg)
+{
+    checkKeys(j, {"enabled", "spans"}, "telemetry");
+    telemetry::Config t;
+    t.enabled = j.boolOr("enabled", t.enabled);
+    t.spans = j.boolOr("spans", t.spans);
+    cfg.telemetry = t;
+}
+
 } // namespace
 
 ExperimentConfig
@@ -185,7 +195,7 @@ configFromJson(const JsonValue &root)
     ExperimentConfig cfg;
     checkKeys(root,
               {"accelerator", "gpu", "solver", "seed", "device",
-               "fault", "threads"},
+               "fault", "threads", "telemetry"},
               "document");
     if (root.has("accelerator"))
         applyAccelerator(root.at("accelerator"), cfg.accel);
@@ -205,6 +215,10 @@ configFromJson(const JsonValue &root)
         root.numberOr("threads", static_cast<double>(cfg.threads)));
     if (root.has("device"))
         applyDevice(root.at("device"), cfg.cell);
+    // Observability switches; absent section = leave the process
+    // state (MSC_TELEMETRY or a prior configure()) untouched.
+    if (root.has("telemetry"))
+        applyTelemetry(root.at("telemetry"), cfg);
     cfg.fault.seed = cfg.seed; // inherited unless "fault" overrides
     if (root.has("fault")) {
         const std::uint64_t inherited = cfg.fault.seed;

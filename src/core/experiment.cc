@@ -98,6 +98,8 @@ runSuiteExperiments(const ExperimentConfig &cfg)
 {
     if (cfg.threads != 0)
         setGlobalThreads(cfg.threads);
+    if (cfg.telemetry)
+        telemetry::configure(*cfg.telemetry);
     const std::vector<SuiteEntry> &entries = suiteMatrices();
     std::vector<ExperimentResult> results(entries.size());
     // Whole experiments are the coarsest profitable granularity for

@@ -9,6 +9,7 @@
 #ifndef MSC_CORE_EXPERIMENT_HH
 #define MSC_CORE_EXPERIMENT_HH
 
+#include <optional>
 #include <string>
 
 #include "accel/accel.hh"
@@ -16,6 +17,7 @@
 #include "fault/fault.hh"
 #include "gpu/gpu.hh"
 #include "sparse/suite.hh"
+#include "util/telemetry.hh"
 
 namespace msc {
 
@@ -40,6 +42,10 @@ struct ExperimentConfig
      *  (util/threadpool.hh). 0 = keep the current global setting
      *  (MSC_THREADS or hardware concurrency). */
     unsigned threads = 0;
+    /** Observability switches (util/telemetry.hh). Unset = leave
+     *  the process state (MSC_TELEMETRY or a prior configure())
+     *  untouched. */
+    std::optional<telemetry::Config> telemetry;
 };
 
 struct ExperimentResult

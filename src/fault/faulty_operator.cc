@@ -4,11 +4,31 @@
 #include <limits>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 #include "util/threadpool.hh"
 
 namespace msc {
 
 namespace {
+
+// Injected- and corrected-fault tallies. Apply-time counters fold
+// from per-block scratch in fixed block order; programming-time
+// counters fire once per drawn fault. Both are lane-count
+// independent (streams are keyed by block / apply sequence).
+constinit telemetry::Counter
+    ctrTransients{"fault.transient_upsets"};
+constinit telemetry::Counter
+    ctrSaturated{"fault.saturated_conversions"};
+constinit telemetry::Counter ctrStuckCells{"fault.stuck_cells"};
+constinit telemetry::Counter
+    ctrStuckColumns{"fault.stuck_columns"};
+constinit telemetry::Counter
+    ctrDeadCrossbars{"fault.dead_crossbars"};
+constinit telemetry::Counter ctrReprograms{"fault.reprograms"};
+constinit telemetry::Counter ctrDegrades{"fault.degrades"};
+constinit telemetry::Counter ctrScrubScans{"fault.scrub_scans"};
+constinit telemetry::Counter
+    ctrBlockSpans{"fault.block_spans"};
 
 /** Full-scale value a saturated ADC column pins its output to:
  *  far outside any well-scaled block's range, but finite, so the
@@ -50,8 +70,10 @@ FaultyAccelOperator::drawProgrammingFaults(std::size_t block)
 
     st.dead = rng.chance(camp.deadCrossbarRate) ||
               camp.forcedDeadBlock == static_cast<int>(block);
-    if (st.dead)
+    if (st.dead) {
         ++programStats.deadCrossbars;
+        ctrDeadCrossbars.add();
+    }
 
     if (rng.chance(camp.stuckColumnRate)) {
         st.stuckColumn =
@@ -59,6 +81,7 @@ FaultyAccelOperator::drawProgrammingFaults(std::size_t block)
         st.stuckValue =
             (rng.chance(0.5) ? 1.0 : -1.0) * stuckFullScale;
         ++programStats.stuckColumns;
+        ctrStuckColumns.add();
     }
 
     if (camp.stuckCellRate > 0.0) {
@@ -76,6 +99,7 @@ FaultyAccelOperator::drawProgrammingFaults(std::size_t block)
                                  -static_cast<int>(rng.range(0, 10)));
             st.stuck.push_back(g);
             ++programStats.stuckCells;
+            ctrStuckCells.add();
         }
     }
 
@@ -94,6 +118,8 @@ FaultyAccelOperator::apply(std::span<const double> x,
         y.size() != static_cast<std::size_t>(matRows))
         fatal("FaultyAccelOperator: dimension mismatch");
 
+    telemetry::Span span("fault.apply");
+
     // Local-processor part: unblockable leftovers, always exact.
     plan.unblocked.spmv(x, y);
 
@@ -105,6 +131,8 @@ FaultyAccelOperator::apply(std::span<const double> x,
     // injected faults and the partial sums are independent of the
     // lane count.
     parallelFor(plan.blocks.size(), [&](std::size_t k) {
+        telemetry::Span blockSpan("fault.block");
+        ctrBlockSpans.add();
         const MatrixBlock &blk = plan.blocks[k];
         BlockState &st = state[k];
         ApplyScratch &sc = scratch[k];
@@ -189,6 +217,8 @@ FaultyAccelOperator::apply(std::span<const double> x,
         applyStats.transientUpsets += sc.stats.transientUpsets;
         applyStats.saturatedConversions +=
             sc.stats.saturatedConversions;
+        ctrTransients.add(sc.stats.transientUpsets);
+        ctrSaturated.add(sc.stats.saturatedConversions);
         if (st.dead && !st.exact)
             continue;
         for (unsigned i = 0; i < blk.size; ++i) {
@@ -211,6 +241,7 @@ FaultyAccelOperator::scrub()
     // AN-readback scan: persistent damage is visible by reading the
     // stored words back and checking residues; transient upsets
     // leave no trace. Degraded blocks have no mapped hardware left.
+    ctrScrubScans.add();
     std::vector<std::size_t> suspects;
     for (std::size_t k = 0; k < state.size(); ++k) {
         const BlockState &st = state[k];
@@ -235,6 +266,7 @@ FaultyAccelOperator::reprogram(std::size_t block)
     BlockState &st = state[block];
     if (st.exact)
         return true;
+    ctrReprograms.add();
     // A rewrite with spare-row remapping clears cell-level damage
     // and resets drift; it cannot resurrect dead periphery.
     st.stuck.clear();
@@ -247,6 +279,8 @@ FaultyAccelOperator::degrade(std::size_t block)
 {
     if (block >= state.size())
         fatal("FaultyAccelOperator::degrade: no such block");
+    if (!state[block].exact)
+        ctrDegrades.add();
     state[block].exact = true;
 }
 

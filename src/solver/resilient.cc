@@ -5,10 +5,28 @@
 #include <limits>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace msc {
 
 namespace {
+
+// Mirrors of the RecoveryStats tallies, so a fault campaign's
+// detect -> correct -> reprogram -> degrade ladder shows up in the
+// exported metrics alongside the solver and accelerator counters.
+constinit telemetry::Counter ctrSegments{"resilient.segments"};
+constinit telemetry::Counter ctrScrubs{"resilient.scrubs"};
+constinit telemetry::Counter ctrReprograms{"resilient.reprograms"};
+constinit telemetry::Counter
+    ctrReprogramFailures{"resilient.reprogram_failures"};
+constinit telemetry::Counter
+    ctrRestarts{"resilient.checkpoint_restarts"};
+constinit telemetry::Counter ctrFallbacks{"resilient.fallbacks"};
+constinit telemetry::Counter ctrNan{"resilient.nan_events"};
+constinit telemetry::Counter
+    ctrDivergence{"resilient.divergence_events"};
+constinit telemetry::Counter
+    ctrStagnation{"resilient.stagnation_events"};
 
 bool
 allFinite(std::span<const double> v)
@@ -62,6 +80,7 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
         b.size() != static_cast<std::size_t>(op.rows()))
         fatal("ResilientSolver: dimension mismatch");
 
+    telemetry::Span solveSpan("resilient.solve");
     SolverResult total;
     total.vectorLength = b.size();
     RecoveryStats &rec = total.recovery;
@@ -90,16 +109,20 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
                 if (repairs[k] < policy.maxReprogramsPerBlock) {
                     ++repairs[k];
                     ++rec.reprograms;
+                    ctrReprograms.add();
                     if (!op.reprogram(k)) {
                         ++rec.reprogramFailures;
+                        ctrReprogramFailures.add();
                         op.degrade(k);
                         ++rec.fallbacks;
+                        ctrFallbacks.add();
                     }
                 } else {
                     // Healed twice and damaged again: stop trusting
                     // the hardware for this block.
                     op.degrade(k);
                     ++rec.fallbacks;
+                    ctrFallbacks.add();
                 }
                 acted = true;
             }
@@ -109,11 +132,14 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
     // One rung of the ladder after a detection event. @p restore
     // rewinds the iterate to the last good checkpoint first.
     const auto escalate = [&](bool restore) {
+        telemetry::Span span("resilient.escalate");
         if (restore) {
             std::copy(xGood.begin(), xGood.end(), x.begin());
             ++rec.checkpointRestarts;
+            ctrRestarts.add();
         }
         ++rec.scrubs;
+        ctrScrubs.add();
         repairSuspects(op.scrub());
         ++recoveries;
         if (recoveries >= policy.maxRecoveries) {
@@ -123,6 +149,7 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
                 if (!op.isDegraded(k)) {
                     op.degrade(k);
                     ++rec.fallbacks;
+                    ctrFallbacks.add();
                 }
             }
         }
@@ -133,8 +160,13 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
     while (itersUsed < cfg.maxIterations) {
         const int segIters = std::min(policy.checkpointInterval,
                                       cfg.maxIterations - itersUsed);
-        const SolverResult seg = runSegment(b, x, segIters);
+        SolverResult seg;
+        {
+            telemetry::Span segSpan("resilient.segment");
+            seg = runSegment(b, x, segIters);
+        }
         ++rec.segments;
+        ctrSegments.add();
         // Breakdown segments can report zero iterations; always
         // charge at least one so the loop is bounded.
         itersUsed += std::max(1, seg.iterations);
@@ -146,6 +178,7 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
         const double res = seg.relResidual;
         if (!std::isfinite(res) || !allFinite(x)) {
             ++rec.nanEvents;
+            ctrNan.add();
             escalate(true);
             continue;
         }
@@ -156,6 +189,7 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
             // hardware can look converged. Scrub once; only a clean
             // scan makes the result final.
             ++rec.scrubs;
+            ctrScrubs.add();
             const auto suspects = op.scrub();
             if (suspects.empty()) {
                 total.converged = true;
@@ -167,12 +201,14 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
 
         if (res > policy.divergenceFactor * bestRes) {
             ++rec.divergenceEvents;
+            ctrDivergence.add();
             escalate(true);
             continue;
         }
         if (res > policy.stagnationTol * prevRes) {
             if (++stagnant >= policy.stagnationSegments) {
                 ++rec.stagnationEvents;
+                ctrStagnation.add();
                 // Keep the iterate unless it regressed past the
                 // checkpoint.
                 escalate(res > bestRes);
@@ -196,6 +232,7 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
                         policy.scrubEverySegments) ==
                 0) {
             ++rec.scrubs;
+            ctrScrubs.add();
             repairSuspects(op.scrub());
         }
     }

@@ -3,10 +3,17 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace msc {
 
 namespace {
+
+// One iteration tick + residual gauge per Krylov step; totals are
+// deterministic because every step runs exactly once regardless of
+// the pool's lane count.
+constinit telemetry::Counter ctrIterations{"solver.iterations"};
+constinit telemetry::Gauge gResidual{"solver.residual"};
 
 void
 checkSystem(const LinearOperator &a, std::span<const double> b,
@@ -36,6 +43,7 @@ conjugateGradient(LinearOperator &a, std::span<const double> b,
                   SolverWorkspace *ws)
 {
     checkSystem(a, b, x);
+    telemetry::Span span("solver.cg");
     const std::size_t n = b.size();
     SolverResult res;
     res.vectorLength = n;
@@ -89,6 +97,8 @@ conjugateGradient(LinearOperator &a, std::span<const double> b,
         ++res.axpyCalls;
         rr = rrNew;
         ++res.iterations;
+        ctrIterations.add();
+        gResidual.set(std::sqrt(rr) / bNorm);
     }
     res.relResidual = std::sqrt(rr) / bNorm;
     res.converged = res.relResidual <= cfg.tolerance;
@@ -101,6 +111,7 @@ biCgStab(LinearOperator &a, std::span<const double> b,
          SolverWorkspace *ws)
 {
     checkSystem(a, b, x);
+    telemetry::Span span("solver.bicgstab");
     const std::size_t n = b.size();
     SolverResult res;
     res.vectorLength = n;
@@ -186,6 +197,8 @@ biCgStab(LinearOperator &a, std::span<const double> b,
             axpy(alpha, p, x);
             ++res.axpyCalls;
             ++res.iterations;
+            ctrIterations.add();
+            gResidual.set(sNorm / bNorm);
             resNorm = sNorm;
             res.converged = true;
             break;
@@ -215,6 +228,8 @@ biCgStab(LinearOperator &a, std::span<const double> b,
         resNorm = norm2(r);
         ++res.dotCalls;
         ++res.iterations;
+        ctrIterations.add();
+        gResidual.set(resNorm / bNorm);
         if (std::isfinite(resNorm)) {
             std::copy(x.begin(), x.end(), xSafe.begin());
             safeNorm = resNorm;
@@ -244,6 +259,7 @@ biCg(TransposableOperator &a, std::span<const double> b,
      SolverWorkspace *ws)
 {
     checkSystem(a, b, x);
+    telemetry::Span span("solver.bicg");
     const std::size_t n = b.size();
     SolverResult res;
     res.vectorLength = n;
@@ -311,6 +327,8 @@ biCg(TransposableOperator &a, std::span<const double> b,
         resNorm = norm2(r);
         ++res.dotCalls;
         ++res.iterations;
+        ctrIterations.add();
+        gResidual.set(resNorm / bNorm);
     }
     res.relResidual = resNorm / bNorm;
     res.converged = res.relResidual <= cfg.tolerance;
@@ -323,6 +341,7 @@ gmres(LinearOperator &a, std::span<const double> b,
       SolverWorkspace *ws)
 {
     checkSystem(a, b, x);
+    telemetry::Span span("solver.gmres");
     if (restart < 1)
         fatal("gmres: restart must be >= 1");
     const std::size_t n = b.size();
@@ -411,6 +430,8 @@ gmres(LinearOperator &a, std::span<const double> b,
             g[j] = cs[j] * g[j];
             ++res.iterations;
             resNorm = std::fabs(g[j + 1]);
+            ctrIterations.add();
+            gResidual.set(resNorm / bNorm);
             if (resNorm / bNorm <= cfg.tolerance) {
                 ++j;
                 break;

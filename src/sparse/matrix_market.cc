@@ -60,16 +60,23 @@ readMatrixMarket(std::istream &in)
             break;
     }
     std::istringstream sizes(line);
-    long rows = 0, cols = 0, declaredNnz = 0;
+    long long rows = 0, cols = 0, declaredNnz = 0;
     sizes >> rows >> cols >> declaredNnz;
-    if (rows <= 0 || cols <= 0 || declaredNnz < 0)
+    if (sizes.fail() || rows <= 0 || cols <= 0 || declaredNnz < 0)
         fatal("matrix market: bad size line: ", line);
+    constexpr long long dimMax = 0x7fffffff; // int32 storage
+    if (rows > dimMax || cols > dimMax)
+        fatal("matrix market: dimensions out of range: ", line);
 
     Coo coo;
     coo.rows = static_cast<std::int32_t>(rows);
     coo.cols = static_cast<std::int32_t>(cols);
-    coo.entries.reserve(static_cast<std::size_t>(declaredNnz) *
-                        (symmetric ? 2 : 1));
+    // A hostile nnz in the header must not abort on allocation; the
+    // vector grows on demand and a lying header surfaces as a
+    // truncation error below.
+    coo.entries.reserve(std::min<std::size_t>(
+        static_cast<std::size_t>(declaredNnz) * (symmetric ? 2 : 1),
+        std::size_t{1} << 20));
 
     for (long k = 0; k < declaredNnz; ++k) {
         if (!std::getline(in, line))
@@ -79,13 +86,17 @@ readMatrixMarket(std::istream &in)
             continue;
         }
         std::istringstream entry(line);
-        long r = 0, c = 0;
+        long long r = 0, c = 0;
         double v = 1.0;
         entry >> r >> c;
         if (!pattern)
             entry >> v;
         if (entry.fail())
             fatal("matrix market: bad entry line: ", line);
+        // Checked on the wide value: a huge 1-based index must not
+        // wrap through the int32 cast into a valid-looking slot.
+        if (r < 1 || r > rows || c < 1 || c > cols)
+            fatal("matrix market: entry index out of range: ", line);
         coo.add(static_cast<std::int32_t>(r - 1),
                 static_cast<std::int32_t>(c - 1), v);
         if (symmetric && r != c) {

@@ -1,0 +1,505 @@
+/**
+ * @file
+ * Telemetry registry internals: interned metric cells, per-thread
+ * span buffers, and the JSON exporters.
+ */
+
+#include "util/telemetry.hh"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+namespace msc::telemetry {
+
+namespace detail {
+
+std::atomic<bool> metricsOn{false};
+std::atomic<bool> spansOn{false};
+
+} // namespace detail
+
+namespace {
+
+struct CounterCell
+{
+    std::string name;
+    std::atomic<std::uint64_t> value{0};
+};
+
+struct GaugeCell
+{
+    std::string name;
+    std::atomic<std::uint64_t> bits{0}; //!< bit_cast'ed double
+};
+
+struct HistCell
+{
+    std::string name;
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets>
+        buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sumBits{0}; //!< CAS-updated double
+};
+
+struct SpanBuffer
+{
+    std::uint64_t tid = 0;
+    std::uint32_t depth = 0; //!< touched only by the owning thread
+    std::mutex mu;           //!< guards events against the merger
+    std::vector<SpanRecord> events;
+};
+
+/**
+ * Process-wide registry. Created on first use and never destroyed:
+ * pool worker threads (and their span buffers) can outlive any
+ * static-destruction order, so tearing the registry down would be a
+ * use-after-free waiting to happen.
+ */
+struct Registry
+{
+    std::mutex mu;
+    std::deque<CounterCell> counters; //!< deque: stable addresses
+    std::deque<GaugeCell> gauges;
+    std::deque<HistCell> hists;
+    std::unordered_map<std::string_view, CounterCell *> counterByName;
+    std::unordered_map<std::string_view, GaugeCell *> gaugeByName;
+    std::unordered_map<std::string_view, HistCell *> histByName;
+
+    std::mutex spanMu;
+    std::deque<SpanBuffer> spanBuffers; //!< one per thread, kept
+    std::atomic<std::uint64_t> spanSeq{0};
+
+    template <typename Cell>
+    static Cell *
+    intern(std::deque<Cell> &cells,
+           std::unordered_map<std::string_view, Cell *> &byName,
+           const char *name)
+    {
+        auto it = byName.find(name);
+        if (it != byName.end())
+            return it->second;
+        Cell &cell = cells.emplace_back();
+        cell.name = name;
+        byName.emplace(cell.name, &cell);
+        return &cell;
+    }
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry; // leaked on purpose
+    return *r;
+}
+
+/** The calling thread's span buffer, registering it on first use. */
+SpanBuffer &
+threadSpanBuffer()
+{
+    thread_local SpanBuffer *buf = nullptr;
+    if (!buf) {
+        Registry &r = registry();
+        std::lock_guard lock(r.spanMu);
+        buf = &r.spanBuffers.emplace_back();
+        buf->tid = r.spanBuffers.size() - 1;
+    }
+    return *buf;
+}
+
+/** MSC_TELEMETRY: "1"/"on"/"true" -> metrics + spans, "metrics" ->
+ *  metrics only, anything else (or unset) -> disabled. */
+bool
+initFromEnv()
+{
+    const char *env = std::getenv("MSC_TELEMETRY");
+    if (!env || !*env)
+        return false;
+    std::string v(env);
+    for (char &c : v)
+        c = char(std::tolower((unsigned char)c));
+    if (v == "1" || v == "on" || v == "true" || v == "spans") {
+        detail::metricsOn.store(true, std::memory_order_relaxed);
+        detail::spansOn.store(true, std::memory_order_relaxed);
+    } else if (v == "metrics") {
+        detail::metricsOn.store(true, std::memory_order_relaxed);
+    }
+    return true;
+}
+
+const bool envInitDone = initFromEnv();
+
+void
+atomicAddDouble(std::atomic<std::uint64_t> &bits, double delta)
+{
+    std::uint64_t cur = bits.load(std::memory_order_relaxed);
+    for (;;) {
+        const double next = std::bit_cast<double>(cur) + delta;
+        if (bits.compare_exchange_weak(
+                cur, std::bit_cast<std::uint64_t>(next),
+                std::memory_order_relaxed))
+            return;
+    }
+}
+
+/** Shortest round-trip double formatting (matches json.cc idiom). */
+std::string
+formatDouble(double v)
+{
+    char tmp[64];
+    std::snprintf(tmp, sizeof(tmp), "%.17g", v);
+    double back = 0;
+    std::sscanf(tmp, "%lf", &back);
+    if (back == v) {
+        for (int prec = 1; prec <= 16; ++prec) {
+            char shorter[64];
+            std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+            std::sscanf(shorter, "%lf", &back);
+            if (back == v) {
+                std::memcpy(tmp, shorter, sizeof(shorter));
+                break;
+            }
+        }
+    }
+    return tmp;
+}
+
+std::string
+escapeJson(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if ((unsigned char)c < 0x20) {
+                char tmp[8];
+                std::snprintf(tmp, sizeof(tmp), "\\u%04x", c);
+                out += tmp;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+configure(const Config &cfg)
+{
+    (void)envInitDone;
+    detail::metricsOn.store(cfg.enabled, std::memory_order_relaxed);
+    detail::spansOn.store(cfg.enabled && cfg.spans,
+                          std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    detail::metricsOn.store(on, std::memory_order_relaxed);
+    detail::spansOn.store(on, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    Registry &r = registry();
+    {
+        std::lock_guard lock(r.mu);
+        for (CounterCell &c : r.counters)
+            c.value.store(0, std::memory_order_relaxed);
+        for (GaugeCell &g : r.gauges)
+            g.bits.store(0, std::memory_order_relaxed);
+        for (HistCell &h : r.hists) {
+            for (auto &b : h.buckets)
+                b.store(0, std::memory_order_relaxed);
+            h.count.store(0, std::memory_order_relaxed);
+            h.sumBits.store(0, std::memory_order_relaxed);
+        }
+    }
+    {
+        std::lock_guard lock(r.spanMu);
+        for (SpanBuffer &b : r.spanBuffers) {
+            std::lock_guard bl(b.mu);
+            b.events.clear();
+        }
+        r.spanSeq.store(0, std::memory_order_relaxed);
+    }
+}
+
+std::int64_t
+nowNs()
+{
+    using namespace std::chrono;
+    return duration_cast<nanoseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::size_t
+histogramBucket(double us)
+{
+    const std::size_t nBounds = kHistogramBuckets - 1;
+    for (std::size_t i = 0; i < nBounds; ++i)
+        if (us <= kHistogramBoundsUs[i])
+            return i;
+    return nBounds;
+}
+
+void
+Counter::slowAdd(std::uint64_t delta) const
+{
+    auto *c = static_cast<CounterCell *>(
+        cell.load(std::memory_order_acquire));
+    if (!c) {
+        Registry &r = registry();
+        std::lock_guard lock(r.mu);
+        c = Registry::intern(r.counters, r.counterByName, nm);
+        cell.store(c, std::memory_order_release);
+    }
+    c->value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void
+Gauge::slowSet(double value) const
+{
+    auto *g = static_cast<GaugeCell *>(
+        cell.load(std::memory_order_acquire));
+    if (!g) {
+        Registry &r = registry();
+        std::lock_guard lock(r.mu);
+        g = Registry::intern(r.gauges, r.gaugeByName, nm);
+        cell.store(g, std::memory_order_release);
+    }
+    g->bits.store(std::bit_cast<std::uint64_t>(value),
+                  std::memory_order_relaxed);
+}
+
+void
+Histogram::slowObserve(double us) const
+{
+    auto *h = static_cast<HistCell *>(
+        cell.load(std::memory_order_acquire));
+    if (!h) {
+        Registry &r = registry();
+        std::lock_guard lock(r.mu);
+        h = Registry::intern(r.hists, r.histByName, nm);
+        cell.store(h, std::memory_order_release);
+    }
+    h->buckets[histogramBucket(us)].fetch_add(
+        1, std::memory_order_relaxed);
+    h->count.fetch_add(1, std::memory_order_relaxed);
+    atomicAddDouble(h->sumBits, us);
+}
+
+void
+Span::start(const char *name)
+{
+    SpanBuffer &b = threadSpanBuffer();
+    buf = &b;
+    nm = name;
+    t0 = nowNs();
+    ++b.depth;
+}
+
+void
+Span::finish()
+{
+    auto &b = *static_cast<SpanBuffer *>(buf);
+    const std::int64_t t1 = nowNs();
+    SpanRecord rec;
+    rec.name = nm;
+    rec.tid = b.tid;
+    rec.seq = registry().spanSeq.fetch_add(
+        1, std::memory_order_relaxed);
+    rec.depth = --b.depth;
+    rec.startNs = t0;
+    rec.durNs = t1 - t0;
+    std::lock_guard lock(b.mu);
+    b.events.push_back(std::move(rec));
+}
+
+std::uint64_t
+counterValue(std::string_view name)
+{
+    Registry &r = registry();
+    std::lock_guard lock(r.mu);
+    auto it = r.counterByName.find(name);
+    if (it == r.counterByName.end())
+        return 0;
+    return it->second->value.load(std::memory_order_relaxed);
+}
+
+double
+gaugeValue(std::string_view name)
+{
+    Registry &r = registry();
+    std::lock_guard lock(r.mu);
+    auto it = r.gaugeByName.find(name);
+    if (it == r.gaugeByName.end())
+        return 0.0;
+    return std::bit_cast<double>(
+        it->second->bits.load(std::memory_order_relaxed));
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+snapshotCounters()
+{
+    Registry &r = registry();
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    {
+        std::lock_guard lock(r.mu);
+        out.reserve(r.counters.size());
+        for (CounterCell &c : r.counters)
+            out.emplace_back(
+                c.name, c.value.load(std::memory_order_relaxed));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+snapshotGauges()
+{
+    Registry &r = registry();
+    std::vector<std::pair<std::string, double>> out;
+    {
+        std::lock_guard lock(r.mu);
+        out.reserve(r.gauges.size());
+        for (GaugeCell &g : r.gauges)
+            out.emplace_back(
+                g.name, std::bit_cast<double>(g.bits.load(
+                            std::memory_order_relaxed)));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<HistogramSnapshot>
+snapshotHistograms()
+{
+    Registry &r = registry();
+    std::vector<HistogramSnapshot> out;
+    {
+        std::lock_guard lock(r.mu);
+        out.reserve(r.hists.size());
+        for (HistCell &h : r.hists) {
+            HistogramSnapshot snap;
+            snap.name = h.name;
+            snap.count = h.count.load(std::memory_order_relaxed);
+            snap.sum = std::bit_cast<double>(
+                h.sumBits.load(std::memory_order_relaxed));
+            snap.buckets.reserve(kHistogramBuckets);
+            for (const auto &b : h.buckets)
+                snap.buckets.push_back(
+                    b.load(std::memory_order_relaxed));
+            out.push_back(std::move(snap));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::vector<SpanRecord>
+snapshotSpans()
+{
+    Registry &r = registry();
+    std::vector<SpanRecord> out;
+    {
+        std::lock_guard lock(r.spanMu);
+        for (SpanBuffer &b : r.spanBuffers) {
+            std::lock_guard bl(b.mu);
+            out.insert(out.end(), b.events.begin(),
+                       b.events.end());
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanRecord &a, const SpanRecord &b) {
+                  return a.seq < b.seq;
+              });
+    return out;
+}
+
+void
+writeMetricsJson(std::ostream &out)
+{
+    const auto counters = snapshotCounters();
+    const auto gauges = snapshotGauges();
+    const auto hists = snapshotHistograms();
+
+    out << "{\n  \"counters\": {";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        out << (i ? ",\n    " : "\n    ") << '"'
+            << escapeJson(counters[i].first)
+            << "\": " << counters[i].second;
+    }
+    out << (counters.empty() ? "},\n" : "\n  },\n");
+
+    out << "  \"gauges\": {";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        out << (i ? ",\n    " : "\n    ") << '"'
+            << escapeJson(gauges[i].first)
+            << "\": " << formatDouble(gauges[i].second);
+    }
+    out << (gauges.empty() ? "},\n" : "\n  },\n");
+
+    out << "  \"histograms\": {";
+    for (std::size_t i = 0; i < hists.size(); ++i) {
+        const HistogramSnapshot &h = hists[i];
+        out << (i ? ",\n    " : "\n    ") << '"'
+            << escapeJson(h.name) << "\": {\"count\": " << h.count
+            << ", \"sum_us\": " << formatDouble(h.sum)
+            << ", \"buckets\": [";
+        for (std::size_t b = 0; b < h.buckets.size(); ++b)
+            out << (b ? ", " : "") << h.buckets[b];
+        out << "]}";
+    }
+    out << (hists.empty() ? "}\n" : "\n  }\n");
+    out << "}\n";
+}
+
+void
+writeChromeTrace(std::ostream &out)
+{
+    const auto spans = snapshotSpans();
+    std::int64_t base = 0;
+    for (const SpanRecord &s : spans)
+        base = base == 0 ? s.startNs : std::min(base, s.startNs);
+
+    out << "{\"traceEvents\": [";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const SpanRecord &s = spans[i];
+        out << (i ? ",\n  " : "\n  ") << "{\"name\": \""
+            << escapeJson(s.name)
+            << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << s.tid
+            << ", \"ts\": "
+            << formatDouble(double(s.startNs - base) / 1000.0)
+            << ", \"dur\": "
+            << formatDouble(double(s.durNs) / 1000.0)
+            << ", \"args\": {\"seq\": " << s.seq
+            << ", \"depth\": " << s.depth << "}}";
+    }
+    out << (spans.empty() ? "],\n" : "\n],\n");
+    out << " \"displayTimeUnit\": \"ms\"}\n";
+}
+
+} // namespace msc::telemetry

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Low-overhead observability: metrics registry and trace spans.
+ *
+ * Two facilities share one process-wide, leaked registry:
+ *
+ *  - Metrics: monotonic counters, last-value gauges, and fixed-bucket
+ *    latency histograms, addressed by interned string keys. Handles
+ *    (Counter / Gauge / Histogram) are declared `constinit` at the
+ *    call site and cache a pointer to their interned cell after the
+ *    first touch, so a hot-loop add is one relaxed atomic
+ *    fetch-and-add.
+ *  - Trace spans: scoped RAII Span objects record (name, thread,
+ *    start, duration, depth) events onto per-thread buffers -- pool
+ *    workers included -- which merge into one stream exportable as
+ *    Chrome `trace_event` JSON (load it in chrome://tracing or
+ *    Perfetto).
+ *
+ * Telemetry is off by default. When disabled, every call site
+ * reduces to one relaxed atomic load and a predictable branch:
+ * no allocation, no interning, no clock reads (tests assert the
+ * zero-allocation guarantee). Enable via the config JSON
+ * `telemetry` section, telemetry::configure(), or the
+ * MSC_TELEMETRY environment variable ("1" / "on" enables metrics
+ * and spans, "metrics" enables metrics only).
+ *
+ * Determinism: counter increments issued from parallelFor bodies
+ * are per-index, and every index executes exactly once regardless
+ * of lane count, so counter totals are bit-identical for 1..N
+ * threads (pool self-metrics such as steal counts and idle time
+ * are scheduling-dependent and excluded from that contract). Span
+ * timestamps are wall-clock and never feed back into simulation
+ * results; the merged stream is ordered by a global close sequence
+ * so the export order itself is well-defined.
+ *
+ * The registry is created on first use and intentionally leaked:
+ * worker threads (and their thread_local span buffers) may outlive
+ * any static destruction order the registry could otherwise race
+ * with.
+ */
+
+#ifndef MSC_UTIL_TELEMETRY_HH
+#define MSC_UTIL_TELEMETRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msc::telemetry {
+
+namespace detail {
+
+extern std::atomic<bool> metricsOn;
+extern std::atomic<bool> spansOn;
+
+} // namespace detail
+
+/** True when metric recording is enabled (one relaxed load). */
+inline bool
+metricsActive()
+{
+    return detail::metricsOn.load(std::memory_order_relaxed);
+}
+
+/** True when span recording is enabled (one relaxed load). */
+inline bool
+spansActive()
+{
+    return detail::spansOn.load(std::memory_order_relaxed);
+}
+
+/** Runtime configuration, mirrored by the config JSON `telemetry`
+ *  section. */
+struct Config
+{
+    bool enabled = false; //!< master switch for metrics
+    bool spans = true;    //!< also record trace spans when enabled
+};
+
+/** Apply @p cfg to the process-wide switches. */
+void configure(const Config &cfg);
+
+/** Convenience: enable or disable both metrics and spans. */
+void setEnabled(bool on);
+
+/** Zero every counter/gauge/histogram and drop all recorded spans.
+ *  Interned cells (and cached handle pointers) stay valid. */
+void reset();
+
+/** Monotonic steady-clock nanoseconds (used by spans and timers). */
+std::int64_t nowNs();
+
+/** Histogram bucket upper bounds in microseconds; one extra
+ *  overflow bucket follows the last bound. */
+inline constexpr double kHistogramBoundsUs[] = {
+    1,     2,     5,     10,     20,     50,     100,
+    200,   500,   1000,  2000,   5000,   10000,  20000,
+    50000, 100000, 200000, 500000, 1000000,
+};
+inline constexpr std::size_t kHistogramBuckets =
+    sizeof(kHistogramBoundsUs) / sizeof(double) + 1;
+
+/** Bucket index a value lands in: the first bucket whose bound is
+ *  >= @p us, or the overflow bucket. Exposed for tests. */
+std::size_t histogramBucket(double us);
+
+/**
+ * Monotonic counter handle. Declare `constinit` (namespace scope or
+ * function-local static) with a string-literal name; the first add()
+ * while metrics are enabled interns the name and caches the cell.
+ */
+class Counter
+{
+  public:
+    constexpr explicit Counter(const char *name) : nm(name) {}
+
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    void
+    add(std::uint64_t delta = 1) const
+    {
+        if (metricsActive()) [[unlikely]]
+            slowAdd(delta);
+    }
+
+    const char *name() const { return nm; }
+
+  private:
+    void slowAdd(std::uint64_t delta) const;
+
+    const char *nm;
+    mutable std::atomic<void *> cell{nullptr};
+};
+
+/** Last-value gauge handle (stores a double). */
+class Gauge
+{
+  public:
+    constexpr explicit Gauge(const char *name) : nm(name) {}
+
+    Gauge(const Gauge &) = delete;
+    Gauge &operator=(const Gauge &) = delete;
+
+    void
+    set(double value) const
+    {
+        if (metricsActive()) [[unlikely]]
+            slowSet(value);
+    }
+
+    const char *name() const { return nm; }
+
+  private:
+    void slowSet(double value) const;
+
+    const char *nm;
+    mutable std::atomic<void *> cell{nullptr};
+};
+
+/** Fixed-bucket latency histogram handle (values in microseconds,
+ *  bucketed per kHistogramBoundsUs). */
+class Histogram
+{
+  public:
+    constexpr explicit Histogram(const char *name) : nm(name) {}
+
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    void
+    observe(double us) const
+    {
+        if (metricsActive()) [[unlikely]]
+            slowObserve(us);
+    }
+
+    const char *name() const { return nm; }
+
+  private:
+    void slowObserve(double us) const;
+
+    const char *nm;
+    mutable std::atomic<void *> cell{nullptr};
+};
+
+/** RAII timer: observes the elapsed microseconds into a Histogram
+ *  when it leaves scope. No clock read when metrics are off. */
+class Timer
+{
+  public:
+    explicit Timer(const Histogram &h)
+        : hist(metricsActive() ? &h : nullptr),
+          t0(hist ? nowNs() : 0)
+    {}
+
+    ~Timer()
+    {
+        if (hist)
+            hist->observe(double(nowNs() - t0) / 1000.0);
+    }
+
+    Timer(const Timer &) = delete;
+    Timer &operator=(const Timer &) = delete;
+
+  private:
+    const Histogram *hist;
+    std::int64_t t0;
+};
+
+/**
+ * Scoped trace span. Records onto the calling thread's buffer when
+ * span recording is enabled; otherwise one relaxed load. @p name
+ * must be a string literal (events keep the pointer).
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name)
+    {
+        if (spansActive()) [[unlikely]]
+            start(name);
+    }
+
+    ~Span()
+    {
+        if (buf)
+            finish();
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    void start(const char *name);
+    void finish();
+
+    void *buf = nullptr;
+    const char *nm = nullptr;
+    std::int64_t t0 = 0;
+};
+
+/** One recorded span in merge order. */
+struct SpanRecord
+{
+    std::string name;
+    std::uint64_t tid = 0;   //!< stable per-thread buffer id
+    std::uint64_t seq = 0;   //!< global close sequence
+    std::uint32_t depth = 0; //!< nesting depth on its thread
+    std::int64_t startNs = 0;
+    std::int64_t durNs = 0;
+};
+
+/** Snapshot of one histogram. */
+struct HistogramSnapshot
+{
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<std::uint64_t> buckets; //!< kHistogramBuckets wide
+};
+
+/** Current value of a counter (0 when never interned). */
+std::uint64_t counterValue(std::string_view name);
+
+/** Current value of a gauge (0.0 when never interned). */
+double gaugeValue(std::string_view name);
+
+/** All counters, sorted by name. */
+std::vector<std::pair<std::string, std::uint64_t>> snapshotCounters();
+
+/** All gauges, sorted by name. */
+std::vector<std::pair<std::string, double>> snapshotGauges();
+
+/** All histograms, sorted by name. */
+std::vector<HistogramSnapshot> snapshotHistograms();
+
+/** Every recorded span, merged across threads and sorted by the
+ *  global close sequence. */
+std::vector<SpanRecord> snapshotSpans();
+
+/** Flat metrics JSON: {"counters":{...},"gauges":{...},
+ *  "histograms":{...}} with keys sorted by name. */
+void writeMetricsJson(std::ostream &out);
+
+/** Chrome trace_event JSON ({"traceEvents":[...]}); timestamps are
+ *  microseconds relative to the earliest recorded span. */
+void writeChromeTrace(std::ostream &out);
+
+} // namespace msc::telemetry
+
+#endif // MSC_UTIL_TELEMETRY_HH

@@ -6,10 +6,21 @@
 #include <string>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace msc {
 
 namespace {
+
+// Pool self-metrics. Chunk/steal/idle tallies depend on scheduling,
+// so they sit outside the bit-determinism contract (see
+// util/telemetry.hh); pool.jobs and pool.inline_sections are
+// deterministic.
+constinit telemetry::Counter ctrJobs{"pool.jobs"};
+constinit telemetry::Counter ctrInline{"pool.inline_sections"};
+constinit telemetry::Counter ctrChunks{"pool.chunks"};
+constinit telemetry::Counter ctrSteals{"pool.steals"};
+constinit telemetry::Counter ctrIdleNs{"pool.idle_ns"};
 
 thread_local bool inSection = false;
 
@@ -70,10 +81,15 @@ ThreadPool::workerLoop(unsigned lane)
     for (;;) {
         Job *j = nullptr;
         {
+            const bool timed = telemetry::metricsActive();
+            const std::int64_t t0 = timed ? telemetry::nowNs() : 0;
             std::unique_lock<std::mutex> lk(mu);
             wake.wait(lk, [&] {
                 return stopping || jobSeq != seen;
             });
+            if (timed)
+                ctrIdleNs.add(
+                    std::uint64_t(telemetry::nowNs() - t0));
             if (stopping)
                 return;
             seen = jobSeq;
@@ -96,28 +112,43 @@ void
 ThreadPool::help(Job &j, unsigned homeLane)
 {
     // Drain the home range first, then steal chunks from the others.
-    const std::size_t nRanges = j.ranges.size();
-    for (std::size_t off = 0; off < nRanges; ++off) {
-        Range &r = j.ranges[(homeLane + off) % nRanges];
-        for (;;) {
-            if (j.cancelled.load(std::memory_order_relaxed))
-                return;
-            const std::size_t begin =
-                r.next.fetch_add(j.grain, std::memory_order_relaxed);
-            if (begin >= r.end)
-                break;
-            const std::size_t end =
-                std::min(r.end, begin + j.grain);
-            try {
-                (*j.body)(begin, end);
-            } catch (...) {
-                std::lock_guard<std::mutex> lk(j.errorMu);
-                if (!j.error)
-                    j.error = std::current_exception();
-                j.cancelled.store(true, std::memory_order_relaxed);
-                return;
+    // Chunk/steal tallies fold into the shared counters once per
+    // help() call: a per-chunk atomic add would put every lane on
+    // the same cacheline inside the hot loop.
+    std::uint64_t chunks = 0, steals = 0;
+    const auto drain = [&] {
+        const std::size_t nRanges = j.ranges.size();
+        for (std::size_t off = 0; off < nRanges; ++off) {
+            Range &r = j.ranges[(homeLane + off) % nRanges];
+            for (;;) {
+                if (j.cancelled.load(std::memory_order_relaxed))
+                    return;
+                const std::size_t begin = r.next.fetch_add(
+                    j.grain, std::memory_order_relaxed);
+                if (begin >= r.end)
+                    break;
+                const std::size_t end =
+                    std::min(r.end, begin + j.grain);
+                ++chunks;
+                if (off != 0)
+                    ++steals;
+                try {
+                    (*j.body)(begin, end);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lk(j.errorMu);
+                    if (!j.error)
+                        j.error = std::current_exception();
+                    j.cancelled.store(true,
+                                      std::memory_order_relaxed);
+                    return;
+                }
             }
         }
+    };
+    drain();
+    if (chunks != 0) {
+        ctrChunks.add(chunks);
+        ctrSteals.add(steals);
     }
 }
 
@@ -134,11 +165,13 @@ ThreadPool::forRange(std::size_t n, std::size_t grain,
     // that fits one chunk, or a nested section (the outer loop
     // already owns every lane).
     if (laneCount == 1 || n <= grain || inSection) {
+        ctrInline.add();
         SectionGuard guard;
         body(0, n);
         return;
     }
 
+    ctrJobs.add();
     std::lock_guard<std::mutex> submit(submitMu);
     Job j;
     j.grain = grain;

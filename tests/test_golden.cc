@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Golden-trace regression tests: a fig8-style experiment on a tiny
+ * generated matrix must reproduce the checked-in reference output
+ * byte for byte -- solver trajectory (residuals in hexfloat, an
+ * FNV-1a hash of the solution vector) and the deterministic
+ * telemetry counters -- at 1 and at 4 worker threads.
+ *
+ * Regenerating the goldens (after an intentional numerical change):
+ *
+ *     MSC_REGEN_GOLDEN=1 build/tests/msc_tests \
+ *         --gtest_filter='Golden.*'
+ *
+ * then review the diff under tests/golden/ and commit it. The
+ * goldens encode the bit-determinism contract (DESIGN.md section
+ * 2d/2e): any lane-count dependence or unintended rounding change
+ * shows up as a byte diff here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/faulty_operator.hh"
+#include "solver/resilient.hh"
+#include "solver/solver.hh"
+#include "sparse/gen.hh"
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+#include "util/threadpool.hh"
+
+#ifndef MSC_GOLDEN_DIR
+#error "MSC_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace {
+
+using namespace msc;
+
+/** FNV-1a over the raw bytes of a double vector: a compact,
+ *  byte-exact fingerprint of a solver trajectory's end state. */
+std::uint64_t
+fnv1a(std::span<const double> v)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (double d : v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        for (int b = 0; b < 8; ++b) {
+            h ^= (bits >> (8 * b)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+std::string
+hexDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+/** The fig8-style miniature: same generator family as the paper's
+ *  convergence study, shrunk until a full resilient solve takes
+ *  milliseconds. */
+Csr
+goldenMatrix()
+{
+    TiledParams gen;
+    gen.rows = 96;
+    gen.tile = 16;
+    gen.tileDensity = 0.3;
+    gen.spd = true;
+    gen.symmetricPattern = true;
+    gen.diagDominance = 0.05;
+    gen.seed = 7;
+    return genTiled(gen);
+}
+
+/** Deterministic counters only: pool.* tallies depend on
+ *  scheduling and stay out of the goldens. */
+void
+appendCounters(std::ostringstream &out)
+{
+    for (const auto &[name, value] : telemetry::snapshotCounters()) {
+        if (name.rfind("pool.", 0) == 0)
+            continue;
+        if (value == 0)
+            continue;
+        out << "counter " << name << " " << value << "\n";
+    }
+}
+
+/** Clean CG on the exact CSR operator: residual trajectory at
+ *  doubling iteration caps, then the converged end state. */
+std::string
+cleanCgTrace()
+{
+    const Csr m = goldenMatrix();
+    const std::vector<double> b(
+        static_cast<std::size_t>(m.rows()), 1.0);
+
+    std::ostringstream out;
+    out << "golden clean_cg v1\n";
+    out << "matrix tiled rows=" << m.rows() << " nnz=" << m.nnz()
+        << "\n";
+
+    SolverConfig cfg;
+    cfg.tolerance = 1e-10;
+    for (int cap : {1, 2, 4, 8, 16, 32}) {
+        CsrOperator op(m);
+        std::vector<double> x(b.size(), 0.0);
+        SolverConfig capped = cfg;
+        capped.maxIterations = cap;
+        const SolverResult r = conjugateGradient(op, b, x, capped);
+        out << "residual iter=" << cap << " "
+            << hexDouble(r.relResidual) << "\n";
+    }
+
+    telemetry::reset();
+    CsrOperator op(m);
+    std::vector<double> x(b.size(), 0.0);
+    SolverConfig full = cfg;
+    full.maxIterations = 400;
+    const SolverResult r = conjugateGradient(op, b, x, full);
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(fnv1a(x)));
+    out << "iterations " << r.iterations << "\n";
+    out << "converged " << (r.converged ? 1 : 0) << "\n";
+    out << "rel_residual " << hexDouble(r.relResidual) << "\n";
+    out << "x_hash " << hash << "\n";
+    out << "residual_gauge "
+        << hexDouble(telemetry::gaugeValue("solver.residual"))
+        << "\n";
+    appendCounters(out);
+    return out.str();
+}
+
+/** Resilient CG under a seeded fault campaign: the self-healing
+ *  ladder's counters are part of the trace. */
+std::string
+resilientTrace()
+{
+    const Csr m = goldenMatrix();
+    const std::vector<double> b(
+        static_cast<std::size_t>(m.rows()), 1.0);
+
+    FaultCampaign camp;
+    camp.seed = 7;
+    camp.stuckCellRate = 0.002;
+    camp.transientUpsetRate = 0.01;
+    camp.saturationRate = 0.1;
+    camp.forcedDeadBlock = 0;
+
+    telemetry::reset();
+    FaultyAccelOperator faulty(m, camp);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-8;
+    cfg.maxIterations = 600;
+    ResilientSolver solver(faulty, SolverKind::Cg, cfg);
+    std::vector<double> x(b.size(), 0.0);
+    const SolverResult r = solver.solve(b, x);
+
+    std::ostringstream out;
+    out << "golden resilient_cg v1\n";
+    out << "matrix tiled rows=" << m.rows() << " nnz=" << m.nnz()
+        << "\n";
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(fnv1a(x)));
+    out << "iterations " << r.iterations << "\n";
+    out << "converged " << (r.converged ? 1 : 0) << "\n";
+    out << "rel_residual " << hexDouble(r.relResidual) << "\n";
+    out << "x_hash " << hash << "\n";
+    out << "segments " << r.recovery.segments << "\n";
+    out << "scrubs " << r.recovery.scrubs << "\n";
+    out << "reprograms " << r.recovery.reprograms << "\n";
+    out << "restarts " << r.recovery.checkpointRestarts << "\n";
+    out << "fallbacks " << r.recovery.fallbacks << "\n";
+    out << "degraded " << r.recovery.degradedBlocks << "\n";
+    appendCounters(out);
+    return out.str();
+}
+
+/** Compare (or, under MSC_REGEN_GOLDEN=1, rewrite) one golden. */
+void
+checkGolden(const std::string &file, const std::string &actual)
+{
+    const std::string path =
+        std::string(MSC_GOLDEN_DIR) + "/" + file;
+    if (const char *regen = std::getenv("MSC_REGEN_GOLDEN");
+        regen && std::strcmp(regen, "0") != 0) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden " << path
+                    << " (regenerate with MSC_REGEN_GOLDEN=1)";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(actual, expected.str())
+        << "golden mismatch for " << file
+        << "; if intentional, regenerate with MSC_REGEN_GOLDEN=1 "
+           "and review the diff";
+}
+
+/** Run a trace builder at 1 and 4 threads: both must match the
+ *  golden (and therefore each other) byte for byte. */
+template <typename Fn>
+void
+runAtBothThreadCounts(const std::string &file, Fn &&build)
+{
+    setLogQuiet(true);
+    telemetry::Config tcfg;
+    tcfg.enabled = true;
+    tcfg.spans = false;
+    telemetry::configure(tcfg);
+
+    setGlobalThreads(1);
+    const std::string t1 = build();
+    checkGolden(file, t1);
+
+    setGlobalThreads(4);
+    const std::string t4 = build();
+    EXPECT_EQ(t1, t4) << file
+                      << ": trace differs between 1 and 4 threads";
+
+    setGlobalThreads(0);
+    telemetry::setEnabled(false);
+    setLogQuiet(false);
+}
+
+TEST(Golden, CleanCgTrajectory)
+{
+    runAtBothThreadCounts("clean_cg.txt", cleanCgTrace);
+}
+
+TEST(Golden, ResilientSolveUnderFaults)
+{
+    runAtBothThreadCounts("resilient_cg.txt", resilientTrace);
+}
+
+} // namespace

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Fuzz-style robustness tests for the Matrix Market reader: every
+ * malformed input -- truncated files, bad banners, lying headers,
+ * out-of-range indices, garbage bytes -- must surface as a clean
+ * FatalError, never UB, a wild allocation, or a crash. The
+ * randomized sections run fine under the `sanitize` preset; seeds
+ * are fixed so failures reproduce deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sparse/gen.hh"
+#include "sparse/matrix_market.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace msc;
+
+Csr
+parse(const std::string &text)
+{
+    std::istringstream in(text);
+    return readMatrixMarket(in);
+}
+
+void
+expectRejected(const std::string &text)
+{
+    EXPECT_THROW(parse(text), FatalError) << "input:\n" << text;
+}
+
+// --- banner / header edges -----------------------------------------
+
+TEST(MatrixMarketFuzz, RejectsEmptyAndBannerlessInput)
+{
+    expectRejected("");
+    expectRejected("\n");
+    expectRejected("2 2 1\n1 1 1.0\n");
+    expectRejected("%%MatrixMarke matrix coordinate real general\n"
+                   "1 1 1\n1 1 1.0\n");
+    // Case matters for the tag itself.
+    expectRejected("%%matrixmarket matrix coordinate real general\n"
+                   "1 1 1\n1 1 1.0\n");
+}
+
+TEST(MatrixMarketFuzz, RejectsUnsupportedFormatsFieldsSymmetries)
+{
+    expectRejected("%%MatrixMarket matrix array real general\n"
+                   "2 2\n1.0\n2.0\n3.0\n4.0\n");
+    expectRejected("%%MatrixMarket vector coordinate real general\n"
+                   "1 1 1\n1 1 1.0\n");
+    expectRejected("%%MatrixMarket matrix coordinate complex general\n"
+                   "1 1 1\n1 1 1.0 0.0\n");
+    expectRejected("%%MatrixMarket matrix coordinate real hermitian\n"
+                   "1 1 1\n1 1 1.0\n");
+    // Missing banner words read as empty strings, not stale tokens.
+    expectRejected("%%MatrixMarket matrix coordinate\n"
+                   "1 1 1\n1 1 1.0\n");
+    expectRejected("%%MatrixMarket\n1 1 1\n1 1 1.0\n");
+}
+
+TEST(MatrixMarketFuzz, BannerWordsAreCaseInsensitive)
+{
+    const Csr m =
+        parse("%%MatrixMarket MATRIX Coordinate REAL General\n"
+              "2 2 2\n1 1 3.0\n2 2 4.0\n");
+    EXPECT_EQ(m.rows(), 2);
+    EXPECT_EQ(m.nnz(), 2u);
+}
+
+// --- size-line edges -----------------------------------------------
+
+TEST(MatrixMarketFuzz, RejectsBadSizeLines)
+{
+    const std::string banner =
+        "%%MatrixMarket matrix coordinate real general\n";
+    expectRejected(banner);                    // EOF before sizes
+    expectRejected(banner + "% only comments\n");
+    expectRejected(banner + "abc def ghi\n");
+    expectRejected(banner + "0 2 1\n1 1 1.0\n");
+    expectRejected(banner + "2 0 1\n1 1 1.0\n");
+    expectRejected(banner + "-2 2 1\n1 1 1.0\n");
+    expectRejected(banner + "2 2 -1\n1 1 1.0\n");
+    // int32 overflow in the dimensions must be caught, not wrapped.
+    expectRejected(banner + "4294967297 4294967297 1\n1 1 1.0\n");
+}
+
+TEST(MatrixMarketFuzz, HostileNnzDoesNotPreallocate)
+{
+    // A lying header nnz (9e18) must fail as a truncation error,
+    // not die inside vector::reserve.
+    expectRejected("%%MatrixMarket matrix coordinate real general\n"
+                   "4 4 9000000000000000000\n1 1 1.0\n");
+}
+
+// --- entry-list edges ----------------------------------------------
+
+TEST(MatrixMarketFuzz, RejectsTruncatedAndMalformedEntries)
+{
+    const std::string head =
+        "%%MatrixMarket matrix coordinate real general\n3 3 3\n";
+    expectRejected(head);                        // no entries at all
+    expectRejected(head + "1 1 1.0\n2 2 2.0\n"); // one short
+    expectRejected(head + "1 1 1.0\n2 2\n3 3 3.0\n");  // missing v
+    expectRejected(head + "1 1 1.0\nx y z\n3 3 3.0\n");
+    expectRejected(head + "1\n2 2 2.0\n3 3 3.0\n");
+}
+
+TEST(MatrixMarketFuzz, RejectsOutOfRangeIndices)
+{
+    const std::string head =
+        "%%MatrixMarket matrix coordinate real general\n3 3 1\n";
+    expectRejected(head + "0 1 1.0\n");   // 1-based: 0 is invalid
+    expectRejected(head + "1 0 1.0\n");
+    expectRejected(head + "4 1 1.0\n");
+    expectRejected(head + "1 4 1.0\n");
+    expectRejected(head + "-1 1 1.0\n");
+    // Huge indices must not wrap through the int32 cast back into
+    // range (4294967297 - 1 wraps to 0 in 32 bits).
+    expectRejected(head + "4294967297 1 1.0\n");
+    expectRejected(head + "1 4294967297 1.0\n");
+}
+
+TEST(MatrixMarketFuzz, CommentsAndBlanksInsideEntriesAreSkipped)
+{
+    const Csr m =
+        parse("%%MatrixMarket matrix coordinate real general\n"
+              "% leading comment\n"
+              "\n"
+              "2 2 2\n"
+              "1 1 5.0\n"
+              "% interior comment\n"
+              "\n"
+              "2 2 6.0\n");
+    EXPECT_EQ(m.rows(), 2);
+    ASSERT_EQ(m.nnz(), 2u);
+    EXPECT_DOUBLE_EQ(m.rowVals(0)[0], 5.0);
+    EXPECT_DOUBLE_EQ(m.rowVals(1)[0], 6.0);
+}
+
+TEST(MatrixMarketFuzz, PatternAndSymmetryVariantsExpandCorrectly)
+{
+    const Csr pat =
+        parse("%%MatrixMarket matrix coordinate pattern general\n"
+              "2 2 2\n1 2\n2 1\n");
+    ASSERT_EQ(pat.nnz(), 2u);
+    EXPECT_DOUBLE_EQ(pat.rowVals(0)[0], 1.0);
+
+    const Csr sym =
+        parse("%%MatrixMarket matrix coordinate real symmetric\n"
+              "3 3 2\n2 1 4.0\n3 3 9.0\n");
+    ASSERT_EQ(sym.nnz(), 3u); // off-diagonal mirrored, diag not
+    EXPECT_DOUBLE_EQ(sym.rowVals(0)[0], 4.0);
+    EXPECT_DOUBLE_EQ(sym.rowVals(1)[0], 4.0);
+
+    const Csr skew =
+        parse("%%MatrixMarket matrix coordinate real skew-symmetric\n"
+              "2 2 1\n2 1 4.0\n");
+    ASSERT_EQ(skew.nnz(), 2u);
+    EXPECT_DOUBLE_EQ(skew.rowVals(0)[0], -4.0);
+    EXPECT_DOUBLE_EQ(skew.rowVals(1)[0], 4.0);
+}
+
+TEST(MatrixMarketFuzz, WriteReadRoundTripsExactly)
+{
+    TiledParams gen;
+    gen.rows = 48;
+    gen.tile = 8;
+    gen.tileDensity = 0.4;
+    gen.spd = true;
+    gen.seed = 11;
+    const Csr m = genTiled(gen);
+
+    std::stringstream buf;
+    writeMatrixMarket(m, buf);
+    const Csr back = readMatrixMarket(buf);
+
+    ASSERT_EQ(back.rows(), m.rows());
+    ASSERT_EQ(back.cols(), m.cols());
+    ASSERT_EQ(back.nnz(), m.nnz());
+    for (std::int32_t r = 0; r < m.rows(); ++r) {
+        const auto ac = m.rowCols(r), bc = back.rowCols(r);
+        const auto av = m.rowVals(r), bv = back.rowVals(r);
+        ASSERT_EQ(ac.size(), bc.size()) << "row " << r;
+        for (std::size_t k = 0; k < ac.size(); ++k) {
+            EXPECT_EQ(ac[k], bc[k]);
+            EXPECT_EQ(av[k], bv[k]); // %.17g is lossless for FP64
+        }
+    }
+}
+
+// --- randomized garbage --------------------------------------------
+
+/** Every input, however mangled, must end in a Csr or a FatalError;
+ *  anything else (crash, sanitizer report, wild alloc) is a bug. */
+void
+mustNotCrash(const std::string &text)
+{
+    try {
+        const Csr m = parse(text);
+        EXPECT_GE(m.rows(), 0);
+        EXPECT_GE(m.cols(), 0);
+    } catch (const FatalError &) {
+        // Clean rejection: the expected outcome for garbage.
+    }
+}
+
+TEST(MatrixMarketFuzz, RandomByteNoiseNeverCrashes)
+{
+    Rng rng(0xf022001);
+    const char alphabet[] =
+        "0123456789 .-+eE%\n\tMatrixmarket coordinate";
+    for (int round = 0; round < 300; ++round) {
+        std::string s;
+        const std::size_t len = rng.below(200);
+        for (std::size_t i = 0; i < len; ++i)
+            s += alphabet[rng.below(sizeof(alphabet) - 1)];
+        mustNotCrash(s);
+        mustNotCrash(
+            "%%MatrixMarket matrix coordinate real general\n" + s);
+    }
+}
+
+TEST(MatrixMarketFuzz, MutatedValidFilesNeverCrash)
+{
+    TiledParams gen;
+    gen.rows = 24;
+    gen.tile = 8;
+    gen.tileDensity = 0.5;
+    gen.seed = 3;
+    std::stringstream buf;
+    writeMatrixMarket(genTiled(gen), buf);
+    const std::string base = buf.str();
+
+    Rng rng(0xf022002);
+    for (int round = 0; round < 300; ++round) {
+        std::string s = base;
+        // A handful of point mutations: flip, delete, or insert.
+        const int edits = 1 + static_cast<int>(rng.below(8));
+        for (int e = 0; e < edits && !s.empty(); ++e) {
+            const std::size_t pos = rng.below(s.size());
+            switch (rng.below(3)) {
+              case 0:
+                s[pos] = static_cast<char>(32 + rng.below(96));
+                break;
+              case 1:
+                s.erase(pos, 1 + rng.below(16));
+                break;
+              default:
+                s.insert(pos, 1 + rng.below(4),
+                         static_cast<char>(32 + rng.below(96)));
+                break;
+            }
+        }
+        mustNotCrash(s);
+        // Truncation at every kind of boundary.
+        mustNotCrash(s.substr(0, rng.below(s.size() + 1)));
+    }
+}
+
+} // namespace

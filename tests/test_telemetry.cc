@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Telemetry registry and trace-span semantics: counter
+ * monotonicity, histogram bucket edges, interning stability, span
+ * nesting across parallelFor workers, the disabled-mode
+ * zero-allocation guarantee, and deterministic merge order of the
+ * per-thread span buffers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "util/json.hh"
+#include "util/telemetry.hh"
+#include "util/threadpool.hh"
+
+namespace {
+
+using namespace msc;
+
+// --- allocation counting -------------------------------------------
+// Replacing the global operator new for the whole test binary lets
+// the disabled-mode test prove that telemetry call sites allocate
+// nothing. Counting is keyed off one atomic flag so every other test
+// pays a single relaxed load. Sanitizer builds keep their own
+// interposed allocator (replacing it trips alloc-dealloc-mismatch),
+// so the counting hooks compile away there and the zero-allocation
+// assertion is skipped.
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MSC_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MSC_COUNT_ALLOCS 0
+#endif
+#endif
+#ifndef MSC_COUNT_ALLOCS
+#define MSC_COUNT_ALLOCS 1
+#endif
+
+std::atomic<bool> countAllocs{false};
+thread_local std::int64_t allocCount = 0;
+
+#if MSC_COUNT_ALLOCS
+void *
+countedAlloc(std::size_t size)
+{
+    if (countAllocs.load(std::memory_order_relaxed))
+        ++allocCount;
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+#endif
+
+} // namespace
+
+#if MSC_COUNT_ALLOCS
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+#endif // MSC_COUNT_ALLOCS
+
+namespace {
+
+/** Fresh registry state + a known switch setting per test. */
+void
+setup(bool enabled, bool spans = true)
+{
+    telemetry::Config cfg;
+    cfg.enabled = enabled;
+    cfg.spans = spans;
+    telemetry::configure(cfg);
+    telemetry::reset();
+}
+
+TEST(Telemetry, CounterMonotonicityAndInterning)
+{
+    setup(true, false);
+    // Two handles with the same name must intern to the same cell.
+    static constinit telemetry::Counter a{"test.shared_counter"};
+    static constinit telemetry::Counter b{"test.shared_counter"};
+    a.add();
+    a.add(3);
+    b.add(5);
+    EXPECT_EQ(telemetry::counterValue("test.shared_counter"), 9u);
+
+    // Monotonic: adds only ever grow the value.
+    std::uint64_t prev = telemetry::counterValue("test.shared_counter");
+    for (int i = 0; i < 100; ++i) {
+        a.add(static_cast<std::uint64_t>(i % 3));
+        const std::uint64_t now =
+            telemetry::counterValue("test.shared_counter");
+        EXPECT_GE(now, prev);
+        prev = now;
+    }
+    EXPECT_EQ(prev, 9u + 99u); // sum of i%3 over i in [0,100)
+
+    // Interning stability: reset() keeps the cells (and the cached
+    // handle pointers) alive; values restart from zero.
+    telemetry::reset();
+    EXPECT_EQ(telemetry::counterValue("test.shared_counter"), 0u);
+    b.add(2);
+    EXPECT_EQ(telemetry::counterValue("test.shared_counter"), 2u);
+
+    EXPECT_EQ(telemetry::counterValue("test.never_touched"), 0u);
+}
+
+TEST(Telemetry, CounterTotalsAreLaneCountIndependent)
+{
+    static constinit telemetry::Counter
+        ctr{"test.parallel_counter"};
+    std::uint64_t expected = 0;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        setGlobalThreads(threads);
+        setup(true, false);
+        parallelFor(1000, [&](std::size_t i) {
+            ctr.add(static_cast<std::uint64_t>(i % 7));
+        });
+        const std::uint64_t total =
+            telemetry::counterValue("test.parallel_counter");
+        if (threads == 1u)
+            expected = total;
+        EXPECT_EQ(total, expected) << "threads=" << threads;
+    }
+    setGlobalThreads(0);
+}
+
+TEST(Telemetry, GaugeStoresLastValue)
+{
+    setup(true, false);
+    static constinit telemetry::Gauge g{"test.gauge"};
+    g.set(1.5);
+    g.set(-0.25);
+    EXPECT_EQ(telemetry::gaugeValue("test.gauge"), -0.25);
+    const auto all = telemetry::snapshotGauges();
+    bool found = false;
+    for (const auto &[name, value] : all) {
+        if (name == "test.gauge") {
+            EXPECT_EQ(value, -0.25);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Telemetry, HistogramBucketEdges)
+{
+    using telemetry::histogramBucket;
+    using telemetry::kHistogramBoundsUs;
+    using telemetry::kHistogramBuckets;
+
+    // A value exactly on a bound falls into that bound's bucket;
+    // just above moves to the next one.
+    for (std::size_t i = 0; i + 1 < kHistogramBuckets; ++i) {
+        EXPECT_EQ(histogramBucket(kHistogramBoundsUs[i]), i);
+        EXPECT_EQ(histogramBucket(kHistogramBoundsUs[i] * 1.0001),
+                  i + 1);
+    }
+    EXPECT_EQ(histogramBucket(0.0), 0u);
+    EXPECT_EQ(histogramBucket(1e12), kHistogramBuckets - 1);
+
+    setup(true, false);
+    static constinit telemetry::Histogram h{"test.hist"};
+    h.observe(0.5);     // bucket 0 (<= 1us)
+    h.observe(1.0);     // bucket 0 (on the edge)
+    h.observe(3.0);     // bucket 2 (<= 5us)
+    h.observe(2e6);     // overflow bucket
+    const auto snaps = telemetry::snapshotHistograms();
+    const telemetry::HistogramSnapshot *snap = nullptr;
+    for (const auto &s : snaps) {
+        if (s.name == "test.hist")
+            snap = &s;
+    }
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->count, 4u);
+    EXPECT_DOUBLE_EQ(snap->sum, 0.5 + 1.0 + 3.0 + 2e6);
+    ASSERT_EQ(snap->buckets.size(), kHistogramBuckets);
+    EXPECT_EQ(snap->buckets[0], 2u);
+    EXPECT_EQ(snap->buckets[2], 1u);
+    EXPECT_EQ(snap->buckets[kHistogramBuckets - 1], 1u);
+}
+
+TEST(Telemetry, SpanNestingAcrossParallelForWorkers)
+{
+    setGlobalThreads(4);
+    setup(true, true);
+
+    constexpr std::size_t n = 64;
+    std::vector<std::thread::id> ranOn(n);
+    {
+        telemetry::Span outer("test.outer");
+        parallelFor(n, [&](std::size_t i) {
+            telemetry::Span inner("test.inner");
+            ranOn[i] = std::this_thread::get_id();
+        });
+    }
+
+    const auto spans = telemetry::snapshotSpans();
+    ASSERT_EQ(spans.size(), n + 1);
+
+    // Merge order is the global close sequence: strictly increasing,
+    // and the outer span (closed last) comes out at the end.
+    for (std::size_t i = 0; i + 1 < spans.size(); ++i)
+        EXPECT_LT(spans[i].seq, spans[i + 1].seq);
+    EXPECT_EQ(spans.back().name, "test.outer");
+    EXPECT_EQ(spans.back().depth, 0u);
+
+    // Every thread that executed an index must have recorded onto
+    // its own buffer.
+    std::set<std::thread::id> osThreads(ranOn.begin(), ranOn.end());
+    std::set<std::uint64_t> tids;
+    for (const auto &s : spans) {
+        if (std::string_view(s.name) == "test.inner")
+            tids.insert(s.tid);
+    }
+    EXPECT_EQ(tids.size(), osThreads.size());
+
+    // Nesting: inner spans on the caller's thread sit below the
+    // still-open outer span.
+    const std::uint64_t callerTid = spans.back().tid;
+    for (const auto &s : spans) {
+        if (std::string_view(s.name) != "test.inner")
+            continue;
+        EXPECT_EQ(s.depth, s.tid == callerTid ? 1u : 0u);
+        EXPECT_GE(s.durNs, 0);
+    }
+    setGlobalThreads(0);
+}
+
+TEST(Telemetry, DeterministicMergeOrderIsCloseOrder)
+{
+    setup(true, true);
+    {
+        telemetry::Span a("test.a");
+        { telemetry::Span b("test.b"); }
+    }
+    { telemetry::Span c("test.c"); }
+    const auto spans = telemetry::snapshotSpans();
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].name, "test.b"); // children close first
+    EXPECT_EQ(spans[1].name, "test.a");
+    EXPECT_EQ(spans[2].name, "test.c");
+    EXPECT_EQ(spans[0].depth, 1u);
+    EXPECT_EQ(spans[1].depth, 0u);
+}
+
+TEST(Telemetry, DisabledModeAllocatesNothing)
+{
+    setup(false);
+    ASSERT_FALSE(telemetry::metricsActive());
+    ASSERT_FALSE(telemetry::spansActive());
+
+    // Function-local statics: never interned before this test body.
+    static constinit telemetry::Counter ctr{"test.disabled_ctr"};
+    static constinit telemetry::Gauge gauge{"test.disabled_gauge"};
+    static constinit telemetry::Histogram hist{"test.disabled_hist"};
+
+    allocCount = 0;
+    countAllocs.store(true, std::memory_order_relaxed);
+    for (int i = 0; i < 1000; ++i) {
+        ctr.add();
+        ctr.add(7);
+        gauge.set(3.14);
+        hist.observe(42.0);
+        telemetry::Span span("test.disabled_span");
+        telemetry::Timer timer(hist);
+    }
+    countAllocs.store(false, std::memory_order_relaxed);
+#if MSC_COUNT_ALLOCS
+    EXPECT_EQ(allocCount, 0);
+#else
+    // Sanitizer build: the interposed allocator stays in place, so
+    // only the behavioral half of the guarantee is checked here.
+    (void)allocCount;
+#endif
+
+    // And nothing was recorded either.
+    EXPECT_EQ(telemetry::counterValue("test.disabled_ctr"), 0u);
+    EXPECT_TRUE(telemetry::snapshotSpans().empty());
+}
+
+TEST(Telemetry, ConfigureControlsBothSwitches)
+{
+    telemetry::Config cfg;
+    cfg.enabled = true;
+    cfg.spans = false;
+    telemetry::configure(cfg);
+    EXPECT_TRUE(telemetry::metricsActive());
+    EXPECT_FALSE(telemetry::spansActive());
+
+    cfg.spans = true;
+    telemetry::configure(cfg);
+    EXPECT_TRUE(telemetry::spansActive());
+
+    telemetry::setEnabled(false);
+    EXPECT_FALSE(telemetry::metricsActive());
+    EXPECT_FALSE(telemetry::spansActive());
+}
+
+TEST(Telemetry, ExportersEmitParseableJson)
+{
+    setup(true, true);
+    static constinit telemetry::Counter ctr{"test.export_ctr"};
+    static constinit telemetry::Gauge g{"test.export_gauge"};
+    static constinit telemetry::Histogram h{"test.export_hist"};
+    ctr.add(11);
+    g.set(2.5);
+    h.observe(123.0);
+    { telemetry::Span span("test.export_span"); }
+
+    std::ostringstream metrics;
+    telemetry::writeMetricsJson(metrics);
+    const JsonValue m = JsonValue::parse(metrics.str());
+    EXPECT_EQ(m.at("counters").at("test.export_ctr").asNumber(),
+              11.0);
+    EXPECT_EQ(m.at("gauges").at("test.export_gauge").asNumber(),
+              2.5);
+    EXPECT_EQ(
+        m.at("histograms").at("test.export_hist").at("count")
+            .asNumber(),
+        1.0);
+
+    std::ostringstream trace;
+    telemetry::writeChromeTrace(trace);
+    const JsonValue t = JsonValue::parse(trace.str());
+    const auto &events = t.at("traceEvents").asArray();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].at("name").asString(), "test.export_span");
+    EXPECT_EQ(events[0].at("ph").asString(), "X");
+    EXPECT_GE(events[0].at("dur").asNumber(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+#!/bin/sh
+# Per-module line-coverage table for mscsim.
+#
+# Usage: coverage_report.sh <build-dir> <source-dir>
+#
+# Expects a build configured with -DMSC_COVERAGE=ON (the "coverage"
+# preset) whose tests have already run, so the .gcda counters exist.
+# Works with either `gcov` (GCC) or `llvm-cov gcov` (Clang): `-i`
+# produces gzipped JSON on GCC >= 9 and text intermediate format on
+# older/LLVM tools; both are parsed below and folded into per-module
+# line counts under src/.
+set -eu
+
+build=${1:?usage: coverage_report.sh <build-dir> <source-dir>}
+src=${2:?usage: coverage_report.sh <build-dir> <source-dir>}
+
+if command -v gcov >/dev/null 2>&1; then
+    GCOV="gcov"
+elif command -v llvm-cov >/dev/null 2>&1; then
+    GCOV="llvm-cov gcov"
+else
+    echo "coverage_report: neither gcov nor llvm-cov found" >&2
+    exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+find "$build" -name '*.gcda' | while read -r gcda; do
+    (cd "$tmp" && $GCOV -i -b "$gcda" >/dev/null 2>&1) || continue
+done
+
+python3 - "$tmp" "$src" <<'EOF'
+import gzip
+import json
+import os
+import sys
+from collections import defaultdict
+
+tmp, src = sys.argv[1], sys.argv[2]
+src = os.path.realpath(src)
+
+# file -> {line: max-hit-count}; merging across TUs that include the
+# same header keeps a line "covered" if any TU executed it.
+lines = defaultdict(dict)
+
+
+def absolute(path):
+    p = os.path.realpath(path) if os.path.isabs(path) else None
+    return p if p and p.startswith(src + os.sep) else None
+
+
+def merge(path, lineno, count):
+    prev = lines[path].get(lineno, 0)
+    lines[path][lineno] = max(prev, count)
+
+
+for name in os.listdir(tmp):
+    full = os.path.join(tmp, name)
+    if name.endswith(".gcov.json.gz"):
+        # GCC >= 9 JSON intermediate format.
+        with gzip.open(full, "rt", errors="replace") as f:
+            data = json.load(f)
+        for entry in data.get("files", []):
+            path = absolute(entry.get("file", ""))
+            if not path:
+                continue
+            for rec in entry.get("lines", []):
+                merge(path, rec["line_number"], rec["count"])
+    elif name.endswith(".gcov"):
+        # Old text intermediate format: "file:" / "lcount:" records.
+        current = None
+        with open(full, errors="replace") as f:
+            for raw in f:
+                rec = raw.rstrip("\n").split(":")
+                if rec[0] == "file":
+                    current = absolute(rec[1])
+                elif rec[0] == "lcount" and current:
+                    parts = rec[1].split(",")
+                    merge(current, int(parts[0]), int(parts[1]))
+
+per_module = defaultdict(lambda: [0, 0])  # covered, total
+for path, counts in lines.items():
+    rel = os.path.relpath(path, src)
+    parts = rel.split(os.sep)
+    # src/solver/cg.cc -> "solver"; tests/x.cc -> "tests"
+    module = parts[1] if parts[0] == "src" and len(parts) > 2 \
+        else parts[0]
+    bucket = per_module[module]
+    bucket[0] += sum(1 for c in counts.values() if c > 0)
+    bucket[1] += len(counts)
+
+if not per_module:
+    print("coverage_report: no .gcov data found -- did ctest run "
+          "in the coverage build?", file=sys.stderr)
+    sys.exit(1)
+
+print(f"{'module':<16} {'covered':>8} {'lines':>8} {'pct':>7}")
+tot_c = tot_t = 0
+for module in sorted(per_module):
+    c, t = per_module[module]
+    tot_c += c
+    tot_t += t
+    print(f"{module:<16} {c:>8} {t:>8} {100.0 * c / t:>6.1f}%")
+print(f"{'TOTAL':<16} {tot_c:>8} {tot_t:>8} "
+      f"{100.0 * tot_c / tot_t:>6.1f}%")
+EOF
