@@ -352,7 +352,13 @@ Accelerator::spmv(std::span<const double> x, std::span<double> y) const
     for (std::size_t p = 0; p < placements.size(); ++p) {
         const MatrixBlock &b = plan.blocks[placements[p].blockIdx];
         const std::vector<double> &part = spmvScratch[p];
-        for (unsigned i = 0; i < b.size; ++i)
+        // Edge blocks extend past the last matrix row; their padded
+        // tail is empty, so clamp instead of folding it into memory
+        // beyond y.
+        const unsigned limit = static_cast<unsigned>(std::min(
+            static_cast<std::int64_t>(b.size),
+            static_cast<std::int64_t>(matRows) - b.rowOrigin));
+        for (unsigned i = 0; i < limit; ++i)
             y[static_cast<std::size_t>(b.rowOrigin + i)] += part[i];
     }
 }

@@ -1,0 +1,292 @@
+#include "check/bignum.hh"
+
+#include "util/logging.hh"
+
+namespace msc::check {
+
+void
+BigNat::trim()
+{
+    while (!limbs.empty() && limbs.back() == 0)
+        limbs.pop_back();
+}
+
+BigNat
+BigNat::fromU64(std::uint64_t v)
+{
+    BigNat r;
+    if (v) {
+        r.limbs.push_back(static_cast<std::uint32_t>(v));
+        if (v >> 32)
+            r.limbs.push_back(static_cast<std::uint32_t>(v >> 32));
+    }
+    return r;
+}
+
+BigNat
+BigNat::fromWords(const std::uint64_t *words, unsigned n)
+{
+    BigNat r;
+    r.limbs.reserve(static_cast<std::size_t>(n) * 2);
+    for (unsigned i = 0; i < n; ++i) {
+        r.limbs.push_back(static_cast<std::uint32_t>(words[i]));
+        r.limbs.push_back(static_cast<std::uint32_t>(words[i] >> 32));
+    }
+    r.trim();
+    return r;
+}
+
+unsigned
+BigNat::bitLength() const
+{
+    if (limbs.empty())
+        return 0;
+    std::uint32_t top = limbs.back();
+    unsigned bits = 0;
+    while (top) {
+        ++bits;
+        top >>= 1;
+    }
+    return static_cast<unsigned>(limbs.size() - 1) * 32 + bits;
+}
+
+bool
+BigNat::bit(unsigned pos) const
+{
+    const unsigned limb = pos / 32;
+    if (limb >= limbs.size())
+        return false;
+    return (limbs[limb] >> (pos % 32)) & 1;
+}
+
+unsigned
+BigNat::popcount() const
+{
+    unsigned n = 0;
+    for (std::uint32_t l : limbs) {
+        while (l) {
+            n += l & 1;
+            l >>= 1;
+        }
+    }
+    return n;
+}
+
+unsigned
+BigNat::countTrailingZeros() const
+{
+    for (std::size_t i = 0; i < limbs.size(); ++i) {
+        if (limbs[i] == 0)
+            continue;
+        unsigned off = 0;
+        std::uint32_t l = limbs[i];
+        while (!(l & 1)) {
+            ++off;
+            l >>= 1;
+        }
+        return static_cast<unsigned>(i) * 32 + off;
+    }
+    return 0;
+}
+
+std::uint64_t
+BigNat::word64(unsigned i) const
+{
+    const std::size_t lo = static_cast<std::size_t>(i) * 2;
+    std::uint64_t v = 0;
+    if (lo < limbs.size())
+        v = limbs[lo];
+    if (lo + 1 < limbs.size())
+        v |= static_cast<std::uint64_t>(limbs[lo + 1]) << 32;
+    return v;
+}
+
+BigNat
+BigNat::add(const BigNat &o) const
+{
+    BigNat r;
+    const std::size_t n = std::max(limbs.size(), o.limbs.size());
+    r.limbs.reserve(n + 1);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t s = carry;
+        if (i < limbs.size())
+            s += limbs[i];
+        if (i < o.limbs.size())
+            s += o.limbs[i];
+        r.limbs.push_back(static_cast<std::uint32_t>(s));
+        carry = s >> 32;
+    }
+    if (carry)
+        r.limbs.push_back(static_cast<std::uint32_t>(carry));
+    return r;
+}
+
+BigNat
+BigNat::sub(const BigNat &o) const
+{
+    if (compare(o) < 0)
+        panic("BigNat::sub: would go negative");
+    BigNat r;
+    r.limbs.reserve(limbs.size());
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < limbs.size(); ++i) {
+        std::int64_t d = static_cast<std::int64_t>(limbs[i]) - borrow;
+        if (i < o.limbs.size())
+            d -= o.limbs[i];
+        if (d < 0) {
+            d += std::int64_t{1} << 32;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        r.limbs.push_back(static_cast<std::uint32_t>(d));
+    }
+    r.trim();
+    return r;
+}
+
+BigNat
+BigNat::shl(unsigned s) const
+{
+    if (limbs.empty())
+        return {};
+    const unsigned limbShift = s / 32;
+    const unsigned bitShift = s % 32;
+    BigNat r;
+    r.limbs.assign(limbs.size() + limbShift + 1, 0);
+    for (std::size_t i = 0; i < limbs.size(); ++i) {
+        const std::uint64_t v =
+            static_cast<std::uint64_t>(limbs[i]) << bitShift;
+        r.limbs[i + limbShift] |= static_cast<std::uint32_t>(v);
+        r.limbs[i + limbShift + 1] |=
+            static_cast<std::uint32_t>(v >> 32);
+    }
+    r.trim();
+    return r;
+}
+
+BigNat
+BigNat::shr(unsigned s) const
+{
+    const unsigned limbShift = s / 32;
+    const unsigned bitShift = s % 32;
+    if (limbShift >= limbs.size())
+        return {};
+    BigNat r;
+    r.limbs.assign(limbs.size() - limbShift, 0);
+    for (std::size_t i = 0; i < r.limbs.size(); ++i) {
+        std::uint64_t v = limbs[i + limbShift] >> bitShift;
+        if (bitShift && i + limbShift + 1 < limbs.size())
+            v |= static_cast<std::uint64_t>(limbs[i + limbShift + 1])
+                 << (32 - bitShift);
+        r.limbs[i] = static_cast<std::uint32_t>(v);
+    }
+    r.trim();
+    return r;
+}
+
+BigNat
+BigNat::mul(const BigNat &o) const
+{
+    if (limbs.empty() || o.limbs.empty())
+        return {};
+    BigNat r;
+    r.limbs.assign(limbs.size() + o.limbs.size(), 0);
+    for (std::size_t i = 0; i < limbs.size(); ++i) {
+        std::uint64_t carry = 0;
+        for (std::size_t j = 0; j < o.limbs.size(); ++j) {
+            std::uint64_t cur = r.limbs[i + j] + carry +
+                static_cast<std::uint64_t>(limbs[i]) * o.limbs[j];
+            r.limbs[i + j] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        std::size_t k = i + o.limbs.size();
+        while (carry) {
+            std::uint64_t cur = r.limbs[k] + carry;
+            r.limbs[k] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+            ++k;
+        }
+    }
+    r.trim();
+    return r;
+}
+
+void
+BigNat::divmod(const BigNat &d, BigNat &q, BigNat &r) const
+{
+    if (d.isZero())
+        panic("BigNat::divmod by zero");
+    q = BigNat{};
+    r = BigNat{};
+    const unsigned len = bitLength();
+    // Binary long division, most significant bit first.
+    for (unsigned pos = len; pos-- > 0;) {
+        r = r.shl(1);
+        if (bit(pos)) {
+            if (r.limbs.empty())
+                r.limbs.push_back(1);
+            else
+                r.limbs[0] |= 1;
+        }
+        if (r.compare(d) >= 0) {
+            r = r.sub(d);
+            const unsigned limb = pos / 32;
+            if (q.limbs.size() <= limb)
+                q.limbs.resize(limb + 1, 0);
+            q.limbs[limb] |= std::uint32_t{1} << (pos % 32);
+        }
+    }
+    q.trim();
+    r.trim();
+}
+
+BigNat
+BigNat::truncate(unsigned bits) const
+{
+    BigNat r = *this;
+    const std::size_t fullLimbs = bits / 32;
+    if (r.limbs.size() > fullLimbs) {
+        r.limbs.resize(fullLimbs + 1);
+        const unsigned rem = bits % 32;
+        r.limbs.back() &= rem
+            ? (std::uint32_t{1} << rem) - 1 : 0;
+    }
+    r.trim();
+    return r;
+}
+
+int
+BigNat::compare(const BigNat &o) const
+{
+    if (limbs.size() != o.limbs.size())
+        return limbs.size() < o.limbs.size() ? -1 : 1;
+    for (std::size_t i = limbs.size(); i-- > 0;) {
+        if (limbs[i] != o.limbs[i])
+            return limbs[i] < o.limbs[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+std::string
+BigNat::toHex() const
+{
+    static const char digits[] = "0123456789abcdef";
+    if (limbs.empty())
+        return "0x0";
+    std::string s;
+    bool started = false;
+    for (std::size_t i = limbs.size(); i-- > 0;) {
+        for (int nib = 7; nib >= 0; --nib) {
+            const unsigned d = (limbs[i] >> (nib * 4)) & 0xf;
+            if (d)
+                started = true;
+            if (started)
+                s.push_back(digits[d]);
+        }
+    }
+    return "0x" + s;
+}
+
+} // namespace msc::check

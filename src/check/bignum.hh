@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal schoolbook big natural number, used ONLY as a differential
+ * oracle for WideUInt (src/check).
+ *
+ * Deliberately shares nothing with wideint.hh: 32-bit limbs instead
+ * of 64-bit words, dynamically sized instead of fixed width, carries
+ * propagated with plain 64-bit arithmetic instead of __int128, and
+ * division done by binary long division instead of a per-word
+ * short-division ladder. A bug would have to be made twice, in two
+ * different shapes, to slip past the differential checks.
+ */
+
+#ifndef MSC_CHECK_BIGNUM_HH
+#define MSC_CHECK_BIGNUM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msc::check {
+
+/** Arbitrary-precision natural number, little-endian 32-bit limbs. */
+class BigNat
+{
+  public:
+    BigNat() = default;
+
+    static BigNat fromU64(std::uint64_t v);
+
+    /** From little-endian 64-bit words (a WideUInt's storage). */
+    static BigNat fromWords(const std::uint64_t *words, unsigned n);
+
+    bool isZero() const { return limbs.empty(); }
+    unsigned bitLength() const;
+    bool bit(unsigned pos) const;
+    unsigned popcount() const;
+    /** Index of the lowest set bit; meaningless (0) for zero. */
+    unsigned countTrailingZeros() const;
+
+    /** Word @p i of the value seen as little-endian 64-bit words. */
+    std::uint64_t word64(unsigned i) const;
+
+    BigNat add(const BigNat &o) const;
+    /** this - o; requires this >= o. */
+    BigNat sub(const BigNat &o) const;
+    BigNat shl(unsigned s) const;
+    BigNat shr(unsigned s) const;
+    BigNat mul(const BigNat &o) const;
+    /** Binary long division: q = this / d, r = this % d. */
+    void divmod(const BigNat &d, BigNat &q, BigNat &r) const;
+
+    /** Keep only the low @p bits (mimics fixed-width truncation). */
+    BigNat truncate(unsigned bits) const;
+
+    /** -1, 0, +1 as this <=> o. */
+    int compare(const BigNat &o) const;
+
+    std::string toHex() const;
+
+  private:
+    void trim();
+
+    std::vector<std::uint32_t> limbs; //!< no trailing zero limbs
+};
+
+} // namespace msc::check
+
+#endif // MSC_CHECK_BIGNUM_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Differential checks: block alignment and bias encoding vs exact
+ * IEEE-754 decomposition.
+ *
+ * alignValues() claims a lossless mapping of a value set onto a
+ * common fixed-point scale (paper Section IV-A); biasEncode() claims
+ * an invertible nonnegative encoding (Section IV-C). Both are
+ * validated against the doubles they came from, bit for bit, with
+ * value sets spanning normals, subnormals, zeros, and the full
+ * 64-exponent alignment window.
+ */
+
+#include <bit>
+#include <cmath>
+
+#include "check/check.hh"
+#include "fixedpoint/align.hh"
+#include "fp/float64.hh"
+
+namespace msc::check {
+
+namespace {
+
+/** A random double whose leading bit sits at exponent @p lead. */
+double
+doubleWithLead(Rng &rng, int lead)
+{
+    // Random 53-bit mantissa with the implicit bit forced.
+    std::uint64_t mant =
+        (rng.next() & ((std::uint64_t{1} << 52) - 1)) |
+        (std::uint64_t{1} << 52);
+    double v = std::ldexp(static_cast<double>(mant), lead - 52);
+    if (rng.chance(0.5))
+        v = -v;
+    return v;
+}
+
+void
+iterate(Context &ctx)
+{
+    Rng &rng = ctx.rng();
+    const std::size_t n = rng.below(48) + 1;
+    // Exponent window: at most maxExpRange wide, placed anywhere in
+    // the normal range; one iteration in ten dives into the
+    // subnormal floor with a narrower window (subnormal rounding can
+    // nudge a leading bit up one exponent, so leave headroom).
+    int span, base;
+    if (rng.chance(0.1)) {
+        span = static_cast<int>(rng.below(21));
+        base = static_cast<int>(rng.range(-1073, -1050 - span));
+    } else {
+        span = static_cast<int>(rng.below(
+            static_cast<std::uint64_t>(fxp::maxExpRange) + 1));
+        base = static_cast<int>(rng.range(-1010, 1000 - span));
+    }
+
+    std::vector<double> values(n, 0.0);
+    for (double &v : values) {
+        if (rng.chance(0.15))
+            continue; // keep a zero
+        const int lead = base + static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(span) + 1));
+        v = doubleWithLead(rng, lead);
+    }
+
+    // --- exponent-range oracle -----------------------------------
+    const ExpRange range = expRangeOf(values);
+    int minLead = 0, maxLead = 0;
+    bool any = false;
+    for (double v : values) {
+        if (v == 0.0)
+            continue;
+        const int lead = std::ilogb(v);
+        if (!any) {
+            minLead = maxLead = lead;
+            any = true;
+        } else {
+            minLead = std::min(minLead, lead);
+            maxLead = std::max(maxLead, lead);
+        }
+    }
+    ctx.expect(range.anyNonZero == any, "anyNonZero mismatch");
+    if (any) {
+        ctx.expect(range.minExp == minLead && range.maxExp == maxLead,
+                   "exp range mismatch: [", range.minExp, ", ",
+                   range.maxExp, "] vs ilogb [", minLead, ", ",
+                   maxLead, "]");
+    }
+
+    // --- alignment is lossless -----------------------------------
+    const AlignedSet aligned = alignValues(values);
+    ctx.expect(aligned.size() == n, "aligned size mismatch");
+    ctx.expect(aligned.magBits <= fxp::maxMagBits,
+               "operand width ", aligned.magBits, " over budget");
+    for (std::size_t i = 0; i < n; ++i) {
+        const double back = aligned.valueOf(i);
+        ctx.expect(std::bit_cast<std::uint64_t>(back) ==
+                           std::bit_cast<std::uint64_t>(values[i]) ||
+                       (back == 0.0 && values[i] == 0.0),
+                   "alignment not exact at ", i, ": ", values[i],
+                   " -> ", back);
+        // Independent reconstruction: mag * 2^scale via ldexp over
+        // the magnitude words (exact because mag has < 118 bits and
+        // each word contributes an exact power-of-two multiple).
+        const double mag =
+            std::ldexp(static_cast<double>(aligned.mag[i].word(1)), 64) +
+            static_cast<double>(aligned.mag[i].word(0));
+        if (aligned.mag[i].bitLength() <= 53) {
+            const double recon = std::ldexp(
+                aligned.neg[i] ? -mag : mag, aligned.scale);
+            ctx.expect(recon == values[i],
+                       "ldexp reconstruction mismatch at ", i);
+        }
+    }
+
+    // --- bit slices reassemble the magnitudes --------------------
+    if (n > 0 && aligned.magBits > 0) {
+        const unsigned k =
+            static_cast<unsigned>(rng.below(aligned.magBits));
+        const BitVec slice = aligned.bitSlice(k);
+        for (std::size_t i = 0; i < n; ++i) {
+            ctx.expect(slice.get(i) == aligned.mag[i].bit(k),
+                       "bitSlice mismatch at (", i, ", ", k, ")");
+        }
+    }
+
+    // --- bias encoding round-trips -------------------------------
+    const BiasedSet biased = biasEncode(aligned);
+    ctx.expect(biased.biasBits >= std::max(aligned.magBits, 1u),
+               "bias narrower than magnitudes");
+    ctx.expect(biased.width() == biased.biasBits + 1,
+               "stored width must be biasBits + 1");
+    for (std::size_t i = 0; i < n; ++i) {
+        U128 mag;
+        bool neg = false;
+        biasDecode(biased, i, mag, neg);
+        ctx.expect(mag == aligned.mag[i],
+                   "bias decode magnitude mismatch at ", i);
+        const bool negExpected =
+            aligned.neg[i] != 0 && !aligned.mag[i].isZero();
+        ctx.expect(neg == negExpected,
+                   "bias decode sign mismatch at ", i);
+        // Every stored operand is nonnegative and fits width().
+        ctx.expect(biased.stored[i].bitLength() <= biased.width(),
+                   "stored operand wider than declared at ", i);
+        // Zeros store exactly the bias pattern.
+        if (values[i] == 0.0) {
+            ctx.expect(biased.stored[i] == biased.bias(),
+                       "zero does not store the bias at ", i);
+        }
+    }
+}
+
+} // namespace
+
+void
+addAlignChecks(std::vector<Module> &out)
+{
+    out.push_back({"align", iterate});
+}
+
+} // namespace msc::check

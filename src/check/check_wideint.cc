@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Differential checks: WideUInt<NW> vs the schoolbook BigNat oracle.
+ *
+ * Operands are drawn with random bit lengths (biased toward the
+ * edges: zero, single high bit, all-ones runs) so carry chains,
+ * word-boundary shifts, and truncation paths all get exercised.
+ */
+
+#include "check/bignum.hh"
+#include "check/check.hh"
+#include "wideint/wideint.hh"
+
+namespace msc::check {
+
+namespace {
+
+template <unsigned NW>
+WideUInt<NW>
+randomWide(Rng &rng)
+{
+    WideUInt<NW> v;
+    // Shape mix: 0 = sparse random, 1 = dense random, 2 = all-ones
+    // low run, 3 = single bit, 4 = zero.
+    const std::uint64_t shape = rng.below(5);
+    switch (shape) {
+      case 0: {
+        const unsigned bits =
+            static_cast<unsigned>(rng.below(NW * 64 + 1));
+        const unsigned setCount =
+            static_cast<unsigned>(rng.below(bits + 1) / 4 + 1);
+        for (unsigned i = 0; bits && i < setCount; ++i)
+            v.setBit(static_cast<unsigned>(rng.below(bits)));
+        break;
+      }
+      case 1: {
+        const unsigned words =
+            static_cast<unsigned>(rng.below(NW) + 1);
+        for (unsigned i = 0; i < words; ++i)
+            v.setWord(i, rng.next());
+        break;
+      }
+      case 2: {
+        const unsigned run =
+            static_cast<unsigned>(rng.below(NW * 64) + 1);
+        for (unsigned i = 0; i < run; ++i)
+            v.setBit(i);
+        break;
+      }
+      case 3:
+        v.setBit(static_cast<unsigned>(rng.below(NW * 64)));
+        break;
+      default:
+        break;
+    }
+    return v;
+}
+
+template <unsigned NW>
+BigNat
+toBig(const WideUInt<NW> &v)
+{
+    std::uint64_t words[NW];
+    for (unsigned i = 0; i < NW; ++i)
+        words[i] = v.word(i);
+    return BigNat::fromWords(words, NW);
+}
+
+template <unsigned NW>
+bool
+sameValue(const WideUInt<NW> &v, const BigNat &o)
+{
+    if (o.bitLength() > NW * 64)
+        return false;
+    for (unsigned i = 0; i < NW; ++i) {
+        if (v.word(i) != o.word64(i))
+            return false;
+    }
+    return true;
+}
+
+template <unsigned NW>
+void
+checkWidth(Context &ctx)
+{
+    Rng &rng = ctx.rng();
+    const WideUInt<NW> a = randomWide<NW>(rng);
+    const WideUInt<NW> b = randomWide<NW>(rng);
+    const BigNat ba = toBig(a);
+    const BigNat bb = toBig(b);
+
+    // Structure probes.
+    ctx.expect(a.bitLength() == ba.bitLength(),
+               "bitLength mismatch: ", a.toHex());
+    ctx.expect(a.popcount() == ba.popcount(),
+               "popcount mismatch: ", a.toHex());
+    if (!a.isZero()) {
+        ctx.expect(a.countTrailingZeros() == ba.countTrailingZeros(),
+                   "ctz mismatch: ", a.toHex());
+    } else {
+        ctx.expect(a.countTrailingZeros() == NW * 64,
+                   "ctz of zero must be numBits");
+    }
+    ctx.expect(ba.compare(bb) ==
+                   (a < b ? -1 : (a == b ? 0 : 1)),
+               "compare mismatch: ", a.toHex(), " vs ", b.toHex());
+
+    // Addition (mod 2^numBits) and subtraction (wrapping).
+    ctx.expect(sameValue(a + b, ba.add(bb).truncate(NW * 64)),
+               "add mismatch: ", a.toHex(), " + ", b.toHex());
+    if (ba.compare(bb) >= 0) {
+        ctx.expect(sameValue(a - b, ba.sub(bb)),
+                   "sub mismatch: ", a.toHex(), " - ", b.toHex());
+    } else {
+        // Wrap-around: a - b == a + (2^numBits - b).
+        const BigNat modulus = BigNat::fromU64(1).shl(NW * 64);
+        ctx.expect(sameValue(a - b, modulus.sub(bb).add(ba)
+                                        .truncate(NW * 64)),
+                   "wrapping sub mismatch: ", a.toHex(), " - ",
+                   b.toHex());
+    }
+
+    // Shifts, including word-boundary and out-of-range amounts.
+    const unsigned s =
+        static_cast<unsigned>(rng.below(NW * 64 + 8));
+    ctx.expect(sameValue(a << s, ba.shl(s).truncate(NW * 64)),
+               "shl mismatch: ", a.toHex(), " << ", s);
+    ctx.expect(sameValue(a >> s, ba.shr(s)),
+               "shr mismatch: ", a.toHex(), " >> ", s);
+
+    // addShifted: r += (b << k) without materializing.
+    {
+        const unsigned k =
+            static_cast<unsigned>(rng.below(NW * 64));
+        WideUInt<NW> r = a;
+        r.addShifted(b, k);
+        ctx.expect(sameValue(r, ba.add(bb.shl(k)).truncate(NW * 64)),
+                   "addShifted mismatch: ", a.toHex(), " += ",
+                   b.toHex(), " << ", k);
+    }
+
+    // Small multiply (truncating) and full widening multiply.
+    {
+        const std::uint64_t m = rng.next();
+        WideUInt<NW> r = a;
+        r.mulSmall(m);
+        ctx.expect(sameValue(r, ba.mul(BigNat::fromU64(m))
+                                    .truncate(NW * 64)),
+                   "mulSmall mismatch: ", a.toHex(), " * ", m);
+    }
+    {
+        const WideUInt<NW + 2> wide = a.mulWide(WideUInt<2>::from(b));
+        ctx.expect(sameValue(wide, ba.mul(bb.truncate(128))),
+                   "mulWide mismatch: ", a.toHex());
+    }
+
+    // Division / remainder by a small divisor.
+    {
+        std::uint64_t d = rng.below(3) == 0
+            ? rng.below(1000) + 1 : rng.next() | 1;
+        BigNat q, r;
+        ba.divmod(BigNat::fromU64(d), q, r);
+        ctx.expect(a.modSmall(d) == r.word64(0) &&
+                       r.bitLength() <= 64,
+                   "modSmall mismatch: ", a.toHex(), " % ", d);
+        WideUInt<NW> quot = a;
+        const std::uint64_t rem = quot.divSmall(d);
+        ctx.expect(sameValue(quot, q) && rem == r.word64(0),
+                   "divSmall mismatch: ", a.toHex(), " / ", d);
+    }
+
+    // Bitwise ops are self-evident per word but cheap to cross-check
+    // through identities: (a ^ b) ^ b == a, a & b <= a | b.
+    ctx.expect(((a ^ b) ^ b) == a, "xor involution failed");
+    ctx.expect((a & b) <= (a | b), "and/or ordering failed");
+    ctx.expect((~(~a)) == a, "not involution failed");
+}
+
+void
+iterate(Context &ctx)
+{
+    // One width per iteration keeps the per-iteration cost flat;
+    // U256 is the width the cluster pipeline leans on hardest.
+    switch (ctx.rng().below(4)) {
+      case 0:
+        checkWidth<2>(ctx);
+        break;
+      case 1:
+        checkWidth<3>(ctx);
+        break;
+      case 2:
+        checkWidth<5>(ctx);
+        break;
+      default:
+        checkWidth<4>(ctx);
+        break;
+    }
+}
+
+} // namespace
+
+void
+addWideIntChecks(std::vector<Module> &out)
+{
+    out.push_back({"wideint", iterate});
+}
+
+} // namespace msc::check

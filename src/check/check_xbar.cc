@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Differential checks: BinaryCrossbar vs a naive dense bit matrix.
+ *
+ * A column read is popcount(stored AND input) by definition (paper
+ * Section III-B); computational invert coding (Section V-B2) stores
+ * complements of dense columns and corrects digitally. The oracle
+ * here is the obvious O(rows) loop over a plain byte matrix, kept
+ * through every mutation the crossbar sees (set, applyCic, clear).
+ */
+
+#include <vector>
+
+#include "check/check.hh"
+#include "xbar/crossbar.hh"
+
+namespace msc::check {
+
+namespace {
+
+void
+iterate(Context &ctx)
+{
+    Rng &rng = ctx.rng();
+    const unsigned rows = static_cast<unsigned>(rng.below(64) + 1);
+    const unsigned cols = static_cast<unsigned>(rng.below(32) + 1);
+    const double density = rng.uniform(0.0, 1.0);
+
+    BinaryCrossbar xbar(rows, cols);
+    // Dense mirror of the logical (pre-inversion) contents.
+    std::vector<std::uint8_t> dense(
+        static_cast<std::size_t>(rows) * cols, 0);
+    for (unsigned r = 0; r < rows; ++r) {
+        for (unsigned c = 0; c < cols; ++c) {
+            if (rng.chance(density)) {
+                xbar.set(r, c);
+                dense[static_cast<std::size_t>(r) * cols + c] = 1;
+            }
+        }
+    }
+    // Exercise explicit clearing of individual cells too.
+    if (rng.chance(0.5)) {
+        const unsigned r = static_cast<unsigned>(rng.below(rows));
+        const unsigned c = static_cast<unsigned>(rng.below(cols));
+        xbar.set(r, c, false);
+        dense[static_cast<std::size_t>(r) * cols + c] = 0;
+    }
+
+    BitVec input(rows);
+    for (unsigned r = 0; r < rows; ++r) {
+        if (rng.chance(0.5))
+            input.set(r);
+    }
+
+    const auto naiveOnes = [&](unsigned c) {
+        std::int64_t n = 0;
+        for (unsigned r = 0; r < rows; ++r)
+            n += dense[static_cast<std::size_t>(r) * cols + c];
+        return n;
+    };
+    const auto naiveDot = [&](unsigned c) {
+        std::int64_t n = 0;
+        for (unsigned r = 0; r < rows; ++r) {
+            if (dense[static_cast<std::size_t>(r) * cols + c] &&
+                input.get(r))
+                ++n;
+        }
+        return n;
+    };
+
+    // --- pre-CIC: stored == logical ------------------------------
+    for (unsigned c = 0; c < cols; ++c) {
+        ctx.expect(xbar.readColumn(c, input) == naiveDot(c),
+                   "readColumn mismatch at column ", c);
+        ctx.expect(xbar.logicalColumn(c, input) == naiveDot(c),
+                   "pre-CIC logicalColumn mismatch at column ", c);
+        ctx.expect(xbar.columnOnes(c) ==
+                       static_cast<unsigned>(naiveOnes(c)),
+                   "columnOnes mismatch at column ", c);
+        ctx.expect(!xbar.columnInverted(c),
+                   "column inverted before applyCic: ", c);
+    }
+    {
+        const unsigned r = static_cast<unsigned>(rng.below(rows));
+        const unsigned c = static_cast<unsigned>(rng.below(cols));
+        ctx.expect(xbar.get(r, c) ==
+                       (dense[static_cast<std::size_t>(r) * cols + c]
+                        != 0),
+                   "get round-trip mismatch at (", r, ", ", c, ")");
+    }
+
+    // --- CIC: dense columns invert, reads correct digitally ------
+    unsigned expectInverted = 0;
+    unsigned expectCorners = 0;
+    for (unsigned c = 0; c < cols; ++c) {
+        const std::int64_t ones = naiveOnes(c);
+        if (2 * ones > rows)
+            ++expectInverted;
+        else if (2 * ones == rows)
+            ++expectCorners;
+    }
+    const unsigned flipped = xbar.applyCic();
+    ctx.expect(flipped == expectInverted,
+               "applyCic inverted ", flipped, " columns, expected ",
+               expectInverted);
+    ctx.expect(xbar.denseCornerCases() == expectCorners,
+               "denseCornerCases mismatch: ", xbar.denseCornerCases(),
+               " vs ", expectCorners);
+    for (unsigned c = 0; c < cols; ++c) {
+        const std::int64_t ones = naiveOnes(c);
+        ctx.expect(xbar.columnInverted(c) == (2 * ones > rows),
+                   "inversion flag mismatch at column ", c);
+        const unsigned storedOnes = xbar.columnInverted(c)
+            ? rows - static_cast<unsigned>(ones)
+            : static_cast<unsigned>(ones);
+        ctx.expect(xbar.columnOnes(c) == storedOnes,
+                   "post-CIC columnOnes mismatch at column ", c);
+        // The whole point of CIC: stored density <= 1/2.
+        ctx.expect(2 * xbar.columnOnes(c) <= rows,
+                   "CIC left a dense column: ", c);
+        // ADC headstart preset: smallest b with 2^b >= ones + 1.
+        unsigned bits = 0;
+        while ((1ull << bits) < storedOnes + 1ull)
+            ++bits;
+        ctx.expect(xbar.columnMaxOutputBits(c) == bits,
+                   "columnMaxOutputBits mismatch at column ", c);
+        // The digital correction makes inversion transparent.
+        ctx.expect(xbar.logicalColumn(c, input) == naiveDot(c),
+                   "post-CIC logicalColumn mismatch at column ", c);
+        if (xbar.columnInverted(c)) {
+            const std::int64_t raw = xbar.readColumn(c, input);
+            ctx.expect(raw == static_cast<std::int64_t>(
+                                  input.popcount()) - naiveDot(c),
+                       "inverted raw read mismatch at column ", c);
+        }
+    }
+
+    // --- clear() kills cells but keeps inversion flags -----------
+    xbar.clear();
+    for (unsigned c = 0; c < cols; ++c) {
+        const std::int64_t ones = naiveOnes(c);
+        ctx.expect(xbar.readColumn(c, input) == 0,
+                   "cleared column still reads current: ", c);
+        ctx.expect(xbar.columnOnes(c) == 0,
+                   "cleared column still has ones: ", c);
+        ctx.expect(xbar.columnInverted(c) == (2 * ones > rows),
+                   "clear() dropped the inversion flag of ", c);
+        // Dead array + surviving CIC flag: the correction fires on
+        // zero current, so inverted columns read popcount(input).
+        const std::int64_t expect = xbar.columnInverted(c)
+            ? static_cast<std::int64_t>(input.popcount())
+            : 0;
+        ctx.expect(xbar.logicalColumn(c, input) == expect,
+                   "cleared logicalColumn mismatch at column ", c);
+    }
+}
+
+} // namespace
+
+void
+addXbarChecks(std::vector<Module> &out)
+{
+    out.push_back({"xbar", iterate});
+}
+
+} // namespace msc::check

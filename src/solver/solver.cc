@@ -394,6 +394,7 @@ gmres(LinearOperator &a, std::span<const double> b,
         g[0] = resNorm;
 
         std::size_t j = 0;
+        bool lucky = false;
         for (; j < m && res.iterations < cfg.maxIterations; ++j) {
             a.apply(*v[j], w);
             ++res.spmvCalls;
@@ -409,6 +410,14 @@ gmres(LinearOperator &a, std::span<const double> b,
             if (h[j + 1][j] != 0.0) {
                 for (std::size_t i = 0; i < n; ++i)
                     (*v[j + 1])[i] = w[i] / h[j + 1][j];
+            } else {
+                // Lucky (happy) breakdown: A V_j already lies in
+                // span(V_j), so the Krylov subspace is invariant and
+                // no further basis vector exists. Fold column j into
+                // the least-squares problem and stop the cycle --
+                // continuing would feed the next Arnoldi step
+                // whatever v[j+1] held from a previous restart cycle.
+                lucky = true;
             }
             // Apply accumulated Givens rotations to column j.
             for (std::size_t i = 0; i < j; ++i) {
@@ -432,7 +441,7 @@ gmres(LinearOperator &a, std::span<const double> b,
             resNorm = std::fabs(g[j + 1]);
             ctrIterations.add();
             gResidual.set(resNorm / bNorm);
-            if (resNorm / bNorm <= cfg.tolerance) {
+            if (lucky || resNorm / bNorm <= cfg.tolerance) {
                 ++j;
                 break;
             }
@@ -443,11 +452,36 @@ gmres(LinearOperator &a, std::span<const double> b,
             double sum = g[i];
             for (std::size_t k = i + 1; k < j; ++k)
                 sum -= h[i][k] * y[k];
-            y[i] = h[i][i] != 0.0 ? sum / h[i][i] : 0.0;
+            if (h[i][i] != 0.0) {
+                y[i] = sum / h[i][i];
+            } else {
+                // Rank-deficient Hessenberg (singular operator): the
+                // residual component in g[i] cannot be annihilated.
+                if (sum != 0.0) {
+                    warn("GMRES: singular Hessenberg pivot h[", i,
+                         "][", i, "]; keeping y[", i, "] = 0");
+                }
+                y[i] = 0.0;
+            }
         }
         for (std::size_t i = 0; i < j; ++i) {
             axpy(y[i], *v[i], x);
             ++res.axpyCalls;
+        }
+        if (lucky) {
+            // The subspace is invariant, so restarting regenerates
+            // the same space: x cannot improve further. The rotated
+            // recurrence residual |g[j]| is meaningless when the
+            // Hessenberg went rank deficient (the zero column left
+            // the rotation an identity), so report the true residual
+            // of the updated iterate instead.
+            a.apply(x, w);
+            ++res.spmvCalls;
+            for (std::size_t i = 0; i < n; ++i)
+                w[i] = b[i] - w[i];
+            resNorm = norm2(w);
+            ++res.dotCalls;
+            break;
         }
         if (resNorm / bNorm <= cfg.tolerance) {
             res.converged = true;

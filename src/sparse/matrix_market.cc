@@ -53,6 +53,11 @@ readMatrixMarket(std::istream &in)
     } else {
         fatal("matrix market: unsupported symmetry: ", symmetry);
     }
+    // The MM spec allows pattern matrices to be general or symmetric
+    // only: a skew-symmetric pattern has no values to negate, and
+    // mirroring the implicit 1.0 as -1.0 would fabricate data.
+    if (pattern && skewSymmetric)
+        fatal("matrix market: pattern field cannot be skew-symmetric");
 
     // Skip comments.
     while (std::getline(in, line)) {
@@ -97,6 +102,13 @@ readMatrixMarket(std::istream &in)
         // wrap through the int32 cast into a valid-looking slot.
         if (r < 1 || r > rows || c < 1 || c > cols)
             fatal("matrix market: entry index out of range: ", line);
+        // Skew-symmetry forces a zero diagonal; a nonzero explicit
+        // diagonal entry contradicts the declared symmetry and must
+        // not be silently stored.
+        if (skewSymmetric && r == c && v != 0.0) {
+            fatal("matrix market: nonzero diagonal entry in "
+                  "skew-symmetric matrix: ", line);
+        }
         coo.add(static_cast<std::int32_t>(r - 1),
                 static_cast<std::int32_t>(c - 1), v);
         if (symmetric && r != c) {

@@ -68,6 +68,46 @@ TEST(Accelerator, FunctionalSpmvMatchesCsr)
     }
 }
 
+TEST(Accelerator, EdgeBlocksDoNotFoldPastTheLastRow)
+{
+    // 103 rows with 128-wide placements: the bottom edge block's
+    // window extends 25 rows past the matrix. The padded partials
+    // are zero, but folding them would still read and write heap
+    // memory beyond y (+= 0.0 silently turns a -0.0 into +0.0,
+    // which is how the tail canary detects it bitwise). Found by
+    // the msc_check accel sweep under ThreadSanitizer.
+    msc::setLogQuiet(true);
+    TiledParams p;
+    p.rows = 103;
+    p.tile = 12;
+    p.tileDensity = 0x1.4cfa5e7a11b46p-1;
+    p.scatterPerRow = 0x1.d47056da54504p-2;
+    p.symmetricPattern = true;
+    p.values.tileExpSigma = 0x1.ba8f71c5d2bdp+0;
+    p.values.elemExpSigma = 0x1.aba643408832ep-1;
+    p.values.outlierProb = 0.02;
+    p.seed = 4430784607913861559ull;
+    const Csr m = genTiled(p);
+    Accelerator accel;
+    const PrepareResult prep = accel.prepare(m);
+    ASSERT_GT(prep.placedBlocks, 0u);
+
+    const auto n = static_cast<std::size_t>(m.rows());
+    std::vector<double> x(n, 1.0), yCsr(n);
+    std::vector<double> buf(n + 32, -0.0);
+    accel.spmv(x, std::span<double>(buf.data(), n));
+    for (std::size_t i = n; i < buf.size(); ++i) {
+        EXPECT_TRUE(std::signbit(buf[i]))
+            << "spmv touched memory past y at offset " << i - n;
+    }
+    m.spmv(x, yCsr);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(buf[i], yCsr[i],
+                    1e-12 * (1.0 + std::fabs(yCsr[i])))
+            << "row " << i;
+    }
+}
+
 TEST(Accelerator, ScatterMatrixFallsBackToGpu)
 {
     msc::setLogQuiet(true);

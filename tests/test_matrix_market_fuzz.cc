@@ -170,6 +170,75 @@ TEST(MatrixMarketFuzz, PatternAndSymmetryVariantsExpandCorrectly)
     EXPECT_DOUBLE_EQ(skew.rowVals(1)[0], 4.0);
 }
 
+TEST(MatrixMarketFuzz, RejectsSkewSymmetricPattern)
+{
+    // The MM spec restricts pattern matrices to general/symmetric: a
+    // skew-symmetric pattern has no values to negate, and inventing
+    // -1.0 mirrors would fabricate data.
+    expectRejected(
+        "%%MatrixMarket matrix coordinate pattern skew-symmetric\n"
+        "2 2 1\n2 1\n");
+}
+
+TEST(MatrixMarketFuzz, RejectsNonzeroSkewDiagonal)
+{
+    // Skew-symmetry forces a_ii == -a_ii == 0; a nonzero explicit
+    // diagonal contradicts the declared symmetry.
+    expectRejected(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "3 3 2\n2 1 4.0\n2 2 1.0\n");
+    // An explicit zero diagonal entry is redundant but legal.
+    const Csr ok =
+        parse("%%MatrixMarket matrix coordinate real skew-symmetric\n"
+              "3 3 2\n2 1 4.0\n2 2 0.0\n");
+    EXPECT_EQ(ok.rows(), 3);
+    std::vector<double> diag(3, -1.0);
+    for (std::int32_t r = 0; r < 3; ++r) {
+        const auto cols = ok.rowCols(r);
+        const auto vals = ok.rowVals(r);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+            if (cols[k] == r) {
+                EXPECT_EQ(vals[k], 0.0);
+            }
+        }
+    }
+}
+
+TEST(MatrixMarketFuzz, SkewSymmetricReadRoundTripsThroughTranspose)
+{
+    // A skew-symmetric read must produce A with A^T == -A, term by
+    // term: spmvTranspose accumulates the exact negations of the
+    // spmv products in the same order, so y^T == -y bitwise.
+    const Csr a =
+        parse("%%MatrixMarket matrix coordinate real skew-symmetric\n"
+              "4 4 4\n"
+              "2 1 4.0\n"
+              "3 1 -0.125\n"
+              "4 2 2.5\n"
+              "4 3 -3.0\n");
+    ASSERT_EQ(a.nnz(), 8u); // every entry mirrored with flipped sign
+    EXPECT_FALSE(a.isSymmetric());
+
+    const std::vector<double> x = {1.0, -2.0, 0.75, 3.0};
+    std::vector<double> y(4), yt(4);
+    a.spmv(x, y);
+    a.spmvTranspose(x, yt);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(yt[i], -y[i]) << "component " << i;
+
+    // The mirrored pairs really carry opposite values.
+    const Csr at = a.transpose();
+    for (std::int32_t r = 0; r < 4; ++r) {
+        const auto ac = a.rowCols(r), tc = at.rowCols(r);
+        const auto av = a.rowVals(r), tv = at.rowVals(r);
+        ASSERT_EQ(ac.size(), tc.size());
+        for (std::size_t k = 0; k < ac.size(); ++k) {
+            EXPECT_EQ(ac[k], tc[k]);
+            EXPECT_EQ(av[k], -tv[k]);
+        }
+    }
+}
+
 TEST(MatrixMarketFuzz, WriteReadRoundTripsExactly)
 {
     TiledParams gen;

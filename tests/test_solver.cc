@@ -265,6 +265,107 @@ TEST(SolverBiCgStab, ZeroMatrixBreakdownStaysFinite)
     }
 }
 
+TEST(SolverGmres, HappyBreakdownDoesNotFakeConvergence)
+{
+    // A = [[0, 1], [0, 0]] with b = (0, 1): the system is
+    // inconsistent (nothing maps onto e2), and the Arnoldi process
+    // breaks down at j = 1 with a zero Hessenberg column. The zero
+    // column leaves its Givens rotation an identity, so the rotated
+    // recurrence residual |g[2]| collapses to 0 -- the solver used to
+    // report converged with relResidual 0 while x solved nothing.
+    Coo coo;
+    coo.rows = coo.cols = 2;
+    coo.add(0, 1, 1.0);
+    const Csr a = Csr::fromCoo(coo);
+    CsrOperator op(a);
+    std::vector<double> b = {0.0, 1.0}, x = {0.0, 0.0};
+    const SolverResult r = gmres(op, b, x);
+    EXPECT_FALSE(r.converged);
+    EXPECT_NEAR(r.relResidual, 1.0, 1e-12);
+    for (double v : x)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(SolverGmres, ImmediateBreakdownHitsSingularPivotPath)
+{
+    // Same nilpotent operator, b = (1, 0): A v0 vanishes outright,
+    // so the very first Hessenberg column is zero and the triangular
+    // solve meets the singular pivot h[0][0] == 0 with g[0] != 0
+    // (the warning path). x must stay untouched and finite.
+    Coo coo;
+    coo.rows = coo.cols = 2;
+    coo.add(0, 1, 1.0);
+    const Csr a = Csr::fromCoo(coo);
+    CsrOperator op(a);
+    std::vector<double> b = {1.0, 0.0}, x = {0.0, 0.0};
+    const SolverResult r = gmres(op, b, x);
+    EXPECT_FALSE(r.converged);
+    EXPECT_NEAR(r.relResidual, 1.0, 1e-12);
+    EXPECT_EQ(x[0], 0.0);
+    EXPECT_EQ(x[1], 0.0);
+}
+
+TEST(SolverGmres, LuckyBreakdownOnEigenvectorSolvesExactly)
+{
+    // b is an eigenvector of the diagonal A: the Krylov subspace is
+    // one-dimensional and exactly invariant, so the breakdown is the
+    // "lucky" kind -- GMRES must return the exact solution b / 2 in
+    // a single iteration instead of stalling or reusing a stale
+    // basis vector.
+    Coo coo;
+    coo.rows = coo.cols = 3;
+    coo.add(0, 0, 2.0);
+    coo.add(1, 1, 3.0);
+    coo.add(2, 2, 4.0);
+    const Csr a = Csr::fromCoo(coo);
+    CsrOperator op(a);
+    std::vector<double> b = {6.0, 0.0, 0.0}, x(3, 0.0);
+    const SolverResult r = gmres(op, b, x);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.iterations, 1);
+    EXPECT_EQ(r.relResidual, 0.0);
+    EXPECT_EQ(x[0], 3.0);
+    EXPECT_EQ(x[1], 0.0);
+    EXPECT_EQ(x[2], 0.0);
+}
+
+TEST(SolverGmres, RestartOfOneStillConverges)
+{
+    // GMRES(1) degenerates to a one-dimensional minimal-residual
+    // method; on an SPD system the residual still contracts. The
+    // boundary restart exercises j == m at every single cycle.
+    const Csr a = spdMatrix(64, 97);
+    CsrOperator op(a);
+    std::vector<double> b(64, 1.0), x(64, 0.0);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-8;
+    cfg.maxIterations = 5000;
+    const SolverResult r = gmres(op, b, x, cfg, 1);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(relResidual(a, b, x), 1e-6);
+}
+
+TEST(SolverGmres, ConvergenceExactlyAtTheRestartBoundary)
+{
+    // Two distinct eigenvalues => minimal polynomial of degree 2 =>
+    // GMRES converges at exactly j == m for restart 2. The inner
+    // loop must stop at the boundary, not spill into a fresh cycle.
+    Coo coo;
+    coo.rows = coo.cols = 8;
+    for (std::int32_t i = 0; i < 8; ++i)
+        coo.add(i, i, i < 4 ? 2.0 : 3.0);
+    const Csr a = Csr::fromCoo(coo);
+    CsrOperator op(a);
+    Rng rng(99);
+    std::vector<double> b(8), x(8, 0.0);
+    for (auto &v : b)
+        v = rng.uniform(-1.0, 1.0);
+    const SolverResult r = gmres(op, b, x, {}, 2);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.iterations, 2);
+    EXPECT_LT(relResidual(a, b, x), 1e-9);
+}
+
 TEST(SolverBiCgStab, SingularSystemNeverProducesNan)
 {
     // Singular A (one empty row) with an inconsistent rhs: the

@@ -83,7 +83,8 @@ per_module = defaultdict(lambda: [0, 0])  # covered, total
 for path, counts in lines.items():
     rel = os.path.relpath(path, src)
     parts = rel.split(os.sep)
-    # src/solver/cg.cc -> "solver"; tests/x.cc -> "tests"
+    # src/solver/cg.cc -> "solver"; src/check/*.cc -> "check";
+    # tests/x.cc -> "tests"
     module = parts[1] if parts[0] == "src" and len(parts) > 2 \
         else parts[0]
     bucket = per_module[module]

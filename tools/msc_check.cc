@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Command-line driver of the differential oracle sweep (src/check).
+ *
+ * Usage:
+ *   msc_check [--seed N] [--iters N] [--module SUBSTR] [--json FILE]
+ *             [--list]
+ *
+ * Runs every registered check module (or the ones matching --module)
+ * for --iters seeded iterations each and prints the JSON report to
+ * stdout. The report contains no timing, hostname, or thread count,
+ * so two runs with identical seed/iters/module produce byte-identical
+ * output at any MSC_THREADS setting -- `diff` is the regression test.
+ * Exit status: 0 when every check held, 1 otherwise, 2 on usage
+ * errors.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "check/check.hh"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--seed N] [--iters N] [--module SUBSTR] "
+                 "[--json FILE] [--list]\n",
+                 argv0);
+}
+
+std::uint64_t
+parseCount(const char *arg, const char *flag)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(arg, &end, 10);
+    if (end == arg || *end != '\0') {
+        std::fprintf(stderr, "msc_check: bad value for %s: %s\n",
+                     flag, arg);
+        std::exit(2);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    msc::check::Options opt;
+    std::string jsonPath;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "msc_check: %s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(arg, "--seed")) {
+            opt.seed = parseCount(value("--seed"), "--seed");
+        } else if (!std::strcmp(arg, "--iters")) {
+            opt.iters = parseCount(value("--iters"), "--iters");
+        } else if (!std::strcmp(arg, "--module")) {
+            opt.module = value("--module");
+        } else if (!std::strcmp(arg, "--json")) {
+            jsonPath = value("--json");
+        } else if (!std::strcmp(arg, "--list")) {
+            for (const std::string &name :
+                 msc::check::moduleNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (!std::strcmp(arg, "--help") ||
+                   !std::strcmp(arg, "-h")) {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "msc_check: unknown option %s\n",
+                         arg);
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (!opt.module.empty()) {
+        bool any = false;
+        for (const std::string &name : msc::check::moduleNames())
+            any = any || name.find(opt.module) != std::string::npos;
+        if (!any) {
+            std::fprintf(stderr,
+                         "msc_check: no module matches '%s'\n",
+                         opt.module.c_str());
+            return 2;
+        }
+    }
+
+    const msc::check::Report report = msc::check::runChecks(opt);
+    const std::string json = report.toJson();
+    std::fputs(json.c_str(), stdout);
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "msc_check: cannot write %s\n",
+                         jsonPath.c_str());
+            return 2;
+        }
+        out << json;
+    }
+    return report.ok() ? 0 : 1;
+}
