@@ -28,6 +28,7 @@
 #include "ancode/ancode.hh"
 #include "blocking/blocking.hh"
 #include "cluster/cluster.hh"
+#include "cluster/hw_cluster.hh"
 #include "fault/faulty_operator.hh"
 #include "fixedpoint/align.hh"
 #include "sparse/gen.hh"
@@ -151,6 +152,36 @@ bmClusterMultiply(benchmark::State &state)
                             block.elems.size());
 }
 BENCHMARK(bmClusterMultiply);
+
+/** Hardware-faithful cluster MVM: materialized bit-slice crossbars,
+ *  noiseless digital reads (the common verification configuration). */
+void
+bmHwClusterMultiply(benchmark::State &state)
+{
+    Rng rng(12);
+    HwCluster::Config cfg;
+    cfg.size = 64;
+    HwCluster cluster(cfg);
+    MatrixBlock block;
+    block.size = 64;
+    for (std::int32_t r = 0; r < 64; ++r) {
+        for (std::int32_t c = 0; c < 64; ++c) {
+            if (rng.chance(0.2)) {
+                block.elems.push_back({r, c,
+                    rng.uniform(-2.0, 2.0)});
+            }
+        }
+    }
+    cluster.program(block);
+    std::vector<double> x(64), y(64);
+    for (auto &v : x)
+        v = rng.uniform(-1.0, 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cluster.multiply(x, y));
+    state.SetItemsProcessed(state.iterations() *
+                            block.elems.size());
+}
+BENCHMARK(bmHwClusterMultiply);
 
 /** The shared benchmark matrix: large enough that the block
  *  fan-out has hundreds of independent work items. */

@@ -3,20 +3,12 @@
 #include <algorithm>
 #include <bit>
 
+#include "util/intlog.hh"
 #include "util/logging.hh"
 
 namespace msc {
 
 namespace {
-
-unsigned
-bitsFor(unsigned n)
-{
-    unsigned bits = 0;
-    while ((1ull << bits) < n + 1ull)
-        ++bits;
-    return bits;
-}
 
 /** Signed accumulator (duplicated from Cluster, intentionally local:
  *  the estimator is independent of the exact model). */
@@ -128,7 +120,7 @@ estimateBlockCost(const MatrixBlock &block, std::span<const double> x,
         rowElems[static_cast<std::size_t>(block.elems[e].row)]
             .push_back(e);
 
-    const unsigned nBits = bitsFor(clusterSize);
+    const unsigned nBits = bitsForCount(clusterSize);
     constexpr int settleMargin = 10;
     // Per column: minimum significance that must be computed
     // (0 = everything); -1 = empty column (never alive).
@@ -205,7 +197,7 @@ estimateBlockCost(const MatrixBlock &block, std::span<const double> x,
         (static_cast<double>(block.elems.size()) / block.size) * 0.5 +
         2.0;
     const unsigned startBits = cfg.adcHeadstart
-        ? bitsFor(static_cast<unsigned>(avgOnes))
+        ? bitsForCount(static_cast<unsigned>(avgOnes))
         : model.adcResolutionBits();
     for (std::size_t g = 0; g < cost.groupsExecuted; ++g) {
         const std::uint64_t acts = groups[g].activations();

@@ -3,23 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/intlog.hh"
 #include "util/logging.hh"
 
 namespace msc {
-
-namespace {
-
-/** ceil(log2(n+1)): bits needed to represent values 0..n. */
-unsigned
-bitsFor(unsigned n)
-{
-    unsigned bits = 0;
-    while ((1ull << bits) < n + 1ull)
-        ++bits;
-    return bits;
-}
-
-} // namespace
 
 Cluster::Cluster(const ClusterConfig &config)
     : cfg(config), xbarModel(config.size, config.xbar, config.cic),
@@ -32,6 +19,15 @@ Cluster::Cluster(const ClusterConfig &config)
              " cannot uniquely correct over ", fxp::encodedBits,
              " bits (window ", an.uniqueWindow(), ")");
     }
+    // ADC start bits never exceed bitsForCount(size) (a column has at
+    // most `size` stored ones); memoize the per-conversion energy so
+    // the per-group accounting loop is a table load instead of a
+    // model evaluation.
+    const unsigned maxStart = bitsForCount(cfg.size);
+    convEnergyByStart.resize(maxStart + 1);
+    for (unsigned s = 0; s <= maxStart; ++s)
+        convEnergyByStart[s] = xbarModel.conversionEnergy(s);
+    arrayOpE = xbarModel.arrayOpEnergy();
 }
 
 ClusterProgramInfo
@@ -64,21 +60,33 @@ Cluster::program(const MatrixBlock &block)
     storedBias = cfg.anProtect ? an.encode(biased.bias())
                                : U256::from(biased.bias());
 
-    rowsElems.assign(blockSize, {});
+    // Flatten the elements row-major (CSR-like): the multiply hot
+    // loop walks each row's columns and contribution-table entries
+    // linearly instead of chasing per-row vectors.
+    const std::size_t nnz = block.elems.size();
+    rowPtr.assign(blockSize + 1, 0);
+    for (const Triplet &t : block.elems)
+        ++rowPtr[static_cast<std::size_t>(t.row) + 1];
+    for (unsigned i = 0; i < blockSize; ++i)
+        rowPtr[i + 1] += rowPtr[i];
+    elemCol.assign(nnz, 0);
+    elemStored.assign(nnz, U256{});
     rowSumF.assign(blockSize, {});
+    std::vector<std::uint32_t> cursor(rowPtr.begin(),
+                                      rowPtr.end() - 1);
     encodedBits = storedBias.bitLength();
-    for (std::size_t e = 0; e < block.elems.size(); ++e) {
+    for (std::size_t e = 0; e < nnz; ++e) {
         const Triplet &t = block.elems[e];
-        Element el;
-        el.col = t.col;
-        el.mag = aligned.mag[e];
-        el.neg = aligned.neg[e] != 0;
-        el.stored = cfg.anProtect ? an.encode(biased.stored[e])
-                                  : U256::from(biased.stored[e]);
-        encodedBits = std::max(encodedBits, el.stored.bitLength());
-        rowsElems[static_cast<std::size_t>(t.row)].push_back(el);
-        rowSumF[static_cast<std::size_t>(t.row)]
-            .add(el.neg, U256::from(el.mag));
+        const U256 stored = cfg.anProtect
+            ? an.encode(biased.stored[e])
+            : U256::from(biased.stored[e]);
+        encodedBits = std::max(encodedBits, stored.bitLength());
+        const auto row = static_cast<std::size_t>(t.row);
+        const std::uint32_t at = cursor[row]++;
+        elemCol[at] = t.col;
+        elemStored[at] = stored;
+        rowSumF[row].add(aligned.neg[e] != 0,
+                         U256::from(aligned.mag[e]));
     }
     if (encodedBits > fxp::encodedBits) {
         panic("Cluster::program: encoded operand width ", encodedBits,
@@ -93,13 +101,13 @@ Cluster::program(const MatrixBlock &block)
     std::uint64_t setBits = 0;
     for (unsigned i = 0; i < blockSize; ++i) {
         const auto zeroCells = static_cast<std::uint32_t>(
-            blockSize - rowsElems[i].size());
+            blockSize - (rowPtr[i + 1] - rowPtr[i]));
         for (unsigned b = 0; b < encodedBits; ++b) {
             std::uint32_t ones = 0;
             if (storedBias.bit(b))
                 ones += zeroCells;
-            for (const Element &el : rowsElems[i])
-                ones += el.stored.bit(b) ? 1 : 0;
+            for (std::uint32_t e = rowPtr[i]; e < rowPtr[i + 1]; ++e)
+                ones += elemStored[e].bit(b) ? 1 : 0;
             if (2 * ones > blockSize) {
                 ++progInfo.cicInvertedColumns;
                 ones = blockSize - ones;
@@ -257,7 +265,7 @@ Cluster::multiply(std::span<const double> x, std::span<double> y,
     std::vector<std::uint8_t> done(blockSize, 0);
     std::size_t alive = 0;
     for (unsigned i = 0; i < blockSize; ++i) {
-        if (rowsElems[i].empty()) {
+        if (rowPtr[i + 1] == rowPtr[i]) {
             // Bias cells cancel exactly; the hardware settles these
             // immediately.
             done[i] = 1;
@@ -277,10 +285,123 @@ Cluster::multiply(std::span<const double> x, std::span<double> y,
             acc[i].neg = false;
     }
 
-    const unsigned nBits = bitsFor(blockSize);
+    const unsigned nBits = bitsForCount(blockSize);
     const int anShift = cfg.anProtect
         ? static_cast<int>(an.codeBits() - an.dataBits() - 1) : 0;
     // anShift = 8 for A=269: floor(log2(269)).
+    const unsigned resBits = xbarModel.adcResolutionBits();
+    const int sigCellBits = static_cast<int>(
+        bitsForCount(std::min(encodedBits, vecBits)));
+
+    // --- precomputed slice-group kernels ------------------------------
+    // Vector bit-slice bitmaps, shared with the hardware model's
+    // dataflow: slice k gates which elements contribute in a segment
+    // at weight 2^k. All-zero slices gate everything out, so their
+    // segments are skipped entirely.
+    const std::vector<VectorSlice> vslices = activeBitSlices(ux);
+    std::vector<const BitVec *> sliceByK(vecBits, nullptr);
+    for (const VectorSlice &vs : vslices)
+        sliceByK[vs.k] = &vs.bits;
+
+    // The schedule reuses a small set of distinct slice ranges
+    // (bLo, bHi) across its groups: for skewed schedules the ranges
+    // are the stagger runs, and the vertical schedule has exactly
+    // one. For each range the per-element signed masked contribution
+    //     ((stored & mask) - (storedBias & mask)) >> bLo
+    // depends on neither the group nor the vector slice k, so it is
+    // computed once per range and reused by every row scan at weight
+    // 2^(bLo + k). Ranges narrow enough for int16 deltas (width <=
+    // 15; every skewed schedule in practice) use a flat int16 table;
+    // wider ranges fall back to sign + U128 magnitude. Both store
+    // the masked difference exactly, so the accumulator sequence is
+    // bit-identical to the straight-line evaluation.
+    struct RangeTable
+    {
+        unsigned bLo = 0;
+        bool small = false;
+        std::vector<std::int16_t> delta; //!< small: signed deltas
+        std::vector<std::uint8_t> negW;  //!< wide: sign per element
+        std::vector<U128> magW;          //!< wide: |delta| >> bLo
+    };
+    const std::size_t nnz = elemCol.size();
+    std::vector<RangeTable> tables;
+    std::vector<std::int16_t> tableIdx(
+        static_cast<std::size_t>(fxp::encodedBits + 1) *
+            (fxp::encodedBits + 1),
+        -1);
+    const auto rangeKey = [](unsigned bLo, unsigned bHi) {
+        return static_cast<std::size_t>(bLo) *
+                   (fxp::encodedBits + 1) +
+               bHi;
+    };
+    for (const ScheduleGroup &group : schedule.groups()) {
+        for (const auto &seg : group.segments) {
+            auto &idx = tableIdx[rangeKey(seg.bLo, seg.bHi)];
+            if (idx >= 0)
+                continue;
+            idx = static_cast<std::int16_t>(tables.size());
+            RangeTable t;
+            t.bLo = seg.bLo;
+            const unsigned width = seg.bHi - seg.bLo + 1;
+            t.small = width <= 15;
+            if (t.small) {
+                const auto biasPart = static_cast<std::int32_t>(
+                    storedBias.extractBits(seg.bLo, width));
+                t.delta.resize(nnz);
+                for (std::size_t e = 0; e < nnz; ++e) {
+                    t.delta[e] = static_cast<std::int16_t>(
+                        static_cast<std::int32_t>(
+                            elemStored[e].extractBits(seg.bLo,
+                                                      width)) -
+                        biasPart);
+                }
+            } else {
+                U256 mask;
+                for (unsigned b = seg.bLo; b <= seg.bHi; ++b)
+                    mask.setBit(b);
+                const U256 biasPart = storedBias & mask;
+                t.negW.resize(nnz);
+                t.magW.resize(nnz);
+                for (std::size_t e = 0; e < nnz; ++e) {
+                    const U256 val = elemStored[e] & mask;
+                    U256 d;
+                    if (val >= biasPart) {
+                        d = val - biasPart;
+                        t.negW[e] = 0;
+                    } else {
+                        d = biasPart - val;
+                        t.negW[e] = 1;
+                    }
+                    d >>= seg.bLo;
+                    t.magW[e] = U128::from(d);
+                }
+            }
+            tables.push_back(std::move(t));
+        }
+    }
+
+    // Add m * 2^shift (m < 2^15) without materializing a full-width
+    // shifted temporary: at most two words are nonzero.
+    const auto addSmall = [](SignedAcc &a, bool neg, std::uint64_t m,
+                             unsigned shift) {
+        U256 v;
+        const unsigned wi = shift / 64;
+        const unsigned bi = shift % 64;
+        v.setWord(wi, m << bi);
+        if (bi && wi + 1 < U256::numWords)
+            v.setWord(wi + 1, m >> (64 - bi));
+        a.add(neg, v);
+    };
+
+    /** One segment of the current group, resolved to its kernel
+     *  inputs: contribution table, gating slice, and weight. */
+    struct SegKernel
+    {
+        const RangeTable *tab = nullptr;
+        const BitVec *gate = nullptr;
+        unsigned shift = 0; //!< bLo + k
+    };
+    std::vector<SegKernel> kernels;
 
     // --- group-granular execution ------------------------------------
     const auto &groups = schedule.groups();
@@ -301,40 +422,67 @@ Cluster::multiply(std::span<const double> x, std::span<double> y,
         // per-conversion ADC energy with the headstart preset. The
         // whole array pulls current during an operation regardless of
         // how many columns are converted.
-        stats.arrayEnergy +=
-            group.activations() * xbarModel.arrayOpEnergy();
+        stats.arrayEnergy += group.activations() * arrayOpE;
         for (const auto &seg : group.segments) {
             for (unsigned b = seg.bLo; b <= seg.bHi; ++b) {
+                const auto &ones = sliceOnes[b];
                 for (unsigned i = 0; i < blockSize; ++i) {
                     if (done[i])
                         continue;
                     const unsigned start = cfg.adcHeadstart
-                        ? bitsFor(sliceOnes[b][i])
-                        : xbarModel.adcResolutionBits();
-                    stats.adcEnergy +=
-                        xbarModel.conversionEnergy(start);
+                        ? bitsForCount(ones[i]) : resBits;
+                    stats.adcEnergy += convEnergyByStart[start];
                 }
             }
         }
 
-        // Functional contribution, per alive output row.
+        // Functional contribution, per alive output row: resolve the
+        // group's segments to their precomputed kernels once, then
+        // scan each row gating on the vector-slice bitmaps. A zero
+        // delta is an exact no-op on the sign-magnitude accumulator
+        // and is skipped.
+        kernels.clear();
+        for (const auto &seg : group.segments) {
+            const BitVec *gate = sliceByK[seg.k];
+            if (!gate)
+                continue;
+            kernels.push_back(
+                {&tables[static_cast<std::size_t>(
+                     tableIdx[rangeKey(seg.bLo, seg.bHi)])],
+                 gate, seg.bLo + seg.k});
+        }
         for (unsigned i = 0; i < blockSize; ++i) {
             if (done[i])
                 continue;
-            for (const auto &seg : group.segments) {
-                U256 mask;
-                for (unsigned b = seg.bLo; b <= seg.bHi; ++b)
-                    mask.setBit(b);
-                const U256 biasPart = storedBias & mask;
-                for (const Element &el : rowsElems[i]) {
-                    if (!ux.stored[static_cast<std::size_t>(el.col)]
-                             .bit(seg.k))
-                        continue;
-                    const U256 val = el.stored & mask;
-                    if (val >= biasPart) {
-                        acc[i].add(false, (val - biasPart) << seg.k);
-                    } else {
-                        acc[i].add(true, (biasPart - val) << seg.k);
+            SignedAcc &a = acc[i];
+            for (const SegKernel &kr : kernels) {
+                const BitVec &gate = *kr.gate;
+                if (kr.tab->small) {
+                    const std::int16_t *d = kr.tab->delta.data();
+                    for (std::uint32_t e = rowPtr[i];
+                         e < rowPtr[i + 1]; ++e) {
+                        if (!gate.get(static_cast<std::size_t>(
+                                elemCol[e])))
+                            continue;
+                        const std::int32_t m = d[e];
+                        if (m == 0)
+                            continue;
+                        addSmall(a, m < 0,
+                                 static_cast<std::uint64_t>(
+                                     m < 0 ? -m : m),
+                                 kr.shift);
+                    }
+                } else {
+                    for (std::uint32_t e = rowPtr[i];
+                         e < rowPtr[i + 1]; ++e) {
+                        if (!gate.get(static_cast<std::size_t>(
+                                elemCol[e])))
+                            continue;
+                        if (kr.tab->magW[e].isZero())
+                            continue;
+                        U256 v = U256::from(kr.tab->magW[e]);
+                        v <<= kr.shift;
+                        a.add(kr.tab->negW[e] != 0, v);
                     }
                 }
             }
@@ -350,8 +498,6 @@ Cluster::multiply(std::span<const double> x, std::span<double> y,
         // contributes at most N * 2^(b+k); at most min(B, K) cells
         // share a significance level, and the geometric sum over
         // levels <= remSig doubles the top one.
-        const int sigCellBits = static_cast<int>(
-            bitsFor(std::min(encodedBits, vecBits)));
         const int bound = remSig + static_cast<int>(nBits) +
                           sigCellBits + 2;
         for (unsigned i = 0; i < blockSize; ++i) {

@@ -145,14 +145,6 @@ class Cluster
                           std::vector<std::int32_t> *peeled = nullptr);
 
   private:
-    struct Element
-    {
-        std::int32_t col = 0;   //!< block-local column (crossbar row)
-        U256 stored;            //!< biased (and AN-coded) operand
-        U128 mag;               //!< aligned |value|
-        bool neg = false;
-    };
-
     /** Signed accumulator in sign-magnitude form. */
     struct SignedAcc
     {
@@ -188,6 +180,12 @@ class Cluster
     XbarModel xbarModel;
     AnCode an;
 
+    /** conversionEnergy memoized over ADC start bits (the model call
+     *  rebuilds a reference crossbar and evaluates pow() every time;
+     *  the table makes the per-conversion energy loop a load). */
+    std::vector<double> convEnergyByStart;
+    double arrayOpE = 0.0; //!< cached xbarModel.arrayOpEnergy()
+
     bool isProgrammed = false;
     ClusterProgramInfo progInfo;
     unsigned blockSize = 0;
@@ -195,7 +193,12 @@ class Cluster
     unsigned storedBits = 0;       //!< width incl. bias (pre-AN)
     unsigned encodedBits = 0;      //!< width of stored operands
     U256 storedBias;               //!< bias word as stored (AN-coded)
-    std::vector<std::vector<Element>> rowsElems; //!< per block row
+    /** Programmed elements, flattened row-major (CSR-like): row i's
+     *  entries are [rowPtr[i], rowPtr[i+1]). The multiply hot loop
+     *  walks elemCol/contribution tables linearly. */
+    std::vector<std::uint32_t> rowPtr;
+    std::vector<std::int32_t> elemCol;
+    std::vector<U256> elemStored; //!< biased (and AN-coded) operands
     /** Signed row sums of aligned coefficients (for vector debias). */
     std::vector<SignedAcc> rowSumF;
     /** Per (slice b, block row i): stored ones count, for CIC and

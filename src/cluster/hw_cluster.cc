@@ -1,6 +1,7 @@
 #include "cluster/hw_cluster.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "fault/fault.hh"
 #include "util/logging.hh"
@@ -201,7 +202,6 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
     const AlignedSet vx = alignValues(
         std::vector<double>(x.begin(), x.end()));
     const BiasedSet ux = biasEncode(vx);
-    const unsigned vecSlices = ux.width();
     const int outScale = blockScale + vx.scale;
 
     const ColumnReadModel readModel(cfg.cell);
@@ -220,64 +220,162 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
     }
 
     // 1. Build the active vector slices (MSB first) once: they are
-    // shared read-only by every output row.
-    struct VecSlice
-    {
-        unsigned k = 0;
-        BitVec bits;
-        std::uint64_t pc = 0;
-    };
-    std::vector<VecSlice> active;
-    active.reserve(vecSlices);
-    for (unsigned k = vecSlices; k-- > 0;) {
-        BitVec slice(blockSize);
-        for (unsigned j = 0; j < blockSize; ++j) {
-            if (ux.stored[j].bit(k))
-                slice.set(j);
+    // shared read-only by every output row. The de-bias term of a
+    // reduced word, storedBias * popcount(slice), depends only on
+    // the slice, so it is precomputed here instead of per (row,
+    // slice) in the scan.
+    const std::vector<VectorSlice> active = activeBitSlices(ux);
+    std::vector<U256> biasTerms;
+    biasTerms.reserve(active.size());
+    for (const VectorSlice &vs : active) {
+        U256 term = storedBias;
+        term.mulSmall(vs.pc);
+        biasTerms.push_back(term);
+    }
+
+    // Exact reads are popcounts against the stored column bits, so
+    // flatten every (row, slice) column into one contiguous word
+    // matrix up front -- [row][slice][word], inner scan order -- and
+    // hoist the CIC flags next to it. One multiply reads each column
+    // activeSlices times; the flatten pays the BitVec indirections
+    // once instead of per read. Analog reads keep drawing through
+    // the device model, which owns the noise stream order.
+    const unsigned nw =
+        static_cast<unsigned>((blockSize + 63) / 64);
+    std::vector<std::uint64_t> colWords;
+    std::vector<std::uint8_t> colInv(
+        static_cast<std::size_t>(blockSize) * nSlices);
+    if (!cfg.analogReads) {
+        colWords.resize(
+            static_cast<std::size_t>(blockSize) * nSlices * nw);
+        for (unsigned b = 0; b < nSlices; ++b) {
+            for (unsigned i = 0; i < blockSize; ++i) {
+                const auto &words = slices[b].column(i).raw();
+                std::uint64_t *dst = &colWords[
+                    (static_cast<std::size_t>(i) * nSlices + b) * nw];
+                for (unsigned w = 0; w < nw; ++w)
+                    dst[w] = words[w];
+                colInv[static_cast<std::size_t>(i) * nSlices + b] =
+                    slices[b].columnInverted(i) ? 1 : 0;
+            }
         }
-        const auto pc =
-            static_cast<std::uint64_t>(slice.popcount());
-        if (pc == 0)
-            continue;
-        active.push_back({k, std::move(slice), pc});
     }
 
     // One output row through every active slice: steps 2-6 of the
     // dataflow. Rows are independent of each other.
     auto scanRow = [&](unsigned i, Rng *rowRng,
                        HwClusterStats &st) {
-        for (const VecSlice &vs : active) {
+        const std::uint64_t *rowCols = cfg.analogReads
+            ? nullptr
+            : &colWords[static_cast<std::size_t>(i) * nSlices * nw];
+        const std::uint8_t *rowInv =
+            &colInv[static_cast<std::size_t>(i) * nSlices];
+        const bool fastReads = !cfg.analogReads && !injector;
+        for (std::size_t si = 0; si < active.size(); ++si) {
+            const VectorSlice &vs = active[si];
+            const std::uint64_t *in = vs.bits.raw().data();
             // 2. + 3. ADC scans and shift-and-add reduction.
             U256 reduced;
-            for (unsigned b = 0; b < nSlices; ++b) {
-                std::int64_t count;
-                if (cfg.analogReads) {
-                    count = slices[b].readColumnNoisy(
-                        i, vs.bits, readModel, rowRng);
+            if (fastReads) {
+                // Exact, unfaulted reads: counts are <= blockSize, so
+                // the whole reduction fits a raw 4-limb accumulator
+                // with explicit carry chains -- the same integer sum
+                // addShifted computes, without a U256 temporary per
+                // read. Overflow past limb 3 is discarded exactly as
+                // addShifted discards bits above 2^256.
+                std::uint64_t rw[4] = {0, 0, 0, 0};
+                const auto spill = [&rw](unsigned wi,
+                                         std::uint64_t v) {
+                    while (v && wi < 4) {
+                        const std::uint64_t old = rw[wi];
+                        rw[wi] = old + v;
+                        v = rw[wi] < old ? 1 : 0;
+                        ++wi;
+                    }
+                };
+                if (nw == 1) {
+                    // Blocks up to 64 wide: a column read is one
+                    // word-AND-popcount; keep the scan branchless on
+                    // memory and stride-1 on rowCols.
+                    const std::uint64_t in0 = in[0];
+                    for (unsigned b = 0; b < nSlices; ++b) {
+                        std::uint64_t n = static_cast<std::uint64_t>(
+                            std::popcount(rowCols[b] & in0));
+                        // Exact reads never exceed pc, so the CIC
+                        // correction cannot go negative here.
+                        if (rowInv[b])
+                            n = vs.pc - n;
+                        if (!n)
+                            continue;
+                        const unsigned wi = b / 64;
+                        const unsigned bi = b % 64;
+                        spill(wi, n << bi);
+                        if (bi)
+                            spill(wi + 1, n >> (64 - bi));
+                    }
                 } else {
-                    count = slices[b].readColumn(i, vs.bits);
+                    for (unsigned b = 0; b < nSlices; ++b) {
+                        const std::uint64_t *cw = rowCols +
+                            static_cast<std::size_t>(b) * nw;
+                        std::uint64_t n = 0;
+                        for (unsigned w = 0; w < nw; ++w)
+                            n += static_cast<std::uint64_t>(
+                                std::popcount(cw[w] & in[w]));
+                        if (rowInv[b])
+                            n = vs.pc - n;
+                        if (!n)
+                            continue;
+                        const unsigned wi = b / 64;
+                        const unsigned bi = b % 64;
+                        spill(wi, n << bi);
+                        if (bi)
+                            spill(wi + 1, n >> (64 - bi));
+                    }
                 }
-                // Transient upsets and stuck ADC columns strike the
-                // raw conversion, before the digital CIC correction.
-                if (injector) {
-                    count = injector->faultedRead(
-                        b, i, count,
-                        static_cast<std::int64_t>(blockSize));
+                for (unsigned w = 0; w < 4; ++w)
+                    reduced.setWord(w, rw[w]);
+            } else {
+                for (unsigned b = 0; b < nSlices; ++b) {
+                    std::int64_t count;
+                    bool invertedCol;
+                    if (cfg.analogReads) {
+                        count = slices[b].readColumnNoisy(
+                            i, vs.bits, readModel, rowRng);
+                        invertedCol = slices[b].columnInverted(i);
+                    } else {
+                        const std::uint64_t *cw = rowCols +
+                            static_cast<std::size_t>(b) * nw;
+                        std::uint64_t n = 0;
+                        for (unsigned w = 0; w < nw; ++w)
+                            n += static_cast<std::uint64_t>(
+                                std::popcount(cw[w] & in[w]));
+                        count = static_cast<std::int64_t>(n);
+                        invertedCol = rowInv[b] != 0;
+                    }
+                    // Transient upsets and stuck ADC columns strike
+                    // the raw conversion, before the digital CIC
+                    // correction.
+                    if (injector) {
+                        count = injector->faultedRead(
+                            b, i, count,
+                            static_cast<std::int64_t>(blockSize));
+                    }
+                    if (invertedCol) {
+                        count =
+                            static_cast<std::int64_t>(vs.pc) - count;
+                        // An analog over-read can push the digital
+                        // CIC correction negative; clamp like
+                        // hardware would.
+                        count = std::max<std::int64_t>(count, 0);
+                    }
+                    U256 contrib(static_cast<std::uint64_t>(count));
+                    reduced.addShifted(contrib, b);
                 }
-                if (slices[b].columnInverted(i)) {
-                    count = static_cast<std::int64_t>(vs.pc) - count;
-                    // An analog over-read can push the digital CIC
-                    // correction negative; clamp like hardware would.
-                    count = std::max<std::int64_t>(count, 0);
-                }
-                U256 contrib(static_cast<std::uint64_t>(count));
-                reduced.addShifted(contrib, b);
             }
             ++st.sliceWords;
 
             // 4. de-bias: subtract storedBias * popcount.
-            U256 biasTerm = storedBias;
-            biasTerm.mulSmall(vs.pc);
+            const U256 &biasTerm = biasTerms[si];
             SignedAcc word;
             if (reduced >= biasTerm) {
                 word.neg = false;

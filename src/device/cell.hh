@@ -101,6 +101,33 @@ class ColumnReadModel
     }
 
     /**
+     * Allocation-free form for 1-bit cells packed in a BitVec (the
+     * binary crossbar's native column storage): cell level of row j
+     * is storedBits.get(j). The iteration visits active rows in
+     * ascending order, so both the rng draw sequence and the
+     * floating-point accumulation order match the vector overload
+     * exactly -- results are bitwise identical.
+     */
+    std::int64_t
+    read(const BitVec &storedBits, const BitVec &active,
+         Rng *rng) const
+    {
+        double analog = 0.0;
+        const bool noisy = rng && params.progErrorSigma > 0.0;
+        active.forEachSetBit([&](std::size_t j) {
+            const double target =
+                (storedBits.get(j) ? 1.0 : 0.0) + leakPerCell;
+            double g = target;
+            if (noisy) {
+                g = target * (1.0 + rng->normal(0.0,
+                                                params.progErrorSigma));
+            }
+            analog += g;
+        });
+        return static_cast<std::int64_t>(analog + 0.5);
+    }
+
+    /**
      * Statistical form: sample the ADC error of a column read
      * without materializing cells. Given the ideal level-sum and the
      * number of activated cells, the analog value is

@@ -104,6 +104,26 @@ biasEncode(const AlignedSet &aligned)
     return out;
 }
 
+std::vector<VectorSlice>
+activeBitSlices(const BiasedSet &set)
+{
+    std::vector<VectorSlice> active;
+    active.reserve(set.width());
+    for (unsigned k = set.width(); k-- > 0;) {
+        BitVec slice(set.size());
+        for (std::size_t j = 0; j < set.size(); ++j) {
+            if (set.stored[j].bit(k))
+                slice.set(j);
+        }
+        const auto pc =
+            static_cast<std::uint64_t>(slice.popcount());
+        if (pc == 0)
+            continue;
+        active.push_back({k, std::move(slice), pc});
+    }
+    return active;
+}
+
 void
 biasDecode(const BiasedSet &set, std::size_t i, U128 &mag, bool &neg)
 {

@@ -113,6 +113,26 @@ struct BiasedSet
 /** Bias-encode an aligned set (paper Section IV-C). */
 BiasedSet biasEncode(const AlignedSet &aligned);
 
+/**
+ * One active (nonzero) vector bit slice: the slice index k, the
+ * bitmap over the set's entries whose stored word has bit k, and its
+ * popcount. This is exactly what the hardware drives onto the
+ * crossbar rows per cycle, and what the functional model uses to
+ * gate per-element contributions.
+ */
+struct VectorSlice
+{
+    unsigned k = 0;
+    BitVec bits;
+    std::uint64_t pc = 0;
+};
+
+/**
+ * Build the nonzero bit slices of a biased set, MSB first. All-zero
+ * slices are omitted: they drive no rows and contribute nothing.
+ */
+std::vector<VectorSlice> activeBitSlices(const BiasedSet &set);
+
 /** Recover the signed value of one biased entry (for testing). */
 void biasDecode(const BiasedSet &set, std::size_t i, U128 &mag,
                 bool &neg);

@@ -97,6 +97,27 @@ class BitVec
         return false;
     }
 
+    /**
+     * Invoke @p fn(index) for every set bit, in ascending index
+     * order, skipping zero words entirely. The word-at-a-time scan
+     * is what makes sparse vector slices cheap to apply: a slice
+     * with few active rows costs O(words + popcount), not O(bits).
+     */
+    template <typename Fn>
+    void
+    forEachSetBit(Fn &&fn) const
+    {
+        for (std::size_t wi = 0; wi < words.size(); ++wi) {
+            std::uint64_t w = words[wi];
+            while (w) {
+                const auto bit = static_cast<std::size_t>(
+                    std::countr_zero(w));
+                fn(wi * 64 + bit);
+                w &= w - 1;
+            }
+        }
+    }
+
     void
     clearAll()
     {

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Integer-log helpers shared by the ADC sizing and scheduling paths.
+ *
+ * Several layers need "bits to represent the counts 0..n", i.e.
+ * ceil(log2(n+1)): ADC resolution for an N-row column read, the ADC
+ * headstart preset from a column's ones census, and the
+ * remaining-contribution bound of the early-termination check. Each
+ * used to hand-roll the loop `while ((1 << bits) < n + 1) ++bits;`,
+ * which overflows (or never terminates) once n approaches the shift
+ * width. std::bit_width is exact and total over the whole range.
+ */
+
+#ifndef MSC_UTIL_INTLOG_HH
+#define MSC_UTIL_INTLOG_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace msc {
+
+/**
+ * Bits needed to represent every count in 0..n: ceil(log2(n+1)).
+ *
+ * bitsForCount(0) == 0, bitsForCount(1) == 1, bitsForCount(2^k) ==
+ * k+1, bitsForCount(2^k - 1) == k; total over all 64-bit inputs
+ * (no `1 << bits` overflow for n >= 2^31).
+ */
+constexpr unsigned
+bitsForCount(std::uint64_t n)
+{
+    return static_cast<unsigned>(std::bit_width(n));
+}
+
+} // namespace msc
+
+#endif // MSC_UTIL_INTLOG_HH

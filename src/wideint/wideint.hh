@@ -84,6 +84,25 @@ class WideUInt
             w[pos / 64] &= ~(std::uint64_t{1} << (pos % 64));
     }
 
+    /**
+     * Bits [pos, pos+width) as a 64-bit value, width <= 64.
+     * Bits beyond numBits read as zero. Used by the slice-group
+     * kernels to extract narrow bit-range operands without
+     * materializing wide masked temporaries.
+     */
+    constexpr std::uint64_t
+    extractBits(unsigned pos, unsigned width) const
+    {
+        const unsigned wi = pos / 64;
+        const unsigned bi = pos % 64;
+        std::uint64_t v = wi < NW ? (w[wi] >> bi) : 0;
+        if (bi && wi + 1 < NW)
+            v |= w[wi + 1] << (64 - bi);
+        if (width < 64)
+            v &= (std::uint64_t{1} << width) - 1;
+        return v;
+    }
+
     /** Flip bit @p pos; models a single-bit transmission/storage error. */
     constexpr void
     flipBit(unsigned pos)
@@ -101,6 +120,19 @@ class WideUInt
             if (w[i])
                 return static_cast<unsigned>(i) * 64 +
                        (64 - std::countl_zero(w[i]));
+        }
+        return 0;
+    }
+
+    /** Number of significant 64-bit words; 0 for the value zero.
+     *  The width-aware arithmetic paths below use this to skip zero
+     *  high limbs: accumulators rarely fill all NW words. */
+    constexpr unsigned
+    sigWords() const
+    {
+        for (int i = NW - 1; i >= 0; --i) {
+            if (w[i])
+                return static_cast<unsigned>(i) + 1;
         }
         return 0;
     }
@@ -131,10 +163,16 @@ class WideUInt
     constexpr WideUInt &
     operator+=(const WideUInt &o)
     {
+        const unsigned n = o.sigWords();
         unsigned __int128 carry = 0;
-        for (unsigned i = 0; i < NW; ++i) {
+        for (unsigned i = 0; i < n; ++i) {
             carry += w[i];
             carry += o.w[i];
+            w[i] = static_cast<std::uint64_t>(carry);
+            carry >>= 64;
+        }
+        for (unsigned i = n; carry && i < NW; ++i) {
+            carry += w[i];
             w[i] = static_cast<std::uint64_t>(carry);
             carry >>= 64;
         }
@@ -144,8 +182,9 @@ class WideUInt
     constexpr WideUInt &
     operator-=(const WideUInt &o)
     {
+        const unsigned n = o.sigWords();
         unsigned __int128 borrow = 0;
-        for (unsigned i = 0; i < NW; ++i) {
+        for (unsigned i = 0; i < n; ++i) {
             unsigned __int128 lhs = w[i];
             unsigned __int128 rhs =
                 static_cast<unsigned __int128>(o.w[i]) + borrow;
@@ -156,6 +195,14 @@ class WideUInt
                 w[i] = static_cast<std::uint64_t>(
                     (lhs + (static_cast<unsigned __int128>(1) << 64)) - rhs);
                 borrow = 1;
+            }
+        }
+        for (unsigned i = n; borrow && i < NW; ++i) {
+            if (w[i]) {
+                --w[i];
+                borrow = 0;
+            } else {
+                w[i] = ~std::uint64_t{0};
             }
         }
         return *this;
@@ -179,15 +226,22 @@ class WideUInt
     constexpr void
     addShifted(const WideUInt &o, unsigned shift)
     {
+        const unsigned n = o.sigWords();
+        if (n == 0)
+            return;
         const unsigned wordShift = shift / 64;
         const unsigned bitShift = shift % 64;
         unsigned __int128 carry = 0;
         for (unsigned i = wordShift; i < NW; ++i) {
             const unsigned src = i - wordShift;
+            // Beyond o's significant words every piece is zero; only
+            // a pending carry still needs to ripple.
+            if (src > n && !carry)
+                break;
             std::uint64_t piece = 0;
-            if (src < NW)
+            if (src < n)
                 piece = o.w[src] << bitShift;
-            if (bitShift && src >= 1 && src - 1 < NW)
+            if (bitShift && src >= 1 && src - 1 < n)
                 piece |= o.w[src - 1] >> (64 - bitShift);
             carry += w[i];
             carry += piece;
@@ -207,12 +261,19 @@ class WideUInt
         }
         const unsigned wordShift = s / 64;
         const unsigned bitShift = s % 64;
+        const unsigned n = sigWords();
         for (int i = NW - 1; i >= 0; --i) {
             const int src = i - static_cast<int>(wordShift);
+            // Source words at or above n are zero: skip the shifts.
+            if (src >= static_cast<int>(n) + 1 || src < -1) {
+                w[i] = 0;
+                continue;
+            }
             std::uint64_t v = 0;
-            if (src >= 0)
+            if (src >= 0 && src < static_cast<int>(n))
                 v = w[src] << bitShift;
-            if (bitShift && src - 1 >= 0)
+            if (bitShift && src - 1 >= 0 &&
+                src - 1 < static_cast<int>(n))
                 v |= w[src - 1] >> (64 - bitShift);
             w[i] = v;
         }
@@ -228,12 +289,16 @@ class WideUInt
         }
         const unsigned wordShift = s / 64;
         const unsigned bitShift = s % 64;
+        const unsigned n = sigWords();
         for (unsigned i = 0; i < NW; ++i) {
             const unsigned src = i + wordShift;
-            std::uint64_t v = 0;
-            if (src < NW)
-                v = w[src] >> bitShift;
-            if (bitShift && src + 1 < NW)
+            // Source words at or above n are zero: skip the shifts.
+            if (src >= n) {
+                w[i] = 0;
+                continue;
+            }
+            std::uint64_t v = w[src] >> bitShift;
+            if (bitShift && src + 1 < n)
                 v |= w[src + 1] << (64 - bitShift);
             w[i] = v;
         }
@@ -334,13 +399,17 @@ class WideUInt
     constexpr WideUInt &
     mulSmall(std::uint64_t m)
     {
+        const unsigned n = sigWords();
         unsigned __int128 carry = 0;
-        for (unsigned i = 0; i < NW; ++i) {
+        for (unsigned i = 0; i < n; ++i) {
             unsigned __int128 p =
                 static_cast<unsigned __int128>(w[i]) * m + carry;
             w[i] = static_cast<std::uint64_t>(p);
             carry = p >> 64;
         }
+        // The carry out of a 64x64 multiply-add fits one word.
+        if (carry && n < NW)
+            w[n] = static_cast<std::uint64_t>(carry);
         return *this;
     }
 
@@ -349,7 +418,7 @@ class WideUInt
     modSmall(std::uint64_t d) const
     {
         unsigned __int128 rem = 0;
-        for (int i = NW - 1; i >= 0; --i) {
+        for (int i = static_cast<int>(sigWords()) - 1; i >= 0; --i) {
             rem = ((rem << 64) | w[i]) % d;
         }
         return static_cast<std::uint64_t>(rem);
@@ -362,7 +431,7 @@ class WideUInt
         if (d == 0)
             panic("WideUInt::divSmall by zero");
         unsigned __int128 rem = 0;
-        for (int i = NW - 1; i >= 0; --i) {
+        for (int i = static_cast<int>(sigWords()) - 1; i >= 0; --i) {
             unsigned __int128 cur = (rem << 64) | w[i];
             w[i] = static_cast<std::uint64_t>(cur / d);
             rem = cur % d;

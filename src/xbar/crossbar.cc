@@ -1,5 +1,6 @@
 #include "xbar/crossbar.hh"
 
+#include "util/intlog.hh"
 #include "util/logging.hh"
 
 namespace msc {
@@ -71,11 +72,7 @@ BinaryCrossbar::columnOnes(unsigned col) const
 unsigned
 BinaryCrossbar::columnMaxOutputBits(unsigned col) const
 {
-    const unsigned ones = columnOnes(col);
-    unsigned bits = 0;
-    while ((1u << bits) < ones + 1)
-        ++bits;
-    return bits;
+    return bitsForCount(columnOnes(col));
 }
 
 std::int64_t
@@ -89,10 +86,10 @@ BinaryCrossbar::readColumnNoisy(unsigned col, const BitVec &input,
                                 const ColumnReadModel &model,
                                 Rng *rng) const
 {
-    std::vector<std::uint8_t> levels(nRows, 0);
-    for (unsigned r = 0; r < nRows; ++r)
-        levels[r] = colBits[col].get(r) ? 1 : 0;
-    return model.read(levels, input, rng);
+    // Read straight off the packed column bits: no per-call level
+    // buffer. The BitVec overload preserves the draw and accumulation
+    // order of the materialized form bit for bit.
+    return model.read(colBits[col], input, rng);
 }
 
 std::int64_t

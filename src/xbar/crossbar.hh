@@ -77,6 +77,14 @@ class BinaryCrossbar
      */
     std::int64_t logicalColumn(unsigned col, const BitVec &input) const;
 
+    /**
+     * Packed stored bits of column @p col (post-CIC). Lets batch
+     * readers flatten many columns into a contiguous word matrix and
+     * popcount against it directly instead of paying the
+     * vector-of-BitVec indirections once per read.
+     */
+    const BitVec &column(unsigned col) const { return colBits[col]; }
+
   private:
     unsigned nRows;
     unsigned nCols;

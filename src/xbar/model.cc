@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/intlog.hh"
 #include "util/logging.hh"
 
 namespace msc {
@@ -19,9 +20,7 @@ XbarModel::adcResolutionBits() const
 {
     // ceil(log2(N+1)) bits to cover outputs 0..N; CIC statically
     // bounds columns to < N/2 ones, saving one bit (Section V-B2).
-    unsigned bits = 0;
-    while ((1ull << bits) < size + 1ull)
-        ++bits;
+    unsigned bits = bitsForCount(size);
     if (cic)
         --bits;
     return bits;

@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "util/bitvec.hh"
+#include "util/intlog.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 
@@ -134,6 +137,58 @@ TEST(Logging, QuietSuppresssesButDoesNotThrow)
     warn("should be invisible");
     inform("also invisible");
     setLogQuiet(false);
+}
+
+TEST(IntLog, BitsForCountBoundaries)
+{
+    EXPECT_EQ(bitsForCount(0), 0u);
+    EXPECT_EQ(bitsForCount(1), 1u);
+    EXPECT_EQ(bitsForCount(2), 2u);
+    EXPECT_EQ(bitsForCount(3), 2u);
+    for (unsigned k = 2; k < 64; ++k) {
+        const std::uint64_t p = std::uint64_t{1} << k;
+        EXPECT_EQ(bitsForCount(p - 1), k) << "k=" << k;
+        EXPECT_EQ(bitsForCount(p), k + 1) << "k=" << k;
+    }
+    // The hand-rolled `while ((1u << bits) < n + 1)` loops this
+    // helper replaced overflowed their shift near the top of the
+    // range; std::bit_width is total.
+    EXPECT_EQ(bitsForCount(std::numeric_limits<unsigned>::max()),
+              32u);
+    EXPECT_EQ(
+        bitsForCount(std::numeric_limits<std::uint64_t>::max()),
+        64u);
+}
+
+TEST(BitVec, ForEachSetBitVisitsAscending)
+{
+    BitVec v(200);
+    const std::vector<std::size_t> want{0, 5, 63, 64, 127, 128, 199};
+    for (std::size_t i : want)
+        v.set(i);
+    std::vector<std::size_t> got;
+    v.forEachSetBit([&](std::size_t i) { got.push_back(i); });
+    EXPECT_EQ(got, want);
+}
+
+TEST(BitVec, ForEachSetBitEmptyAndRandomMatchGet)
+{
+    BitVec empty(150);
+    empty.forEachSetBit(
+        [](std::size_t) { FAIL() << "no bits set"; });
+
+    Rng rng(21);
+    BitVec v(321);
+    std::vector<std::size_t> want;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (rng.chance(0.3)) {
+            v.set(i);
+            want.push_back(i);
+        }
+    }
+    std::vector<std::size_t> got;
+    v.forEachSetBit([&](std::size_t i) { got.push_back(i); });
+    EXPECT_EQ(got, want);
 }
 
 } // namespace

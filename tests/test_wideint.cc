@@ -264,5 +264,122 @@ TEST(WideUInt, BitwiseOps)
     EXPECT_EQ((~U128(0)).popcount(), 128u);
 }
 
+TEST(WideUInt, SigWords)
+{
+    EXPECT_EQ(U256().sigWords(), 0u);
+    EXPECT_EQ(U256(1).sigWords(), 1u);
+    U256 v;
+    v.setWord(2, 5);
+    EXPECT_EQ(v.sigWords(), 3u);
+    v.setWord(3, 1);
+    EXPECT_EQ(v.sigWords(), 4u);
+}
+
+TEST(WideUInt, ExtractBits)
+{
+    U256 v;
+    v.setWord(0, 0xfedcba9876543210ull);
+    v.setWord(1, 0x0123456789abcdefull);
+    v.setWord(3, 0x8000000000000001ull);
+    EXPECT_EQ(v.extractBits(0, 16), 0x3210u);
+    EXPECT_EQ(v.extractBits(4, 8), 0x21u);
+    // Straddles the word boundary at bit 64: top nibble of word 0
+    // (0xf) plus the low nibble of word 1 (0xf).
+    EXPECT_EQ(v.extractBits(60, 8), 0xffu);
+    EXPECT_EQ(v.extractBits(0, 64), 0xfedcba9876543210ull);
+    EXPECT_EQ(v.extractBits(64, 64), 0x0123456789abcdefull);
+    // High word plus the implicit zeros beyond the top word.
+    EXPECT_EQ(v.extractBits(192, 64), 0x8000000000000001ull);
+    EXPECT_EQ(v.extractBits(255, 8), 1u);
+    EXPECT_EQ(v.extractBits(256, 16), 0u);
+}
+
+/** Random values with a controlled number of significant words, to
+ *  exercise the width-aware fast paths on sparse high limbs. */
+u128n
+sparseNative(Rng &rng)
+{
+    switch (rng.below(4)) {
+      case 0:
+        return 0;
+      case 1:
+        return rng.next();
+      case 2:
+        return static_cast<u128n>(rng.next()) << 64;
+      default:
+        return (static_cast<u128n>(rng.next()) << 64) | rng.next();
+    }
+}
+
+TEST(WideUInt, WidthAwarePathsMatchNative)
+{
+    Rng rng(23);
+    for (int i = 0; i < 2000; ++i) {
+        const u128n x = sparseNative(rng);
+        const u128n y = sparseNative(rng);
+        const unsigned s = static_cast<unsigned>(rng.below(130));
+        EXPECT_EQ(toNative(fromNative(x) + fromNative(y)),
+                  static_cast<u128n>(x + y));
+        EXPECT_EQ(toNative(fromNative(x) - fromNative(y)),
+                  static_cast<u128n>(x - y));
+        EXPECT_EQ(toNative(fromNative(x) << s),
+                  s >= 128 ? static_cast<u128n>(0) : (x << s));
+        EXPECT_EQ(toNative(fromNative(x) >> s),
+                  s >= 128 ? static_cast<u128n>(0) : (x >> s));
+    }
+}
+
+TEST(WideUInt, AddShiftedMatchesShiftAndAdd)
+{
+    Rng rng(29);
+    for (int i = 0; i < 2000; ++i) {
+        U256 base;
+        base.setWord(0, rng.next());
+        if (rng.chance(0.5))
+            base.setWord(2, rng.next());
+        U256 add;
+        switch (rng.below(4)) {
+          case 0:
+            break;
+          case 1:
+            add.setWord(0, rng.next());
+            break;
+          case 2:
+            add.setWord(1, rng.next());
+            break;
+          default:
+            add.setWord(0, rng.next());
+            add.setWord(1, rng.next());
+            add.setWord(2, rng.next());
+            break;
+        }
+        const unsigned s = static_cast<unsigned>(rng.below(256));
+        U256 expect = base + (add << s);
+        U256 got = base;
+        got.addShifted(add, s);
+        EXPECT_EQ(got, expect) << "s=" << s;
+    }
+}
+
+TEST(WideUInt, MulSmallSparseOperands)
+{
+    Rng rng(31);
+    for (int i = 0; i < 500; ++i) {
+        const u128n x = sparseNative(rng);
+        const std::uint64_t m = rng.next() >> 40;
+        U128 v = fromNative(x);
+        v.mulSmall(m);
+        EXPECT_EQ(toNative(v), static_cast<u128n>(x * m));
+    }
+    // Carry out of the top significant word lands in the next word.
+    U256 w;
+    w.setWord(0, ~std::uint64_t{0});
+    w.mulSmall(~std::uint64_t{0});
+    U256 expect;
+    expect.setWord(0, 1);
+    expect.setWord(1, ~std::uint64_t{0} - 1);
+    EXPECT_EQ(w, expect);
+}
+
 } // namespace
 } // namespace msc
