@@ -19,9 +19,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "accel/accel.hh"
@@ -31,6 +34,8 @@
 #include "cluster/hw_cluster.hh"
 #include "fault/faulty_operator.hh"
 #include "fixedpoint/align.hh"
+#include "runtime/exec_context.hh"
+#include "solver/solver.hh"
 #include "sparse/gen.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
@@ -271,6 +276,66 @@ bmFaultyOperatorApply(benchmark::State &state)
 }
 BENCHMARK(bmFaultyOperatorApply);
 
+/** Worst observed cancel-to-return latency (microseconds) across
+ *  the bmExecCancelLatency iterations; exported into the --json
+ *  metrics block as exec.cancel_latency_us so perf baselines track
+ *  the cancellation promptness bound alongside kernel times. */
+double gCancelLatencyUs = 0.0;
+
+/**
+ * Cooperative-cancellation promptness: a controller thread fires the
+ * CancelToken mid-solve and the benchmark measures how long the
+ * solver takes to come back. The bound is one solver iteration (plus
+ * scheduler wake-up), so this number is the service runtime's
+ * preemption granularity on an iterative workload.
+ */
+void
+bmExecCancelLatency(benchmark::State &state)
+{
+    TiledParams p;
+    p.rows = 1024;
+    p.tile = 32;
+    p.tileDensity = 0.25;
+    p.spd = true;
+    p.symmetricPattern = true;
+    p.diagDominance = 0.05;
+    p.seed = 13;
+    const Csr m = genTiled(p);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    CsrOperator op(m);
+    std::vector<double> b(n, 1.0);
+    std::vector<double> x(n, 0.0);
+
+    double worstUs = 0.0;
+    for (auto _ : state) {
+        ExecContext ctx;
+        CancelToken controller = ctx.token();
+        std::chrono::steady_clock::time_point cancelAt;
+        std::thread killer([&] {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+            cancelAt = std::chrono::steady_clock::now();
+            controller.cancel();
+        });
+        SolverConfig cfg;
+        cfg.tolerance = 0.0; // unreachable: only the cancel stops it
+        cfg.maxIterations = 1 << 30;
+        cfg.exec = &ctx;
+        std::fill(x.begin(), x.end(), 0.0);
+        const SolverResult r = conjugateGradient(op, b, x, cfg);
+        const auto done = std::chrono::steady_clock::now();
+        killer.join();
+        benchmark::DoNotOptimize(r.iterations);
+        worstUs = std::max(
+            worstUs,
+            std::chrono::duration<double, std::micro>(done - cancelAt)
+                .count());
+    }
+    gCancelLatencyUs = std::max(gCancelLatencyUs, worstUs);
+    state.counters["cancel_latency_us"] = worstUs;
+}
+BENCHMARK(bmExecCancelLatency);
+
 /** Console output plus an in-memory capture of every finished run,
  *  dumped as JSON by main() when --json was requested. */
 class CaptureReporter : public benchmark::ConsoleReporter
@@ -352,13 +417,23 @@ writeJson(const std::string &path,
     // with the wall times.
     const auto counters = telemetry::snapshotCounters();
     std::fprintf(f, "  ],\n  \"metrics\": {");
+    bool wroteAny = false;
     for (std::size_t i = 0; i < counters.size(); ++i) {
-        std::fprintf(f, "%s\n    \"%s\": %llu", i ? "," : "",
+        std::fprintf(f, "%s\n    \"%s\": %llu", wroteAny ? "," : "",
                      jsonEscape(counters[i].first).c_str(),
                      static_cast<unsigned long long>(
                          counters[i].second));
+        wroteAny = true;
     }
-    std::fprintf(f, "%s}\n}\n", counters.empty() ? "" : "\n  ");
+    // Cancellation promptness (bmExecCancelLatency); perfdiff treats
+    // metric drift as informational, so the jittery wall-clock value
+    // never fails the smoke gate but stays visible in the diff.
+    if (gCancelLatencyUs > 0.0) {
+        std::fprintf(f, "%s\n    \"exec.cancel_latency_us\": %.3f",
+                     wroteAny ? "," : "", gCancelLatencyUs);
+        wroteAny = true;
+    }
+    std::fprintf(f, "%s}\n}\n", wroteAny ? "\n  " : "");
     std::fclose(f);
     return true;
 }

@@ -112,7 +112,9 @@ Accelerator::prepare(const Csr &matrix, std::span<const double> sampleX)
     }
     ctrSampledBlocks.add(sampleIdx.size());
     std::vector<BlockCost> sampleCost(sampleIdx.size());
-    parallelFor(sampleIdx.size(), [&](std::size_t s) {
+    parallelFor(
+        sampleIdx.size(),
+        [&](std::size_t s) {
         telemetry::Span blockSpan("accel.sample_block");
         const MatrixBlock &b = plan.blocks[sampleIdx[s]];
         std::vector<double> xLocal(b.size, 0.0);
@@ -123,7 +125,8 @@ Accelerator::prepare(const Csr &matrix, std::span<const double> sampleX)
         }
         sampleCost[s] =
             estimateBlockCost(b, xLocal, cfg.cluster, b.size);
-    });
+        },
+        1, exec);
     for (std::size_t s = 0; s < sampleIdx.size(); ++s) {
         ClassAgg &agg = classes[plan.blocks[sampleIdx[s]].size];
         const BlockCost &cost = sampleCost[s];
@@ -337,7 +340,9 @@ Accelerator::spmv(std::span<const double> x, std::span<double> y) const
     // Placed blocks accumulate into per-placement partials in
     // parallel; the partials fold into y in fixed placement order,
     // so the result is bit-identical for any lane count.
-    parallelFor(placements.size(), [&](std::size_t p) {
+    parallelFor(
+        placements.size(),
+        [&](std::size_t p) {
         telemetry::Span blockSpan("accel.block");
         ctrBlockSpans.add();
         const MatrixBlock &b = plan.blocks[placements[p].blockIdx];
@@ -348,7 +353,8 @@ Accelerator::spmv(std::span<const double> x, std::span<double> y) const
                 el.val *
                 x[static_cast<std::size_t>(b.colOrigin + el.col)];
         }
-    });
+        },
+        1, exec);
     for (std::size_t p = 0; p < placements.size(); ++p) {
         const MatrixBlock &b = plan.blocks[placements[p].blockIdx];
         const std::vector<double> &part = spmvScratch[p];

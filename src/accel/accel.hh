@@ -121,6 +121,17 @@ class Accelerator
     /** Functional y = A x (all placed blocks + CSR leftovers). */
     void spmv(std::span<const double> x, std::span<double> y) const;
 
+    /**
+     * Execution context polled per block batch inside prepare() and
+     * spmv() (runtime/exec_context.hh): a cancel or deadline aborts
+     * mid-operation with CancelledError instead of finishing the
+     * fan-out. Not owned; must outlive the calls it governs, and
+     * nullptr (the default) detaches. Operator adapters
+     * (ClusterArithmeticOperator, FaultyAccelOperator) forward
+     * their own setExecContext() here.
+     */
+    void setExecContext(const ExecContext *ctx) { exec = ctx; }
+
     /** Map a finished solver run to accelerator time and energy,
      *  including programming and preprocessing overhead. */
     AccelCost solveCost(const SolverResult &run,
@@ -184,6 +195,7 @@ class Accelerator
      *  single logical operation: concurrent spmv() calls on one
      *  Accelerator are not supported. */
     mutable std::vector<std::vector<double>> spmvScratch;
+    const ExecContext *exec = nullptr; //!< optional, not owned
 };
 
 } // namespace msc

@@ -63,8 +63,12 @@ ClusterArithmeticOperator::apply(std::span<const double> x,
     plan.unblocked.spmv(x, y);
 
     // Fan the block MVMs across the pool; every block writes only
-    // its own scratch slot.
-    parallelFor(plan.blocks.size(), [&](std::size_t bi) {
+    // its own scratch slot. The execution context is polled per
+    // block batch: a cancel mid-apply abandons the remaining blocks
+    // before the reduction below ever runs.
+    parallelFor(
+        plan.blocks.size(),
+        [&](std::size_t bi) {
         telemetry::Span blockSpan("cluster.block");
         const MatrixBlock &block = plan.blocks[bi];
         BlockScratch &sc = scratch[bi];
@@ -78,7 +82,8 @@ ClusterArithmeticOperator::apply(std::span<const double> x,
         sc.peeled.clear();
         sc.stats =
             clusters[bi]->multiply(sc.xLocal, sc.yLocal, &sc.peeled);
-    });
+        },
+        1, exec);
 
     // Deterministic reduction in fixed block order: the sums landing
     // in y are bit-identical regardless of the lane count.

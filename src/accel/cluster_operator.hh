@@ -49,6 +49,13 @@ class ClusterArithmeticOperator : public LinearOperator
     void apply(std::span<const double> x,
                std::span<double> y) override;
 
+    /** Polled per block batch inside apply() (see LinearOperator). */
+    void
+    setExecContext(const ExecContext *ctx) override
+    {
+        exec = ctx;
+    }
+
     const BlockPlan &blockPlan() const { return plan; }
 
     /** Aggregate cluster statistics since construction. */
@@ -81,6 +88,7 @@ class ClusterArithmeticOperator : public LinearOperator
     std::vector<std::unique_ptr<Cluster>> clusters;
     ClusterStats aggregate;
     std::vector<BlockScratch> scratch;
+    const ExecContext *exec = nullptr; //!< optional, not owned
 };
 
 } // namespace msc

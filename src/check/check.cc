@@ -1,9 +1,12 @@
 #include "check/check.hh"
 
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <sstream>
+
+#include "runtime/exec_context.hh"
 
 namespace msc::check {
 
@@ -113,14 +116,31 @@ runChecks(const Options &opt)
     report.seed = opt.seed;
     report.iters = opt.iters;
 
+    // Wall-clock budget (0 disables): polled between iterations, so
+    // a partial module still lands in the report when it expires.
+    ExecContext deadline;
+    const bool timed = opt.timeoutSec > 0.0;
+    if (timed) {
+        deadline.setDeadline(
+            ExecContext::Clock::now() +
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::duration<double>(opt.timeoutSec)));
+    }
+
     std::vector<Module> mods = makeModules();
     for (Module &mod : mods) {
+        if (report.interrupted)
+            break;
         if (!opt.module.empty() &&
             mod.name.find(opt.module) == std::string::npos)
             continue;
         ModuleReport rep;
         rep.name = mod.name;
         for (std::uint64_t it = 0; it < opt.iters; ++it) {
+            if (timed && deadline.shouldStop()) {
+                report.interrupted = true;
+                break;
+            }
             ++rep.iters;
             Context ctx(Rng(iterationSeed(opt.seed, mod.name, it)),
                         it, rep, opt.maxMessages);
@@ -149,6 +169,10 @@ Report::toJson() const
     out << "  \"total_checks\": " << totalChecks << ",\n";
     out << "  \"total_failures\": " << totalFailures << ",\n";
     out << "  \"ok\": " << (ok() ? "true" : "false") << ",\n";
+    // Emitted only on expiry: untimed reports must stay
+    // byte-identical across this key's introduction.
+    if (interrupted)
+        out << "  \"interrupted\": true,\n";
     out << "  \"modules\": [\n";
     for (std::size_t i = 0; i < modules.size(); ++i) {
         const ModuleReport &m = modules[i];

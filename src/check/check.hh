@@ -48,6 +48,13 @@ struct Options
     std::string module;
     /** Failure messages kept per module (counting never stops). */
     std::size_t maxMessages = 8;
+    /**
+     * Wall-clock budget in seconds (0 disables). Implemented on an
+     * ExecContext deadline polled between iterations: on expiry the
+     * sweep stops where it is and the report carries the partial
+     * results with Report::interrupted set -- CI sweeps cannot hang.
+     */
+    double timeoutSec = 0.0;
 };
 
 /** Per-module outcome. */
@@ -67,6 +74,10 @@ struct Report
     std::uint64_t iters = 0;
     std::uint64_t totalChecks = 0;
     std::uint64_t totalFailures = 0;
+    /** The timeout budget expired: the counts below are partial.
+     *  toJson() emits an "interrupted" key only when set, so
+     *  untimed reports stay byte-identical. */
+    bool interrupted = false;
     std::vector<ModuleReport> modules;
 
     bool ok() const { return totalFailures == 0; }

@@ -1,0 +1,146 @@
+#include "fault/chaos.hh"
+
+#include <chrono>
+#include <new>
+#include <thread>
+
+#include "solver/solver.hh"
+#include "util/logging.hh"
+#include "util/threadpool.hh"
+
+namespace msc {
+
+namespace {
+
+/** The one live engine; hooks are stateless function pointers, so
+ *  they route through this. */
+std::atomic<ChaosEngine *> gActive{nullptr};
+
+std::uint64_t
+mix(std::uint64_t state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Deterministic Bernoulli draw: true with probability @p rate. */
+bool
+hits(std::uint64_t key, double rate)
+{
+    if (rate <= 0.0)
+        return false;
+    if (rate >= 1.0)
+        return true;
+    // Top 53 bits -> uniform double in [0, 1).
+    const double u =
+        static_cast<double>(mix(key) >> 11) * 0x1.0p-53;
+    return u < rate;
+}
+
+// Site tags keep the per-site streams decorrelated.
+constexpr std::uint64_t kSiteDelay = 0x64656c6179ULL; // "delay"
+constexpr std::uint64_t kSiteThrow = 0x7468726f77ULL; // "throw"
+constexpr std::uint64_t kSiteAlloc = 0x616c6c6f63ULL; // "alloc"
+
+} // namespace
+
+ChaosEngine::ChaosEngine(const ChaosCampaign &campaign)
+    : camp(campaign)
+{
+    ChaosEngine *expected = nullptr;
+    if (!gActive.compare_exchange_strong(expected, this))
+        panic("ChaosEngine: another engine is already active");
+    sectionBase = ThreadPool::sectionCount();
+    if (camp.taskDelayRate > 0.0 || camp.taskThrowRate > 0.0)
+        ThreadPool::setTaskHook(&ChaosEngine::taskHook);
+    if (camp.allocFailRate > 0.0)
+        SolverWorkspace::setAllocHook(&ChaosEngine::allocHook);
+}
+
+ChaosEngine::~ChaosEngine()
+{
+    ThreadPool::setTaskHook(nullptr);
+    SolverWorkspace::setAllocHook(nullptr);
+    gActive.store(nullptr, std::memory_order_release);
+}
+
+void
+ChaosEngine::arm(ExecContext &ctx)
+{
+    if (camp.cancelAfterChecks == 0)
+        return;
+    ctx.cancelAfterChecks(camp.cancelAfterChecks);
+    armedCancels.fetch_add(1, std::memory_order_relaxed);
+}
+
+ChaosStats
+ChaosEngine::stats() const
+{
+    ChaosStats s;
+    s.taskDelays = taskDelays.load(std::memory_order_relaxed);
+    s.taskThrows = taskThrows.load(std::memory_order_relaxed);
+    s.allocFailures =
+        allocFailures.load(std::memory_order_relaxed);
+    s.armedCancels =
+        armedCancels.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+ChaosEngine::taskHook(std::uint64_t section,
+                      std::size_t chunkBegin)
+{
+    if (ChaosEngine *eng =
+            gActive.load(std::memory_order_acquire))
+        eng->onTask(section, chunkBegin);
+}
+
+void
+ChaosEngine::allocHook(std::size_t n)
+{
+    (void)n;
+    if (ChaosEngine *eng =
+            gActive.load(std::memory_order_acquire))
+        eng->onAlloc();
+}
+
+void
+ChaosEngine::onTask(std::uint64_t section, std::size_t chunkBegin)
+{
+    // Draws are keyed by (seed, site, section offset, chunk), never
+    // by scheduling: the same chunks fail on every run of a
+    // campaign, and keying on the offset from install time makes a
+    // campaign replayable later in the same process.
+    const std::uint64_t key =
+        mix(camp.seed ^ mix(section - sectionBase)) ^
+        mix(static_cast<std::uint64_t>(chunkBegin));
+    if (hits(key ^ kSiteDelay, camp.taskDelayRate)) {
+        taskDelays.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(camp.taskDelayUs));
+    }
+    if (hits(key ^ kSiteThrow, camp.taskThrowRate)) {
+        taskThrows.fetch_add(1, std::memory_order_relaxed);
+        throw ChaosTaskError(section, chunkBegin);
+    }
+}
+
+void
+ChaosEngine::onAlloc()
+{
+    // Keyed by allocation sequence: workspace grants happen on the
+    // solve thread in program order, so this stream is
+    // deterministic too.
+    const std::uint64_t seq =
+        allocSeq.fetch_add(1, std::memory_order_relaxed);
+    if (hits(mix(camp.seed ^ kSiteAlloc) ^ mix(seq),
+             camp.allocFailRate)) {
+        allocFailures.fetch_add(1, std::memory_order_relaxed);
+        throw std::bad_alloc();
+    }
+}
+
+} // namespace msc

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * System-level chaos harness for execution-fault testing.
+ *
+ * PR 1's fault campaigns perturb the *device* (stuck cells, dead
+ * crossbars); this harness perturbs the *execution*: worker-task
+ * delays, thrown worker exceptions, workspace allocation failures,
+ * and forced mid-solve cancellations. Together with
+ * runtime/exec_context.hh it lets the tests prove the three
+ * robustness claims the service runtime needs:
+ *
+ *  - cancellation is prompt (one iteration / one block batch);
+ *  - every injected failure is either absorbed by the
+ *    ResilientSolver ladder or surfaces as a structured status --
+ *    never a crash, leak, or hang (verified under ASan/TSan);
+ *  - with no chaos armed, results are byte-identical to an
+ *    uninstrumented run.
+ *
+ * Injection sites are the process-global hooks the production code
+ * already pays one relaxed load for: ThreadPool::setTaskHook (per
+ * chunk) and SolverWorkspace::setAllocHook (per scratch-vector
+ * grant). Draws are pure functions of (campaign seed, site,
+ * parallel-section sequence, chunk index) or of the allocation
+ * sequence number, so a campaign at a fixed seed and thread count
+ * injects the same faults at the same sites on every run -- chaos
+ * runs are reproducible, which is what makes their failures
+ * debuggable.
+ *
+ * The engine is RAII and exclusive: constructing it installs the
+ * hooks, destruction uninstalls them. At most one engine may exist
+ * at a time (enforced with panic()).
+ */
+
+#ifndef MSC_FAULT_CHAOS_HH
+#define MSC_FAULT_CHAOS_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "runtime/exec_context.hh"
+
+namespace msc {
+
+/** What to inject, and how often. Rates are per injection site
+ *  (per chunk / per allocation), in [0, 1]. */
+struct ChaosCampaign
+{
+    std::uint64_t seed = 1;
+    /** Worker-task delay: rate per chunk, busy duration. Models a
+     *  hung or slow shard without stopping the campaign. */
+    double taskDelayRate = 0.0;
+    unsigned taskDelayUs = 20;
+    /** Worker-task exception (ChaosTaskError) rate per chunk:
+     *  models a crashing shard; the pool must contain it. */
+    double taskThrowRate = 0.0;
+    /** std::bad_alloc rate per SolverWorkspace::vec() grant:
+     *  models memory pressure mid-solve. */
+    double allocFailRate = 0.0;
+    /** When > 0: arm(ctx) fires the context's cancel token on the
+     *  n-th shouldStop() poll -- a deterministic forced mid-solve
+     *  cancellation. */
+    std::uint64_t cancelAfterChecks = 0;
+};
+
+/** Thrown from inside a worker task by the chaos engine. */
+class ChaosTaskError : public std::runtime_error
+{
+  public:
+    explicit ChaosTaskError(std::uint64_t section,
+                            std::size_t chunk)
+        : std::runtime_error("chaos: injected worker-task failure"),
+          sect(section), chunkBegin(chunk)
+    {}
+
+    std::uint64_t section() const { return sect; }
+    std::size_t chunk() const { return chunkBegin; }
+
+  private:
+    std::uint64_t sect;
+    std::size_t chunkBegin;
+};
+
+/** Injection tally (snapshot via ChaosEngine::stats()). */
+struct ChaosStats
+{
+    std::uint64_t taskDelays = 0;
+    std::uint64_t taskThrows = 0;
+    std::uint64_t allocFailures = 0;
+    std::uint64_t armedCancels = 0;
+};
+
+/**
+ * RAII installer of the chaos hooks. Scope it around the code under
+ * test:
+ *
+ *   ChaosCampaign camp;
+ *   camp.taskThrowRate = 0.01;
+ *   ChaosEngine chaos(camp);
+ *   auto res = resilient.solve(b, x);   // faults injected here
+ *   // chaos.stats().taskThrows > 0, res.status is structured
+ */
+class ChaosEngine
+{
+  public:
+    explicit ChaosEngine(const ChaosCampaign &campaign);
+    ~ChaosEngine();
+
+    ChaosEngine(const ChaosEngine &) = delete;
+    ChaosEngine &operator=(const ChaosEngine &) = delete;
+
+    /** Arm the campaign's forced cancellation on @p ctx
+     *  (no-op when cancelAfterChecks == 0). */
+    void arm(ExecContext &ctx);
+
+    const ChaosCampaign &campaign() const { return camp; }
+
+    /** Snapshot of the injection tally so far. */
+    ChaosStats stats() const;
+
+  private:
+    static void taskHook(std::uint64_t section,
+                         std::size_t chunkBegin);
+    static void allocHook(std::size_t n);
+
+    void onTask(std::uint64_t section, std::size_t chunkBegin);
+    void onAlloc();
+
+    ChaosCampaign camp;
+    /** Section sequence at install time: draws key on the offset, so
+     *  a campaign replays identically however many parallel sections
+     *  ran before the engine existed. */
+    std::uint64_t sectionBase = 0;
+    std::atomic<std::uint64_t> allocSeq{0};
+    std::atomic<std::uint64_t> taskDelays{0};
+    std::atomic<std::uint64_t> taskThrows{0};
+    std::atomic<std::uint64_t> allocFailures{0};
+    std::atomic<std::uint64_t> armedCancels{0};
+};
+
+} // namespace msc
+
+#endif // MSC_FAULT_CHAOS_HH

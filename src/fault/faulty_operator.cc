@@ -129,8 +129,10 @@ FaultyAccelOperator::apply(std::span<const double> x,
     // Every block works against its own scratch slot and its own
     // transient stream, keyed by (apply sequence, block), so the
     // injected faults and the partial sums are independent of the
-    // lane count.
-    parallelFor(plan.blocks.size(), [&](std::size_t k) {
+    // lane count. The execution context is polled per block batch.
+    parallelFor(
+        plan.blocks.size(),
+        [&](std::size_t k) {
         telemetry::Span blockSpan("fault.block");
         ctrBlockSpans.add();
         const MatrixBlock &blk = plan.blocks[k];
@@ -206,7 +208,8 @@ FaultyAccelOperator::apply(std::span<const double> x,
             }
         }
         ++st.reads;
-    });
+        },
+        1, exec);
 
     // Fixed block-order reduction: y and the fault counters come out
     // bit-identical for any thread count.

@@ -52,6 +52,13 @@ class FaultyAccelOperator : public RecoverableOperator
     void apply(std::span<const double> x,
                std::span<double> y) override;
 
+    /** Polled per block batch inside apply() (see LinearOperator). */
+    void
+    setExecContext(const ExecContext *ctx) override
+    {
+        exec = ctx;
+    }
+
     // RecoverableOperator maintenance surface.
     std::size_t blockCount() const override;
     std::vector<std::size_t> scrub() override;
@@ -125,6 +132,7 @@ class FaultyAccelOperator : public RecoverableOperator
     std::uint64_t applySeq = 0;
     std::int32_t matRows = 0;
     std::int32_t matCols = 0;
+    const ExecContext *exec = nullptr; //!< optional, not owned
 };
 
 } // namespace msc

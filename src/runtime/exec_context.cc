@@ -1,0 +1,71 @@
+#include "runtime/exec_context.hh"
+
+#include <algorithm>
+
+namespace msc {
+
+const char *
+toString(SolveStatus status)
+{
+    switch (status) {
+      case SolveStatus::Converged:
+        return "converged";
+      case SolveStatus::MaxIterations:
+        return "max_iterations";
+      case SolveStatus::Breakdown:
+        return "breakdown";
+      case SolveStatus::Cancelled:
+        return "cancelled";
+      case SolveStatus::DeadlineExceeded:
+        return "deadline_exceeded";
+      case SolveStatus::Degraded:
+        return "degraded";
+    }
+    return "unknown";
+}
+
+namespace {
+
+std::uint64_t
+splitmix(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+bool
+RetryBudget::tryAcquire()
+{
+    if (exhausted())
+        return false;
+    // base * 2^attempt, saturating and capped: the shift alone would
+    // overflow past attempt ~60.
+    const int attempt = used++;
+    const auto baseNs = base.count();
+    std::int64_t backoff;
+    if (attempt >= 62 || baseNs > (cap.count() >> std::min(attempt,
+                                                           62))) {
+        backoff = cap.count();
+    } else {
+        backoff = std::min<std::int64_t>(cap.count(),
+                                         baseNs << attempt);
+    }
+    // Up to +25% seeded jitter, still capped: decorrelates retry
+    // storms across tenants without ever exceeding the cap.
+    const std::uint64_t draw = splitmix(jitterState);
+    const std::int64_t jitter = static_cast<std::int64_t>(
+        (static_cast<unsigned __int128>(draw) *
+         static_cast<std::uint64_t>(backoff / 4)) >>
+        64);
+    backoff = std::min<std::int64_t>(cap.count(), backoff + jitter);
+    last = std::chrono::nanoseconds(backoff);
+    total += last;
+    return true;
+}
+
+} // namespace msc

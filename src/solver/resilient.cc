@@ -95,8 +95,13 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
     double prevRes = inf;  //!< previous segment's residual
     double lastRes = inf;  //!< last finite residual
     int stagnant = 0;
-    int recoveries = 0;
     int itersUsed = 0;
+    RetryBudget budget(policy.maxRecoveries, policy.retrySeed,
+                       policy.backoffBase, policy.backoffCap);
+    bool degradedAll = false; //!< budget exhausted: all-exact rung
+    bool interrupted = false; //!< cancel / deadline stop
+    SolveStatus stopStatus = SolveStatus::Cancelled;
+    SolveStatus lastSegStatus = SolveStatus::MaxIterations;
 
     // Reprogram-or-degrade every suspect block; returns true when
     // any maintenance action was taken.
@@ -141,8 +146,8 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
         ++rec.scrubs;
         ctrScrubs.add();
         repairSuspects(op.scrub());
-        ++recoveries;
-        if (recoveries >= policy.maxRecoveries) {
+        budget.tryAcquire();
+        if (budget.exhausted()) {
             // Final rung: graceful degradation of everything still
             // mapped; the solve finishes on exact arithmetic.
             for (std::size_t k = 0; k < op.blockCount(); ++k) {
@@ -152,6 +157,7 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
                     ctrFallbacks.add();
                 }
             }
+            degradedAll = true;
         }
         stagnant = 0;
         prevRes = inf;
@@ -161,12 +167,52 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
         const int segIters = std::min(policy.checkpointInterval,
                                       cfg.maxIterations - itersUsed);
         SolverResult seg;
-        {
+        bool segFailed = false;
+        try {
             telemetry::Span segSpan("resilient.segment");
             seg = runSegment(b, x, segIters);
+        } catch (const CancelledError &e) {
+            // The inner solvers translate cancellation themselves;
+            // this only catches a stop that fired outside a solve
+            // (e.g. inside scrub-driven operator work).
+            stopStatus = e.status();
+            interrupted = true;
+            break;
+        } catch (const std::bad_alloc &) {
+            ++rec.allocFailures;
+            segFailed = true;
+        } catch (const PanicError &) {
+            throw; // programming error: never absorb
+        } catch (const FatalError &) {
+            throw; // config/usage error: never absorb
+        } catch (const std::exception &e) {
+            // A worker task died (chaos injection, transient device
+            // library failure). The pool already quiesced the job;
+            // treat it like any other detection event.
+            ++rec.workerFaults;
+            warn("ResilientSolver: segment failed (", e.what(),
+                 "); retrying");
+            segFailed = true;
         }
         ++rec.segments;
         ctrSegments.add();
+        if (segFailed) {
+            // The segment died mid-flight: x may hold a partial
+            // initial residual state, so rewind to the checkpoint
+            // before burning a retry attempt on the ladder.
+            itersUsed += 1;
+            std::copy(xGood.begin(), xGood.end(), x.begin());
+            ++rec.checkpointRestarts;
+            ctrRestarts.add();
+            if (degradedAll) {
+                // Already on the all-exact rung and still failing:
+                // retrying cannot help.
+                break;
+            }
+            escalate(false);
+            continue;
+        }
+        lastSegStatus = seg.status;
         // Breakdown segments can report zero iterations; always
         // charge at least one so the loop is bounded.
         itersUsed += std::max(1, seg.iterations);
@@ -174,6 +220,12 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
         total.dotCalls += seg.dotCalls;
         total.axpyCalls += seg.axpyCalls;
         total.precondApplies += seg.precondApplies;
+        if (seg.status == SolveStatus::Cancelled ||
+            seg.status == SolveStatus::DeadlineExceeded) {
+            stopStatus = seg.status;
+            interrupted = true;
+            break;
+        }
 
         const double res = seg.relResidual;
         if (!std::isfinite(res) || !allFinite(x)) {
@@ -243,8 +295,26 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
     total.relResidual = std::isfinite(lastRes) ? lastRes : bestRes;
     if (!std::isfinite(total.relResidual))
         total.relResidual = 1.0; // never report NaN/Inf upward
-    if (!total.converged)
+    if (!total.converged && !interrupted)
         total.converged = total.relResidual <= cfg.tolerance;
+    // Structured terminal status. A stop request wins; Degraded
+    // outranks Converged so callers see the solve ran on degraded
+    // hardware even when it still met the tolerance.
+    if (interrupted) {
+        total.status = stopStatus;
+    } else if (degradedAll) {
+        total.status = SolveStatus::Degraded;
+    } else if (total.converged) {
+        total.status = SolveStatus::Converged;
+    } else if (lastSegStatus == SolveStatus::Breakdown) {
+        total.status = SolveStatus::Breakdown;
+    } else {
+        total.status = SolveStatus::MaxIterations;
+    }
+    rec.retryAttempts =
+        static_cast<std::uint64_t>(budget.attemptsUsed());
+    rec.backoffNanos =
+        static_cast<std::uint64_t>(budget.totalDelay().count());
     for (std::size_t k = 0; k < op.blockCount(); ++k)
         rec.degradedBlocks += op.isDegraded(k) ? 1 : 0;
     return total;

@@ -28,6 +28,16 @@
  * SolverResult), and the whole run is deterministic given the fault
  * campaign seed: two identical configs produce identical stats and
  * iteration counts.
+ *
+ * Execution robustness (runtime/exec_context.hh): the escalation
+ * ladder draws from a bounded RetryBudget (maxRecoveries attempts
+ * with seeded exponential backoff, recorded but never slept on);
+ * exhausting it degrades every block and stamps the result
+ * SolveStatus::Degraded. Transient execution faults -- bad_alloc
+ * from the workspace, a worker-task exception surfaced by the pool
+ * -- are absorbed as one more ladder rung (checkpoint restore +
+ * scrub), while cancellation/deadline stops propagate as structured
+ * status and programming errors (PanicError) still escape.
  */
 
 #ifndef MSC_SOLVER_RESILIENT_HH
@@ -91,6 +101,14 @@ struct RecoveryPolicy
      *  hardware that only *silences* contributions may never perturb
      *  the residual stream -- periodic scrubbing catches it. */
     int scrubEverySegments = 8;
+    /** Jitter seed of the retry budget (maxRecoveries attempts). */
+    std::uint64_t retrySeed = 1;
+    /** Exponential backoff base / cap handed to the RetryBudget.
+     *  Recorded in RecoveryStats::backoffNanos, never slept on. */
+    std::chrono::nanoseconds backoffBase =
+        std::chrono::microseconds(100);
+    std::chrono::nanoseconds backoffCap =
+        std::chrono::milliseconds(100);
 };
 
 /**

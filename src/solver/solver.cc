@@ -7,6 +7,9 @@
 
 namespace msc {
 
+std::atomic<SolverWorkspace::AllocHook>
+    SolverWorkspace::allocHook{nullptr};
+
 namespace {
 
 // One iteration tick + residual gauge per Krylov step; totals are
@@ -14,6 +17,36 @@ namespace {
 // the pool's lane count.
 constinit telemetry::Counter ctrIterations{"solver.iterations"};
 constinit telemetry::Gauge gResidual{"solver.residual"};
+
+/**
+ * RAII: attach cfg.exec to the operator for the duration of one
+ * solve so block-batched operators (accel/, fault/) poll it
+ * mid-apply, and detach on exit -- the context may not outlive the
+ * operator. No virtual call in the default (nullptr) path.
+ */
+class ExecBinding
+{
+  public:
+    ExecBinding(LinearOperator &op, const ExecContext *ctx)
+        : a(op), bound(ctx != nullptr)
+    {
+        if (bound)
+            a.setExecContext(ctx);
+    }
+
+    ~ExecBinding()
+    {
+        if (bound)
+            a.setExecContext(nullptr);
+    }
+
+    ExecBinding(const ExecBinding &) = delete;
+    ExecBinding &operator=(const ExecBinding &) = delete;
+
+  private:
+    LinearOperator &a;
+    bool bound;
+};
 
 void
 checkSystem(const LinearOperator &a, std::span<const double> b,
@@ -53,55 +86,82 @@ conjugateGradient(LinearOperator &a, std::span<const double> b,
     std::vector<double> &r = wsp.vec(0, n);
     std::vector<double> &p = wsp.vec(1, n);
     std::vector<double> &ap = wsp.vec(2, n);
-    // r = b - A x
-    a.apply(x, r);
-    ++res.spmvCalls;
-    for (std::size_t i = 0; i < n; ++i)
-        r[i] = b[i] - r[i];
-    p = r;
 
-    const double bNorm = norm2(b);
-    ++res.dotCalls;
-    if (bNorm == 0.0) {
-        std::fill(x.begin(), x.end(), 0.0);
-        res.converged = true;
-        return res;
-    }
-
-    double rr = dot(r, r);
-    ++res.dotCalls;
-    for (int it = 0; it < cfg.maxIterations; ++it) {
-        if (std::sqrt(rr) / bNorm <= cfg.tolerance) {
-            res.converged = true;
-            break;
-        }
-        a.apply(p, ap);
+    ExecBinding bind(a, cfg.exec);
+    SolveStatus stop = SolveStatus::MaxIterations;
+    bool interrupted = false;
+    double bNorm = 0.0;
+    double rr = 0.0;
+    try {
+        execCheckpoint(cfg.exec);
+        // r = b - A x
+        a.apply(x, r);
         ++res.spmvCalls;
-        const double pap = dot(p, ap);
-        ++res.dotCalls;
-        if (pap <= 0.0) {
-            warn("CG: operator not positive definite (p'Ap = ", pap,
-                 "); aborting");
-            break;
-        }
-        const double alpha = rr / pap;
-        axpy(alpha, p, x);
-        axpy(-alpha, ap, r);
-        res.axpyCalls += 2;
-        const double rrNew = dot(r, r);
-        ++res.dotCalls;
-        const double beta = rrNew / rr;
-        // p = r + beta p
         for (std::size_t i = 0; i < n; ++i)
-            p[i] = r[i] + beta * p[i];
-        ++res.axpyCalls;
-        rr = rrNew;
-        ++res.iterations;
-        ctrIterations.add();
-        gResidual.set(std::sqrt(rr) / bNorm);
+            r[i] = b[i] - r[i];
+        p = r;
+
+        bNorm = norm2(b);
+        ++res.dotCalls;
+        if (bNorm == 0.0) {
+            std::fill(x.begin(), x.end(), 0.0);
+            res.converged = true;
+            res.status = SolveStatus::Converged;
+            return res;
+        }
+
+        rr = dot(r, r);
+        ++res.dotCalls;
+        for (int it = 0; it < cfg.maxIterations; ++it) {
+            if (std::sqrt(rr) / bNorm <= cfg.tolerance) {
+                res.converged = true;
+                break;
+            }
+            execCheckpoint(cfg.exec);
+            a.apply(p, ap);
+            ++res.spmvCalls;
+            const double pap = dot(p, ap);
+            ++res.dotCalls;
+            if (pap <= 0.0) {
+                warn("CG: operator not positive definite (p'Ap = ",
+                     pap, "); aborting");
+                stop = SolveStatus::Breakdown;
+                break;
+            }
+            const double alpha = rr / pap;
+            axpy(alpha, p, x);
+            axpy(-alpha, ap, r);
+            res.axpyCalls += 2;
+            const double rrNew = dot(r, r);
+            ++res.dotCalls;
+            const double beta = rrNew / rr;
+            // p = r + beta p
+            for (std::size_t i = 0; i < n; ++i)
+                p[i] = r[i] + beta * p[i];
+            ++res.axpyCalls;
+            rr = rrNew;
+            ++res.iterations;
+            ctrIterations.add();
+            gResidual.set(std::sqrt(rr) / bNorm);
+        }
+    } catch (const CancelledError &e) {
+        // x only moves through the serial axpy above, so it holds
+        // the last completed iterate regardless of where inside the
+        // iteration the stop landed.
+        stop = e.status();
+        interrupted = true;
+    }
+    if (interrupted) {
+        res.relResidual = (bNorm > 0.0 && rr > 0.0)
+                              ? std::sqrt(rr) / bNorm
+                              : 1.0;
+        res.status = stop;
+        return res;
     }
     res.relResidual = std::sqrt(rr) / bNorm;
     res.converged = res.relResidual <= cfg.tolerance;
+    res.status =
+        res.converged ? SolveStatus::Converged : stop;
     return res;
 }
 
@@ -124,132 +184,163 @@ biCgStab(LinearOperator &a, std::span<const double> b,
     std::vector<double> &v = wsp.vec(3, n);
     std::vector<double> &s = wsp.vec(4, n);
     std::vector<double> &t = wsp.vec(5, n);
-    a.apply(x, r);
-    ++res.spmvCalls;
-    for (std::size_t i = 0; i < n; ++i)
-        r[i] = b[i] - r[i];
-    rHat = r;
-
-    const double bNorm = norm2(b);
-    ++res.dotCalls;
-    if (bNorm == 0.0) {
-        std::fill(x.begin(), x.end(), 0.0);
-        res.converged = true;
-        return res;
-    }
-
-    double rho = 1.0, alpha = 1.0, omega = 1.0;
-    std::fill(p.begin(), p.end(), 0.0);
-    std::fill(v.begin(), v.end(), 0.0);
-
-    double resNorm = norm2(r);
-    ++res.dotCalls;
     // Last iterate whose residual was finite: breakdown must return
     // a finite residual and never leave NaN in x, even when the
     // operator itself misbehaves (fault injection).
     std::vector<double> &xSafe = wsp.vec(6, n);
-    std::copy(x.begin(), x.end(), xSafe.begin());
-    double safeNorm = resNorm;
-    for (int it = 0; it < cfg.maxIterations; ++it) {
-        if (resNorm / bNorm <= cfg.tolerance) {
-            res.converged = true;
-            break;
-        }
-        const double rhoNew = dot(rHat, r);
-        ++res.dotCalls;
-        if (breakdown(rhoNew)) {
-            warn("BiCG-STAB: breakdown (rho = ", rhoNew,
-                 ") at iteration ", it);
-            break;
-        }
-        const double beta = (rhoNew / rho) * (alpha / omega);
-        if (!std::isfinite(beta)) {
-            warn("BiCG-STAB: breakdown (beta not finite) at "
-                 "iteration ", it);
-            break;
-        }
-        rho = rhoNew;
-        // p = r + beta (p - omega v)
-        for (std::size_t i = 0; i < n; ++i)
-            p[i] = r[i] + beta * (p[i] - omega * v[i]);
-        res.axpyCalls += 2;
-        a.apply(p, v);
+
+    ExecBinding bind(a, cfg.exec);
+    SolveStatus stop = SolveStatus::MaxIterations;
+    bool interrupted = false;
+    double bNorm = 0.0;
+    double resNorm = 0.0;
+    double safeNorm = -1.0; //!< < 0 until xSafe holds an iterate
+    try {
+        execCheckpoint(cfg.exec);
+        a.apply(x, r);
         ++res.spmvCalls;
-        const double rHatV = dot(rHat, v);
-        ++res.dotCalls;
-        if (breakdown(rHatV)) {
-            warn("BiCG-STAB: breakdown (rHat'v = ", rHatV,
-                 ") at iteration ", it);
-            break;
-        }
-        alpha = rho / rHatV;
-        if (!std::isfinite(alpha)) {
-            warn("BiCG-STAB: breakdown (alpha not finite) at "
-                 "iteration ", it);
-            break;
-        }
         for (std::size_t i = 0; i < n; ++i)
-            s[i] = r[i] - alpha * v[i];
-        ++res.axpyCalls;
-        const double sNorm = norm2(s);
+            r[i] = b[i] - r[i];
+        rHat = r;
+
+        bNorm = norm2(b);
         ++res.dotCalls;
-        if (sNorm / bNorm <= cfg.tolerance) {
-            axpy(alpha, p, x);
-            ++res.axpyCalls;
-            ++res.iterations;
-            ctrIterations.add();
-            gResidual.set(sNorm / bNorm);
-            resNorm = sNorm;
+        if (bNorm == 0.0) {
+            std::fill(x.begin(), x.end(), 0.0);
             res.converged = true;
-            break;
+            res.status = SolveStatus::Converged;
+            return res;
         }
-        a.apply(s, t);
-        ++res.spmvCalls;
-        const double tt = dot(t, t);
-        const double ts = dot(t, s);
-        res.dotCalls += 2;
-        if (breakdown(tt)) {
-            warn("BiCG-STAB: breakdown (t't = ", tt,
-                 ") at iteration ", it);
-            break;
-        }
-        omega = ts / tt;
-        if (!std::isfinite(omega)) {
-            warn("BiCG-STAB: breakdown (omega not finite) at "
-                 "iteration ", it);
-            break;
-        }
-        // x += alpha p + omega s ; r = s - omega t
-        for (std::size_t i = 0; i < n; ++i) {
-            x[i] += alpha * p[i] + omega * s[i];
-            r[i] = s[i] - omega * t[i];
-        }
-        res.axpyCalls += 3;
+
+        double rho = 1.0, alpha = 1.0, omega = 1.0;
+        std::fill(p.begin(), p.end(), 0.0);
+        std::fill(v.begin(), v.end(), 0.0);
+
         resNorm = norm2(r);
         ++res.dotCalls;
-        ++res.iterations;
-        ctrIterations.add();
-        gResidual.set(resNorm / bNorm);
-        if (std::isfinite(resNorm)) {
-            std::copy(x.begin(), x.end(), xSafe.begin());
-            safeNorm = resNorm;
+        std::copy(x.begin(), x.end(), xSafe.begin());
+        safeNorm = resNorm;
+        for (int it = 0; it < cfg.maxIterations; ++it) {
+            if (resNorm / bNorm <= cfg.tolerance) {
+                res.converged = true;
+                break;
+            }
+            execCheckpoint(cfg.exec);
+            const double rhoNew = dot(rHat, r);
+            ++res.dotCalls;
+            if (breakdown(rhoNew)) {
+                warn("BiCG-STAB: breakdown (rho = ", rhoNew,
+                     ") at iteration ", it);
+                stop = SolveStatus::Breakdown;
+                break;
+            }
+            const double beta = (rhoNew / rho) * (alpha / omega);
+            if (!std::isfinite(beta)) {
+                warn("BiCG-STAB: breakdown (beta not finite) at "
+                     "iteration ", it);
+                stop = SolveStatus::Breakdown;
+                break;
+            }
+            rho = rhoNew;
+            // p = r + beta (p - omega v)
+            for (std::size_t i = 0; i < n; ++i)
+                p[i] = r[i] + beta * (p[i] - omega * v[i]);
+            res.axpyCalls += 2;
+            a.apply(p, v);
+            ++res.spmvCalls;
+            const double rHatV = dot(rHat, v);
+            ++res.dotCalls;
+            if (breakdown(rHatV)) {
+                warn("BiCG-STAB: breakdown (rHat'v = ", rHatV,
+                     ") at iteration ", it);
+                stop = SolveStatus::Breakdown;
+                break;
+            }
+            alpha = rho / rHatV;
+            if (!std::isfinite(alpha)) {
+                warn("BiCG-STAB: breakdown (alpha not finite) at "
+                     "iteration ", it);
+                stop = SolveStatus::Breakdown;
+                break;
+            }
+            for (std::size_t i = 0; i < n; ++i)
+                s[i] = r[i] - alpha * v[i];
+            ++res.axpyCalls;
+            const double sNorm = norm2(s);
+            ++res.dotCalls;
+            if (sNorm / bNorm <= cfg.tolerance) {
+                axpy(alpha, p, x);
+                ++res.axpyCalls;
+                ++res.iterations;
+                ctrIterations.add();
+                gResidual.set(sNorm / bNorm);
+                resNorm = sNorm;
+                res.converged = true;
+                break;
+            }
+            a.apply(s, t);
+            ++res.spmvCalls;
+            const double tt = dot(t, t);
+            const double ts = dot(t, s);
+            res.dotCalls += 2;
+            if (breakdown(tt)) {
+                warn("BiCG-STAB: breakdown (t't = ", tt,
+                     ") at iteration ", it);
+                stop = SolveStatus::Breakdown;
+                break;
+            }
+            omega = ts / tt;
+            if (!std::isfinite(omega)) {
+                warn("BiCG-STAB: breakdown (omega not finite) at "
+                     "iteration ", it);
+                stop = SolveStatus::Breakdown;
+                break;
+            }
+            // x += alpha p + omega s ; r = s - omega t
+            for (std::size_t i = 0; i < n; ++i) {
+                x[i] += alpha * p[i] + omega * s[i];
+                r[i] = s[i] - omega * t[i];
+            }
+            res.axpyCalls += 3;
+            resNorm = norm2(r);
+            ++res.dotCalls;
+            ++res.iterations;
+            ctrIterations.add();
+            gResidual.set(resNorm / bNorm);
+            if (std::isfinite(resNorm)) {
+                std::copy(x.begin(), x.end(), xSafe.begin());
+                safeNorm = resNorm;
+            }
+            if (breakdown(omega)) {
+                // omega ~ 0: the next beta would blow up; stop with
+                // the update already applied.
+                warn("BiCG-STAB: breakdown (omega = ", omega,
+                     ") at iteration ", it);
+                stop = SolveStatus::Breakdown;
+                break;
+            }
         }
-        if (breakdown(omega)) {
-            // omega ~ 0: the next beta would blow up; stop with the
-            // update already applied.
-            warn("BiCG-STAB: breakdown (omega = ", omega,
-                 ") at iteration ", it);
-            break;
-        }
+    } catch (const CancelledError &e) {
+        stop = e.status();
+        interrupted = true;
     }
-    if (!std::isfinite(resNorm)) {
+    if (!std::isfinite(resNorm) && safeNorm >= 0.0) {
         // The operator injected non-finite values (device faults):
         // report the last finite state instead of propagating NaN.
         std::copy(xSafe.begin(), xSafe.end(), x.begin());
         resNorm = safeNorm;
     }
+    if (interrupted) {
+        res.relResidual = (bNorm > 0.0 && resNorm > 0.0)
+                              ? resNorm / bNorm
+                              : 1.0;
+        res.status = stop;
+        return res;
+    }
     res.relResidual = resNorm / bNorm;
     res.converged = res.relResidual <= cfg.tolerance;
+    res.status =
+        res.converged ? SolveStatus::Converged : stop;
     return res;
 }
 
@@ -272,66 +363,92 @@ biCg(TransposableOperator &a, std::span<const double> b,
     std::vector<double> &pT = wsp.vec(3, n);
     std::vector<double> &ap = wsp.vec(4, n);
     std::vector<double> &atp = wsp.vec(5, n);
-    a.apply(x, r);
-    ++res.spmvCalls;
-    for (std::size_t i = 0; i < n; ++i)
-        r[i] = b[i] - r[i];
-    rT = r;
-    p = r;
-    pT = rT;
 
-    const double bNorm = norm2(b);
-    ++res.dotCalls;
-    if (bNorm == 0.0) {
-        std::fill(x.begin(), x.end(), 0.0);
-        res.converged = true;
-        return res;
-    }
+    ExecBinding bind(a, cfg.exec);
+    SolveStatus stop = SolveStatus::MaxIterations;
+    bool interrupted = false;
+    double bNorm = 0.0;
+    double resNorm = 0.0;
+    try {
+        execCheckpoint(cfg.exec);
+        a.apply(x, r);
+        ++res.spmvCalls;
+        for (std::size_t i = 0; i < n; ++i)
+            r[i] = b[i] - r[i];
+        rT = r;
+        p = r;
+        pT = rT;
 
-    double rho = dot(rT, r);
-    ++res.dotCalls;
-    double resNorm = norm2(r);
-    ++res.dotCalls;
-    for (int it = 0; it < cfg.maxIterations; ++it) {
-        if (resNorm / bNorm <= cfg.tolerance) {
+        bNorm = norm2(b);
+        ++res.dotCalls;
+        if (bNorm == 0.0) {
+            std::fill(x.begin(), x.end(), 0.0);
             res.converged = true;
-            break;
+            res.status = SolveStatus::Converged;
+            return res;
         }
-        if (rho == 0.0) {
-            warn("BiCG: breakdown (rho = 0) at iteration ", it);
-            break;
-        }
-        a.apply(p, ap);
-        a.applyTranspose(pT, atp);
-        res.spmvCalls += 2;
-        const double pTap = dot(pT, ap);
+
+        double rho = dot(rT, r);
         ++res.dotCalls;
-        if (pTap == 0.0) {
-            warn("BiCG: breakdown (pT'Ap = 0) at iteration ", it);
-            break;
-        }
-        const double alpha = rho / pTap;
-        axpy(alpha, p, x);
-        axpy(-alpha, ap, r);
-        axpy(-alpha, atp, rT);
-        res.axpyCalls += 3;
-        const double rhoNew = dot(rT, r);
-        ++res.dotCalls;
-        const double beta = rhoNew / rho;
-        for (std::size_t i = 0; i < n; ++i) {
-            p[i] = r[i] + beta * p[i];
-            pT[i] = rT[i] + beta * pT[i];
-        }
-        res.axpyCalls += 2;
-        rho = rhoNew;
         resNorm = norm2(r);
         ++res.dotCalls;
-        ++res.iterations;
-        ctrIterations.add();
-        gResidual.set(resNorm / bNorm);
+        for (int it = 0; it < cfg.maxIterations; ++it) {
+            if (resNorm / bNorm <= cfg.tolerance) {
+                res.converged = true;
+                break;
+            }
+            execCheckpoint(cfg.exec);
+            if (rho == 0.0) {
+                warn("BiCG: breakdown (rho = 0) at iteration ", it);
+                stop = SolveStatus::Breakdown;
+                break;
+            }
+            a.apply(p, ap);
+            a.applyTranspose(pT, atp);
+            res.spmvCalls += 2;
+            const double pTap = dot(pT, ap);
+            ++res.dotCalls;
+            if (pTap == 0.0) {
+                warn("BiCG: breakdown (pT'Ap = 0) at iteration ",
+                     it);
+                stop = SolveStatus::Breakdown;
+                break;
+            }
+            const double alpha = rho / pTap;
+            axpy(alpha, p, x);
+            axpy(-alpha, ap, r);
+            axpy(-alpha, atp, rT);
+            res.axpyCalls += 3;
+            const double rhoNew = dot(rT, r);
+            ++res.dotCalls;
+            const double beta = rhoNew / rho;
+            for (std::size_t i = 0; i < n; ++i) {
+                p[i] = r[i] + beta * p[i];
+                pT[i] = rT[i] + beta * pT[i];
+            }
+            res.axpyCalls += 2;
+            rho = rhoNew;
+            resNorm = norm2(r);
+            ++res.dotCalls;
+            ++res.iterations;
+            ctrIterations.add();
+            gResidual.set(resNorm / bNorm);
+        }
+    } catch (const CancelledError &e) {
+        stop = e.status();
+        interrupted = true;
+    }
+    if (interrupted) {
+        res.relResidual = (bNorm > 0.0 && resNorm > 0.0)
+                              ? resNorm / bNorm
+                              : 1.0;
+        res.status = stop;
+        return res;
     }
     res.relResidual = resNorm / bNorm;
     res.converged = res.relResidual <= cfg.tolerance;
+    res.status =
+        res.converged ? SolveStatus::Converged : stop;
     return res;
 }
 
@@ -354,6 +471,7 @@ gmres(LinearOperator &a, std::span<const double> b,
     if (bNorm == 0.0) {
         std::fill(x.begin(), x.end(), 0.0);
         res.converged = true;
+        res.status = SolveStatus::Converged;
         return res;
     }
 
@@ -375,8 +493,18 @@ gmres(LinearOperator &a, std::span<const double> b,
     std::vector<double> y;
     y.reserve(m);
 
+    ExecBinding bind(a, cfg.exec);
+    SolveStatus stop = SolveStatus::MaxIterations;
+    bool interrupted = false;
     double resNorm = bNorm;
+    // Residual matching the committed x (cycle boundaries only): a
+    // mid-cycle stop abandons the partial Krylov basis, so the
+    // recurrence residual of uncommitted columns must not be
+    // reported for an x that never received them.
+    double committed = -1.0;
+    try {
     while (res.iterations < cfg.maxIterations) {
+        execCheckpoint(cfg.exec);
         // r = b - A x
         a.apply(x, w);
         ++res.spmvCalls;
@@ -384,6 +512,7 @@ gmres(LinearOperator &a, std::span<const double> b,
             (*v[0])[i] = b[i] - w[i];
         resNorm = norm2(*v[0]);
         ++res.dotCalls;
+        committed = resNorm;
         if (resNorm / bNorm <= cfg.tolerance) {
             res.converged = true;
             break;
@@ -396,6 +525,7 @@ gmres(LinearOperator &a, std::span<const double> b,
         std::size_t j = 0;
         bool lucky = false;
         for (; j < m && res.iterations < cfg.maxIterations; ++j) {
+            execCheckpoint(cfg.exec);
             a.apply(*v[j], w);
             ++res.spmvCalls;
             // Modified Gram-Schmidt.
@@ -468,6 +598,7 @@ gmres(LinearOperator &a, std::span<const double> b,
             axpy(y[i], *v[i], x);
             ++res.axpyCalls;
         }
+        committed = resNorm;
         if (lucky) {
             // The subspace is invariant, so restarting regenerates
             // the same space: x cannot improve further. The rotated
@@ -488,8 +619,20 @@ gmres(LinearOperator &a, std::span<const double> b,
             break;
         }
     }
+    } catch (const CancelledError &e) {
+        stop = e.status();
+        interrupted = true;
+    }
+    if (interrupted) {
+        res.relResidual =
+            committed >= 0.0 ? committed / bNorm : 1.0;
+        res.status = stop;
+        return res;
+    }
     res.relResidual = resNorm / bNorm;
     res.converged = res.relResidual <= cfg.tolerance;
+    res.status =
+        res.converged ? SolveStatus::Converged : stop;
     return res;
 }
 

@@ -17,11 +17,14 @@
 #ifndef MSC_SOLVER_SOLVER_HH
 #define MSC_SOLVER_SOLVER_HH
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <span>
 #include <vector>
 
+#include "runtime/exec_context.hh"
 #include "sparse/csr.hh"
 
 namespace msc {
@@ -38,6 +41,18 @@ class LinearOperator
     /** y = A x. */
     virtual void apply(std::span<const double> x,
                        std::span<double> y) = 0;
+
+    /**
+     * Adopt an execution context: operators that batch work over
+     * blocks (accel/, fault/) poll it per batch so a cancel or
+     * deadline lands mid-apply, not only at the next solver
+     * iteration. The default is a no-op; @p ctx must outlive the
+     * applies it governs (nullptr detaches).
+     */
+    virtual void setExecContext(const ExecContext *ctx)
+    {
+        (void)ctx;
+    }
 };
 
 /** Operator that can also apply its transpose (needed by BiCG). */
@@ -92,16 +107,34 @@ class SolverWorkspace
     std::vector<double> &
     vec(std::size_t slot, std::size_t n)
     {
+        if (const AllocHook hook =
+                allocHook.load(std::memory_order_acquire))
+            hook(n);
         if (slot >= pool.size())
             pool.resize(slot + 1);
         pool[slot].assign(n, 0.0);
         return pool[slot];
     }
 
+    /**
+     * Chaos-harness allocation hook: called with the requested
+     * length before every vec() grant and may throw std::bad_alloc
+     * to model memory pressure. Process-global; nullptr uninstalls.
+     * One relaxed load per grant when unset.
+     */
+    using AllocHook = void (*)(std::size_t n);
+    static void
+    setAllocHook(AllocHook hook)
+    {
+        allocHook.store(hook, std::memory_order_release);
+    }
+
   private:
     /** Deque, not vector: growing it must not move the vectors a
      *  solver already holds references to. */
     std::deque<std::vector<double>> pool;
+
+    static std::atomic<AllocHook> allocHook; //!< defined in solver.cc
 };
 
 /** Which Krylov method to run. */
@@ -117,6 +150,13 @@ struct SolverConfig
 {
     double tolerance = 1e-10;  //!< relative residual target
     int maxIterations = 5000;
+    /**
+     * Optional execution context (deadline / cancellation), polled
+     * once per iteration and forwarded to the operator for
+     * per-block-batch polls. Not owned; must outlive the solve.
+     * nullptr (the default) adds no per-iteration cost.
+     */
+    const ExecContext *exec = nullptr;
 };
 
 /**
@@ -137,6 +177,11 @@ struct RecoveryStats
     std::uint64_t fallbacks = 0;          //!< blocks degraded to CSR
     std::uint64_t segments = 0;           //!< solver segments run
     std::uint64_t degradedBlocks = 0;     //!< blocks exact at exit
+    // Execution-fault record (retry budget, absorbed failures).
+    std::uint64_t retryAttempts = 0; //!< RetryBudget grants consumed
+    std::uint64_t backoffNanos = 0;  //!< scheduled backoff, summed
+    std::uint64_t allocFailures = 0; //!< bad_alloc absorbed
+    std::uint64_t workerFaults = 0;  //!< worker throws absorbed
 
     std::uint64_t
     events() const
@@ -155,6 +200,9 @@ struct SolverResult
 {
     bool converged = false;
     int iterations = 0;
+    /** Why the solve ended. Cancelled/DeadlineExceeded results hold
+     *  the last completed iterate in x, never a partial update. */
+    SolveStatus status = SolveStatus::MaxIterations;
     double relResidual = 0.0; //!< ||b - Ax|| / ||b|| at exit
     /** Kernel-call counts for the platform timing models. */
     std::uint64_t spmvCalls = 0;

@@ -58,11 +58,20 @@ jacobiIteration(const Csr &a, std::span<const double> b,
     if (bNorm == 0.0) {
         std::fill(x.begin(), x.end(), 0.0);
         res.converged = true;
+        res.status = SolveStatus::Converged;
         return res;
     }
 
     std::vector<double> ax(b.size());
     for (int it = 0; it < cfg.maxIterations; ++it) {
+        // Polled before the sweep: a stop leaves x at the last
+        // completed iteration, never mid-update.
+        if (execShouldStop(cfg.exec)) {
+            res.status = cfg.exec->stopStatus();
+            if (res.iterations == 0)
+                res.relResidual = 1.0;
+            return res;
+        }
         a.spmv(x, ax);
         ++res.spmvCalls;
         double rNorm = 0.0;
@@ -80,6 +89,8 @@ jacobiIteration(const Csr &a, std::span<const double> b,
             break;
         }
     }
+    res.status = res.converged ? SolveStatus::Converged
+                               : SolveStatus::MaxIterations;
     return res;
 }
 
@@ -99,11 +110,18 @@ sor(const Csr &a, std::span<const double> b, std::span<double> x,
     if (bNorm == 0.0) {
         std::fill(x.begin(), x.end(), 0.0);
         res.converged = true;
+        res.status = SolveStatus::Converged;
         return res;
     }
 
     std::vector<double> scratch(b.size());
     for (int it = 0; it < cfg.maxIterations; ++it) {
+        if (execShouldStop(cfg.exec)) {
+            res.status = cfg.exec->stopStatus();
+            if (res.iterations == 0)
+                res.relResidual = 1.0;
+            return res;
+        }
         // In-place forward sweep.
         for (std::int32_t i = 0; i < a.rows(); ++i) {
             const auto cols = a.rowCols(i);
@@ -129,6 +147,8 @@ sor(const Csr &a, std::span<const double> b, std::span<double> x,
             break;
         }
     }
+    res.status = res.converged ? SolveStatus::Converged
+                               : SolveStatus::MaxIterations;
     return res;
 }
 

@@ -18,28 +18,49 @@ lowered(std::string s)
     return s;
 }
 
+/** Throw the structured loader error, message formatted like
+ *  fatal() so existing catch-and-print sites look unchanged. */
+template <typename... Args>
+[[noreturn]] void
+mmFail(MatrixMarketError::Reason why, std::uint64_t parsed,
+       Args &&...args)
+{
+    throw MatrixMarketError(
+        why,
+        detail::concat("fatal: ", std::forward<Args>(args)...),
+        parsed);
+}
+
 } // namespace
 
 Csr
 readMatrixMarket(std::istream &in)
 {
+    using Reason = MatrixMarketError::Reason;
     std::string line;
-    if (!std::getline(in, line))
-        fatal("matrix market: empty input");
+    if (!std::getline(in, line)) {
+        if (in.bad())
+            mmFail(Reason::StreamError, 0,
+                   "matrix market: read error on banner line");
+        mmFail(Reason::EmptyInput, 0, "matrix market: empty input");
+    }
 
     std::istringstream banner(line);
     std::string tag, object, format, field, symmetry;
     banner >> tag >> object >> format >> field >> symmetry;
     if (tag != "%%MatrixMarket")
-        fatal("matrix market: bad banner: ", line);
+        mmFail(Reason::BadBanner, 0,
+               "matrix market: bad banner: ", line);
     object = lowered(object);
     format = lowered(format);
     field = lowered(field);
     symmetry = lowered(symmetry);
     if (object != "matrix" || format != "coordinate")
-        fatal("matrix market: only coordinate matrices supported");
+        mmFail(Reason::Unsupported, 0,
+               "matrix market: only coordinate matrices supported");
     if (field != "real" && field != "integer" && field != "pattern")
-        fatal("matrix market: unsupported field: ", field);
+        mmFail(Reason::Unsupported, 0,
+               "matrix market: unsupported field: ", field);
     const bool pattern = (field == "pattern");
     bool symmetric = false;
     bool skewSymmetric = false;
@@ -51,27 +72,42 @@ readMatrixMarket(std::istream &in)
         symmetric = true;
         skewSymmetric = true;
     } else {
-        fatal("matrix market: unsupported symmetry: ", symmetry);
+        mmFail(Reason::Unsupported, 0,
+               "matrix market: unsupported symmetry: ", symmetry);
     }
     // The MM spec allows pattern matrices to be general or symmetric
     // only: a skew-symmetric pattern has no values to negate, and
     // mirroring the implicit 1.0 as -1.0 would fabricate data.
     if (pattern && skewSymmetric)
-        fatal("matrix market: pattern field cannot be skew-symmetric");
+        mmFail(Reason::Unsupported, 0,
+               "matrix market: pattern field cannot be "
+               "skew-symmetric");
 
     // Skip comments.
+    bool haveSizeLine = false;
     while (std::getline(in, line)) {
-        if (!line.empty() && line[0] != '%')
+        if (!line.empty() && line[0] != '%') {
+            haveSizeLine = true;
             break;
+        }
+    }
+    if (!haveSizeLine) {
+        if (in.bad())
+            mmFail(Reason::StreamError, 0,
+                   "matrix market: read error before size line");
+        mmFail(Reason::Truncated, 0,
+               "matrix market: missing size line");
     }
     std::istringstream sizes(line);
     long long rows = 0, cols = 0, declaredNnz = 0;
     sizes >> rows >> cols >> declaredNnz;
     if (sizes.fail() || rows <= 0 || cols <= 0 || declaredNnz < 0)
-        fatal("matrix market: bad size line: ", line);
+        mmFail(Reason::BadSize, 0,
+               "matrix market: bad size line: ", line);
     constexpr long long dimMax = 0x7fffffff; // int32 storage
     if (rows > dimMax || cols > dimMax)
-        fatal("matrix market: dimensions out of range: ", line);
+        mmFail(Reason::BadSize, 0,
+               "matrix market: dimensions out of range: ", line);
 
     Coo coo;
     coo.rows = static_cast<std::int32_t>(rows);
@@ -84,8 +120,20 @@ readMatrixMarket(std::istream &in)
         std::size_t{1} << 20));
 
     for (long k = 0; k < declaredNnz; ++k) {
-        if (!std::getline(in, line))
-            fatal("matrix market: truncated after ", k, " entries");
+        const auto parsed = static_cast<std::uint64_t>(k);
+        if (!std::getline(in, line)) {
+            // EOF mid-entry is a truncated file (partial download);
+            // badbit is the device failing underneath us. Both were
+            // previously one message -- callers retrying a download
+            // need to tell them apart.
+            if (in.bad())
+                mmFail(Reason::StreamError, parsed,
+                       "matrix market: read error after ", k,
+                       " entries");
+            mmFail(Reason::Truncated, parsed,
+                   "matrix market: truncated after ", k,
+                   " entries");
+        }
         if (line.empty() || line[0] == '%') {
             --k;
             continue;
@@ -97,17 +145,21 @@ readMatrixMarket(std::istream &in)
         if (!pattern)
             entry >> v;
         if (entry.fail())
-            fatal("matrix market: bad entry line: ", line);
+            mmFail(Reason::BadEntry, parsed,
+                   "matrix market: bad entry line: ", line);
         // Checked on the wide value: a huge 1-based index must not
         // wrap through the int32 cast into a valid-looking slot.
         if (r < 1 || r > rows || c < 1 || c > cols)
-            fatal("matrix market: entry index out of range: ", line);
+            mmFail(Reason::BadEntry, parsed,
+                   "matrix market: entry index out of range: ",
+                   line);
         // Skew-symmetry forces a zero diagonal; a nonzero explicit
         // diagonal entry contradicts the declared symmetry and must
         // not be silently stored.
         if (skewSymmetric && r == c && v != 0.0) {
-            fatal("matrix market: nonzero diagonal entry in "
-                  "skew-symmetric matrix: ", line);
+            mmFail(Reason::BadEntry, parsed,
+                   "matrix market: nonzero diagonal entry in "
+                   "skew-symmetric matrix: ", line);
         }
         coo.add(static_cast<std::int32_t>(r - 1),
                 static_cast<std::int32_t>(c - 1), v);
@@ -125,7 +177,8 @@ readMatrixMarket(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("matrix market: cannot open ", path);
+        mmFail(MatrixMarketError::Reason::CannotOpen, 0,
+               "matrix market: cannot open ", path);
     return readMatrixMarket(in);
 }
 

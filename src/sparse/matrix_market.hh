@@ -11,14 +11,56 @@
 #ifndef MSC_SPARSE_MATRIX_MARKET_HH
 #define MSC_SPARSE_MATRIX_MARKET_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
 #include "sparse/csr.hh"
+#include "util/logging.hh"
 
 namespace msc {
 
-/** Read a Matrix Market file; symmetric storage is expanded. */
+/**
+ * Structured loader failure. Derives from FatalError (existing
+ * catch sites keep working) but carries a machine-readable reason
+ * and how many entries had been parsed, so callers -- and the fuzz
+ * tests -- can distinguish a truncated download (Truncated, with
+ * progress) from a malformed file (BadEntry) or a failing device
+ * (StreamError) without parsing the message.
+ */
+class MatrixMarketError : public FatalError
+{
+  public:
+    enum class Reason
+    {
+        EmptyInput,  //!< no banner line at all
+        BadBanner,   //!< first line is not a MatrixMarket banner
+        Unsupported, //!< valid banner, unsupported format/field
+        BadSize,     //!< size line malformed or out of range
+        Truncated,   //!< EOF before the declared entry count
+        BadEntry,    //!< entry line malformed or inconsistent
+        StreamError, //!< read failed (I/O error, not EOF)
+        CannotOpen,  //!< file open failed
+    };
+
+    MatrixMarketError(Reason why, const std::string &msg,
+                      std::uint64_t entriesParsed = 0)
+        : FatalError(msg), r(why), parsed(entriesParsed)
+    {}
+
+    Reason reason() const { return r; }
+
+    /** Entries successfully parsed before the failure (meaningful
+     *  for Truncated/BadEntry/StreamError). */
+    std::uint64_t entriesRead() const { return parsed; }
+
+  private:
+    Reason r;
+    std::uint64_t parsed;
+};
+
+/** Read a Matrix Market file; symmetric storage is expanded.
+ *  Throws MatrixMarketError on malformed or unreadable input. */
 Csr readMatrixMarket(const std::string &path);
 
 /** Read Matrix Market data from a stream. */

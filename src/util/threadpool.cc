@@ -32,12 +32,32 @@ struct SectionGuard
     ~SectionGuard() { inSection = saved; }
 };
 
+// Chaos-harness task hook (one relaxed load per chunk when unset)
+// and the process-wide parallel-section sequence its injections are
+// keyed on. The sequence covers inline sections too, so a chaos
+// draw for "section S, chunk C" is independent of whether the loop
+// ran pooled or inline.
+std::atomic<ThreadPool::TaskHook> gTaskHook{nullptr};
+std::atomic<std::uint64_t> gSectionSeq{0};
+
 } // namespace
 
 bool
 ThreadPool::inParallelSection()
 {
     return inSection;
+}
+
+void
+ThreadPool::setTaskHook(TaskHook hook)
+{
+    gTaskHook.store(hook, std::memory_order_release);
+}
+
+std::uint64_t
+ThreadPool::sectionCount()
+{
+    return gSectionSeq.load(std::memory_order_relaxed);
 }
 
 unsigned
@@ -133,6 +153,11 @@ ThreadPool::help(Job &j, unsigned homeLane)
                 if (off != 0)
                     ++steals;
                 try {
+                    if (execShouldStop(j.exec))
+                        throw CancelledError(j.exec->stopStatus());
+                    if (const TaskHook hook = gTaskHook.load(
+                            std::memory_order_acquire))
+                        hook(j.section, begin);
                     (*j.body)(begin, end);
                 } catch (...) {
                     std::lock_guard<std::mutex> lk(j.errorMu);
@@ -155,7 +180,8 @@ ThreadPool::help(Job &j, unsigned homeLane)
 void
 ThreadPool::forRange(std::size_t n, std::size_t grain,
                      const std::function<void(std::size_t,
-                                              std::size_t)> &body)
+                                              std::size_t)> &body,
+                     const ExecContext *exec)
 {
     if (n == 0)
         return;
@@ -167,7 +193,24 @@ ThreadPool::forRange(std::size_t n, std::size_t grain,
     if (laneCount == 1 || n <= grain || inSection) {
         ctrInline.add();
         SectionGuard guard;
-        body(0, n);
+        const TaskHook hook =
+            gTaskHook.load(std::memory_order_acquire);
+        if (exec == nullptr && hook == nullptr) {
+            body(0, n);
+            return;
+        }
+        // Controlled inline section: run chunk by chunk so the
+        // cancellation promptness bound and the chaos hook's
+        // per-chunk injection sites match the pooled path.
+        const std::uint64_t section =
+            gSectionSeq.fetch_add(1, std::memory_order_relaxed) + 1;
+        for (std::size_t begin = 0; begin < n; begin += grain) {
+            if (execShouldStop(exec))
+                throw CancelledError(exec->stopStatus());
+            if (hook != nullptr)
+                hook(section, begin);
+            body(begin, std::min(n, begin + grain));
+        }
         return;
     }
 
@@ -176,6 +219,9 @@ ThreadPool::forRange(std::size_t n, std::size_t grain,
     Job j;
     j.grain = grain;
     j.body = &body;
+    j.exec = exec;
+    j.section =
+        gSectionSeq.fetch_add(1, std::memory_order_relaxed) + 1;
     // One contiguous range per lane (never more ranges than chunks):
     // owners start disjoint, stealers wrap around.
     const std::size_t chunks = (n + grain - 1) / grain;

@@ -28,6 +28,16 @@
  * loop already owns all lanes), so operators that parallelize
  * internally compose with a parallel bench harness without deadlock
  * or oversubscription.
+ *
+ * Execution control: forRange() accepts an optional ExecContext.
+ * Between chunks every lane polls it; when the context wants the
+ * work stopped (cancel token fired, deadline passed) the remaining
+ * shards early-exit through the job's cancelled flag and the caller
+ * receives a CancelledError -- the same path that rethrows the
+ * first exception thrown by a worker task, so a throwing body never
+ * terminates the process. A process-global task hook (setTaskHook)
+ * lets the chaos harness (fault/chaos.hh) inject per-chunk delays
+ * and exceptions; it costs one relaxed load per chunk when unset.
  */
 
 #ifndef MSC_UTIL_THREADPOOL_HH
@@ -37,11 +47,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "runtime/exec_context.hh"
 
 namespace msc {
 
@@ -65,14 +78,37 @@ class ThreadPool
      * first exception thrown by any chunk is rethrown here. Runs
      * inline when the pool has one lane, when n <= grain, or when
      * called from inside another parallel section.
+     *
+     * When @p exec is non-null, every lane polls it between chunks;
+     * a fired token or an expired deadline early-exits the remaining
+     * shards and rethrows CancelledError on the caller. Indexes
+     * already dispatched still complete (one-chunk promptness bound).
      */
     void forRange(std::size_t n, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>
-                      &body);
+                      &body,
+                  const ExecContext *exec = nullptr);
 
     /** True on a thread currently executing inside a parallel
      *  section (nested calls run inline). */
     static bool inParallelSection();
+
+    /**
+     * Per-chunk fault-injection hook (chaos harness). Called before
+     * every chunk body as hook(section, chunkBegin), where section
+     * is a process-wide parallel-section sequence number; a thrown
+     * exception propagates to the forRange() caller exactly like a
+     * body exception. nullptr uninstalls. Not for production use.
+     */
+    using TaskHook = void (*)(std::uint64_t section,
+                              std::size_t chunkBegin);
+    static void setTaskHook(TaskHook hook);
+
+    /** Current value of the process-wide parallel-section sequence.
+     *  The chaos harness snapshots it at install time and keys its
+     *  draws on the offset, so a campaign replays identically no
+     *  matter how many sections ran earlier in the process. */
+    static std::uint64_t sectionCount();
 
   private:
     /** One lane's slice of the iteration space; idle lanes steal
@@ -89,6 +125,8 @@ class ThreadPool
         std::size_t grain = 1;
         const std::function<void(std::size_t, std::size_t)> *body =
             nullptr;
+        const ExecContext *exec = nullptr; //!< polled between chunks
+        std::uint64_t section = 0; //!< task-hook sequence number
         std::atomic<bool> cancelled{false};
         std::exception_ptr error;
         std::mutex errorMu;
@@ -125,16 +163,20 @@ void setGlobalThreads(unsigned lanes);
 unsigned globalThreads();
 
 /** body(i) for every i in [0, n), in parallel. Results must go to
- *  disjoint slots; reduce them afterwards in fixed index order. */
+ *  disjoint slots; reduce them afterwards in fixed index order.
+ *  A non-null @p exec is polled between chunks (see forRange). */
 template <typename Body>
 void
-parallelFor(std::size_t n, Body &&body, std::size_t grain = 1)
+parallelFor(std::size_t n, Body &&body, std::size_t grain = 1,
+            const ExecContext *exec = nullptr)
 {
     globalPool().forRange(
-        n, grain, [&body](std::size_t begin, std::size_t end) {
+        n, grain,
+        [&body](std::size_t begin, std::size_t end) {
             for (std::size_t i = begin; i < end; ++i)
                 body(i);
-        });
+        },
+        exec);
 }
 
 /**
@@ -148,7 +190,8 @@ parallelFor(std::size_t n, Body &&body, std::size_t grain = 1)
 template <typename T, typename Map, typename Combine>
 T
 parallelReduce(std::size_t n, T identity, Map &&map,
-               Combine &&combine, std::size_t grain = 1)
+               Combine &&combine, std::size_t grain = 1,
+               const ExecContext *exec = nullptr)
 {
     if (n == 0)
         return identity;
@@ -156,7 +199,8 @@ parallelReduce(std::size_t n, T identity, Map &&map,
     const std::size_t shards = (n + g - 1) / g;
     std::vector<T> partials(shards, identity);
     globalPool().forRange(
-        shards, 1, [&](std::size_t begin, std::size_t end) {
+        shards, 1,
+        [&](std::size_t begin, std::size_t end) {
             for (std::size_t s = begin; s < end; ++s) {
                 T acc = partials[s];
                 const std::size_t lo = s * g;
@@ -165,7 +209,8 @@ parallelReduce(std::size_t n, T identity, Map &&map,
                     acc = combine(std::move(acc), map(i));
                 partials[s] = std::move(acc);
             }
-        });
+        },
+        exec);
     T total = std::move(partials[0]);
     for (std::size_t s = 1; s < shards; ++s)
         total = combine(std::move(total), std::move(partials[s]));

@@ -13,6 +13,8 @@
 #include <cmath>
 #include <cstdint>
 #include <sstream>
+#include <stdexcept>
+#include <streambuf>
 #include <string>
 #include <vector>
 
@@ -263,6 +265,117 @@ TEST(MatrixMarketFuzz, WriteReadRoundTripsExactly)
         for (std::size_t k = 0; k < ac.size(); ++k) {
             EXPECT_EQ(ac[k], bc[k]);
             EXPECT_EQ(av[k], bv[k]); // %.17g is lossless for FP64
+        }
+    }
+}
+
+// --- structured error reasons --------------------------------------
+
+using Reason = MatrixMarketError::Reason;
+
+/** Parse @p text expecting rejection; return the structured reason
+ *  (and parse progress via @p entries). */
+Reason
+reasonOf(const std::string &text, std::uint64_t *entries = nullptr)
+{
+    try {
+        parse(text);
+    } catch (const MatrixMarketError &e) {
+        if (entries != nullptr)
+            *entries = e.entriesRead();
+        return e.reason();
+    }
+    ADD_FAILURE() << "input unexpectedly accepted:\n" << text;
+    return Reason::EmptyInput;
+}
+
+TEST(MatrixMarketFuzz, ReasonsDistinguishFailureClasses)
+{
+    EXPECT_EQ(reasonOf(""), Reason::EmptyInput);
+    EXPECT_EQ(reasonOf("2 2 1\n1 1 1.0\n"), Reason::BadBanner);
+    EXPECT_EQ(reasonOf("%%MatrixMarket matrix array real general\n"
+                       "2 2\n1.0\n"),
+              Reason::Unsupported);
+    const std::string banner =
+        "%%MatrixMarket matrix coordinate real general\n";
+    EXPECT_EQ(reasonOf(banner), Reason::Truncated); // no size line
+    EXPECT_EQ(reasonOf(banner + "abc def ghi\n"), Reason::BadSize);
+    EXPECT_EQ(reasonOf(banner + "3 3 1\nx y z\n"), Reason::BadEntry);
+    EXPECT_EQ(reasonOf(banner + "3 3 1\n7 1 1.0\n"),
+              Reason::BadEntry);
+    EXPECT_THROW(readMatrixMarket("/nonexistent/file.mtx"),
+                 MatrixMarketError);
+}
+
+TEST(MatrixMarketFuzz, TruncationCarriesReasonAndProgress)
+{
+    // EOF mid-entry: structured Truncated with how far we got, so a
+    // caller retrying a partial download can report progress.
+    const std::string head =
+        "%%MatrixMarket matrix coordinate real general\n3 3 3\n";
+    std::uint64_t entries = ~0ULL;
+    EXPECT_EQ(reasonOf(head + "1 1 1.0\n2 2 2.0\n", &entries),
+              Reason::Truncated);
+    EXPECT_EQ(entries, 2u);
+    EXPECT_EQ(reasonOf(head, &entries), Reason::Truncated);
+    EXPECT_EQ(entries, 0u);
+    // Malformed entry also reports where it happened.
+    EXPECT_EQ(reasonOf(head + "1 1 1.0\nx y z\n3 3 3.0\n",
+                       &entries),
+              Reason::BadEntry);
+    EXPECT_EQ(entries, 1u);
+}
+
+/** Streambuf that serves a fixed prefix, then fails like a dying
+ *  device: istream turns the underflow throw into badbit. */
+class FlakyBuf : public std::streambuf
+{
+  public:
+    explicit FlakyBuf(std::string head) : data(std::move(head))
+    {
+        setg(data.data(), data.data(),
+             data.data() + data.size());
+    }
+
+  protected:
+    int_type
+    underflow() override
+    {
+        throw std::runtime_error("injected I/O failure");
+    }
+
+  private:
+    std::string data;
+};
+
+TEST(MatrixMarketFuzz, UnreadableStreamIsAStreamErrorNotTruncation)
+{
+    // Failure on the very first read.
+    {
+        FlakyBuf buf("");
+        std::istream in(&buf);
+        try {
+            readMatrixMarket(in);
+            FAIL() << "unreadable stream accepted";
+        } catch (const MatrixMarketError &e) {
+            EXPECT_EQ(e.reason(), Reason::StreamError);
+        }
+    }
+    // Failure mid-entry: must NOT be misreported as a truncated
+    // (i.e. merely incomplete) file, and must carry progress.
+    {
+        FlakyBuf buf(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "3 3 3\n"
+            "1 1 1.0\n"
+            "2 2 2.0\n");
+        std::istream in(&buf);
+        try {
+            readMatrixMarket(in);
+            FAIL() << "failing stream accepted";
+        } catch (const MatrixMarketError &e) {
+            EXPECT_EQ(e.reason(), Reason::StreamError);
+            EXPECT_EQ(e.entriesRead(), 2u);
         }
     }
 }

@@ -100,6 +100,53 @@ TEST(ThreadPool, ExceptionsPropagateAndPoolSurvives)
     EXPECT_EQ(done.load(), 1000);
 }
 
+TEST(ThreadPool, ExceptionsPropagateAtEveryLaneCount)
+{
+    // The inline (1-lane) and pooled paths rethrow through different
+    // machinery; a throwing body must surface on the caller at each,
+    // and the pool must stay usable afterwards.
+    for (unsigned lanes : {1u, 2u, 8u}) {
+        setGlobalThreads(lanes);
+        EXPECT_THROW(
+            parallelFor(1000,
+                        [&](std::size_t i) {
+                            if (i == 437)
+                                throw std::runtime_error("boom");
+                        }),
+            std::runtime_error)
+            << "lanes " << lanes;
+        std::atomic<int> done{0};
+        parallelFor(1000, [&](std::size_t) {
+            done.fetch_add(1, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(done.load(), 1000) << "lanes " << lanes;
+    }
+    setGlobalThreads(8);
+}
+
+TEST(ThreadPool, ReduceRethrowsBodyExceptions)
+{
+    for (unsigned lanes : {1u, 2u, 8u}) {
+        setGlobalThreads(lanes);
+        EXPECT_THROW(parallelReduce(
+                         512, 0.0,
+                         [](std::size_t i) -> double {
+                             if (i == 260)
+                                 throw std::runtime_error("reduce boom");
+                             return 1.0;
+                         },
+                         [](double a, double b) { return a + b; }, 16),
+                     std::runtime_error)
+            << "lanes " << lanes;
+        // Pool intact: same reduction without the throw still works.
+        const double sum = parallelReduce(
+            512, 0.0, [](std::size_t) { return 1.0; },
+            [](double a, double b) { return a + b; }, 16);
+        EXPECT_EQ(sum, 512.0) << "lanes " << lanes;
+    }
+    setGlobalThreads(8);
+}
+
 TEST(ThreadPool, NestedParallelSectionsRunInline)
 {
     setGlobalThreads(4);

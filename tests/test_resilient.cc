@@ -84,6 +84,7 @@ TEST(ResilientSolver, FaultFreeRunIsQuiet)
     std::vector<double> x(b.size(), 0.0);
     const SolverResult r = solver.solve(b, x);
     EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.status, SolveStatus::Converged);
     EXPECT_LT(relResidual(m, b, x), 1e-6);
     const RecoveryStats &rec = r.recovery;
     EXPECT_EQ(rec.nanEvents, 0u);
@@ -218,8 +219,69 @@ TEST(ResilientSolver, SaturationStormTriggersNanPathAndHeals)
     EXPECT_GE(rec.nanEvents, 1u);
     EXPECT_GE(rec.checkpointRestarts, 1u);
     // Transients leave no scrub trace; healing comes from the final
-    // degrade-everything rung.
+    // degrade-everything rung -- which means the retry budget was
+    // exhausted, and Degraded outranks Converged in the status even
+    // though the solve met the tolerance.
     EXPECT_EQ(rec.degradedBlocks, op.blockCount());
+    EXPECT_EQ(r.status, SolveStatus::Degraded);
+    EXPECT_EQ(rec.retryAttempts, 10u);
+    EXPECT_GT(rec.backoffNanos, 0u);
+}
+
+TEST(ResilientSolver, TerminalStatusMaxIterations)
+{
+    const Csr m = spdMatrix(256, 17);
+    std::vector<double> b(static_cast<std::size_t>(m.rows()), 1.0);
+    SolverConfig cfg;
+    cfg.tolerance = 1e-16; // out of reach in 5 iterations
+    cfg.maxIterations = 5;
+    FaultyAccelOperator op(m, FaultCampaign{});
+    ResilientSolver solver(op, SolverKind::Cg, cfg);
+    std::vector<double> x(b.size(), 0.0);
+    const SolverResult r = solver.solve(b, x);
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.status, SolveStatus::MaxIterations);
+    EXPECT_EQ(r.iterations, 5);
+}
+
+TEST(ResilientSolver, TerminalStatusCancelledAndDeadline)
+{
+    const Csr m = spdMatrix(256, 17);
+    std::vector<double> b(static_cast<std::size_t>(m.rows()), 1.0);
+    std::vector<double> x(b.size(), 0.0);
+    FaultyAccelOperator op(m, FaultCampaign{});
+
+    // Forced cancellation a few polls in.
+    {
+        ExecContext ctx;
+        ctx.cancelAfterChecks(3);
+        SolverConfig cfg;
+        cfg.tolerance = 0.0; // unreachable
+        cfg.maxIterations = 100000;
+        cfg.exec = &ctx;
+        ResilientSolver solver(op, SolverKind::Cg, cfg);
+        const SolverResult r = solver.solve(b, x);
+        EXPECT_EQ(r.status, SolveStatus::Cancelled);
+        EXPECT_FALSE(r.converged);
+        EXPECT_LT(r.iterations, cfg.maxIterations);
+        for (double v : x)
+            EXPECT_TRUE(std::isfinite(v));
+    }
+    // Already-expired deadline: the solve stops before iterating.
+    {
+        ExecContext ctx;
+        ctx.setDeadline(ExecContext::Clock::now() -
+                        std::chrono::milliseconds(1));
+        SolverConfig cfg;
+        cfg.exec = &ctx;
+        ResilientSolver solver(op, SolverKind::Cg, cfg);
+        std::fill(x.begin(), x.end(), 0.0);
+        const SolverResult r = solver.solve(b, x);
+        EXPECT_EQ(r.status, SolveStatus::DeadlineExceeded);
+        EXPECT_FALSE(r.converged);
+        for (double v : x)
+            EXPECT_EQ(v, 0.0);
+    }
 }
 
 TEST(ResilientSolver, StuckAdcColumnIsDegradedNotReprogrammed)

@@ -4,15 +4,18 @@
  *
  * Usage:
  *   msc_check [--seed N] [--iters N] [--module SUBSTR] [--json FILE]
- *             [--list]
+ *             [--timeout SEC] [--list]
  *
  * Runs every registered check module (or the ones matching --module)
  * for --iters seeded iterations each and prints the JSON report to
  * stdout. The report contains no timing, hostname, or thread count,
  * so two runs with identical seed/iters/module produce byte-identical
  * output at any MSC_THREADS setting -- `diff` is the regression test.
+ * --timeout bounds the sweep's wall clock (ExecContext deadline): on
+ * expiry the partial report is still written (with "interrupted":
+ * true) and the exit status is 3, so CI sweeps cannot hang.
  * Exit status: 0 when every check held, 1 otherwise, 2 on usage
- * errors.
+ * errors, 3 when the timeout expired.
  */
 
 #include <cstdint>
@@ -32,8 +35,23 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--iters N] [--module SUBSTR] "
-                 "[--json FILE] [--list]\n",
+                 "[--json FILE] [--timeout SEC] [--list]\n",
                  argv0);
+}
+
+double
+parseSeconds(const char *arg, const char *flag)
+{
+    char *end = nullptr;
+    const double v = std::strtod(arg, &end);
+    if (end == arg || *end != '\0' || !(v > 0.0)) {
+        std::fprintf(stderr,
+                     "msc_check: bad value for %s: %s "
+                     "(want seconds > 0)\n",
+                     flag, arg);
+        std::exit(2);
+    }
+    return v;
 }
 
 std::uint64_t
@@ -75,6 +93,9 @@ main(int argc, char **argv)
             opt.module = value("--module");
         } else if (!std::strcmp(arg, "--json")) {
             jsonPath = value("--json");
+        } else if (!std::strcmp(arg, "--timeout")) {
+            opt.timeoutSec =
+                parseSeconds(value("--timeout"), "--timeout");
         } else if (!std::strcmp(arg, "--list")) {
             for (const std::string &name :
                  msc::check::moduleNames())
@@ -114,6 +135,13 @@ main(int argc, char **argv)
             return 2;
         }
         out << json;
+    }
+    if (report.interrupted) {
+        std::fprintf(stderr,
+                     "msc_check: timeout of %g s expired; report "
+                     "is partial\n",
+                     opt.timeoutSec);
+        return 3;
     }
     return report.ok() ? 0 : 1;
 }
