@@ -158,6 +158,43 @@ bmClusterMultiply(benchmark::State &state)
 }
 BENCHMARK(bmClusterMultiply);
 
+/** Batched multi-RHS cluster MVM over a k-column panel: the same
+ *  block and data distribution as bmClusterMultiply, so items/s here
+ *  vs there is the per-RHS amortization factor of the shared
+ *  contribution tables, schedules, and gate transposes. */
+void
+bmClusterMultiplyBatch(benchmark::State &state)
+{
+    const auto k = static_cast<unsigned>(state.range(0));
+    Rng rng(6);
+    ClusterConfig cfg;
+    cfg.size = 64;
+    Cluster cluster(cfg);
+    MatrixBlock block;
+    block.size = 64;
+    for (std::int32_t r = 0; r < 64; ++r) {
+        for (std::int32_t c = 0; c < 64; ++c) {
+            if (rng.chance(0.2)) {
+                block.elems.push_back({r, c,
+                    rng.uniform(-2.0, 2.0)});
+            }
+        }
+    }
+    cluster.program(block);
+    std::vector<double> x(64ull * k), y(64ull * k);
+    for (auto &v : x)
+        v = rng.uniform(-1.0, 1.0);
+    for (auto _ : state) {
+        cluster.multiply(std::span<const double>(x),
+                         std::span<double>(y), k);
+        benchmark::DoNotOptimize(y.data());
+    }
+    // Per-RHS normalization: nnz x k items per batched call.
+    state.SetItemsProcessed(state.iterations() *
+                            block.elems.size() * k);
+}
+BENCHMARK(bmClusterMultiplyBatch)->Arg(8);
+
 /** Hardware-faithful cluster MVM: materialized bit-slice crossbars,
  *  noiseless digital reads (the common verification configuration). */
 void
@@ -187,6 +224,40 @@ bmHwClusterMultiply(benchmark::State &state)
                             block.elems.size());
 }
 BENCHMARK(bmHwClusterMultiply);
+
+/** Batched multi-RHS bit-slice MVM: the crossbar word flattening
+ *  and inversion census are built once and reused across the panel. */
+void
+bmHwClusterMultiplyBatch(benchmark::State &state)
+{
+    const auto k = static_cast<unsigned>(state.range(0));
+    Rng rng(12);
+    HwCluster::Config cfg;
+    cfg.size = 64;
+    HwCluster cluster(cfg);
+    MatrixBlock block;
+    block.size = 64;
+    for (std::int32_t r = 0; r < 64; ++r) {
+        for (std::int32_t c = 0; c < 64; ++c) {
+            if (rng.chance(0.2)) {
+                block.elems.push_back({r, c,
+                    rng.uniform(-2.0, 2.0)});
+            }
+        }
+    }
+    cluster.program(block);
+    std::vector<double> x(64ull * k), y(64ull * k);
+    for (auto &v : x)
+        v = rng.uniform(-1.0, 1.0);
+    for (auto _ : state) {
+        cluster.multiply(std::span<const double>(x),
+                         std::span<double>(y), k);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            block.elems.size() * k);
+}
+BENCHMARK(bmHwClusterMultiplyBatch)->Arg(8);
 
 /** The shared benchmark matrix: large enough that the block
  *  fan-out has hundreds of independent work items. */
@@ -250,6 +321,33 @@ bmAccelSpmv(benchmark::State &state)
         static_cast<double>(accel.info().placedBlocks);
 }
 BENCHMARK(bmAccelSpmv);
+
+/** Batched accelerator SpMM over a k-column panel: fans
+ *  (placement, column-chunk) items over the pool and reuses the
+ *  placed-block layout across columns. Items are per-RHS normalized
+ *  (nnz x k), so items/s vs bmAccelSpmv is the batch gain. */
+void
+bmAccelSpmm(benchmark::State &state)
+{
+    const auto k = static_cast<unsigned>(state.range(0));
+    const Csr m = benchMatrix(9);
+    Accelerator accel;
+    accel.prepare(m);
+    const auto n = static_cast<std::size_t>(m.cols());
+    std::vector<double> x(n * k, 1.0);
+    std::vector<double> y(static_cast<std::size_t>(m.rows()) * k);
+    for (auto _ : state) {
+        accel.spmm(std::span<const double>(x),
+                   std::span<double>(y), k);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz() * k);
+    state.SetLabel("tiled8192");
+    state.counters["threads"] = static_cast<double>(globalThreads());
+    state.counters["blocks"] =
+        static_cast<double>(accel.info().placedBlocks);
+}
+BENCHMARK(bmAccelSpmm)->Arg(8);
 
 /** Fault-injecting operator apply: per-block fan-out plus the
  *  per-(apply, block) transient fault streams. */

@@ -21,6 +21,29 @@ constinit telemetry::Counter
 constinit telemetry::Counter
     ctrPlacedBlocks{"accel.placed_blocks"};
 constinit telemetry::Histogram hSpmvUs{"accel.spmv_us"};
+constinit telemetry::Counter ctrSpmmCalls{"accel.spmm_calls"};
+constinit telemetry::Histogram hSpmmUs{"accel.spmm_us"};
+
+/**
+ * RAII exclusivity guard over the shared spmv/spmm scratch: entering
+ * while another fan-out is in flight is a caller bug (the partials
+ * would be silently corrupted), so it dies loudly instead.
+ */
+class OpGuard
+{
+  public:
+    OpGuard(std::atomic<bool> &flag, const char *what) : f(flag)
+    {
+        if (f.exchange(true, std::memory_order_acquire)) {
+            fatal(what, ": concurrent spmv()/spmm() on one "
+                  "Accelerator (shared scratch) is not supported");
+        }
+    }
+    ~OpGuard() { f.store(false, std::memory_order_release); }
+
+  private:
+    std::atomic<bool> &f;
+};
 
 } // namespace
 
@@ -333,6 +356,7 @@ Accelerator::spmv(std::span<const double> x, std::span<double> y) const
     if (x.size() != static_cast<std::size_t>(matCols) ||
         y.size() != static_cast<std::size_t>(matRows))
         fatal("Accelerator::spmv: dimension mismatch");
+    const OpGuard guard(opGuard, "Accelerator::spmv");
     telemetry::Span span("accel.spmv");
     telemetry::Timer timer(hSpmvUs);
     ctrSpmvCalls.add();
@@ -366,6 +390,90 @@ Accelerator::spmv(std::span<const double> x, std::span<double> y) const
             static_cast<std::int64_t>(matRows) - b.rowOrigin));
         for (unsigned i = 0; i < limit; ++i)
             y[static_cast<std::size_t>(b.rowOrigin + i)] += part[i];
+    }
+}
+
+void
+Accelerator::spmm(std::span<const double> X, std::span<double> Y,
+                  unsigned k) const
+{
+    if (!isPrepared)
+        fatal("Accelerator::spmm: prepare() first");
+    if (k == 0)
+        fatal("Accelerator::spmm: batch needs at least one column");
+    const auto nCols = static_cast<std::size_t>(matCols);
+    const auto nRows = static_cast<std::size_t>(matRows);
+    if (X.size() != nCols * k || Y.size() != nRows * k)
+        fatal("Accelerator::spmm: panel size mismatch");
+    const OpGuard guard(opGuard, "Accelerator::spmm");
+    telemetry::Span span("accel.spmm");
+    telemetry::Timer timer(hSpmmUs);
+    ctrSpmmCalls.add();
+
+    // CSR leftovers, per column in column order (independent
+    // outputs; identical to the k spmv() prologues).
+    for (unsigned c = 0; c < k; ++c) {
+        effectiveCsr.spmv(X.subspan(c * nCols, nCols),
+                          Y.subspan(c * nRows, nRows));
+    }
+
+    // Placed blocks fan out at (placement, column-chunk)
+    // granularity: enough work items to fill the pool even for few
+    // large blocks, each writing only its private scratch. The
+    // execution context is polled at every item boundary by
+    // parallelFor.
+    constexpr unsigned chunkCols = 4;
+    const std::size_t nChunks = (k + chunkCols - 1) / chunkCols;
+    const std::size_t nItems = placements.size() * nChunks;
+    spmmScratch.resize(nItems);
+    parallelFor(
+        nItems,
+        [&](std::size_t item) {
+        telemetry::Span blockSpan("accel.block");
+        ctrBlockSpans.add();
+        const std::size_t p = item / nChunks;
+        const unsigned c0 = static_cast<unsigned>(
+            (item % nChunks) * chunkCols);
+        const unsigned cEnd = std::min(k, c0 + chunkCols);
+        const MatrixBlock &b = plan.blocks[placements[p].blockIdx];
+        std::vector<double> &part = spmmScratch[item];
+        part.assign(static_cast<std::size_t>(b.size) *
+                        (cEnd - c0),
+                    0.0);
+        for (const auto &el : b.elems) {
+            const auto row = static_cast<std::size_t>(el.row);
+            const auto col =
+                static_cast<std::size_t>(b.colOrigin + el.col);
+            for (unsigned c = c0; c < cEnd; ++c) {
+                part[static_cast<std::size_t>(c - c0) * b.size +
+                     row] += el.val * X[c * nCols + col];
+            }
+        }
+        },
+        1, exec);
+
+    // Fold per column in fixed placement order -- for each column
+    // this is exactly the spmv() reduction, so the result is
+    // bitwise the k sequential calls for any lane count.
+    for (unsigned c = 0; c < k; ++c) {
+        const std::size_t chunk = c / chunkCols;
+        const unsigned cInChunk = c % chunkCols;
+        const std::span<double> yc = Y.subspan(c * nRows, nRows);
+        for (std::size_t p = 0; p < placements.size(); ++p) {
+            const MatrixBlock &b =
+                plan.blocks[placements[p].blockIdx];
+            const std::vector<double> &part =
+                spmmScratch[p * nChunks + chunk];
+            const double *pc =
+                part.data() +
+                static_cast<std::size_t>(cInChunk) * b.size;
+            const unsigned limit = static_cast<unsigned>(std::min(
+                static_cast<std::int64_t>(b.size),
+                static_cast<std::int64_t>(matRows) - b.rowOrigin));
+            for (unsigned i = 0; i < limit; ++i)
+                yc[static_cast<std::size_t>(b.rowOrigin + i)] +=
+                    pc[i];
+        }
     }
 }
 

@@ -16,6 +16,7 @@
 #ifndef MSC_ACCEL_ACCEL_HH
 #define MSC_ACCEL_ACCEL_HH
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -122,6 +123,18 @@ class Accelerator
     void spmv(std::span<const double> x, std::span<double> y) const;
 
     /**
+     * Functional multi-RHS Y = A X over column-major k-column
+     * panels (X: k columns of matCols, Y: k columns of matRows),
+     * bitwise identical to k spmv() calls in column order. Placed
+     * blocks fan out over the thread pool at (placement,
+     * column-chunk) granularity with private scratch per work item;
+     * the partials fold per column in fixed placement order, so the
+     * result is bit-identical for any lane count.
+     */
+    void spmm(std::span<const double> X, std::span<double> Y,
+              unsigned k) const;
+
+    /**
      * Execution context polled per block batch inside prepare() and
      * spmv() (runtime/exec_context.hh): a cancel or deadline aborts
      * mid-operation with CancelledError instead of finishing the
@@ -191,10 +204,16 @@ class Accelerator
     std::int32_t matRows = 0;
     std::int32_t matCols = 0;
     /** Per-placement partial outputs for the parallel spmv fan-out;
-     *  sized by prepare(). spmv() is internally parallel but a
-     *  single logical operation: concurrent spmv() calls on one
-     *  Accelerator are not supported. */
+     *  sized by prepare(). spmv()/spmm() are internally parallel but
+     *  each is a single logical operation sharing this scratch:
+     *  concurrent spmv()/spmm() calls on one Accelerator are not
+     *  supported, and opGuard makes a violation a deterministic
+     *  fatal instead of silent corruption. */
     mutable std::vector<std::vector<double>> spmvScratch;
+    /** Per-(placement, column-chunk) partials for spmm(). */
+    mutable std::vector<std::vector<double>> spmmScratch;
+    /** Set while an spmv()/spmm() fan-out is in flight. */
+    mutable std::atomic<bool> opGuard{false};
     const ExecContext *exec = nullptr; //!< optional, not owned
 };
 

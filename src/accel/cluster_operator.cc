@@ -88,51 +88,127 @@ ClusterArithmeticOperator::apply(std::span<const double> x,
     // Deterministic reduction in fixed block order: the sums landing
     // in y are bit-identical regardless of the lane count.
     for (std::size_t bi = 0; bi < plan.blocks.size(); ++bi) {
+        BlockScratch &sc = scratch[bi];
+        reduceBlock(plan.blocks[bi], sc.stats, sc.yLocal.data(),
+                    sc.peeled, sc.peeledMask, x, y);
+    }
+}
+
+void
+ClusterArithmeticOperator::reduceBlock(
+    const MatrixBlock &block, const ClusterStats &s,
+    const double *yLocal, const std::vector<std::int32_t> &peeled,
+    std::vector<std::uint8_t> &peeledMask, std::span<const double> x,
+    std::span<double> y)
+{
+    aggregate.groupsExecuted += s.groupsExecuted;
+    aggregate.groupsTotal += s.groupsTotal;
+    aggregate.xbarActivations += s.xbarActivations;
+    aggregate.adcConversions += s.adcConversions;
+    aggregate.conversionsSkipped += s.conversionsSkipped;
+    aggregate.columnsEarlyTerminated += s.columnsEarlyTerminated;
+    aggregate.peeledVectorElements += s.peeledVectorElements;
+    aggregate.energy += s.energy;
+    aggregate.latency += s.latency;
+
+    ctrGroupsExecuted.add(s.groupsExecuted);
+    ctrGroupsTotal.add(s.groupsTotal);
+    ctrXbarActivations.add(s.xbarActivations);
+    ctrAdcConversions.add(s.adcConversions);
+    ctrEarlyTerminated.add(s.columnsEarlyTerminated);
+    ctrConversionsSkipped.add(s.conversionsSkipped);
+    ctrPeeledElements.add(s.peeledVectorElements);
+
+    for (unsigned i = 0; i < block.size; ++i) {
+        const std::int64_t row = block.rowOrigin + i;
+        if (row < mat->rows())
+            y[static_cast<std::size_t>(row)] += yLocal[i];
+    }
+    // Columns whose vector exponents fell outside the alignment
+    // window: their contributions were not computed in-situ; the
+    // local processor adds them digitally (Section VI-A1). A
+    // column bitmap turns the scan into a single pass over the
+    // block's elements.
+    if (!peeled.empty()) {
+        peeledMask.assign(block.size, 0);
+        for (std::int32_t pj : peeled)
+            peeledMask[static_cast<std::size_t>(pj)] = 1;
+        for (const Triplet &el : block.elems) {
+            if (!peeledMask[static_cast<std::size_t>(el.col)])
+                continue;
+            y[static_cast<std::size_t>(block.rowOrigin + el.row)] +=
+                el.val *
+                x[static_cast<std::size_t>(block.colOrigin +
+                                           el.col)];
+        }
+    }
+}
+
+void
+ClusterArithmeticOperator::applyBatch(std::span<const double> X,
+                                      std::span<double> Y,
+                                      unsigned k)
+{
+    const auto nc = static_cast<std::size_t>(mat->cols());
+    const auto nr = static_cast<std::size_t>(mat->rows());
+    if (k == 0)
+        fatal("ClusterArithmeticOperator: empty batch");
+    if (X.size() != nc * k || Y.size() != nr * k)
+        fatal("ClusterArithmeticOperator: panel size mismatch");
+
+    telemetry::Span span("cluster.apply_batch");
+    ctrApplies.add(k);
+
+    // Local-processor part, per column in column order.
+    for (unsigned c = 0; c < k; ++c) {
+        plan.unblocked.spmv(X.subspan(c * nc, nc),
+                            Y.subspan(c * nr, nr));
+    }
+
+    // One batched cluster multiply per block over the whole panel:
+    // the contribution tables, schedules, and gate transposes are
+    // shared across all k columns. Each block still writes only its
+    // own scratch slot; a cancel mid-apply abandons the remaining
+    // blocks before the reduction runs.
+    parallelFor(
+        plan.blocks.size(),
+        [&](std::size_t bi) {
+        telemetry::Span blockSpan("cluster.block");
         const MatrixBlock &block = plan.blocks[bi];
         BlockScratch &sc = scratch[bi];
-        const ClusterStats &s = sc.stats;
-
-        aggregate.groupsExecuted += s.groupsExecuted;
-        aggregate.groupsTotal += s.groupsTotal;
-        aggregate.xbarActivations += s.xbarActivations;
-        aggregate.adcConversions += s.adcConversions;
-        aggregate.conversionsSkipped += s.conversionsSkipped;
-        aggregate.columnsEarlyTerminated += s.columnsEarlyTerminated;
-        aggregate.peeledVectorElements += s.peeledVectorElements;
-        aggregate.energy += s.energy;
-        aggregate.latency += s.latency;
-
-        ctrGroupsExecuted.add(s.groupsExecuted);
-        ctrGroupsTotal.add(s.groupsTotal);
-        ctrXbarActivations.add(s.xbarActivations);
-        ctrAdcConversions.add(s.adcConversions);
-        ctrEarlyTerminated.add(s.columnsEarlyTerminated);
-        ctrConversionsSkipped.add(s.conversionsSkipped);
-        ctrPeeledElements.add(s.peeledVectorElements);
-
-        for (unsigned i = 0; i < block.size; ++i) {
-            const std::int64_t row = block.rowOrigin + i;
-            if (row < mat->rows())
-                y[static_cast<std::size_t>(row)] += sc.yLocal[i];
-        }
-        // Columns whose vector exponents fell outside the alignment
-        // window: their contributions were not computed in-situ; the
-        // local processor adds them digitally (Section VI-A1). A
-        // column bitmap turns the scan into a single pass over the
-        // block's elements.
-        if (!sc.peeled.empty()) {
-            sc.peeledMask.assign(block.size, 0);
-            for (std::int32_t pj : sc.peeled)
-                sc.peeledMask[static_cast<std::size_t>(pj)] = 1;
-            for (const Triplet &el : block.elems) {
-                if (!sc.peeledMask[static_cast<std::size_t>(el.col)])
-                    continue;
-                y[static_cast<std::size_t>(block.rowOrigin +
-                                           el.row)] +=
-                    el.val *
-                    x[static_cast<std::size_t>(block.colOrigin +
-                                               el.col)];
+        sc.xLocal.assign(static_cast<std::size_t>(block.size) * k,
+                         0.0);
+        for (unsigned c = 0; c < k; ++c) {
+            for (unsigned j = 0; j < block.size; ++j) {
+                const std::int64_t col = block.colOrigin + j;
+                if (col < mat->cols()) {
+                    sc.xLocal[static_cast<std::size_t>(c) *
+                                  block.size + j] =
+                        X[c * nc + static_cast<std::size_t>(col)];
+                }
             }
+        }
+        sc.yLocal.assign(static_cast<std::size_t>(block.size) * k,
+                         0.0);
+        clusters[bi]->multiply(std::span<const double>(sc.xLocal),
+                               std::span<double>(sc.yLocal), k,
+                               &sc.peeledCols, &sc.colStats);
+        },
+        1, exec);
+
+    // Reduction in (column, block) order -- exactly the order k
+    // sequential apply() calls fold, so y AND the aggregate stats
+    // (floating-point sums included) are bitwise identical.
+    for (unsigned c = 0; c < k; ++c) {
+        const std::span<const double> xc = X.subspan(c * nc, nc);
+        const std::span<double> yc = Y.subspan(c * nr, nr);
+        for (std::size_t bi = 0; bi < plan.blocks.size(); ++bi) {
+            const MatrixBlock &block = plan.blocks[bi];
+            BlockScratch &sc = scratch[bi];
+            reduceBlock(block, sc.colStats[c],
+                        sc.yLocal.data() +
+                            static_cast<std::size_t>(c) * block.size,
+                        sc.peeledCols[c], sc.peeledMask, xc, yc);
         }
     }
 }

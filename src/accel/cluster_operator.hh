@@ -49,6 +49,16 @@ class ClusterArithmeticOperator : public LinearOperator
     void apply(std::span<const double> x,
                std::span<double> y) override;
 
+    /**
+     * Batched multi-RHS apply: each block's cluster runs one batched
+     * multiply over the whole panel (tables and schedules amortized
+     * across columns), and the reduction folds per (column, block)
+     * in the sequential order, so outputs AND the running aggregate
+     * stats are bitwise identical to k apply() calls.
+     */
+    void applyBatch(std::span<const double> X, std::span<double> Y,
+                    unsigned k) override;
+
     /** Polled per block batch inside apply() (see LinearOperator). */
     void
     setExecContext(const ExecContext *ctx) override
@@ -81,7 +91,19 @@ class ClusterArithmeticOperator : public LinearOperator
         std::vector<std::int32_t> peeled;
         std::vector<std::uint8_t> peeledMask; //!< per block column
         ClusterStats stats;
+        /** Batched apply: per-column peel lists and stats. */
+        std::vector<std::vector<std::int32_t>> peeledCols;
+        std::vector<ClusterStats> colStats;
     };
+
+    /** Fold one block's result for one RHS column into y and the
+     *  aggregate stats: the shared reduction step of apply() and
+     *  applyBatch(), so the two fold orders cannot diverge. */
+    void reduceBlock(const MatrixBlock &block, const ClusterStats &s,
+                     const double *yLocal,
+                     const std::vector<std::int32_t> &peeled,
+                     std::vector<std::uint8_t> &peeledMask,
+                     std::span<const double> x, std::span<double> y);
 
     const Csr *mat;
     BlockPlan plan;

@@ -96,6 +96,7 @@ makeModules()
     addXbarChecks(mods);
     addClusterChecks(mods);
     addAccelChecks(mods);
+    addSpmmChecks(mods);
     addSolverChecks(mods);
     return mods;
 }

@@ -14,6 +14,9 @@
  *   xbar     - BinaryCrossbar column reads vs a naive dense popcount
  *   cluster  - Cluster and HwCluster block MVM vs exactDot
  *   accel    - Accelerator::spmv vs Csr::spmv under a ULP budget
+ *   spmm     - batched multi-RHS path (Cluster/HwCluster batch
+ *              multiply, Accelerator::spmm) vs k independent
+ *              single-RHS invocations, bitwise
  *   solver   - metamorphic solver/SpMV transforms: P*A*P^T symmetric
  *              permutation, power-of-two scaling equivariance
  *              (bitwise), and x^T(Ay) == (A^T x)^T y consistency
@@ -141,6 +144,7 @@ void addAlignChecks(std::vector<Module> &out);
 void addXbarChecks(std::vector<Module> &out);
 void addClusterChecks(std::vector<Module> &out);
 void addAccelChecks(std::vector<Module> &out);
+void addSpmmChecks(std::vector<Module> &out);
 void addSolverChecks(std::vector<Module> &out);
 
 /** All registered modules, in fixed report order. */

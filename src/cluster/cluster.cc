@@ -2,11 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "util/intlog.hh"
 #include "util/logging.hh"
 
 namespace msc {
+
+ClusterStats &
+operator+=(ClusterStats &into, const ClusterStats &s)
+{
+    into.matrixSlices += s.matrixSlices;
+    into.vectorSlices += s.vectorSlices;
+    into.groupsTotal += s.groupsTotal;
+    into.groupsExecuted += s.groupsExecuted;
+    into.xbarActivations += s.xbarActivations;
+    into.adcConversions += s.adcConversions;
+    into.conversionsSkipped += s.conversionsSkipped;
+    into.columnsEarlyTerminated += s.columnsEarlyTerminated;
+    into.emptyColumns += s.emptyColumns;
+    into.peeledVectorElements += s.peeledVectorElements;
+    into.cycles += s.cycles;
+    into.latency += s.latency;
+    into.energy += s.energy;
+    into.adcEnergy += s.adcEnergy;
+    into.arrayEnergy += s.arrayEnergy;
+    return into;
+}
 
 Cluster::Cluster(const ClusterConfig &config)
     : cfg(config), xbarModel(config.size, config.xbar, config.cic),
@@ -119,6 +141,29 @@ Cluster::program(const MatrixBlock &block)
         }
     }
 
+    // Resolve the per-conversion ADC energy once per (slice, row):
+    // the headstart preset depends only on the stored-ones census,
+    // so every multiply -- and every column of a batched multiply --
+    // reads the same table instead of re-deriving start bits.
+    const unsigned resBits = xbarModel.adcResolutionBits();
+    adcConvE.assign(
+        static_cast<std::size_t>(encodedBits) * blockSize, 0.0);
+    for (unsigned b = 0; b < encodedBits; ++b) {
+        for (unsigned i = 0; i < blockSize; ++i) {
+            const unsigned start = cfg.adcHeadstart
+                ? bitsForCount(sliceOnes[b][i]) : resBits;
+            adcConvE[static_cast<std::size_t>(b) * blockSize + i] =
+                convEnergyByStart[start];
+        }
+    }
+
+    // The contribution tables derive from the stored operands:
+    // invalidate the cache; multiplies rebuild ranges lazily.
+    tables.clear();
+    tableIdx.assign(static_cast<std::size_t>(encodedBits + 1) *
+                        (encodedBits + 1),
+                    -1);
+
     progInfo.matrixSlices = encodedBits;
     progInfo.storedBits = storedBits;
     progInfo.scale = blockScale;
@@ -190,6 +235,122 @@ Cluster::convert(const SignedAcc &acc, int scale, bool exact) const
                          cfg.targetMantissaBits);
 }
 
+const Cluster::RangeTable &
+Cluster::rangeTable(unsigned bLo, unsigned bHi)
+{
+    // NOTE: building a new range may reallocate `tables`; callers
+    // pre-build every range of a schedule (one pass over its groups)
+    // before caching RangeTable pointers in kernels.
+    const std::size_t dim = encodedBits + 1;
+    std::int16_t &idx = tableIdx[bLo * dim + bHi];
+    if (idx >= 0)
+        return tables[static_cast<std::size_t>(idx)];
+
+    const std::size_t nnz = elemCol.size();
+    RangeTable t;
+    t.bLo = bLo;
+    const unsigned width = bHi - bLo + 1;
+    t.small = width <= 15;
+    if (t.small) {
+        const auto biasPart = static_cast<std::int32_t>(
+            storedBias.extractBits(bLo, width));
+        t.delta.resize(nnz);
+        for (std::size_t e = 0; e < nnz; ++e) {
+            t.delta[e] = static_cast<std::int16_t>(
+                static_cast<std::int32_t>(
+                    elemStored[e].extractBits(bLo, width)) -
+                biasPart);
+        }
+    } else {
+        U256 mask;
+        for (unsigned b = bLo; b <= bHi; ++b)
+            mask.setBit(b);
+        const U256 biasPart = storedBias & mask;
+        t.negW.resize(nnz);
+        t.magW.resize(nnz);
+        for (std::size_t e = 0; e < nnz; ++e) {
+            const U256 val = elemStored[e] & mask;
+            U256 d;
+            if (val >= biasPart) {
+                d = val - biasPart;
+                t.negW[e] = 0;
+            } else {
+                d = biasPart - val;
+                t.negW[e] = 1;
+            }
+            d >>= bLo;
+            t.magW[e] = U128::from(d);
+        }
+    }
+    idx = static_cast<std::int16_t>(tables.size());
+    tables.push_back(std::move(t));
+    return tables.back();
+}
+
+void
+Cluster::addSmall(SignedAcc &a, bool neg, std::uint64_t m,
+                  unsigned shift)
+{
+    U256 v;
+    const unsigned wi = shift / 64;
+    const unsigned bi = shift % 64;
+    v.setWord(wi, m << bi);
+    if (bi && wi + 1 < U256::numWords)
+        v.setWord(wi + 1, m >> (64 - bi));
+    a.add(neg, v);
+}
+
+void
+Cluster::peelVector(std::span<const double> x,
+                    std::span<double> masked, ClusterStats &stats,
+                    std::vector<std::int32_t> *peeled)
+{
+    std::copy(x.begin(), x.end(), masked.begin());
+    if (peeled)
+        peeled->clear();
+    // Choose the 64-wide exponent window keeping the most elements;
+    // peel the rest for digital handling by the bank.
+    auto &exps = expsScratch;
+    exps.clear();
+    for (std::size_t j = 0; j < masked.size(); ++j) {
+        const Fp64Parts p = decompose(masked[j]);
+        if (!p.isFinite())
+            fatal("Cluster::multiply: non-finite vector element");
+        if (p.isZero())
+            continue;
+        const int lead = p.exp -
+            (52 - (63 - std::countl_zero(p.mant)));
+        exps.push_back({lead, static_cast<std::int32_t>(j)});
+    }
+    std::sort(exps.begin(), exps.end());
+    if (!exps.empty() &&
+        exps.back().first - exps.front().first > fxp::maxExpRange) {
+        // Sliding window over sorted exponents.
+        std::size_t bestLo = 0, bestCount = 0, lo = 0;
+        for (std::size_t hi = 0; hi < exps.size(); ++hi) {
+            while (exps[hi].first - exps[lo].first >
+                   fxp::maxExpRange)
+                ++lo;
+            if (hi - lo + 1 > bestCount) {
+                bestCount = hi - lo + 1;
+                bestLo = lo;
+            }
+        }
+        for (std::size_t idx = 0; idx < exps.size(); ++idx) {
+            const bool keep = idx >= bestLo &&
+                exps[idx].first - exps[bestLo].first <=
+                    fxp::maxExpRange;
+            if (!keep) {
+                masked[static_cast<std::size_t>(
+                    exps[idx].second)] = 0.0;
+                ++stats.peeledVectorElements;
+                if (peeled)
+                    peeled->push_back(exps[idx].second);
+            }
+        }
+    }
+}
+
 ClusterStats
 Cluster::multiply(std::span<const double> x, std::span<double> y,
                   std::vector<std::int32_t> *peeled)
@@ -202,53 +363,10 @@ Cluster::multiply(std::span<const double> x, std::span<double> y,
     ClusterStats stats;
 
     // --- vector alignment with exponent-window peeling ------------
-    std::vector<double> masked(x.begin(), x.end());
-    if (peeled)
-        peeled->clear();
-    {
-        // Choose the 64-wide exponent window keeping the most
-        // elements; peel the rest for digital handling by the bank.
-        std::vector<std::pair<int, std::int32_t>> exps;
-        for (std::size_t j = 0; j < masked.size(); ++j) {
-            const Fp64Parts p = decompose(masked[j]);
-            if (!p.isFinite())
-                fatal("Cluster::multiply: non-finite vector element");
-            if (p.isZero())
-                continue;
-            const int lead = p.exp -
-                (52 - (63 - std::countl_zero(p.mant)));
-            exps.push_back({lead, static_cast<std::int32_t>(j)});
-        }
-        std::sort(exps.begin(), exps.end());
-        if (!exps.empty() &&
-            exps.back().first - exps.front().first > fxp::maxExpRange) {
-            // Sliding window over sorted exponents.
-            std::size_t bestLo = 0, bestCount = 0, lo = 0;
-            for (std::size_t hi = 0; hi < exps.size(); ++hi) {
-                while (exps[hi].first - exps[lo].first >
-                       fxp::maxExpRange)
-                    ++lo;
-                if (hi - lo + 1 > bestCount) {
-                    bestCount = hi - lo + 1;
-                    bestLo = lo;
-                }
-            }
-            for (std::size_t idx = 0; idx < exps.size(); ++idx) {
-                const bool keep = idx >= bestLo &&
-                    exps[idx].first - exps[bestLo].first <=
-                        fxp::maxExpRange;
-                if (!keep) {
-                    masked[static_cast<std::size_t>(
-                        exps[idx].second)] = 0.0;
-                    ++stats.peeledVectorElements;
-                    if (peeled)
-                        peeled->push_back(exps[idx].second);
-                }
-            }
-        }
-    }
+    maskedScratch.resize(blockSize);
+    peelVector(x, maskedScratch, stats, peeled);
 
-    const AlignedSet vx = alignValues(masked);
+    const AlignedSet vx = alignValues(maskedScratch);
     const BiasedSet ux = biasEncode(vx);
     const unsigned vecBits = ux.width();
     const int outScale = blockScale + vx.scale;
@@ -261,8 +379,10 @@ Cluster::multiply(std::span<const double> x, std::span<double> y,
     stats.groupsTotal = schedule.groups().size();
 
     // --- accumulators ------------------------------------------------
-    std::vector<SignedAcc> acc(blockSize);
-    std::vector<std::uint8_t> done(blockSize, 0);
+    accScratch.assign(blockSize, SignedAcc{});
+    doneScratch.assign(blockSize, 0);
+    SignedAcc *const acc = accScratch.data();
+    std::uint8_t *const done = doneScratch.data();
     std::size_t alive = 0;
     for (unsigned i = 0; i < blockSize; ++i) {
         if (rowPtr[i + 1] == rowPtr[i]) {
@@ -289,7 +409,6 @@ Cluster::multiply(std::span<const double> x, std::span<double> y,
     const int anShift = cfg.anProtect
         ? static_cast<int>(an.codeBits() - an.dataBits() - 1) : 0;
     // anShift = 8 for A=269: floor(log2(269)).
-    const unsigned resBits = xbarModel.adcResolutionBits();
     const int sigCellBits = static_cast<int>(
         bitsForCount(std::min(encodedBits, vecBits)));
 
@@ -298,110 +417,21 @@ Cluster::multiply(std::span<const double> x, std::span<double> y,
     // dataflow: slice k gates which elements contribute in a segment
     // at weight 2^k. All-zero slices gate everything out, so their
     // segments are skipped entirely.
-    const std::vector<VectorSlice> vslices = activeBitSlices(ux);
-    std::vector<const BitVec *> sliceByK(vecBits, nullptr);
-    for (const VectorSlice &vs : vslices)
-        sliceByK[vs.k] = &vs.bits;
+    const std::size_t nActive = activeBitSlices(ux, vslicesScratch);
+    sliceByKScratch.assign(vecBits, nullptr);
+    for (std::size_t s = 0; s < nActive; ++s)
+        sliceByKScratch[vslicesScratch[s].k] = &vslicesScratch[s].bits;
+    const BitVec *const *sliceByK = sliceByKScratch.data();
 
-    // The schedule reuses a small set of distinct slice ranges
-    // (bLo, bHi) across its groups: for skewed schedules the ranges
-    // are the stagger runs, and the vertical schedule has exactly
-    // one. For each range the per-element signed masked contribution
-    //     ((stored & mask) - (storedBias & mask)) >> bLo
-    // depends on neither the group nor the vector slice k, so it is
-    // computed once per range and reused by every row scan at weight
-    // 2^(bLo + k). Ranges narrow enough for int16 deltas (width <=
-    // 15; every skewed schedule in practice) use a flat int16 table;
-    // wider ranges fall back to sign + U128 magnitude. Both store
-    // the masked difference exactly, so the accumulator sequence is
-    // bit-identical to the straight-line evaluation.
-    struct RangeTable
-    {
-        unsigned bLo = 0;
-        bool small = false;
-        std::vector<std::int16_t> delta; //!< small: signed deltas
-        std::vector<std::uint8_t> negW;  //!< wide: sign per element
-        std::vector<U128> magW;          //!< wide: |delta| >> bLo
-    };
-    const std::size_t nnz = elemCol.size();
-    std::vector<RangeTable> tables;
-    std::vector<std::int16_t> tableIdx(
-        static_cast<std::size_t>(fxp::encodedBits + 1) *
-            (fxp::encodedBits + 1),
-        -1);
-    const auto rangeKey = [](unsigned bLo, unsigned bHi) {
-        return static_cast<std::size_t>(bLo) *
-                   (fxp::encodedBits + 1) +
-               bHi;
-    };
+    // Pre-build the contribution tables (see rangeTable()) for every
+    // distinct (bLo, bHi) range of this schedule, so the kernel
+    // resolution below can hold stable RangeTable pointers.
     for (const ScheduleGroup &group : schedule.groups()) {
-        for (const auto &seg : group.segments) {
-            auto &idx = tableIdx[rangeKey(seg.bLo, seg.bHi)];
-            if (idx >= 0)
-                continue;
-            idx = static_cast<std::int16_t>(tables.size());
-            RangeTable t;
-            t.bLo = seg.bLo;
-            const unsigned width = seg.bHi - seg.bLo + 1;
-            t.small = width <= 15;
-            if (t.small) {
-                const auto biasPart = static_cast<std::int32_t>(
-                    storedBias.extractBits(seg.bLo, width));
-                t.delta.resize(nnz);
-                for (std::size_t e = 0; e < nnz; ++e) {
-                    t.delta[e] = static_cast<std::int16_t>(
-                        static_cast<std::int32_t>(
-                            elemStored[e].extractBits(seg.bLo,
-                                                      width)) -
-                        biasPart);
-                }
-            } else {
-                U256 mask;
-                for (unsigned b = seg.bLo; b <= seg.bHi; ++b)
-                    mask.setBit(b);
-                const U256 biasPart = storedBias & mask;
-                t.negW.resize(nnz);
-                t.magW.resize(nnz);
-                for (std::size_t e = 0; e < nnz; ++e) {
-                    const U256 val = elemStored[e] & mask;
-                    U256 d;
-                    if (val >= biasPart) {
-                        d = val - biasPart;
-                        t.negW[e] = 0;
-                    } else {
-                        d = biasPart - val;
-                        t.negW[e] = 1;
-                    }
-                    d >>= seg.bLo;
-                    t.magW[e] = U128::from(d);
-                }
-            }
-            tables.push_back(std::move(t));
-        }
+        for (const auto &seg : group.segments)
+            rangeTable(seg.bLo, seg.bHi);
     }
 
-    // Add m * 2^shift (m < 2^15) without materializing a full-width
-    // shifted temporary: at most two words are nonzero.
-    const auto addSmall = [](SignedAcc &a, bool neg, std::uint64_t m,
-                             unsigned shift) {
-        U256 v;
-        const unsigned wi = shift / 64;
-        const unsigned bi = shift % 64;
-        v.setWord(wi, m << bi);
-        if (bi && wi + 1 < U256::numWords)
-            v.setWord(wi + 1, m >> (64 - bi));
-        a.add(neg, v);
-    };
-
-    /** One segment of the current group, resolved to its kernel
-     *  inputs: contribution table, gating slice, and weight. */
-    struct SegKernel
-    {
-        const RangeTable *tab = nullptr;
-        const BitVec *gate = nullptr;
-        unsigned shift = 0; //!< bLo + k
-    };
-    std::vector<SegKernel> kernels;
+    std::vector<SegKernel> &kernels = kernelScratch;
 
     // --- group-granular execution ------------------------------------
     const auto &groups = schedule.groups();
@@ -419,19 +449,20 @@ Cluster::multiply(std::span<const double> x, std::span<double> y,
             (blockSize - alive);
 
         // Energy: full-array activation energy per crossbar op plus
-        // per-conversion ADC energy with the headstart preset. The
-        // whole array pulls current during an operation regardless of
-        // how many columns are converted.
+        // per-conversion ADC energy from the per-(slice, row) table
+        // program() resolved (headstart preset included). The whole
+        // array pulls current during an operation regardless of how
+        // many columns are converted.
         stats.arrayEnergy += group.activations() * arrayOpE;
         for (const auto &seg : group.segments) {
             for (unsigned b = seg.bLo; b <= seg.bHi; ++b) {
-                const auto &ones = sliceOnes[b];
+                const double *ce =
+                    &adcConvE[static_cast<std::size_t>(b) *
+                              blockSize];
                 for (unsigned i = 0; i < blockSize; ++i) {
                     if (done[i])
                         continue;
-                    const unsigned start = cfg.adcHeadstart
-                        ? bitsForCount(ones[i]) : resBits;
-                    stats.adcEnergy += convEnergyByStart[start];
+                    stats.adcEnergy += ce[i];
                 }
             }
         }
@@ -446,10 +477,8 @@ Cluster::multiply(std::span<const double> x, std::span<double> y,
             const BitVec *gate = sliceByK[seg.k];
             if (!gate)
                 continue;
-            kernels.push_back(
-                {&tables[static_cast<std::size_t>(
-                     tableIdx[rangeKey(seg.bLo, seg.bHi)])],
-                 gate, seg.bLo + seg.k});
+            kernels.push_back({&rangeTable(seg.bLo, seg.bHi), gate,
+                               seg.bLo + seg.k});
         }
         for (unsigned i = 0; i < blockSize; ++i) {
             if (done[i])
@@ -531,6 +560,372 @@ Cluster::multiply(std::span<const double> x, std::span<double> y,
                     cfg.xbar.fClkHz;
     stats.energy = stats.arrayEnergy + stats.adcEnergy;
     return stats;
+}
+
+ClusterStats
+Cluster::multiply(std::span<const double> X, std::span<double> Y,
+                  unsigned k,
+                  std::vector<std::vector<std::int32_t>> *peeled,
+                  std::vector<ClusterStats> *colStatsOut)
+{
+    if (!isProgrammed)
+        fatal("Cluster::multiply: no block programmed");
+    if (k == 0)
+        fatal("Cluster::multiply: batch needs at least one column");
+    const std::size_t panel =
+        static_cast<std::size_t>(blockSize) * k;
+    if (X.size() != panel || Y.size() != panel)
+        fatal("Cluster::multiply: panel size mismatch");
+    if (peeled)
+        peeled->resize(k);
+
+    // --- per-column front end: peel, align, encode -----------------
+    // Alignment is input-dependent, so it stays per column; the
+    // programmed-side state (contribution tables, ADC energy table,
+    // schedules, gate transposes) is shared below.
+    maskedBatch.resize(panel);
+    std::vector<ClusterStats> colStats(k);
+    std::vector<BiasedSet> uxs(k);
+    std::vector<int> outScale(k);
+    std::vector<std::vector<VectorSlice>> vslices(k);
+    std::vector<std::vector<const BitVec *>> sliceByK(k);
+    for (unsigned c = 0; c < k; ++c) {
+        const std::span<double> mc(
+            maskedBatch.data() +
+                static_cast<std::size_t>(c) * blockSize,
+            blockSize);
+        peelVector(X.subspan(static_cast<std::size_t>(c) * blockSize,
+                             blockSize),
+                   mc, colStats[c],
+                   peeled ? &(*peeled)[c] : nullptr);
+        const AlignedSet vx = alignValues(mc);
+        uxs[c] = biasEncode(vx);
+        outScale[c] = blockScale + vx.scale;
+        const std::size_t nActive =
+            activeBitSlices(uxs[c], vslices[c]);
+        sliceByK[c].assign(uxs[c].width(), nullptr);
+        for (std::size_t s = 0; s < nActive; ++s)
+            sliceByK[c][vslices[c][s].k] = &vslices[c][s].bits;
+        colStats[c].matrixSlices = encodedBits;
+        colStats[c].vectorSlices = uxs[c].width();
+    }
+
+    // --- per-column accumulators -----------------------------------
+    accBatch.assign(panel, SignedAcc{});
+    doneBatch.assign(panel, 0);
+    std::vector<std::size_t> alive(k, 0);
+    for (unsigned c = 0; c < k; ++c) {
+        SignedAcc *const acc =
+            accBatch.data() + static_cast<std::size_t>(c) * blockSize;
+        std::uint8_t *const done =
+            doneBatch.data() +
+            static_cast<std::size_t>(c) * blockSize;
+        const std::span<double> yc = Y.subspan(
+            static_cast<std::size_t>(c) * blockSize, blockSize);
+        for (unsigned i = 0; i < blockSize; ++i) {
+            if (rowPtr[i + 1] == rowPtr[i]) {
+                done[i] = 1;
+                yc[i] = 0.0;
+                ++colStats[c].emptyColumns;
+                continue;
+            }
+            ++alive[c];
+            U256 init = rowSumF[i].mag << (uxs[c].biasBits);
+            if (cfg.anProtect)
+                init.mulSmall(cfg.anConstant);
+            acc[i].neg = !rowSumF[i].neg;
+            acc[i].mag = init;
+            if (init.isZero())
+                acc[i].neg = false;
+        }
+    }
+
+    const unsigned nBits = bitsForCount(blockSize);
+    const int anShift = cfg.anProtect
+        ? static_cast<int>(an.codeBits() - an.dataBits() - 1) : 0;
+
+    // --- vector-width groups ----------------------------------------
+    // The activation schedule depends on the input only through the
+    // biased operand width, so columns sharing a width share one
+    // schedule, one table-ensure pass, and one gate transpose.
+    // Groups run in ascending width order; within a group columns
+    // stay in ascending index order. Per-column trajectory state
+    // keeps every column bitwise independent, so ordering across
+    // columns is irrelevant to the outputs.
+    std::vector<unsigned> order(k);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](unsigned a, unsigned b) {
+                         return uxs[a].width() < uxs[b].width();
+                     });
+
+    std::vector<unsigned> cols;
+    for (std::size_t at = 0; at < order.size();) {
+        const unsigned vecBits = uxs[order[at]].width();
+        cols.clear();
+        while (at < order.size() &&
+               uxs[order[at]].width() == vecBits)
+            cols.push_back(order[at++]);
+        const std::size_t kg = cols.size();
+
+        const ActivationSchedule schedule(
+            encodedBits, vecBits, cfg.schedule, cfg.hybridSkew);
+        const auto &groups = schedule.groups();
+        for (unsigned c : cols)
+            colStats[c].groupsTotal = groups.size();
+        const int sigCellBits = static_cast<int>(
+            bitsForCount(std::min(encodedBits, vecBits)));
+
+        // Ensure every range's contribution table exists before the
+        // group loop takes references (rangeTable() may reallocate).
+        for (const ScheduleGroup &group : groups) {
+            for (const auto &seg : group.segments)
+                rangeTable(seg.bLo, seg.bHi);
+        }
+
+        // Gate transpose: per (vector slice k, element column j) a
+        // kg-wide 0/1 row, so the inner loop reads the gates of all
+        // columns in one contiguous stride instead of probing kg
+        // bitmaps per element.
+        gateTBatch.assign(
+            static_cast<std::size_t>(vecBits) * blockSize * kg, 0);
+        for (std::size_t idx = 0; idx < kg; ++idx) {
+            const unsigned c = cols[idx];
+            for (unsigned kc = 0; kc < vecBits; ++kc) {
+                const BitVec *gate = sliceByK[c][kc];
+                if (!gate)
+                    continue;
+                std::int16_t *gT =
+                    &gateTBatch[static_cast<std::size_t>(kc) *
+                                blockSize * kg];
+                gate->forEachSetBit([&](std::size_t j) {
+                    gT[j * kg + idx] = 1;
+                });
+            }
+        }
+
+        std::size_t aliveGroup = 0;
+        for (unsigned c : cols)
+            aliveGroup += alive[c];
+
+        sumBatch.assign(kg, 0);
+        actBatch.assign(kg, 0);
+
+        // --- group-granular execution (all columns of this width) --
+        for (std::size_t g = 0;
+             g < groups.size() && aliveGroup > 0; ++g) {
+            const ScheduleGroup &group = groups[g];
+
+            // Per-column bookkeeping: a column participates in this
+            // group iff it still has alive rows, mirroring the
+            // single-RHS loop-exit condition.
+            for (unsigned c : cols) {
+                if (alive[c] == 0)
+                    continue;
+                ClusterStats &cs = colStats[c];
+                ++cs.groupsExecuted;
+                cs.xbarActivations += group.activations();
+                cs.adcConversions +=
+                    static_cast<std::uint64_t>(
+                        group.activations()) * alive[c];
+                cs.conversionsSkipped +=
+                    static_cast<std::uint64_t>(
+                        group.activations()) *
+                    (blockSize - alive[c]);
+                cs.arrayEnergy += group.activations() * arrayOpE;
+                const std::uint8_t *done =
+                    doneBatch.data() +
+                    static_cast<std::size_t>(c) * blockSize;
+                for (const auto &seg : group.segments) {
+                    for (unsigned b = seg.bLo; b <= seg.bHi; ++b) {
+                        const double *ce = &adcConvE[
+                            static_cast<std::size_t>(b) * blockSize];
+                        for (unsigned i = 0; i < blockSize; ++i) {
+                            if (done[i])
+                                continue;
+                            cs.adcEnergy += ce[i];
+                        }
+                    }
+                }
+            }
+
+            // Functional contribution, k-wide. Within a group the
+            // sign-magnitude adds are exact integer arithmetic, so
+            // the accumulator value after the group is invariant
+            // under regrouping: a row's gated int16 deltas collapse
+            // into one int32 sum per column (bounded by nnz * 2^15 <
+            // 2^31) and land in a single two-word add -- bitwise the
+            // state the element-order single-RHS adds reach, and the
+            // termination checks that observe it only run between
+            // groups.
+            for (const auto &seg : group.segments) {
+                bool anyGate = false;
+                for (unsigned c : cols) {
+                    if (sliceByK[c][seg.k]) {
+                        anyGate = true;
+                        break;
+                    }
+                }
+                if (!anyGate)
+                    continue;
+                const RangeTable &tab =
+                    rangeTable(seg.bLo, seg.bHi);
+                const unsigned shift = seg.bLo + seg.k;
+                if (tab.small) {
+                    const std::int16_t *gT = &gateTBatch[
+                        static_cast<std::size_t>(seg.k) * blockSize *
+                        kg];
+                    const std::int16_t *d = tab.delta.data();
+                    std::int32_t *const s = sumBatch.data();
+                    std::uint8_t *const act = actBatch.data();
+                    for (unsigned i = 0; i < blockSize; ++i) {
+                        bool anyAlive = false;
+                        for (std::size_t idx = 0; idx < kg; ++idx) {
+                            const bool a = !doneBatch[
+                                static_cast<std::size_t>(cols[idx]) *
+                                    blockSize + i];
+                            act[idx] = a ? 1 : 0;
+                            anyAlive |= a;
+                        }
+                        if (!anyAlive)
+                            continue;
+                        for (std::size_t idx = 0; idx < kg; ++idx)
+                            s[idx] = 0;
+                        for (std::uint32_t e = rowPtr[i];
+                             e < rowPtr[i + 1]; ++e) {
+                            const std::int32_t dv = d[e];
+                            if (dv == 0)
+                                continue;
+                            const std::int16_t *g = &gT[
+                                static_cast<std::size_t>(
+                                    elemCol[e]) * kg];
+                            for (std::size_t idx = 0; idx < kg;
+                                 ++idx)
+                                s[idx] += dv * g[idx];
+                        }
+                        for (std::size_t idx = 0; idx < kg; ++idx) {
+                            if (!act[idx])
+                                continue;
+                            const std::int32_t m = s[idx];
+                            if (m == 0)
+                                continue;
+                            addSmall(
+                                accBatch[static_cast<std::size_t>(
+                                             cols[idx]) *
+                                             blockSize + i],
+                                m < 0,
+                                static_cast<std::uint64_t>(
+                                    m < 0 ? -static_cast<std::int64_t>(
+                                                m)
+                                          : m),
+                                shift);
+                        }
+                    }
+                } else {
+                    // Wide range (vertical schedules): element-wise
+                    // adds per column, the single-RHS inner loop.
+                    for (unsigned c : cols) {
+                        const BitVec *gate = sliceByK[c][seg.k];
+                        if (!gate)
+                            continue;
+                        SignedAcc *const acc =
+                            accBatch.data() +
+                            static_cast<std::size_t>(c) * blockSize;
+                        const std::uint8_t *done =
+                            doneBatch.data() +
+                            static_cast<std::size_t>(c) * blockSize;
+                        for (unsigned i = 0; i < blockSize; ++i) {
+                            if (done[i])
+                                continue;
+                            for (std::uint32_t e = rowPtr[i];
+                                 e < rowPtr[i + 1]; ++e) {
+                                if (!gate->get(
+                                        static_cast<std::size_t>(
+                                            elemCol[e])))
+                                    continue;
+                                if (tab.magW[e].isZero())
+                                    continue;
+                                U256 v = U256::from(tab.magW[e]);
+                                v <<= shift;
+                                acc[i].add(tab.negW[e] != 0, v);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Early termination check (between groups), per column.
+            if (!cfg.earlyTermination)
+                continue;
+            const int remSig =
+                schedule.maxRemainingSignificance(g);
+            if (remSig < 0)
+                break; // grid exhausted; exact completion below
+            const int bound = remSig + static_cast<int>(nBits) +
+                              sigCellBits + 2;
+            for (unsigned c : cols) {
+                if (alive[c] == 0)
+                    continue;
+                SignedAcc *const acc =
+                    accBatch.data() +
+                    static_cast<std::size_t>(c) * blockSize;
+                std::uint8_t *const done =
+                    doneBatch.data() +
+                    static_cast<std::size_t>(c) * blockSize;
+                const std::span<double> yc = Y.subspan(
+                    static_cast<std::size_t>(c) * blockSize,
+                    blockSize);
+                for (unsigned i = 0; i < blockSize; ++i) {
+                    if (done[i])
+                        continue;
+                    U256 decoded = acc[i].mag;
+                    int boundDec = bound;
+                    if (cfg.anProtect) {
+                        decoded.divSmall(cfg.anConstant);
+                        boundDec = bound - anShift + 2;
+                    }
+                    if (settled(decoded, boundDec,
+                                cfg.targetMantissaBits + 3)) {
+                        done[i] = 1;
+                        --alive[c];
+                        --aliveGroup;
+                        ++colStats[c].columnsEarlyTerminated;
+                        yc[i] = convert(acc[i], outScale[c], false);
+                    }
+                }
+            }
+        }
+
+        // Exact completion + timing for this width group's columns.
+        for (unsigned c : cols) {
+            const SignedAcc *acc =
+                accBatch.data() +
+                static_cast<std::size_t>(c) * blockSize;
+            const std::uint8_t *done =
+                doneBatch.data() +
+                static_cast<std::size_t>(c) * blockSize;
+            const std::span<double> yc = Y.subspan(
+                static_cast<std::size_t>(c) * blockSize, blockSize);
+            for (unsigned i = 0; i < blockSize; ++i) {
+                if (!done[i])
+                    yc[i] = convert(acc[i], outScale[c], true);
+            }
+            ClusterStats &cs = colStats[c];
+            cs.cycles = cs.groupsExecuted * cfg.size + 12;
+            cs.latency =
+                static_cast<double>(cs.cycles) / cfg.xbar.fClkHz;
+            cs.energy = cs.arrayEnergy + cs.adcEnergy;
+        }
+    }
+
+    // Aggregate in column order: bitwise the sum a caller looping
+    // the single-RHS path and folding its stats would compute.
+    ClusterStats agg;
+    for (unsigned c = 0; c < k; ++c)
+        agg += colStats[c];
+    if (colStatsOut)
+        *colStatsOut = std::move(colStats);
+    return agg;
 }
 
 } // namespace msc

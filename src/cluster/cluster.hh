@@ -108,6 +108,11 @@ struct ClusterStats
     double arrayEnergy = 0.0; //!< joules (subset of energy)
 };
 
+/** Field-wise sum; the batched multiply reports the per-column stats
+ *  folded in column order through this, so the aggregate is bitwise
+ *  what summing k single-RHS results in the same order yields. */
+ClusterStats &operator+=(ClusterStats &into, const ClusterStats &s);
+
 /**
  * Functional cluster. program() maps a block; multiply() performs
  * the block MVM at the (matrix slice x vector slice) group
@@ -144,6 +149,33 @@ class Cluster
                           std::span<double> y,
                           std::vector<std::int32_t> *peeled = nullptr);
 
+    /**
+     * Batched multi-RHS multiply: Y column c = round(block * X
+     * column c) for k right-hand sides, bitwise identical to k
+     * single-RHS multiply() calls in column order.
+     *
+     * @param X       column-major panel, k columns of block size
+     * @param Y       column-major output panel; overwritten
+     * @param k       number of right-hand sides (>= 1)
+     * @param peeled  optional out: resized to k; entry c receives the
+     *                peeled vector-element indices of column c (see
+     *                the single-RHS overload)
+     *
+     * The contribution tables, ADC energy tables, and gate-bitmap
+     * transposes are built once and shared across all k columns;
+     * per-column trajectory state (gates, termination, stats,
+     * peeling) is kept independent. Returns the per-column stats
+     * folded in column order (operator+=); @p colStats (optional)
+     * receives the k per-column records, each bitwise what the
+     * corresponding single-RHS call returns -- callers that fold
+     * stats across blocks AND columns (the operator adapters) need
+     * them to reproduce the sequential fold order exactly.
+     */
+    ClusterStats multiply(
+        std::span<const double> X, std::span<double> Y, unsigned k,
+        std::vector<std::vector<std::int32_t>> *peeled = nullptr,
+        std::vector<ClusterStats> *colStats = nullptr);
+
   private:
     /** Signed accumulator in sign-magnitude form. */
     struct SignedAcc
@@ -176,6 +208,53 @@ class Cluster
     /** Convert a (possibly early-terminated) accumulator. */
     double convert(const SignedAcc &acc, int scale, bool exact) const;
 
+    /**
+     * Precomputed per-(bLo, bHi) contribution table: the signed
+     * masked difference ((stored & mask) - (storedBias & mask)) >>
+     * bLo per element. It depends only on the programmed data, so
+     * program() invalidates the cache and every multiply -- single-
+     * or multi-RHS -- builds a range lazily on first use and reuses
+     * it across columns and across calls. Ranges narrow enough for
+     * int16 deltas (width <= 15; every skewed schedule in practice)
+     * use a flat int16 table; wider ranges fall back to sign + U128
+     * magnitude.
+     */
+    struct RangeTable
+    {
+        unsigned bLo = 0;
+        bool small = false;
+        std::vector<std::int16_t> delta; //!< small: signed deltas
+        std::vector<std::uint8_t> negW;  //!< wide: sign per element
+        std::vector<U128> magW;          //!< wide: |delta| >> bLo
+    };
+
+    /** One segment of a schedule group, resolved to its kernel
+     *  inputs: contribution table, gating slice, and weight. */
+    struct SegKernel
+    {
+        const RangeTable *tab = nullptr;
+        const BitVec *gate = nullptr;
+        unsigned shift = 0; //!< bLo + k
+    };
+
+    /** Lazily built table for the range (bLo, bHi) of the current
+     *  program; stable reference until the next program(). */
+    const RangeTable &rangeTable(unsigned bLo, unsigned bHi);
+
+    /** Add m * 2^shift to @p a without materializing a full-width
+     *  shifted temporary: at most two words are nonzero (m < 2^63,
+     *  which covers both the single int16 delta and the batched
+     *  per-row delta sum, bounded by nnz * 2^15). */
+    static void addSmall(SignedAcc &a, bool neg, std::uint64_t m,
+                         unsigned shift);
+
+    /** Exponent-window peeling of an input vector: copy x into
+     *  masked with out-of-window elements zeroed, recording their
+     *  indices. Shared by the single- and multi-RHS paths. */
+    void peelVector(std::span<const double> x,
+                    std::span<double> masked, ClusterStats &stats,
+                    std::vector<std::int32_t> *peeled);
+
     ClusterConfig cfg;
     XbarModel xbarModel;
     AnCode an;
@@ -204,6 +283,37 @@ class Cluster
     /** Per (slice b, block row i): stored ones count, for CIC and
      *  ADC headstart accounting. */
     std::vector<std::vector<std::uint16_t>> sliceOnes;
+    /** Per (slice b, block row i), flattened b * blockSize + i: ADC
+     *  conversion energy with the headstart preset resolved. Built by
+     *  program(); turns the per-group energy accounting into a gated
+     *  table sum shared by all RHS columns. */
+    std::vector<double> adcConvE;
+
+    // Contribution-table cache (see RangeTable). tableIdx is a dense
+    // (encodedBits+1)^2 map from (bLo, bHi) to an index in tables,
+    // -1 = not built yet; program() resets it.
+    std::vector<RangeTable> tables;
+    std::vector<std::int16_t> tableIdx;
+
+    // Reusable per-call scratch, hoisted out of the multiply hot
+    // paths so steady-state calls stop allocating (the aligners'
+    // internal vectors are the only per-call allocations left).
+    std::vector<double> maskedScratch;
+    std::vector<std::pair<int, std::int32_t>> expsScratch;
+    std::vector<SignedAcc> accScratch;
+    std::vector<std::uint8_t> doneScratch;
+    std::vector<VectorSlice> vslicesScratch;
+    std::vector<const BitVec *> sliceByKScratch;
+    std::vector<SegKernel> kernelScratch;
+    // Batched-path scratch: per-column accumulators/termination
+    // flags, the per-(slice k, element, column) gate transpose, and
+    // the k-wide delta sums of the inner loop.
+    std::vector<SignedAcc> accBatch;
+    std::vector<std::uint8_t> doneBatch;
+    std::vector<double> maskedBatch;
+    std::vector<std::int16_t> gateTBatch;
+    std::vector<std::int32_t> sumBatch;
+    std::vector<std::uint8_t> actBatch;
 };
 
 } // namespace msc

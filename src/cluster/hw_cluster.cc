@@ -22,29 +22,86 @@ constinit telemetry::Counter
 constinit telemetry::Counter
     ctrCicInverted{"hw.cic_inverted_columns"};
 
-/** Signed accumulator in sign-magnitude form. */
-struct SignedAcc
+/**
+ * Exact, unfaulted reduction of one (row, vector-slice) scan: counts
+ * are <= blockSize, so the whole shift-and-add reduction fits a raw
+ * 4-limb accumulator with explicit carry chains -- the same integer
+ * sum addShifted computes, without a U256 temporary per read.
+ * Overflow past limb 3 is discarded exactly as addShifted discards
+ * bits above 2^256. Shared verbatim by the single- and multi-RHS
+ * exact-read paths so they cannot diverge.
+ */
+inline U256
+reduceRowSlice(const std::uint64_t *rowCols,
+               const std::uint8_t *rowInv, const std::uint64_t *in,
+               std::uint64_t pc, unsigned nSlices, unsigned nw)
 {
-    bool neg = false;
-    U256 mag;
-
-    void
-    add(bool vNeg, const U256 &v)
-    {
-        if (vNeg == neg) {
-            mag += v;
-        } else if (mag >= v) {
-            mag -= v;
-        } else {
-            mag = v - mag;
-            neg = vNeg;
+    std::uint64_t rw[4] = {0, 0, 0, 0};
+    const auto spill = [&rw](unsigned wi, std::uint64_t v) {
+        while (v && wi < 4) {
+            const std::uint64_t old = rw[wi];
+            rw[wi] = old + v;
+            v = rw[wi] < old ? 1 : 0;
+            ++wi;
         }
-        if (mag.isZero())
-            neg = false;
+    };
+    if (nw == 1) {
+        // Blocks up to 64 wide: a column read is one
+        // word-AND-popcount; keep the scan branchless on memory and
+        // stride-1 on rowCols.
+        const std::uint64_t in0 = in[0];
+        for (unsigned b = 0; b < nSlices; ++b) {
+            std::uint64_t n = static_cast<std::uint64_t>(
+                std::popcount(rowCols[b] & in0));
+            // Exact reads never exceed pc, so the CIC correction
+            // cannot go negative here.
+            if (rowInv[b])
+                n = pc - n;
+            if (!n)
+                continue;
+            const unsigned wi = b / 64;
+            const unsigned bi = b % 64;
+            spill(wi, n << bi);
+            if (bi)
+                spill(wi + 1, n >> (64 - bi));
+        }
+    } else {
+        for (unsigned b = 0; b < nSlices; ++b) {
+            const std::uint64_t *cw =
+                rowCols + static_cast<std::size_t>(b) * nw;
+            std::uint64_t n = 0;
+            for (unsigned w = 0; w < nw; ++w)
+                n += static_cast<std::uint64_t>(
+                    std::popcount(cw[w] & in[w]));
+            if (rowInv[b])
+                n = pc - n;
+            if (!n)
+                continue;
+            const unsigned wi = b / 64;
+            const unsigned bi = b % 64;
+            spill(wi, n << bi);
+            if (bi)
+                spill(wi + 1, n >> (64 - bi));
+        }
     }
-};
+    U256 reduced;
+    for (unsigned w = 0; w < 4; ++w)
+        reduced.setWord(w, rw[w]);
+    return reduced;
+}
 
 } // namespace
+
+HwClusterStats &
+operator+=(HwClusterStats &into, const HwClusterStats &s)
+{
+    into.sliceWords += s.sliceWords;
+    into.cleanWords += s.cleanWords;
+    into.correctedWords += s.correctedWords;
+    into.uncorrectableWords += s.uncorrectableWords;
+    into.cicInvertedColumns += s.cicInvertedColumns;
+    return into;
+}
 
 HwCluster::HwCluster(const Config &config)
     : cfg(config), an(config.anConstant, fxp::operandBits)
@@ -89,7 +146,7 @@ HwCluster::program(const MatrixBlock &block)
                static_cast<std::size_t>(t.col)] = word;
         nSlices = std::max(nSlices, word.bitLength());
         RowSum &rs = rowSumF[static_cast<std::size_t>(t.row)];
-        SignedAcc tmp{rs.neg, rs.mag};
+        SignedWord tmp{rs.neg, rs.mag};
         tmp.add(aligned.neg[e] != 0, U256::from(aligned.mag[e]));
         rs.neg = tmp.neg;
         rs.mag = tmp.mag;
@@ -180,6 +237,26 @@ HwCluster::scrub() const
     return corrupt;
 }
 
+void
+HwCluster::flattenColumns(unsigned nw)
+{
+    colWordsScratch.resize(
+        static_cast<std::size_t>(blockSize) * nSlices * nw);
+    colInvScratch.resize(
+        static_cast<std::size_t>(blockSize) * nSlices);
+    for (unsigned b = 0; b < nSlices; ++b) {
+        for (unsigned i = 0; i < blockSize; ++i) {
+            const auto &words = slices[b].column(i).raw();
+            std::uint64_t *dst = &colWordsScratch[
+                (static_cast<std::size_t>(i) * nSlices + b) * nw];
+            for (unsigned w = 0; w < nw; ++w)
+                dst[w] = words[w];
+            colInvScratch[static_cast<std::size_t>(i) * nSlices + b] =
+                slices[b].columnInverted(i) ? 1 : 0;
+        }
+    }
+}
+
 HwClusterStats
 HwCluster::multiply(std::span<const double> x, std::span<double> y,
                     Rng *rng)
@@ -199,8 +276,7 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
 
     // Vector alignment (no peeling here: the verification harness
     // feeds in-range vectors; out-of-range input is a fatal).
-    const AlignedSet vx = alignValues(
-        std::vector<double>(x.begin(), x.end()));
+    const AlignedSet vx = alignValues(x);
     const BiasedSet ux = biasEncode(vx);
     const int outScale = blockScale + vx.scale;
 
@@ -208,7 +284,8 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
 
     // Running sums initialized with the folded vector-bias
     // correction -bX * rowSumF (known at apply time).
-    std::vector<SignedAcc> acc(blockSize);
+    accScratch.assign(blockSize, SignedWord{});
+    SignedWord *const acc = accScratch.data();
     for (unsigned i = 0; i < blockSize; ++i) {
         U256 init = rowSumF[i].mag << ux.biasBits;
         if (cfg.anProtect)
@@ -224,13 +301,13 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
     // reduced word, storedBias * popcount(slice), depends only on
     // the slice, so it is precomputed here instead of per (row,
     // slice) in the scan.
-    const std::vector<VectorSlice> active = activeBitSlices(ux);
-    std::vector<U256> biasTerms;
-    biasTerms.reserve(active.size());
-    for (const VectorSlice &vs : active) {
+    const std::size_t nActive = activeBitSlices(ux, vslicesScratch);
+    const VectorSlice *const active = vslicesScratch.data();
+    biasTermsScratch.clear();
+    for (std::size_t si = 0; si < nActive; ++si) {
         U256 term = storedBias;
-        term.mulSmall(vs.pc);
-        biasTerms.push_back(term);
+        term.mulSmall(active[si].pc);
+        biasTermsScratch.push_back(term);
     }
 
     // Exact reads are popcounts against the stored column bits, so
@@ -242,24 +319,8 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
     // the device model, which owns the noise stream order.
     const unsigned nw =
         static_cast<unsigned>((blockSize + 63) / 64);
-    std::vector<std::uint64_t> colWords;
-    std::vector<std::uint8_t> colInv(
-        static_cast<std::size_t>(blockSize) * nSlices);
-    if (!cfg.analogReads) {
-        colWords.resize(
-            static_cast<std::size_t>(blockSize) * nSlices * nw);
-        for (unsigned b = 0; b < nSlices; ++b) {
-            for (unsigned i = 0; i < blockSize; ++i) {
-                const auto &words = slices[b].column(i).raw();
-                std::uint64_t *dst = &colWords[
-                    (static_cast<std::size_t>(i) * nSlices + b) * nw];
-                for (unsigned w = 0; w < nw; ++w)
-                    dst[w] = words[w];
-                colInv[static_cast<std::size_t>(i) * nSlices + b] =
-                    slices[b].columnInverted(i) ? 1 : 0;
-            }
-        }
-    }
+    if (!cfg.analogReads)
+        flattenColumns(nw);
 
     // One output row through every active slice: steps 2-6 of the
     // dataflow. Rows are independent of each other.
@@ -267,73 +328,20 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
                        HwClusterStats &st) {
         const std::uint64_t *rowCols = cfg.analogReads
             ? nullptr
-            : &colWords[static_cast<std::size_t>(i) * nSlices * nw];
-        const std::uint8_t *rowInv =
-            &colInv[static_cast<std::size_t>(i) * nSlices];
+            : &colWordsScratch[
+                  static_cast<std::size_t>(i) * nSlices * nw];
+        const std::uint8_t *rowInv = cfg.analogReads
+            ? nullptr
+            : &colInvScratch[static_cast<std::size_t>(i) * nSlices];
         const bool fastReads = !cfg.analogReads && !injector;
-        for (std::size_t si = 0; si < active.size(); ++si) {
+        for (std::size_t si = 0; si < nActive; ++si) {
             const VectorSlice &vs = active[si];
             const std::uint64_t *in = vs.bits.raw().data();
             // 2. + 3. ADC scans and shift-and-add reduction.
             U256 reduced;
             if (fastReads) {
-                // Exact, unfaulted reads: counts are <= blockSize, so
-                // the whole reduction fits a raw 4-limb accumulator
-                // with explicit carry chains -- the same integer sum
-                // addShifted computes, without a U256 temporary per
-                // read. Overflow past limb 3 is discarded exactly as
-                // addShifted discards bits above 2^256.
-                std::uint64_t rw[4] = {0, 0, 0, 0};
-                const auto spill = [&rw](unsigned wi,
-                                         std::uint64_t v) {
-                    while (v && wi < 4) {
-                        const std::uint64_t old = rw[wi];
-                        rw[wi] = old + v;
-                        v = rw[wi] < old ? 1 : 0;
-                        ++wi;
-                    }
-                };
-                if (nw == 1) {
-                    // Blocks up to 64 wide: a column read is one
-                    // word-AND-popcount; keep the scan branchless on
-                    // memory and stride-1 on rowCols.
-                    const std::uint64_t in0 = in[0];
-                    for (unsigned b = 0; b < nSlices; ++b) {
-                        std::uint64_t n = static_cast<std::uint64_t>(
-                            std::popcount(rowCols[b] & in0));
-                        // Exact reads never exceed pc, so the CIC
-                        // correction cannot go negative here.
-                        if (rowInv[b])
-                            n = vs.pc - n;
-                        if (!n)
-                            continue;
-                        const unsigned wi = b / 64;
-                        const unsigned bi = b % 64;
-                        spill(wi, n << bi);
-                        if (bi)
-                            spill(wi + 1, n >> (64 - bi));
-                    }
-                } else {
-                    for (unsigned b = 0; b < nSlices; ++b) {
-                        const std::uint64_t *cw = rowCols +
-                            static_cast<std::size_t>(b) * nw;
-                        std::uint64_t n = 0;
-                        for (unsigned w = 0; w < nw; ++w)
-                            n += static_cast<std::uint64_t>(
-                                std::popcount(cw[w] & in[w]));
-                        if (rowInv[b])
-                            n = vs.pc - n;
-                        if (!n)
-                            continue;
-                        const unsigned wi = b / 64;
-                        const unsigned bi = b % 64;
-                        spill(wi, n << bi);
-                        if (bi)
-                            spill(wi + 1, n >> (64 - bi));
-                    }
-                }
-                for (unsigned w = 0; w < 4; ++w)
-                    reduced.setWord(w, rw[w]);
+                reduced = reduceRowSlice(rowCols, rowInv, in, vs.pc,
+                                         nSlices, nw);
             } else {
                 for (unsigned b = 0; b < nSlices; ++b) {
                     std::int64_t count;
@@ -375,8 +383,8 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
             ++st.sliceWords;
 
             // 4. de-bias: subtract storedBias * popcount.
-            const U256 &biasTerm = biasTerms[si];
-            SignedAcc word;
+            const U256 &biasTerm = biasTermsScratch[si];
+            SignedWord word;
             if (reduced >= biasTerm) {
                 word.neg = false;
                 word.mag = reduced - biasTerm;
@@ -423,13 +431,13 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
             for (unsigned i = 0; i < blockSize; ++i)
                 rowRngs.emplace_back(rng->next());
         }
-        std::vector<HwClusterStats> part(blockSize);
+        partScratch.assign(blockSize, HwClusterStats{});
         parallelFor(blockSize, [&](std::size_t i) {
             scanRow(static_cast<unsigned>(i),
                     rowRngs.empty() ? nullptr : &rowRngs[i],
-                    part[i]);
+                    partScratch[i]);
         });
-        for (const HwClusterStats &p : part) {
+        for (const HwClusterStats &p : partScratch) {
             stats.sliceWords += p.sliceWords;
             stats.cleanWords += p.cleanWords;
             stats.correctedWords += p.correctedWords;
@@ -452,6 +460,169 @@ HwCluster::multiply(std::span<const double> x, std::span<double> y,
                              cfg.rounding);
     }
     // Every reduced word took one ADC conversion per weight slice.
+    ctrAdc.add(stats.sliceWords * nSlices);
+    ctrAnClean.add(stats.cleanWords);
+    ctrAnCorrected.add(stats.correctedWords);
+    ctrAnUncorrectable.add(stats.uncorrectableWords);
+    ctrCicInverted.add(stats.cicInvertedColumns);
+    return stats;
+}
+
+HwClusterStats
+HwCluster::multiply(std::span<const double> X, std::span<double> Y,
+                    unsigned k, Rng *rng)
+{
+    if (!programmed)
+        fatal("HwCluster::multiply: program() first");
+    if (k == 0)
+        fatal("HwCluster::multiply: batch needs at least one column");
+    const std::size_t panel =
+        static_cast<std::size_t>(blockSize) * k;
+    if (X.size() != panel || Y.size() != panel)
+        fatal("HwCluster::multiply: panel size mismatch");
+
+    // Analog reads and attached injectors own the order of their
+    // noise draws / fault streams; that configuration must replay
+    // the k sequential single-RHS calls literally.
+    if (cfg.analogReads || injector) {
+        HwClusterStats agg;
+        for (unsigned c = 0; c < k; ++c) {
+            agg += multiply(
+                X.subspan(static_cast<std::size_t>(c) * blockSize,
+                          blockSize),
+                Y.subspan(static_cast<std::size_t>(c) * blockSize,
+                          blockSize),
+                rng);
+        }
+        return agg;
+    }
+
+    telemetry::Span span("hw.multiply_batch");
+    HwClusterStats stats;
+    for (const auto &xbar : slices) {
+        for (unsigned i = 0; i < blockSize; ++i)
+            stats.cicInvertedColumns +=
+                xbar.columnInverted(i) ? 1 : 0;
+    }
+    // Each single-RHS call reports the same census.
+    stats.cicInvertedColumns *= k;
+
+    // Per-column front end: alignment, active slices, de-bias terms,
+    // running-sum init. All input-dependent, so per column; the
+    // flatten below is the shared programmed-side state.
+    accBatch.assign(panel, SignedWord{});
+    std::vector<int> outScale(k);
+    std::vector<std::vector<VectorSlice>> activeC(k);
+    std::vector<std::vector<U256>> biasTermsC(k);
+    for (unsigned c = 0; c < k; ++c) {
+        const AlignedSet vx = alignValues(X.subspan(
+            static_cast<std::size_t>(c) * blockSize, blockSize));
+        const BiasedSet ux = biasEncode(vx);
+        outScale[c] = blockScale + vx.scale;
+        activeC[c] = activeBitSlices(ux);
+        biasTermsC[c].reserve(activeC[c].size());
+        for (const VectorSlice &vs : activeC[c]) {
+            U256 term = storedBias;
+            term.mulSmall(vs.pc);
+            biasTermsC[c].push_back(term);
+        }
+        SignedWord *const acc =
+            accBatch.data() + static_cast<std::size_t>(c) * blockSize;
+        for (unsigned i = 0; i < blockSize; ++i) {
+            U256 init = rowSumF[i].mag << ux.biasBits;
+            if (cfg.anProtect)
+                init.mulSmall(cfg.anConstant);
+            acc[i].neg = !rowSumF[i].neg;
+            acc[i].mag = init;
+            if (init.isZero())
+                acc[i].neg = false;
+        }
+    }
+
+    // Shared flatten: built once, read by every (row, column) scan.
+    const unsigned nw =
+        static_cast<unsigned>((blockSize + 63) / 64);
+    flattenColumns(nw);
+
+    // Row-parallel scan, k columns per row: the per-(row, column)
+    // reductions and running sums are independent, and the stats
+    // counters are order-independent integer totals, so the merge
+    // equals the k sequential single-RHS merges bitwise.
+    partScratch.assign(blockSize, HwClusterStats{});
+    parallelFor(blockSize, [&](std::size_t i) {
+        HwClusterStats &st = partScratch[i];
+        const std::uint64_t *rowCols = &colWordsScratch[
+            static_cast<std::size_t>(i) * nSlices * nw];
+        const std::uint8_t *rowInv =
+            &colInvScratch[static_cast<std::size_t>(i) * nSlices];
+        for (unsigned c = 0; c < k; ++c) {
+            SignedWord &a =
+                accBatch[static_cast<std::size_t>(c) * blockSize + i];
+            const auto &active = activeC[c];
+            const auto &biasTerms = biasTermsC[c];
+            for (std::size_t si = 0; si < active.size(); ++si) {
+                const VectorSlice &vs = active[si];
+                const U256 reduced = reduceRowSlice(
+                    rowCols, rowInv, vs.bits.raw().data(), vs.pc,
+                    nSlices, nw);
+                ++st.sliceWords;
+
+                const U256 &biasTerm = biasTerms[si];
+                SignedWord word;
+                if (reduced >= biasTerm) {
+                    word.neg = false;
+                    word.mag = reduced - biasTerm;
+                } else {
+                    word.neg = true;
+                    word.mag = biasTerm - reduced;
+                }
+
+                if (cfg.anProtect) {
+                    switch (an.correctSigned(word.mag, word.neg)) {
+                      case AnCode::Outcome::Clean:
+                        ++st.cleanWords;
+                        break;
+                      case AnCode::Outcome::Corrected:
+                        ++st.correctedWords;
+                        break;
+                      case AnCode::Outcome::Uncorrectable:
+                        ++st.uncorrectableWords;
+                        break;
+                    }
+                } else {
+                    ++st.cleanWords;
+                }
+
+                a.add(word.neg, word.mag << vs.k);
+            }
+        }
+    });
+    for (const HwClusterStats &p : partScratch) {
+        stats.sliceWords += p.sliceWords;
+        stats.cleanWords += p.cleanWords;
+        stats.correctedWords += p.correctedWords;
+        stats.uncorrectableWords += p.uncorrectableWords;
+    }
+
+    // Final conversion, column-major like the sequential calls.
+    for (unsigned c = 0; c < k; ++c) {
+        const SignedWord *acc =
+            accBatch.data() + static_cast<std::size_t>(c) * blockSize;
+        const std::span<double> yc = Y.subspan(
+            static_cast<std::size_t>(c) * blockSize, blockSize);
+        for (unsigned i = 0; i < blockSize; ++i) {
+            U256 mag = acc[i].mag;
+            if (cfg.anProtect) {
+                const std::uint64_t rem =
+                    mag.divSmall(cfg.anConstant);
+                if (rem != 0)
+                    ++stats.uncorrectableWords;
+            }
+            yc[i] = fixedToDouble(acc[i].neg, mag, outScale[c],
+                                  cfg.rounding);
+        }
+    }
+
     ctrAdc.add(stats.sliceWords * nSlices);
     ctrAnClean.add(stats.cleanWords);
     ctrAnCorrected.add(stats.correctedWords);

@@ -49,6 +49,12 @@ struct HwClusterStats
     std::uint64_t cicInvertedColumns = 0;
 };
 
+/** Field-wise sum; every counter is an order-independent total, so
+ *  the batched multiply's aggregate equals folding k single-RHS
+ *  results. */
+HwClusterStats &operator+=(HwClusterStats &into,
+                           const HwClusterStats &s);
+
 class HwCluster
 {
   public:
@@ -112,7 +118,47 @@ class HwCluster
     HwClusterStats multiply(std::span<const double> x,
                             std::span<double> y, Rng *rng = nullptr);
 
+    /**
+     * Batched multi-RHS multiply over a column-major k-column panel,
+     * bitwise identical to k single-RHS multiply() calls in column
+     * order. With exact digital reads the flattened column-word
+     * matrix is built once and shared across all k columns; analog
+     * reads or an attached injector own stateful draw/fault-stream
+     * order, so that configuration replays the k sequential calls
+     * literally. Returns the per-column stats folded (operator+=).
+     */
+    HwClusterStats multiply(std::span<const double> X,
+                            std::span<double> Y, unsigned k,
+                            Rng *rng = nullptr);
+
   private:
+    /** Signed word / running sum in sign-magnitude form. */
+    struct SignedWord
+    {
+        bool neg = false;
+        U256 mag;
+
+        void
+        add(bool vNeg, const U256 &v)
+        {
+            if (vNeg == neg) {
+                mag += v;
+            } else if (mag >= v) {
+                mag -= v;
+            } else {
+                mag = v - mag;
+                neg = vNeg;
+            }
+            if (mag.isZero())
+                neg = false;
+        }
+    };
+
+    /** Rebuild the flattened (row, slice) column-word matrix and CIC
+     *  flags into the scratch members (reads injected cell faults,
+     *  so it runs per multiply, not per program). */
+    void flattenColumns(unsigned nw);
+
     Config cfg;
     AnCode an;
     FaultInjector *injector = nullptr;
@@ -132,6 +178,18 @@ class HwCluster
      *  block columns (vector inputs); crossbar columns are block
      *  rows (outputs). */
     std::vector<BinaryCrossbar> slices;
+
+    // Reusable per-call scratch, hoisted so steady-state multiplies
+    // stop allocating on the exact-read path (the aligners' internal
+    // vectors are the only per-call allocations left).
+    std::vector<SignedWord> accScratch;
+    std::vector<VectorSlice> vslicesScratch;
+    std::vector<U256> biasTermsScratch;
+    std::vector<std::uint64_t> colWordsScratch;
+    std::vector<std::uint8_t> colInvScratch;
+    std::vector<HwClusterStats> partScratch;
+    // Batched-path scratch: per-column running sums.
+    std::vector<SignedWord> accBatch;
 };
 
 } // namespace msc

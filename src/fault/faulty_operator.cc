@@ -232,6 +232,155 @@ FaultyAccelOperator::apply(std::span<const double> x,
     }
 }
 
+void
+FaultyAccelOperator::applyBatch(std::span<const double> X,
+                                std::span<double> Y, unsigned k)
+{
+    const auto nc = static_cast<std::size_t>(matCols);
+    const auto nr = static_cast<std::size_t>(matRows);
+    if (k == 0)
+        fatal("FaultyAccelOperator: empty batch");
+    if (X.size() != nc * k || Y.size() != nr * k)
+        fatal("FaultyAccelOperator: panel size mismatch");
+
+    telemetry::Span span("fault.apply_batch");
+
+    // Local-processor part, per column in column order.
+    for (unsigned c = 0; c < k; ++c) {
+        plan.unblocked.spmv(X.subspan(c * nc, nc),
+                            Y.subspan(c * nr, nr));
+    }
+
+    const double inf = std::numeric_limits<double>::infinity();
+    const std::uint64_t seq0 = applySeq;
+    applySeq += k;
+
+    // Each block replays the k sequential applies against its own
+    // scratch panel: column c draws from the transient stream of
+    // apply sequence seq0 + c and sees the drift level of read count
+    // reads0 + c, so every injected fault lands positionally where
+    // k apply() calls would have put it, for any thread count.
+    parallelFor(
+        plan.blocks.size(),
+        [&](std::size_t kb) {
+        telemetry::Span blockSpan("fault.block");
+        ctrBlockSpans.add(k);
+        const MatrixBlock &blk = plan.blocks[kb];
+        BlockState &st = state[kb];
+        ApplyScratch &sc = scratch[kb];
+        sc.colStats.assign(k, FaultStats{});
+        sc.yLocal.assign(static_cast<std::size_t>(blk.size) * k,
+                         0.0);
+        const std::uint64_t reads0 = st.reads;
+
+        for (unsigned c = 0; c < k; ++c) {
+            double *yLocal = sc.yLocal.data() +
+                             static_cast<std::size_t>(c) * blk.size;
+            const std::span<const double> x =
+                X.subspan(c * nc, nc);
+
+            if (st.exact) {
+                // Degraded: the digital CSR path computes this
+                // block (and performs no crossbar read).
+                for (const Triplet &el : blk.elems) {
+                    const std::int64_t row = blk.rowOrigin + el.row;
+                    const std::int64_t col = blk.colOrigin + el.col;
+                    if (row < matRows && col < matCols) {
+                        yLocal[static_cast<std::size_t>(el.row)] +=
+                            el.val *
+                            x[static_cast<std::size_t>(col)];
+                    }
+                }
+                continue;
+            }
+            if (st.dead) {
+                // A dead crossbar contributes nothing; its read
+                // counter still ticks once per column (below).
+                continue;
+            }
+
+            for (const Triplet &el : blk.elems) {
+                const std::int64_t col = blk.colOrigin + el.col;
+                if (col < matCols) {
+                    yLocal[static_cast<std::size_t>(el.row)] +=
+                        el.val * x[static_cast<std::size_t>(col)];
+                }
+            }
+            for (const StuckGlitch &g : st.stuck) {
+                const Triplet &el = blk.elems[g.elem];
+                const std::int64_t col = blk.colOrigin + el.col;
+                if (col < matCols) {
+                    yLocal[static_cast<std::size_t>(el.row)] +=
+                        g.delta * x[static_cast<std::size_t>(col)];
+                }
+            }
+            if (camp.driftPerRead > 0.0) {
+                const double level =
+                    camp.driftPerRead *
+                    static_cast<double>(reads0 + c);
+                for (unsigned i = 0; i < blk.size; ++i)
+                    yLocal[i] += st.driftDir[i] * level * yLocal[i];
+            }
+            if (st.stuckColumn >= 0)
+                yLocal[static_cast<std::size_t>(st.stuckColumn)] =
+                    st.stuckValue;
+            if (camp.transientUpsetRate > 0.0) {
+                Rng transient = injector.streamFor(transientUnit(
+                    seq0 + c, plan.blocks.size(), kb));
+                if (transient.chance(camp.transientUpsetRate)) {
+                    const auto row = static_cast<std::size_t>(
+                        transient.below(blk.size));
+                    if (transient.chance(camp.saturationRate)) {
+                        yLocal[row] = inf;
+                        ++sc.colStats[c].saturatedConversions;
+                    } else {
+                        const double mag = std::fabs(yLocal[row]);
+                        yLocal[row] +=
+                            (transient.chance(0.5) ? 1.0 : -1.0) *
+                            std::ldexp(mag != 0.0 ? mag : 1.0,
+                                       static_cast<int>(
+                                           transient.range(-2, 8)));
+                        ++sc.colStats[c].transientUpsets;
+                    }
+                }
+            }
+        }
+        // k sequential applies tick reads once each, except on a
+        // degraded block (the single path returns before the tick).
+        if (!st.exact)
+            st.reads += k;
+        },
+        1, exec);
+
+    // Reduction in (column, block) order -- exactly the order k
+    // sequential apply() calls fold, so y and the fault counters are
+    // bit-identical for any thread count.
+    for (unsigned c = 0; c < k; ++c) {
+        const std::span<double> y = Y.subspan(c * nr, nr);
+        for (std::size_t kb = 0; kb < plan.blocks.size(); ++kb) {
+            const MatrixBlock &blk = plan.blocks[kb];
+            const BlockState &st = state[kb];
+            const ApplyScratch &sc = scratch[kb];
+            const FaultStats &fs = sc.colStats[c];
+            applyStats.transientUpsets += fs.transientUpsets;
+            applyStats.saturatedConversions +=
+                fs.saturatedConversions;
+            ctrTransients.add(fs.transientUpsets);
+            ctrSaturated.add(fs.saturatedConversions);
+            if (st.dead && !st.exact)
+                continue;
+            const double *yLocal =
+                sc.yLocal.data() +
+                static_cast<std::size_t>(c) * blk.size;
+            for (unsigned i = 0; i < blk.size; ++i) {
+                const std::int64_t row = blk.rowOrigin + i;
+                if (row < matRows)
+                    y[static_cast<std::size_t>(row)] += yLocal[i];
+            }
+        }
+    }
+}
+
 std::size_t
 FaultyAccelOperator::blockCount() const
 {

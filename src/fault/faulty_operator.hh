@@ -52,6 +52,16 @@ class FaultyAccelOperator : public RecoverableOperator
     void apply(std::span<const double> x,
                std::span<double> y) override;
 
+    /**
+     * Batched multi-RHS apply: column c replays the transient stream
+     * of apply sequence (entry applySeq + c) and the drift level of
+     * read count (entry reads + c), so outputs, fault counters, and
+     * block read counts are bitwise identical to k apply() calls in
+     * column order -- for any thread count.
+     */
+    void applyBatch(std::span<const double> X, std::span<double> Y,
+                    unsigned k) override;
+
     /** Polled per block batch inside apply() (see LinearOperator). */
     void
     setExecContext(const ExecContext *ctx) override
@@ -115,6 +125,9 @@ class FaultyAccelOperator : public RecoverableOperator
     {
         std::vector<double> yLocal;
         FaultStats stats;
+        /** Batched apply: per-column fault tallies (yLocal then
+         *  holds a block.size x k column-major panel). */
+        std::vector<FaultStats> colStats;
     };
 
     void drawProgrammingFaults(std::size_t block);

@@ -124,6 +124,30 @@ activeBitSlices(const BiasedSet &set)
     return active;
 }
 
+std::size_t
+activeBitSlices(const BiasedSet &set, std::vector<VectorSlice> &buf)
+{
+    std::size_t count = 0;
+    for (unsigned k = set.width(); k-- > 0;) {
+        if (count == buf.size())
+            buf.emplace_back();
+        VectorSlice &vs = buf[count];
+        vs.k = k;
+        vs.bits.resize(set.size());
+        std::uint64_t pc = 0;
+        for (std::size_t j = 0; j < set.size(); ++j) {
+            if (set.stored[j].bit(k)) {
+                vs.bits.set(j);
+                ++pc;
+            }
+        }
+        vs.pc = pc;
+        if (pc != 0)
+            ++count; // keep; a zero slice's entry is reused next k
+    }
+    return count;
+}
+
 void
 biasDecode(const BiasedSet &set, std::size_t i, U128 &mag, bool &neg)
 {

@@ -133,6 +133,15 @@ struct VectorSlice
  */
 std::vector<VectorSlice> activeBitSlices(const BiasedSet &set);
 
+/**
+ * In-place variant for hot paths: fills buf[0, count) MSB first and
+ * returns count. Entries past the count are stale but keep their
+ * heap storage, so repeated calls on a reused buffer stop allocating
+ * once it has grown to the widest operand seen.
+ */
+std::size_t activeBitSlices(const BiasedSet &set,
+                            std::vector<VectorSlice> &buf);
+
 /** Recover the signed value of one biased entry (for testing). */
 void biasDecode(const BiasedSet &set, std::size_t i, U128 &mag,
                 bool &neg);

@@ -43,6 +43,23 @@ class LinearOperator
                        std::span<double> y) = 0;
 
     /**
+     * Batched multi-RHS apply over column-major k-column panels:
+     * Y column c = A (X column c). The default loops apply() in
+     * column order, so every override is behaviorally pinned to
+     * that: implementations may share setup across columns but must
+     * stay bitwise identical to the k sequential applies.
+     */
+    virtual void
+    applyBatch(std::span<const double> X, std::span<double> Y,
+               unsigned k)
+    {
+        const auto nc = static_cast<std::size_t>(cols());
+        const auto nr = static_cast<std::size_t>(rows());
+        for (unsigned c = 0; c < k; ++c)
+            apply(X.subspan(c * nc, nc), Y.subspan(c * nr, nr));
+    }
+
+    /**
      * Adopt an execution context: operators that batch work over
      * blocks (accel/, fault/) poll it per batch so a cancel or
      * deadline lands mid-apply, not only at the next solver

@@ -176,13 +176,13 @@ TEST(CheckHarness, UlpDistanceIsAMetricOnDoubles)
     EXPECT_EQ(check::ulpDistance(-0x1.0p-1074, 0x1.0p-1074), 2u);
 }
 
-TEST(CheckHarness, ListsAllSixLayers)
+TEST(CheckHarness, ListsAllSevenLayers)
 {
     const auto names = check::moduleNames();
-    ASSERT_EQ(names.size(), 6u);
+    ASSERT_EQ(names.size(), 7u);
     const std::set<std::string> set(names.begin(), names.end());
     for (const char *expect : {"wideint", "align", "xbar", "cluster",
-                               "accel", "solver"})
+                               "accel", "spmm", "solver"})
         EXPECT_TRUE(set.count(expect)) << expect;
 }
 
@@ -205,6 +205,7 @@ TEST(CheckModules, AlignGreen) { expectClean("align", 300); }
 TEST(CheckModules, XbarGreen) { expectClean("xbar", 150); }
 TEST(CheckModules, ClusterGreen) { expectClean("cluster", 40); }
 TEST(CheckModules, AccelGreen) { expectClean("accel", 4); }
+TEST(CheckModules, SpmmGreen) { expectClean("spmm", 8); }
 TEST(CheckModules, SolverGreen) { expectClean("solver", 12); }
 
 } // namespace
