@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Closed-loop load study of the solver service (service/service.hh):
+ * a fixed micro workload of same-operator CG requests driven through
+ * the admission scheduler at a fixed concurrency, once with the
+ * batching window disabled (window = 1, sequential dispatch) and
+ * once with window = 8 (same-key requests coalesce into one lockstep
+ * panel per dispatch). The panel amortizes the cluster operator's
+ * per-iteration slice walk across columns, so the window-8 phase
+ * must deliver a wall-clock throughput multiple on identical bits --
+ * the coalescing contract pins bitwise equality, this bench pins
+ * that the lever is actually worth pulling.
+ *
+ * Request latency (submit -> terminal, microseconds) comes from the
+ * service's own service.latency_us histogram; the cache-warm p50/p99
+ * land in the --json metrics block as service.p50_latency_us /
+ * service.p99_latency_us so the perf-smoke gate tracks them.
+ *
+ * Usage: bench_service [--smoke] [--json out.json]
+ *                      [--requests N] [--outstanding N]
+ *                      [--tenants N] [--window W]
+ *   --smoke       shrink the workload for CI and exit non-zero when
+ *                 the coalescing speedup falls under 2x or any
+ *                 request fails
+ *   --json        write the bench_micro-compatible baseline document
+ *                 (tools/perfdiff diffs it against bench/baselines/)
+ *   --requests    total requests per phase (default 64, smoke 16)
+ *   --outstanding closed-loop concurrency = queue capacity
+ *                 (default 8)
+ *   --tenants     spread requests round-robin over N tenants
+ *                 (default 1); each tenant gets a full ticket
+ *                 budget, so this varies accounting, not admission
+ *   --window      run ONE phase at this batching window and print
+ *                 its row (for sweep scripts) instead of the
+ *                 default window-1-vs-8 comparison
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/exec_context.hh"
+#include "service/service.hh"
+#include "sparse/gen.hh"
+#include "util/random.hh"
+#include "util/telemetry.hh"
+#include "util/threadpool.hh"
+
+namespace {
+
+using namespace msc;
+
+Csr
+spdMatrix(std::int32_t n, std::uint64_t seed)
+{
+    TiledParams p;
+    p.rows = n;
+    p.tile = 32;
+    p.tileDensity = 0.3;
+    p.spd = true;
+    p.symmetricPattern = true;
+    p.diagDominance = 0.05;
+    p.seed = seed;
+    return genTiled(p);
+}
+
+std::vector<double>
+seededRhs(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> b(n);
+    for (double &v : b)
+        v = 2.0 * rng.uniform() - 1.0;
+    return b;
+}
+
+struct PhaseResult
+{
+    double seconds = 0.0;
+    double requestsPerSec = 0.0;
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    unsigned solved = 0;
+    unsigned failed = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t coalescedBatches = 0;
+};
+
+/**
+ * Closed loop at a fixed concurrency: submit @p outstanding
+ * same-operator requests, pump the service dry, repeat until
+ * @p total requests completed. The prepare cache is warmed before
+ * the clock starts, so the phase measures steady-state dispatch +
+ * solve, not the one-time placement build.
+ */
+PhaseResult
+runPhase(const Csr &m, unsigned window, unsigned total,
+         unsigned outstanding, unsigned tenants = 1)
+{
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    OperatorConfig opCfg;
+    opCfg.backend = ServiceBackend::ClusterBitExact;
+
+    ServiceConfig cfg;
+    cfg.workers = 0; // deterministic: the bench thread pumps
+    cfg.scheduler.batchWindow = window;
+    cfg.scheduler.queueCapacity = outstanding;
+    cfg.scheduler.defaultTickets =
+        static_cast<int>(outstanding);
+    SolverService svc(cfg);
+
+    // Cache warmup (also primes the telemetry cells).
+    {
+        SolveRequest req;
+        req.tenant = "bench";
+        req.matrix = &m;
+        req.op = opCfg;
+        req.b = seededRhs(n, 4000);
+        req.tolerance = 1e-6;
+        RequestHandle h = svc.submit(req);
+        svc.runUntilIdle();
+        if (h.wait().status != SolveStatus::Converged)
+            return {};
+    }
+    telemetry::reset(); // warmup out of the latency histogram
+
+    PhaseResult out;
+    std::vector<RequestHandle> handles;
+    handles.reserve(total);
+    const auto t0 = std::chrono::steady_clock::now();
+    unsigned submitted = 0;
+    while (submitted < total) {
+        const unsigned burst =
+            std::min(outstanding, total - submitted);
+        for (unsigned i = 0; i < burst; ++i) {
+            SolveRequest req;
+            req.tenant = tenants > 1
+                ? "bench" + std::to_string((submitted + i) % tenants)
+                : "bench";
+            req.matrix = &m;
+            req.op = opCfg;
+            req.b = seededRhs(n, 4100 + submitted + i);
+            req.tolerance = 1e-6;
+            handles.push_back(svc.submit(req));
+        }
+        submitted += burst;
+        svc.runUntilIdle();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    for (auto &h : handles) {
+        const RequestResult &r = h.wait();
+        if (r.status == SolveStatus::Converged)
+            ++out.solved;
+        else
+            ++out.failed;
+    }
+    out.seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    out.requestsPerSec =
+        out.seconds > 0.0 ? out.solved / out.seconds : 0.0;
+    for (const auto &h : telemetry::snapshotHistograms()) {
+        if (h.name == "service.latency_us") {
+            out.p50Us = telemetry::histogramQuantile(h, 0.5);
+            out.p99Us = telemetry::histogramQuantile(h, 0.99);
+        }
+    }
+    const ServiceStats st = svc.stats();
+    out.batches = st.batches;
+    out.coalescedBatches = st.coalescedBatches;
+    return out;
+}
+
+bool
+writeJson(const std::string &path, const PhaseResult &w1,
+          const PhaseResult &w8, unsigned total)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_service: cannot open %s\n",
+                     path.c_str());
+        return false;
+    }
+    const double speedup = w1.requestsPerSec > 0.0
+        ? w8.requestsPerSec / w1.requestsPerSec
+        : 0.0;
+    // Same document shape as bench_micro --json, so tools/perfdiff
+    // can gate on the shared baseline file.
+    std::fprintf(f, "{\n  \"threads\": %u,\n  \"benchmarks\": [\n",
+                 globalThreads());
+    const auto entry = [&](const char *name, const PhaseResult &r,
+                           const char *sep) {
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"matrix\": \"\", "
+            "\"real_time\": %.6f, \"time_unit\": \"us\", "
+            "\"iterations\": %u, \"items_per_second\": %.3f}%s\n",
+            name,
+            r.solved > 0 ? r.seconds * 1e6 / r.solved : 0.0,
+            r.solved, r.requestsPerSec, sep);
+    };
+    entry("svcClosedLoopWindow1", w1, ",");
+    entry("svcClosedLoopWindow8", w8, "");
+    std::fprintf(f,
+                 "  ],\n  \"metrics\": {\n"
+                 "    \"service.requests\": %u,\n"
+                 "    \"service.p50_latency_us\": %.3f,\n"
+                 "    \"service.p99_latency_us\": %.3f,\n"
+                 "    \"service.throughput_w1_rps\": %.3f,\n"
+                 "    \"service.throughput_w8_rps\": %.3f,\n"
+                 "    \"service.coalesce_speedup\": %.3f\n"
+                 "  }\n}\n",
+                 total, w8.p50Us, w8.p99Us, w1.requestsPerSec,
+                 w8.requestsPerSec, speedup);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string jsonPath;
+    unsigned requests = 0;   // 0 = pick from smoke
+    unsigned outstanding = 8;
+    unsigned tenants = 1;
+    unsigned oneWindow = 0;  // 0 = the window-1-vs-8 comparison
+    const auto uintFlag = [&](int &i, const char *name,
+                              unsigned &out) {
+        const std::size_t len = std::strlen(name);
+        if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+            out = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+            return true;
+        }
+        if (std::strncmp(argv[i], name, len) == 0 &&
+            argv[i][len] == '=') {
+            out = static_cast<unsigned>(
+                std::strtoul(argv[i] + len + 1, nullptr, 10));
+            return true;
+        }
+        return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            jsonPath = argv[i] + 7;
+        } else if (uintFlag(i, "--requests", requests) ||
+                   uintFlag(i, "--outstanding", outstanding) ||
+                   uintFlag(i, "--tenants", tenants) ||
+                   uintFlag(i, "--window", oneWindow)) {
+            // parsed in the condition
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_service [--smoke] "
+                         "[--json out.json] [--requests N] "
+                         "[--outstanding N] [--tenants N] "
+                         "[--window W]\n");
+            return 2;
+        }
+    }
+    if (outstanding == 0 || tenants == 0) {
+        std::fprintf(stderr, "bench_service: --outstanding and "
+                             "--tenants must be >= 1\n");
+        return 2;
+    }
+
+    telemetry::Config tcfg;
+    tcfg.enabled = true;
+    tcfg.spans = false;
+    telemetry::configure(tcfg);
+
+    const unsigned total =
+        requests > 0 ? requests : (smoke ? 16u : 64u);
+    const Csr m = spdMatrix(64, 41);
+
+    std::printf("Solver service closed-loop load study "
+                "(%u requests, %u outstanding, %u tenant%s, "
+                "cluster bit-exact backend)\n\n",
+                total, outstanding, tenants,
+                tenants == 1 ? "" : "s");
+    std::printf("%8s %10s %10s %12s %12s %9s\n", "window",
+                "wall s", "req/s", "p50 us", "p99 us", "batches");
+    const auto printRow = [](unsigned window,
+                             const PhaseResult &r) {
+        std::printf("%8u %10.3f %10.2f %12.0f %12.0f %9llu\n",
+                    window, r.seconds, r.requestsPerSec, r.p50Us,
+                    r.p99Us,
+                    static_cast<unsigned long long>(r.batches));
+    };
+
+    if (oneWindow > 0) {
+        // Sweep mode: one phase at the requested window; shell
+        // loops over --window/--outstanding/--tenants build the
+        // load-sweep tables in EXPERIMENTS.md.
+        const PhaseResult r =
+            runPhase(m, oneWindow, total, outstanding, tenants);
+        printRow(oneWindow, r);
+        return r.failed > 0 ? 1 : 0;
+    }
+
+    const PhaseResult w1 =
+        runPhase(m, 1, total, outstanding, tenants);
+    printRow(1, w1);
+    const PhaseResult w8 =
+        runPhase(m, 8, total, outstanding, tenants);
+    printRow(8, w8);
+
+    const double speedup = w1.requestsPerSec > 0.0
+        ? w8.requestsPerSec / w1.requestsPerSec
+        : 0.0;
+    std::printf("\ncoalescing speedup (window 8 vs 1): %.2fx\n",
+                speedup);
+
+    if (!jsonPath.empty() && !writeJson(jsonPath, w1, w8, total))
+        return 2;
+
+    if (smoke) {
+        if (w1.failed + w8.failed > 0) {
+            std::fprintf(stderr,
+                         "bench_service: %u requests failed\n",
+                         w1.failed + w8.failed);
+            return 1;
+        }
+        if (w8.coalescedBatches == 0) {
+            std::fprintf(stderr, "bench_service: window 8 never "
+                                 "coalesced\n");
+            return 1;
+        }
+        // The panel amortization claim the ISSUE gates on: k = 8
+        // coalescing must at least double closed-loop throughput.
+        if (speedup < 2.0) {
+            std::fprintf(stderr,
+                         "bench_service: coalescing speedup %.2fx "
+                         "under the 2x floor\n",
+                         speedup);
+            return 1;
+        }
+    }
+    return 0;
+}

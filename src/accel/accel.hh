@@ -119,6 +119,10 @@ class Accelerator
     bool prepared() const { return isPrepared; }
     const PrepareResult &info() const { return prep; }
 
+    /** Dimensions of the prepared matrix (0 before prepare()). */
+    std::int32_t rows() const { return matRows; }
+    std::int32_t cols() const { return matCols; }
+
     /** Functional y = A x (all placed blocks + CSR leftovers). */
     void spmv(std::span<const double> x, std::span<double> y) const;
 
@@ -215,6 +219,46 @@ class Accelerator
     /** Set while an spmv()/spmm() fan-out is in flight. */
     mutable std::atomic<bool> opGuard{false};
     const ExecContext *exec = nullptr; //!< optional, not owned
+};
+
+/**
+ * LinearOperator adapter over a prepared Accelerator, so the Krylov
+ * solvers (and the service runtime's prepare cache) can drive the
+ * functional accelerator directly: apply() -> spmv(), applyBatch()
+ * -> spmm() (bitwise identical to the k sequential applies), and
+ * setExecContext() forwards to the accelerator's per-block-batch
+ * polls. Does not own the accelerator; one logical operation at a
+ * time (the accelerator's opGuard enforces it).
+ */
+class AcceleratorOperator : public LinearOperator
+{
+  public:
+    explicit AcceleratorOperator(Accelerator &a) : acc(&a) {}
+
+    std::int32_t rows() const override { return acc->rows(); }
+    std::int32_t cols() const override { return acc->cols(); }
+
+    void
+    apply(std::span<const double> x, std::span<double> y) override
+    {
+        acc->spmv(x, y);
+    }
+
+    void
+    applyBatch(std::span<const double> X, std::span<double> Y,
+               unsigned k) override
+    {
+        acc->spmm(X, Y, k);
+    }
+
+    void
+    setExecContext(const ExecContext *ctx) override
+    {
+        acc->setExecContext(ctx);
+    }
+
+  private:
+    Accelerator *acc;
 };
 
 } // namespace msc

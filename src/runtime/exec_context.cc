@@ -20,6 +20,10 @@ toString(SolveStatus status)
         return "deadline_exceeded";
       case SolveStatus::Degraded:
         return "degraded";
+      case SolveStatus::Overloaded:
+        return "overloaded";
+      case SolveStatus::Failed:
+        return "failed";
     }
     return "unknown";
 }

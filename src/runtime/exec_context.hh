@@ -63,6 +63,12 @@ enum class SolveStatus
     Degraded,         //!< retry budget exhausted: the resilient
                       //!< runtime degraded all hardware to the exact
                       //!< path (the solve may still have converged)
+    Overloaded,       //!< service admission rejected the request
+                      //!< (queue full or tenant out of tickets);
+                      //!< the solve never started
+    Failed,           //!< unrecoverable execution failure surfaced
+                      //!< as a structured terminal status (service
+                      //!< runtime; never thrown past the API)
 };
 
 /** Stable lowercase name (logs, JSON reports, tests). */

@@ -1,0 +1,276 @@
+#include "service/prepare_cache.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "accel/cluster_operator.hh"
+#include "core/multi_accel.hh"
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+
+namespace msc {
+
+namespace {
+
+constinit telemetry::Counter ctrHits{"service.cache_hits"};
+constinit telemetry::Counter ctrMisses{"service.cache_misses"};
+constinit telemetry::Counter ctrEvictions{"service.cache_evictions"};
+
+/** Two independent FNV-1a streams -> one 128-bit key. */
+class Fnv128
+{
+  public:
+    void
+    byte(std::uint8_t b)
+    {
+        a = (a ^ b) * 0x100000001b3ULL;
+        c = (c ^ b) * 0x00000100000001b3ULL ^ (c >> 47);
+        c = c * 0x9e3779b97f4a7c15ULL + b;
+    }
+
+    void
+    bytes(const void *p, std::size_t len)
+    {
+        const auto *q = static_cast<const std::uint8_t *>(p);
+        for (std::size_t i = 0; i < len; ++i)
+            byte(q[i]);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        bytes(&v, sizeof v);
+    }
+
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+    CacheKey
+    key() const
+    {
+        return CacheKey{a, c};
+    }
+
+  private:
+    std::uint64_t a = 0xcbf29ce484222325ULL; //!< FNV-1a offset
+    std::uint64_t c = 0x6c62272e07bb0142ULL; //!< independent stream
+};
+
+void
+hashBlocking(Fnv128 &h, const BlockingConfig &b)
+{
+    h.u64(b.sizes.size());
+    for (unsigned s : b.sizes)
+        h.u64(s);
+    h.f64(b.densityFactor);
+    h.u64(static_cast<std::uint64_t>(b.maxExpRange));
+}
+
+void
+hashCluster(Fnv128 &h, const ClusterConfig &c)
+{
+    h.u64(c.size);
+    h.u64(static_cast<std::uint64_t>(c.schedule));
+    h.u64(c.hybridSkew);
+    h.u64(static_cast<std::uint64_t>(c.rounding));
+    h.u64(c.targetMantissaBits);
+    h.u64(c.earlyTermination);
+    h.u64(c.anProtect);
+    h.u64(c.anConstant);
+    h.u64(c.cic);
+    h.u64(c.adcHeadstart);
+}
+
+void
+hashAccel(Fnv128 &h, const AcceleratorConfig &a)
+{
+    h.u64(a.banks);
+    h.u64(a.rowsPerBank);
+    h.u64(a.clustersPerBank.size());
+    for (const auto &[size, count] : a.clustersPerBank) {
+        h.u64(size);
+        h.u64(count);
+    }
+    hashCluster(h, a.cluster);
+    hashBlocking(h, a.blocking);
+    h.f64(a.gpuFallbackThreshold);
+    h.u64(a.estimateSamplesPerSize);
+}
+
+} // namespace
+
+CacheKey
+operatorKey(const Csr &matrix, const OperatorConfig &cfg)
+{
+    Fnv128 h;
+    // Matrix content: dimensions, structure, value bit patterns.
+    h.u64(static_cast<std::uint64_t>(matrix.rows()));
+    h.u64(static_cast<std::uint64_t>(matrix.cols()));
+    h.u64(matrix.nnz());
+    const auto rp = matrix.rowPtr();
+    h.bytes(rp.data(), rp.size_bytes());
+    const auto ci = matrix.colIndex();
+    h.bytes(ci.data(), ci.size_bytes());
+    const auto vals = matrix.values();
+    h.bytes(vals.data(), vals.size_bytes());
+    // Placement/device configuration: every field that changes the
+    // prepared state (blocking decisions, placement, arithmetic).
+    // Pure performance-model knobs (proc/mem timing parameters) are
+    // deliberately excluded: they change cost estimates, not the
+    // prepared operator's answers or placement.
+    h.u64(static_cast<std::uint64_t>(cfg.backend));
+    h.u64(static_cast<std::uint64_t>(cfg.devices));
+    hashAccel(h, cfg.accel);
+    hashBlocking(h, cfg.blocking);
+    hashCluster(h, cfg.cluster);
+    return h.key();
+}
+
+PreparedOperator::PreparedOperator(const Csr &matrix,
+                                   const OperatorConfig &config,
+                                   CacheKey keyIn)
+    : mat(matrix), cfg(config), id(keyIn)
+{
+    // Matrix copy: nnz * (8B value + 4B col) + rowPtr.
+    byteEstimate = mat.nnz() * 12 +
+                   (static_cast<std::size_t>(mat.rows()) + 1) * 4;
+    switch (cfg.backend) {
+      case ServiceBackend::Csr:
+        oper = std::make_unique<CsrOperator>(mat);
+        break;
+      case ServiceBackend::Accel: {
+        accel = std::make_unique<Accelerator>(cfg.accel);
+        accel->prepare(mat);
+        oper = std::make_unique<AcceleratorOperator>(*accel);
+        // Placed blocks resident on crossbars, leftovers in CSR:
+        // call it one more matrix copy plus per-placement scratch.
+        byteEstimate += mat.nnz() * 12;
+        break;
+      }
+      case ServiceBackend::ClusterBitExact:
+        oper = std::make_unique<ClusterArithmeticOperator>(
+            mat, cfg.blocking, cfg.cluster);
+        // Contribution tables dominate: rough per-nnz slice state.
+        byteEstimate += mat.nnz() * 64;
+        break;
+      case ServiceBackend::MultiAccel: {
+        MultiAcceleratorConfig mc;
+        mc.devices = cfg.devices;
+        mc.device = cfg.accel;
+        fleet = std::make_unique<MultiAccelerator>(mc);
+        fleet->prepare(mat);
+        oper = std::make_unique<MultiAcceleratorOperator>(*fleet);
+        byteEstimate += mat.nnz() * 12;
+        break;
+      }
+    }
+    if (!oper)
+        panic("PreparedOperator: unknown backend");
+}
+
+std::shared_ptr<PreparedOperator>
+PrepareCache::acquire(const Csr &matrix, const OperatorConfig &cfg,
+                      bool *hit)
+{
+    const CacheKey key = operatorKey(matrix, cfg);
+    {
+        std::lock_guard lock(mu);
+        auto it = map.find(key);
+        if (it != map.end()) {
+            ++counters.hits;
+            ctrHits.add();
+            lruOrder.splice(lruOrder.begin(), lruOrder,
+                            it->second.lruPos);
+            if (hit)
+                *hit = true;
+            return it->second.op;
+        }
+    }
+    // Miss: build outside the cache lock, under the build lock so
+    // concurrent same-key misses prepare exactly once.
+    std::lock_guard build(buildMu);
+    {
+        std::lock_guard lock(mu);
+        auto it = map.find(key);
+        if (it != map.end()) {
+            // Another thread built it while we waited.
+            ++counters.hits;
+            ctrHits.add();
+            lruOrder.splice(lruOrder.begin(), lruOrder,
+                            it->second.lruPos);
+            if (hit)
+                *hit = true;
+            return it->second.op;
+        }
+    }
+    auto entry = std::make_shared<PreparedOperator>(matrix, cfg, key);
+    {
+        std::lock_guard lock(mu);
+        ++counters.misses;
+        ctrMisses.add();
+        lruOrder.push_front(key);
+        map.emplace(key, Entry{entry, lruOrder.begin()});
+        evictOverCap();
+        if (hit)
+            *hit = false;
+    }
+    return entry;
+}
+
+void
+PrepareCache::evictOverCap()
+{
+    std::size_t resident = 0;
+    for (const auto &[key, e] : map)
+        resident += e.op->bytes();
+    // Least-recently-used first, skipping entries a caller still
+    // holds: a live reference must never be freed underneath its
+    // solve (the ASan-verified satellite invariant).
+    auto it = lruOrder.end();
+    while (resident > capBytes && it != lruOrder.begin()) {
+        --it;
+        auto mapIt = map.find(*it);
+        if (mapIt == map.end())
+            continue;
+        if (mapIt->second.op.use_count() > 1)
+            continue; // live external reference: skip
+        resident -= mapIt->second.op->bytes();
+        map.erase(mapIt);
+        it = lruOrder.erase(it);
+        ++counters.evictions;
+        ctrEvictions.add();
+    }
+}
+
+PrepareCache::Stats
+PrepareCache::stats() const
+{
+    std::lock_guard lock(mu);
+    Stats s = counters;
+    s.entries = map.size();
+    s.bytes = 0;
+    for (const auto &[key, e] : map)
+        s.bytes += e.op->bytes();
+    return s;
+}
+
+void
+PrepareCache::clear()
+{
+    std::lock_guard lock(mu);
+    for (auto it = lruOrder.begin(); it != lruOrder.end();) {
+        auto mapIt = map.find(*it);
+        if (mapIt != map.end() &&
+            mapIt->second.op.use_count() == 1) {
+            map.erase(mapIt);
+            it = lruOrder.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace msc

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Keyed prepare cache: content hash of (matrix, operator config) ->
+ * shared immutable prepared operator, with refcounted LRU eviction.
+ *
+ * Preparation -- blocking, placement, crossbar programming, cost
+ * estimation -- dominates short solves on the accelerator (the
+ * paper models it at four baseline-MVM equivalents per matrix, plus
+ * programming). A service seeing the same system from many tenants
+ * must pay it once: the cache keys each prepared operator by a
+ * 128-bit content hash over the matrix structure AND values AND the
+ * operator configuration, so two tenants submitting bit-identical
+ * systems share one entry, while the same matrix under a different
+ * device config (different blocking sizes, cluster arithmetic,
+ * bank counts) hashes to a distinct entry.
+ *
+ * Keying contract: the key is a pure function of matrix + config
+ * bytes -- never of thread count, addresses, or submission order --
+ * so it is stable across MSC_THREADS settings and across runs.
+ *
+ * Entries are handed out as shared_ptr<PreparedOperator>; eviction
+ * under the memory cap walks the LRU order but never frees an entry
+ * with live external references (use_count > 1), so a solve in
+ * flight can never have its operator deleted underneath it. The
+ * accelerator backends allow one logical operation at a time
+ * (Accelerator::opGuard); concurrent users of one shared entry
+ * serialize on the entry's exec mutex.
+ */
+
+#ifndef MSC_SERVICE_PREPARE_CACHE_HH
+#define MSC_SERVICE_PREPARE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "accel/accel.hh"
+#include "blocking/blocking.hh"
+#include "cluster/cluster.hh"
+#include "solver/solver.hh"
+#include "sparse/csr.hh"
+
+namespace msc {
+
+class MultiAccelerator;
+
+/** Which arithmetic backend a prepared operator runs on. */
+enum class ServiceBackend
+{
+    Csr,             //!< exact CSR reference arithmetic
+    Accel,           //!< functional accelerator (fast model)
+    ClusterBitExact, //!< bit-level cluster arithmetic (slow, exact
+                     //!< hardware behavior; the coalescing win)
+    MultiAccel,      //!< row-slab fleet of accelerators (sharding)
+};
+
+/** Placement/device configuration half of the cache key. */
+struct OperatorConfig
+{
+    ServiceBackend backend = ServiceBackend::Csr;
+    int devices = 2; //!< MultiAccel only: row-slab shard count
+    /** Accel / MultiAccel: full accelerator configuration. */
+    AcceleratorConfig accel;
+    /** ClusterBitExact: blocking + cluster template. */
+    BlockingConfig blocking;
+    ClusterConfig cluster;
+};
+
+/** 128-bit content-hash cache key. */
+struct CacheKey
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool
+    operator==(const CacheKey &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+};
+
+struct CacheKeyHash
+{
+    std::size_t
+    operator()(const CacheKey &k) const
+    {
+        return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+    }
+};
+
+/**
+ * Content hash of (matrix, config): dimensions, row pointers,
+ * column indices, value bit patterns, then every config field that
+ * changes the prepared state. Two independent 64-bit FNV-1a streams
+ * with distinct offset bases form the 128-bit key.
+ */
+CacheKey operatorKey(const Csr &matrix, const OperatorConfig &cfg);
+
+/**
+ * One immutable prepared entry: an owned copy of the matrix, the
+ * backend state (accelerator / fleet / cluster operator), and the
+ * LinearOperator view the solvers run against. Immutable after
+ * construction except for the operator's internal scratch, which is
+ * why opMutex() serializes appliers.
+ */
+class PreparedOperator
+{
+  public:
+    PreparedOperator(const Csr &matrix, const OperatorConfig &config,
+                     CacheKey key);
+
+    const Csr &matrix() const { return mat; }
+    const OperatorConfig &config() const { return cfg; }
+    CacheKey key() const { return id; }
+
+    /** The solver-facing operator (valid for this entry's life). */
+    LinearOperator &op() { return *oper; }
+
+    /** Serializes concurrent solves over this shared entry: the
+     *  accelerator backends support one logical op at a time. */
+    std::mutex &opMutex() { return mu; }
+
+    /** Rough resident-bytes estimate used by the eviction cap. */
+    std::size_t bytes() const { return byteEstimate; }
+
+  private:
+    Csr mat;
+    OperatorConfig cfg;
+    CacheKey id;
+    std::size_t byteEstimate = 0;
+    std::mutex mu;
+    // Backend state; exactly one is populated per backend kind.
+    std::unique_ptr<Accelerator> accel;
+    std::unique_ptr<MultiAccelerator> fleet;
+    std::unique_ptr<LinearOperator> oper;
+};
+
+/**
+ * The keyed cache. acquire() is thread-safe; a miss prepares the
+ * entry while holding a build lock, so concurrent same-key acquires
+ * prepare exactly once (distinct-key builds serialize on the same
+ * lock -- preparation is already a batch-grade operation and the
+ * simplicity buys an obvious no-duplicate-build guarantee).
+ */
+class PrepareCache
+{
+  public:
+    explicit PrepareCache(std::size_t memoryCapBytes = 256ull << 20)
+        : capBytes(memoryCapBytes)
+    {}
+
+    /**
+     * Look up (or build) the entry for (matrix, cfg). @p hit, when
+     * non-null, reports whether the entry existed. The returned
+     * shared_ptr keeps the entry alive regardless of eviction.
+     */
+    std::shared_ptr<PreparedOperator>
+    acquire(const Csr &matrix, const OperatorConfig &cfg,
+            bool *hit = nullptr);
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+        std::size_t bytes = 0; //!< resident estimate, all entries
+    };
+
+    Stats stats() const;
+
+    /** Drop every entry without live external references. */
+    void clear();
+
+  private:
+    void evictOverCap(); //!< callers hold mu
+
+    mutable std::mutex mu;
+    std::mutex buildMu; //!< serializes misses (build once per key)
+    std::size_t capBytes;
+    struct Entry
+    {
+        std::shared_ptr<PreparedOperator> op;
+        /** Position in lruOrder (most recent at front). */
+        std::list<CacheKey>::iterator lruPos;
+    };
+    std::unordered_map<CacheKey, Entry, CacheKeyHash> map;
+    std::list<CacheKey> lruOrder;
+    Stats counters;
+};
+
+} // namespace msc
+
+#endif // MSC_SERVICE_PREPARE_CACHE_HH

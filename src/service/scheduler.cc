@@ -1,0 +1,149 @@
+#include "service/scheduler.hh"
+
+#include <algorithm>
+
+#include "util/telemetry.hh"
+
+namespace msc {
+
+namespace {
+
+constinit telemetry::Counter ctrAdmitted{"service.admitted"};
+constinit telemetry::Counter ctrRejected{"service.rejected"};
+constinit telemetry::Counter ctrDropped{"service.dropped"};
+constinit telemetry::Counter ctrDispatches{"service.dispatches"};
+constinit telemetry::Counter
+    ctrCoalesced{"service.coalesced_requests"};
+constinit telemetry::Gauge gQueueDepth{"service.queue_depth"};
+
+} // namespace
+
+const char *
+toString(DecisionKind kind)
+{
+    switch (kind) {
+      case DecisionKind::Admit:
+        return "admit";
+      case DecisionKind::Reject:
+        return "reject";
+      case DecisionKind::Dispatch:
+        return "dispatch";
+      case DecisionKind::Drop:
+        return "drop";
+    }
+    return "unknown";
+}
+
+int
+AdmissionScheduler::ticketLimit(const std::string &tenant) const
+{
+    auto it = limits.find(tenant);
+    return it == limits.end() ? cfg.defaultTickets : it->second;
+}
+
+bool
+AdmissionScheduler::tryAdmit(const QueueEntry &entry)
+{
+    Decision d;
+    d.seq = nextSeq++;
+    d.requestId = entry.id;
+    d.tenant = entry.tenant;
+    d.priority = entry.priority;
+    const bool queueFull = queue.size() >= cfg.queueCapacity;
+    const bool outOfTickets =
+        tenantLive(entry.tenant) >= ticketLimit(entry.tenant);
+    if (queueFull || outOfTickets) {
+        d.kind = DecisionKind::Reject;
+        d.reason = SolveStatus::Overloaded;
+        log.push_back(std::move(d));
+        ctrRejected.add();
+        return false;
+    }
+    d.kind = DecisionKind::Admit;
+    log.push_back(std::move(d));
+    ++live[entry.tenant];
+    queue.push_back(entry);
+    ctrAdmitted.add();
+    gQueueDepth.set(static_cast<double>(queue.size()));
+    return true;
+}
+
+std::vector<QueueEntry>
+AdmissionScheduler::nextBatch()
+{
+    std::vector<QueueEntry> batch;
+    if (queue.empty())
+        return batch;
+
+    // Head: highest priority, first-come within a priority.
+    std::size_t headIdx = 0;
+    for (std::size_t i = 1; i < queue.size(); ++i)
+        if (queue[i].priority > queue[headIdx].priority)
+            headIdx = i;
+    const QueueEntry head = queue[headIdx];
+    queue.erase(queue.begin() +
+                static_cast<std::ptrdiff_t>(headIdx));
+    batch.push_back(head);
+
+    // Coalesce: same prepare-cache key, CG-kind, already queued --
+    // the window counts requests present NOW and never waits.
+    if (head.coalescable && cfg.batchWindow > 1) {
+        for (auto it = queue.begin();
+             it != queue.end() && batch.size() < cfg.batchWindow;) {
+            if (it->coalescable && it->key == head.key) {
+                batch.push_back(*it);
+                it = queue.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    Decision d;
+    d.kind = DecisionKind::Dispatch;
+    d.seq = nextSeq++;
+    d.requestId = head.id;
+    d.tenant = head.tenant;
+    d.priority = head.priority;
+    for (const QueueEntry &e : batch)
+        d.batch.push_back(e.id);
+    log.push_back(std::move(d));
+    ctrDispatches.add();
+    if (batch.size() > 1)
+        ctrCoalesced.add(batch.size());
+    gQueueDepth.set(static_cast<double>(queue.size()));
+    return batch;
+}
+
+bool
+AdmissionScheduler::drop(std::uint64_t id, SolveStatus reason)
+{
+    auto it =
+        std::find_if(queue.begin(), queue.end(),
+                     [&](const QueueEntry &e) { return e.id == id; });
+    if (it == queue.end())
+        return false;
+    Decision d;
+    d.kind = DecisionKind::Drop;
+    d.seq = nextSeq++;
+    d.requestId = it->id;
+    d.tenant = it->tenant;
+    d.priority = it->priority;
+    d.reason = reason;
+    log.push_back(std::move(d));
+    complete(it->tenant);
+    queue.erase(it);
+    ctrDropped.add();
+    gQueueDepth.set(static_cast<double>(queue.size()));
+    return true;
+}
+
+void
+AdmissionScheduler::complete(const std::string &tenant)
+{
+    auto it = live.find(tenant);
+    if (it != live.end() && it->second > 0)
+        --it->second;
+}
+
+} // namespace msc

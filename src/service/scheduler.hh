@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Admission scheduler: ticket-style per-tenant accounting, a bounded
+ * queue with structured Overloaded rejection, priority + FIFO
+ * dispatch, and same-operator coalescing within a request-count
+ * batching window.
+ *
+ * The scheduler is a pure data structure -- no threads, no clocks.
+ * The service drives it under one lock, and every decision depends
+ * only on the sequence of calls, so a fixed submission order replays
+ * an identical decision log (the replay-determinism contract the
+ * tests pin). That is also why the batching window is counted in
+ * requests present in the queue at dispatch time, never in wall
+ * time: a window of w coalesces min(w, queued same-key requests)
+ * and NEVER waits for more to arrive, so w = 1 degenerates to
+ * sequential dispatch and timing cannot change any decision.
+ *
+ * Ticket accounting (after the accelerator-allocation scheme in
+ * virtual-acc-app): each tenant holds a fixed number of tickets;
+ * one live (queued or running) request consumes one ticket, ticket
+ * exhaustion -- like queue overflow -- rejects at admission with
+ * SolveStatus::Overloaded rather than blocking, so a flooding
+ * tenant saturates its own allowance while others keep being
+ * admitted (the fairness-under-saturation contract).
+ */
+
+#ifndef MSC_SERVICE_SCHEDULER_HH
+#define MSC_SERVICE_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/exec_context.hh"
+#include "service/prepare_cache.hh"
+
+namespace msc {
+
+/** One queued unit of work, as the scheduler sees it. */
+struct QueueEntry
+{
+    std::uint64_t id = 0;
+    std::string tenant;
+    int priority = 0;        //!< higher dispatches first
+    bool coalescable = false; //!< CG-kind: may join a lockstep panel
+    CacheKey key;            //!< prepare-cache key (coalesce match)
+};
+
+enum class DecisionKind
+{
+    Admit,    //!< ticket + queue slot granted
+    Reject,   //!< Overloaded: queue full or tenant out of tickets
+    Dispatch, //!< entry (or coalesced batch) handed to a shard
+    Drop,     //!< reaped from the queue (cancel / deadline)
+};
+
+const char *toString(DecisionKind kind);
+
+/** One replayable scheduler decision. */
+struct Decision
+{
+    DecisionKind kind = DecisionKind::Admit;
+    std::uint64_t seq = 0;       //!< decision sequence number
+    std::uint64_t requestId = 0; //!< head request
+    std::string tenant;
+    int priority = 0;
+    /** Dispatch: every coalesced request id, head first, in queue
+     *  order. Singleton dispatches carry just the head. */
+    std::vector<std::uint64_t> batch;
+    /** Reject: Overloaded. Drop: Cancelled / DeadlineExceeded. */
+    SolveStatus reason = SolveStatus::Converged;
+};
+
+class AdmissionScheduler
+{
+  public:
+    struct Config
+    {
+        std::size_t queueCapacity = 64;
+        int defaultTickets = 4;  //!< per-tenant live-request bound
+        unsigned batchWindow = 1; //!< max requests per coalesced
+                                  //!< dispatch (1 = no coalescing)
+    };
+
+    explicit AdmissionScheduler(const Config &config) : cfg(config)
+    {}
+
+    const Config &config() const { return cfg; }
+
+    /** Override one tenant's ticket allowance (before traffic). */
+    void
+    setTenantTickets(const std::string &tenant, int tickets)
+    {
+        limits[tenant] = tickets;
+    }
+
+    /**
+     * Admission: grants a queue slot + one tenant ticket, or
+     * records a Reject decision and returns false (the caller
+     * completes the request as Overloaded).
+     */
+    bool tryAdmit(const QueueEntry &entry);
+
+    /**
+     * Dispatch: highest priority first, FIFO within a priority.
+     * When the head is coalescable and the window allows, every
+     * same-key coalescable entry already in the queue (any tenant,
+     * any priority -- riding along only ever helps them) joins the
+     * batch, up to batchWindow entries, in queue order. Returns the
+     * batch in dispatch order (empty when the queue is empty).
+     * Tickets stay held until complete().
+     */
+    std::vector<QueueEntry> nextBatch();
+
+    /**
+     * Reap one queued entry (cancelled / expired before dispatch):
+     * removes it, records a Drop decision, and releases its ticket.
+     * Returns false when @p id is not queued.
+     */
+    bool drop(std::uint64_t id, SolveStatus reason);
+
+    /** Release the ticket of a dispatched request that finished. */
+    void complete(const std::string &tenant);
+
+    std::size_t queueDepth() const { return queue.size(); }
+
+    /** Ids of every queued entry, in queue order (reap scans). */
+    std::vector<std::uint64_t>
+    queuedIds() const
+    {
+        std::vector<std::uint64_t> ids;
+        ids.reserve(queue.size());
+        for (const QueueEntry &e : queue)
+            ids.push_back(e.id);
+        return ids;
+    }
+
+    /** Live (queued + running) requests a tenant holds tickets for. */
+    int
+    tenantLive(const std::string &tenant) const
+    {
+        auto it = live.find(tenant);
+        return it == live.end() ? 0 : it->second;
+    }
+
+    const std::vector<Decision> &decisions() const { return log; }
+    void clearDecisions() { log.clear(); }
+
+  private:
+    int ticketLimit(const std::string &tenant) const;
+
+    Config cfg;
+    std::deque<QueueEntry> queue;
+    std::unordered_map<std::string, int> limits;
+    std::unordered_map<std::string, int> live;
+    std::vector<Decision> log;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace msc
+
+#endif // MSC_SERVICE_SCHEDULER_HH

@@ -1,0 +1,508 @@
+#include "service/service.hh"
+
+#include <algorithm>
+#include <new>
+
+#include "solver/block.hh"
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+
+namespace msc {
+
+namespace {
+
+constinit telemetry::Counter ctrSubmitted{"service.submitted"};
+constinit telemetry::Counter ctrCompleted{"service.completed"};
+constinit telemetry::Counter ctrCancelled{"service.cancelled"};
+constinit telemetry::Counter
+    ctrDeadlineExpired{"service.deadline_expired"};
+constinit telemetry::Counter ctrFailed{"service.failed"};
+constinit telemetry::Counter ctrBatches{"service.batches"};
+constinit telemetry::Histogram hLatency{"service.latency_us"};
+constinit telemetry::Histogram hQueueWait{"service.queue_wait_us"};
+constinit telemetry::Histogram hSolve{"service.solve_us"};
+
+} // namespace
+
+namespace servicedetail {
+
+struct PendingRequest
+{
+    std::uint64_t id = 0;
+    SolveRequest req;
+    ExecContext ctx;
+    CacheKey key;
+    std::int64_t submitNs = 0;
+    std::int64_t dispatchNs = 0;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    RequestState state = RequestState::Queued; //!< guarded by mu
+    RequestResult result;                      //!< valid once Done
+};
+
+struct ServiceCore
+{
+    explicit ServiceCore(const ServiceConfig &cfg)
+        : sched(cfg.scheduler), cache(cfg.cacheBytes)
+    {}
+
+    std::mutex mu;
+    std::condition_variable work; //!< workers: queue or stop signal
+    AdmissionScheduler sched;
+    PrepareCache cache;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<PendingRequest>>
+        pendings; //!< queued + running
+    ServiceStats stats;
+    std::uint64_t nextId = 1;
+    bool stopping = false;
+};
+
+namespace {
+
+/** Mark @p p terminal and wake its waiters. Never called twice. */
+void
+finalize(PendingRequest &p, RequestResult result)
+{
+    {
+        std::lock_guard lock(p.mu);
+        p.result = std::move(result);
+        p.state = RequestState::Done;
+    }
+    p.cv.notify_all();
+    const double latencyUs =
+        double(telemetry::nowNs() - p.submitNs) / 1000.0;
+    hLatency.observe(latencyUs);
+    telemetry::addCounterNamed(
+        "service.tenant." + p.req.tenant + ".completed");
+}
+
+/** Book a terminal status into the aggregate stats (core.mu held). */
+void
+bookStatus(ServiceStats &stats, SolveStatus status)
+{
+    switch (status) {
+      case SolveStatus::Cancelled:
+        ++stats.cancelled;
+        ctrCancelled.add();
+        break;
+      case SolveStatus::DeadlineExceeded:
+        ++stats.deadlineExpired;
+        ctrDeadlineExpired.add();
+        break;
+      case SolveStatus::Failed:
+        ++stats.failed;
+        ctrFailed.add();
+        break;
+      case SolveStatus::Overloaded:
+        ++stats.rejected;
+        break;
+      default:
+        ++stats.completed;
+        ctrCompleted.add();
+        break;
+    }
+}
+
+/** Reap queued requests whose cancel/deadline fired before
+ *  dispatch (core.mu held). Returns the reaped requests with their
+ *  terminal status already decided. */
+std::vector<std::pair<std::shared_ptr<PendingRequest>, SolveStatus>>
+reapQueued(ServiceCore &core)
+{
+    std::vector<std::pair<std::shared_ptr<PendingRequest>,
+                          SolveStatus>>
+        reaped;
+    for (std::uint64_t id : core.sched.queuedIds()) {
+        auto it = core.pendings.find(id);
+        if (it == core.pendings.end())
+            continue;
+        PendingRequest &p = *it->second;
+        const bool cancelled = p.ctx.cancelled();
+        if (!cancelled && !p.ctx.expired())
+            continue;
+        const SolveStatus status = cancelled
+                                       ? SolveStatus::Cancelled
+                                       : SolveStatus::DeadlineExceeded;
+        core.sched.drop(id, status);
+        bookStatus(core.stats, status);
+        reaped.emplace_back(it->second, status);
+        core.pendings.erase(it);
+    }
+    return reaped;
+}
+
+RequestResult
+stoppedResult(SolveStatus status, std::size_t n)
+{
+    RequestResult r;
+    r.status = status;
+    r.solve.status = status;
+    r.solve.vectorLength = n;
+    r.x.assign(n, 0.0);
+    return r;
+}
+
+/** Run one dispatched batch to completion (no core lock held). */
+void
+executeBatch(
+    ServiceCore &core,
+    const std::vector<std::shared_ptr<PendingRequest>> &batch)
+{
+    PendingRequest &head = *batch.front();
+    const auto k = static_cast<unsigned>(batch.size());
+
+    bool cacheHit = false;
+    std::shared_ptr<PreparedOperator> entry;
+    std::vector<RequestResult> results(k);
+    bool failed = false;
+    std::string error;
+    try {
+        entry = core.cache.acquire(*head.req.matrix, head.req.op,
+                                   &cacheHit);
+        const auto n =
+            static_cast<std::size_t>(entry->matrix().rows());
+        // One logical operation at a time per shared entry: the
+        // accelerator backends' scratch is per-instance.
+        std::lock_guard opLock(entry->opMutex());
+        telemetry::Timer solveTimer(hSolve);
+        if (k == 1) {
+            RequestResult &res = results[0];
+            res.x.assign(n, 0.0);
+            SolverConfig scfg;
+            scfg.tolerance = head.req.tolerance;
+            scfg.maxIterations = head.req.maxIterations;
+            scfg.exec = &head.ctx;
+            switch (head.req.kind) {
+              case SolverKind::Cg:
+                res.solve = conjugateGradient(entry->op(),
+                                              head.req.b, res.x,
+                                              scfg);
+                break;
+              case SolverKind::Gmres:
+                res.solve = gmres(entry->op(), head.req.b, res.x,
+                                  scfg);
+                break;
+              case SolverKind::BiCgStab:
+              case SolverKind::Auto:
+              default:
+                res.solve = biCgStab(entry->op(), head.req.b,
+                                     res.x, scfg);
+                break;
+            }
+            res.status = res.solve.status;
+        } else {
+            // Coalesced CG panel: pack the columns, advance every
+            // request's independent recurrence in lockstep. Bitwise
+            // identical per column to a solo solve.
+            std::vector<double> B(n * k), X(n * k, 0.0);
+            std::vector<LockstepColumnControl> ctl(k);
+            for (unsigned c = 0; c < k; ++c) {
+                const PendingRequest &p = *batch[c];
+                std::copy_n(p.req.b.data(), n, B.data() + c * n);
+                ctl[c].tolerance = p.req.tolerance;
+                ctl[c].maxIterations = p.req.maxIterations;
+                ctl[c].exec = &batch[c]->ctx;
+            }
+            const std::vector<SolverResult> colRes =
+                lockstepConjugateGradient(entry->op(), B, X, k,
+                                          ctl);
+            for (unsigned c = 0; c < k; ++c) {
+                RequestResult &res = results[c];
+                res.solve = colRes[c];
+                res.status = colRes[c].status;
+                res.coalesced = true;
+                res.x.assign(X.data() + c * n,
+                             X.data() + (c + 1) * n);
+            }
+        }
+    } catch (const PanicError &) {
+        throw; // programming error: never absorb
+    } catch (const FatalError &) {
+        throw; // config/usage error: never absorb
+    } catch (const CancelledError &e) {
+        // A stop that fired inside prepare() (cache build) rather
+        // than inside a solve: the solvers translate their own.
+        failed = true;
+        for (auto &res : results) {
+            res.status = e.status();
+            res.solve.status = e.status();
+        }
+    } catch (const std::bad_alloc &) {
+        failed = true;
+        error = "allocation failure";
+    } catch (const std::exception &e) {
+        failed = true;
+        error = e.what();
+    }
+    if (failed && !error.empty()) {
+        for (auto &res : results) {
+            res.status = SolveStatus::Failed;
+            res.solve.status = SolveStatus::Failed;
+            res.error = error;
+        }
+    }
+
+    for (unsigned c = 0; c < k; ++c) {
+        results[c].cacheHit = cacheHit;
+        results[c].batchWidth = k;
+        hQueueWait.observe(
+            double(batch[c]->dispatchNs - batch[c]->submitNs) /
+            1000.0);
+    }
+
+    {
+        std::lock_guard lock(core.mu);
+        for (unsigned c = 0; c < k; ++c) {
+            core.sched.complete(batch[c]->req.tenant);
+            bookStatus(core.stats, results[c].status);
+            core.pendings.erase(batch[c]->id);
+        }
+        ++core.stats.batches;
+        ctrBatches.add();
+        if (k > 1)
+            ++core.stats.coalescedBatches;
+    }
+    for (unsigned c = 0; c < k; ++c)
+        finalize(*batch[c], std::move(results[c]));
+}
+
+/** One dispatch cycle. Returns false when nothing was dispatched. */
+bool
+pumpOne(ServiceCore &core)
+{
+    std::vector<std::shared_ptr<PendingRequest>> batch;
+    std::vector<std::pair<std::shared_ptr<PendingRequest>,
+                          SolveStatus>>
+        reaped;
+    {
+        std::lock_guard lock(core.mu);
+        reaped = reapQueued(core);
+        for (const QueueEntry &e : core.sched.nextBatch()) {
+            auto it = core.pendings.find(e.id);
+            if (it != core.pendings.end())
+                batch.push_back(it->second);
+        }
+    }
+    for (auto &[p, status] : reaped)
+        finalize(*p, stoppedResult(status, p->req.b.size()));
+    if (batch.empty())
+        return !reaped.empty();
+
+    const std::int64_t now = telemetry::nowNs();
+    for (auto &p : batch) {
+        std::lock_guard lock(p->mu);
+        p->state = RequestState::Running;
+        p->dispatchNs = now;
+    }
+    executeBatch(core, batch);
+    return true;
+}
+
+} // namespace
+
+} // namespace servicedetail
+
+using servicedetail::PendingRequest;
+using servicedetail::ServiceCore;
+
+std::uint64_t
+RequestHandle::id() const
+{
+    return p ? p->id : 0;
+}
+
+RequestState
+RequestHandle::state() const
+{
+    if (!p)
+        return RequestState::Done;
+    std::lock_guard lock(p->mu);
+    return p->state;
+}
+
+const RequestResult &
+RequestHandle::wait() const
+{
+    if (!p)
+        panic("RequestHandle::wait: invalid handle");
+    std::unique_lock lock(p->mu);
+    p->cv.wait(lock,
+               [&] { return p->state == RequestState::Done; });
+    return p->result;
+}
+
+void
+RequestHandle::cancel()
+{
+    if (!p)
+        return;
+    p->ctx.token().cancel();
+    if (core)
+        core->work.notify_all();
+}
+
+SolverService::SolverService(const ServiceConfig &config)
+    : cfg(config),
+      core(std::make_shared<ServiceCore>(config))
+{
+    for (int w = 0; w < cfg.workers; ++w) {
+        workers.emplace_back([c = core] {
+            for (;;) {
+                if (servicedetail::pumpOne(*c))
+                    continue;
+                std::unique_lock lock(c->mu);
+                if (c->stopping)
+                    return;
+                c->work.wait(lock, [&] {
+                    return c->stopping ||
+                           c->sched.queueDepth() > 0;
+                });
+                if (c->stopping)
+                    return;
+            }
+        });
+    }
+}
+
+SolverService::~SolverService()
+{
+    stop();
+}
+
+void
+SolverService::setTenantTickets(const std::string &tenant,
+                                int tickets)
+{
+    std::lock_guard lock(core->mu);
+    core->sched.setTenantTickets(tenant, tickets);
+}
+
+RequestHandle
+SolverService::submit(SolveRequest req)
+{
+    auto p = std::make_shared<PendingRequest>();
+    p->req = std::move(req);
+    p->submitNs = telemetry::nowNs();
+
+    RequestHandle handle;
+    handle.p = p;
+    handle.core = core;
+
+    const SolveRequest &r = p->req;
+    if (r.matrix == nullptr || r.matrix->rows() != r.matrix->cols() ||
+        r.b.size() != static_cast<std::size_t>(r.matrix->rows())) {
+        RequestResult bad;
+        bad.status = SolveStatus::Failed;
+        bad.error = "malformed request: matrix/RHS mismatch";
+        {
+            std::lock_guard lock(core->mu);
+            ++core->stats.submitted;
+            servicedetail::bookStatus(core->stats, SolveStatus::Failed);
+        }
+        servicedetail::finalize(*p, std::move(bad));
+        return handle;
+    }
+
+    if (r.deadline.count() > 0)
+        p->ctx.setDeadline(ExecContext::Clock::now() + r.deadline);
+    if (r.cancelAfterChecks > 0)
+        p->ctx.cancelAfterChecks(r.cancelAfterChecks);
+    p->key = operatorKey(*r.matrix, r.op);
+
+    QueueEntry entry;
+    entry.tenant = r.tenant;
+    entry.priority = r.priority;
+    entry.coalescable = r.kind == SolverKind::Cg;
+    entry.key = p->key;
+
+    bool admitted = false;
+    {
+        std::lock_guard lock(core->mu);
+        ++core->stats.submitted;
+        ctrSubmitted.add();
+        if (!core->stopping) {
+            p->id = core->nextId++;
+            entry.id = p->id;
+            admitted = core->sched.tryAdmit(entry);
+        }
+        if (admitted) {
+            core->pendings.emplace(p->id, p);
+        } else {
+            servicedetail::bookStatus(core->stats, SolveStatus::Overloaded);
+        }
+    }
+    if (!admitted) {
+        RequestResult rejected;
+        rejected.status = SolveStatus::Overloaded;
+        rejected.solve.status = SolveStatus::Overloaded;
+        servicedetail::finalize(*p, std::move(rejected));
+        return handle;
+    }
+    core->work.notify_one();
+    return handle;
+}
+
+void
+SolverService::runUntilIdle()
+{
+    while (servicedetail::pumpOne(*core)) {
+    }
+}
+
+void
+SolverService::stop()
+{
+    std::vector<std::shared_ptr<PendingRequest>> dropped;
+    {
+        std::lock_guard lock(core->mu);
+        core->stopping = true;
+        for (std::uint64_t id : core->sched.queuedIds()) {
+            auto it = core->pendings.find(id);
+            if (it == core->pendings.end())
+                continue;
+            core->sched.drop(id, SolveStatus::Cancelled);
+            servicedetail::bookStatus(core->stats, SolveStatus::Cancelled);
+            dropped.push_back(it->second);
+            core->pendings.erase(it);
+        }
+    }
+    core->work.notify_all();
+    for (auto &p : dropped)
+        servicedetail::finalize(
+            *p, servicedetail::stoppedResult(SolveStatus::Cancelled,
+                                             p->req.b.size()));
+    for (std::thread &t : workers)
+        t.join();
+    workers.clear();
+}
+
+ServiceStats
+SolverService::stats() const
+{
+    std::lock_guard lock(core->mu);
+    return core->stats;
+}
+
+PrepareCache::Stats
+SolverService::cacheStats() const
+{
+    return core->cache.stats();
+}
+
+std::size_t
+SolverService::queueDepth() const
+{
+    std::lock_guard lock(core->mu);
+    return core->sched.queueDepth();
+}
+
+std::vector<Decision>
+SolverService::decisionLog() const
+{
+    std::lock_guard lock(core->mu);
+    return core->sched.decisions();
+}
+
+} // namespace msc

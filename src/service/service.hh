@@ -1,0 +1,212 @@
+/**
+ * @file
+ * SolverService: the long-running, multi-tenant solver runtime the
+ * ROADMAP's north star calls for, embedded as a library.
+ *
+ * A request names a tenant, a system (matrix + RHS + operator
+ * config), a solver kind, and per-request execution controls
+ * (deadline, priority, cancellation). submit() returns a
+ * RequestHandle immediately: admission either grants a queue slot
+ * and a tenant ticket, or completes the handle right away with
+ * SolveStatus::Overloaded -- the service never blocks a caller on a
+ * full queue. Dispatch pulls the highest-priority queued request,
+ * coalesces same-operator CG requests already in the queue into one
+ * lockstep panel (lockstepConjugateGradient), resolves the prepared
+ * operator through the keyed PrepareCache, and runs the solve with
+ * the request's ExecContext attached, so cancel() and deadlines
+ * land mid-iteration.
+ *
+ * Determinism: with workers = 0 the service runs no threads; the
+ * caller pumps dispatches on its own thread with runUntilIdle(),
+ * and every scheduler decision, cache population, and solve result
+ * is a pure function of the submission sequence -- the replay tests
+ * pin exactly that. With workers >= 1 the same pump runs on
+ * background shard threads; per-request RESULTS stay bit-identical
+ * (the lockstep/batch bitwise contracts), while decision interleaving
+ * follows real scheduling.
+ *
+ * Coalescing changes no answer bit: a lockstep panel advances k
+ * independent CG recurrences through one applyBatch per iteration,
+ * and applyBatch is pinned bitwise to the k sequential applies, so
+ * a coalesced request returns exactly the bits a solo solve
+ * produces -- the batching window is purely a throughput lever.
+ */
+
+#ifndef MSC_SERVICE_SERVICE_HH
+#define MSC_SERVICE_SERVICE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/exec_context.hh"
+#include "service/prepare_cache.hh"
+#include "service/scheduler.hh"
+#include "solver/solver.hh"
+
+namespace msc {
+
+/** One solve, as a tenant submits it. */
+struct SolveRequest
+{
+    std::string tenant = "default";
+    int priority = 0; //!< higher dispatches first
+    /** The system. Not owned; must stay alive until the request is
+     *  terminal (the prepare cache copies it on first sight of the
+     *  content key, but admission hashes it in place). */
+    const Csr *matrix = nullptr;
+    OperatorConfig op; //!< backend + placement/device config
+    std::vector<double> b; //!< right-hand side (owned)
+    SolverKind kind = SolverKind::Cg;
+    double tolerance = 1e-10;
+    int maxIterations = 5000;
+    /** Relative deadline, armed at submission; zero = none. Expires
+     *  queued requests at dispatch and running solves at the next
+     *  iteration poll. */
+    std::chrono::nanoseconds deadline{0};
+    /** Chaos/testing surface: fire the request's cancel token on
+     *  the n-th ExecContext poll (see cancelAfterChecks). */
+    std::uint64_t cancelAfterChecks = 0;
+};
+
+enum class RequestState
+{
+    Queued,
+    Running,
+    Done,
+};
+
+/** Terminal record of one request. */
+struct RequestResult
+{
+    /** Structured outcome. Overloaded = rejected at admission;
+     *  Failed = an execution fault (alloc failure, worker crash)
+     *  surfaced as a status instead of an exception. */
+    SolveStatus status = SolveStatus::Failed;
+    SolverResult solve;    //!< solver record (when a solve ran)
+    std::vector<double> x; //!< solution iterate (empty if rejected)
+    bool coalesced = false; //!< ran inside a lockstep panel
+    unsigned batchWidth = 1; //!< panel width it dispatched in
+    bool cacheHit = false;  //!< prepared operator came from cache
+    std::string error;      //!< Failed: what happened
+};
+
+namespace servicedetail {
+struct PendingRequest;
+struct ServiceCore;
+} // namespace servicedetail
+
+/**
+ * Caller-side view of one submitted request. Copyable; all copies
+ * observe the same request. A default-constructed handle is
+ * invalid.
+ */
+class RequestHandle
+{
+  public:
+    RequestHandle() = default;
+
+    bool valid() const { return static_cast<bool>(p); }
+    std::uint64_t id() const;
+    RequestState state() const;
+    bool done() const { return state() == RequestState::Done; }
+
+    /**
+     * Block until terminal and return the result (valid for the
+     * handle's lifetime). With workers = 0 nothing advances the
+     * queue in the background: pump SolverService::runUntilIdle()
+     * before waiting.
+     */
+    const RequestResult &wait() const;
+
+    /**
+     * Fire the request's cancel token. A queued request is reaped
+     * at the next dispatch; a running one stops at its next
+     * iteration poll with the last completed iterate. Idempotent.
+     */
+    void cancel();
+
+  private:
+    friend class SolverService;
+    std::shared_ptr<servicedetail::PendingRequest> p;
+    std::shared_ptr<servicedetail::ServiceCore> core;
+};
+
+struct ServiceConfig
+{
+    /** Shard worker threads. 0 = deterministic manual mode: the
+     *  caller pumps with runUntilIdle(). */
+    int workers = 0;
+    AdmissionScheduler::Config scheduler;
+    std::size_t cacheBytes = 256ull << 20;
+};
+
+/** Aggregate service counters (monotonic since construction). */
+struct ServiceStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0; //!< Overloaded at admission
+    std::uint64_t completed = 0; //!< solver ran to a terminal state
+    std::uint64_t cancelled = 0;
+    std::uint64_t deadlineExpired = 0;
+    std::uint64_t failed = 0;  //!< execution faults
+    std::uint64_t batches = 0; //!< dispatches (any width)
+    std::uint64_t coalescedBatches = 0; //!< dispatches with k > 1
+};
+
+class SolverService
+{
+  public:
+    explicit SolverService(const ServiceConfig &config = {});
+    ~SolverService();
+
+    SolverService(const SolverService &) = delete;
+    SolverService &operator=(const SolverService &) = delete;
+
+    const ServiceConfig &config() const { return cfg; }
+
+    /** Override one tenant's ticket allowance (set before traffic). */
+    void setTenantTickets(const std::string &tenant, int tickets);
+
+    /**
+     * Admit a request. Never blocks: a full queue or an
+     * out-of-tickets tenant yields an immediately-terminal handle
+     * with SolveStatus::Overloaded.
+     */
+    RequestHandle submit(SolveRequest req);
+
+    /**
+     * Drain the queue on the calling thread: dispatch-and-solve
+     * until no dispatchable work remains. The manual-mode pump;
+     * safe (if pointless) to call while workers run.
+     */
+    void runUntilIdle();
+
+    /**
+     * Stop accepting work, reap every queued request as Cancelled,
+     * finish in-flight solves, and join the workers. Idempotent;
+     * the destructor calls it.
+     */
+    void stop();
+
+    ServiceStats stats() const;
+    PrepareCache::Stats cacheStats() const;
+    std::size_t queueDepth() const;
+    /** Snapshot of the scheduler's replayable decision log. */
+    std::vector<Decision> decisionLog() const;
+
+  private:
+    ServiceConfig cfg;
+    std::shared_ptr<servicedetail::ServiceCore> core;
+    std::vector<std::thread> workers;
+};
+
+} // namespace msc
+
+#endif // MSC_SERVICE_SERVICE_HH

@@ -164,6 +164,16 @@ ResilientSolver::solve(std::span<const double> b, std::span<double> x)
     };
 
     while (itersUsed < cfg.maxIterations) {
+        // Poll before each segment, not only inside it: a segment
+        // that dies before the inner solver's first checkpoint (the
+        // workspace grant can throw under memory pressure) would
+        // otherwise spin the whole escalation ladder with an armed
+        // cancel or expired deadline ignored.
+        if (execShouldStop(cfg.exec)) {
+            stopStatus = cfg.exec->stopStatus();
+            interrupted = true;
+            break;
+        }
         const int segIters = std::min(policy.checkpointInterval,
                                       cfg.maxIterations - itersUsed);
         SolverResult seg;

@@ -11,6 +11,7 @@
 #include <bit>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -274,6 +275,47 @@ Counter::slowAdd(std::uint64_t delta) const
         cell.store(c, std::memory_order_release);
     }
     c->value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void
+addCounterNamed(std::string_view name, std::uint64_t delta)
+{
+    if (!metricsActive())
+        return;
+    Registry &r = registry();
+    CounterCell *c = nullptr;
+    {
+        std::lock_guard lock(r.mu);
+        auto it = r.counterByName.find(name);
+        if (it != r.counterByName.end()) {
+            c = it->second;
+        } else {
+            CounterCell &cell = r.counters.emplace_back();
+            cell.name = std::string(name);
+            r.counterByName.emplace(cell.name, &cell);
+            c = &cell;
+        }
+    }
+    c->value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+double
+histogramQuantile(const HistogramSnapshot &h, double q)
+{
+    if (h.count == 0)
+        return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(h.count)));
+    const std::uint64_t want = target == 0 ? 1 : target;
+    std::uint64_t cum = 0;
+    const std::size_t nBounds = kHistogramBuckets - 1;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+        cum += h.buckets[i];
+        if (cum >= want)
+            return kHistogramBoundsUs[std::min(i, nBounds - 1)];
+    }
+    return kHistogramBoundsUs[nBounds - 1];
 }
 
 void

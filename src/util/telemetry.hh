@@ -96,9 +96,10 @@ std::int64_t nowNs();
 /** Histogram bucket upper bounds in microseconds; one extra
  *  overflow bucket follows the last bound. */
 inline constexpr double kHistogramBoundsUs[] = {
-    1,     2,     5,     10,     20,     50,     100,
-    200,   500,   1000,  2000,   5000,   10000,  20000,
-    50000, 100000, 200000, 500000, 1000000,
+    1,     2,     5,      10,     20,     50,      100,
+    200,   500,   1000,   2000,   5000,   10000,   20000,
+    50000, 100000, 200000, 500000, 1000000, 2000000, 5000000,
+    10000000,
 };
 inline constexpr std::size_t kHistogramBuckets =
     sizeof(kHistogramBoundsUs) / sizeof(double) + 1;
@@ -262,6 +263,25 @@ struct HistogramSnapshot
     double sum = 0.0;
     std::vector<std::uint64_t> buckets; //!< kHistogramBuckets wide
 };
+
+/**
+ * Add to a counter addressed by a runtime-built name (e.g. the
+ * service's per-tenant counters, "service.tenant.<id>.completed").
+ * Interns the name on first use; unlike the constinit Counter
+ * handle there is no cached cell, so every call takes the registry
+ * lock -- use for low-rate events only. No-op (one relaxed load)
+ * while metrics are disabled.
+ */
+void addCounterNamed(std::string_view name, std::uint64_t delta = 1);
+
+/**
+ * Quantile estimate from a histogram snapshot: the upper bound (in
+ * microseconds) of the first bucket at which the cumulative count
+ * reaches ceil(q * count). Values in the overflow bucket report the
+ * last finite bound, so the estimate is a lower bound there.
+ * Returns 0.0 for an empty histogram.
+ */
+double histogramQuantile(const HistogramSnapshot &h, double q);
 
 /** Current value of a counter (0 when never interned). */
 std::uint64_t counterValue(std::string_view name);

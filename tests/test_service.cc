@@ -1,0 +1,1106 @@
+/**
+ * @file
+ * Solver-as-a-service runtime tests (service/service.hh +
+ * service/scheduler.hh + service/prepare_cache.hh), plus the
+ * lockstep multi-RHS CG the coalescer dispatches into
+ * (solver/block.hh).
+ *
+ * The contracts pinned here:
+ *   - a coalesced request returns exactly the bits a solo solve
+ *     produces, at every thread count (the batching window is a
+ *     throughput lever, never a numerics knob);
+ *   - window = 1 degenerates to sequential dispatch bit-identically;
+ *   - requests with different prepare-cache keys never share a
+ *     panel;
+ *   - cancel/deadline land mid-queue (reaped, ticket released) and
+ *     mid-panel (one column stops, siblings bitwise unchanged);
+ *   - admission rejects with a structured Overloaded status -- full
+ *     queue and exhausted tenant tickets alike -- and a flooding
+ *     tenant cannot starve another tenant's admission;
+ *   - the scheduler's decision log replays identically for a fixed
+ *     submission sequence;
+ *   - the prepare cache keys on matrix content + placement config
+ *     (not thread count), builds once, and never evicts an entry a
+ *     solve still holds (the ASan-verified invariant);
+ *   - ChaosService*: the ResilientSolver escalation ladder honors
+ *     stop requests even when every workspace grant fails (the
+ *     regression this PR fixes), and the whole service keeps its
+ *     accounting invariants under a chaos storm with worker threads
+ *     (the TSan soak).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "accel/cluster_operator.hh"
+#include "fault/chaos.hh"
+#include "fault/faulty_operator.hh"
+#include "runtime/exec_context.hh"
+#include "service/prepare_cache.hh"
+#include "service/scheduler.hh"
+#include "service/service.hh"
+#include "solver/block.hh"
+#include "solver/resilient.hh"
+#include "solver/solver.hh"
+#include "sparse/gen.hh"
+#include "util/random.hh"
+#include "util/threadpool.hh"
+
+namespace msc {
+namespace {
+
+Csr
+spdMatrix(std::int32_t n, std::uint64_t seed)
+{
+    TiledParams p;
+    p.rows = n;
+    p.tile = 16;
+    p.tileDensity = 0.3;
+    p.spd = true;
+    p.symmetricPattern = true;
+    p.diagDominance = 0.05;
+    p.seed = seed;
+    return genTiled(p);
+}
+
+std::vector<double>
+seededRhs(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> b(n);
+    for (double &v : b)
+        v = 2.0 * rng.uniform() - 1.0;
+    return b;
+}
+
+OperatorConfig
+clusterBackend()
+{
+    OperatorConfig cfg;
+    cfg.backend = ServiceBackend::ClusterBitExact;
+    return cfg;
+}
+
+/** Solo reference solve through the same operator the service
+ *  builds for @p cfg (fresh operator per call, fresh workspace). */
+SolverResult
+directSolve(const Csr &m, const OperatorConfig &opCfg,
+            std::span<const double> b, std::vector<double> &x,
+            SolverKind kind = SolverKind::Cg,
+            const SolverConfig &scfg = {})
+{
+    x.assign(b.size(), 0.0);
+    if (opCfg.backend == ServiceBackend::ClusterBitExact) {
+        ClusterArithmeticOperator op(m, opCfg.blocking,
+                                     opCfg.cluster);
+        if (kind == SolverKind::Gmres)
+            return gmres(op, b, x, scfg);
+        if (kind == SolverKind::BiCgStab)
+            return biCgStab(op, b, x, scfg);
+        return conjugateGradient(op, b, x, scfg);
+    }
+    CsrOperator op(m);
+    if (kind == SolverKind::Gmres)
+        return gmres(op, b, x, scfg);
+    if (kind == SolverKind::BiCgStab)
+        return biCgStab(op, b, x, scfg);
+    return conjugateGradient(op, b, x, scfg);
+}
+
+void
+expectBitwiseEqual(std::span<const double> a,
+                   std::span<const double> b, const char *what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << what << ": component " << i;
+}
+
+// --- lockstep multi-RHS CG (the coalescer's solve kernel) -----------
+
+TEST(ServiceLockstep, MatchesStandaloneCgBitwise)
+{
+    const Csr m = spdMatrix(96, 101);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    constexpr unsigned k = 5;
+
+    std::vector<double> B(n * k), X(n * k, 0.0);
+    for (unsigned c = 0; c < k; ++c) {
+        const auto b = seededRhs(n, 7000 + c);
+        std::copy(b.begin(), b.end(), B.begin() + c * n);
+    }
+
+    ClusterArithmeticOperator op(m, BlockingConfig{},
+                                 ClusterConfig{});
+    const auto results = lockstepConjugateGradient(op, B, X, k);
+    ASSERT_EQ(results.size(), k);
+
+    for (unsigned c = 0; c < k; ++c) {
+        std::vector<double> xRef(n, 0.0);
+        ClusterArithmeticOperator ref(m, BlockingConfig{},
+                                      ClusterConfig{});
+        const SolverResult solo = conjugateGradient(
+            ref, std::span<const double>(B).subspan(c * n, n),
+            xRef);
+        const SolverResult &got = results[c];
+        EXPECT_EQ(got.status, solo.status) << "column " << c;
+        EXPECT_EQ(got.converged, solo.converged) << "column " << c;
+        EXPECT_EQ(got.iterations, solo.iterations) << "column " << c;
+        EXPECT_EQ(got.relResidual, solo.relResidual)
+            << "column " << c;
+        EXPECT_EQ(got.dotCalls, solo.dotCalls) << "column " << c;
+        EXPECT_EQ(got.axpyCalls, solo.axpyCalls) << "column " << c;
+        expectBitwiseEqual(
+            std::span<const double>(X).subspan(c * n, n), xRef,
+            "lockstep column");
+    }
+}
+
+TEST(ServiceLockstep, PerColumnControlsHonored)
+{
+    const Csr m = spdMatrix(64, 103);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    constexpr unsigned k = 3;
+
+    std::vector<double> B(n * k), X(n * k, 0.0);
+    for (unsigned c = 0; c < k; ++c) {
+        const auto b = seededRhs(n, 7100 + c);
+        std::copy(b.begin(), b.end(), B.begin() + c * n);
+    }
+
+    std::vector<LockstepColumnControl> ctl(k);
+    ctl[0].tolerance = 1e-4; //!< loose: stops early
+    ctl[1].maxIterations = 2;
+    ctl[2].tolerance = 1e-10;
+
+    CsrOperator op(m);
+    const auto results = lockstepConjugateGradient(op, B, X, k, ctl);
+    ASSERT_EQ(results.size(), k);
+
+    EXPECT_EQ(results[0].status, SolveStatus::Converged);
+    EXPECT_EQ(results[1].status, SolveStatus::MaxIterations);
+    EXPECT_EQ(results[1].iterations, 2);
+    EXPECT_EQ(results[2].status, SolveStatus::Converged);
+    EXPECT_LT(results[0].iterations, results[2].iterations);
+
+    // Every column still matches its solo run under the same
+    // control, including the early-terminated ones.
+    for (unsigned c = 0; c < k; ++c) {
+        SolverConfig scfg;
+        scfg.tolerance = ctl[c].tolerance;
+        scfg.maxIterations = ctl[c].maxIterations;
+        std::vector<double> xRef(n, 0.0);
+        CsrOperator ref(m);
+        const SolverResult solo = conjugateGradient(
+            ref, std::span<const double>(B).subspan(c * n, n), xRef,
+            scfg);
+        EXPECT_EQ(results[c].iterations, solo.iterations);
+        expectBitwiseEqual(
+            std::span<const double>(X).subspan(c * n, n), xRef,
+            "controlled column");
+    }
+}
+
+TEST(ServiceLockstep, ZeroRhsColumnConvergesImmediately)
+{
+    const Csr m = spdMatrix(64, 107);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    constexpr unsigned k = 2;
+
+    std::vector<double> B(n * k, 0.0), X(n * k, 1.0);
+    const auto b1 = seededRhs(n, 7200);
+    std::copy(b1.begin(), b1.end(), B.begin() + n);
+
+    CsrOperator op(m);
+    const auto results = lockstepConjugateGradient(op, B, X, k);
+    EXPECT_EQ(results[0].status, SolveStatus::Converged);
+    EXPECT_EQ(results[0].iterations, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(X[i], 0.0);
+
+    // Same warm start (x0 = 1) as the panel's sibling column.
+    std::vector<double> xRef(n, 1.0);
+    CsrOperator ref(m);
+    conjugateGradient(ref, b1, xRef);
+    expectBitwiseEqual(std::span<const double>(X).subspan(n, n),
+                       xRef, "sibling of zero column");
+}
+
+TEST(ServiceLockstep, CancelledColumnLeavesSiblingsBitwise)
+{
+    const Csr m = spdMatrix(96, 109);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    constexpr unsigned k = 4;
+
+    std::vector<double> B(n * k), X(n * k, 0.0);
+    for (unsigned c = 0; c < k; ++c) {
+        const auto b = seededRhs(n, 7300 + c);
+        std::copy(b.begin(), b.end(), B.begin() + c * n);
+    }
+
+    ExecContext cancelCtx;
+    cancelCtx.cancelAfterChecks(5);
+    std::vector<LockstepColumnControl> ctl(k);
+    ctl[1].exec = &cancelCtx;
+
+    CsrOperator op(m);
+    const auto results = lockstepConjugateGradient(op, B, X, k, ctl);
+
+    EXPECT_EQ(results[1].status, SolveStatus::Cancelled);
+    EXPECT_FALSE(results[1].converged);
+
+    for (unsigned c = 0; c < k; ++c) {
+        if (c == 1)
+            continue;
+        std::vector<double> xRef(n, 0.0);
+        CsrOperator ref(m);
+        const SolverResult solo = conjugateGradient(
+            ref, std::span<const double>(B).subspan(c * n, n),
+            xRef);
+        EXPECT_EQ(results[c].status, solo.status);
+        EXPECT_EQ(results[c].iterations, solo.iterations);
+        expectBitwiseEqual(
+            std::span<const double>(X).subspan(c * n, n), xRef,
+            "sibling of cancelled column");
+        EXPECT_LT(results[1].iterations, solo.iterations);
+    }
+}
+
+// --- service: single requests and coalesced panels ------------------
+
+TEST(Service, SingleRequestMatchesDirectSolveBitwise)
+{
+    const Csr m = spdMatrix(96, 201);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    const auto b = seededRhs(n, 8000);
+
+    SolverService svc;
+    SolveRequest req;
+    req.matrix = &m;
+    req.b = b;
+    RequestHandle h = svc.submit(req);
+    ASSERT_TRUE(h.valid());
+    EXPECT_EQ(h.state(), RequestState::Queued);
+
+    svc.runUntilIdle();
+    const RequestResult &r = h.wait();
+    EXPECT_EQ(r.status, SolveStatus::Converged);
+    EXPECT_FALSE(r.coalesced);
+    EXPECT_EQ(r.batchWidth, 1u);
+    EXPECT_FALSE(r.cacheHit);
+
+    std::vector<double> xRef;
+    const SolverResult solo = directSolve(m, {}, b, xRef);
+    EXPECT_EQ(r.solve.iterations, solo.iterations);
+    EXPECT_EQ(r.solve.relResidual, solo.relResidual);
+    expectBitwiseEqual(r.x, xRef, "single request");
+
+    // Second request on the same system: prepared operator comes
+    // from the cache, answer stays bitwise identical.
+    RequestHandle h2 = svc.submit(req);
+    svc.runUntilIdle();
+    EXPECT_TRUE(h2.wait().cacheHit);
+    expectBitwiseEqual(h2.wait().x, xRef, "cache-warm repeat");
+
+    const ServiceStats st = svc.stats();
+    EXPECT_EQ(st.submitted, 2u);
+    EXPECT_EQ(st.completed, 2u);
+    EXPECT_EQ(st.rejected, 0u);
+    EXPECT_EQ(svc.cacheStats().misses, 1u);
+    EXPECT_EQ(svc.cacheStats().hits, 1u);
+}
+
+TEST(Service, NonCgKindsMatchDirectSolvers)
+{
+    const Csr m = spdMatrix(64, 203);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    const auto b = seededRhs(n, 8050);
+
+    SolverService svc;
+    for (SolverKind kind :
+         {SolverKind::BiCgStab, SolverKind::Gmres}) {
+        SolveRequest req;
+        req.matrix = &m;
+        req.b = b;
+        req.kind = kind;
+        req.tolerance = 1e-8;
+        RequestHandle h = svc.submit(req);
+        svc.runUntilIdle();
+        const RequestResult &r = h.wait();
+        EXPECT_EQ(r.status, SolveStatus::Converged);
+
+        SolverConfig scfg;
+        scfg.tolerance = 1e-8;
+        std::vector<double> xRef;
+        const SolverResult solo =
+            directSolve(m, {}, b, xRef, kind, scfg);
+        EXPECT_EQ(r.solve.iterations, solo.iterations);
+        expectBitwiseEqual(r.x, xRef, "non-CG kind");
+    }
+}
+
+/**
+ * The headline bitwise contract: k same-operator requests coalesce
+ * into one lockstep panel and every tenant gets exactly the bits a
+ * solo solve would have produced -- at every thread count.
+ */
+TEST(Service, CoalescedPanelMatchesDirectBitwiseAcrossThreads)
+{
+    const Csr m = spdMatrix(64, 205);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    constexpr unsigned k = 6;
+    const OperatorConfig opCfg = clusterBackend();
+
+    // Solo references (thread-count independence of the cluster
+    // operator is pinned elsewhere; compute them once at 8 lanes).
+    setGlobalThreads(8);
+    std::vector<std::vector<double>> refs(k);
+    std::vector<SolverResult> solo(k);
+    for (unsigned c = 0; c < k; ++c)
+        solo[c] =
+            directSolve(m, opCfg, seededRhs(n, 8100 + c), refs[c]);
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        setGlobalThreads(threads);
+        ServiceConfig cfg;
+        cfg.scheduler.batchWindow = 8;
+        cfg.scheduler.defaultTickets = 16;
+        SolverService svc(cfg);
+
+        std::vector<RequestHandle> handles;
+        for (unsigned c = 0; c < k; ++c) {
+            SolveRequest req;
+            req.matrix = &m;
+            req.op = opCfg;
+            req.b = seededRhs(n, 8100 + c);
+            handles.push_back(svc.submit(req));
+        }
+        svc.runUntilIdle();
+
+        for (unsigned c = 0; c < k; ++c) {
+            const RequestResult &r = handles[c].wait();
+            EXPECT_EQ(r.status, SolveStatus::Converged)
+                << "threads " << threads << " column " << c;
+            EXPECT_TRUE(r.coalesced);
+            EXPECT_EQ(r.batchWidth, k);
+            EXPECT_EQ(r.solve.iterations, solo[c].iterations);
+            EXPECT_EQ(r.solve.relResidual, solo[c].relResidual);
+            expectBitwiseEqual(r.x, refs[c], "coalesced column");
+        }
+        const ServiceStats st = svc.stats();
+        EXPECT_EQ(st.batches, 1u);
+        EXPECT_EQ(st.coalescedBatches, 1u);
+    }
+    setGlobalThreads(8);
+}
+
+TEST(Service, WindowOneDegeneratesToSequentialBitwise)
+{
+    const Csr m = spdMatrix(64, 207);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    constexpr unsigned k = 4;
+
+    ServiceConfig cfg;
+    cfg.scheduler.batchWindow = 1;
+    cfg.scheduler.defaultTickets = 16;
+    SolverService svc(cfg);
+
+    std::vector<RequestHandle> handles;
+    for (unsigned c = 0; c < k; ++c) {
+        SolveRequest req;
+        req.matrix = &m;
+        req.b = seededRhs(n, 8200 + c);
+        handles.push_back(svc.submit(req));
+    }
+    svc.runUntilIdle();
+
+    for (unsigned c = 0; c < k; ++c) {
+        const RequestResult &r = handles[c].wait();
+        EXPECT_FALSE(r.coalesced);
+        EXPECT_EQ(r.batchWidth, 1u);
+        std::vector<double> xRef;
+        const SolverResult solo =
+            directSolve(m, {}, seededRhs(n, 8200 + c), xRef);
+        EXPECT_EQ(r.solve.iterations, solo.iterations);
+        expectBitwiseEqual(r.x, xRef, "window-1 request");
+    }
+
+    // Every dispatch decision carries exactly one request.
+    unsigned dispatches = 0;
+    for (const Decision &d : svc.decisionLog())
+        if (d.kind == DecisionKind::Dispatch) {
+            ++dispatches;
+            EXPECT_EQ(d.batch.size(), 1u);
+        }
+    EXPECT_EQ(dispatches, k);
+    EXPECT_EQ(svc.stats().coalescedBatches, 0u);
+}
+
+TEST(Service, MixedOperatorsNeverCoalesce)
+{
+    const Csr ma = spdMatrix(64, 209);
+    const Csr mb = spdMatrix(64, 211);
+    const std::size_t n = static_cast<std::size_t>(ma.rows());
+
+    ServiceConfig cfg;
+    cfg.scheduler.batchWindow = 8;
+    cfg.scheduler.defaultTickets = 16;
+    SolverService svc(cfg);
+
+    // Interleave two distinct prepare-cache keys in the queue.
+    std::vector<RequestHandle> handles;
+    std::vector<std::uint64_t> idsA, idsB;
+    for (unsigned i = 0; i < 3; ++i) {
+        SolveRequest ra;
+        ra.matrix = &ma;
+        ra.b = seededRhs(n, 8300 + i);
+        handles.push_back(svc.submit(ra));
+        idsA.push_back(handles.back().id());
+        SolveRequest rb;
+        rb.matrix = &mb;
+        rb.b = seededRhs(n, 8400 + i);
+        handles.push_back(svc.submit(rb));
+        idsB.push_back(handles.back().id());
+    }
+    svc.runUntilIdle();
+
+    // No dispatch batch mixes ids from the two key groups.
+    const auto isA = [&](std::uint64_t id) {
+        return std::find(idsA.begin(), idsA.end(), id) !=
+               idsA.end();
+    };
+    for (const Decision &d : svc.decisionLog()) {
+        if (d.kind != DecisionKind::Dispatch)
+            continue;
+        ASSERT_FALSE(d.batch.empty());
+        const bool headIsA = isA(d.batch.front());
+        for (std::uint64_t id : d.batch)
+            EXPECT_EQ(isA(id), headIsA)
+                << "batch mixed prepare-cache keys";
+    }
+
+    // Both groups coalesced internally (3 + 3 -> 2 dispatches) and
+    // every answer matches its solo solve.
+    EXPECT_EQ(svc.stats().batches, 2u);
+    for (unsigned i = 0; i < handles.size(); ++i) {
+        const RequestResult &r = handles[i].wait();
+        EXPECT_EQ(r.status, SolveStatus::Converged);
+        EXPECT_EQ(r.batchWidth, 3u);
+        const bool a = i % 2 == 0;
+        std::vector<double> xRef;
+        directSolve(a ? ma : mb, {},
+                    seededRhs(n, (a ? 8300 : 8400) + i / 2), xRef);
+        expectBitwiseEqual(r.x, xRef, "mixed-key request");
+    }
+    EXPECT_EQ(svc.cacheStats().entries, 2u);
+}
+
+TEST(Service, CancelMidPanelLeavesSiblingsBitwise)
+{
+    const Csr m = spdMatrix(96, 213);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    constexpr unsigned k = 4;
+
+    ServiceConfig cfg;
+    cfg.scheduler.batchWindow = 8;
+    cfg.scheduler.defaultTickets = 16;
+    SolverService svc(cfg);
+
+    std::vector<RequestHandle> handles;
+    for (unsigned c = 0; c < k; ++c) {
+        SolveRequest req;
+        req.matrix = &m;
+        req.b = seededRhs(n, 8500 + c);
+        if (c == 2)
+            req.cancelAfterChecks = 5; // fires mid-iteration
+        handles.push_back(svc.submit(req));
+    }
+    svc.runUntilIdle();
+
+    EXPECT_EQ(handles[2].wait().status, SolveStatus::Cancelled);
+    EXPECT_TRUE(handles[2].wait().coalesced);
+    for (unsigned c = 0; c < k; ++c) {
+        if (c == 2)
+            continue;
+        const RequestResult &r = handles[c].wait();
+        EXPECT_EQ(r.status, SolveStatus::Converged);
+        std::vector<double> xRef;
+        const SolverResult solo =
+            directSolve(m, {}, seededRhs(n, 8500 + c), xRef);
+        EXPECT_EQ(r.solve.iterations, solo.iterations);
+        expectBitwiseEqual(r.x, xRef,
+                           "sibling of cancelled request");
+        EXPECT_LT(handles[2].wait().solve.iterations,
+                  solo.iterations);
+    }
+}
+
+// --- service: scheduling, admission, lifecycle ----------------------
+
+TEST(Service, PriorityDispatchesFirst)
+{
+    const Csr ma = spdMatrix(64, 215);
+    const Csr mb = spdMatrix(64, 217);
+    const std::size_t n = static_cast<std::size_t>(ma.rows());
+
+    SolverService svc;
+    SolveRequest low;
+    low.matrix = &ma;
+    low.b = seededRhs(n, 8600);
+    low.priority = 0;
+    SolveRequest high;
+    high.matrix = &mb;
+    high.b = seededRhs(n, 8601);
+    high.priority = 5;
+
+    RequestHandle hLow = svc.submit(low);
+    RequestHandle hHigh = svc.submit(high);
+    svc.runUntilIdle();
+
+    EXPECT_EQ(hLow.wait().status, SolveStatus::Converged);
+    EXPECT_EQ(hHigh.wait().status, SolveStatus::Converged);
+
+    std::vector<std::uint64_t> dispatchOrder;
+    for (const Decision &d : svc.decisionLog())
+        if (d.kind == DecisionKind::Dispatch)
+            dispatchOrder.push_back(d.requestId);
+    ASSERT_EQ(dispatchOrder.size(), 2u);
+    EXPECT_EQ(dispatchOrder[0], hHigh.id());
+    EXPECT_EQ(dispatchOrder[1], hLow.id());
+}
+
+TEST(Service, DeadlineExpiredMidQueueIsReaped)
+{
+    const Csr m = spdMatrix(64, 219);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+
+    SolverService svc;
+    SolveRequest req;
+    req.matrix = &m;
+    req.b = seededRhs(n, 8700);
+    req.deadline = std::chrono::nanoseconds(1);
+    RequestHandle h = svc.submit(req);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    svc.runUntilIdle();
+
+    const RequestResult &r = h.wait();
+    EXPECT_EQ(r.status, SolveStatus::DeadlineExceeded);
+    EXPECT_EQ(r.solve.iterations, 0);
+    EXPECT_EQ(svc.stats().deadlineExpired, 1u);
+
+    bool sawDrop = false;
+    for (const Decision &d : svc.decisionLog())
+        if (d.kind == DecisionKind::Drop && d.requestId == h.id()) {
+            sawDrop = true;
+            EXPECT_EQ(d.reason, SolveStatus::DeadlineExceeded);
+        }
+    EXPECT_TRUE(sawDrop);
+}
+
+TEST(Service, CancelMidQueueReleasesTicket)
+{
+    const Csr m = spdMatrix(64, 221);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+
+    ServiceConfig cfg;
+    cfg.scheduler.batchWindow = 1;
+    SolverService svc(cfg);
+
+    SolveRequest req;
+    req.matrix = &m;
+    req.b = seededRhs(n, 8800);
+    RequestHandle keep = svc.submit(req);
+    req.b = seededRhs(n, 8801);
+    RequestHandle victim = svc.submit(req);
+    victim.cancel();
+    svc.runUntilIdle();
+
+    EXPECT_EQ(keep.wait().status, SolveStatus::Converged);
+    EXPECT_EQ(victim.wait().status, SolveStatus::Cancelled);
+    EXPECT_EQ(victim.wait().solve.iterations, 0);
+    EXPECT_EQ(svc.stats().cancelled, 1u);
+    EXPECT_EQ(svc.stats().completed, 1u);
+    EXPECT_EQ(svc.queueDepth(), 0u);
+}
+
+TEST(Service, OverloadRejectsWithStructuredStatus)
+{
+    const Csr m = spdMatrix(64, 223);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+
+    ServiceConfig cfg;
+    cfg.scheduler.queueCapacity = 2;
+    cfg.scheduler.defaultTickets = 16;
+    SolverService svc(cfg);
+
+    SolveRequest req;
+    req.matrix = &m;
+    std::vector<RequestHandle> handles;
+    for (unsigned i = 0; i < 3; ++i) {
+        req.b = seededRhs(n, 8900 + i);
+        handles.push_back(svc.submit(req));
+    }
+
+    // Third submission bounced immediately: terminal before any
+    // pump, empty iterate, structured status.
+    EXPECT_EQ(handles[2].state(), RequestState::Done);
+    EXPECT_EQ(handles[2].wait().status, SolveStatus::Overloaded);
+    EXPECT_TRUE(handles[2].wait().x.empty());
+
+    svc.runUntilIdle();
+    EXPECT_EQ(handles[0].wait().status, SolveStatus::Converged);
+    EXPECT_EQ(handles[1].wait().status, SolveStatus::Converged);
+    EXPECT_EQ(svc.stats().rejected, 1u);
+}
+
+TEST(Service, TicketExhaustionCannotStarveOtherTenants)
+{
+    const Csr m = spdMatrix(64, 225);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+
+    ServiceConfig cfg;
+    cfg.scheduler.queueCapacity = 64;
+    cfg.scheduler.defaultTickets = 2;
+    SolverService svc(cfg);
+
+    // A flooding tenant burns its two tickets; the rest bounce.
+    std::vector<RequestHandle> flood;
+    for (unsigned i = 0; i < 6; ++i) {
+        SolveRequest req;
+        req.tenant = "flood";
+        req.matrix = &m;
+        req.b = seededRhs(n, 9000 + i);
+        flood.push_back(svc.submit(req));
+    }
+    // The queue has plenty of room: a different tenant still gets
+    // admitted and served.
+    SolveRequest quiet;
+    quiet.tenant = "victim";
+    quiet.matrix = &m;
+    quiet.b = seededRhs(n, 9100);
+    RequestHandle victim = svc.submit(quiet);
+    EXPECT_EQ(victim.state(), RequestState::Queued);
+
+    unsigned rejected = 0;
+    for (auto &h : flood)
+        if (h.done() &&
+            h.wait().status == SolveStatus::Overloaded)
+            ++rejected;
+    EXPECT_EQ(rejected, 4u);
+
+    svc.runUntilIdle();
+    EXPECT_EQ(victim.wait().status, SolveStatus::Converged);
+    EXPECT_EQ(svc.stats().rejected, 4u);
+    EXPECT_EQ(svc.stats().completed, 3u); // 2 flood + 1 victim
+
+    // Tickets released after completion: the tenant can submit
+    // again.
+    SolveRequest again;
+    again.tenant = "flood";
+    again.matrix = &m;
+    again.b = seededRhs(n, 9200);
+    RequestHandle h = svc.submit(again);
+    EXPECT_EQ(h.state(), RequestState::Queued);
+    svc.runUntilIdle();
+    EXPECT_EQ(h.wait().status, SolveStatus::Converged);
+}
+
+TEST(Service, ReplayIdenticalDecisionLog)
+{
+    const Csr ma = spdMatrix(64, 227);
+    const Csr mb = spdMatrix(64, 229);
+    const std::size_t n = static_cast<std::size_t>(ma.rows());
+
+    const auto drive = [&](SolverService &svc) {
+        for (unsigned i = 0; i < 8; ++i) {
+            SolveRequest req;
+            req.tenant = i % 3 == 0 ? "a" : "b";
+            req.priority = static_cast<int>(i % 2);
+            req.matrix = i % 2 == 0 ? &ma : &mb;
+            req.b = seededRhs(n, 9300 + i);
+            svc.submit(req);
+            if (i == 5)
+                svc.runUntilIdle(); // mid-sequence drain
+        }
+        svc.runUntilIdle();
+    };
+
+    ServiceConfig cfg;
+    cfg.scheduler.batchWindow = 4;
+    cfg.scheduler.defaultTickets = 3;
+    SolverService first(cfg);
+    drive(first);
+    SolverService second(cfg);
+    drive(second);
+
+    const auto logA = first.decisionLog();
+    const auto logB = second.decisionLog();
+    ASSERT_EQ(logA.size(), logB.size());
+    for (std::size_t i = 0; i < logA.size(); ++i) {
+        EXPECT_EQ(logA[i].kind, logB[i].kind) << "decision " << i;
+        EXPECT_EQ(logA[i].seq, logB[i].seq) << "decision " << i;
+        EXPECT_EQ(logA[i].requestId, logB[i].requestId)
+            << "decision " << i;
+        EXPECT_EQ(logA[i].tenant, logB[i].tenant) << "decision " << i;
+        EXPECT_EQ(logA[i].priority, logB[i].priority)
+            << "decision " << i;
+        EXPECT_EQ(logA[i].batch, logB[i].batch) << "decision " << i;
+        EXPECT_EQ(logA[i].reason, logB[i].reason) << "decision " << i;
+    }
+}
+
+TEST(Service, StopReapsQueuedAndRejectsNewWork)
+{
+    const Csr m = spdMatrix(64, 231);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+
+    SolverService svc;
+    SolveRequest req;
+    req.matrix = &m;
+    req.b = seededRhs(n, 9400);
+    RequestHandle h1 = svc.submit(req);
+    req.b = seededRhs(n, 9401);
+    RequestHandle h2 = svc.submit(req);
+
+    svc.stop();
+    EXPECT_EQ(h1.wait().status, SolveStatus::Cancelled);
+    EXPECT_EQ(h2.wait().status, SolveStatus::Cancelled);
+
+    req.b = seededRhs(n, 9402);
+    RequestHandle h3 = svc.submit(req);
+    EXPECT_EQ(h3.wait().status, SolveStatus::Overloaded);
+}
+
+TEST(Service, MalformedRequestFailsStructurally)
+{
+    SolverService svc;
+    SolveRequest req; // no matrix
+    RequestHandle h = svc.submit(req);
+    EXPECT_EQ(h.wait().status, SolveStatus::Failed);
+    EXPECT_FALSE(h.wait().error.empty());
+
+    const Csr m = spdMatrix(64, 233);
+    SolveRequest bad;
+    bad.matrix = &m;
+    bad.b.assign(3, 1.0); // wrong length
+    RequestHandle h2 = svc.submit(bad);
+    EXPECT_EQ(h2.wait().status, SolveStatus::Failed);
+}
+
+TEST(Service, AsyncWorkersDrainAndMatchDirectSolves)
+{
+    const Csr m = spdMatrix(64, 235);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    constexpr unsigned kReqs = 10;
+
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.scheduler.batchWindow = 4;
+    cfg.scheduler.defaultTickets = 16;
+    SolverService svc(cfg);
+
+    std::vector<RequestHandle> handles;
+    for (unsigned i = 0; i < kReqs; ++i) {
+        SolveRequest req;
+        req.tenant = i % 2 == 0 ? "even" : "odd";
+        req.matrix = &m;
+        req.b = seededRhs(n, 9500 + i);
+        handles.push_back(svc.submit(req));
+    }
+
+    for (unsigned i = 0; i < kReqs; ++i) {
+        const RequestResult &r = handles[i].wait();
+        EXPECT_EQ(r.status, SolveStatus::Converged) << "req " << i;
+        std::vector<double> xRef;
+        directSolve(m, {}, seededRhs(n, 9500 + i), xRef);
+        expectBitwiseEqual(r.x, xRef, "async request");
+    }
+    svc.stop();
+    const ServiceStats st = svc.stats();
+    EXPECT_EQ(st.submitted, kReqs);
+    EXPECT_EQ(st.completed, kReqs);
+    EXPECT_EQ(svc.queueDepth(), 0u);
+}
+
+// --- prepare cache --------------------------------------------------
+
+TEST(ServiceCache, SameMatrixTwoConfigsTwoEntries)
+{
+    const Csr m = spdMatrix(64, 301);
+    PrepareCache cache;
+
+    bool hit = true;
+    auto a = cache.acquire(m, {}, &hit);
+    EXPECT_FALSE(hit);
+    auto b = cache.acquire(m, clusterBackend(), &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_FALSE(a->key() == b->key());
+
+    auto a2 = cache.acquire(m, {}, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(a.get(), a2.get());
+    auto b2 = cache.acquire(m, clusterBackend(), &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(b.get(), b2.get());
+
+    const PrepareCache::Stats st = cache.stats();
+    EXPECT_EQ(st.entries, 2u);
+    EXPECT_EQ(st.misses, 2u);
+    EXPECT_EQ(st.hits, 2u);
+}
+
+TEST(ServiceCache, KeyIgnoresThreadCountAndSeesContent)
+{
+    const Csr m = spdMatrix(64, 303);
+
+    setGlobalThreads(1);
+    const CacheKey k1 = operatorKey(m, {});
+    setGlobalThreads(8);
+    const CacheKey k8 = operatorKey(m, {});
+    EXPECT_TRUE(k1 == k8);
+
+    // Different matrix content -> different key.
+    const Csr other = spdMatrix(64, 304);
+    EXPECT_FALSE(operatorKey(other, {}) == k1);
+
+    // Different placement/arithmetic config -> different key.
+    OperatorConfig cl = clusterBackend();
+    const CacheKey kc = operatorKey(m, cl);
+    EXPECT_FALSE(kc == k1);
+    cl.cluster.targetMantissaBits += 1;
+    EXPECT_FALSE(operatorKey(m, cl) == kc);
+}
+
+TEST(ServiceCache, EvictionNeverFreesLiveEntries)
+{
+    const Csr ma = spdMatrix(64, 305);
+    const Csr mb = spdMatrix(64, 306);
+    const Csr mc = spdMatrix(64, 307);
+
+    // Measure entry weight, then build a cache that fits ~1 entry.
+    std::size_t oneEntry = 0;
+    {
+        PrepareCache probe;
+        probe.acquire(ma, {}, nullptr);
+        oneEntry = probe.stats().bytes;
+    }
+    ASSERT_GT(oneEntry, 0u);
+
+    PrepareCache cache(oneEntry + oneEntry / 2);
+    auto live = cache.acquire(ma, {}, nullptr); // held ref
+    cache.acquire(mb, {}, nullptr);             // dropped ref
+    cache.acquire(mc, {}, nullptr);             // dropped ref
+
+    const PrepareCache::Stats st = cache.stats();
+    EXPECT_GE(st.evictions, 1u);
+
+    // The held entry survived every eviction pass and still works
+    // (ASan guards the use-after-free half of this claim).
+    bool hit = false;
+    auto again = cache.acquire(ma, {}, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(live.get(), again.get());
+    const std::size_t n = static_cast<std::size_t>(ma.rows());
+    std::vector<double> x(n, 1.0), y(n, 0.0);
+    live->op().apply(x, y);
+    double sum = 0.0;
+    for (double v : y)
+        sum += v * v;
+    EXPECT_GT(sum, 0.0);
+}
+
+TEST(ServiceCache, LruEvictsColdestUnreferencedEntry)
+{
+    // Same matrix, three distinct keys of identical weight: the
+    // cluster arithmetic fields are part of the key even when the
+    // CSR backend never reads them, so varying one forges
+    // equal-sized cache entries with different identities.
+    const Csr m = spdMatrix(64, 309);
+    OperatorConfig ca, cb, cc;
+    ca.cluster.targetMantissaBits = 21;
+    cb.cluster.targetMantissaBits = 22;
+    cc.cluster.targetMantissaBits = 23;
+
+    std::size_t oneEntry = 0;
+    {
+        PrepareCache probe;
+        probe.acquire(m, ca, nullptr);
+        oneEntry = probe.stats().bytes;
+    }
+
+    PrepareCache cache(2 * oneEntry);
+    cache.acquire(m, ca, nullptr);
+    cache.acquire(m, cb, nullptr);
+    cache.acquire(m, ca, nullptr); // refresh A: B is now coldest
+    cache.acquire(m, cc, nullptr); // over cap: evicts B
+
+    // Check A first: re-acquiring B is a miss that re-inserts it
+    // and would push the cache over cap again.
+    bool hit = false;
+    cache.acquire(m, ca, &hit);
+    EXPECT_TRUE(hit); // A survived the whole dance
+    cache.acquire(m, cc, &hit);
+    EXPECT_TRUE(hit); // C (just inserted) survived too
+    cache.acquire(m, cb, &hit);
+    EXPECT_FALSE(hit); // B was the one evicted
+}
+
+// --- chaos tier: the resilient-ladder regression and the soak -------
+
+/**
+ * Regression (this PR): the ResilientSolver escalation ladder must
+ * honor a stop request even when the segment dies before the inner
+ * solver's first poll. With every workspace grant failing, the
+ * pre-fix ladder never polled the ExecContext at all: an armed
+ * cancellation was ignored, the retry budget burned to exhaustion,
+ * and the caller saw Degraded instead of Cancelled.
+ */
+TEST(ChaosServiceResilient, LadderHonorsCancelUnderAllocFailure)
+{
+    const Csr m = spdMatrix(128, 401);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    std::vector<double> b(n, 1.0), x(n, 0.0);
+    FaultyAccelOperator op(m, FaultCampaign{});
+
+    ExecContext ctx;
+    SolverConfig cfg;
+    cfg.exec = &ctx;
+    ResilientSolver solver(op, SolverKind::Cg, cfg);
+
+    ChaosCampaign camp;
+    camp.allocFailRate = 1.0;    // every segment dies at its first
+                                 // workspace grant
+    camp.cancelAfterChecks = 3;  // stop lands mid-ladder
+    ChaosEngine chaos(camp);
+    chaos.arm(ctx);
+
+    const SolverResult r = solver.solve(b, x);
+    EXPECT_EQ(r.status, SolveStatus::Cancelled);
+    EXPECT_FALSE(r.converged);
+    EXPECT_GE(r.recovery.allocFailures, 1u); // the storm did engage
+    EXPECT_LT(r.recovery.retryAttempts, 10u); // budget NOT burned out
+    for (double v : x)
+        EXPECT_EQ(v, 0.0); // checkpoint restored, not garbage
+}
+
+TEST(ChaosServiceResilient, LadderHonorsDeadlineUnderAllocFailure)
+{
+    const Csr m = spdMatrix(128, 403);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    std::vector<double> b(n, 1.0), x(n, 0.0);
+    FaultyAccelOperator op(m, FaultCampaign{});
+
+    ExecContext ctx;
+    ctx.setDeadline(ExecContext::Clock::now() -
+                    std::chrono::milliseconds(1));
+    SolverConfig cfg;
+    cfg.exec = &ctx;
+    ResilientSolver solver(op, SolverKind::Cg, cfg);
+
+    ChaosCampaign camp;
+    camp.allocFailRate = 1.0;
+    ChaosEngine chaos(camp);
+
+    const SolverResult r = solver.solve(b, x);
+    EXPECT_EQ(r.status, SolveStatus::DeadlineExceeded);
+    EXPECT_EQ(r.recovery.retryAttempts, 0u); // stopped before rung 1
+}
+
+/**
+ * The soak: worker threads + chaos injection (delays, worker
+ * throws, allocation failures) + deadlines + mid-flight cancels
+ * across tenants and backends. Every handle must reach a terminal
+ * state with a structured status and the accounting must balance --
+ * under TSan this is the service's data-race certificate.
+ */
+TEST(ChaosServiceSoak, MultiTenantStormKeepsInvariants)
+{
+    const Csr ma = spdMatrix(64, 405);
+    const Csr mb = spdMatrix(64, 407);
+    const std::size_t n = static_cast<std::size_t>(ma.rows());
+    constexpr unsigned kReqs = 120;
+
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.scheduler.batchWindow = 4;
+    cfg.scheduler.queueCapacity = 32;
+    cfg.scheduler.defaultTickets = 8;
+    SolverService svc(cfg);
+
+    ChaosCampaign camp;
+    camp.seed = 99;
+    camp.taskDelayRate = 0.05;
+    camp.taskDelayUs = 5;
+    camp.taskThrowRate = 0.02;
+    camp.allocFailRate = 0.02;
+    ChaosEngine chaos(camp);
+
+    std::vector<RequestHandle> handles;
+    handles.reserve(kReqs);
+    for (unsigned i = 0; i < kReqs; ++i) {
+        SolveRequest req;
+        req.tenant = i % 3 == 0 ? "a" : (i % 3 == 1 ? "b" : "c");
+        req.matrix = i % 2 == 0 ? &ma : &mb;
+        req.b = seededRhs(n, 9900 + i);
+        req.maxIterations = 400;
+        if (i % 11 == 0)
+            req.deadline = std::chrono::milliseconds(2);
+        handles.push_back(svc.submit(req));
+        if (i % 7 == 0)
+            handles.back().cancel(); // mid-flight cancel storm
+    }
+
+    std::uint64_t byStatus[8] = {};
+    for (auto &h : handles) {
+        const RequestResult &r = h.wait();
+        switch (r.status) {
+          case SolveStatus::Converged:
+          case SolveStatus::MaxIterations:
+            ++byStatus[0];
+            // A solve that ran to completion carries an iterate of
+            // the right length with finite entries.
+            EXPECT_EQ(r.x.size(), n);
+            break;
+          case SolveStatus::Cancelled:
+            ++byStatus[1];
+            break;
+          case SolveStatus::DeadlineExceeded:
+            ++byStatus[2];
+            break;
+          case SolveStatus::Overloaded:
+            ++byStatus[3];
+            EXPECT_TRUE(r.x.empty());
+            break;
+          case SolveStatus::Failed:
+            ++byStatus[4];
+            EXPECT_FALSE(r.error.empty());
+            break;
+          default:
+            ADD_FAILURE() << "unexpected terminal status "
+                          << toString(r.status);
+        }
+    }
+    svc.stop();
+
+    const ServiceStats st = svc.stats();
+    EXPECT_EQ(st.submitted, kReqs);
+    EXPECT_EQ(st.rejected + st.completed + st.cancelled +
+                  st.deadlineExpired + st.failed,
+              kReqs);
+    EXPECT_EQ(st.rejected, byStatus[3]);
+    EXPECT_EQ(st.failed, byStatus[4]);
+    EXPECT_EQ(svc.queueDepth(), 0u);
+    // The storm actually exercised the interesting paths.
+    EXPECT_GT(byStatus[0], 0u);
+    EXPECT_GT(byStatus[1], 0u);
+    EXPECT_LE(svc.cacheStats().entries, 2u);
+}
+
+} // namespace
+} // namespace msc

@@ -206,7 +206,7 @@ TEST(Telemetry, HistogramBucketEdges)
     h.observe(0.5);     // bucket 0 (<= 1us)
     h.observe(1.0);     // bucket 0 (on the edge)
     h.observe(3.0);     // bucket 2 (<= 5us)
-    h.observe(2e6);     // overflow bucket
+    h.observe(2e7);     // overflow bucket (past the 1e7 bound)
     const auto snaps = telemetry::snapshotHistograms();
     const telemetry::HistogramSnapshot *snap = nullptr;
     for (const auto &s : snaps) {
@@ -215,7 +215,7 @@ TEST(Telemetry, HistogramBucketEdges)
     }
     ASSERT_NE(snap, nullptr);
     EXPECT_EQ(snap->count, 4u);
-    EXPECT_DOUBLE_EQ(snap->sum, 0.5 + 1.0 + 3.0 + 2e6);
+    EXPECT_DOUBLE_EQ(snap->sum, 0.5 + 1.0 + 3.0 + 2e7);
     ASSERT_EQ(snap->buckets.size(), kHistogramBuckets);
     EXPECT_EQ(snap->buckets[0], 2u);
     EXPECT_EQ(snap->buckets[2], 1u);
