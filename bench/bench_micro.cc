@@ -30,6 +30,8 @@
 #include "accel/accel.hh"
 #include "ancode/ancode.hh"
 #include "blocking/blocking.hh"
+#include "sparse/binio.hh"
+#include "sparse/matrix_market.hh"
 #include "cluster/cluster.hh"
 #include "cluster/hw_cluster.hh"
 #include "fault/faulty_operator.hh"
@@ -283,6 +285,74 @@ bmBlockingPreprocess(benchmark::State &state)
     state.SetLabel("tiled8192");
 }
 BENCHMARK(bmBlockingPreprocess);
+
+/** Cold/warm artifact fixture: the tiled8192 matrix written once as
+ *  Matrix Market text next to its packed sidecar, so bmColdStart and
+ *  bmBinioLoad time the two halves of the same load against the same
+ *  bytes. Files live for the process; successive runs overwrite. */
+struct ColdWarmFixture
+{
+    std::string mtxPath;
+    std::string artifactPath;
+};
+
+const ColdWarmFixture &
+coldWarmFixture()
+{
+    static const ColdWarmFixture fx = [] {
+        ColdWarmFixture f;
+        f.mtxPath = "/tmp/msc_bench_tiled8192.mtx";
+        const Csr m = benchMatrix(7);
+        writeMatrixMarket(m, f.mtxPath);
+        const BlockPlan plan = planBlocks(m);
+        f.artifactPath = artifactSidecarPath(f.mtxPath);
+        writeArtifact(f.artifactPath, m, &plan, BlockingConfig{});
+        return f;
+    }();
+    return fx;
+}
+
+/** Cold start: Matrix Market text parse plus the blocking
+ *  preprocessor -- everything a solve pays before the first SpMV
+ *  when no artifact exists. Pair with bmBinioLoad: the ratio is the
+ *  warm-start speedup the packed format buys. */
+void
+bmColdStart(benchmark::State &state)
+{
+    const ColdWarmFixture &fx = coldWarmFixture();
+    std::size_t nnz = 0;
+    for (auto _ : state) {
+        const Csr m = readMatrixMarket(fx.mtxPath);
+        const BlockPlan plan = planBlocks(m);
+        nnz = m.nnz();
+        benchmark::DoNotOptimize(plan.blocks.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(nnz));
+    state.SetLabel("tiled8192");
+}
+BENCHMARK(bmColdStart);
+
+/** Warm start: map the packed sidecar and decode the stored plan --
+ *  the artifact fast path of loadMatrixFile. Validation (checksum
+ *  over header fields and every section byte) is included, so this
+ *  is the honest end-to-end warm load, not just the mmap call. */
+void
+bmBinioLoad(benchmark::State &state)
+{
+    const ColdWarmFixture &fx = coldWarmFixture();
+    std::size_t nnz = 0;
+    for (auto _ : state) {
+        const auto art = MappedArtifact::map(fx.artifactPath);
+        const BlockPlan plan = art->decodePlan();
+        nnz = art->nnz();
+        benchmark::DoNotOptimize(plan.blocks.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(nnz));
+    state.SetLabel("tiled8192");
+}
+BENCHMARK(bmBinioLoad);
 
 void
 bmCsrSpmv(benchmark::State &state)

@@ -69,7 +69,8 @@ Accelerator::poolCapacity() const
 }
 
 PrepareResult
-Accelerator::prepare(const Csr &matrix, std::span<const double> sampleX)
+Accelerator::prepare(const Csr &matrix, std::span<const double> sampleX,
+                     BlockPlan *precomputed)
 {
     telemetry::Span span("accel.prepare");
     prep = PrepareResult{};
@@ -77,7 +78,15 @@ Accelerator::prepare(const Csr &matrix, std::span<const double> sampleX)
     matCols = matrix.cols();
 
     // --- blocking -----------------------------------------------------
-    plan = planBlocks(matrix, cfg.blocking);
+    if (precomputed != nullptr) {
+        if (precomputed->rows != matrix.rows() ||
+            precomputed->cols != matrix.cols())
+            fatal("Accelerator::prepare: precomputed plan "
+                  "dimensions disagree with the matrix");
+        plan = std::move(*precomputed);
+    } else {
+        plan = planBlocks(matrix, cfg.blocking);
+    }
     prep.blocking = plan.stats;
     prep.banksUsed = static_cast<int>(std::min<std::int64_t>(
         cfg.banks,

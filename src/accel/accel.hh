@@ -112,9 +112,16 @@ class Accelerator
      * @param sampleX  representative input vector for the
      *                 data-dependent early-termination estimate
      *                 (e.g. the solver's b); defaults to ones.
+     * @param precomputed  optional blocking plan to adopt (moved
+     *                 from) instead of running planBlocks -- the
+     *                 packed-artifact warm path. Must be the plan of
+     *                 @p matrix under this accelerator's blocking
+     *                 configuration; callers gate on
+     *                 blockingConfigKey equality.
      */
     PrepareResult prepare(const Csr &matrix,
-                          std::span<const double> sampleX = {});
+                          std::span<const double> sampleX = {},
+                          BlockPlan *precomputed = nullptr);
 
     bool prepared() const { return isPrepared; }
     const PrepareResult &info() const { return prep; }

@@ -34,6 +34,22 @@ ClusterArithmeticOperator::ClusterArithmeticOperator(
     const ClusterConfig &base)
     : mat(&m), plan(planBlocks(m, blocking))
 {
+    programClusters(base);
+}
+
+ClusterArithmeticOperator::ClusterArithmeticOperator(
+    const Csr &m, BlockPlan precomputed, const ClusterConfig &base)
+    : mat(&m), plan(std::move(precomputed))
+{
+    if (plan.rows != m.rows() || plan.cols != m.cols())
+        fatal("ClusterArithmeticOperator: precomputed plan "
+              "dimensions disagree with the matrix");
+    programClusters(base);
+}
+
+void
+ClusterArithmeticOperator::programClusters(const ClusterConfig &base)
+{
     clusters.reserve(plan.blocks.size());
     for (const MatrixBlock &block : plan.blocks) {
         ClusterConfig cfg = base;

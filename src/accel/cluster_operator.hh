@@ -43,6 +43,18 @@ class ClusterArithmeticOperator : public LinearOperator
         const Csr &m, const BlockingConfig &blocking = smallSizes(),
         const ClusterConfig &base = ClusterConfig{});
 
+    /**
+     * Program from a precomputed plan (a packed artifact's, or a
+     * streaming-preprocessor result) instead of running planBlocks.
+     * @p precomputed must be the plan of @p m under some blocking
+     * configuration -- callers gate on blockingConfigKey equality.
+     * A plan whose unblocked CSR is a zero-copy view keeps its
+     * backing mapping alive through the caller.
+     */
+    ClusterArithmeticOperator(const Csr &m, BlockPlan precomputed,
+                              const ClusterConfig &base
+                              = ClusterConfig{});
+
     std::int32_t rows() const override { return mat->rows(); }
     std::int32_t cols() const override { return mat->cols(); }
 
@@ -82,6 +94,9 @@ class ClusterArithmeticOperator : public LinearOperator
     }
 
   private:
+    /** Shared ctor body: program one cluster per planned block. */
+    void programClusters(const ClusterConfig &base);
+
     /** Per-block partial results, written concurrently by the block
      *  fan-out and reduced into y in fixed block order. */
     struct BlockScratch

@@ -50,6 +50,15 @@ planBlocks(const Csr &matrix, const BlockingConfig &config)
     for (std::size_t k = 0; k < matrix.nnz(); ++k)
         leadExp[k] = leadExponent(vals[k]);
 
+    // CSR-position -> row lookup. Positions are 64-bit (row offsets
+    // are std::int64_t now that out-of-core lifts the RAM bound), so
+    // they must never be squeezed through a 32-bit Triplet field.
+    std::vector<std::int32_t> rowOf(matrix.nnz());
+    for (std::int32_t r = 0; r < matrix.rows(); ++r) {
+        for (std::int64_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k)
+            rowOf[static_cast<std::size_t>(k)] = r;
+    }
+
     for (std::size_t si = 0; si < config.sizes.size(); ++si) {
         const unsigned s = config.sizes[si];
         // Dimension-dependent threshold: constant *density* rather
@@ -69,7 +78,7 @@ planBlocks(const Csr &matrix, const BlockingConfig &config)
             const std::int32_t rEnd =
                 std::min<std::int32_t>(r0 + s, matrix.rows());
             for (std::int32_t r = r0; r < rEnd; ++r) {
-                for (std::int32_t k = rowPtr[r]; k < rowPtr[r + 1];
+                for (std::int64_t k = rowPtr[r]; k < rowPtr[r + 1];
                      ++k) {
                     if (mapped[static_cast<std::size_t>(k)])
                         continue;
@@ -132,32 +141,14 @@ planBlocks(const Csr &matrix, const BlockingConfig &config)
                         ++plan.stats.expRangeEvictions;
                         continue;
                     }
-                    // The row field temporarily holds the CSR
-                    // position; it is translated to a block-local
-                    // row once all blocks are formed.
                     block.elems.push_back(
-                        {static_cast<std::int32_t>(k),
-                         colIdx[k] - c0, vals[k]});
+                        {rowOf[k] - r0, colIdx[k] - c0, vals[k]});
                     mapped[k] = 1;
                     plan.stats.blockedNnz += 1;
                 }
                 plan.stats.blocksPerSize[si] += 1;
                 plan.blocks.push_back(std::move(block));
             }
-        }
-    }
-
-    // Fix block-local rows: translate stored CSR indices to rows.
-    // Build a CSR-position -> row lookup.
-    std::vector<std::int32_t> rowOf(matrix.nnz());
-    for (std::int32_t r = 0; r < matrix.rows(); ++r) {
-        for (std::int32_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k)
-            rowOf[static_cast<std::size_t>(k)] = r;
-    }
-    for (auto &block : plan.blocks) {
-        for (auto &el : block.elems) {
-            el.row = rowOf[static_cast<std::size_t>(el.row)] -
-                     block.rowOrigin;
         }
     }
 

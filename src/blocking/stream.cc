@@ -1,0 +1,131 @@
+#include "blocking/stream.hh"
+
+#include <fstream>
+#include <numeric>
+
+#include "sparse/matrix_market.hh"
+#include "util/logging.hh"
+
+namespace msc {
+
+std::int32_t
+stripHeightFor(const BlockingConfig &config)
+{
+    if (config.sizes.empty())
+        fatal("stripHeightFor: no candidate block sizes");
+    std::int64_t h = 1;
+    for (unsigned s : config.sizes) {
+        if (s == 0)
+            fatal("stripHeightFor: zero block size");
+        h = std::lcm<std::int64_t>(h, s);
+        if (h > 0x7fffffff)
+            fatal("stripHeightFor: strip height overflows int32");
+    }
+    return static_cast<std::int32_t>(h);
+}
+
+BlockPlan
+planBlocksStreaming(std::int32_t rows, std::int32_t cols,
+                    const EntrySource &entries,
+                    const BlockingConfig &config,
+                    std::int32_t stripRows)
+{
+    const std::int32_t lcm = stripHeightFor(config);
+    if (stripRows == 0)
+        stripRows = lcm;
+    if (stripRows <= 0 || stripRows % lcm != 0) {
+        fatal("planBlocksStreaming: strip height ", stripRows,
+              " is not a positive multiple of the size LCM ", lcm);
+    }
+    if (rows < 0 || cols < 0)
+        fatal("planBlocksStreaming: negative dimensions");
+
+    BlockPlan plan;
+    plan.rows = rows;
+    plan.cols = cols;
+    plan.stats.blocksPerSize.assign(config.sizes.size(), 0);
+
+    // Per-size block lists across strips: the global algorithm emits
+    // size-major (all strips at one size before the next size), the
+    // per-strip runs emit strip-major, so the stitch reorders.
+    std::vector<std::vector<MatrixBlock>> bySize(config.sizes.size());
+    Coo leftover;
+    leftover.rows = rows;
+    leftover.cols = cols;
+
+    for (std::int32_t r0 = 0; r0 < rows; r0 += stripRows) {
+        const std::int32_t h =
+            std::min<std::int32_t>(stripRows, rows - r0);
+
+        // Pass: keep only this strip's entries, rows rebased to the
+        // strip origin. Delivery order is preserved, so duplicate
+        // coordinates accumulate exactly as the global fromCoo does.
+        Coo strip;
+        strip.rows = h;
+        strip.cols = cols;
+        entries([&](std::int32_t r, std::int32_t c, double v) {
+            if (r < 0 || r >= rows || c < 0 || c >= cols) {
+                fatal("planBlocksStreaming: entry (", r, ",", c,
+                      ") outside ", rows, "x", cols);
+            }
+            if (r >= r0 && r < r0 + h)
+                strip.add(r - r0, c, v);
+        });
+
+        BlockPlan sp =
+            planBlocks(Csr::fromCoo(strip), config);
+
+        for (auto &block : sp.blocks) {
+            block.rowOrigin += r0;
+            std::size_t si = 0;
+            while (si < config.sizes.size() &&
+                   config.sizes[si] != block.size) {
+                ++si;
+            }
+            if (si == config.sizes.size())
+                panic("planBlocksStreaming: block of unknown size");
+            bySize[si].push_back(std::move(block));
+        }
+
+        // Strip leftovers, rebased back to global rows. toCoo walks
+        // the strip's leftover CSR row-major, and strips are visited
+        // in ascending row order, so the concatenation is globally
+        // (row, col)-sorted -- fromCoo below re-sorts stably into
+        // the identical layout the in-core run produces.
+        for (const Triplet &t : sp.unblocked.toCoo().entries)
+            leftover.add(t.row + r0, t.col, t.val);
+
+        plan.stats.totalNnz += sp.stats.totalNnz;
+        plan.stats.blockedNnz += sp.stats.blockedNnz;
+        plan.stats.unblockedNnz += sp.stats.unblockedNnz;
+        plan.stats.expRangeEvictions += sp.stats.expRangeEvictions;
+        plan.stats.elementVisits += sp.stats.elementVisits;
+        for (std::size_t si = 0; si < config.sizes.size(); ++si)
+            plan.stats.blocksPerSize[si] += sp.stats.blocksPerSize[si];
+    }
+
+    for (auto &sized : bySize) {
+        for (auto &block : sized)
+            plan.blocks.push_back(std::move(block));
+    }
+    plan.unblocked = Csr::fromCoo(leftover);
+    return plan;
+}
+
+EntrySource
+matrixMarketEntrySource(const std::string &path)
+{
+    return [path](const EntrySink &sink) {
+        std::ifstream in(path);
+        if (!in) {
+            throw MatrixMarketError(
+                MatrixMarketError::Reason::CannotOpen,
+                detail::concat("fatal: matrix market: cannot open ",
+                               path));
+        }
+        const MatrixMarketHeader h = readMatrixMarketHeader(in);
+        forEachMatrixMarketEntry(in, h, sink);
+    };
+}
+
+} // namespace msc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Streaming blocking preprocessor: planBlocks over bounded-memory
+ * strip passes, bit-identical to the in-core algorithm.
+ *
+ * planBlocks (blocking/blocking.hh) needs the whole matrix resident
+ * plus O(nnz) side arrays, which caps the packable problem size at
+ * RAM. This variant exploits a structural property of the
+ * preprocessor: when the strip height is a common multiple of every
+ * candidate block size, every decision -- bucketing, the density
+ * threshold, the exponent-window filter, acceptance order -- is
+ * local to one strip of rows, because block candidates never cross a
+ * strip boundary and the `mapped` state only couples sizes within
+ * the rows they share. Running planBlocks per strip and stitching
+ * the per-strip outputs size-major therefore reproduces the global
+ * run exactly: the same blocks with the same elements in the same
+ * order, the same leftover CSR, and the same statistics, bit for
+ * bit (pinned by tests/test_binio.cc and the msc_check binio
+ * module).
+ *
+ * The input is a re-iterable entry source rather than a Csr: each
+ * strip pass rescans the source and keeps only the entries of its
+ * row range, so peak memory is one strip's nonzeros plus the
+ * (output-sized) plan under construction -- the matrix itself never
+ * needs to be in memory at once. For a Matrix Market file the source
+ * re-reads the file once per strip (time traded for space, the
+ * out-of-core contract); tools/msc_pack uses exactly that to pack
+ * matrices larger than RAM.
+ */
+
+#ifndef MSC_BLOCKING_STREAM_HH
+#define MSC_BLOCKING_STREAM_HH
+
+#include <functional>
+#include <string>
+
+#include "blocking/blocking.hh"
+
+namespace msc {
+
+/** Receives one coordinate entry (global row/col). */
+using EntrySink =
+    std::function<void(std::int32_t, std::int32_t, double)>;
+
+/**
+ * Re-iterable source of coordinate entries. Invoked once per strip
+ * pass; it must deliver the identical entry sequence on every
+ * invocation (duplicate coordinates accumulate in delivery order,
+ * so a reordered rescan would change low-order result bits).
+ */
+using EntrySource = std::function<void(const EntrySink &)>;
+
+/**
+ * Smallest legal strip height for @p config: the least common
+ * multiple of the candidate block sizes. Any positive multiple of
+ * this is also legal (fewer, larger passes).
+ */
+std::int32_t stripHeightFor(const BlockingConfig &config);
+
+/**
+ * Run the blocking preprocessor over @p entries in strip passes.
+ *
+ * @param rows, cols  global matrix dimensions
+ * @param entries     re-iterable coordinate source (global indices)
+ * @param config      preprocessor configuration
+ * @param stripRows   strip height; 0 picks stripHeightFor(config).
+ *                    Must be a positive multiple of every candidate
+ *                    size's LCM, or the call is fatal.
+ *
+ * Result is bitwise identical to
+ * planBlocks(Csr::fromCoo(all entries), config).
+ */
+BlockPlan planBlocksStreaming(std::int32_t rows, std::int32_t cols,
+                              const EntrySource &entries,
+                              const BlockingConfig &config
+                              = BlockingConfig{},
+                              std::int32_t stripRows = 0);
+
+/**
+ * Entry source over a Matrix Market file: every invocation re-opens
+ * and re-parses @p path (header validation included), delivering
+ * the symmetric-expanded entry sequence in file order. Throws
+ * MatrixMarketError from inside the pass on a malformed file.
+ */
+EntrySource matrixMarketEntrySource(const std::string &path);
+
+} // namespace msc
+
+#endif // MSC_BLOCKING_STREAM_HH

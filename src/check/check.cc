@@ -98,6 +98,7 @@ makeModules()
     addAccelChecks(mods);
     addSpmmChecks(mods);
     addSolverChecks(mods);
+    addBinioChecks(mods);
     return mods;
 }
 

@@ -20,6 +20,10 @@
  *   solver   - metamorphic solver/SpMV transforms: P*A*P^T symmetric
  *              permutation, power-of-two scaling equivariance
  *              (bitwise), and x^T(Ay) == (A^T x)^T y consistency
+ *   binio    - binary artifact round-trip and streaming blocking
+ *              (sparse/binio, blocking/stream) vs the in-core
+ *              parse + planBlocks path, bitwise, plus corrupted
+ *              artifacts failing structurally
  *
  * Determinism contract: every iteration of every module draws from
  * an Rng seeded purely by (run seed, module name, iteration index).
@@ -146,6 +150,7 @@ void addClusterChecks(std::vector<Module> &out);
 void addAccelChecks(std::vector<Module> &out);
 void addSpmmChecks(std::vector<Module> &out);
 void addSolverChecks(std::vector<Module> &out);
+void addBinioChecks(std::vector<Module> &out);
 
 /** All registered modules, in fixed report order. */
 std::vector<Module> makeModules();

@@ -187,6 +187,16 @@ applyTelemetry(const JsonValue &j, ExperimentConfig &cfg)
     cfg.telemetry = t;
 }
 
+void
+applyIo(const JsonValue &j, ExperimentConfig &cfg)
+{
+    checkKeys(j, {"matrixArtifact", "preferArtifacts"}, "io");
+    if (j.has("matrixArtifact"))
+        cfg.io.matrixArtifact = j.at("matrixArtifact").asString();
+    cfg.io.preferArtifacts =
+        j.boolOr("preferArtifacts", cfg.io.preferArtifacts);
+}
+
 } // namespace
 
 ExperimentConfig
@@ -195,7 +205,7 @@ configFromJson(const JsonValue &root)
     ExperimentConfig cfg;
     checkKeys(root,
               {"accelerator", "gpu", "solver", "seed", "device",
-               "fault", "threads", "telemetry"},
+               "fault", "threads", "telemetry", "io"},
               "document");
     if (root.has("accelerator"))
         applyAccelerator(root.at("accelerator"), cfg.accel);
@@ -219,6 +229,10 @@ configFromJson(const JsonValue &root)
     // state (MSC_TELEMETRY or a prior configure()) untouched.
     if (root.has("telemetry"))
         applyTelemetry(root.at("telemetry"), cfg);
+    // Binary-artifact I/O: where msc_pack writes, whether loaders
+    // map sidecars. Never changes any solver answer bit.
+    if (root.has("io"))
+        applyIo(root.at("io"), cfg);
     cfg.fault.seed = cfg.seed; // inherited unless "fault" overrides
     if (root.has("fault")) {
         const std::uint64_t inherited = cfg.fault.seed;

@@ -46,6 +46,17 @@ struct ExperimentConfig
      *  the process state (MSC_TELEMETRY or a prior configure())
      *  untouched. */
     std::optional<telemetry::Config> telemetry;
+    /** Artifact I/O knobs (sparse/binio.hh). */
+    struct Io
+    {
+        /** Explicit artifact output path for tools/msc_pack; empty
+         *  = the matrix path's ".mscbin" sidecar. */
+        std::string matrixArtifact;
+        /** When false, loaders ignore sidecar artifacts and always
+         *  parse the Matrix Market text (differential-testing
+         *  escape hatch). */
+        bool preferArtifacts = true;
+    } io;
 };
 
 struct ExperimentResult

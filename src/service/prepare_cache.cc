@@ -1,10 +1,9 @@
 #include "service/prepare_cache.hh"
 
-#include <bit>
-#include <cstring>
-
 #include "accel/cluster_operator.hh"
 #include "core/multi_accel.hh"
+#include "sparse/binio.hh"
+#include "util/hash128.hh"
 #include "util/logging.hh"
 #include "util/telemetry.hh"
 
@@ -15,62 +14,18 @@ namespace {
 constinit telemetry::Counter ctrHits{"service.cache_hits"};
 constinit telemetry::Counter ctrMisses{"service.cache_misses"};
 constinit telemetry::Counter ctrEvictions{"service.cache_evictions"};
-
-/** Two independent FNV-1a streams -> one 128-bit key. */
-class Fnv128
-{
-  public:
-    void
-    byte(std::uint8_t b)
-    {
-        a = (a ^ b) * 0x100000001b3ULL;
-        c = (c ^ b) * 0x00000100000001b3ULL ^ (c >> 47);
-        c = c * 0x9e3779b97f4a7c15ULL + b;
-    }
-
-    void
-    bytes(const void *p, std::size_t len)
-    {
-        const auto *q = static_cast<const std::uint8_t *>(p);
-        for (std::size_t i = 0; i < len; ++i)
-            byte(q[i]);
-    }
-
-    void
-    u64(std::uint64_t v)
-    {
-        bytes(&v, sizeof v);
-    }
-
-    void
-    f64(double v)
-    {
-        u64(std::bit_cast<std::uint64_t>(v));
-    }
-
-    CacheKey
-    key() const
-    {
-        return CacheKey{a, c};
-    }
-
-  private:
-    std::uint64_t a = 0xcbf29ce484222325ULL; //!< FNV-1a offset
-    std::uint64_t c = 0x6c62272e07bb0142ULL; //!< independent stream
-};
+constinit telemetry::Counter ctrPlanReuse{"binio.plan_reuse"};
 
 void
-hashBlocking(Fnv128 &h, const BlockingConfig &b)
+hashBlocking(Hash128 &h, const BlockingConfig &b)
 {
-    h.u64(b.sizes.size());
-    for (unsigned s : b.sizes)
-        h.u64(s);
-    h.f64(b.densityFactor);
-    h.u64(static_cast<std::uint64_t>(b.maxExpRange));
+    const Digest128 d = blockingConfigKey(b);
+    h.u64(d.hi);
+    h.u64(d.lo);
 }
 
 void
-hashCluster(Fnv128 &h, const ClusterConfig &c)
+hashCluster(Hash128 &h, const ClusterConfig &c)
 {
     h.u64(c.size);
     h.u64(static_cast<std::uint64_t>(c.schedule));
@@ -85,7 +40,7 @@ hashCluster(Fnv128 &h, const ClusterConfig &c)
 }
 
 void
-hashAccel(Fnv128 &h, const AcceleratorConfig &a)
+hashAccel(Hash128 &h, const AcceleratorConfig &a)
 {
     h.u64(a.banks);
     h.u64(a.rowsPerBank);
@@ -103,19 +58,11 @@ hashAccel(Fnv128 &h, const AcceleratorConfig &a)
 } // namespace
 
 CacheKey
-operatorKey(const Csr &matrix, const OperatorConfig &cfg)
+operatorKeyFrom(Digest128 matrixKey, const OperatorConfig &cfg)
 {
-    Fnv128 h;
-    // Matrix content: dimensions, structure, value bit patterns.
-    h.u64(static_cast<std::uint64_t>(matrix.rows()));
-    h.u64(static_cast<std::uint64_t>(matrix.cols()));
-    h.u64(matrix.nnz());
-    const auto rp = matrix.rowPtr();
-    h.bytes(rp.data(), rp.size_bytes());
-    const auto ci = matrix.colIndex();
-    h.bytes(ci.data(), ci.size_bytes());
-    const auto vals = matrix.values();
-    h.bytes(vals.data(), vals.size_bytes());
+    Hash128 h;
+    h.u64(matrixKey.hi);
+    h.u64(matrixKey.lo);
     // Placement/device configuration: every field that changes the
     // prepared state (blocking decisions, placement, arithmetic).
     // Pure performance-model knobs (proc/mem timing parameters) are
@@ -126,7 +73,14 @@ operatorKey(const Csr &matrix, const OperatorConfig &cfg)
     hashAccel(h, cfg.accel);
     hashBlocking(h, cfg.blocking);
     hashCluster(h, cfg.cluster);
-    return h.key();
+    const Digest128 d = h.digest();
+    return CacheKey{d.hi, d.lo};
+}
+
+CacheKey
+operatorKey(const Csr &matrix, const OperatorConfig &cfg)
+{
+    return operatorKeyFrom(csrContentKey(matrix), cfg);
 }
 
 PreparedOperator::PreparedOperator(const Csr &matrix,
@@ -134,16 +88,52 @@ PreparedOperator::PreparedOperator(const Csr &matrix,
                                    CacheKey keyIn)
     : mat(matrix), cfg(config), id(keyIn)
 {
-    // Matrix copy: nnz * (8B value + 4B col) + rowPtr.
+    build();
+}
+
+PreparedOperator::PreparedOperator(
+    std::shared_ptr<const MappedArtifact> artifact,
+    const OperatorConfig &config, CacheKey keyIn)
+    : cfg(config), id(keyIn), art(std::move(artifact))
+{
+    mat = art->matrixView(); // move-assign preserves the view
+    build();
+}
+
+void
+PreparedOperator::build()
+{
+    // Matrix footprint: nnz * (8B value + 4B col) + 64-bit rowPtr.
+    // Counted for views too -- mapped pages are resident while the
+    // entry is hot, so the eviction cap should see them.
     byteEstimate = mat.nnz() * 12 +
-                   (static_cast<std::size_t>(mat.rows()) + 1) * 4;
+                   (static_cast<std::size_t>(mat.rows()) + 1) * 8;
+
+    // A stored plan is only usable when it was computed under the
+    // exact blocking configuration this backend would use.
+    BlockPlan artifactPlan;
+    bool havePlan = false;
+    if (art && art->hasPlan()) {
+        const Digest128 want =
+            cfg.backend == ServiceBackend::ClusterBitExact
+                ? blockingConfigKey(cfg.blocking)
+                : blockingConfigKey(cfg.accel.blocking);
+        if (art->blockingKey() == want &&
+            (cfg.backend == ServiceBackend::ClusterBitExact ||
+             cfg.backend == ServiceBackend::Accel)) {
+            artifactPlan = art->decodePlan();
+            havePlan = true;
+            ctrPlanReuse.add();
+        }
+    }
+
     switch (cfg.backend) {
       case ServiceBackend::Csr:
         oper = std::make_unique<CsrOperator>(mat);
         break;
       case ServiceBackend::Accel: {
         accel = std::make_unique<Accelerator>(cfg.accel);
-        accel->prepare(mat);
+        accel->prepare(mat, {}, havePlan ? &artifactPlan : nullptr);
         oper = std::make_unique<AcceleratorOperator>(*accel);
         // Placed blocks resident on crossbars, leftovers in CSR:
         // call it one more matrix copy plus per-placement scratch.
@@ -151,8 +141,13 @@ PreparedOperator::PreparedOperator(const Csr &matrix,
         break;
       }
       case ServiceBackend::ClusterBitExact:
-        oper = std::make_unique<ClusterArithmeticOperator>(
-            mat, cfg.blocking, cfg.cluster);
+        if (havePlan) {
+            oper = std::make_unique<ClusterArithmeticOperator>(
+                mat, std::move(artifactPlan), cfg.cluster);
+        } else {
+            oper = std::make_unique<ClusterArithmeticOperator>(
+                mat, cfg.blocking, cfg.cluster);
+        }
         // Contribution tables dominate: rough per-nnz slice state.
         byteEstimate += mat.nnz() * 64;
         break;
@@ -175,7 +170,36 @@ std::shared_ptr<PreparedOperator>
 PrepareCache::acquire(const Csr &matrix, const OperatorConfig &cfg,
                       bool *hit)
 {
-    const CacheKey key = operatorKey(matrix, cfg);
+    return acquireKeyed(
+        operatorKey(matrix, cfg), cfg, hit,
+        [&](CacheKey key) {
+            return std::make_shared<PreparedOperator>(matrix, cfg,
+                                                      key);
+        });
+}
+
+std::shared_ptr<PreparedOperator>
+PrepareCache::acquire(
+    const std::shared_ptr<const MappedArtifact> &artifact,
+    const OperatorConfig &cfg, bool *hit)
+{
+    if (!artifact)
+        panic("PrepareCache::acquire: null artifact");
+    return acquireKeyed(
+        operatorKeyFrom(artifact->matrixKey(), cfg), cfg, hit,
+        [&](CacheKey key) {
+            return std::make_shared<PreparedOperator>(artifact, cfg,
+                                                      key);
+        });
+}
+
+std::shared_ptr<PreparedOperator>
+PrepareCache::acquireKeyed(
+    CacheKey key, const OperatorConfig &,
+    bool *hit,
+    const std::function<std::shared_ptr<PreparedOperator>(CacheKey)>
+        &build)
+{
     {
         std::lock_guard lock(mu);
         auto it = map.find(key);
@@ -191,7 +215,7 @@ PrepareCache::acquire(const Csr &matrix, const OperatorConfig &cfg,
     }
     // Miss: build outside the cache lock, under the build lock so
     // concurrent same-key misses prepare exactly once.
-    std::lock_guard build(buildMu);
+    std::lock_guard buildLock(buildMu);
     {
         std::lock_guard lock(mu);
         auto it = map.find(key);
@@ -206,7 +230,7 @@ PrepareCache::acquire(const Csr &matrix, const OperatorConfig &cfg,
             return it->second.op;
         }
     }
-    auto entry = std::make_shared<PreparedOperator>(matrix, cfg, key);
+    auto entry = build(key);
     {
         std::lock_guard lock(mu);
         ++counters.misses;

@@ -31,6 +31,7 @@
 #define MSC_SERVICE_PREPARE_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -41,10 +42,12 @@
 #include "cluster/cluster.hh"
 #include "solver/solver.hh"
 #include "sparse/csr.hh"
+#include "util/hash128.hh"
 
 namespace msc {
 
 class MultiAccelerator;
+class MappedArtifact;
 
 /** Which arithmetic backend a prepared operator runs on. */
 enum class ServiceBackend
@@ -93,10 +96,19 @@ struct CacheKeyHash
 /**
  * Content hash of (matrix, config): dimensions, row pointers,
  * column indices, value bit patterns, then every config field that
- * changes the prepared state. Two independent 64-bit FNV-1a streams
- * with distinct offset bases form the 128-bit key.
+ * changes the prepared state. The matrix half is csrContentKey
+ * (sparse/binio.hh) -- the same 128-bit digest packed artifacts
+ * store -- so operatorKey(matrix, cfg) ==
+ * operatorKeyFrom(csrContentKey(matrix), cfg) always holds, and an
+ * artifact resolves to a cache key without re-hashing the matrix
+ * bytes.
  */
 CacheKey operatorKey(const Csr &matrix, const OperatorConfig &cfg);
+
+/** Continue the key from a precomputed matrix content digest (the
+ *  artifact warm path: the O(nnz) matrix hash is skipped). */
+CacheKey operatorKeyFrom(Digest128 matrixKey,
+                         const OperatorConfig &cfg);
 
 /**
  * One immutable prepared entry: an owned copy of the matrix, the
@@ -110,6 +122,15 @@ class PreparedOperator
   public:
     PreparedOperator(const Csr &matrix, const OperatorConfig &config,
                      CacheKey key);
+
+    /**
+     * Build from a mapped artifact: the matrix is a zero-copy view
+     * over the mapping (held alive by this entry), and a stored
+     * blocking plan whose key matches the backend's configuration
+     * skips planBlocks entirely (telemetry `binio.plan_reuse`).
+     */
+    PreparedOperator(std::shared_ptr<const MappedArtifact> artifact,
+                     const OperatorConfig &config, CacheKey key);
 
     const Csr &matrix() const { return mat; }
     const OperatorConfig &config() const { return cfg; }
@@ -126,11 +147,16 @@ class PreparedOperator
     std::size_t bytes() const { return byteEstimate; }
 
   private:
+    /** Shared ctor body; @p artifactPlan enables plan reuse. */
+    void build();
+
     Csr mat;
     OperatorConfig cfg;
     CacheKey id;
     std::size_t byteEstimate = 0;
     std::mutex mu;
+    /** Mapping backing a zero-copy `mat` (artifact ctor only). */
+    std::shared_ptr<const MappedArtifact> art;
     // Backend state; exactly one is populated per backend kind.
     std::unique_ptr<Accelerator> accel;
     std::unique_ptr<MultiAccelerator> fleet;
@@ -160,6 +186,18 @@ class PrepareCache
     acquire(const Csr &matrix, const OperatorConfig &cfg,
             bool *hit = nullptr);
 
+    /**
+     * Artifact-keyed lookup: the key continues from the artifact's
+     * stored matrix digest (no O(nnz) hash), and a miss builds the
+     * entry from the mapping -- zero-copy matrix view, and the
+     * stored placement plan when its blocking key matches @p cfg.
+     * Keys are interchangeable with the parse path: the same system
+     * submitted as text and as artifact share one entry.
+     */
+    std::shared_ptr<PreparedOperator>
+    acquire(const std::shared_ptr<const MappedArtifact> &artifact,
+            const OperatorConfig &cfg, bool *hit = nullptr);
+
     struct Stats
     {
         std::uint64_t hits = 0;
@@ -175,6 +213,12 @@ class PrepareCache
     void clear();
 
   private:
+    /** Shared hit/build-once/insert machinery of both acquires. */
+    std::shared_ptr<PreparedOperator> acquireKeyed(
+        CacheKey key, const OperatorConfig &cfg, bool *hit,
+        const std::function<
+            std::shared_ptr<PreparedOperator>(CacheKey)> &build);
+
     void evictOverCap(); //!< callers hold mu
 
     mutable std::mutex mu;

@@ -4,6 +4,7 @@
 #include <new>
 
 #include "solver/block.hh"
+#include "sparse/binio.hh"
 #include "util/logging.hh"
 #include "util/telemetry.hh"
 
@@ -32,6 +33,10 @@ struct PendingRequest
     SolveRequest req;
     ExecContext ctx;
     CacheKey key;
+    /** File-resolved system (matrixFile submissions): pins the
+     *  parsed matrix or artifact mapping while the request lives;
+     *  req.matrix points into it. */
+    std::shared_ptr<const LoadedMatrix> loaded;
     std::int64_t submitNs = 0;
     std::int64_t dispatchNs = 0;
 
@@ -51,6 +56,14 @@ struct ServiceCore
     std::condition_variable work; //!< workers: queue or stop signal
     AdmissionScheduler sched;
     PrepareCache cache;
+    /** Path -> resolved matrix, pinned for the service lifetime so
+     *  repeat submissions share one mapping/parse. Guarded by
+     *  loadMu, not mu: loading parses files and must not stall the
+     *  dispatch path. */
+    std::mutex loadMu;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const LoadedMatrix>>
+        loadedByPath;
     std::unordered_map<std::uint64_t,
                        std::shared_ptr<PendingRequest>>
         pendings; //!< queued + running
@@ -159,8 +172,11 @@ executeBatch(
     bool failed = false;
     std::string error;
     try {
-        entry = core.cache.acquire(*head.req.matrix, head.req.op,
-                                   &cacheHit);
+        entry = (head.loaded && head.loaded->artifact)
+                    ? core.cache.acquire(head.loaded->artifact,
+                                         head.req.op, &cacheHit)
+                    : core.cache.acquire(*head.req.matrix,
+                                         head.req.op, &cacheHit);
         const auto n =
             static_cast<std::size_t>(entry->matrix().rows());
         // One logical operation at a time per shared entry: the
@@ -390,12 +406,32 @@ SolverService::submit(SolveRequest req)
     handle.p = p;
     handle.core = core;
 
-    const SolveRequest &r = p->req;
+    SolveRequest &r = p->req;
+    std::string loadError;
+    if (r.matrix == nullptr && !r.matrixFile.empty()) {
+        try {
+            std::lock_guard lock(core->loadMu);
+            auto &slot = core->loadedByPath[r.matrixFile];
+            if (!slot) {
+                slot = std::make_shared<const LoadedMatrix>(
+                    loadMatrixFile(r.matrixFile));
+            }
+            p->loaded = slot;
+            r.matrix = &slot->csr;
+        } catch (const FatalError &e) {
+            // MatrixMarketError / BinioError: a bad file is the
+            // tenant's input, not a service invariant -- surface it
+            // as a Failed result, keep serving.
+            loadError = e.what();
+        }
+    }
     if (r.matrix == nullptr || r.matrix->rows() != r.matrix->cols() ||
         r.b.size() != static_cast<std::size_t>(r.matrix->rows())) {
         RequestResult bad;
         bad.status = SolveStatus::Failed;
-        bad.error = "malformed request: matrix/RHS mismatch";
+        bad.error = loadError.empty()
+                        ? "malformed request: matrix/RHS mismatch"
+                        : loadError;
         {
             std::lock_guard lock(core->mu);
             ++core->stats.submitted;
@@ -409,7 +445,12 @@ SolverService::submit(SolveRequest req)
         p->ctx.setDeadline(ExecContext::Clock::now() + r.deadline);
     if (r.cancelAfterChecks > 0)
         p->ctx.cancelAfterChecks(r.cancelAfterChecks);
-    p->key = operatorKey(*r.matrix, r.op);
+    // Artifact submissions key from the stored digest: admission
+    // cost is O(1) in the matrix size instead of an O(nnz) hash.
+    p->key = (p->loaded && p->loaded->artifact)
+                 ? operatorKeyFrom(p->loaded->artifact->matrixKey(),
+                                   r.op)
+                 : operatorKey(*r.matrix, r.op);
 
     QueueEntry entry;
     entry.tenant = r.tenant;

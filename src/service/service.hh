@@ -61,6 +61,18 @@ struct SolveRequest
      *  terminal (the prepare cache copies it on first sight of the
      *  content key, but admission hashes it in place). */
     const Csr *matrix = nullptr;
+    /**
+     * Alternative to `matrix`: resolve the system from a file at
+     * submission. A valid sidecar artifact (path + ".mscbin", see
+     * sparse/binio.hh) or a direct .mscbin path is mapped zero-copy
+     * -- admission then keys the cache from the artifact's stored
+     * digest and a cache miss skips parse+preprocess -- while plain
+     * Matrix Market text falls back to parsing. Loaded matrices are
+     * pinned in the service for its lifetime, so repeat submissions
+     * of the same path share one mapping. Ignored when `matrix` is
+     * set; a load failure completes the request as Failed.
+     */
+    std::string matrixFile;
     OperatorConfig op; //!< backend + placement/device config
     std::vector<double> b; //!< right-hand side (owned)
     SolverKind kind = SolverKind::Cg;

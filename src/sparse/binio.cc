@@ -1,0 +1,650 @@
+#include "sparse/binio.hh"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "sparse/matrix_market.hh"
+#include "util/telemetry.hh"
+
+#if __has_include(<sys/mman.h>)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define MSC_BINIO_HAVE_MMAP 1
+#else
+#define MSC_BINIO_HAVE_MMAP 0
+#endif
+
+namespace msc {
+
+namespace {
+
+constinit telemetry::Counter ctrMapHits{"binio.map_hits"};
+constinit telemetry::Counter
+    ctrFallbackParse{"binio.fallback_parse"};
+
+constexpr char kMagic[8] = {'M', 'S', 'C', 'B', 'I', 'N', '1', '\n'};
+constexpr std::uint64_t kVersion = 1;
+/** Stored little-endian; a big-endian host reads it permuted and
+ *  rejects the file instead of silently mis-decoding. */
+constexpr std::uint64_t kEndianTag = 0x0102030405060708ULL;
+constexpr std::size_t kAlign = 64;
+constexpr std::size_t kFixedHeaderBytes = 112;
+constexpr std::uint64_t kFlagHasPlan = 1;
+constexpr std::uint64_t kMaxSections = 16;
+
+enum class Sec : std::uint64_t
+{
+    RowPtr = 1,
+    ColIdx = 2,
+    Values = 3,
+    PlanStats = 4,
+    BlockDir = 5,
+    BlockElems = 6,
+    UnbRowPtr = 7,
+    UnbColIdx = 8,
+    UnbValues = 9,
+};
+
+/** On-disk block directory entry. */
+struct DirEntry
+{
+    std::int32_t rowOrigin;
+    std::int32_t colOrigin;
+    std::uint32_t size;
+    std::uint32_t pad;
+    std::uint64_t elemOffset; //!< into BlockElems, in elements
+    std::uint64_t elemCount;
+};
+
+static_assert(sizeof(DirEntry) == 32);
+static_assert(sizeof(Triplet) == 16,
+              "BlockElems aliases the in-memory Triplet layout");
+
+template <typename... Args>
+[[noreturn]] void
+bfail(BinioError::Reason why, Args &&...args)
+{
+    throw BinioError(
+        why, detail::concat("fatal: ", std::forward<Args>(args)...));
+}
+
+std::size_t
+alignUp(std::size_t v)
+{
+    return (v + kAlign - 1) & ~(kAlign - 1);
+}
+
+/** One section staged for writing. */
+struct OutSection
+{
+    Sec id;
+    const void *data;
+    std::size_t bytes;
+};
+
+/** The checksum covers the header's semantic fields (geometry,
+ *  keys, flags) as well as every section byte: a bit flip anywhere
+ *  that could change what the loader hands out must fail the
+ *  checksum, not map to a plausible-but-different matrix. Only
+ *  alignment padding is uncovered (and unread). */
+void
+checksumHeader(Hash128 &h, std::uint64_t rows, std::uint64_t cols,
+               std::uint64_t nnz, Digest128 matKey,
+               std::uint64_t flags, Digest128 blkKey)
+{
+    h.u64(rows);
+    h.u64(cols);
+    h.u64(nnz);
+    h.u64(matKey.hi);
+    h.u64(matKey.lo);
+    h.u64(flags);
+    h.u64(blkKey.hi);
+    h.u64(blkKey.lo);
+}
+
+void
+putU64(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    const std::size_t at = buf.size();
+    buf.resize(at + 8);
+    std::memcpy(buf.data() + at, &v, 8);
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+} // namespace
+
+Digest128
+csrContentKey(const Csr &m)
+{
+    Hash128 h;
+    h.u64(static_cast<std::uint64_t>(m.rows()));
+    h.u64(static_cast<std::uint64_t>(m.cols()));
+    h.u64(m.nnz());
+    const auto rp = m.rowPtr();
+    h.bytes(rp.data(), rp.size_bytes());
+    const auto ci = m.colIndex();
+    h.bytes(ci.data(), ci.size_bytes());
+    const auto vals = m.values();
+    h.bytes(vals.data(), vals.size_bytes());
+    return h.digest();
+}
+
+Digest128
+blockingConfigKey(const BlockingConfig &config)
+{
+    Hash128 h;
+    h.u64(config.sizes.size());
+    for (unsigned s : config.sizes)
+        h.u64(s);
+    h.f64(config.densityFactor);
+    h.u64(static_cast<std::uint64_t>(config.maxExpRange));
+    return h.digest();
+}
+
+std::string
+artifactSidecarPath(const std::string &matrixPath)
+{
+    const std::string ext = ".mscbin";
+    if (matrixPath.size() >= ext.size() &&
+        matrixPath.compare(matrixPath.size() - ext.size(),
+                           ext.size(), ext) == 0) {
+        return matrixPath;
+    }
+    return matrixPath + ext;
+}
+
+void
+writeArtifact(const std::string &path, const Csr &m,
+              const BlockPlan *plan, const BlockingConfig &config)
+{
+    const auto rp = m.rowPtr();
+    const auto ci = m.colIndex();
+    const auto vals = m.values();
+
+    std::vector<OutSection> sections;
+    sections.push_back(
+        {Sec::RowPtr, rp.data(), rp.size_bytes()});
+    sections.push_back(
+        {Sec::ColIdx, ci.data(), ci.size_bytes()});
+    sections.push_back(
+        {Sec::Values, vals.data(), vals.size_bytes()});
+
+    // Serialized plan sections (owned buffers).
+    std::vector<std::uint8_t> statsBuf;
+    std::vector<DirEntry> dir;
+    std::vector<Triplet> elems;
+    if (plan != nullptr) {
+        if (plan->rows != m.rows() || plan->cols != m.cols())
+            fatal("writeArtifact: plan dimensions disagree with "
+                  "matrix");
+        if (plan->stats.blocksPerSize.size() != config.sizes.size())
+            fatal("writeArtifact: plan/config size-class mismatch");
+        putU64(statsBuf, plan->stats.totalNnz);
+        putU64(statsBuf, plan->stats.blockedNnz);
+        putU64(statsBuf, plan->stats.unblockedNnz);
+        putU64(statsBuf, plan->stats.expRangeEvictions);
+        putU64(statsBuf, plan->stats.elementVisits);
+        putU64(statsBuf, config.sizes.size());
+        for (std::size_t si = 0; si < config.sizes.size(); ++si) {
+            putU64(statsBuf, config.sizes[si]);
+            putU64(statsBuf, plan->stats.blocksPerSize[si]);
+        }
+
+        dir.reserve(plan->blocks.size());
+        std::uint64_t at = 0;
+        for (const MatrixBlock &b : plan->blocks) {
+            dir.push_back({b.rowOrigin, b.colOrigin, b.size, 0, at,
+                           b.elems.size()});
+            at += b.elems.size();
+        }
+        elems.reserve(at);
+        for (const MatrixBlock &b : plan->blocks)
+            elems.insert(elems.end(), b.elems.begin(),
+                         b.elems.end());
+
+        const auto urp = plan->unblocked.rowPtr();
+        const auto uci = plan->unblocked.colIndex();
+        const auto uva = plan->unblocked.values();
+        sections.push_back(
+            {Sec::PlanStats, statsBuf.data(), statsBuf.size()});
+        sections.push_back(
+            {Sec::BlockDir, dir.data(),
+             dir.size() * sizeof(DirEntry)});
+        sections.push_back(
+            {Sec::BlockElems, elems.data(),
+             elems.size() * sizeof(Triplet)});
+        sections.push_back(
+            {Sec::UnbRowPtr, urp.data(), urp.size_bytes()});
+        sections.push_back(
+            {Sec::UnbColIdx, uci.data(), uci.size_bytes()});
+        sections.push_back(
+            {Sec::UnbValues, uva.data(), uva.size_bytes()});
+    }
+
+    // Lay out the payload.
+    const std::size_t headerBytes =
+        kFixedHeaderBytes + sections.size() * 24;
+    std::vector<std::uint64_t> offsets(sections.size());
+    std::size_t at = alignUp(headerBytes);
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+        offsets[i] = at;
+        at = alignUp(at + sections[i].bytes);
+    }
+
+    const Digest128 matKey = csrContentKey(m);
+    const Digest128 blkKey =
+        plan ? blockingConfigKey(config) : Digest128{};
+    Hash128 sumHash;
+    checksumHeader(sumHash, static_cast<std::uint64_t>(m.rows()),
+                   static_cast<std::uint64_t>(m.cols()), m.nnz(),
+                   matKey, plan ? kFlagHasPlan : 0, blkKey);
+    for (const OutSection &s : sections) {
+        sumHash.u64(static_cast<std::uint64_t>(s.id));
+        sumHash.bytes(s.data, s.bytes);
+    }
+    const Digest128 sum = sumHash.digest();
+
+    std::vector<std::uint8_t> header;
+    header.reserve(headerBytes);
+    header.insert(header.end(), kMagic, kMagic + 8);
+    putU64(header, kVersion);
+    putU64(header, kEndianTag);
+    putU64(header, static_cast<std::uint64_t>(m.rows()));
+    putU64(header, static_cast<std::uint64_t>(m.cols()));
+    putU64(header, m.nnz());
+    putU64(header, matKey.hi);
+    putU64(header, matKey.lo);
+    putU64(header, plan ? kFlagHasPlan : 0);
+    putU64(header, blkKey.hi);
+    putU64(header, blkKey.lo);
+    putU64(header, sum.hi);
+    putU64(header, sum.lo);
+    putU64(header, sections.size());
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+        putU64(header, static_cast<std::uint64_t>(sections[i].id));
+        putU64(header, offsets[i]);
+        putU64(header, sections[i].bytes);
+    }
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("writeArtifact: cannot open ", path, " for writing");
+    out.write(reinterpret_cast<const char *>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+    std::size_t written = header.size();
+    static constexpr char zeros[kAlign] = {};
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+        while (written < offsets[i]) {
+            const std::size_t pad = std::min<std::size_t>(
+                offsets[i] - written, kAlign);
+            out.write(zeros, static_cast<std::streamsize>(pad));
+            written += pad;
+        }
+        if (sections[i].bytes > 0) { // empty vectors may hand null
+            out.write(
+                static_cast<const char *>(sections[i].data),
+                static_cast<std::streamsize>(sections[i].bytes));
+        }
+        written += sections[i].bytes;
+    }
+    out.flush();
+    if (!out)
+        fatal("writeArtifact: write failed for ", path);
+}
+
+MappedArtifact::~MappedArtifact()
+{
+#if MSC_BINIO_HAVE_MMAP
+    if (usedMmap && base != nullptr)
+        ::munmap(const_cast<std::uint8_t *>(base), mapBytes);
+#endif
+}
+
+std::shared_ptr<MappedArtifact>
+MappedArtifact::map(const std::string &path)
+{
+    using Reason = BinioError::Reason;
+    // shared_ptr with access to the private ctor.
+    std::shared_ptr<MappedArtifact> art(new MappedArtifact());
+
+#if MSC_BINIO_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        bfail(Reason::CannotOpen, "binio: cannot open ", path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        bfail(Reason::CannotOpen, "binio: cannot stat ", path);
+    }
+    art->mapBytes = static_cast<std::size_t>(st.st_size);
+    if (art->mapBytes > 0) {
+        void *p = ::mmap(nullptr, art->mapBytes, PROT_READ,
+                         MAP_PRIVATE, fd, 0);
+        ::close(fd);
+        if (p == MAP_FAILED)
+            bfail(Reason::CannotOpen, "binio: mmap failed for ",
+                  path);
+        art->base = static_cast<const std::uint8_t *>(p);
+        art->usedMmap = true;
+    } else {
+        ::close(fd);
+    }
+#else
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        bfail(Reason::CannotOpen, "binio: cannot open ", path);
+    const std::streamoff sz = in.tellg();
+    in.seekg(0);
+    art->mapBytes = static_cast<std::size_t>(sz);
+    art->fallbackBuf =
+        std::make_unique<std::uint8_t[]>(art->mapBytes);
+    in.read(reinterpret_cast<char *>(art->fallbackBuf.get()),
+            static_cast<std::streamsize>(art->mapBytes));
+    if (!in)
+        bfail(Reason::CannotOpen, "binio: read failed for ", path);
+    art->base = art->fallbackBuf.get();
+#endif
+
+    const std::uint8_t *b = art->base;
+    const std::size_t n = art->mapBytes;
+    if (n < 8)
+        bfail(Reason::Truncated, "binio: ", path,
+              " too short for a magic number (", n, " bytes)");
+    if (std::memcmp(b, kMagic, 8) != 0)
+        bfail(Reason::BadMagic, "binio: ", path,
+              " is not an msc artifact");
+    if (n < kFixedHeaderBytes)
+        bfail(Reason::Truncated, "binio: ", path,
+              " truncated inside the header");
+    const std::uint64_t version = getU64(b + 8);
+    if (version != kVersion)
+        bfail(Reason::BadVersion, "binio: ", path,
+              " is format version ", version, "; this build reads ",
+              kVersion);
+    if (getU64(b + 16) != kEndianTag)
+        bfail(Reason::Unsupported, "binio: ", path,
+              " byte order does not match this host");
+
+    const std::uint64_t rows = getU64(b + 24);
+    const std::uint64_t cols = getU64(b + 32);
+    const std::uint64_t nnz = getU64(b + 40);
+    if (rows > 0x7fffffffULL || cols > 0x7fffffffULL)
+        bfail(Reason::Unsupported, "binio: ", path,
+              " dimensions exceed int32");
+    art->nRows = static_cast<std::int32_t>(rows);
+    art->nCols = static_cast<std::int32_t>(cols);
+    art->nz = static_cast<std::size_t>(nnz);
+    art->matKey = {getU64(b + 48), getU64(b + 56)};
+    const std::uint64_t flags = getU64(b + 64);
+    art->planPresent = (flags & kFlagHasPlan) != 0;
+    art->blkKey = {getU64(b + 72), getU64(b + 80)};
+    const Digest128 storedSum{getU64(b + 88), getU64(b + 96)};
+    const std::uint64_t sectionCount = getU64(b + 104);
+    if (sectionCount > kMaxSections)
+        bfail(Reason::BadSection, "binio: ", path, " declares ",
+              sectionCount, " sections");
+    const std::size_t headerBytes =
+        kFixedHeaderBytes + sectionCount * 24;
+    if (n < headerBytes)
+        bfail(Reason::Truncated, "binio: ", path,
+              " truncated inside the section table");
+
+    // Resolve and bounds-check every section before touching any
+    // payload byte: a short mapping must fail structurally, never
+    // fault.
+    struct Found
+    {
+        const std::uint8_t *p = nullptr;
+        std::size_t bytes = 0;
+        bool present = false;
+    };
+    Found found[10];
+    for (std::uint64_t i = 0; i < sectionCount; ++i) {
+        const std::uint8_t *e = b + kFixedHeaderBytes + i * 24;
+        const std::uint64_t id = getU64(e);
+        const std::uint64_t off = getU64(e + 8);
+        const std::uint64_t bytes = getU64(e + 16);
+        if (id == 0 || id > 9)
+            bfail(Reason::BadSection, "binio: ", path,
+                  " has unknown section id ", id);
+        if (found[id].present)
+            bfail(Reason::BadSection, "binio: ", path,
+                  " has duplicate section id ", id);
+        if (off % 8 != 0)
+            bfail(Reason::BadSection, "binio: ", path,
+                  " section ", id, " is misaligned");
+        if (off > n || bytes > n - off)
+            bfail(Reason::Truncated, "binio: ", path, " section ",
+                  id, " extends past end of file");
+        found[id] = {b + off, static_cast<std::size_t>(bytes),
+                     true};
+    }
+
+    auto need = [&](Sec id, std::size_t expectBytes,
+                    const char *what) -> const std::uint8_t * {
+        const Found &f = found[static_cast<std::size_t>(id)];
+        if (!f.present)
+            bfail(Reason::BadSection, "binio: ", path,
+                  " is missing its ", what, " section");
+        if (f.bytes != expectBytes)
+            bfail(Reason::BadSection, "binio: ", path, " ", what,
+                  " section is ", f.bytes, " bytes; expected ",
+                  expectBytes);
+        return f.p;
+    };
+
+    const std::size_t rowPtrBytes =
+        (static_cast<std::size_t>(art->nRows) + 1) * 8;
+    art->rowPtrSec = reinterpret_cast<const std::int64_t *>(
+        need(Sec::RowPtr, rowPtrBytes, "row-pointer"));
+    art->colIdxSec = reinterpret_cast<const std::int32_t *>(
+        need(Sec::ColIdx, art->nz * 4, "column-index"));
+    art->valsSec = reinterpret_cast<const double *>(
+        need(Sec::Values, art->nz * 8, "values"));
+
+    if (art->planPresent) {
+        const Found &ps =
+            found[static_cast<std::size_t>(Sec::PlanStats)];
+        if (!ps.present || ps.bytes < 48 || (ps.bytes - 48) % 16 != 0)
+            bfail(Reason::BadSection, "binio: ", path,
+                  " plan-stats section malformed");
+        art->planStatsSec = ps.p;
+        art->planStatsBytes = ps.bytes;
+
+        const Found &bd =
+            found[static_cast<std::size_t>(Sec::BlockDir)];
+        if (!bd.present || bd.bytes % sizeof(DirEntry) != 0)
+            bfail(Reason::BadSection, "binio: ", path,
+                  " block-directory section malformed");
+        art->blockDirSec = bd.p;
+        art->blockDirCount = bd.bytes / sizeof(DirEntry);
+
+        const Found &be =
+            found[static_cast<std::size_t>(Sec::BlockElems)];
+        if (!be.present || be.bytes % sizeof(Triplet) != 0)
+            bfail(Reason::BadSection, "binio: ", path,
+                  " block-elements section malformed");
+        art->blockElemsSec = be.p;
+        art->blockElemCount = be.bytes / sizeof(Triplet);
+
+        art->unbRowPtrSec = reinterpret_cast<const std::int64_t *>(
+            need(Sec::UnbRowPtr, rowPtrBytes,
+                 "unblocked row-pointer"));
+        const Found &uc =
+            found[static_cast<std::size_t>(Sec::UnbColIdx)];
+        if (!uc.present || uc.bytes % 4 != 0)
+            bfail(Reason::BadSection, "binio: ", path,
+                  " unblocked column-index section malformed");
+        art->unbNnz = uc.bytes / 4;
+        art->unbColIdxSec =
+            reinterpret_cast<const std::int32_t *>(uc.p);
+        art->unbValsSec = reinterpret_cast<const double *>(
+            need(Sec::UnbValues, art->unbNnz * 8,
+                 "unblocked values"));
+    }
+
+    // Header + payload checksum: any bit flip below this line is
+    // already excluded, so the content checks after it only guard
+    // against a consistently-checksummed-but-wrong writer.
+    {
+        Hash128 h;
+        checksumHeader(h, rows, cols, nnz, art->matKey, flags,
+                       art->blkKey);
+        for (std::uint64_t i = 0; i < sectionCount; ++i) {
+            const std::uint8_t *e = b + kFixedHeaderBytes + i * 24;
+            h.u64(getU64(e));
+            h.bytes(b + getU64(e + 8), getU64(e + 16));
+        }
+        if (h.digest() != storedSum)
+            bfail(Reason::BadChecksum, "binio: ", path,
+                  " payload checksum mismatch");
+    }
+
+    // Content validation: the mapped arrays feed unchecked index
+    // arithmetic (spmv, cluster scratch), so every index must be
+    // proven in range here, once.
+    auto checkCsr = [&](const std::int64_t *rp,
+                        const std::int32_t *ci, std::size_t count,
+                        const char *what) {
+        if (rp[0] != 0 ||
+            rp[art->nRows] != static_cast<std::int64_t>(count))
+            bfail(Reason::BadSection, "binio: ", path, " ", what,
+                  " row pointers do not span the nonzeros");
+        for (std::int32_t r = 0; r < art->nRows; ++r) {
+            if (rp[r] > rp[r + 1])
+                bfail(Reason::BadSection, "binio: ", path, " ",
+                      what, " row pointers are not monotonic");
+        }
+        for (std::size_t k = 0; k < count; ++k) {
+            if (ci[k] < 0 || ci[k] >= art->nCols)
+                bfail(Reason::BadSection, "binio: ", path, " ",
+                      what, " column index out of range");
+        }
+    };
+    checkCsr(art->rowPtrSec, art->colIdxSec, art->nz, "matrix");
+    if (art->planPresent) {
+        checkCsr(art->unbRowPtrSec, art->unbColIdxSec, art->unbNnz,
+                 "unblocked");
+        for (std::size_t i = 0; i < art->blockDirCount; ++i) {
+            DirEntry d;
+            std::memcpy(&d, art->blockDirSec + i * sizeof(DirEntry),
+                        sizeof d);
+            if (d.size == 0 || d.rowOrigin < 0 || d.colOrigin < 0 ||
+                d.rowOrigin >= art->nRows ||
+                d.colOrigin >= art->nCols ||
+                d.elemOffset > art->blockElemCount ||
+                d.elemCount >
+                    art->blockElemCount - d.elemOffset) {
+                bfail(Reason::BadSection, "binio: ", path,
+                      " block directory entry ", i,
+                      " is out of range");
+            }
+        }
+    }
+
+    return art;
+}
+
+Csr
+MappedArtifact::matrixView() const
+{
+    return Csr::view(nRows, nCols, rowPtrSec, colIdxSec, valsSec,
+                     nz);
+}
+
+BlockPlan
+MappedArtifact::decodePlan() const
+{
+    if (!planPresent)
+        panic("MappedArtifact::decodePlan: artifact has no plan");
+    BlockPlan plan;
+    plan.rows = nRows;
+    plan.cols = nCols;
+
+    const std::uint8_t *ps = planStatsSec;
+    plan.stats.totalNnz = getU64(ps);
+    plan.stats.blockedNnz = getU64(ps + 8);
+    plan.stats.unblockedNnz = getU64(ps + 16);
+    plan.stats.expRangeEvictions = getU64(ps + 24);
+    plan.stats.elementVisits = getU64(ps + 32);
+    const std::uint64_t nSizes = getU64(ps + 40);
+    if (48 + nSizes * 16 != planStatsBytes) {
+        throw BinioError(BinioError::Reason::BadSection,
+                         "fatal: binio: plan-stats size-class count "
+                         "disagrees with section length");
+    }
+    plan.stats.blocksPerSize.resize(nSizes);
+    for (std::uint64_t si = 0; si < nSizes; ++si)
+        plan.stats.blocksPerSize[si] = getU64(ps + 56 + si * 16);
+
+    plan.blocks.reserve(blockDirCount);
+    for (std::size_t i = 0; i < blockDirCount; ++i) {
+        DirEntry d;
+        std::memcpy(&d, blockDirSec + i * sizeof(DirEntry),
+                    sizeof d);
+        MatrixBlock blk;
+        blk.rowOrigin = d.rowOrigin;
+        blk.colOrigin = d.colOrigin;
+        blk.size = d.size;
+        blk.elems.resize(d.elemCount);
+        std::memcpy(blk.elems.data(),
+                    blockElemsSec + d.elemOffset * sizeof(Triplet),
+                    d.elemCount * sizeof(Triplet));
+        for (const Triplet &t : blk.elems) {
+            if (t.row < 0 || t.col < 0 ||
+                static_cast<std::uint32_t>(t.row) >= d.size ||
+                static_cast<std::uint32_t>(t.col) >= d.size) {
+                throw BinioError(
+                    BinioError::Reason::BadSection,
+                    "fatal: binio: block element outside its "
+                    "block");
+            }
+        }
+        plan.blocks.push_back(std::move(blk));
+    }
+
+    plan.unblocked = Csr::view(nRows, nCols, unbRowPtrSec,
+                               unbColIdxSec, unbValsSec, unbNnz);
+    return plan;
+}
+
+LoadedMatrix
+loadMatrixFile(const std::string &path)
+{
+    if (artifactSidecarPath(path) == path) {
+        // Direct artifact path: errors propagate, no text fallback.
+        auto art = MappedArtifact::map(path);
+        ctrMapHits.add();
+        LoadedMatrix lm;
+        lm.csr = art->matrixView();
+        lm.artifact = std::move(art);
+        return lm;
+    }
+    try {
+        auto art = MappedArtifact::map(artifactSidecarPath(path));
+        ctrMapHits.add();
+        LoadedMatrix lm;
+        lm.csr = art->matrixView();
+        lm.artifact = std::move(art);
+        return lm;
+    } catch (const BinioError &) {
+        // Missing or invalid sidecar: corruption costs performance,
+        // never correctness.
+    }
+    ctrFallbackParse.add();
+    LoadedMatrix lm;
+    lm.csr = readMatrixMarket(path);
+    return lm;
+}
+
+} // namespace msc

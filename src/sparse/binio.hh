@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Binary matrix artifact: mmap-backed, zero-copy CSR + blocking
+ * placement, the cross-process extension of the in-process
+ * PrepareCache.
+ *
+ * A cold solve pays Matrix Market text parsing plus the blocking
+ * preprocessor; both are pure functions of the file bytes and the
+ * blocking configuration, so they belong in a durable artifact
+ * written once (tools/msc_pack) and mapped read-only by every
+ * service instance. The format is versioned, checksummed, and
+ * explicitly little-endian 64-bit:
+ *
+ *   magic "MSCBIN1\n" | version | endian tag | rows cols nnz |
+ *   128-bit matrix content key | flags | 128-bit blocking key |
+ *   128-bit payload checksum | section table | payload
+ *
+ * Sections are 64-byte aligned so mapped arrays satisfy any vector
+ * alignment; the loader memcpy-free aliases int64/int32/double
+ * arrays straight out of the mapping (Csr::view). The matrix
+ * content key reuses the PrepareCache 128-bit keying
+ * (csrContentKey): an artifact packed on one machine resolves to
+ * the same cache entry a text parse would, which is what lets a
+ * cache miss with a sidecar artifact skip parse+preprocess
+ * entirely.
+ *
+ * Validation story (satellite: never UB on a short mapping): magic,
+ * version, and endian tag gate first; every section-table entry is
+ * bounds-checked against the actual file size before any payload
+ * byte is dereferenced; the checksum -- covering the header's
+ * semantic fields and every section byte -- is verified on every
+ * map. A failure is a structured BinioError, and loadMatrixFile
+ * falls back to text parsing -- corruption costs performance, never
+ * correctness.
+ */
+
+#ifndef MSC_SPARSE_BINIO_HH
+#define MSC_SPARSE_BINIO_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "blocking/blocking.hh"
+#include "sparse/csr.hh"
+#include "util/hash128.hh"
+#include "util/logging.hh"
+
+namespace msc {
+
+/** Structured artifact failure; see Reason for the taxonomy. */
+class BinioError : public FatalError
+{
+  public:
+    enum class Reason
+    {
+        CannotOpen,  //!< open/stat/map failed
+        BadMagic,    //!< not an artifact file
+        BadVersion,  //!< artifact format newer/older than this build
+        Unsupported, //!< endianness mismatch or absurd geometry
+        Truncated,   //!< file shorter than the header/sections claim
+        BadChecksum, //!< payload bytes fail the stored checksum
+        BadSection,  //!< section table inconsistent with the header
+    };
+
+    BinioError(Reason why, const std::string &msg)
+        : FatalError(msg), r(why)
+    {}
+
+    Reason reason() const { return r; }
+
+  private:
+    Reason r;
+};
+
+/** 128-bit content key of a Csr: dimensions, structure, and value
+ *  bit patterns. The matrix half of the PrepareCache key, and the
+ *  key stored in packed artifacts. */
+Digest128 csrContentKey(const Csr &m);
+
+/** 128-bit key of a blocking configuration: every field that
+ *  changes planBlocks decisions. Stored in artifacts that carry a
+ *  placement plan, so a loader only reuses a plan computed under
+ *  its own configuration. */
+Digest128 blockingConfigKey(const BlockingConfig &config);
+
+/** Conventional sidecar path for a matrix file: path + ".mscbin"
+ *  (a path already ending in .mscbin is returned unchanged). */
+std::string artifactSidecarPath(const std::string &matrixPath);
+
+/**
+ * Write a packed artifact for @p m, optionally with its blocking
+ * plan. @p plan (when non-null) must be planBlocks(m, config) or
+ * the bitwise-equal streaming equivalent; @p config is hashed into
+ * the stored blocking key. Fatal on I/O failure.
+ */
+void writeArtifact(const std::string &path, const Csr &m,
+                   const BlockPlan *plan = nullptr,
+                   const BlockingConfig &config = BlockingConfig{});
+
+/**
+ * A validated, read-only mapping of a packed artifact. All views
+ * handed out (matrixView, decodePlan's unblocked CSR) alias the
+ * mapping and are valid only while this object lives; hold the
+ * shared_ptr alongside them.
+ */
+class MappedArtifact
+{
+  public:
+    /** Map and fully validate @p path. Throws BinioError. */
+    static std::shared_ptr<MappedArtifact>
+    map(const std::string &path);
+
+    ~MappedArtifact();
+    MappedArtifact(const MappedArtifact &) = delete;
+    MappedArtifact &operator=(const MappedArtifact &) = delete;
+
+    std::int32_t rows() const { return nRows; }
+    std::int32_t cols() const { return nCols; }
+    std::size_t nnz() const { return nz; }
+
+    /** Stored matrix content key (== csrContentKey of the packed
+     *  matrix; the payload checksum guards the equivalence). */
+    Digest128 matrixKey() const { return matKey; }
+
+    bool hasPlan() const { return planPresent; }
+    /** Blocking configuration the stored plan was computed under
+     *  (meaningful only when hasPlan()). */
+    Digest128 blockingKey() const { return blkKey; }
+
+    /** Zero-copy CSR view over the mapped arrays. */
+    Csr matrixView() const;
+
+    /**
+     * Decode the stored placement plan. Block element lists are
+     * copied out of the mapping (MatrixBlock owns its elements);
+     * the leftover CSR is a zero-copy view. Panics if !hasPlan().
+     */
+    BlockPlan decodePlan() const;
+
+    /** Bytes of the underlying file (diagnostics/benchmarks). */
+    std::size_t fileBytes() const { return mapBytes; }
+
+  private:
+    MappedArtifact() = default;
+
+    const std::uint8_t *base = nullptr;
+    std::size_t mapBytes = 0;
+    bool usedMmap = false;
+    std::unique_ptr<std::uint8_t[]> fallbackBuf; //!< non-mmap hosts
+
+    std::int32_t nRows = 0;
+    std::int32_t nCols = 0;
+    std::size_t nz = 0;
+    Digest128 matKey;
+    Digest128 blkKey;
+    bool planPresent = false;
+
+    // Validated section pointers into the mapping.
+    const std::int64_t *rowPtrSec = nullptr;
+    const std::int32_t *colIdxSec = nullptr;
+    const double *valsSec = nullptr;
+    const std::uint8_t *planStatsSec = nullptr;
+    std::size_t planStatsBytes = 0;
+    const std::uint8_t *blockDirSec = nullptr;
+    std::size_t blockDirCount = 0;
+    const std::uint8_t *blockElemsSec = nullptr;
+    std::size_t blockElemCount = 0;
+    const std::int64_t *unbRowPtrSec = nullptr;
+    const std::int32_t *unbColIdxSec = nullptr;
+    const double *unbValsSec = nullptr;
+    std::size_t unbNnz = 0;
+};
+
+/**
+ * A matrix resolved from a file path: the artifact fast path when a
+ * valid sidecar (or a direct .mscbin path) exists, text parsing
+ * otherwise. `csr` is a zero-copy view when `artifact` is non-null
+ * -- keep the struct (or the artifact pointer) alive as long as the
+ * matrix is used.
+ */
+struct LoadedMatrix
+{
+    Csr csr;
+    std::shared_ptr<MappedArtifact> artifact; //!< null on text parse
+};
+
+/**
+ * Resolve @p path: a .mscbin path maps directly (BinioError
+ * propagates); otherwise a valid sidecar artifact is preferred
+ * (telemetry `binio.map_hits`) and any artifact failure or absence
+ * falls back to Matrix Market parsing (`binio.fallback_parse`).
+ */
+LoadedMatrix loadMatrixFile(const std::string &path);
+
+} // namespace msc
+
+#endif // MSC_SPARSE_BINIO_HH

@@ -8,6 +8,112 @@
 
 namespace msc {
 
+void
+Csr::rebind()
+{
+    rp = rowStore.empty() ? nullptr : rowStore.data();
+    ci = colStore.data();
+    vl = valStore.data();
+    nz = colStore.size();
+    viewMode = false;
+}
+
+void
+Csr::materializeFrom(const Csr &o)
+{
+    nRows = o.nRows;
+    nCols = o.nCols;
+    rowStore.assign(o.rowPtr().begin(), o.rowPtr().end());
+    colStore.assign(o.colIndex().begin(), o.colIndex().end());
+    valStore.assign(o.values().begin(), o.values().end());
+    rebind();
+}
+
+Csr::Csr(const Csr &o)
+{
+    materializeFrom(o);
+}
+
+Csr &
+Csr::operator=(const Csr &o)
+{
+    if (this != &o)
+        materializeFrom(o);
+    return *this;
+}
+
+Csr::Csr(Csr &&o) noexcept
+    : nRows(o.nRows), nCols(o.nCols), viewMode(o.viewMode),
+      nz(o.nz), rowStore(std::move(o.rowStore)),
+      colStore(std::move(o.colStore)),
+      valStore(std::move(o.valStore)), rp(o.rp), ci(o.ci), vl(o.vl)
+{
+    if (!viewMode)
+        rebind();
+    o.nRows = o.nCols = 0;
+    o.nz = 0;
+    o.viewMode = false;
+    o.rp = nullptr;
+    o.ci = nullptr;
+    o.vl = nullptr;
+}
+
+Csr &
+Csr::operator=(Csr &&o) noexcept
+{
+    if (this == &o)
+        return *this;
+    nRows = o.nRows;
+    nCols = o.nCols;
+    viewMode = o.viewMode;
+    nz = o.nz;
+    rowStore = std::move(o.rowStore);
+    colStore = std::move(o.colStore);
+    valStore = std::move(o.valStore);
+    rp = o.rp;
+    ci = o.ci;
+    vl = o.vl;
+    if (!viewMode)
+        rebind();
+    o.nRows = o.nCols = 0;
+    o.nz = 0;
+    o.viewMode = false;
+    o.rp = nullptr;
+    o.ci = nullptr;
+    o.vl = nullptr;
+    return *this;
+}
+
+std::span<double>
+Csr::values()
+{
+    if (viewMode)
+        panic("Csr::values: mutable access to a zero-copy view "
+              "(mapped storage is read-only)");
+    return {valStore.data(), nz};
+}
+
+Csr
+Csr::view(std::int32_t rows, std::int32_t cols,
+          const std::int64_t *rowPtr, const std::int32_t *colIdx,
+          const double *vals, std::size_t nnz)
+{
+    if (rows < 0 || cols < 0 || rowPtr == nullptr)
+        panic("Csr::view: malformed arguments");
+    if (rowPtr[0] != 0 ||
+        rowPtr[rows] != static_cast<std::int64_t>(nnz))
+        panic("Csr::view: row pointer endpoints disagree with nnz");
+    Csr m;
+    m.nRows = rows;
+    m.nCols = cols;
+    m.viewMode = true;
+    m.nz = nnz;
+    m.rp = rowPtr;
+    m.ci = colIdx;
+    m.vl = vals;
+    return m;
+}
+
 Csr
 Csr::fromCoo(const Coo &coo)
 {
@@ -37,25 +143,26 @@ Csr::fromCoo(const Coo &coo)
                          return ea.col < eb.col;
                      });
 
-    m.rowStart.assign(static_cast<std::size_t>(coo.rows) + 1, 0);
-    m.colIdx.reserve(coo.entries.size());
-    m.vals.reserve(coo.entries.size());
+    m.rowStore.assign(static_cast<std::size_t>(coo.rows) + 1, 0);
+    m.colStore.reserve(coo.entries.size());
+    m.valStore.reserve(coo.entries.size());
 
     for (std::size_t k = 0; k < order.size(); ++k) {
         const Triplet &t = coo.entries[order[k]];
         if (k > 0) {
             const Triplet &prev = coo.entries[order[k - 1]];
             if (prev.row == t.row && prev.col == t.col) {
-                m.vals.back() += t.val; // duplicate: accumulate
+                m.valStore.back() += t.val; // duplicate: accumulate
                 continue;
             }
         }
-        m.colIdx.push_back(t.col);
-        m.vals.push_back(t.val);
-        m.rowStart[static_cast<std::size_t>(t.row) + 1] += 1;
+        m.colStore.push_back(t.col);
+        m.valStore.push_back(t.val);
+        m.rowStore[static_cast<std::size_t>(t.row) + 1] += 1;
     }
     for (std::size_t r = 0; r < static_cast<std::size_t>(coo.rows); ++r)
-        m.rowStart[r + 1] += m.rowStart[r];
+        m.rowStore[r + 1] += m.rowStore[r];
+    m.rebind();
     return m;
 }
 
@@ -78,8 +185,8 @@ Csr::spmv(std::span<const double> x, std::span<double> y) const
         fatal("Csr::spmv: dimension mismatch");
     for (std::int32_t r = 0; r < nRows; ++r) {
         double acc = 0.0;
-        for (std::int32_t k = rowStart[r]; k < rowStart[r + 1]; ++k)
-            acc += vals[k] * x[static_cast<std::size_t>(colIdx[k])];
+        for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k)
+            acc += vl[k] * x[static_cast<std::size_t>(ci[k])];
         y[static_cast<std::size_t>(r)] = acc;
     }
 }
@@ -93,8 +200,8 @@ Csr::spmvTranspose(std::span<const double> x, std::span<double> y) const
     std::fill(y.begin(), y.end(), 0.0);
     for (std::int32_t r = 0; r < nRows; ++r) {
         const double xr = x[static_cast<std::size_t>(r)];
-        for (std::int32_t k = rowStart[r]; k < rowStart[r + 1]; ++k)
-            y[static_cast<std::size_t>(colIdx[k])] += vals[k] * xr;
+        for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k)
+            y[static_cast<std::size_t>(ci[k])] += vl[k] * xr;
     }
 }
 
@@ -106,8 +213,8 @@ Csr::transpose() const
     coo.cols = nRows;
     coo.entries.reserve(nnz());
     for (std::int32_t r = 0; r < nRows; ++r) {
-        for (std::int32_t k = rowStart[r]; k < rowStart[r + 1]; ++k)
-            coo.add(colIdx[k], r, vals[k]);
+        for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k)
+            coo.add(ci[k], r, vl[k]);
     }
     return fromCoo(coo);
 }
@@ -118,12 +225,15 @@ Csr::isSymmetric(double relTol) const
     if (nRows != nCols)
         return false;
     const Csr t = transpose();
-    if (t.colIdx != colIdx || t.rowStart != rowStart)
+    const auto tc = t.colIndex(), c = colIndex();
+    const auto trp = t.rowPtr(), mrp = rowPtr();
+    if (!std::equal(tc.begin(), tc.end(), c.begin(), c.end()) ||
+        !std::equal(trp.begin(), trp.end(), mrp.begin(), mrp.end()))
         return false;
-    for (std::size_t k = 0; k < vals.size(); ++k) {
-        const double d = std::fabs(vals[k] - t.vals[k]);
-        const double scale = std::max(std::fabs(vals[k]),
-                                      std::fabs(t.vals[k]));
+    for (std::size_t k = 0; k < nz; ++k) {
+        const double d = std::fabs(vl[k] - t.vl[k]);
+        const double scale = std::max(std::fabs(vl[k]),
+                                      std::fabs(t.vl[k]));
         if (d > relTol * scale && d != 0.0)
             return false;
     }
@@ -138,8 +248,8 @@ Csr::toCoo() const
     coo.cols = nCols;
     coo.entries.reserve(nnz());
     for (std::int32_t r = 0; r < nRows; ++r) {
-        for (std::int32_t k = rowStart[r]; k < rowStart[r + 1]; ++k)
-            coo.add(r, colIdx[k], vals[k]);
+        for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k)
+            coo.add(r, ci[k], vl[k]);
     }
     return coo;
 }
@@ -149,8 +259,8 @@ Csr::rowSums() const
 {
     std::vector<double> sums(static_cast<std::size_t>(nRows), 0.0);
     for (std::int32_t r = 0; r < nRows; ++r) {
-        for (std::int32_t k = rowStart[r]; k < rowStart[r + 1]; ++k)
-            sums[static_cast<std::size_t>(r)] += vals[k];
+        for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k)
+            sums[static_cast<std::size_t>(r)] += vl[k];
     }
     return sums;
 }

@@ -6,6 +6,19 @@
  * CSR is the format the paper's local processors use for elements
  * that cannot be blocked (Section VI-A1), and the base representation
  * from which the blocking preprocessor works.
+ *
+ * Row offsets are 64-bit: the out-of-core pipeline (sparse/binio)
+ * removes the RAM bound on problem size, so nnz can legitimately
+ * exceed 2^31 and a 32-bit row-pointer array would silently wrap.
+ * Column indices stay 32-bit (dimensions are capped at 2^31-1 by the
+ * loaders), which keeps the per-nonzero footprint at 12 bytes.
+ *
+ * A Csr either owns its arrays (fromCoo/identity and every mutation
+ * path) or is a non-owning *view* over external storage -- the
+ * zero-copy case for an mmap-ed binio artifact. Views are read-only;
+ * copying a view deep-copies it into owned storage (always safe),
+ * while moving transfers the view. The external storage must outlive
+ * a view and every span taken from it.
  */
 
 #ifndef MSC_SPARSE_CSR_HH
@@ -47,42 +60,79 @@ class Csr
   public:
     Csr() = default;
 
+    /** Copying always yields an owning matrix: a copied view is
+     *  deep-copied so it can outlive the mapped storage. */
+    Csr(const Csr &o);
+    Csr &operator=(const Csr &o);
+    /** Moving preserves view-ness (the source is left empty). */
+    Csr(Csr &&o) noexcept;
+    Csr &operator=(Csr &&o) noexcept;
+    ~Csr() = default;
+
     /** Build from COO; duplicate entries are summed. */
     static Csr fromCoo(const Coo &coo);
 
     /** Build an n x n identity. */
     static Csr identity(std::int32_t n);
 
+    /**
+     * Non-owning zero-copy view over external CSR arrays (the binio
+     * mmap path). @p rowPtr must have rows+1 entries with
+     * rowPtr[0] == 0 and rowPtr[rows] == nnz; the caller keeps the
+     * backing memory alive for the view's lifetime.
+     */
+    static Csr view(std::int32_t rows, std::int32_t cols,
+                    const std::int64_t *rowPtr,
+                    const std::int32_t *colIdx, const double *vals,
+                    std::size_t nnz);
+
+    /** False for a zero-copy view over external storage. */
+    bool owning() const { return !viewMode; }
+
     std::int32_t rows() const { return nRows; }
     std::int32_t cols() const { return nCols; }
-    std::size_t nnz() const { return colIdx.size(); }
+    std::size_t nnz() const { return nz; }
 
-    std::span<const std::int32_t> rowPtr() const { return rowStart; }
-    std::span<const std::int32_t> colIndex() const { return colIdx; }
-    std::span<const double> values() const { return vals; }
-    std::span<double> values() { return vals; }
+    std::span<const std::int64_t>
+    rowPtr() const
+    {
+        return rp == nullptr
+            ? std::span<const std::int64_t>{}
+            : std::span<const std::int64_t>{
+                  rp, static_cast<std::size_t>(nRows) + 1};
+    }
+
+    std::span<const std::int32_t>
+    colIndex() const
+    {
+        return {ci, nz};
+    }
+
+    std::span<const double> values() const { return {vl, nz}; }
+
+    /** Mutable coefficient access; panics on a view (external
+     *  storage is mapped read-only). */
+    std::span<double> values();
 
     /** Number of nonzeros in row @p r. */
-    std::int32_t
+    std::int64_t
     rowNnz(std::int32_t r) const
     {
-        return rowStart[r + 1] - rowStart[r];
+        return rp[r + 1] - rp[r];
     }
 
     /** Column indices of row @p r. */
     std::span<const std::int32_t>
     rowCols(std::int32_t r) const
     {
-        return {colIdx.data() + rowStart[r],
-                static_cast<std::size_t>(rowNnz(r))};
+        return {ci + rp[r], static_cast<std::size_t>(rowNnz(r))};
     }
 
     /** Values of row @p r. */
     std::span<const double>
     rowVals(std::int32_t r) const
     {
-        return {vals.data() + rowStart[r],
-                static_cast<std::size_t>(rowNnz(r))};
+        return {vl + rp[r], static_cast<std::size_t>(rowNnz(r))};
     }
 
     /** y = A * x (plain double accumulation). */
@@ -104,11 +154,24 @@ class Csr
     std::vector<double> rowSums() const;
 
   private:
+    /** Point the access pointers at the owned vectors. */
+    void rebind();
+    /** Deep-copy any source (owning or view) into owned storage. */
+    void materializeFrom(const Csr &o);
+
     std::int32_t nRows = 0;
     std::int32_t nCols = 0;
-    std::vector<std::int32_t> rowStart; //!< size rows+1
-    std::vector<std::int32_t> colIdx;
-    std::vector<double> vals;
+    bool viewMode = false;
+    std::size_t nz = 0;
+    /** Owned storage; empty when this Csr is a view. */
+    std::vector<std::int64_t> rowStore; //!< size rows+1
+    std::vector<std::int32_t> colStore;
+    std::vector<double> valStore;
+    /** Active arrays: the owned vectors, or external (mmap) memory
+     *  for views. */
+    const std::int64_t *rp = nullptr;
+    const std::int32_t *ci = nullptr;
+    const double *vl = nullptr;
 };
 
 /** y = a*x + y elementwise (the AXPY kernel of Section VI-A3). */

@@ -31,10 +31,20 @@ mmFail(MatrixMarketError::Reason why, std::uint64_t parsed,
         parsed);
 }
 
+/** Drop a trailing '\r': files written on Windows arrive with CRLF
+ *  line endings, and the '\r' must not leak into the last token of
+ *  an entry (where it fails the >> extraction) or the banner. */
+void
+stripCr(std::string &line)
+{
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+}
+
 } // namespace
 
-Csr
-readMatrixMarket(std::istream &in)
+MatrixMarketHeader
+readMatrixMarketHeader(std::istream &in)
 {
     using Reason = MatrixMarketError::Reason;
     std::string line;
@@ -43,6 +53,14 @@ readMatrixMarket(std::istream &in)
             mmFail(Reason::StreamError, 0,
                    "matrix market: read error on banner line");
         mmFail(Reason::EmptyInput, 0, "matrix market: empty input");
+    }
+    stripCr(line);
+    // A UTF-8 byte-order mark before the banner is produced by some
+    // Windows editors; the spec's banner match is byte-exact, so the
+    // BOM must be stripped rather than folded into the tag.
+    if (line.size() >= 3 && line[0] == '\xef' && line[1] == '\xbb' &&
+        line[2] == '\xbf') {
+        line.erase(0, 3);
     }
 
     std::istringstream banner(line);
@@ -61,16 +79,15 @@ readMatrixMarket(std::istream &in)
     if (field != "real" && field != "integer" && field != "pattern")
         mmFail(Reason::Unsupported, 0,
                "matrix market: unsupported field: ", field);
-    const bool pattern = (field == "pattern");
-    bool symmetric = false;
-    bool skewSymmetric = false;
+    MatrixMarketHeader h;
+    h.pattern = (field == "pattern");
     if (symmetry == "general") {
         // nothing
     } else if (symmetry == "symmetric") {
-        symmetric = true;
+        h.symmetric = true;
     } else if (symmetry == "skew-symmetric") {
-        symmetric = true;
-        skewSymmetric = true;
+        h.symmetric = true;
+        h.skewSymmetric = true;
     } else {
         mmFail(Reason::Unsupported, 0,
                "matrix market: unsupported symmetry: ", symmetry);
@@ -78,7 +95,7 @@ readMatrixMarket(std::istream &in)
     // The MM spec allows pattern matrices to be general or symmetric
     // only: a skew-symmetric pattern has no values to negate, and
     // mirroring the implicit 1.0 as -1.0 would fabricate data.
-    if (pattern && skewSymmetric)
+    if (h.pattern && h.skewSymmetric)
         mmFail(Reason::Unsupported, 0,
                "matrix market: pattern field cannot be "
                "skew-symmetric");
@@ -86,6 +103,7 @@ readMatrixMarket(std::istream &in)
     // Skip comments.
     bool haveSizeLine = false;
     while (std::getline(in, line)) {
+        stripCr(line);
         if (!line.empty() && line[0] != '%') {
             haveSizeLine = true;
             break;
@@ -108,19 +126,22 @@ readMatrixMarket(std::istream &in)
     if (rows > dimMax || cols > dimMax)
         mmFail(Reason::BadSize, 0,
                "matrix market: dimensions out of range: ", line);
+    h.rows = static_cast<std::int32_t>(rows);
+    h.cols = static_cast<std::int32_t>(cols);
+    h.declaredEntries = static_cast<std::uint64_t>(declaredNnz);
+    return h;
+}
 
-    Coo coo;
-    coo.rows = static_cast<std::int32_t>(rows);
-    coo.cols = static_cast<std::int32_t>(cols);
-    // A hostile nnz in the header must not abort on allocation; the
-    // vector grows on demand and a lying header surfaces as a
-    // truncation error below.
-    coo.entries.reserve(std::min<std::size_t>(
-        static_cast<std::size_t>(declaredNnz) * (symmetric ? 2 : 1),
-        std::size_t{1} << 20));
-
-    for (long k = 0; k < declaredNnz; ++k) {
-        const auto parsed = static_cast<std::uint64_t>(k);
+void
+forEachMatrixMarketEntry(
+    std::istream &in, const MatrixMarketHeader &header,
+    const std::function<void(std::int32_t, std::int32_t, double)>
+        &sink)
+{
+    using Reason = MatrixMarketError::Reason;
+    std::string line;
+    for (std::uint64_t k = 0; k < header.declaredEntries; ++k) {
+        const std::uint64_t parsed = k;
         if (!std::getline(in, line)) {
             // EOF mid-entry is a truncated file (partial download);
             // badbit is the device failing underneath us. Both were
@@ -134,6 +155,7 @@ readMatrixMarket(std::istream &in)
                    "matrix market: truncated after ", k,
                    " entries");
         }
+        stripCr(line);
         if (line.empty() || line[0] == '%') {
             --k;
             continue;
@@ -142,33 +164,67 @@ readMatrixMarket(std::istream &in)
         long long r = 0, c = 0;
         double v = 1.0;
         entry >> r >> c;
-        if (!pattern)
+        if (!header.pattern)
             entry >> v;
         if (entry.fail())
             mmFail(Reason::BadEntry, parsed,
                    "matrix market: bad entry line: ", line);
         // Checked on the wide value: a huge 1-based index must not
         // wrap through the int32 cast into a valid-looking slot.
-        if (r < 1 || r > rows || c < 1 || c > cols)
+        if (r < 1 || r > header.rows || c < 1 || c > header.cols)
             mmFail(Reason::BadEntry, parsed,
                    "matrix market: entry index out of range: ",
                    line);
         // Skew-symmetry forces a zero diagonal; a nonzero explicit
         // diagonal entry contradicts the declared symmetry and must
         // not be silently stored.
-        if (skewSymmetric && r == c && v != 0.0) {
+        if (header.skewSymmetric && r == c && v != 0.0) {
             mmFail(Reason::BadEntry, parsed,
                    "matrix market: nonzero diagonal entry in "
                    "skew-symmetric matrix: ", line);
         }
-        coo.add(static_cast<std::int32_t>(r - 1),
-                static_cast<std::int32_t>(c - 1), v);
-        if (symmetric && r != c) {
-            coo.add(static_cast<std::int32_t>(c - 1),
-                    static_cast<std::int32_t>(r - 1),
-                    skewSymmetric ? -v : v);
+        sink(static_cast<std::int32_t>(r - 1),
+             static_cast<std::int32_t>(c - 1), v);
+        if (header.symmetric && r != c) {
+            sink(static_cast<std::int32_t>(c - 1),
+                 static_cast<std::int32_t>(r - 1),
+                 header.skewSymmetric ? -v : v);
         }
     }
+    // Anything beyond the declared count other than blank lines or
+    // comments means the file does not end where its header claims:
+    // a concatenation accident or corruption, never ignorable.
+    while (std::getline(in, line)) {
+        stripCr(line);
+        if (line.empty() || line[0] == '%')
+            continue;
+        mmFail(Reason::BadEntry, header.declaredEntries,
+               "matrix market: trailing garbage after ",
+               header.declaredEntries, " declared entries: ", line);
+    }
+    if (in.bad())
+        mmFail(Reason::StreamError, header.declaredEntries,
+               "matrix market: read error after last entry");
+}
+
+Csr
+readMatrixMarket(std::istream &in)
+{
+    const MatrixMarketHeader h = readMatrixMarketHeader(in);
+    Coo coo;
+    coo.rows = h.rows;
+    coo.cols = h.cols;
+    // A hostile nnz in the header must not abort on allocation; the
+    // vector grows on demand and a lying header surfaces as a
+    // truncation error in the entry walk. Clamp before the symmetric
+    // doubling so the product cannot wrap std::size_t.
+    coo.entries.reserve(
+        std::min<std::uint64_t>(h.declaredEntries, 1ull << 20) *
+        (h.symmetric ? 2 : 1));
+    forEachMatrixMarketEntry(
+        in, h, [&coo](std::int32_t r, std::int32_t c, double v) {
+            coo.add(r, c, v);
+        });
     return Csr::fromCoo(coo);
 }
 

@@ -6,12 +6,27 @@
  * distributed in Matrix Market format. This reader/writer supports
  * the coordinate real/integer/pattern banner with general or
  * symmetric storage, which covers the collection.
+ *
+ * Two consumption modes share one validation core:
+ *  - readMatrixMarket() parses the whole file into a Csr;
+ *  - readMatrixMarketHeader() + forEachMatrixMarketEntry() stream
+ *    logical entries (symmetric storage expanded) to a callback
+ *    without materializing a Coo, which is what the out-of-core
+ *    blocking preprocessor (blocking/stream.hh) uses for its
+ *    bounded-memory rescan passes.
+ *
+ * Robustness: CRLF line endings and a UTF-8 BOM before the banner
+ * are accepted (SuiteSparse mirrors serve both), while trailing
+ * non-comment garbage after the declared entry count is rejected --
+ * it usually means a concatenated or corrupted download, and
+ * silently ignoring it would hide real data loss.
  */
 
 #ifndef MSC_SPARSE_MATRIX_MARKET_HH
 #define MSC_SPARSE_MATRIX_MARKET_HH
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -58,6 +73,36 @@ class MatrixMarketError : public FatalError
     Reason r;
     std::uint64_t parsed;
 };
+
+/** Parsed banner + size line of a coordinate MM stream. */
+struct MatrixMarketHeader
+{
+    std::int32_t rows = 0;
+    std::int32_t cols = 0;
+    /** Entry lines declared by the size line (before symmetric
+     *  expansion). */
+    std::uint64_t declaredEntries = 0;
+    bool pattern = false;
+    bool symmetric = false;
+    bool skewSymmetric = false;
+};
+
+/** Parse banner, comments, and size line; leaves @p in positioned
+ *  at the first entry line. Throws MatrixMarketError. */
+MatrixMarketHeader readMatrixMarketHeader(std::istream &in);
+
+/**
+ * Stream every logical entry in file order into @p sink: explicit
+ * entries as written, each off-diagonal of a symmetric matrix
+ * followed immediately by its mirrored partner. Performs the same
+ * validation as readMatrixMarket (range checks, skew diagonal,
+ * trailing-garbage rejection); rescanning a file therefore delivers
+ * an identical entry sequence every pass.
+ */
+void forEachMatrixMarketEntry(
+    std::istream &in, const MatrixMarketHeader &header,
+    const std::function<void(std::int32_t, std::int32_t, double)>
+        &sink);
 
 /** Read a Matrix Market file; symmetric storage is expanded.
  *  Throws MatrixMarketError on malformed or unreadable input. */

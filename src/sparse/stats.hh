@@ -23,7 +23,7 @@ struct MatrixStats
     std::size_t nnz = 0;
     double nnzPerRow = 0.0;
     double density = 0.0;        //!< nnz / (rows * cols)
-    std::int32_t maxRowNnz = 0;
+    std::int64_t maxRowNnz = 0;
     std::int32_t bandwidth = 0;  //!< max |row - col| over nonzeros
     bool structurallySymmetric = false;
     int expMin = 0;              //!< min exponent over nonzeros

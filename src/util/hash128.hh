@@ -1,0 +1,107 @@
+/**
+ * @file
+ * 128-bit content hashing shared by the prepare cache and the binary
+ * matrix artifact format.
+ *
+ * Two independent 64-bit mixing streams (FNV-1a plus a
+ * multiply-xorshift companion) form one 128-bit digest. The digest is
+ * a pure function of the fed bytes -- no addresses, thread ids, or
+ * clocks -- so it is stable across runs, MSC_THREADS settings, and
+ * processes, which is what lets the on-disk artifact (sparse/binio)
+ * reuse the exact keying of the in-process PrepareCache
+ * (service/prepare_cache): an artifact packed once hashes to the same
+ * 128-bit matrix key every service instance computes from the parsed
+ * bytes.
+ *
+ * bytes() consumes 8-byte little-endian words with a zero-padded,
+ * length-tagged tail, so hashing a multi-megabyte matrix payload runs
+ * at word speed instead of byte speed (the artifact loader checksums
+ * the whole payload on every map; see binio.cc). The word-wise walk
+ * reads the buffer via memcpy, so alignment is irrelevant; the
+ * little-endian interpretation matches the artifact's declared byte
+ * order (big-endian hosts are rejected at map time, not silently
+ * re-hashed).
+ */
+
+#ifndef MSC_UTIL_HASH128_HH
+#define MSC_UTIL_HASH128_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace msc {
+
+/** One 128-bit digest (also the PrepareCache key payload). */
+struct Digest128
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool
+    operator==(const Digest128 &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+
+    bool
+    operator!=(const Digest128 &o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/** Two independent mixing streams -> one 128-bit digest. */
+class Hash128
+{
+  public:
+    void
+    u64(std::uint64_t v)
+    {
+        a = (a ^ v) * 0x100000001b3ULL;
+        a ^= a >> 29;
+        c = (c ^ v) * 0x9e3779b97f4a7c15ULL;
+        c ^= (c >> 47) + v;
+    }
+
+    /** Word-wise walk: 8-byte little-endian chunks, zero-padded
+     *  length-tagged tail (so "ab" and "ab\0" hash differently). */
+    void
+    bytes(const void *p, std::size_t len)
+    {
+        const auto *q = static_cast<const std::uint8_t *>(p);
+        std::size_t i = 0;
+        for (; i + 8 <= len; i += 8) {
+            std::uint64_t w;
+            std::memcpy(&w, q + i, 8);
+            u64(w);
+        }
+        if (i < len) {
+            std::uint64_t w = 0;
+            std::memcpy(&w, q + i, len - i);
+            u64(w);
+        }
+        u64(static_cast<std::uint64_t>(len));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t w;
+        std::memcpy(&w, &v, sizeof w);
+        u64(w);
+    }
+
+    Digest128
+    digest() const
+    {
+        return Digest128{a, c};
+    }
+
+  private:
+    std::uint64_t a = 0xcbf29ce484222325ULL; //!< FNV-1a offset basis
+    std::uint64_t c = 0x6c62272e07bb0142ULL; //!< independent stream
+};
+
+} // namespace msc
+
+#endif // MSC_UTIL_HASH128_HH

@@ -176,13 +176,13 @@ TEST(CheckHarness, UlpDistanceIsAMetricOnDoubles)
     EXPECT_EQ(check::ulpDistance(-0x1.0p-1074, 0x1.0p-1074), 2u);
 }
 
-TEST(CheckHarness, ListsAllSevenLayers)
+TEST(CheckHarness, ListsAllEightLayers)
 {
     const auto names = check::moduleNames();
-    ASSERT_EQ(names.size(), 7u);
+    ASSERT_EQ(names.size(), 8u);
     const std::set<std::string> set(names.begin(), names.end());
     for (const char *expect : {"wideint", "align", "xbar", "cluster",
-                               "accel", "spmm", "solver"})
+                               "accel", "spmm", "solver", "binio"})
         EXPECT_TRUE(set.count(expect)) << expect;
 }
 
@@ -207,5 +207,6 @@ TEST(CheckModules, ClusterGreen) { expectClean("cluster", 40); }
 TEST(CheckModules, AccelGreen) { expectClean("accel", 4); }
 TEST(CheckModules, SpmmGreen) { expectClean("spmm", 8); }
 TEST(CheckModules, SolverGreen) { expectClean("solver", 12); }
+TEST(CheckModules, BinioGreen) { expectClean("binio", 40); }
 
 } // namespace

@@ -269,6 +269,63 @@ TEST(MatrixMarketFuzz, WriteReadRoundTripsExactly)
     }
 }
 
+// --- line-ending / encoding hardening ------------------------------
+
+TEST(MatrixMarketFuzz, CrlfLineEndingsParseIdentically)
+{
+    // Windows-written files: every '\n' becomes "\r\n". The parsed
+    // matrix must be bit-identical to the Unix version.
+    const std::string unix_ =
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% comment\n"
+        "2 2 2\n"
+        "1 1 5.0\n"
+        "2 2 6.0\n";
+    std::string dos;
+    for (char c : unix_) {
+        if (c == '\n')
+            dos += '\r';
+        dos += c;
+    }
+    const Csr a = parse(unix_);
+    const Csr b = parse(dos);
+    ASSERT_EQ(b.rows(), a.rows());
+    ASSERT_EQ(b.nnz(), a.nnz());
+    for (std::int32_t r = 0; r < a.rows(); ++r) {
+        const auto av = a.rowVals(r), bv = b.rowVals(r);
+        ASSERT_EQ(av.size(), bv.size());
+        for (std::size_t k = 0; k < av.size(); ++k)
+            EXPECT_EQ(av[k], bv[k]);
+    }
+}
+
+TEST(MatrixMarketFuzz, Utf8BomBeforeBannerIsStripped)
+{
+    const Csr m =
+        parse("\xef\xbb\xbf%%MatrixMarket matrix coordinate real "
+              "general\n2 2 1\n1 1 3.0\n");
+    EXPECT_EQ(m.rows(), 2);
+    ASSERT_EQ(m.nnz(), 1u);
+    EXPECT_DOUBLE_EQ(m.rowVals(0)[0], 3.0);
+    // A BOM anywhere else is still garbage.
+    expectRejected("%%MatrixMarket matrix coordinate real general\n"
+                   "\xef\xbb\xbf" "2 2 1\n1 1 3.0\n");
+}
+
+TEST(MatrixMarketFuzz, TrailingGarbageAfterLastEntryIsRejected)
+{
+    const std::string head =
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n1 1 5.0\n2 2 6.0\n";
+    // Blank lines and comments after the last entry stay legal.
+    EXPECT_EQ(parse(head + "\n\n% trailing comment\n").nnz(), 2u);
+    // Data-looking trailers are silent-truncation hazards: a file
+    // whose header lies about its entry count must not half-parse.
+    expectRejected(head + "1 2 7.0\n");
+    expectRejected(head + "garbage\n");
+    expectRejected(head + "% fine\nbut then this\n");
+}
+
 // --- structured error reasons --------------------------------------
 
 using Reason = MatrixMarketError::Reason;
@@ -303,6 +360,12 @@ TEST(MatrixMarketFuzz, ReasonsDistinguishFailureClasses)
     EXPECT_EQ(reasonOf(banner + "3 3 1\nx y z\n"), Reason::BadEntry);
     EXPECT_EQ(reasonOf(banner + "3 3 1\n7 1 1.0\n"),
               Reason::BadEntry);
+    // Trailing garbage reports as BadEntry with full progress: all
+    // declared entries parsed, then the trailer broke the contract.
+    std::uint64_t entries = 0;
+    EXPECT_EQ(reasonOf(banner + "2 2 1\n1 1 1.0\njunk\n", &entries),
+              Reason::BadEntry);
+    EXPECT_EQ(entries, 1u);
     EXPECT_THROW(readMatrixMarket("/nonexistent/file.mtx"),
                  MatrixMarketError);
 }

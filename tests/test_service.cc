@@ -34,6 +34,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
@@ -47,7 +48,9 @@
 #include "solver/block.hh"
 #include "solver/resilient.hh"
 #include "solver/solver.hh"
+#include "sparse/binio.hh"
 #include "sparse/gen.hh"
+#include "sparse/matrix_market.hh"
 #include "util/random.hh"
 #include "util/threadpool.hh"
 
@@ -790,6 +793,59 @@ TEST(Service, MalformedRequestFailsStructurally)
     bad.b.assign(3, 1.0); // wrong length
     RequestHandle h2 = svc.submit(bad);
     EXPECT_EQ(h2.wait().status, SolveStatus::Failed);
+}
+
+/**
+ * File-path submission: a request naming `matrixFile` resolves
+ * through loadMatrixFile (artifact fast path when a sidecar exists),
+ * lands on the same cache entry an in-memory submit of the same
+ * matrix uses, and returns the same bits. A missing file fails
+ * structurally, like any malformed request.
+ */
+TEST(Service, MatrixFileRequestSharesCacheAndBits)
+{
+    const Csr m = spdMatrix(96, 237);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    const auto b = seededRhs(n, 9600);
+
+    const std::string mtx = "/tmp/msc_test_service_file.mtx";
+    writeMatrixMarket(m, mtx);
+    writeArtifact(artifactSidecarPath(mtx), m);
+
+    SolverService svc;
+    SolveRequest inMem;
+    inMem.matrix = &m;
+    inMem.b = b;
+    RequestHandle h1 = svc.submit(inMem);
+    svc.runUntilIdle();
+    ASSERT_EQ(h1.wait().status, SolveStatus::Converged);
+    EXPECT_FALSE(h1.wait().cacheHit);
+
+    SolveRequest byFile;
+    byFile.matrixFile = mtx;
+    byFile.b = b;
+    RequestHandle h2 = svc.submit(byFile);
+    svc.runUntilIdle();
+    ASSERT_EQ(h2.wait().status, SolveStatus::Converged);
+    // The artifact-borne key matches the in-memory one: warm hit.
+    EXPECT_TRUE(h2.wait().cacheHit);
+    expectBitwiseEqual(h2.wait().x, h1.wait().x, "file vs memory");
+
+    // Sidecar gone: text parse still resolves to the same entry.
+    std::remove(artifactSidecarPath(mtx).c_str());
+    RequestHandle h3 = svc.submit(byFile);
+    svc.runUntilIdle();
+    ASSERT_EQ(h3.wait().status, SolveStatus::Converged);
+    EXPECT_TRUE(h3.wait().cacheHit);
+    expectBitwiseEqual(h3.wait().x, h1.wait().x, "parsed file");
+    std::remove(mtx.c_str());
+
+    SolveRequest missing;
+    missing.matrixFile = "/tmp/msc_test_service_no_such_file.mtx";
+    missing.b = b;
+    RequestHandle h4 = svc.submit(missing);
+    EXPECT_EQ(h4.wait().status, SolveStatus::Failed);
+    EXPECT_FALSE(h4.wait().error.empty());
 }
 
 TEST(Service, AsyncWorkersDrainAndMatchDirectSolves)

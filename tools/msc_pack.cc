@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Pack a Matrix Market file into a binary artifact (sparse/binio):
+ * the write-once half of the out-of-core pipeline. The blocking
+ * plan is computed with the streaming preprocessor
+ * (blocking/stream), so preprocessing memory is bounded by one
+ * strip of rows regardless of matrix size.
+ *
+ * Usage:
+ *   msc_pack [--config FILE] [--out FILE] [--no-plan] [--strip N]
+ *            [--verify] matrix.mtx
+ *
+ * --config  experiment JSON; blocking comes from accelerator
+ *           section, output path from io.matrixArtifact (if set)
+ * --out     artifact path (default: matrix path + ".mscbin")
+ * --no-plan pack the CSR only (loader recomputes placement)
+ * --strip   strip height for the streaming preprocessor; must be a
+ *           multiple of lcm(block sizes). 0 = minimal legal strip.
+ * --verify  re-map the written artifact and compare it bitwise
+ *           against the in-core parse + planBlocks path
+ *
+ * Exit status: 0 on success, 1 on a verification mismatch, 2 on
+ * usage or input errors.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "blocking/blocking.hh"
+#include "blocking/stream.hh"
+#include "core/config.hh"
+#include "sparse/binio.hh"
+#include "sparse/matrix_market.hh"
+#include "util/logging.hh"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--config FILE] [--out FILE] "
+                 "[--no-plan] [--strip N] [--verify] matrix.mtx\n",
+                 argv0);
+}
+
+bool
+sameCsr(const msc::Csr &a, const msc::Csr &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols() ||
+        a.nnz() != b.nnz())
+        return false;
+    const auto arp = a.rowPtr(), brp = b.rowPtr();
+    const auto aci = a.colIndex(), bci = b.colIndex();
+    const auto av = a.values(), bv = b.values();
+    return std::memcmp(arp.data(), brp.data(),
+                       arp.size_bytes()) == 0 &&
+           std::memcmp(aci.data(), bci.data(),
+                       aci.size_bytes()) == 0 &&
+           std::memcmp(av.data(), bv.data(), av.size_bytes()) == 0;
+}
+
+bool
+samePlan(const msc::BlockPlan &a, const msc::BlockPlan &b)
+{
+    if (a.rows != b.rows || a.cols != b.cols ||
+        a.blocks.size() != b.blocks.size() ||
+        a.stats.totalNnz != b.stats.totalNnz ||
+        a.stats.blockedNnz != b.stats.blockedNnz ||
+        a.stats.unblockedNnz != b.stats.unblockedNnz ||
+        a.stats.expRangeEvictions != b.stats.expRangeEvictions ||
+        a.stats.blocksPerSize != b.stats.blocksPerSize)
+        return false;
+    for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+        const msc::MatrixBlock &x = a.blocks[i];
+        const msc::MatrixBlock &y = b.blocks[i];
+        if (x.rowOrigin != y.rowOrigin ||
+            x.colOrigin != y.colOrigin || x.size != y.size ||
+            x.elems.size() != y.elems.size())
+            return false;
+        if (!x.elems.empty() &&
+            std::memcmp(x.elems.data(), y.elems.data(),
+                        x.elems.size() * sizeof(msc::Triplet)) != 0)
+            return false;
+    }
+    return sameCsr(a.unblocked, b.unblocked);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string matrixPath, outPath, configPath;
+    bool withPlan = true, verify = false;
+    std::int32_t strip = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "msc_pack: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(arg, "--config")) {
+            configPath = value("--config");
+        } else if (!std::strcmp(arg, "--out")) {
+            outPath = value("--out");
+        } else if (!std::strcmp(arg, "--no-plan")) {
+            withPlan = false;
+        } else if (!std::strcmp(arg, "--strip")) {
+            strip = static_cast<std::int32_t>(
+                std::strtol(value("--strip"), nullptr, 10));
+        } else if (!std::strcmp(arg, "--verify")) {
+            verify = true;
+        } else if (!std::strcmp(arg, "--help") ||
+                   !std::strcmp(arg, "-h")) {
+            usage(argv[0]);
+            return 0;
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "msc_pack: unknown option %s\n",
+                         arg);
+            usage(argv[0]);
+            return 2;
+        } else if (matrixPath.empty()) {
+            matrixPath = arg;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (matrixPath.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    try {
+        msc::BlockingConfig blocking;
+        if (!configPath.empty()) {
+            const msc::ExperimentConfig cfg =
+                msc::loadExperimentConfig(configPath);
+            blocking = cfg.accel.blocking;
+            if (outPath.empty())
+                outPath = cfg.io.matrixArtifact;
+        }
+        if (outPath.empty())
+            outPath = msc::artifactSidecarPath(matrixPath);
+
+        const msc::Csr m = msc::readMatrixMarket(matrixPath);
+
+        msc::BlockPlan plan;
+        if (withPlan) {
+            plan = msc::planBlocksStreaming(
+                m.rows(), m.cols(),
+                msc::matrixMarketEntrySource(matrixPath), blocking,
+                strip);
+        }
+        msc::writeArtifact(outPath, m, withPlan ? &plan : nullptr,
+                           blocking);
+
+        if (verify) {
+            const auto art = msc::MappedArtifact::map(outPath);
+            if (!sameCsr(art->matrixView(), m)) {
+                std::fprintf(stderr,
+                             "msc_pack: VERIFY FAILED: mapped "
+                             "matrix differs from parse\n");
+                return 1;
+            }
+            if (withPlan) {
+                const msc::BlockPlan incore =
+                    msc::planBlocks(m, blocking);
+                if (!samePlan(art->decodePlan(), incore)) {
+                    std::fprintf(stderr,
+                                 "msc_pack: VERIFY FAILED: mapped "
+                                 "plan differs from in-core "
+                                 "planBlocks\n");
+                    return 1;
+                }
+            }
+        }
+
+        std::printf("%s: %d x %d, %zu nnz -> %s (%zu blocks%s)\n",
+                    matrixPath.c_str(), m.rows(), m.cols(), m.nnz(),
+                    outPath.c_str(), plan.blocks.size(),
+                    verify ? ", verified" : "");
+        return 0;
+    } catch (const msc::FatalError &e) {
+        std::fprintf(stderr, "msc_pack: %s\n", e.what());
+        return 2;
+    }
+}
