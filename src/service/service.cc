@@ -1,6 +1,8 @@
 #include "service/service.hh"
 
 #include <algorithm>
+#include <filesystem>
+#include <list>
 #include <new>
 
 #include "solver/block.hh"
@@ -49,21 +51,39 @@ struct PendingRequest
 struct ServiceCore
 {
     explicit ServiceCore(const ServiceConfig &cfg)
-        : sched(cfg.scheduler), cache(cfg.cacheBytes)
+        : sched(cfg.scheduler), cache(cfg.cacheBytes),
+          loadedCapBytes(cfg.loadedCapBytes)
     {}
+
+    /** Resolve @p path through the bounded loaded-matrix LRU:
+     *  reuse a fresh entry, reload a path whose file mtime changed
+     *  (a regenerated matrix must never be served stale), and evict
+     *  least-recently-used unreferenced entries past the byte cap
+     *  -- tenant-supplied paths must not grow memory without bound.
+     *  Throws FatalError (MatrixMarketError/BinioError) on a bad
+     *  file. */
+    std::shared_ptr<const LoadedMatrix>
+    resolveMatrixFile(const std::string &path);
 
     std::mutex mu;
     std::condition_variable work; //!< workers: queue or stop signal
     AdmissionScheduler sched;
     PrepareCache cache;
-    /** Path -> resolved matrix, pinned for the service lifetime so
-     *  repeat submissions share one mapping/parse. Guarded by
-     *  loadMu, not mu: loading parses files and must not stall the
-     *  dispatch path. */
+    /** Bounded path -> resolved matrix LRU, so repeat submissions
+     *  share one mapping/parse. Guarded by loadMu, not mu: loading
+     *  parses files and must not stall the dispatch path. */
     std::mutex loadMu;
-    std::unordered_map<std::string,
-                       std::shared_ptr<const LoadedMatrix>>
-        loadedByPath;
+    struct LoadedEntry
+    {
+        std::shared_ptr<const LoadedMatrix> loaded;
+        std::filesystem::file_time_type mtime{};
+        std::size_t bytes = 0;
+        std::list<std::string>::iterator lruPos;
+    };
+    std::unordered_map<std::string, LoadedEntry> loadedByPath;
+    std::list<std::string> loadedLru; //!< most recent first
+    std::size_t loadedBytes = 0;
+    const std::size_t loadedCapBytes;
     std::unordered_map<std::uint64_t,
                        std::shared_ptr<PendingRequest>>
         pendings; //!< queued + running
@@ -71,6 +91,66 @@ struct ServiceCore
     std::uint64_t nextId = 1;
     bool stopping = false;
 };
+
+std::shared_ptr<const LoadedMatrix>
+ServiceCore::resolveMatrixFile(const std::string &path)
+{
+    std::lock_guard lock(loadMu);
+    std::error_code ec;
+    const auto mtime = std::filesystem::last_write_time(path, ec);
+
+    auto it = loadedByPath.find(path);
+    if (it != loadedByPath.end()) {
+        // Freshness gate: a rewritten file invalidates the pinned
+        // entry. An unreadable timestamp keeps it (the file may be
+        // gone while its bytes are still wanted).
+        if (ec || mtime == it->second.mtime) {
+            loadedLru.splice(loadedLru.begin(), loadedLru,
+                             it->second.lruPos);
+            return it->second.loaded;
+        }
+        loadedBytes -= it->second.bytes;
+        loadedLru.erase(it->second.lruPos);
+        loadedByPath.erase(it);
+    }
+
+    auto loaded = std::make_shared<const LoadedMatrix>(
+        loadMatrixFile(path));
+    LoadedEntry entry;
+    entry.loaded = loaded;
+    entry.mtime =
+        ec ? std::filesystem::file_time_type{} : mtime;
+    // Artifact entries hold mapped file pages; parsed entries hold
+    // the owning CSR arrays.
+    entry.bytes =
+        loaded->artifact
+            ? loaded->artifact->fileBytes()
+            : loaded->csr.nnz() * 12 +
+                  (static_cast<std::size_t>(loaded->csr.rows()) + 1) *
+                      8;
+    loadedBytes += entry.bytes;
+    loadedLru.push_front(path);
+    entry.lruPos = loadedLru.begin();
+    loadedByPath.emplace(path, std::move(entry));
+
+    // Least-recently-used first, skipping entries a live request
+    // (or caller) still references: an eviction must never unmap a
+    // matrix underneath its solve.
+    auto lru = loadedLru.end();
+    while (loadedBytes > loadedCapBytes &&
+           lru != loadedLru.begin()) {
+        --lru;
+        auto mapIt = loadedByPath.find(*lru);
+        if (mapIt == loadedByPath.end())
+            continue;
+        if (mapIt->second.loaded.use_count() > 1)
+            continue; // pinned by a request: skip
+        loadedBytes -= mapIt->second.bytes;
+        loadedByPath.erase(mapIt);
+        lru = loadedLru.erase(lru);
+    }
+    return loaded;
+}
 
 namespace {
 
@@ -235,6 +315,12 @@ executeBatch(
         }
     } catch (const PanicError &) {
         throw; // programming error: never absorb
+    } catch (const BinioError &e) {
+        // A bad artifact surfacing at prepare time (e.g. a forged
+        // plan that decodePlan rejects): the tenant's input, not a
+        // service invariant -- fail the request, keep serving.
+        failed = true;
+        error = e.what();
     } catch (const FatalError &) {
         throw; // config/usage error: never absorb
     } catch (const CancelledError &e) {
@@ -410,14 +496,8 @@ SolverService::submit(SolveRequest req)
     std::string loadError;
     if (r.matrix == nullptr && !r.matrixFile.empty()) {
         try {
-            std::lock_guard lock(core->loadMu);
-            auto &slot = core->loadedByPath[r.matrixFile];
-            if (!slot) {
-                slot = std::make_shared<const LoadedMatrix>(
-                    loadMatrixFile(r.matrixFile));
-            }
-            p->loaded = slot;
-            r.matrix = &slot->csr;
+            p->loaded = core->resolveMatrixFile(r.matrixFile);
+            r.matrix = &p->loaded->csr;
         } catch (const FatalError &e) {
             // MatrixMarketError / BinioError: a bad file is the
             // tenant's input, not a service invariant -- surface it
@@ -530,6 +610,20 @@ PrepareCache::Stats
 SolverService::cacheStats() const
 {
     return core->cache.stats();
+}
+
+std::size_t
+SolverService::loadedMatrixCount() const
+{
+    std::lock_guard lock(core->loadMu);
+    return core->loadedByPath.size();
+}
+
+std::size_t
+SolverService::loadedMatrixBytes() const
+{
+    std::lock_guard lock(core->loadMu);
+    return core->loadedBytes;
 }
 
 std::size_t

@@ -68,9 +68,13 @@ struct SolveRequest
      * -- admission then keys the cache from the artifact's stored
      * digest and a cache miss skips parse+preprocess -- while plain
      * Matrix Market text falls back to parsing. Loaded matrices are
-     * pinned in the service for its lifetime, so repeat submissions
-     * of the same path share one mapping. Ignored when `matrix` is
-     * set; a load failure completes the request as Failed.
+     * kept in a bounded LRU (ServiceConfig::loadedCapBytes), so
+     * repeat submissions of the same path share one mapping without
+     * letting many distinct paths grow memory without bound; a path
+     * whose file mtime changed since it was loaded is reloaded, so
+     * a regenerated matrix is never served stale. Ignored when
+     * `matrix` is set; a load failure completes the request as
+     * Failed.
      */
     std::string matrixFile;
     OperatorConfig op; //!< backend + placement/device config
@@ -157,6 +161,11 @@ struct ServiceConfig
     int workers = 0;
     AdmissionScheduler::Config scheduler;
     std::size_t cacheBytes = 256ull << 20;
+    /** Cap on matrices resolved from `matrixFile` paths (parsed
+     *  bytes or mapped artifact file bytes). Least-recently-used
+     *  unreferenced entries are evicted past the cap; entries still
+     *  pinned by a live request are never evicted underneath it. */
+    std::size_t loadedCapBytes = 256ull << 20;
 };
 
 /** Aggregate service counters (monotonic since construction). */
@@ -209,6 +218,9 @@ class SolverService
 
     ServiceStats stats() const;
     PrepareCache::Stats cacheStats() const;
+    /** Entries / bytes currently held by the matrixFile LRU. */
+    std::size_t loadedMatrixCount() const;
+    std::size_t loadedMatrixBytes() const;
     std::size_t queueDepth() const;
     /** Snapshot of the scheduler's replayable decision log. */
     std::vector<Decision> decisionLog() const;

@@ -1,6 +1,7 @@
 #include "sparse/binio.hh"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <vector>
 
@@ -24,6 +25,8 @@ namespace {
 constinit telemetry::Counter ctrMapHits{"binio.map_hits"};
 constinit telemetry::Counter
     ctrFallbackParse{"binio.fallback_parse"};
+constinit telemetry::Counter
+    ctrStaleSidecar{"binio.stale_sidecar"};
 
 constexpr char kMagic[8] = {'M', 'S', 'C', 'B', 'I', 'N', '1', '\n'};
 constexpr std::uint64_t kVersion = 1;
@@ -381,6 +384,19 @@ MappedArtifact::map(const std::string &path)
     if (rows > 0x7fffffffULL || cols > 0x7fffffffULL)
         bfail(Reason::Unsupported, "binio: ", path,
               " dimensions exceed int32");
+    // Bound nnz before any size arithmetic depends on it: a forged
+    // count like 2^62 would wrap the nnz*4 / nnz*8 expected-section
+    // sizes to 0, match empty sections, and send the content checks
+    // iterating past the mapping. rows and cols are capped at int32
+    // above, so rows*cols cannot overflow uint64; the file-size
+    // bound (ColIdx alone needs 4 bytes per nonzero) then keeps
+    // every later nnz-derived product within the mapping.
+    if (nnz > rows * cols)
+        bfail(Reason::BadSection, "binio: ", path, " declares ",
+              nnz, " nonzeros in a ", rows, "x", cols, " matrix");
+    if (nnz > n / 4)
+        bfail(Reason::Truncated, "binio: ", path, " declares ", nnz,
+              " nonzeros; the file cannot hold them");
     art->nRows = static_cast<std::int32_t>(rows);
     art->nCols = static_cast<std::int32_t>(cols);
     art->nz = static_cast<std::size_t>(nnz);
@@ -458,6 +474,14 @@ MappedArtifact::map(const std::string &path)
         if (!ps.present || ps.bytes < 48 || (ps.bytes - 48) % 16 != 0)
             bfail(Reason::BadSection, "binio: ", path,
                   " plan-stats section malformed");
+        // Divide the trusted section length instead of multiplying
+        // the untrusted count: 48 + nSizes*16 wraps for a forged
+        // nSizes near 2^60 and would pass an equality check, then
+        // blow up the decodePlan resize.
+        if (getU64(ps.p + 40) != (ps.bytes - 48) / 16)
+            bfail(Reason::BadSection, "binio: ", path,
+                  " plan-stats size-class count disagrees with the "
+                  "section length");
         art->planStatsSec = ps.p;
         art->planStatsBytes = ps.bytes;
 
@@ -552,6 +576,18 @@ MappedArtifact::map(const std::string &path)
         }
     }
 
+    // The stored matrix key is what PrepareCache and the service key
+    // on *without* rehashing the payload, and cache entries are
+    // shared across tenants. The checksum only proves the file is
+    // internally consistent -- a mis-packed (or adversarial) artifact
+    // can store another matrix's digest with a matching checksum and
+    // poison the shared entry under that digest. Recompute the key
+    // from the mapped bytes once, here, so every downstream consumer
+    // may trust matrixKey() == csrContentKey(matrixView()).
+    if (csrContentKey(art->matrixView()) != art->matKey)
+        bfail(Reason::BadChecksum, "binio: ", path,
+              " stored matrix key does not match the mapped matrix");
+
     return art;
 }
 
@@ -578,7 +614,9 @@ MappedArtifact::decodePlan() const
     plan.stats.expRangeEvictions = getU64(ps + 24);
     plan.stats.elementVisits = getU64(ps + 32);
     const std::uint64_t nSizes = getU64(ps + 40);
-    if (48 + nSizes * 16 != planStatsBytes) {
+    // map() guarantees planStatsBytes >= 48; dividing the section
+    // length (instead of multiplying the stored count) cannot wrap.
+    if (nSizes != (planStatsBytes - 48) / 16) {
         throw BinioError(BinioError::Reason::BadSection,
                          "fatal: binio: plan-stats size-class count "
                          "disagrees with section length");
@@ -618,6 +656,26 @@ MappedArtifact::decodePlan() const
     return plan;
 }
 
+namespace {
+
+/** A sidecar packed before its source file was last rewritten is
+ *  stale: a regenerated matrix must never silently resolve to the
+ *  old artifact bytes. An unreadable timestamp on either side keeps
+ *  the artifact eligible (the map's own validation still gates it). */
+bool
+sidecarIsStale(const std::string &matrixPath,
+               const std::string &sidecarPath)
+{
+    std::error_code srcEc, artEc;
+    const auto src =
+        std::filesystem::last_write_time(matrixPath, srcEc);
+    const auto art =
+        std::filesystem::last_write_time(sidecarPath, artEc);
+    return !srcEc && !artEc && art < src;
+}
+
+} // namespace
+
 LoadedMatrix
 loadMatrixFile(const std::string &path)
 {
@@ -630,16 +688,21 @@ loadMatrixFile(const std::string &path)
         lm.artifact = std::move(art);
         return lm;
     }
-    try {
-        auto art = MappedArtifact::map(artifactSidecarPath(path));
-        ctrMapHits.add();
-        LoadedMatrix lm;
-        lm.csr = art->matrixView();
-        lm.artifact = std::move(art);
-        return lm;
-    } catch (const BinioError &) {
-        // Missing or invalid sidecar: corruption costs performance,
-        // never correctness.
+    const std::string sidecar = artifactSidecarPath(path);
+    if (sidecarIsStale(path, sidecar)) {
+        ctrStaleSidecar.add();
+    } else {
+        try {
+            auto art = MappedArtifact::map(sidecar);
+            ctrMapHits.add();
+            LoadedMatrix lm;
+            lm.csr = art->matrixView();
+            lm.artifact = std::move(art);
+            return lm;
+        } catch (const BinioError &) {
+            // Missing or invalid sidecar: corruption costs
+            // performance, never correctness.
+        }
     }
     ctrFallbackParse.add();
     LoadedMatrix lm;

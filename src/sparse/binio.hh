@@ -25,13 +25,20 @@
  * entirely.
  *
  * Validation story (satellite: never UB on a short mapping): magic,
- * version, and endian tag gate first; every section-table entry is
+ * version, and endian tag gate first; header counts (nnz, plan
+ * size classes) are bounded against the file size before any
+ * size arithmetic can wrap; every section-table entry is
  * bounds-checked against the actual file size before any payload
  * byte is dereferenced; the checksum -- covering the header's
  * semantic fields and every section byte -- is verified on every
- * map. A failure is a structured BinioError, and loadMatrixFile
- * falls back to text parsing -- corruption costs performance, never
- * correctness.
+ * map; and the stored matrix key is recomputed from the mapped
+ * bytes, so a consistently-checksummed artifact claiming another
+ * matrix's digest cannot poison the shared prepare cache. A failure
+ * is a structured BinioError, and loadMatrixFile falls back to text
+ * parsing -- corruption costs performance, never correctness. A
+ * sidecar older than its source file is treated as stale and
+ * skipped (`binio.stale_sidecar`): regenerating the matrix without
+ * repacking costs a parse, never a wrong answer.
  */
 
 #ifndef MSC_SPARSE_BINIO_HH
@@ -119,8 +126,10 @@ class MappedArtifact
     std::int32_t cols() const { return nCols; }
     std::size_t nnz() const { return nz; }
 
-    /** Stored matrix content key (== csrContentKey of the packed
-     *  matrix; the payload checksum guards the equivalence). */
+    /** Stored matrix content key. map() recomputes it from the
+     *  mapped bytes and rejects a mismatch, so this is guaranteed
+     *  == csrContentKey(matrixView()) -- cache keying may trust it
+     *  without rehashing. */
     Digest128 matrixKey() const { return matKey; }
 
     bool hasPlan() const { return planPresent; }
@@ -187,9 +196,12 @@ struct LoadedMatrix
 
 /**
  * Resolve @p path: a .mscbin path maps directly (BinioError
- * propagates); otherwise a valid sidecar artifact is preferred
- * (telemetry `binio.map_hits`) and any artifact failure or absence
- * falls back to Matrix Market parsing (`binio.fallback_parse`).
+ * propagates); otherwise a valid sidecar artifact no older than the
+ * matrix file is preferred (telemetry `binio.map_hits`), a sidecar
+ * whose mtime predates the matrix file is skipped as stale
+ * (`binio.stale_sidecar`), and any artifact failure, staleness, or
+ * absence falls back to Matrix Market parsing
+ * (`binio.fallback_parse`).
  */
 LoadedMatrix loadMatrixFile(const std::string &path);
 

@@ -35,6 +35,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -846,6 +847,77 @@ TEST(Service, MatrixFileRequestSharesCacheAndBits)
     RequestHandle h4 = svc.submit(missing);
     EXPECT_EQ(h4.wait().status, SolveStatus::Failed);
     EXPECT_FALSE(h4.wait().error.empty());
+}
+
+/**
+ * The loaded-matrix LRU: a rewritten matrix file is reloaded (never
+ * served stale from the pin), and many distinct tenant-supplied
+ * paths stay bounded by loadedCapBytes instead of growing service
+ * memory without bound.
+ */
+TEST(Service, MatrixFileReloadsOnRewriteAndStaysBounded)
+{
+    namespace fs = std::filesystem;
+    const std::string mtx = "/tmp/msc_test_service_rewrite.mtx";
+    const Csr a = spdMatrix(64, 241);
+    const Csr b = spdMatrix(64, 251);
+    const auto rhs = seededRhs(64, 9700);
+
+    SolverService svc;
+    writeMatrixMarket(a, mtx);
+    SolveRequest req;
+    req.matrixFile = mtx;
+    req.b = rhs;
+    {
+        RequestHandle h = svc.submit(req);
+        svc.runUntilIdle();
+        ASSERT_EQ(h.wait().status, SolveStatus::Converged);
+        std::vector<double> xa;
+        directSolve(a, {}, rhs, xa);
+        expectBitwiseEqual(h.wait().x, xa, "before rewrite");
+    }
+    EXPECT_EQ(svc.loadedMatrixCount(), 1u);
+
+    // Regenerate the file; nudge the mtime explicitly so the test
+    // does not depend on filesystem timestamp granularity.
+    const auto oldTime = fs::last_write_time(mtx);
+    writeMatrixMarket(b, mtx);
+    fs::last_write_time(mtx, oldTime + std::chrono::seconds(2));
+    {
+        RequestHandle h = svc.submit(req);
+        svc.runUntilIdle();
+        ASSERT_EQ(h.wait().status, SolveStatus::Converged);
+        std::vector<double> xb;
+        directSolve(b, {}, rhs, xb);
+        expectBitwiseEqual(h.wait().x, xb, "after rewrite");
+    }
+    EXPECT_EQ(svc.loadedMatrixCount(), 1u);
+    std::remove(mtx.c_str());
+
+    // Bound: with a tiny cap, each newly loaded path evicts the
+    // previous (unreferenced) one instead of accumulating.
+    ServiceConfig tiny;
+    tiny.loadedCapBytes = 1;
+    SolverService bounded(tiny);
+    for (int i = 0; i < 4; ++i) {
+        const std::string path =
+            "/tmp/msc_test_service_lru_" + std::to_string(i) +
+            ".mtx";
+        writeMatrixMarket(spdMatrix(64, 261 + i), path);
+        SolveRequest r;
+        r.matrixFile = path;
+        r.b = rhs;
+        {
+            RequestHandle h = bounded.submit(r);
+            bounded.runUntilIdle();
+            EXPECT_EQ(h.wait().status, SolveStatus::Converged);
+        }
+        std::remove(path.c_str());
+        EXPECT_LE(bounded.loadedMatrixCount(), 2u) << "path " << i;
+    }
+    // The last insert sees every predecessor unreferenced: only the
+    // newest entry may remain over a 1-byte cap.
+    EXPECT_EQ(bounded.loadedMatrixCount(), 1u);
 }
 
 TEST(Service, AsyncWorkersDrainAndMatchDirectSolves)
