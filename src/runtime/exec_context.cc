@@ -24,6 +24,8 @@ toString(SolveStatus status)
         return "overloaded";
       case SolveStatus::Failed:
         return "failed";
+      case SolveStatus::Preempted:
+        return "preempted";
     }
     return "unknown";
 }

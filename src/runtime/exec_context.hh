@@ -69,6 +69,11 @@ enum class SolveStatus
     Failed,           //!< unrecoverable execution failure surfaced
                       //!< as a structured terminal status (service
                       //!< runtime; never thrown past the API)
+    Preempted,        //!< cooperative yield at a checkpoint boundary:
+                      //!< the solve saved a resumable checkpoint and
+                      //!< stepped aside (service-internal; the
+                      //!< service resumes it, callers never see it
+                      //!< as a terminal status)
 };
 
 /** Stable lowercase name (logs, JSON reports, tests). */
@@ -244,6 +249,47 @@ class ExecContext
 
     bool cancelled() const { return tok.cancelled(); }
 
+    /**
+     * Cooperative preemption surface. A yield request asks the
+     * running solve to stop at its next checkpoint boundary, save a
+     * resumable checkpoint (SolverConfig::checkpoint), and return
+     * SolveStatus::Preempted -- unlike cancellation it never
+     * discards work and the resumed recurrence is bitwise identical
+     * to an uninterrupted run. Solvers only act on it when a
+     * checkpoint sink is attached; otherwise the flag is ignored.
+     * The dispatcher clears the flag (clearYield) before each
+     * dispatch of the request.
+     */
+    void
+    requestYield()
+    {
+        yieldFlag.store(true, std::memory_order_release);
+    }
+
+    bool
+    yieldRequested() const
+    {
+        return yieldFlag.load(std::memory_order_acquire);
+    }
+
+    void
+    clearYield()
+    {
+        yieldFlag.store(false, std::memory_order_release);
+    }
+
+    /**
+     * Chaos/testing surface: request a yield on the @p n-th future
+     * shouldStop() poll (n >= 1), deterministically -- the yield
+     * analogue of cancelAfterChecks(). 0 disarms.
+     */
+    void
+    yieldAfterChecks(std::uint64_t n)
+    {
+        checksUntilYield.store(static_cast<std::int64_t>(n),
+                               std::memory_order_relaxed);
+    }
+
     bool
     expired() const
     {
@@ -264,6 +310,14 @@ class ExecContext
             checksUntilCancel.fetch_sub(
                 1, std::memory_order_relaxed) == 1) {
             tok.cancel();
+        }
+        // Forced-yield countdown: same mechanism, but a yield never
+        // stops the work here -- the solver acts on the flag at its
+        // next checkpoint boundary.
+        if (checksUntilYield.load(std::memory_order_relaxed) > 0 &&
+            checksUntilYield.fetch_sub(
+                1, std::memory_order_relaxed) == 1) {
+            yieldFlag.store(true, std::memory_order_release);
         }
         if (tok.cancelled())
             return true;
@@ -296,6 +350,12 @@ class ExecContext
         checksUntilCancel.store(other.checksUntilCancel.load(
                                     std::memory_order_relaxed),
                                 std::memory_order_relaxed);
+        yieldFlag.store(
+            other.yieldFlag.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        checksUntilYield.store(other.checksUntilYield.load(
+                                   std::memory_order_relaxed),
+                               std::memory_order_relaxed);
     }
 
     mutable CancelToken tok;
@@ -303,6 +363,10 @@ class ExecContext
     Clock::time_point deadlinePoint{};
     /** > 0: polls remaining until a forced cancel; <= 0 disarmed. */
     mutable std::atomic<std::int64_t> checksUntilCancel{0};
+    /** Cooperative-preemption request (see requestYield). */
+    mutable std::atomic<bool> yieldFlag{false};
+    /** > 0: polls remaining until a forced yield; <= 0 disarmed. */
+    mutable std::atomic<std::int64_t> checksUntilYield{0};
 };
 
 /** Null-safe poll helper for optional contexts. */

@@ -168,10 +168,10 @@ PreparedOperator::build()
 
 std::shared_ptr<PreparedOperator>
 PrepareCache::acquire(const Csr &matrix, const OperatorConfig &cfg,
-                      bool *hit)
+                      bool *hit, unsigned replica)
 {
     return acquireKeyed(
-        operatorKey(matrix, cfg), cfg, hit,
+        operatorKey(matrix, cfg), cfg, hit, replica,
         [&](CacheKey key) {
             return std::make_shared<PreparedOperator>(matrix, cfg,
                                                       key);
@@ -181,12 +181,13 @@ PrepareCache::acquire(const Csr &matrix, const OperatorConfig &cfg,
 std::shared_ptr<PreparedOperator>
 PrepareCache::acquire(
     const std::shared_ptr<const MappedArtifact> &artifact,
-    const OperatorConfig &cfg, bool *hit)
+    const OperatorConfig &cfg, bool *hit, unsigned replica)
 {
     if (!artifact)
         panic("PrepareCache::acquire: null artifact");
     return acquireKeyed(
         operatorKeyFrom(artifact->matrixKey(), cfg), cfg, hit,
+        replica,
         [&](CacheKey key) {
             return std::make_shared<PreparedOperator>(artifact, cfg,
                                                       key);
@@ -196,52 +197,70 @@ PrepareCache::acquire(
 std::shared_ptr<PreparedOperator>
 PrepareCache::acquireKeyed(
     CacheKey key, const OperatorConfig &,
-    bool *hit,
+    bool *hit, unsigned replica,
     const std::function<std::shared_ptr<PreparedOperator>(CacheKey)>
         &build)
 {
+    // A hit means THIS replica already exists; other replicas of
+    // the key warm nothing for it (each owns its backend state).
+    auto lookup = [&]() -> std::shared_ptr<PreparedOperator> {
+        auto it = map.find(key);
+        if (it == map.end())
+            return nullptr;
+        Entry &e = it->second;
+        if (replica >= e.replicas.size() || !e.replicas[replica])
+            return nullptr;
+        lruOrder.splice(lruOrder.begin(), lruOrder, e.lruPos);
+        return e.replicas[replica];
+    };
     {
         std::lock_guard lock(mu);
-        auto it = map.find(key);
-        if (it != map.end()) {
+        if (auto found = lookup()) {
             ++counters.hits;
             ctrHits.add();
-            lruOrder.splice(lruOrder.begin(), lruOrder,
-                            it->second.lruPos);
             if (hit)
                 *hit = true;
-            return it->second.op;
+            return found;
         }
     }
     // Miss: build outside the cache lock, under the build lock so
-    // concurrent same-key misses prepare exactly once.
+    // concurrent same-(key, replica) misses prepare exactly once.
     std::lock_guard buildLock(buildMu);
     {
         std::lock_guard lock(mu);
-        auto it = map.find(key);
-        if (it != map.end()) {
+        if (auto found = lookup()) {
             // Another thread built it while we waited.
             ++counters.hits;
             ctrHits.add();
-            lruOrder.splice(lruOrder.begin(), lruOrder,
-                            it->second.lruPos);
             if (hit)
                 *hit = true;
-            return it->second.op;
+            return found;
         }
     }
-    auto entry = build(key);
+    auto built = build(key);
     {
         std::lock_guard lock(mu);
         ++counters.misses;
         ctrMisses.add();
-        lruOrder.push_front(key);
-        map.emplace(key, Entry{entry, lruOrder.begin()});
+        auto it = map.find(key);
+        if (it == map.end()) {
+            lruOrder.push_front(key);
+            Entry e;
+            e.lruPos = lruOrder.begin();
+            it = map.emplace(key, std::move(e)).first;
+        } else {
+            lruOrder.splice(lruOrder.begin(), lruOrder,
+                            it->second.lruPos);
+        }
+        Entry &e = it->second;
+        if (e.replicas.size() <= replica)
+            e.replicas.resize(replica + 1);
+        e.replicas[replica] = built;
         evictOverCap();
         if (hit)
             *hit = false;
     }
-    return entry;
+    return built;
 }
 
 void
@@ -249,19 +268,20 @@ PrepareCache::evictOverCap()
 {
     std::size_t resident = 0;
     for (const auto &[key, e] : map)
-        resident += e.op->bytes();
+        resident += e.bytes();
     // Least-recently-used first, skipping entries a caller still
     // holds: a live reference must never be freed underneath its
-    // solve (the ASan-verified satellite invariant).
+    // solve (the ASan-verified satellite invariant). A key is
+    // pinned while ANY of its replicas has an external reference.
     auto it = lruOrder.end();
     while (resident > capBytes && it != lruOrder.begin()) {
         --it;
         auto mapIt = map.find(*it);
         if (mapIt == map.end())
             continue;
-        if (mapIt->second.op.use_count() > 1)
+        if (mapIt->second.referenced())
             continue; // live external reference: skip
-        resident -= mapIt->second.op->bytes();
+        resident -= mapIt->second.bytes();
         map.erase(mapIt);
         it = lruOrder.erase(it);
         ++counters.evictions;
@@ -277,7 +297,7 @@ PrepareCache::stats() const
     s.entries = map.size();
     s.bytes = 0;
     for (const auto &[key, e] : map)
-        s.bytes += e.op->bytes();
+        s.bytes += e.bytes();
     return s;
 }
 
@@ -287,8 +307,7 @@ PrepareCache::clear()
     std::lock_guard lock(mu);
     for (auto it = lruOrder.begin(); it != lruOrder.end();) {
         auto mapIt = map.find(*it);
-        if (mapIt != map.end() &&
-            mapIt->second.op.use_count() == 1) {
+        if (mapIt != map.end() && !mapIt->second.referenced()) {
             map.erase(mapIt);
             it = lruOrder.erase(it);
         } else {

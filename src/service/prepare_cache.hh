@@ -181,10 +181,18 @@ class PrepareCache
      * Look up (or build) the entry for (matrix, cfg). @p hit, when
      * non-null, reports whether the entry existed. The returned
      * shared_ptr keeps the entry alive regardless of eviction.
+     *
+     * @p replica selects an independent prepared instance of the
+     * same key (per-dispatch-shard replicas): each replica owns its
+     * own backend state and opMutex, so shards solving the same
+     * operator concurrently do not serialize on one entry's exec
+     * mutex. Replica 0 is the classic single-pipeline behavior; a
+     * given (key, replica) pair builds at most once, and a hit is
+     * reported only when that exact replica already exists.
      */
     std::shared_ptr<PreparedOperator>
     acquire(const Csr &matrix, const OperatorConfig &cfg,
-            bool *hit = nullptr);
+            bool *hit = nullptr, unsigned replica = 0);
 
     /**
      * Artifact-keyed lookup: the key continues from the artifact's
@@ -196,15 +204,16 @@ class PrepareCache
      */
     std::shared_ptr<PreparedOperator>
     acquire(const std::shared_ptr<const MappedArtifact> &artifact,
-            const OperatorConfig &cfg, bool *hit = nullptr);
+            const OperatorConfig &cfg, bool *hit = nullptr,
+            unsigned replica = 0);
 
     struct Stats
     {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0;
-        std::size_t entries = 0;
-        std::size_t bytes = 0; //!< resident estimate, all entries
+        std::size_t entries = 0; //!< distinct keys (not replicas)
+        std::size_t bytes = 0; //!< resident estimate, all replicas
     };
 
     Stats stats() const;
@@ -216,6 +225,7 @@ class PrepareCache
     /** Shared hit/build-once/insert machinery of both acquires. */
     std::shared_ptr<PreparedOperator> acquireKeyed(
         CacheKey key, const OperatorConfig &cfg, bool *hit,
+        unsigned replica,
         const std::function<
             std::shared_ptr<PreparedOperator>(CacheKey)> &build);
 
@@ -226,9 +236,31 @@ class PrepareCache
     std::size_t capBytes;
     struct Entry
     {
-        std::shared_ptr<PreparedOperator> op;
+        /** Per-shard prepared instances, indexed by replica; slots
+         *  build lazily (null until first acquired). One LRU slot
+         *  and one eviction decision cover the whole key. */
+        std::vector<std::shared_ptr<PreparedOperator>> replicas;
         /** Position in lruOrder (most recent at front). */
         std::list<CacheKey>::iterator lruPos;
+
+        std::size_t
+        bytes() const
+        {
+            std::size_t b = 0;
+            for (const auto &r : replicas)
+                if (r)
+                    b += r->bytes();
+            return b;
+        }
+
+        bool
+        referenced() const
+        {
+            for (const auto &r : replicas)
+                if (r && r.use_count() > 1)
+                    return true;
+            return false;
+        }
     };
     std::unordered_map<CacheKey, Entry, CacheKeyHash> map;
     std::list<CacheKey> lruOrder;

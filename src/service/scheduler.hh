@@ -1,9 +1,11 @@
 /**
  * @file
  * Admission scheduler: ticket-style per-tenant accounting, a bounded
- * queue with structured Overloaded rejection, priority + FIFO
- * dispatch, and same-operator coalescing within a request-count
- * batching window.
+ * queue with structured Overloaded rejection, weighted fair-share
+ * dispatch (start-time fair queueing) with earliest-deadline-first
+ * ordering inside a priority band, sharded per-accelerator queues
+ * with work migration, and same-operator coalescing within a
+ * request-count batching window.
  *
  * The scheduler is a pure data structure -- no threads, no clocks.
  * The service drives it under one lock, and every decision depends
@@ -13,7 +15,14 @@
  * requests present in the queue at dispatch time, never in wall
  * time: a window of w coalesces min(w, queued same-key requests)
  * and NEVER waits for more to arrive, so w = 1 degenerates to
- * sequential dispatch and timing cannot change any decision.
+ * sequential dispatch and timing cannot change any decision. For
+ * the same reason EDF keys on the *relative* deadline each request
+ * was submitted with (0 = none, sorted last), not on an absolute
+ * wall-clock expiry: the ordering is a pure function of the
+ * submission sequence. That is a deliberate approximation -- two
+ * requests with equal relative deadlines submitted far apart tie on
+ * the EDF key and fall back to submission order -- bought for
+ * byte-identical replay.
  *
  * Ticket accounting (after the accelerator-allocation scheme in
  * virtual-acc-app): each tenant holds a fixed number of tickets;
@@ -22,6 +31,26 @@
  * SolveStatus::Overloaded rather than blocking, so a flooding
  * tenant saturates its own allowance while others keep being
  * admitted (the fairness-under-saturation contract).
+ *
+ * Weighted fair share (start-time fair queueing, SFQ): each tenant
+ * carries a weight (default 1). Admission stamps the request with a
+ * start tag S = max(virtual time, tenant's last finish tag) and
+ * advances the tenant's finish tag by 1/weight; dispatch picks, in
+ * the highest priority band present, the tenant owning the minimum
+ * start tag, then the earliest-deadline request of that tenant in
+ * the band, and advances virtual time to the served start tag. A
+ * tenant that floods only pushes its *own* tags into the future, so
+ * a light tenant's requests keep dispatching at its weighted share.
+ * Tickets bound live requests per tenant on top (admission control);
+ * weights shape the order among admitted requests (dispatch).
+ *
+ * Sharding: entries are routed at admission by operator key
+ * (shard = key mod shards), so repeated solves on one operator land
+ * on one shard -- its prepare-cache replica stays warm and
+ * same-operator coalescing stays shard-local. A shard whose queue
+ * is empty migrates work from the deepest other queue (>= 2 deep,
+ * lowest index on ties) instead of idling; the decision log records
+ * the executing shard and the migration.
  */
 
 #ifndef MSC_SERVICE_SCHEDULER_HH
@@ -46,6 +75,9 @@ struct QueueEntry
     int priority = 0;        //!< higher dispatches first
     bool coalescable = false; //!< CG-kind: may join a lockstep panel
     CacheKey key;            //!< prepare-cache key (coalesce match)
+    /** Relative deadline at submission in nanoseconds; 0 = none
+     *  (sorts last). The EDF key inside a priority band. */
+    std::uint64_t deadlineNs = 0;
 };
 
 enum class DecisionKind
@@ -54,6 +86,8 @@ enum class DecisionKind
     Reject,   //!< Overloaded: queue full or tenant out of tickets
     Dispatch, //!< entry (or coalesced batch) handed to a shard
     Drop,     //!< reaped from the queue (cancel / deadline)
+    Preempt,  //!< yielded at a checkpoint and re-queued (keeps its
+              //!< ticket; bypasses the capacity bound)
 };
 
 const char *toString(DecisionKind kind);
@@ -66,10 +100,15 @@ struct Decision
     std::uint64_t requestId = 0; //!< head request
     std::string tenant;
     int priority = 0;
+    /** Admit: home shard. Dispatch/Preempt: executing shard. */
+    unsigned shard = 0;
+    /** Dispatch only: batch was stolen from another shard's queue. */
+    bool migrated = false;
     /** Dispatch: every coalesced request id, head first, in queue
      *  order. Singleton dispatches carry just the head. */
     std::vector<std::uint64_t> batch;
-    /** Reject: Overloaded. Drop: Cancelled / DeadlineExceeded. */
+    /** Reject: Overloaded. Drop: Cancelled / DeadlineExceeded.
+     *  Preempt: Preempted. */
     SolveStatus reason = SolveStatus::Converged;
 };
 
@@ -82,37 +121,91 @@ class AdmissionScheduler
         int defaultTickets = 4;  //!< per-tenant live-request bound
         unsigned batchWindow = 1; //!< max requests per coalesced
                                   //!< dispatch (1 = no coalescing)
+        unsigned shards = 1;      //!< dispatch queues (>= 1)
     };
 
     explicit AdmissionScheduler(const Config &config) : cfg(config)
-    {}
+    {
+        queues.resize(cfg.shards == 0 ? 1 : cfg.shards);
+        dispatchesPerShard.assign(queues.size(), 0);
+    }
 
     const Config &config() const { return cfg; }
 
-    /** Override one tenant's ticket allowance (before traffic). */
-    void
-    setTenantTickets(const std::string &tenant, int tickets)
+    unsigned
+    shardCount() const
     {
-        limits[tenant] = tickets;
+        return static_cast<unsigned>(queues.size());
+    }
+
+    /** Home shard of an operator key (admission routing). */
+    unsigned
+    shardOf(const CacheKey &key) const
+    {
+        return static_cast<unsigned>((key.hi ^ key.lo) %
+                                     queues.size());
     }
 
     /**
-     * Admission: grants a queue slot + one tenant ticket, or
-     * records a Reject decision and returns false (the caller
+     * Override one tenant's ticket allowance. Safe mid-traffic:
+     * the limit only gates future admissions -- live requests
+     * (queued or running) keep the tickets they already hold and
+     * drain normally, so lowering a limit below a tenant's current
+     * live count never strands a queued request; it just blocks new
+     * admissions until enough complete. Negative values clamp to 0.
+     */
+    void
+    setTenantTickets(const std::string &tenant, int tickets)
+    {
+        limits[tenant] = tickets < 0 ? 0 : tickets;
+    }
+
+    /**
+     * Fair-share weight (default 1.0; clamped to >= 1e-6). A tenant
+     * with weight w receives a w-proportional share of dispatches
+     * under contention. Takes effect for admissions after the call;
+     * already-stamped start tags are not rewritten (determinism).
+     */
+    void
+    setTenantWeight(const std::string &tenant, double weight)
+    {
+        weights[tenant] = weight < 1e-6 ? 1e-6 : weight;
+    }
+
+    /**
+     * Admission: grants a queue slot + one tenant ticket, stamps the
+     * fair-share start tag, and routes the entry to its home shard;
+     * or records a Reject decision and returns false (the caller
      * completes the request as Overloaded).
      */
     bool tryAdmit(const QueueEntry &entry);
 
     /**
-     * Dispatch: highest priority first, FIFO within a priority.
-     * When the head is coalescable and the window allows, every
-     * same-key coalescable entry already in the queue (any tenant,
-     * any priority -- riding along only ever helps them) joins the
-     * batch, up to batchWindow entries, in queue order. Returns the
-     * batch in dispatch order (empty when the queue is empty).
-     * Tickets stay held until complete().
+     * Dispatch for @p shard: in the highest priority band present,
+     * the tenant owning the minimum fair-share start tag is served,
+     * taking its earliest-deadline entry in the band (deadline 0
+     * sorts last; ties fall back to request id, i.e. submission
+     * order). When the shard's own queue is empty, the batch is
+     * migrated from the deepest other queue (>= 2 entries). When
+     * the dispatched head is coalescable and the window allows,
+     * every same-key coalescable entry already in the *source*
+     * queue (any tenant, any priority -- riding along only ever
+     * helps them) joins the batch, up to batchWindow entries, in
+     * queue order. Returns the batch in dispatch order (empty when
+     * nothing is runnable). Tickets stay held until complete().
      */
-    std::vector<QueueEntry> nextBatch();
+    std::vector<QueueEntry> nextBatch(unsigned shard = 0);
+
+    /**
+     * Re-queue a dispatched request that yielded at a solver
+     * checkpoint. Keeps the ticket it already holds and bypasses
+     * the capacity bound (it had a slot before the preemption), so
+     * it can never be rejected. Re-enters its home shard's queue
+     * with a fresh start tag at the current virtual time -- the
+     * tenant is not charged a second finish-tag increment for the
+     * same request. Records a Preempt decision.
+     */
+    void requeuePreempted(const QueueEntry &entry);
 
     /**
      * Reap one queued entry (cancelled / expired before dispatch):
@@ -124,16 +217,46 @@ class AdmissionScheduler
     /** Release the ticket of a dispatched request that finished. */
     void complete(const std::string &tenant);
 
-    std::size_t queueDepth() const { return queue.size(); }
+    std::size_t
+    queueDepth() const
+    {
+        std::size_t n = 0;
+        for (const auto &q : queues)
+            n += q.size();
+        return n;
+    }
 
-    /** Ids of every queued entry, in queue order (reap scans). */
+    std::size_t
+    queueDepth(unsigned shard) const
+    {
+        return shard < queues.size() ? queues[shard].size() : 0;
+    }
+
+    /** Would nextBatch(shard) dispatch something right now? True
+     *  when the shard's own queue is non-empty or another shard
+     *  holds a migratable backlog (>= 2). The worker wait
+     *  predicate: sleeping on this never misses runnable work and
+     *  never spins on work it cannot steal. */
+    bool
+    runnable(unsigned shard) const
+    {
+        if (shard < queues.size() && !queues[shard].empty())
+            return true;
+        for (std::size_t s = 0; s < queues.size(); ++s)
+            if (s != shard && queues[s].size() >= 2)
+                return true;
+        return false;
+    }
+
+    /** Ids of every queued entry, shard-major in queue order
+     *  (reap scans). */
     std::vector<std::uint64_t>
     queuedIds() const
     {
         std::vector<std::uint64_t> ids;
-        ids.reserve(queue.size());
-        for (const QueueEntry &e : queue)
-            ids.push_back(e.id);
+        for (const auto &q : queues)
+            for (const Slot &s : q)
+                ids.push_back(s.entry.id);
         return ids;
     }
 
@@ -145,18 +268,48 @@ class AdmissionScheduler
         return it == live.end() ? 0 : it->second;
     }
 
+    /** Dispatches executed by each shard (migrated batches count
+     *  for the executing shard, not the donor). */
+    const std::vector<std::uint64_t> &
+    shardDispatches() const
+    {
+        return dispatchesPerShard;
+    }
+
+    /** Batches stolen by an idle shard from another's queue. */
+    std::uint64_t migrations() const { return migrationCount; }
+
     const std::vector<Decision> &decisions() const { return log; }
     void clearDecisions() { log.clear(); }
 
+    /** Canonical one-line-per-decision serialization of the log --
+     *  byte-identical across replays of the same call sequence. */
+    std::string dumpDecisions() const;
+
   private:
+    /** Queued entry plus its fair-share start tag. */
+    struct Slot
+    {
+        QueueEntry entry;
+        double startTag = 0.0;
+    };
+
     int ticketLimit(const std::string &tenant) const;
+    double tenantWeight(const std::string &tenant) const;
+    void publishDepth(unsigned shard) const;
 
     Config cfg;
-    std::deque<QueueEntry> queue;
+    std::vector<std::deque<Slot>> queues; //!< one per shard
     std::unordered_map<std::string, int> limits;
     std::unordered_map<std::string, int> live;
+    std::unordered_map<std::string, double> weights;
+    /** SFQ virtual time / per-tenant last finish tag. */
+    double virtualTime = 0.0;
+    std::unordered_map<std::string, double> lastFinish;
     std::vector<Decision> log;
     std::uint64_t nextSeq = 0;
+    std::vector<std::uint64_t> dispatchesPerShard;
+    std::uint64_t migrationCount = 0;
 };
 
 } // namespace msc

@@ -35,6 +35,11 @@ struct PendingRequest
     SolveRequest req;
     ExecContext ctx;
     CacheKey key;
+    /** CG preemption state: valid between a checkpoint yield and
+     *  the resuming dispatch. Touched only by the thread executing
+     *  the request (one dispatch at a time). */
+    SolverCheckpoint ckpt;
+    unsigned preemptions = 0;
     /** File-resolved system (matrixFile submissions): pins the
      *  parsed matrix or artifact mapping while the request lives;
      *  req.matrix points into it. */
@@ -53,7 +58,10 @@ struct ServiceCore
     explicit ServiceCore(const ServiceConfig &cfg)
         : sched(cfg.scheduler), cache(cfg.cacheBytes),
           loadedCapBytes(cfg.loadedCapBytes)
-    {}
+    {
+        runningPreemptible.resize(sched.shardCount());
+        shardBusyNs.assign(sched.shardCount(), 0);
+    }
 
     /** Resolve @p path through the bounded loaded-matrix LRU:
      *  reuse a fresh entry, reload a path whose file mtime changed
@@ -87,6 +95,12 @@ struct ServiceCore
     std::unordered_map<std::uint64_t,
                        std::shared_ptr<PendingRequest>>
         pendings; //!< queued + running
+    /** Per shard: the singleton CG solve it is executing, when that
+     *  solve honors checkpoints (the preempt trigger's victims).
+     *  Guarded by mu; null when the shard is idle or running
+     *  non-preemptible work. */
+    std::vector<std::shared_ptr<PendingRequest>> runningPreemptible;
+    std::vector<std::uint64_t> shardBusyNs; //!< wall ns, guarded by mu
     ServiceStats stats;
     std::uint64_t nextId = 1;
     bool stopping = false;
@@ -237,14 +251,18 @@ stoppedResult(SolveStatus status, std::size_t n)
     return r;
 }
 
-/** Run one dispatched batch to completion (no core lock held). */
+/** Run one dispatched batch to completion (no core lock held);
+ *  @p shard is the executing shard (prepare-cache replica index,
+ *  busy accounting, preempt-victim registry). */
 void
 executeBatch(
     ServiceCore &core,
-    const std::vector<std::shared_ptr<PendingRequest>> &batch)
+    const std::vector<std::shared_ptr<PendingRequest>> &batch,
+    unsigned shard)
 {
     PendingRequest &head = *batch.front();
     const auto k = static_cast<unsigned>(batch.size());
+    const std::int64_t execT0 = telemetry::nowNs();
 
     bool cacheHit = false;
     std::shared_ptr<PreparedOperator> entry;
@@ -252,11 +270,15 @@ executeBatch(
     bool failed = false;
     std::string error;
     try {
+        // Each shard solves on its own prepared replica, so shards
+        // never serialize on one entry's exec mutex.
         entry = (head.loaded && head.loaded->artifact)
                     ? core.cache.acquire(head.loaded->artifact,
-                                         head.req.op, &cacheHit)
+                                         head.req.op, &cacheHit,
+                                         shard)
                     : core.cache.acquire(*head.req.matrix,
-                                         head.req.op, &cacheHit);
+                                         head.req.op, &cacheHit,
+                                         shard);
         const auto n =
             static_cast<std::size_t>(entry->matrix().rows());
         // One logical operation at a time per shared entry: the
@@ -272,6 +294,12 @@ executeBatch(
             scfg.exec = &head.ctx;
             switch (head.req.kind) {
               case SolverKind::Cg:
+                // Singleton CG honors checkpoints: a yield raised
+                // by the preempt trigger (or yieldAfterChecks)
+                // parks the recurrence in head.ckpt. Stale flags
+                // from a previous segment are cleared first.
+                scfg.checkpoint = &head.ckpt;
+                head.ctx.clearYield();
                 res.solve = conjugateGradient(entry->op(),
                                               head.req.b, res.x,
                                               scfg);
@@ -346,9 +374,68 @@ executeBatch(
         }
     }
 
+    const std::int64_t execNs = telemetry::nowNs() - execT0;
+    const bool preempted =
+        !failed && k == 1 &&
+        results[0].solve.status == SolveStatus::Preempted;
+
+    if (preempted) {
+        bool requeued = false;
+        {
+            std::lock_guard lock(core.mu);
+            if (shard < core.runningPreemptible.size())
+                core.runningPreemptible[shard] = nullptr;
+            core.shardBusyNs[shard] +=
+                static_cast<std::uint64_t>(execNs);
+            ++core.stats.batches;
+            ctrBatches.add();
+            if (!core.stopping) {
+                // Park it back in its home shard's queue: the
+                // ticket and pendings entry stay held, so a resume
+                // can never be rejected or lost. coalescable=false:
+                // a mid-recurrence resume must not join a panel.
+                QueueEntry entry;
+                entry.id = head.id;
+                entry.tenant = head.req.tenant;
+                entry.priority = head.req.priority;
+                entry.coalescable = false;
+                entry.key = head.key;
+                entry.deadlineNs =
+                    head.req.deadline.count() > 0
+                        ? static_cast<std::uint64_t>(
+                              head.req.deadline.count())
+                        : 0;
+                core.sched.requeuePreempted(entry);
+                ++core.stats.preempted;
+                ++head.preemptions;
+                {
+                    std::lock_guard plock(head.mu);
+                    head.state = RequestState::Queued;
+                }
+                requeued = true;
+            } else {
+                // Stopping: a parked recurrence has no dispatcher
+                // left to resume it -- finish it as Cancelled and
+                // release its ticket (the stop/drain contract: no
+                // stranded pendings, no leaked tickets).
+                core.sched.complete(head.req.tenant);
+                bookStatus(core.stats, SolveStatus::Cancelled);
+                core.pendings.erase(head.id);
+            }
+        }
+        if (requeued) {
+            core.work.notify_all();
+        } else {
+            finalize(head, stoppedResult(SolveStatus::Cancelled,
+                                         head.req.b.size()));
+        }
+        return;
+    }
+
     for (unsigned c = 0; c < k; ++c) {
         results[c].cacheHit = cacheHit;
         results[c].batchWidth = k;
+        results[c].preemptions = batch[c]->preemptions;
         hQueueWait.observe(
             double(batch[c]->dispatchNs - batch[c]->submitNs) /
             1000.0);
@@ -356,6 +443,15 @@ executeBatch(
 
     {
         std::lock_guard lock(core.mu);
+        if (shard < core.runningPreemptible.size())
+            core.runningPreemptible[shard] = nullptr;
+        core.shardBusyNs[shard] +=
+            static_cast<std::uint64_t>(execNs);
+        if (telemetry::metricsActive())
+            telemetry::setGaugeNamed(
+                "service.shard." + std::to_string(shard) +
+                    ".busy_ns",
+                static_cast<double>(core.shardBusyNs[shard]));
         for (unsigned c = 0; c < k; ++c) {
             core.sched.complete(batch[c]->req.tenant);
             bookStatus(core.stats, results[c].status);
@@ -370,9 +466,10 @@ executeBatch(
         finalize(*batch[c], std::move(results[c]));
 }
 
-/** One dispatch cycle. Returns false when nothing was dispatched. */
+/** One dispatch cycle for @p shard. Returns false when nothing was
+ *  dispatched or reaped. */
 bool
-pumpOne(ServiceCore &core)
+pumpOne(ServiceCore &core, unsigned shard)
 {
     std::vector<std::shared_ptr<PendingRequest>> batch;
     std::vector<std::pair<std::shared_ptr<PendingRequest>,
@@ -381,11 +478,18 @@ pumpOne(ServiceCore &core)
     {
         std::lock_guard lock(core.mu);
         reaped = reapQueued(core);
-        for (const QueueEntry &e : core.sched.nextBatch()) {
+        for (const QueueEntry &e : core.sched.nextBatch(shard)) {
             auto it = core.pendings.find(e.id);
             if (it != core.pendings.end())
                 batch.push_back(it->second);
         }
+        // Register the preempt-trigger victim while still under the
+        // lock that admits new requests: a shorter-deadline submit
+        // sees this solve as running the moment we dispatch it.
+        if (batch.size() == 1 &&
+            batch.front()->req.kind == SolverKind::Cg &&
+            shard < core.runningPreemptible.size())
+            core.runningPreemptible[shard] = batch.front();
     }
     for (auto &[p, status] : reaped)
         finalize(*p, stoppedResult(status, p->req.b.size()));
@@ -398,7 +502,7 @@ pumpOne(ServiceCore &core)
         p->state = RequestState::Running;
         p->dispatchNs = now;
     }
-    executeBatch(core, batch);
+    executeBatch(core, batch, shard);
     return true;
 }
 
@@ -449,17 +553,21 @@ SolverService::SolverService(const ServiceConfig &config)
     : cfg(config),
       core(std::make_shared<ServiceCore>(config))
 {
+    // Worker w serves shard w mod shards: every shard keeps a
+    // dispatch stream, surplus workers double up on low shards.
+    const unsigned shards = core->sched.shardCount();
     for (int w = 0; w < cfg.workers; ++w) {
-        workers.emplace_back([c = core] {
+        const unsigned shard = static_cast<unsigned>(w) % shards;
+        workers.emplace_back([c = core, shard] {
             for (;;) {
-                if (servicedetail::pumpOne(*c))
+                if (servicedetail::pumpOne(*c, shard))
                     continue;
                 std::unique_lock lock(c->mu);
                 if (c->stopping)
                     return;
                 c->work.wait(lock, [&] {
                     return c->stopping ||
-                           c->sched.queueDepth() > 0;
+                           c->sched.runnable(shard);
                 });
                 if (c->stopping)
                     return;
@@ -479,6 +587,14 @@ SolverService::setTenantTickets(const std::string &tenant,
 {
     std::lock_guard lock(core->mu);
     core->sched.setTenantTickets(tenant, tickets);
+}
+
+void
+SolverService::setTenantWeight(const std::string &tenant,
+                               double weight)
+{
+    std::lock_guard lock(core->mu);
+    core->sched.setTenantWeight(tenant, weight);
 }
 
 RequestHandle
@@ -525,6 +641,8 @@ SolverService::submit(SolveRequest req)
         p->ctx.setDeadline(ExecContext::Clock::now() + r.deadline);
     if (r.cancelAfterChecks > 0)
         p->ctx.cancelAfterChecks(r.cancelAfterChecks);
+    if (r.yieldAfterChecks > 0)
+        p->ctx.yieldAfterChecks(r.yieldAfterChecks);
     // Artifact submissions key from the stored digest: admission
     // cost is O(1) in the matrix size instead of an O(nnz) hash.
     p->key = (p->loaded && p->loaded->artifact)
@@ -537,6 +655,10 @@ SolverService::submit(SolveRequest req)
     entry.priority = r.priority;
     entry.coalescable = r.kind == SolverKind::Cg;
     entry.key = p->key;
+    entry.deadlineNs =
+        r.deadline.count() > 0
+            ? static_cast<std::uint64_t>(r.deadline.count())
+            : 0;
 
     bool admitted = false;
     {
@@ -550,6 +672,29 @@ SolverService::submit(SolveRequest req)
         }
         if (admitted) {
             core->pendings.emplace(p->id, p);
+            // Preempt trigger: a deadline request asks any running
+            // preemptible solve with no deadline (or a later one)
+            // and no higher priority to yield at its next
+            // checkpoint. Cooperative and best-effort: the victim
+            // re-queues, this request overtakes it by EDF. In
+            // manual-pump mode nothing runs during submit, so the
+            // trigger is inert there (tests use yieldAfterChecks).
+            if (entry.deadlineNs > 0) {
+                for (const auto &running :
+                     core->runningPreemptible) {
+                    if (!running || running->id == p->id)
+                        continue;
+                    const auto victimNs =
+                        running->req.deadline.count();
+                    const bool laterDeadline =
+                        victimNs <= 0 ||
+                        static_cast<std::uint64_t>(victimNs) >
+                            entry.deadlineNs;
+                    if (laterDeadline &&
+                        running->req.priority <= r.priority)
+                        running->ctx.requestYield();
+                }
+            }
         } else {
             servicedetail::bookStatus(core->stats, SolveStatus::Overloaded);
         }
@@ -561,15 +706,30 @@ SolverService::submit(SolveRequest req)
         servicedetail::finalize(*p, std::move(rejected));
         return handle;
     }
-    core->work.notify_one();
+    core->work.notify_all();
     return handle;
 }
 
 void
 SolverService::runUntilIdle()
 {
-    while (servicedetail::pumpOne(*core)) {
+    const unsigned shards = core->sched.shardCount();
+    for (;;) {
+        bool any = false;
+        for (unsigned s = 0; s < shards; ++s)
+            if (servicedetail::pumpOne(*core, s))
+                any = true;
+        if (!any)
+            return;
     }
+}
+
+bool
+SolverService::pumpShard(unsigned shard)
+{
+    if (shard >= core->sched.shardCount())
+        return false;
+    return servicedetail::pumpOne(*core, shard);
 }
 
 void
@@ -603,7 +763,10 @@ ServiceStats
 SolverService::stats() const
 {
     std::lock_guard lock(core->mu);
-    return core->stats;
+    ServiceStats s = core->stats;
+    s.migrated = core->sched.migrations();
+    s.shardDispatches = core->sched.shardDispatches();
+    return s;
 }
 
 PrepareCache::Stats
@@ -638,6 +801,13 @@ SolverService::decisionLog() const
 {
     std::lock_guard lock(core->mu);
     return core->sched.decisions();
+}
+
+std::string
+SolverService::decisionLogText() const
+{
+    std::lock_guard lock(core->mu);
+    return core->sched.dumpDecisions();
 }
 
 } // namespace msc

@@ -9,12 +9,18 @@
  * RequestHandle immediately: admission either grants a queue slot
  * and a tenant ticket, or completes the handle right away with
  * SolveStatus::Overloaded -- the service never blocks a caller on a
- * full queue. Dispatch pulls the highest-priority queued request,
- * coalesces same-operator CG requests already in the queue into one
- * lockstep panel (lockstepConjugateGradient), resolves the prepared
- * operator through the keyed PrepareCache, and runs the solve with
- * the request's ExecContext attached, so cancel() and deadlines
- * land mid-iteration.
+ * full queue. Admission routes the request to its home shard by
+ * operator key; dispatch serves, within the highest priority band,
+ * the tenant owed service under weighted fair share, earliest
+ * deadline first (scheduler.hh), coalesces same-operator CG
+ * requests already in the shard's queue into one lockstep panel
+ * (lockstepConjugateGradient), resolves the prepared operator
+ * through the keyed PrepareCache (one replica per shard), and runs
+ * the solve with the request's ExecContext attached, so cancel()
+ * and deadlines land mid-iteration -- and a short-deadline arrival
+ * can ask a long-running solve to yield at its next CG checkpoint
+ * boundary and re-queue (cooperative preemption; the resumed solve
+ * is bitwise identical to an uninterrupted one).
  *
  * Determinism: with workers = 0 the service runs no threads; the
  * caller pumps dispatches on its own thread with runUntilIdle(),
@@ -89,6 +95,12 @@ struct SolveRequest
     /** Chaos/testing surface: fire the request's cancel token on
      *  the n-th ExecContext poll (see cancelAfterChecks). */
     std::uint64_t cancelAfterChecks = 0;
+    /** Chaos/testing surface: raise the request's yield flag on the
+     *  n-th ExecContext poll, forcing a cooperative preemption at
+     *  the next CG checkpoint boundary (the deterministic stand-in
+     *  for the deadline-driven trigger, which needs real worker
+     *  concurrency to fire). Zero = never. */
+    std::uint64_t yieldAfterChecks = 0;
 };
 
 enum class RequestState
@@ -110,6 +122,10 @@ struct RequestResult
     bool coalesced = false; //!< ran inside a lockstep panel
     unsigned batchWidth = 1; //!< panel width it dispatched in
     bool cacheHit = false;  //!< prepared operator came from cache
+    /** Times the solve yielded at a checkpoint and was re-queued
+     *  before reaching this terminal state. The result is bitwise
+     *  identical to an uninterrupted solve regardless. */
+    unsigned preemptions = 0;
     std::string error;      //!< Failed: what happened
 };
 
@@ -157,7 +173,9 @@ class RequestHandle
 struct ServiceConfig
 {
     /** Shard worker threads. 0 = deterministic manual mode: the
-     *  caller pumps with runUntilIdle(). */
+     *  caller pumps with runUntilIdle() (all shards, round-robin)
+     *  or pumpShard(). Worker w serves shard w mod shards, so
+     *  workers >= scheduler.shards keeps every shard draining. */
     int workers = 0;
     AdmissionScheduler::Config scheduler;
     std::size_t cacheBytes = 256ull << 20;
@@ -179,6 +197,12 @@ struct ServiceStats
     std::uint64_t failed = 0;  //!< execution faults
     std::uint64_t batches = 0; //!< dispatches (any width)
     std::uint64_t coalescedBatches = 0; //!< dispatches with k > 1
+    /** Cooperative checkpoint yields that were re-queued. */
+    std::uint64_t preempted = 0;
+    /** Batches an idle shard stole from another shard's queue. */
+    std::uint64_t migrated = 0;
+    /** Dispatches executed per shard (index = shard). */
+    std::vector<std::uint64_t> shardDispatches;
 };
 
 class SolverService
@@ -192,8 +216,17 @@ class SolverService
 
     const ServiceConfig &config() const { return cfg; }
 
-    /** Override one tenant's ticket allowance (set before traffic). */
+    /**
+     * Override one tenant's ticket allowance. Safe mid-traffic:
+     * live requests keep their tickets and drain normally; the new
+     * limit gates admissions from the next submit on.
+     */
     void setTenantTickets(const std::string &tenant, int tickets);
+
+    /** Fair-share weight for one tenant (default 1.0). Dispatch
+     *  order under contention follows weights; tickets still bound
+     *  live requests. */
+    void setTenantWeight(const std::string &tenant, double weight);
 
     /**
      * Admit a request. Never blocks: a full queue or an
@@ -204,10 +237,20 @@ class SolverService
 
     /**
      * Drain the queue on the calling thread: dispatch-and-solve
-     * until no dispatchable work remains. The manual-mode pump;
-     * safe (if pointless) to call while workers run.
+     * across all shards, round-robin, until no dispatchable work
+     * remains. The manual-mode pump; safe (if pointless) to call
+     * while workers run.
      */
     void runUntilIdle();
+
+    /**
+     * One dispatch cycle for @p shard on the calling thread (reap,
+     * then dispatch-and-solve one batch; an empty shard migrates
+     * work per the scheduler's policy). Returns false when nothing
+     * was dispatched or reaped. Deterministic single-shard stepping
+     * for tests and benches.
+     */
+    bool pumpShard(unsigned shard);
 
     /**
      * Stop accepting work, reap every queued request as Cancelled,
@@ -224,6 +267,9 @@ class SolverService
     std::size_t queueDepth() const;
     /** Snapshot of the scheduler's replayable decision log. */
     std::vector<Decision> decisionLog() const;
+    /** Canonical serialization of the decision log (replays of one
+     *  submission sequence produce byte-identical text). */
+    std::string decisionLogText() const;
 
   private:
     ServiceConfig cfg;

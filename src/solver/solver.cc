@@ -92,32 +92,72 @@ conjugateGradient(LinearOperator &a, std::span<const double> b,
     bool interrupted = false;
     double bNorm = 0.0;
     double rr = 0.0;
+    SolverCheckpoint *ckpt = cfg.checkpoint;
+    const bool resuming = ckpt != nullptr && ckpt->valid &&
+                          ckpt->x.size() == n;
     try {
-        execCheckpoint(cfg.exec);
-        // r = b - A x
-        a.apply(x, r);
-        ++res.spmvCalls;
-        for (std::size_t i = 0; i < n; ++i)
-            r[i] = b[i] - r[i];
-        p = r;
+        if (resuming) {
+            // Restore the exact recurrence state of the preempted
+            // segment: the concatenated segments walk the same
+            // iterate sequence an uninterrupted solve would.
+            std::copy(ckpt->x.begin(), ckpt->x.end(), x.begin());
+            std::copy(ckpt->r.begin(), ckpt->r.end(), r.begin());
+            std::copy(ckpt->p.begin(), ckpt->p.end(), p.begin());
+            rr = ckpt->rr;
+            bNorm = ckpt->bNorm;
+            res.iterations = ckpt->iterationsDone;
+            res.spmvCalls = ckpt->spmvCalls;
+            res.dotCalls = ckpt->dotCalls;
+            res.axpyCalls = ckpt->axpyCalls;
+            ckpt->valid = false;
+        } else {
+            execCheckpoint(cfg.exec);
+            // r = b - A x
+            a.apply(x, r);
+            ++res.spmvCalls;
+            for (std::size_t i = 0; i < n; ++i)
+                r[i] = b[i] - r[i];
+            p = r;
 
-        bNorm = norm2(b);
-        ++res.dotCalls;
-        if (bNorm == 0.0) {
-            std::fill(x.begin(), x.end(), 0.0);
-            res.converged = true;
-            res.status = SolveStatus::Converged;
-            return res;
+            bNorm = norm2(b);
+            ++res.dotCalls;
+            if (bNorm == 0.0) {
+                std::fill(x.begin(), x.end(), 0.0);
+                res.converged = true;
+                res.status = SolveStatus::Converged;
+                return res;
+            }
+
+            rr = dot(r, r);
+            ++res.dotCalls;
         }
-
-        rr = dot(r, r);
-        ++res.dotCalls;
-        for (int it = 0; it < cfg.maxIterations; ++it) {
+        for (int it = res.iterations; it < cfg.maxIterations;
+             ++it) {
             if (std::sqrt(rr) / bNorm <= cfg.tolerance) {
                 res.converged = true;
                 break;
             }
             execCheckpoint(cfg.exec);
+            if (ckpt != nullptr && cfg.exec != nullptr &&
+                cfg.exec->yieldRequested()) {
+                // Cooperative preemption: save the full state at
+                // this iteration boundary and step aside. No
+                // arithmetic has run for iteration `it`, so the
+                // resumed segment re-enters the loop exactly here.
+                ckpt->iterationsDone = res.iterations;
+                ckpt->rr = rr;
+                ckpt->bNorm = bNorm;
+                ckpt->x.assign(x.begin(), x.end());
+                ckpt->r = r;
+                ckpt->p = p;
+                ckpt->spmvCalls = res.spmvCalls;
+                ckpt->dotCalls = res.dotCalls;
+                ckpt->axpyCalls = res.axpyCalls;
+                ckpt->valid = true;
+                res.relResidual = std::sqrt(rr) / bNorm;
+                res.status = SolveStatus::Preempted;
+                return res;
+            }
             a.apply(p, ap);
             ++res.spmvCalls;
             const double pap = dot(p, ap);

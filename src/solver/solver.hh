@@ -163,6 +163,43 @@ enum class SolverKind
     Gmres,
 };
 
+/**
+ * Resumable mid-solve state for cooperative preemption (currently
+ * CG only: the service's preemptible path).
+ *
+ * When SolverConfig::checkpoint is attached and the ExecContext's
+ * yield flag fires, the solver stops at the next iteration boundary,
+ * deep-copies its full recurrence state (iterate, residual, search
+ * direction, scalars, kernel tallies) into the checkpoint, and
+ * returns SolveStatus::Preempted. A later call with the same
+ * checkpoint (valid == true) restores that exact state and continues
+ * the recurrence, so the concatenated segments produce bitwise the
+ * iterate sequence -- and hence the result -- of an uninterrupted
+ * solve. That identity is what lets a scheduler preempt a long solve
+ * for a short-deadline one without changing any answer bit.
+ */
+struct SolverCheckpoint
+{
+    bool valid = false;    //!< holds a resumable state
+    int iterationsDone = 0;
+    double rr = 0.0;       //!< r'r of the saved residual
+    double bNorm = 0.0;
+    std::vector<double> x; //!< iterate at the yield boundary
+    std::vector<double> r; //!< residual
+    std::vector<double> p; //!< search direction
+    /** Kernel tallies of the completed segments, folded into the
+     *  final SolverResult so it matches an uninterrupted run. */
+    std::uint64_t spmvCalls = 0;
+    std::uint64_t dotCalls = 0;
+    std::uint64_t axpyCalls = 0;
+
+    void
+    reset()
+    {
+        *this = SolverCheckpoint{};
+    }
+};
+
 struct SolverConfig
 {
     double tolerance = 1e-10;  //!< relative residual target
@@ -174,6 +211,14 @@ struct SolverConfig
      * nullptr (the default) adds no per-iteration cost.
      */
     const ExecContext *exec = nullptr;
+    /**
+     * Optional preemption checkpoint sink/source (CG only). Non-null
+     * enables cooperative yield: exec->yieldRequested() is honored
+     * at iteration boundaries (see SolverCheckpoint). A valid
+     * checkpoint resumes the saved recurrence instead of starting
+     * from x. Not owned.
+     */
+    SolverCheckpoint *checkpoint = nullptr;
 };
 
 /**

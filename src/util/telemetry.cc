@@ -299,6 +299,29 @@ addCounterNamed(std::string_view name, std::uint64_t delta)
     c->value.fetch_add(delta, std::memory_order_relaxed);
 }
 
+void
+setGaugeNamed(std::string_view name, double value)
+{
+    if (!metricsActive())
+        return;
+    Registry &r = registry();
+    GaugeCell *g = nullptr;
+    {
+        std::lock_guard lock(r.mu);
+        auto it = r.gaugeByName.find(name);
+        if (it != r.gaugeByName.end()) {
+            g = it->second;
+        } else {
+            GaugeCell &cell = r.gauges.emplace_back();
+            cell.name = std::string(name);
+            r.gaugeByName.emplace(cell.name, &cell);
+            g = &cell;
+        }
+    }
+    g->bits.store(std::bit_cast<std::uint64_t>(value),
+                  std::memory_order_relaxed);
+}
+
 double
 histogramQuantile(const HistogramSnapshot &h, double q)
 {

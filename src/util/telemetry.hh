@@ -275,6 +275,15 @@ struct HistogramSnapshot
 void addCounterNamed(std::string_view name, std::uint64_t delta = 1);
 
 /**
+ * Set a gauge addressed by a runtime-built name (e.g. the service's
+ * per-shard depth gauges, "service.shard.<i>.queue_depth"). Same
+ * interning and locking behavior as addCounterNamed: every call
+ * takes the registry lock, so use for low-rate observations only.
+ * No-op while metrics are disabled.
+ */
+void setGaugeNamed(std::string_view name, double value);
+
+/**
  * Quantile estimate from a histogram snapshot: the upper bound (in
  * microseconds) of the first bucket at which the cumulative count
  * reaches ceil(q * count). Values in the overflow bucket report the

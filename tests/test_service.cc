@@ -1230,5 +1230,465 @@ TEST(ChaosServiceSoak, MultiTenantStormKeepsInvariants)
     EXPECT_LE(svc.cacheStats().entries, 2u);
 }
 
+// ---------------------------------------------------------------
+// Sharded dispatch, weighted fair share, EDF, preemption.
+// ---------------------------------------------------------------
+
+TEST(ServiceFairShare, SetTenantTicketsMidTrafficNeverStrands)
+{
+    const Csr m = spdMatrix(64, 233);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+
+    ServiceConfig cfg;
+    cfg.scheduler.defaultTickets = 4;
+    cfg.scheduler.batchWindow = 1;
+    SolverService svc(cfg);
+
+    // Three live requests, then the allowance drops to 1 under
+    // them: nothing may be stranded or dropped.
+    std::vector<RequestHandle> live;
+    for (unsigned i = 0; i < 3; ++i) {
+        SolveRequest req;
+        req.tenant = "t";
+        req.matrix = &m;
+        req.b = seededRhs(n, 9500 + i);
+        live.push_back(svc.submit(req));
+    }
+    svc.setTenantTickets("t", 1);
+
+    // The lowered limit gates new admissions immediately...
+    SolveRequest extra;
+    extra.tenant = "t";
+    extra.matrix = &m;
+    extra.b = seededRhs(n, 9510);
+    EXPECT_EQ(svc.submit(extra).wait().status,
+              SolveStatus::Overloaded);
+
+    // ...but every already-admitted request still dispatches.
+    svc.runUntilIdle();
+    for (auto &h : live)
+        EXPECT_EQ(h.wait().status, SolveStatus::Converged);
+
+    // Drained: the tenant is live again under the new limit, and
+    // the second concurrent request bounces (limit now 1).
+    extra.b = seededRhs(n, 9511);
+    RequestHandle ok = svc.submit(extra);
+    EXPECT_EQ(ok.state(), RequestState::Queued);
+    extra.b = seededRhs(n, 9512);
+    EXPECT_EQ(svc.submit(extra).wait().status,
+              SolveStatus::Overloaded);
+    svc.runUntilIdle();
+    EXPECT_EQ(ok.wait().status, SolveStatus::Converged);
+
+    // Raising mid-traffic opens admission right back up.
+    svc.setTenantTickets("t", 3);
+    std::vector<RequestHandle> more;
+    for (unsigned i = 0; i < 3; ++i) {
+        extra.b = seededRhs(n, 9520 + i);
+        more.push_back(svc.submit(extra));
+    }
+    svc.runUntilIdle();
+    for (auto &h : more)
+        EXPECT_EQ(h.wait().status, SolveStatus::Converged);
+}
+
+TEST(ServiceFairShare, SaturatingTenantCannotStarveLightTenant)
+{
+    const Csr heavyM = spdMatrix(64, 235);
+    const Csr lightM = spdMatrix(64, 237);
+    const std::size_t n = static_cast<std::size_t>(heavyM.rows());
+
+    ServiceConfig cfg;
+    cfg.scheduler.batchWindow = 1;
+    cfg.scheduler.queueCapacity = 128;
+    cfg.scheduler.defaultTickets = 64;
+    SolverService svc(cfg);
+
+    // 10:1 offered load, equal weights: while both tenants stay
+    // backlogged, each is entitled to half the dispatch stream.
+    constexpr unsigned kLight = 5;
+    constexpr unsigned kHeavy = 50;
+    for (unsigned i = 0; i < kHeavy; ++i) {
+        SolveRequest req;
+        req.tenant = "heavy";
+        req.matrix = &heavyM;
+        req.b = seededRhs(n, 9600 + i);
+        svc.submit(req);
+    }
+    std::vector<RequestHandle> light;
+    for (unsigned i = 0; i < kLight; ++i) {
+        SolveRequest req;
+        req.tenant = "light";
+        req.matrix = &lightM;
+        req.b = seededRhs(n, 9700 + i);
+        light.push_back(svc.submit(req));
+    }
+    svc.runUntilIdle();
+    for (auto &h : light)
+        EXPECT_EQ(h.wait().status, SolveStatus::Converged);
+
+    // Light is backlogged for exactly the first 2*kLight
+    // dispatches; its share of that window must be within 20% of
+    // the weighted entitlement (50%).
+    unsigned lightSeen = 0;
+    unsigned window = 0;
+    for (const Decision &d : svc.decisionLog()) {
+        if (d.kind != DecisionKind::Dispatch)
+            continue;
+        if (window < 2 * kLight && d.tenant == "light")
+            ++lightSeen;
+        ++window;
+    }
+    const double share =
+        double(lightSeen) / double(2 * kLight);
+    EXPECT_GE(share, 0.5 * 0.8)
+        << "light tenant starved: share " << share;
+    EXPECT_LE(share, 0.5 * 1.2);
+}
+
+TEST(ServiceFairShare, WeightsShapeDispatchShares)
+{
+    const Csr ma = spdMatrix(64, 239);
+    const Csr mb = spdMatrix(64, 241);
+    const std::size_t n = static_cast<std::size_t>(ma.rows());
+
+    ServiceConfig cfg;
+    cfg.scheduler.batchWindow = 1;
+    cfg.scheduler.queueCapacity = 128;
+    cfg.scheduler.defaultTickets = 64;
+    SolverService svc(cfg);
+    svc.setTenantWeight("gold", 2.0);
+    svc.setTenantWeight("bronze", 1.0);
+
+    for (unsigned i = 0; i < 12; ++i) {
+        SolveRequest req;
+        req.tenant = i % 2 == 0 ? "gold" : "bronze";
+        req.matrix = i % 2 == 0 ? &ma : &mb;
+        req.b = seededRhs(n, 9800 + i);
+        svc.submit(req);
+    }
+    svc.runUntilIdle();
+
+    // In the first 6 dispatches (both tenants backlogged
+    // throughout), gold's 2:1 weight should earn it about 2/3 of
+    // the stream: exactly 4 of 6 under SFQ.
+    unsigned goldSeen = 0, window = 0;
+    for (const Decision &d : svc.decisionLog()) {
+        if (d.kind != DecisionKind::Dispatch || window >= 6)
+            continue;
+        if (d.tenant == "gold")
+            ++goldSeen;
+        ++window;
+    }
+    EXPECT_EQ(goldSeen, 4u);
+}
+
+TEST(ServiceFairShare, EdfOrdersWithinPriorityBand)
+{
+    const Csr m = spdMatrix(64, 243);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+
+    ServiceConfig cfg;
+    cfg.scheduler.batchWindow = 1;
+    SolverService svc(cfg);
+
+    // Same tenant, same band: EDF on the relative deadline
+    // (none = last), regardless of submission order.
+    SolveRequest relaxed;
+    relaxed.matrix = &m;
+    relaxed.b = seededRhs(n, 9900);
+    RequestHandle hNone = svc.submit(relaxed);
+
+    SolveRequest loose = relaxed;
+    loose.b = seededRhs(n, 9901);
+    loose.deadline = std::chrono::seconds(100);
+    RequestHandle hLoose = svc.submit(loose);
+
+    SolveRequest tight = relaxed;
+    tight.b = seededRhs(n, 9902);
+    tight.deadline = std::chrono::seconds(10);
+    RequestHandle hTight = svc.submit(tight);
+
+    // Priority still dominates deadlines.
+    SolveRequest urgent = relaxed;
+    urgent.b = seededRhs(n, 9903);
+    urgent.priority = 1;
+    RequestHandle hUrgent = svc.submit(urgent);
+
+    svc.runUntilIdle();
+
+    std::vector<std::uint64_t> order;
+    for (const Decision &d : svc.decisionLog())
+        if (d.kind == DecisionKind::Dispatch)
+            order.push_back(d.requestId);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], hUrgent.id());
+    EXPECT_EQ(order[1], hTight.id());
+    EXPECT_EQ(order[2], hLoose.id());
+    EXPECT_EQ(order[3], hNone.id());
+}
+
+TEST(ServicePreempt, PreemptResumeIsBitwiseIdentical)
+{
+    const Csr m = spdMatrix(96, 245);
+    const std::size_t n = static_cast<std::size_t>(m.rows());
+    const std::vector<double> b = seededRhs(n, 10000);
+
+    // Uninterrupted reference through the same service path.
+    SolverService plain;
+    SolveRequest req;
+    req.matrix = &m;
+    req.b = b;
+    RequestHandle hRef = plain.submit(req);
+    plain.runUntilIdle();
+    const RequestResult &ref = hRef.wait();
+    ASSERT_EQ(ref.status, SolveStatus::Converged);
+    ASSERT_GT(ref.solve.iterations, 8);
+
+    // Same request, forced to yield mid-recurrence: the resumed
+    // solve must reproduce every bit and every kernel tally.
+    SolverService svc;
+    SolveRequest preemptee = req;
+    preemptee.yieldAfterChecks = 5;
+    RequestHandle h = svc.submit(preemptee);
+    svc.runUntilIdle();
+
+    const RequestResult &r = h.wait();
+    EXPECT_EQ(r.status, SolveStatus::Converged);
+    EXPECT_GE(r.preemptions, 1u);
+    EXPECT_GE(svc.stats().preempted, 1u);
+    EXPECT_EQ(r.solve.iterations, ref.solve.iterations);
+    EXPECT_EQ(r.solve.spmvCalls, ref.solve.spmvCalls);
+    EXPECT_EQ(r.solve.dotCalls, ref.solve.dotCalls);
+    EXPECT_EQ(r.solve.axpyCalls, ref.solve.axpyCalls);
+    EXPECT_EQ(r.solve.relResidual, ref.solve.relResidual);
+    expectBitwiseEqual(r.x, ref.x, "preempted-resumed solve");
+
+    // The decision log shows the preemption round trip: dispatch,
+    // preempt, dispatch again.
+    unsigned dispatches = 0, preempts = 0;
+    for (const Decision &d : svc.decisionLog()) {
+        if (d.requestId != h.id())
+            continue;
+        if (d.kind == DecisionKind::Dispatch)
+            ++dispatches;
+        if (d.kind == DecisionKind::Preempt) {
+            ++preempts;
+            EXPECT_EQ(d.reason, SolveStatus::Preempted);
+        }
+    }
+    EXPECT_GE(dispatches, 2u);
+    EXPECT_EQ(preempts, r.preemptions);
+}
+
+TEST(ServiceReplay, WeightedShardedLogReplaysByteIdentical)
+{
+    const Csr ma = spdMatrix(64, 247);
+    const Csr mb = spdMatrix(64, 249);
+    const Csr mc = spdMatrix(64, 251);
+    const std::size_t n = static_cast<std::size_t>(ma.rows());
+
+    const auto drive = [&](SolverService &svc) {
+        svc.setTenantWeight("a", 2.0);
+        svc.setTenantWeight("b", 0.5);
+        const Csr *mats[] = {&ma, &mb, &mc};
+        for (unsigned i = 0; i < 12; ++i) {
+            SolveRequest req;
+            req.tenant = i % 3 == 0 ? "a" : "b";
+            req.priority = static_cast<int>(i % 2);
+            req.matrix = mats[i % 3];
+            req.b = seededRhs(n, 10100 + i);
+            if (i % 4 == 1)
+                req.deadline = std::chrono::seconds(20 + i);
+            svc.submit(req);
+            if (i == 7)
+                svc.runUntilIdle(); // mid-sequence drain
+        }
+        svc.runUntilIdle();
+    };
+
+    ServiceConfig cfg;
+    cfg.scheduler.batchWindow = 4;
+    cfg.scheduler.defaultTickets = 8;
+    cfg.scheduler.shards = 2;
+    SolverService first(cfg);
+    drive(first);
+    SolverService second(cfg);
+    drive(second);
+
+    const std::string logA = first.decisionLogText();
+    const std::string logB = second.decisionLogText();
+    ASSERT_FALSE(logA.empty());
+    EXPECT_EQ(logA, logB); // byte-identical replay
+}
+
+TEST(ServiceShard, RoutesByKeyAndMigratesBacklog)
+{
+    // Find two matrices whose operator keys land on different
+    // shards of 2 (content-hash routing is deterministic, so probe
+    // a few seeds).
+    ServiceConfig cfg;
+    cfg.scheduler.batchWindow = 1;
+    cfg.scheduler.shards = 2;
+    AdmissionScheduler probe(cfg.scheduler);
+    Csr ma = spdMatrix(64, 253);
+    unsigned shardA = probe.shardOf(operatorKey(ma, {}));
+    Csr mb = ma;
+    unsigned shardB = shardA;
+    for (std::uint64_t seed = 255; shardB == shardA; seed += 2) {
+        mb = spdMatrix(64, seed);
+        shardB = probe.shardOf(operatorKey(mb, {}));
+    }
+    const std::size_t n = static_cast<std::size_t>(ma.rows());
+
+    SolverService svc(cfg);
+    std::vector<RequestHandle> handles;
+    for (unsigned i = 0; i < 3; ++i) {
+        SolveRequest req;
+        req.matrix = &ma;
+        req.b = seededRhs(n, 10200 + i);
+        handles.push_back(svc.submit(req));
+    }
+    // Admissions recorded shard A as the home shard.
+    for (const Decision &d : svc.decisionLog())
+        if (d.kind == DecisionKind::Admit)
+            EXPECT_EQ(d.shard, shardA);
+
+    // Pumping the idle shard migrates one batch from A's backlog.
+    EXPECT_TRUE(svc.pumpShard(shardB));
+    bool sawMigration = false;
+    for (const Decision &d : svc.decisionLog())
+        if (d.kind == DecisionKind::Dispatch) {
+            EXPECT_EQ(d.shard, shardB);
+            EXPECT_TRUE(d.migrated);
+            sawMigration = true;
+        }
+    EXPECT_TRUE(sawMigration);
+    EXPECT_EQ(svc.stats().migrated, 1u);
+
+    svc.runUntilIdle();
+    for (auto &h : handles)
+        EXPECT_EQ(h.wait().status, SolveStatus::Converged);
+    const ServiceStats st = svc.stats();
+    ASSERT_EQ(st.shardDispatches.size(), 2u);
+    EXPECT_EQ(st.shardDispatches[shardA] + st.shardDispatches[shardB],
+              st.batches);
+}
+
+TEST(ServiceShard, ShardedResultsMatchUnshardedBitwise)
+{
+    const Csr mats[4] = {spdMatrix(64, 257), spdMatrix(64, 259),
+                         spdMatrix(64, 261), spdMatrix(64, 263)};
+    const std::size_t n = static_cast<std::size_t>(mats[0].rows());
+    constexpr unsigned kReqs = 12;
+
+    // Unsharded single-worker reference results, computed at 8
+    // lanes (thread-count independence is pinned separately).
+    setGlobalThreads(8);
+    std::vector<std::vector<double>> refX(kReqs);
+    std::vector<SolverResult> refSolve(kReqs);
+    {
+        ServiceConfig cfg;
+        cfg.scheduler.batchWindow = 1;
+        cfg.scheduler.defaultTickets = 16;
+        SolverService svc(cfg);
+        std::vector<RequestHandle> handles;
+        for (unsigned i = 0; i < kReqs; ++i) {
+            SolveRequest req;
+            req.matrix = &mats[i % 4];
+            req.b = seededRhs(n, 10300 + i);
+            handles.push_back(svc.submit(req));
+        }
+        svc.runUntilIdle();
+        for (unsigned i = 0; i < kReqs; ++i) {
+            refX[i] = handles[i].wait().x;
+            refSolve[i] = handles[i].wait().solve;
+            ASSERT_EQ(handles[i].wait().status,
+                      SolveStatus::Converged);
+        }
+    }
+
+    // Sharded runs must reproduce every bit at every lane count.
+    for (unsigned threads : {1u, 2u, 8u}) {
+        setGlobalThreads(threads);
+        ServiceConfig cfg;
+        cfg.scheduler.batchWindow = 1;
+        cfg.scheduler.defaultTickets = 16;
+        cfg.scheduler.shards = 4;
+        SolverService svc(cfg);
+        std::vector<RequestHandle> handles;
+        for (unsigned i = 0; i < kReqs; ++i) {
+            SolveRequest req;
+            req.matrix = &mats[i % 4];
+            req.b = seededRhs(n, 10300 + i);
+            handles.push_back(svc.submit(req));
+        }
+        svc.runUntilIdle();
+        for (unsigned i = 0; i < kReqs; ++i) {
+            const RequestResult &r = handles[i].wait();
+            EXPECT_EQ(r.status, SolveStatus::Converged)
+                << "threads " << threads << " request " << i;
+            EXPECT_EQ(r.solve.iterations, refSolve[i].iterations);
+            expectBitwiseEqual(r.x, refX[i], "sharded request");
+        }
+    }
+    setGlobalThreads(8);
+}
+
+TEST(ChaosServiceShard, StopUnderLoadQuiescesAllShards)
+{
+    const Csr mats[3] = {spdMatrix(64, 265), spdMatrix(64, 267),
+                         spdMatrix(64, 269)};
+    const std::size_t n = static_cast<std::size_t>(mats[0].rows());
+    constexpr unsigned kReqs = 48;
+
+    ServiceConfig cfg;
+    cfg.workers = 4;
+    cfg.scheduler.shards = 4;
+    cfg.scheduler.batchWindow = 2;
+    cfg.scheduler.queueCapacity = 64;
+    cfg.scheduler.defaultTickets = 32;
+    SolverService svc(cfg);
+
+    std::vector<RequestHandle> handles;
+    for (unsigned i = 0; i < kReqs; ++i) {
+        SolveRequest req;
+        req.tenant = i % 2 == 0 ? "a" : "b";
+        req.matrix = &mats[i % 3];
+        req.b = seededRhs(n, 10400 + i);
+        if (i % 5 == 0)
+            req.yieldAfterChecks = 3; // preempt mid-stop traffic
+        if (i % 7 == 0)
+            req.deadline = std::chrono::seconds(30);
+        handles.push_back(svc.submit(req));
+    }
+    // Stop with shards mid-flight: every request must reach a
+    // terminal state, every ticket must come back, nothing leaks.
+    svc.stop();
+
+    const ServiceStats st = svc.stats();
+    EXPECT_EQ(st.submitted, kReqs);
+    EXPECT_EQ(st.rejected + st.completed + st.cancelled +
+                  st.deadlineExpired + st.failed,
+              kReqs);
+    EXPECT_EQ(svc.queueDepth(), 0u);
+    for (auto &h : handles) {
+        ASSERT_TRUE(h.done());
+        const SolveStatus s = h.wait().status;
+        EXPECT_TRUE(s == SolveStatus::Converged ||
+                    s == SolveStatus::Cancelled ||
+                    s == SolveStatus::Overloaded ||
+                    s == SolveStatus::DeadlineExceeded)
+            << toString(s);
+        // A preempted-then-stopped request must never surface the
+        // internal Preempted status.
+        EXPECT_NE(s, SolveStatus::Preempted);
+    }
+    // In-flight refcounts released: with no live requests, every
+    // cache entry is evictable (clear() empties the cache).
+    svc.cacheStats();
+    handles.clear();
+}
+
 } // namespace
 } // namespace msc
